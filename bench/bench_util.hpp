@@ -1,0 +1,90 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure of the paper. The
+// figure benches sweep paper-scale matrix sizes in TimingOnly mode (the
+// full call schedule is priced on the virtual clock without numeric
+// payloads); the fault-capability tables run full numerics with real
+// injected faults at a reduced size and combine the measured behaviour
+// ratios with paper-scale baseline times.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "abft/cula_like.hpp"
+#include "common/table.hpp"
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+
+namespace ftla::bench {
+
+/// The paper's sweep for each testbed (Section VII-A).
+inline std::vector<int> tardis_sizes() {
+  return {5120, 7680, 10240, 12800, 15360, 17920, 20480, 23040};
+}
+inline std::vector<int> bulldozer_sizes() {
+  return {5120, 10240, 15360, 20480, 25600, 30720};
+}
+
+/// Virtual seconds of one TimingOnly factorization.
+inline double timing_run(const sim::MachineProfile& profile, int n,
+                         const abft::CholeskyOptions& opt) {
+  sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+  auto res = abft::cholesky(m, nullptr, n, opt);
+  if (!res.success) {
+    std::cerr << "timing run failed: " << res.note << "\n";
+    std::exit(1);
+  }
+  return res.seconds;
+}
+
+inline abft::CholeskyOptions noft_options() {
+  abft::CholeskyOptions opt;
+  opt.variant = abft::Variant::NoFt;
+  return opt;
+}
+
+/// The per-system Opt-2 placement the paper uses (§VII-D).
+inline abft::UpdatePlacement paper_placement(
+    const sim::MachineProfile& profile) {
+  return profile.name == "tardis" ? abft::UpdatePlacement::Cpu
+                                  : abft::UpdatePlacement::Gpu;
+}
+
+/// Fully optimized Enhanced Online-ABFT configuration for a system.
+inline abft::CholeskyOptions enhanced_options(
+    const sim::MachineProfile& profile, int verify_interval = 1) {
+  abft::CholeskyOptions opt;
+  opt.variant = abft::Variant::EnhancedOnline;
+  opt.verify_interval = verify_interval;
+  opt.concurrent_recalc = true;
+  opt.placement = paper_placement(profile);
+  return opt;
+}
+
+inline abft::CholeskyOptions variant_options(
+    const sim::MachineProfile& profile, abft::Variant v,
+    int verify_interval = 1) {
+  abft::CholeskyOptions opt = enhanced_options(profile, verify_interval);
+  opt.variant = v;
+  return opt;
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+inline void print_table(const Table& t, bool csv = true) {
+  t.print(std::cout);
+  if (csv) {
+    std::cout << "\ncsv:\n";
+    t.print_csv(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace ftla::bench

@@ -1,0 +1,56 @@
+// Extension experiment: projecting Enhanced Online-ABFT a GPU
+// generation forward.
+//
+// The paper's overheads shrink as n grows because checksum work is
+// O(n^3/B) against O(n^3) compute. But GPU compute has since grown
+// ~7-9x while kernel-launch latency and PCIe latency have barely moved
+// — the fixed costs the paper's FLOP-only model ignores. This bench
+// runs the identical experiment on an Ampere-class profile and shows
+// where the scheme stands a generation later, and how the optimal K
+// shifts.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  const auto machines = {sim::tardis(), sim::bulldozer64(), sim::ampere()};
+
+  print_header("Projection — Enhanced Online-ABFT across GPU generations",
+               "Relative overhead vs each machine's own NoFT baseline "
+               "(GPU placement, Opt 1 on). The A100-class profile uses "
+               "B = 1024.");
+  Table t({"machine", "n", "baseline GFLOP/s", "K=1", "K=3", "K=5"});
+  for (const auto& profile : machines) {
+    // Largest size each GPU's memory holds (the M2075 caps at 23040).
+    const std::vector<int> sizes =
+        profile.name == "tardis" ? std::vector<int>{10240, 20480, 23040}
+                                 : std::vector<int>{10240, 20480, 30720};
+    for (int n : sizes) {
+      abft::CholeskyOptions noft = noft_options();
+      const double base = timing_run(profile, n, noft);
+      const double flops = static_cast<double>(n) * n * n / 3.0 / 1e9;
+      std::vector<std::string> row{profile.name, std::to_string(n),
+                                   Table::num(flops / base, 5)};
+      for (int k : {1, 3, 5}) {
+        abft::CholeskyOptions opt;
+        opt.variant = abft::Variant::EnhancedOnline;
+        opt.verify_interval = k;
+        opt.placement = abft::UpdatePlacement::Gpu;
+        row.push_back(Table::pct(timing_run(profile, n, opt) / base - 1.0));
+      }
+      t.add_row(row);
+    }
+  }
+  print_table(t);
+
+  std::cout
+      << "Reading: on faster GPUs the same matrix factorizes in a fraction\n"
+         "of the time, so the fixed per-verification costs (launches, \n"
+         "synchronization) eat a larger share — the overhead percentage\n"
+         "does not automatically improve with hardware, which keeps the\n"
+         "paper's Opt 1-3 relevant a decade later.\n";
+  return 0;
+}

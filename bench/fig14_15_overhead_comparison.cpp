@@ -1,0 +1,51 @@
+// Paper Figures 14 and 15: relative overhead of Offline-ABFT,
+// Online-ABFT and the fully optimized Enhanced Online-ABFT across the
+// matrix-size sweep on both testbeds.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+void sweep(const ftla::sim::MachineProfile& profile,
+           const std::vector<int>& sizes, const char* fig) {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  print_header(std::string("Figure ") + fig + " — overhead comparison on " +
+                   profile.name,
+               "Relative overhead vs NoFT baseline. Enhanced uses all three "
+               "optimizations (K = 5, paper placement, concurrent recalc).");
+  Table t({"n", "offline-abft", "online-abft", "enhanced-online-abft"});
+  double last_enhanced = 0.0;
+  for (int n : sizes) {
+    const double base = timing_run(profile, n, noft_options());
+    const double off =
+        timing_run(profile, n,
+                   variant_options(profile, abft::Variant::Offline)) /
+            base -
+        1.0;
+    const double onl =
+        timing_run(profile, n,
+                   variant_options(profile, abft::Variant::Online)) /
+            base -
+        1.0;
+    const double enh =
+        timing_run(profile, n, enhanced_options(profile, 5)) / base - 1.0;
+    last_enhanced = enh;
+    t.add_row({std::to_string(n), Table::pct(off), Table::pct(onl),
+               Table::pct(enh)});
+  }
+  print_table(t);
+  std::cout << "Largest-size enhanced overhead: "
+            << Table::pct(last_enhanced) << " (paper: < "
+            << (profile.name == "tardis" ? "6%" : "4%") << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  sweep(ftla::sim::tardis(), ftla::bench::tardis_sizes(), "14");
+  sweep(ftla::sim::bulldozer64(), ftla::bench::bulldozer_sizes(), "15");
+  return 0;
+}

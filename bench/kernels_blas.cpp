@@ -1,0 +1,107 @@
+// Raw wall-clock microbenchmarks (google-benchmark) of the host BLAS /
+// LAPACK substrate that executes every simulated kernel's numerics.
+#include <benchmark/benchmark.h>
+
+#include "blas/lapack.hpp"
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"
+#include "common/matrix.hpp"
+#include "common/spd.hpp"
+
+namespace {
+
+using namespace ftla;
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, n), b(n, n), c(n, n);
+  make_uniform(a, 1);
+  make_uniform(b, 2);
+  for (auto _ : state) {
+    blas::gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0,
+               c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Syrk(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, 2 * n), c(n, n);
+  make_uniform(a, 3);
+  for (auto _ : state) {
+    blas::syrk(Uplo::Lower, Trans::No, -1.0, a.view(), 1.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          blas::syrk_flops(n, 2 * n));
+}
+BENCHMARK(BM_Syrk)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Trsm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, n), b(4 * n, n);
+  make_uniform(a, 4);
+  for (int i = 0; i < n; ++i) a(i, i) = n + i;
+  make_uniform(b, 5);
+  for (auto _ : state) {
+    blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+               a.view(), b.view());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          blas::trsm_flops(Side::Right, 4 * n, n));
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(128);
+
+void BM_Potf2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, n);
+  make_spd_diag_dominant(a, 6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<double> work = a;
+    state.ResumeTiming();
+    blas::potf2(work.view());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::potf2_flops(n));
+}
+BENCHMARK(BM_Potf2)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PotrfBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, n);
+  make_spd_diag_dominant(a, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<double> work = a;
+    state.ResumeTiming();
+    blas::potrf(work.view(), 64);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::potrf_flops(n));
+}
+BENCHMARK(BM_PotrfBlocked)->Arg(256)->Arg(512);
+
+void BM_Gemv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n, n), x(n, 1), y(n, 1);
+  make_uniform(a, 8);
+  make_uniform(x, 9);
+  for (auto _ : state) {
+    blas::gemv(Trans::Yes, 1.0, a.view(), x.data(), 1, 0.0, y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::gemv_flops(n, n));
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

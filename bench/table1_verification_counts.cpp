@@ -1,0 +1,71 @@
+// Reproduces paper Table I: the number of blocks each operation's
+// verification touches per scheme, measured by instrumenting one
+// factorization of each variant.
+//
+// Paper claim: Online-ABFT verifies O(1) blocks for POTF2/SYRK and O(n)
+// for TRSM/GEMM per iteration; Enhanced Online-ABFT verifies O(1), O(n),
+// O(n) and O(n^2) respectively, because inputs (not outputs) are checked.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  print_header(
+      "Table I — verification comparison (measured block counts)",
+      "One TimingOnly factorization per scheme on Tardis, n = 10240, "
+      "B = 256 (40 block columns), K = 1.");
+
+  const auto profile = sim::tardis();
+  const int n = 10240;
+  const int nb = n / 256;
+
+  abft::VerificationCounters online;
+  abft::VerificationCounters enhanced;
+  {
+    sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+    auto res = abft::cholesky(
+        m, nullptr, n, variant_options(profile, abft::Variant::Online));
+    online = res.verified;
+  }
+  {
+    sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+    auto res = abft::cholesky(
+        m, nullptr, n,
+        variant_options(profile, abft::Variant::EnhancedOnline));
+    enhanced = res.verified;
+  }
+
+  auto per_iter = [&](long long total) {
+    return Table::num(static_cast<double>(total) / nb, 4);
+  };
+  Table t({"operation", "online verify", "online blocks (total)",
+           "online blocks/iter", "enhanced verify",
+           "enhanced blocks (total)", "enhanced blocks/iter"});
+  t.add_row({"POTF2", "L", std::to_string(online.potf2_blocks),
+             per_iter(online.potf2_blocks), "A",
+             std::to_string(enhanced.potf2_blocks),
+             per_iter(enhanced.potf2_blocks)});
+  t.add_row({"TRSM", "B", std::to_string(online.trsm_blocks),
+             per_iter(online.trsm_blocks), "L, B",
+             std::to_string(enhanced.trsm_blocks),
+             per_iter(enhanced.trsm_blocks)});
+  t.add_row({"SYRK", "A", std::to_string(online.syrk_blocks),
+             per_iter(online.syrk_blocks), "A, C",
+             std::to_string(enhanced.syrk_blocks),
+             per_iter(enhanced.syrk_blocks)});
+  t.add_row({"GEMM", "B", std::to_string(online.gemm_blocks),
+             per_iter(online.gemm_blocks), "B, C, D",
+             std::to_string(enhanced.gemm_blocks),
+             per_iter(enhanced.gemm_blocks)});
+  print_table(t);
+
+  std::cout << "Paper's orders per iteration — Online: O(1), O(n), O(1), "
+               "O(n); Enhanced: O(1), O(n), O(n), O(n^2).\n"
+            << "Measured blocks/iter above: POTF2 ~1, TRSM ~nb/2, SYRK ~1 "
+               "(online) vs ~nb/2 (enhanced), GEMM ~nb/2 (online) vs "
+               "~nb^2/6 (enhanced) — the Table I shapes.\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Paper Table VII: fault-tolerance capability on TARDIS with a
+// 20480 x 20480 Cholesky decomposition.
+#include "fault_capability.hpp"
+
+int main() {
+  ftla::bench::run_fault_capability(ftla::sim::tardis(), 20480,
+                                    /*reduced_n=*/1024,
+                                    /*reduced_block=*/128);
+  return 0;
+}

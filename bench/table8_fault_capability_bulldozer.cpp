@@ -1,0 +1,10 @@
+// Paper Table VIII: fault-tolerance capability on BULLDOZER64 with a
+// 30720 x 30720 Cholesky decomposition.
+#include "fault_capability.hpp"
+
+int main() {
+  ftla::bench::run_fault_capability(ftla::sim::bulldozer64(), 30720,
+                                    /*reduced_n=*/1024,
+                                    /*reduced_block=*/128);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fault-storm stress demo: hammer each fault-tolerance scheme with
+// randomized fault plans and tally the outcomes — a live rendition of
+// the paper's Tables VII/VIII plus the silent-corruption failure mode.
+//
+//   $ ./examples/fault_storm [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "common/spd.hpp"
+#include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "sim/profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftla;
+  using abft::Variant;
+
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int n = 512;
+  const int block = 64;
+  const int nb = n / block;
+
+  Matrix<double> a0(n, n);
+  make_spd_diag_dominant(a0, 1);
+
+  std::printf("fault storm: %d trials x 3 random faults each, n = %d\n\n",
+              trials, n);
+
+  Table t({"scheme", "clean factor", "via rerun", "silent corruption",
+           "fail-stop", "faults corrected"});
+  for (Variant v : {Variant::EnhancedOnline, Variant::Online,
+                    Variant::Offline, Variant::NoFt}) {
+    int clean = 0, rerun = 0, silent = 0, failstop = 0, corrected = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      auto plan = fault::random_plan(3, nb, 1000 + trial);
+      auto a = a0;
+      sim::Machine m(sim::tardis(), sim::ExecutionMode::Numeric);
+      abft::CholeskyOptions opt;
+      opt.variant = v;
+      opt.block_size = block;
+      fault::Injector inj(std::move(plan));
+      auto res = abft::cholesky(m, &a, n, opt, &inj);
+      corrected += res.errors_corrected;
+      if (!res.success) {
+        ++failstop;
+      } else if (blas::cholesky_residual(a0.view(), a.view()) > 1e-6) {
+        ++silent;
+      } else if (res.reruns > 0) {
+        ++rerun;
+      } else {
+        ++clean;
+      }
+    }
+    t.add_row({abft::to_string(v), std::to_string(clean),
+               std::to_string(rerun), std::to_string(silent),
+               std::to_string(failstop), std::to_string(corrected)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nEnhanced Online-ABFT is the only scheme expected to deliver a\n"
+      "clean factor in-place on every trial; Online/Offline recover by\n"
+      "rerunning or corrupt silently; NoFT has no defense at all.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Kalman-filter example (one of the paper's motivating workloads).
+//
+// A square-root Kalman filter tracks a linear system; every measurement
+// update requires the Cholesky factor of the innovation-like covariance
+// S = H P H^T + R. Each factorization runs through Enhanced Online-ABFT
+// on the simulated GPU node while random storage faults strike, and the
+// filter still converges because every fault is corrected in place.
+//
+//   $ ./examples/kalman_filter
+#include <cstdio>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "common/rng.hpp"
+#include "common/spd.hpp"
+#include "fault/fault.hpp"
+#include "sim/profile.hpp"
+
+namespace {
+
+using namespace ftla;
+using blas::Trans;
+
+// S = H P H^T + R for a dense random observation model.
+Matrix<double> innovation_covariance(const Matrix<double>& p,
+                                     const Matrix<double>& h,
+                                     double r_noise) {
+  const int m = h.rows();
+  const int nx = h.cols();
+  Matrix<double> hp(m, nx, 0.0);
+  blas::gemm(Trans::No, Trans::No, 1.0, h.view(), p.view(), 0.0, hp.view());
+  Matrix<double> s(m, m, 0.0);
+  blas::gemm(Trans::No, Trans::Yes, 1.0, hp.view(), h.view(), 0.0, s.view());
+  for (int i = 0; i < m; ++i) s(i, i) += r_noise;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const int nx = 384;   // state dimension
+  const int steps = 6;  // measurement updates
+  Rng rng(2016);
+
+  // State covariance starts as an exponentially correlated prior.
+  Matrix<double> p(nx, nx);
+  make_spd_exponential(p, 0.7, 11);
+  Matrix<double> h(nx, nx);
+  make_uniform(h, 12);
+
+  sim::Machine machine(sim::tardis(), sim::ExecutionMode::Numeric);
+  abft::CholeskyOptions options;
+  options.variant = abft::Variant::EnhancedOnline;
+  options.block_size = 64;
+  options.placement = abft::UpdatePlacement::Auto;
+
+  int total_corrected = 0;
+  int total_faults = 0;
+  double virtual_time = 0.0;
+
+  std::printf("square-root Kalman filter, nx = %d, %d updates\n\n", nx,
+              steps);
+  for (int step = 0; step < steps; ++step) {
+    Matrix<double> s = innovation_covariance(p, h, 1.0 + step);
+    const Matrix<double> s_original = s;
+
+    // One random storage fault per update, somewhere in the middle.
+    const int nb = nx / options.block_size;
+    auto spec = fault::storage_error_at(1 + rng.uniform_int(0, nb - 2), nb,
+                                        rng);
+    fault::Injector injector({spec});
+
+    auto res = abft::cholesky(machine, &s, nx, options, &injector);
+    const double resid =
+        blas::cholesky_residual(s_original.view(), s.view());
+    total_corrected += res.errors_corrected;
+    total_faults += injector.fired_count();
+    virtual_time += res.seconds;
+    std::printf(
+        "update %d: %s, %d fault(s), %d corrected, residual %.2e, "
+        "%.4f virtual s\n",
+        step, res.success ? "ok" : "FAILED", injector.fired_count(),
+        res.errors_corrected, resid, res.seconds);
+    if (!res.success || resid > 1e-8) return 1;
+
+    // Joseph-free toy covariance propagation: P <- 0.9 P + 0.1 I keeps
+    // the demo focused on the factorization.
+    for (int j = 0; j < nx; ++j) {
+      for (int i = 0; i < nx; ++i) p(i, j) *= 0.9;
+      p(j, j) += 0.1;
+    }
+  }
+
+  std::printf(
+      "\nfilter completed: %d faults injected, %d corrected in place, "
+      "%.4f virtual s total\n",
+      total_faults, total_corrected, virtual_time);
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "abft/checksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ftla::abft {
+
+void encode_block(ConstMatrixView<double> a, MatrixView<double> chk) {
+  FTLA_CHECK(chk.rows() == kChecksumRows && chk.cols() == a.cols());
+  for (int c = 0; c < a.cols(); ++c) {
+    const double* col = &a(0, c);
+    double s1 = 0.0;
+    double s2 = 0.0;
+    for (int i = 0; i < a.rows(); ++i) {
+      s1 += col[i];
+      s2 += (i + 1.0) * col[i];
+    }
+    chk(0, c) = s1;
+    chk(1, c) = s2;
+  }
+}
+
+void potf2_update_checksum(ConstMatrixView<double> l,
+                           MatrixView<double> chk) {
+  const int n = l.rows();
+  FTLA_CHECK(l.cols() == n && chk.rows() == kChecksumRows &&
+             chk.cols() == n);
+  // The checksum rows transform exactly like extra rows appended below
+  // the block: scale by the pivot, then eliminate along the column.
+  for (int j = 0; j < n; ++j) {
+    const double d = l(j, j);
+    chk(0, j) /= d;
+    chk(1, j) /= d;
+    for (int k = j + 1; k < n; ++k) {
+      chk(0, k) -= chk(0, j) * l(k, j);
+      chk(1, k) -= chk(1, j) * l(k, j);
+    }
+  }
+}
+
+VerifyOutcome verify_block(MatrixView<double> a, MatrixView<double> chk,
+                           ConstMatrixView<double> recalc,
+                           const Tolerance& tol) {
+  const int cols = a.cols();
+  const int rows = a.rows();
+  FTLA_CHECK(chk.rows() == kChecksumRows && chk.cols() == cols);
+  FTLA_CHECK(recalc.rows() == kChecksumRows && recalc.cols() == cols);
+
+  VerifyOutcome out;
+  for (int c = 0; c < cols; ++c) {
+    const double d1 = recalc(0, c) - chk(0, c);
+    const double d2 = recalc(1, c) - chk(1, c);
+    // One threshold per column, from the largest magnitude involved, so
+    // a row-1 data error (d1 == d2) is never misread as checksum damage.
+    const double scale =
+        std::max({std::abs(chk(0, c)), std::abs(recalc(0, c)),
+                  std::abs(chk(1, c)), std::abs(recalc(1, c))});
+    const double t = tol.threshold(scale);
+    const bool e1 = std::abs(d1) > t;
+    const bool e2 = std::abs(d2) > t;
+    if (!e1 && !e2) continue;
+
+    if (e1 && e2) {
+      // Single-data-error hypothesis: d2/d1 must be an integral row.
+      const double r = d2 / d1;
+      const int row1 = static_cast<int>(std::lround(r));
+      if (row1 >= 1 && row1 <= rows &&
+          std::abs(r - row1) <= 0.01 * std::max(1.0, std::abs(r))) {
+        ++out.errors_detected;
+        ++out.errors_corrected;
+        const double old_value = a(row1 - 1, c);
+        a(row1 - 1, c) = old_value - d1;
+        out.corrections.push_back(
+            Correction{row1 - 1, c, old_value, a(row1 - 1, c)});
+      } else {
+        ++out.errors_detected;
+        out.uncorrectable = true;
+      }
+    } else if (e1) {
+      // d2 clean: no data error can do this — chk row 1 is corrupted.
+      chk(0, c) = recalc(0, c);
+      ++out.checksum_repairs;
+    } else {
+      chk(1, c) = recalc(1, c);
+      ++out.checksum_repairs;
+    }
+  }
+  return out;
+}
+
+VerifyOutcome verify_block_host(MatrixView<double> a, MatrixView<double> chk,
+                                const Tolerance& tol) {
+  Matrix<double> recalc(kChecksumRows, a.cols());
+  encode_block(a, recalc.view());
+  return verify_block(a, chk, recalc.view(), tol);
+}
+
+void encode_block_rows(ConstMatrixView<double> a, MatrixView<double> chk) {
+  FTLA_CHECK(chk.cols() == kChecksumRows && chk.rows() == a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    chk(i, 0) = 0.0;
+    chk(i, 1) = 0.0;
+  }
+  for (int c = 0; c < a.cols(); ++c) {
+    const double* col = &a(0, c);
+    const double w = c + 1.0;
+    for (int i = 0; i < a.rows(); ++i) {
+      chk(i, 0) += col[i];
+      chk(i, 1) += w * col[i];
+    }
+  }
+}
+
+VerifyOutcome verify_block_rows(MatrixView<double> a, MatrixView<double> chk,
+                                ConstMatrixView<double> recalc,
+                                const Tolerance& tol) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  FTLA_CHECK(chk.cols() == kChecksumRows && chk.rows() == rows);
+  FTLA_CHECK(recalc.cols() == kChecksumRows && recalc.rows() == rows);
+
+  VerifyOutcome out;
+  for (int r = 0; r < rows; ++r) {
+    const double d1 = recalc(r, 0) - chk(r, 0);
+    const double d2 = recalc(r, 1) - chk(r, 1);
+    const double scale =
+        std::max({std::abs(chk(r, 0)), std::abs(recalc(r, 0)),
+                  std::abs(chk(r, 1)), std::abs(recalc(r, 1))});
+    const double t = tol.threshold(scale);
+    const bool e1 = std::abs(d1) > t;
+    const bool e2 = std::abs(d2) > t;
+    if (!e1 && !e2) continue;
+
+    if (e1 && e2) {
+      const double q = d2 / d1;
+      const int col1 = static_cast<int>(std::lround(q));
+      if (col1 >= 1 && col1 <= cols &&
+          std::abs(q - col1) <= 0.01 * std::max(1.0, std::abs(q))) {
+        ++out.errors_detected;
+        ++out.errors_corrected;
+        const double old_value = a(r, col1 - 1);
+        a(r, col1 - 1) = old_value - d1;
+        out.corrections.push_back(
+            Correction{r, col1 - 1, old_value, a(r, col1 - 1)});
+      } else {
+        ++out.errors_detected;
+        out.uncorrectable = true;
+      }
+    } else if (e1) {
+      chk(r, 0) = recalc(r, 0);
+      ++out.checksum_repairs;
+    } else {
+      chk(r, 1) = recalc(r, 1);
+      ++out.checksum_repairs;
+    }
+  }
+  return out;
+}
+
+VerifyOutcome verify_block_rows_host(MatrixView<double> a,
+                                     MatrixView<double> chk,
+                                     const Tolerance& tol) {
+  Matrix<double> recalc(a.rows(), kChecksumRows);
+  encode_block_rows(a, recalc.view());
+  return verify_block_rows(a, chk, recalc.view(), tol);
+}
+
+}  // namespace ftla::abft

@@ -1,0 +1,101 @@
+// Checksum codec for block-level ABFT (paper §IV).
+//
+// Every B x B matrix block carries two weighted column checksums
+//   chk1 = v1^T A with v1 = [1, 1, ..., 1]
+//   chk2 = v2^T A with v2 = [1, 2, ..., B]
+// stored as a 2 x B row pair. Together they detect, locate and correct
+// one erroneous element per block column:
+//   delta1 = chk1' - chk1 = e        (the error value)
+//   delta2 = chk2' - chk2 = r * e    (r = 1-based row of the error)
+// A corrupted checksum row itself is recognizable (delta pattern cannot
+// come from a single data error) and is repaired by re-encoding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace ftla::abft {
+
+/// Number of checksum rows per block row (two weight vectors).
+inline constexpr int kChecksumRows = 2;
+
+/// chk(2 x cols) := [v1^T; v2^T] * a. Weights depend on a.rows().
+void encode_block(ConstMatrixView<double> a, MatrixView<double> chk);
+
+/// Applies the POTF2 checksum transform (paper Algorithm 2): given the
+/// factor L of a diagonal block and the checksums of the *pre-factor*
+/// block, rewrites chk in place into the checksums of L (lower triangle,
+/// zeros above the diagonal).
+void potf2_update_checksum(ConstMatrixView<double> l, MatrixView<double> chk);
+
+/// Location of one corrected element.
+struct Correction {
+  int row = 0;        ///< 0-based within the block
+  int col = 0;
+  double old_value = 0.0;
+  double new_value = 0.0;
+};
+
+/// Outcome of verifying one block.
+struct VerifyOutcome {
+  int errors_detected = 0;     ///< block-columns with a mismatch
+  int errors_corrected = 0;    ///< data elements repaired
+  int checksum_repairs = 0;    ///< corrupted checksum columns re-encoded
+  bool uncorrectable = false;  ///< >1 error in a column / inconsistent
+  std::vector<Correction> corrections;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return errors_detected == 0 && checksum_repairs == 0 && !uncorrectable;
+  }
+};
+
+/// Verification tolerance: a column flags an error when
+/// |recalculated - stored| > tol_rel * scale, with scale derived from the
+/// checksum magnitudes (never below `floor`).
+struct Tolerance {
+  double rel = 1e-8;
+  double floor = 1e-6;
+  [[nodiscard]] double threshold(double scale) const {
+    return rel * (scale < floor ? floor : scale);
+  }
+};
+
+/// Compares the stored checksums `chk` against freshly recalculated
+/// checksums `recalc` (both 2 x cols) and repairs `a` / `chk` in place.
+/// Pure logic, no allocation beyond the corrections list: usable from
+/// both host code and simulated-device kernel bodies.
+VerifyOutcome verify_block(MatrixView<double> a, MatrixView<double> chk,
+                           ConstMatrixView<double> recalc,
+                           const Tolerance& tol);
+
+/// Convenience: recalculates checksums of `a` into a scratch matrix and
+/// runs verify_block (host-side verification used in tests/examples).
+VerifyOutcome verify_block_host(MatrixView<double> a,
+                                MatrixView<double> chk, const Tolerance& tol);
+
+// --- Row-checksum variants ---------------------------------------------
+//
+// The paper (§IV-A) notes that two *row* checksums work symmetrically to
+// two column checksums. Row checksums are what protects the U factor in
+// the LU extension: a row checksum column transforms like an extra
+// matrix column under left-multiplication (U' = L^{-1} A implies
+// rchk(U') = L^{-1} rchk(A)), which column checksums cannot do.
+
+/// chk (rows x 2) := a * [w1 w2] with w1 = [1..1]^T, w2 = [1..cols]^T.
+void encode_block_rows(ConstMatrixView<double> a, MatrixView<double> chk);
+
+/// Row-checksum verification: detects, locates (column = delta2/delta1)
+/// and corrects one error per block row; repairs corrupted checksum
+/// columns. Mirror image of verify_block.
+VerifyOutcome verify_block_rows(MatrixView<double> a,
+                                MatrixView<double> chk,
+                                ConstMatrixView<double> recalc,
+                                const Tolerance& tol);
+
+VerifyOutcome verify_block_rows_host(MatrixView<double> a,
+                                     MatrixView<double> chk,
+                                     const Tolerance& tol);
+
+}  // namespace ftla::abft

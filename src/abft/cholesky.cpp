@@ -1,0 +1,911 @@
+#include "abft/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "abft/opt2_model.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "blas/types.hpp"
+#include "common/error.hpp"
+#include "common/fp.hpp"
+#include "sim/device_matrix.hpp"
+#include "sim/gpublas.hpp"
+
+namespace ftla::abft {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using sim::DConstMat;
+using sim::DeviceBuffer;
+using sim::DMat;
+using sim::EventId;
+using sim::KernelClass;
+using sim::KernelDesc;
+using sim::Machine;
+using sim::StreamId;
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::NoFt: return "no-ft";
+    case Variant::Offline: return "offline-abft";
+    case Variant::Online: return "online-abft";
+    case Variant::EnhancedOnline: return "enhanced-online-abft";
+  }
+  return "?";
+}
+
+const char* to_string(UpdatePlacement p) {
+  switch (p) {
+    case UpdatePlacement::Blocking: return "blocking";
+    case UpdatePlacement::Gpu: return "gpu";
+    case UpdatePlacement::Cpu: return "cpu";
+    case UpdatePlacement::Auto: return "auto";
+  }
+  return "?";
+}
+
+const char* to_string(Recovery r) {
+  return r == Recovery::Rerun ? "rerun" : "checkpoint";
+}
+
+int resolve_block_size(const sim::MachineProfile& profile,
+                       const CholeskyOptions& options) {
+  return options.block_size > 0 ? options.block_size
+                                : profile.magma_block_size;
+}
+
+namespace {
+
+/// Block coordinates (block_row, block_col) in the block grid.
+using BlockId = std::pair<int, int>;
+
+class Run {
+ public:
+  Run(Machine& m, Matrix<double>* a, int n, const CholeskyOptions& opt,
+      fault::Injector* injector)
+      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector) {
+    FTLA_CHECK(n_ > 0);
+    if (m_.numeric()) {
+      FTLA_CHECK_MSG(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_,
+                     "Numeric mode needs the host matrix");
+    }
+    FTLA_CHECK_MSG(injector_ == nullptr || m_.numeric(),
+                   "fault injection requires Numeric mode");
+    FTLA_CHECK(opt_.verify_interval >= 1);
+    FTLA_CHECK(opt_.checkpoint_interval >= 1);
+    FTLA_CHECK(opt_.max_reruns >= 0 && opt_.max_rollbacks >= 0);
+    b_ = resolve_block_size(m_.profile(), opt_);
+    nb_ = (n_ + b_ - 1) / b_;
+    ft_ = opt_.variant != Variant::NoFt;
+    placement_ = opt_.placement;
+    if (!ft_) placement_ = UpdatePlacement::Gpu;  // no checksums to place
+    if (placement_ == UpdatePlacement::Auto) {
+      placement_ = opt2_decide(m_.profile(), n_, b_, opt_.verify_interval)
+                       .decision;
+    }
+  }
+
+  CholeskyResult execute();
+
+ private:
+  // ---- geometry -----------------------------------------------------
+  [[nodiscard]] int bs(int i) const { return std::min(b_, n_ - i * b_); }
+  [[nodiscard]] int off(int i) const { return i * b_; }
+
+  [[nodiscard]] DMat data_block(int i, int k) {
+    return DMat{&d_a_, static_cast<std::int64_t>(off(k)) * n_ + off(i),
+                bs(i), bs(k), n_};
+  }
+  /// Rectangular region of the data matrix in element coordinates.
+  [[nodiscard]] DMat data_region(int row, int col, int rows, int cols) {
+    return DMat{&d_a_, static_cast<std::int64_t>(col) * n_ + row, rows, cols,
+                n_};
+  }
+  /// Device checksum rows (2 x cols of block (i,k)).
+  [[nodiscard]] DMat chk_block(int i, int k) {
+    return DMat{&d_chk_,
+                static_cast<std::int64_t>(off(k)) * (2 * nb_) + 2 * i,
+                kChecksumRows, bs(k), 2 * nb_};
+  }
+  /// Device checksum strip: rows of block-rows [i0, i1) over element
+  /// columns [col, col+cols).
+  [[nodiscard]] DMat chk_strip(int i0, int i1, int col, int cols) {
+    return DMat{&d_chk_, static_cast<std::int64_t>(col) * (2 * nb_) + 2 * i0,
+                2 * (i1 - i0), cols, 2 * nb_};
+  }
+  /// Host mirror equivalents (placement == Cpu).
+  [[nodiscard]] MatrixView<double> h_chk_block(int i, int k) {
+    return h_chk_.block(2 * i, off(k), kChecksumRows, bs(k));
+  }
+  [[nodiscard]] MatrixView<double> h_chk_strip(int i0, int i1, int col,
+                                               int cols) {
+    return h_chk_.block(2 * i0, col, 2 * (i1 - i0), cols);
+  }
+
+  // ---- phases --------------------------------------------------------
+  void allocate();
+  void upload();
+  void encode();
+  void iterate(int j);
+  void run_once();
+  void take_checkpoint(int next_iter);
+  void rollback();
+  void final_download();
+  void offline_final_verify();
+
+  // ---- checksum maintenance -------------------------------------------
+  void chk_update_syrk(int j);
+  void chk_update_gemm(int j);
+  void chk_update_trsm(int j, EventId e_l_ready);
+  void fetch_panel_for_cpu_update(int j);
+  void wait_panel(int j);
+
+  // ---- verification ----------------------------------------------------
+  void verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  void absorb(const VerifyOutcome& out);
+  [[nodiscard]] StreamId chk_stream() const {
+    return placement_ == UpdatePlacement::Gpu ? s_chk_ : s_compute_;
+  }
+
+  // ---- fault hooks ------------------------------------------------------
+  void hook_storage(fault::Op op, int j);
+  void hook_computing(fault::Op op, int j);
+  void apply_storage_fault(const fault::FaultSpec& spec, int j);
+  void apply_computing_fault(const fault::FaultSpec& spec, int j);
+
+  // ---- members ----------------------------------------------------------
+  Machine& m_;
+  Matrix<double>* a_;
+  int n_;
+  CholeskyOptions opt_;
+  fault::Injector* injector_;
+
+  int b_ = 0;
+  int nb_ = 0;
+  bool ft_ = false;
+  UpdatePlacement placement_ = UpdatePlacement::Gpu;
+
+  DeviceBuffer d_a_;
+  DeviceBuffer d_chk_;
+  DeviceBuffer d_scratch_;
+  std::int64_t scratch_capacity_cols_ = 0;
+
+  // Checkpoint state (Recovery::Checkpoint): on-device snapshots of the
+  // matrix (and checksums), plus a host snapshot of the checksum mirror
+  // when updating runs on the CPU.
+  bool checkpointing_ = false;
+  DeviceBuffer d_ckpt_a_;
+  DeviceBuffer d_ckpt_chk_;
+  Matrix<double> h_ckpt_chk_;
+  int ckpt_iter_ = 0;
+
+  Matrix<double> pristine_;     // host copy for recovery reruns
+  Matrix<double> h_chk_;        // host checksum mirror (placement Cpu)
+  Matrix<double> h_scratch_;    // host landing area for recalc batches
+  Matrix<double> h_diag_;       // host diagonal block for POTF2
+  Matrix<double> h_diag_chk_;   // its checksum rows
+  // Double-buffered host copies of the decomposed row panel (placement
+  // Cpu): the panel for iteration j+1 is prefetched over PCIe while the
+  // host still works with iteration j's buffer.
+  Matrix<double> h_panel_[2];
+  EventId panel_event_[2] = {-1, -1};
+  int panel_iter_[2] = {-1, -1};
+
+  StreamId s_compute_ = 0;
+  StreamId s_chk_ = 0;
+  StreamId s_xfer_ = 0;
+  std::vector<StreamId> s_recalc_;
+
+  CholeskyResult result_;
+};
+
+CholeskyResult Run::execute() {
+  allocate();
+
+  upload();
+  m_.sync_all();
+  const double t0 = m_.host_now();
+
+  bool done = false;
+  while (!done) {
+    try {
+      run_once();
+      done = true;
+      result_.success = true;
+    } catch (const NotPositiveDefiniteError& e) {
+      result_.fail_stop_observed = true;
+      if (opt_.variant == Variant::NoFt ||
+          result_.reruns >= opt_.max_reruns) {
+        result_.note = std::string("fail-stop: ") + e.what();
+        done = true;
+      } else {
+        ++result_.reruns;
+        upload();
+      }
+    } catch (const UnrecoverableCorruptionError& e) {
+      if (opt_.variant == Variant::NoFt ||
+          result_.reruns >= opt_.max_reruns) {
+        result_.note = std::string("unrecoverable: ") + e.what();
+        done = true;
+      } else {
+        ++result_.reruns;
+        upload();
+      }
+    }
+  }
+
+  m_.sync_all();
+  result_.seconds = m_.host_now() - t0;
+  const double flops = static_cast<double>(n_) * n_ * n_ / 3.0;
+  result_.gflops =
+      result_.seconds > 0.0 ? flops / result_.seconds / 1e9 : 0.0;
+  result_.chosen_placement = placement_;
+
+  if (result_.success) final_download();
+  return result_;
+}
+
+void Run::allocate() {
+  d_a_ = m_.alloc(static_cast<std::int64_t>(n_) * n_);
+  if (ft_) {
+    d_chk_ = m_.alloc(static_cast<std::int64_t>(2 * nb_) * n_);
+    scratch_capacity_cols_ =
+        static_cast<std::int64_t>(nb_) * nb_ * b_ + 2LL * nb_ * b_;
+    d_scratch_ = m_.alloc(2 * scratch_capacity_cols_);
+    if (m_.numeric()) {
+      h_scratch_ = Matrix<double>(2, static_cast<int>(scratch_capacity_cols_));
+      if (placement_ == UpdatePlacement::Cpu) {
+        h_chk_ = Matrix<double>(2 * nb_, n_);
+        h_panel_[0] = Matrix<double>(b_, n_);
+        h_panel_[1] = Matrix<double>(b_, n_);
+      }
+    }
+    h_diag_chk_ = Matrix<double>(kChecksumRows, b_);
+  }
+  h_diag_ = Matrix<double>(b_, b_);
+  if (m_.numeric()) pristine_ = *a_;
+
+  checkpointing_ = opt_.recovery == Recovery::Checkpoint &&
+                   opt_.variant != Variant::Offline;
+  if (checkpointing_) {
+    d_ckpt_a_ = m_.alloc(static_cast<std::int64_t>(n_) * n_);
+    if (ft_ && placement_ != UpdatePlacement::Cpu) {
+      d_ckpt_chk_ = m_.alloc(static_cast<std::int64_t>(2 * nb_) * n_);
+    }
+  }
+
+  s_compute_ = m_.default_stream();
+  if (ft_) {
+    s_chk_ = m_.create_stream();
+    s_xfer_ = m_.create_stream();
+    int streams = opt_.recalc_streams > 0
+                      ? opt_.recalc_streams
+                      : m_.profile().max_concurrent_kernels;
+    if (!opt_.concurrent_recalc) streams = 1;
+    s_recalc_.clear();
+    for (int i = 0; i < streams; ++i) s_recalc_.push_back(m_.create_stream());
+  }
+}
+
+void Run::upload() {
+  m_.memcpy_h2d(d_a_, 0, m_.numeric() ? pristine_.data() : nullptr,
+                static_cast<std::int64_t>(n_) * n_, s_compute_,
+                /*blocking=*/true);
+}
+
+void Run::encode() {
+  if (!ft_) return;
+  // One BLAS-2 encode kernel per lower-triangle block, spread across the
+  // recalc streams so encoding itself benefits from concurrency.
+  const EventId e_up = m_.record_event(s_compute_);
+  for (StreamId s : s_recalc_) m_.stream_wait_event(s, e_up);
+  int q = 0;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = k; i < nb_; ++i) {
+      const StreamId s = s_recalc_[q++ % s_recalc_.size()];
+      const DMat blk = data_block(i, k);
+      const DMat chk = chk_block(i, k);
+      KernelDesc d{"encode", KernelClass::Blas2,
+                   blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+      m_.launch(s, d, [blk, chk] {
+        encode_block(ConstMatrixView<double>(blk.view()), chk.view());
+      });
+    }
+  }
+  for (StreamId s : s_recalc_) {
+    const EventId e = m_.record_event(s);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+  if (placement_ == UpdatePlacement::Cpu) {
+    // Paper §VI-6a: the initial checksums move to the host once.
+    m_.sync_stream(s_compute_);
+    m_.memcpy_d2h(m_.numeric() ? h_chk_.data() : nullptr, d_chk_, 0,
+                  static_cast<std::int64_t>(2 * nb_) * n_, s_compute_,
+                  /*blocking=*/true);
+  }
+}
+
+void Run::run_once() {
+  panel_iter_[0] = panel_iter_[1] = -1;  // panels are stale after a rerun
+  encode();
+  if (checkpointing_) take_checkpoint(0);
+  int rollbacks_left = opt_.max_rollbacks;
+  int j = 0;
+  while (j < nb_) {
+    if (checkpointing_ && rollbacks_left > 0) {
+      try {
+        iterate(j);
+      } catch (const Error&) {
+        // Timely detection (Online/Enhanced) guarantees the corruption
+        // postdates the snapshot: roll back and resume instead of
+        // restarting the whole factorization.
+        --rollbacks_left;
+        ++result_.rollbacks;
+        rollback();
+        j = ckpt_iter_;
+        continue;
+      }
+    } else {
+      iterate(j);
+    }
+    ++j;
+    if (checkpointing_ && j < nb_ && j % opt_.checkpoint_interval == 0) {
+      take_checkpoint(j);
+    }
+  }
+  if (opt_.variant == Variant::Offline) offline_final_verify();
+  m_.sync_all();
+}
+
+void Run::take_checkpoint(int next_iter) {
+  // Snapshot a consistent (matrix, checksum) pair: all checksum-stream
+  // work must land first.
+  m_.stream_wait_event(s_compute_, m_.record_event(chk_stream()));
+  m_.memcpy_d2d(d_ckpt_a_, 0, d_a_, 0, static_cast<std::int64_t>(n_) * n_,
+                s_compute_);
+  if (ft_) {
+    if (placement_ == UpdatePlacement::Cpu) {
+      if (m_.numeric()) h_ckpt_chk_ = h_chk_;
+      KernelDesc d{"ckpt_chk_host", KernelClass::HostChecksum,
+                   static_cast<std::int64_t>(2 * nb_) * n_, 0};
+      m_.host_compute(d, {});
+    } else {
+      m_.memcpy_d2d(d_ckpt_chk_, 0, d_chk_, 0,
+                    static_cast<std::int64_t>(2 * nb_) * n_, s_compute_);
+    }
+  }
+  ckpt_iter_ = next_iter;
+}
+
+void Run::rollback() {
+  m_.sync_all();
+  m_.memcpy_d2d(d_a_, 0, d_ckpt_a_, 0, static_cast<std::int64_t>(n_) * n_,
+                s_compute_);
+  if (ft_) {
+    if (placement_ == UpdatePlacement::Cpu) {
+      if (m_.numeric()) h_chk_ = h_ckpt_chk_;
+      KernelDesc d{"restore_chk_host", KernelClass::HostChecksum,
+                   static_cast<std::int64_t>(2 * nb_) * n_, 0};
+      m_.host_compute(d, {});
+    } else {
+      m_.memcpy_d2d(d_chk_, 0, d_ckpt_chk_, 0,
+                    static_cast<std::int64_t>(2 * nb_) * n_, s_compute_);
+    }
+  }
+  m_.sync_stream(s_compute_);
+  panel_iter_[0] = panel_iter_[1] = -1;  // host panel cache is stale
+}
+
+void Run::final_download() {
+  if (!m_.numeric()) return;
+  // Outside the timed section: MAGMA's dpotrf_gpu leaves the factor on
+  // the device; callers fetch it separately.
+  m_.memcpy_d2h(a_->data(), d_a_, 0, static_cast<std::int64_t>(n_) * n_,
+                s_compute_, /*blocking=*/true);
+}
+
+// ----------------------------------------------------------------------
+// Verification
+// ----------------------------------------------------------------------
+
+void Run::absorb(const VerifyOutcome& out) {
+  result_.errors_detected += out.errors_detected;
+  result_.errors_corrected += out.errors_corrected;
+  result_.checksum_repairs += out.checksum_repairs;
+  if (out.uncorrectable) {
+    throw UnrecoverableCorruptionError(
+        "more than one error per block column");
+  }
+}
+
+void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
+  if (!ft_ || blocks.empty()) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
+  }
+
+  // Recalc kernels must observe the data state after all compute so far
+  // and the checksum state after all updates so far.
+  const EventId e_comp = m_.record_event(s_compute_);
+  const EventId e_chk = m_.record_event(chk_stream());
+  const int nstreams = std::max(
+      1, std::min(static_cast<int>(s_recalc_.size()),
+                  static_cast<int>(blocks.size())));
+  for (int i = 0; i < nstreams; ++i) {
+    m_.stream_wait_event(s_recalc_[i], e_comp);
+    m_.stream_wait_event(s_recalc_[i], e_chk);
+  }
+
+  // Lay the recalculated checksums side by side in the scratch buffer.
+  std::int64_t col_pos = 0;
+  const bool device_compare = placement_ != UpdatePlacement::Cpu;
+  struct Placed {
+    BlockId id;
+    std::int64_t col;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(blocks.size());
+  for (std::size_t q = 0; q < blocks.size(); ++q) {
+    const auto [bi, bk] = blocks[q];
+    const DMat blk = data_block(bi, bk);
+    FTLA_CHECK(col_pos + blk.cols <= scratch_capacity_cols_);
+    const DMat scratch{&d_scratch_, 2 * col_pos, kChecksumRows, blk.cols, 2};
+    placed.push_back(Placed{blocks[q], col_pos});
+    col_pos += blk.cols;
+
+    const StreamId s = s_recalc_[q % nstreams];
+    KernelDesc rd{"recalc", KernelClass::Blas2,
+                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+    m_.launch(s, rd, [blk, scratch] {
+      encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
+    });
+
+    if (device_compare) {
+      // Compare + correct in place on the device, same stream as the
+      // recalc so it observes the freshly computed sums.
+      const DMat chk = chk_block(bi, bk);
+      const Tolerance tol = opt_.tolerance;
+      KernelDesc cd{"verify", KernelClass::Compare, 4LL * blk.cols, 0};
+      m_.launch(s, cd, [this, blk, chk, scratch, tol] {
+        absorb(verify_block(blk.view(), chk.view(),
+                            ConstMatrixView<double>(scratch.view()), tol));
+      });
+    }
+  }
+
+  for (int i = 0; i < nstreams; ++i) {
+    const EventId e = m_.record_event(s_recalc_[i]);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(chk_stream(), e);
+  }
+
+  if (!device_compare) {
+    // Placement Cpu: stored checksums live on the host; ship the whole
+    // recalc batch over in one transfer (paper §VI-6c) and compare there.
+    m_.memcpy_d2h_2d(m_.numeric() ? h_scratch_.data() : nullptr, 2,
+                     d_scratch_, 0, 2, 2, static_cast<int>(col_pos),
+                     s_compute_, /*blocking=*/true);
+    const Tolerance tol = opt_.tolerance;
+    KernelDesc hd{"verify_host", KernelClass::HostChecksum, 4 * col_pos, 0};
+    std::vector<Placed> items = placed;
+    m_.host_compute(hd, [this, items, tol] {
+      for (const auto& p : items) {
+        const auto [bi, bk] = p.id;
+        const DMat blk = data_block(bi, bk);
+        auto out = verify_block(
+            blk.view(), h_chk_block(bi, bk),
+            ConstMatrixView<double>(
+                h_scratch_.block(0, static_cast<int>(p.col), 2, blk.cols)),
+            tol);
+        // Repairs computed on the host must cross back over PCIe.
+        for (std::size_t c = 0; c < out.corrections.size(); ++c) {
+          m_.memcpy_h2d(d_a_, 0, nullptr, 0, s_compute_);
+        }
+        absorb(out);
+      }
+    });
+  }
+}
+
+// ----------------------------------------------------------------------
+// Checksum updating (paper §IV-B, placement per Opt 2)
+// ----------------------------------------------------------------------
+
+void Run::fetch_panel_for_cpu_update(int j) {
+  if (!ft_ || placement_ != UpdatePlacement::Cpu || j <= 0 || j >= nb_) {
+    return;
+  }
+  // The CPU needs iteration j's decomposed row panel A[j, 0:j*B] to
+  // update checksums (paper §VI-6b: n^2/2 words total). The panel is
+  // final once iteration j-1's TRSM completed, so it is normally
+  // prefetched at the end of the previous iteration into the other half
+  // of the double buffer; this call is then a cheap idempotent check.
+  const int slot = j & 1;
+  if (panel_iter_[slot] == j) return;
+  m_.stream_wait_event(s_xfer_, m_.record_event(s_compute_));
+  m_.memcpy_d2h_2d(m_.numeric() ? h_panel_[slot].data() : nullptr, b_, d_a_,
+                   off(j), n_, bs(j), off(j), s_xfer_);
+  panel_event_[slot] = m_.record_event(s_xfer_);
+  panel_iter_[slot] = j;
+}
+
+void Run::wait_panel(int j) {
+  const int slot = j & 1;
+  FTLA_CHECK(panel_iter_[slot] == j);
+  m_.sync_event(panel_event_[slot]);
+}
+
+void Run::chk_update_syrk(int j) {
+  if (!ft_ || j == 0) return;
+  const int jb = bs(j);
+  const int w = off(j);  // width of the decomposed panel to the left
+  if (placement_ == UpdatePlacement::Cpu) {
+    wait_panel(j);
+    KernelDesc d{"chk_syrk_cpu", KernelClass::HostChecksum,
+                 blas::gemm_flops(kChecksumRows, jb, w), 0};
+    m_.host_compute(d, [this, j, jb, w] {
+      blas::gemm(Trans::No, Trans::Yes, -1.0,
+                 ConstMatrixView<double>(h_chk_strip(j, j + 1, 0, w)),
+                 ConstMatrixView<double>(h_panel_[j & 1].block(0, 0, jb, w)),
+                 1.0, h_chk_block(j, j));
+    });
+    return;
+  }
+  // chk(A') = chk(A) - chk(LC) * LC^T
+  sim::gpublas::gemm(m_, chk_stream(), Trans::No, Trans::Yes, -1.0,
+                     chk_strip(j, j + 1, 0, w),
+                     data_region(off(j), 0, jb, w), 1.0, chk_block(j, j),
+                     KernelClass::Blas3Skinny);
+}
+
+void Run::chk_update_gemm(int j) {
+  if (!ft_ || j == 0 || j + 1 >= nb_) return;
+  const int jb = bs(j);
+  const int w = off(j);
+  if (placement_ == UpdatePlacement::Cpu) {
+    wait_panel(j);
+    KernelDesc d{"chk_gemm_cpu", KernelClass::HostChecksum,
+                 blas::gemm_flops(2 * (nb_ - j - 1), jb, w), 0};
+    m_.host_compute(d, [this, j, jb, w] {
+      blas::gemm(Trans::No, Trans::Yes, -1.0,
+                 ConstMatrixView<double>(h_chk_strip(j + 1, nb_, 0, w)),
+                 ConstMatrixView<double>(h_panel_[j & 1].block(0, 0, jb, w)),
+                 1.0, h_chk_strip(j + 1, nb_, off(j), jb));
+    });
+    return;
+  }
+  // chk(B') = chk(B) - chk(LD) * LC^T, one skinny GEMM for the whole
+  // block column.
+  sim::gpublas::gemm(m_, chk_stream(), Trans::No, Trans::Yes, -1.0,
+                     chk_strip(j + 1, nb_, 0, w),
+                     data_region(off(j), 0, jb, w), 1.0,
+                     chk_strip(j + 1, nb_, off(j), jb),
+                     KernelClass::Blas3Skinny);
+}
+
+void Run::chk_update_trsm(int j, EventId e_l_ready) {
+  if (!ft_ || j + 1 >= nb_) return;
+  const int jb = bs(j);
+  if (placement_ == UpdatePlacement::Cpu) {
+    KernelDesc d{"chk_trsm_cpu", KernelClass::HostChecksum,
+                 blas::trsm_flops(Side::Right, 2 * (nb_ - j - 1), jb), 0};
+    m_.host_compute(d, [this, j, jb] {
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                 ConstMatrixView<double>(h_diag_.block(0, 0, jb, jb)),
+                 h_chk_strip(j + 1, nb_, off(j), jb));
+    });
+    return;
+  }
+  // chk(LB) = chk(B') * (LA^T)^{-1}; the factor block must be resident.
+  m_.stream_wait_event(chk_stream(), e_l_ready);
+  sim::gpublas::trsm(m_, chk_stream(), Side::Right, Uplo::Lower, Trans::Yes,
+                     Diag::NonUnit, 1.0, data_block(j, j),
+                     chk_strip(j + 1, nb_, off(j), jb),
+                     KernelClass::Blas3Skinny);
+}
+
+// ----------------------------------------------------------------------
+// Fault hooks
+// ----------------------------------------------------------------------
+
+void Run::hook_storage(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec : injector_->take(fault::FaultType::Storage, op, j)) {
+    apply_storage_fault(spec, j);
+  }
+}
+
+void Run::hook_computing(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec :
+       injector_->take(fault::FaultType::Computing, op, j)) {
+    apply_computing_fault(spec, j);
+  }
+}
+
+namespace {
+// Default block targets when a spec leaves them unspecified. Computing
+// errors corrupt an *output* block of the operation; storage errors
+// corrupt an *input* block it is about to read.
+BlockId default_target(const fault::FaultSpec& spec, int j, int nb) {
+  int bi = spec.block_row;
+  int bk = spec.block_col;
+  const bool output = spec.type == fault::FaultType::Computing;
+  if (bk < 0) {
+    switch (spec.op) {
+      case fault::Op::Syrk:
+      case fault::Op::Gemm: bk = output ? j : std::max(0, j - 1); break;
+      case fault::Op::Potf2:
+      case fault::Op::Trsm: bk = j; break;
+    }
+  }
+  if (bi < 0) {
+    switch (spec.op) {
+      case fault::Op::Syrk:
+      case fault::Op::Potf2: bi = j; break;
+      case fault::Op::Gemm:
+      case fault::Op::Trsm: bi = std::min(j + 1, nb - 1); break;
+    }
+  }
+  return {bi, bk};
+}
+}  // namespace
+
+void Run::apply_storage_fault(const fault::FaultSpec& spec, int j) {
+  if (!m_.numeric()) return;
+  const auto [bi, bk] = default_target(spec, j, nb_);
+  FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+  if (spec.target_checksum && ft_) {
+    const int row = spec.elem_row & 1;
+    const int col = off(bk) + std::min(spec.elem_col, bs(bk) - 1);
+    double* p = placement_ == UpdatePlacement::Cpu
+                    ? &h_chk_(2 * bi + row, col)
+                    : d_chk_.data() +
+                          static_cast<std::int64_t>(col) * (2 * nb_) +
+                          2 * bi + row;
+    const double old_value = *p;
+    for (int bit : spec.bits) *p = flip_bit(*p, bit);
+    injector_->record(spec, old_value, *p, 2 * bi + row, col);
+    return;
+  }
+  const int er = std::min(spec.elem_row, bs(bi) - 1);
+  const int ec = std::min(spec.elem_col, bs(bk) - 1);
+  const int grow = off(bi) + er;
+  const int gcol = off(bk) + ec;
+  double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+  const double old_value = *p;
+  for (int bit : spec.bits) *p = flip_bit(*p, bit);
+  injector_->record(spec, old_value, *p, grow, gcol);
+}
+
+void Run::apply_computing_fault(const fault::FaultSpec& spec, int j) {
+  if (!m_.numeric()) return;
+  const auto [bi, bk] = default_target(spec, j, nb_);
+  FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+  const int er = std::min(spec.elem_row, bs(bi) - 1);
+  const int ec = std::min(spec.elem_col, bs(bk) - 1);
+  const int grow = off(bi) + er;
+  const int gcol = off(bk) + ec;
+  double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+  const double old_value = *p;
+  *p = old_value + spec.magnitude * std::max(1.0, std::abs(old_value));
+  injector_->record(spec, old_value, *p, grow, gcol);
+}
+
+// ----------------------------------------------------------------------
+// One outer iteration of Algorithm 1
+// ----------------------------------------------------------------------
+
+void Run::iterate(int j) {
+  const int jb = bs(j);
+  const int w = off(j);          // decomposed width to the left
+  const int below = n_ - off(j) - jb;  // rows below the diagonal block
+  const bool enhanced = opt_.variant == Variant::EnhancedOnline;
+  const bool online = opt_.variant == Variant::Online;
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  fetch_panel_for_cpu_update(j);
+
+  // ---------------- SYRK: A[j,j] -= LC LC^T --------------------------
+  hook_storage(fault::Op::Syrk, j);
+  if (enhanced) {
+    // Inputs of SYRK are always verified (Opt 3 never gates them):
+    // an error entering the diagonal block cannot be repaired later.
+    std::vector<BlockId> in;
+    in.emplace_back(j, j);
+    for (int k = 0; k < j; ++k) in.emplace_back(j, k);
+    verify_blocks(in, fault::Op::Syrk);
+  }
+  if (j > 0) {
+    // MAGMA calls dsyrk here; we price it as SYRK but update the full
+    // square block so the block stays exactly A - LC LC^T and its
+    // column checksums remain meaningful for every column.
+    const DMat diag = data_block(j, j);
+    const DConstMat lc = data_region(off(j), 0, jb, w);
+    KernelDesc d{"syrk", KernelClass::Blas3, blas::syrk_flops(jb, w), 0};
+    m_.launch(s_compute_, d, [diag, lc] {
+      blas::gemm(Trans::No, Trans::Yes, -1.0, lc.view(), lc.view(), 1.0,
+                 diag.view());
+    });
+  }
+  hook_computing(fault::Op::Syrk, j);
+  chk_update_syrk(j);
+
+  if (online && j > 0) {
+    verify_blocks({{j, j}}, fault::Op::Syrk);
+  }
+  if (enhanced) {
+    // Pre-read verification for POTF2: the diagonal block as SYRK left
+    // it, immediately before it crosses to the host.
+    verify_blocks({{j, j}}, fault::Op::Potf2);
+  }
+
+  // ---------------- diagonal block to the host -----------------------
+  hook_storage(fault::Op::Potf2, j);
+  m_.memcpy_d2h_2d(m_.numeric() ? h_diag_.data() : nullptr, b_, d_a_,
+                   static_cast<std::int64_t>(off(j)) * n_ + off(j), n_, jb,
+                   jb, s_compute_);
+  const bool chk_on_host = placement_ == UpdatePlacement::Cpu;
+  if (ft_ && !chk_on_host) {
+    m_.memcpy_d2h_2d(m_.numeric() ? h_diag_chk_.data() : nullptr,
+                     kChecksumRows, d_chk_,
+                     static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                     2 * nb_, kChecksumRows, jb, s_compute_);
+  }
+  const EventId e_diag = m_.record_event(s_compute_);
+
+  // ---------------- GEMM: panel update (async, hides POTF2) ----------
+  if (below > 0 && j > 0) {
+    hook_storage(fault::Op::Gemm, j);
+    if (enhanced && verify_this_iter) {
+      std::vector<BlockId> in;
+      for (int i = j + 1; i < nb_; ++i) in.emplace_back(i, j);  // B
+      for (int k = 0; k < j; ++k) in.emplace_back(j, k);        // C
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = 0; k < j; ++k) in.emplace_back(i, k);      // D
+      verify_blocks(in, fault::Op::Gemm);
+    }
+    sim::gpublas::gemm(m_, s_compute_, Trans::No, Trans::Yes, -1.0,
+                       data_region(off(j) + jb, 0, below, w),
+                       data_region(off(j), 0, jb, w), 1.0,
+                       data_region(off(j) + jb, off(j), below, jb));
+    hook_computing(fault::Op::Gemm, j);
+    chk_update_gemm(j);
+    if (online) {
+      std::vector<BlockId> outs;
+      for (int i = j + 1; i < nb_; ++i) outs.emplace_back(i, j);
+      verify_blocks(outs, fault::Op::Gemm);
+    }
+  }
+
+  // ---------------- POTF2 on the host (overlapped with GEMM) ---------
+  m_.sync_event(e_diag);
+  {
+    KernelDesc d{"potf2", KernelClass::HostPotf2, blas::potf2_flops(jb), 0};
+    m_.host_compute(d, [this, jb] {
+      auto blk = h_diag_.block(0, 0, jb, jb);
+      blas::potf2(blk);
+      // Zero the strict upper triangle so the stored block is exactly L
+      // and column checksums cover well-defined contents.
+      for (int c = 1; c < jb; ++c)
+        for (int r = 0; r < c; ++r) blk(r, c) = 0.0;
+    });
+  }
+  if (ft_) {
+    auto chk_rows = [&]() -> MatrixView<double> {
+      return chk_on_host ? h_chk_block(j, j)
+                         : h_diag_chk_.block(0, 0, kChecksumRows, jb);
+    };
+    KernelDesc d{"chk_potf2", KernelClass::HostChecksum,
+                 2LL * kChecksumRows * jb * jb, 0};
+    m_.host_compute(d, [this, jb, chk_rows] {
+      potf2_update_checksum(
+          ConstMatrixView<double>(h_diag_.block(0, 0, jb, jb)), chk_rows());
+    });
+    if (online) {
+      result_.verified.potf2_blocks += 1;
+      const Tolerance tol = opt_.tolerance;
+      KernelDesc vd{"verify_potf2", KernelClass::HostChecksum,
+                    blas::gemv_flops(jb, jb) * 2, 0};
+      m_.host_compute(vd, [this, jb, chk_rows, tol] {
+        absorb(verify_block_host(h_diag_.block(0, 0, jb, jb), chk_rows(),
+                                 tol));
+      });
+    }
+  }
+  // ---------------- factor block (and checksums) back to the GPU ------
+  m_.memcpy_h2d_2d(d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                   m_.numeric() ? h_diag_.data() : nullptr, b_, jb, jb,
+                   s_compute_);
+  if (ft_ && !chk_on_host) {
+    m_.memcpy_h2d_2d(d_chk_,
+                     static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                     2 * nb_, m_.numeric() ? h_diag_chk_.data() : nullptr,
+                     kChecksumRows, kChecksumRows, jb, s_compute_);
+  }
+  // A computing error in POTF2 corrupts the factor block the GPU now
+  // holds (after the transfer, or the copy would mask it).
+  hook_computing(fault::Op::Potf2, j);
+  const EventId e_l = m_.record_event(s_compute_);
+
+  // ---------------- TRSM: panel solve ---------------------------------
+  if (below > 0) {
+    hook_storage(fault::Op::Trsm, j);
+    if (enhanced) {
+      // The factor block is always verified before use (its only
+      // consumer is this TRSM); the panel obeys the K interval.
+      std::vector<BlockId> in;
+      in.emplace_back(j, j);
+      if (verify_this_iter) {
+        for (int i = j + 1; i < nb_; ++i) in.emplace_back(i, j);
+      }
+      verify_blocks(in, fault::Op::Trsm);
+    }
+    sim::gpublas::trsm(m_, s_compute_, Side::Right, Uplo::Lower, Trans::Yes,
+                       Diag::NonUnit, 1.0, data_block(j, j),
+                       data_region(off(j) + jb, off(j), below, jb));
+    hook_computing(fault::Op::Trsm, j);
+    chk_update_trsm(j, e_l);
+    if (online) {
+      std::vector<BlockId> outs;
+      for (int i = j + 1; i < nb_; ++i) outs.emplace_back(i, j);
+      verify_blocks(outs, fault::Op::Trsm);
+    }
+  }
+
+  // Row panel j+1 is final now; start moving it to the host so the next
+  // iteration's CPU checksum updates never wait on PCIe.
+  fetch_panel_for_cpu_update(j + 1);
+}
+
+void Run::offline_final_verify() {
+  // Huang & Abraham: one verification sweep over the finished factor.
+  // Any anomaly triggers a full re-run — an offline scheme cannot tell
+  // whether a detected error propagated before the sweep, so correcting
+  // in place would risk silently keeping polluted blocks.
+  const int detected_before = result_.errors_detected;
+  const int repairs_before = result_.checksum_repairs;
+  std::vector<BlockId> all;
+  for (int k = 0; k < nb_; ++k)
+    for (int i = k; i < nb_; ++i) all.emplace_back(i, k);
+  verify_blocks(all, fault::Op::Gemm);
+  m_.sync_all();
+  if (result_.errors_detected != detected_before ||
+      result_.checksum_repairs != repairs_before) {
+    throw UnrecoverableCorruptionError(
+        "offline sweep found corruption in the finished factor");
+  }
+}
+
+}  // namespace
+
+CholeskyResult cholesky(Machine& machine, Matrix<double>* a, int n,
+                        const CholeskyOptions& options,
+                        fault::Injector* injector) {
+  Run run(machine, a, n, options, injector);
+  return run.execute();
+}
+
+CholeskyResult cholesky_solve(Machine& machine, Matrix<double>* a,
+                              MatrixView<double> b,
+                              const CholeskyOptions& options,
+                              fault::Injector* injector) {
+  FTLA_CHECK_MSG(machine.numeric(), "cholesky_solve needs Numeric mode");
+  FTLA_CHECK(a != nullptr && a->rows() == b.rows());
+  CholeskyResult res = cholesky(machine, a, a->rows(), options, injector);
+  if (res.success) {
+    blas::potrs(ConstMatrixView<double>(a->view()), b);
+  }
+  return res;
+}
+
+}  // namespace ftla::abft

@@ -1,0 +1,24 @@
+// Non-overlapped hybrid Cholesky baseline standing in for CULA R18's
+// dpotrf (paper Figs. 16-17 comparator).
+//
+// CULA is closed source; what the paper's performance plots need from it
+// is a competent vendor-style hybrid routine that is measurably slower
+// than MAGMA's. The well-understood reason MAGMA wins is pipelining:
+// MAGMA hides the CPU panel factorization and the PCIe transfers behind
+// the GPU's trailing GEMM, while a straightforward hybrid implementation
+// runs the phases back-to-back. This driver implements exactly that
+// synchronous schedule (same kernels, blocking transfers, no overlap).
+#pragma once
+
+#include "abft/options.hpp"
+#include "common/matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::abft {
+
+/// Factorizes `*a` with the synchronous (non-overlapped) hybrid schedule.
+/// No fault tolerance. `a` may be null in TimingOnly mode.
+CholeskyResult cula_like_cholesky(sim::Machine& machine, Matrix<double>* a,
+                                  int n, int block_size = 0);
+
+}  // namespace ftla::abft

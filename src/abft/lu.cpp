@@ -1,0 +1,540 @@
+#include "abft/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "blas/types.hpp"
+#include "common/error.hpp"
+#include "common/fp.hpp"
+#include "sim/device_matrix.hpp"
+#include "sim/gpublas.hpp"
+
+namespace ftla::abft {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using sim::DConstMat;
+using sim::DeviceBuffer;
+using sim::DMat;
+using sim::EventId;
+using sim::KernelClass;
+using sim::KernelDesc;
+using sim::Machine;
+using sim::StreamId;
+
+namespace {
+
+using BlockId = std::pair<int, int>;
+
+class LuRun {
+ public:
+  LuRun(Machine& m, Matrix<double>* a, int n, const LuOptions& opt,
+        fault::Injector* injector)
+      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector) {
+    FTLA_CHECK(n_ > 0);
+    FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
+                       opt_.variant == Variant::EnhancedOnline,
+                   "the LU extension implements NoFt and EnhancedOnline");
+    if (m_.numeric()) {
+      FTLA_CHECK(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_);
+    }
+    FTLA_CHECK(injector_ == nullptr || m_.numeric());
+    b_ = opt_.block_size > 0 ? opt_.block_size
+                             : m_.profile().magma_block_size;
+    nb_ = (n_ + b_ - 1) / b_;
+    ft_ = opt_.variant == Variant::EnhancedOnline;
+  }
+
+  CholeskyResult execute();
+
+ private:
+  [[nodiscard]] int bs(int i) const { return std::min(b_, n_ - i * b_); }
+  [[nodiscard]] int off(int i) const { return i * b_; }
+
+  [[nodiscard]] DMat data_region(int row, int col, int rows, int cols) {
+    return DMat{&d_a_, static_cast<std::int64_t>(col) * n_ + row, rows, cols,
+                n_};
+  }
+  [[nodiscard]] DMat data_block(int i, int k) {
+    return data_region(off(i), off(k), bs(i), bs(k));
+  }
+  /// Column checksums of block (i, k): 2 rows in the (2nb x n) matrix.
+  [[nodiscard]] DMat cchk_block(int i, int k) {
+    return DMat{&d_cchk_,
+                static_cast<std::int64_t>(off(k)) * (2 * nb_) + 2 * i,
+                kChecksumRows, bs(k), 2 * nb_};
+  }
+  [[nodiscard]] DMat cchk_strip(int i0, int i1, int col, int cols) {
+    return DMat{&d_cchk_,
+                static_cast<std::int64_t>(col) * (2 * nb_) + 2 * i0,
+                2 * (i1 - i0), cols, 2 * nb_};
+  }
+  /// Row checksums of block (i, k): 2 columns in the (n x 2nb) matrix.
+  [[nodiscard]] DMat rchk_block(int i, int k) {
+    return DMat{&d_rchk_, static_cast<std::int64_t>(2 * k) * n_ + off(i),
+                bs(i), kChecksumRows, n_};
+  }
+  [[nodiscard]] DMat rchk_strip(int row, int rows, int k0, int k1) {
+    return DMat{&d_rchk_, static_cast<std::int64_t>(2 * k0) * n_ + row, rows,
+                2 * (k1 - k0), n_};
+  }
+
+  void allocate();
+  void upload();
+  void encode();
+  void iterate(int j);
+  void run_once();
+  void final_sweep();
+
+  void verify_col_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  void verify_row_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  void absorb(const VerifyOutcome& out);
+
+  void hook_storage(fault::Op op, int j);
+  void hook_computing(fault::Op op, int j);
+
+  Machine& m_;
+  Matrix<double>* a_;
+  int n_;
+  LuOptions opt_;
+  fault::Injector* injector_;
+
+  int b_ = 0;
+  int nb_ = 0;
+  bool ft_ = false;
+
+  DeviceBuffer d_a_;
+  DeviceBuffer d_cchk_;   // column checksums, 2nb x n
+  DeviceBuffer d_rchk_;   // row checksums, n x 2nb
+  DeviceBuffer d_scratch_;
+  std::int64_t scratch_capacity_ = 0;  // doubles
+
+  Matrix<double> pristine_;
+  Matrix<double> h_panel_;       // host panel (n x b)
+  Matrix<double> h_panel_chk_;   // re-encoded column checksums (2nb x b)
+
+  StreamId s_compute_ = 0;
+  StreamId s_chk_ = 0;
+  std::vector<StreamId> s_recalc_;
+
+  CholeskyResult result_;
+};
+
+CholeskyResult LuRun::execute() {
+  allocate();
+  upload();
+  m_.sync_all();
+  const double t0 = m_.host_now();
+
+  bool done = false;
+  while (!done) {
+    try {
+      run_once();
+      done = true;
+      result_.success = true;
+    } catch (const Error& e) {
+      result_.fail_stop_observed |=
+          dynamic_cast<const NotPositiveDefiniteError*>(&e) != nullptr;
+      if (!ft_ || result_.reruns >= opt_.max_reruns) {
+        result_.note = e.what();
+        done = true;
+      } else {
+        ++result_.reruns;
+        upload();
+      }
+    }
+  }
+
+  m_.sync_all();
+  result_.seconds = m_.host_now() - t0;
+  // LU costs 2n^3/3 flops.
+  const double flops = 2.0 * n_ * static_cast<double>(n_) * n_ / 3.0;
+  result_.gflops =
+      result_.seconds > 0.0 ? flops / result_.seconds / 1e9 : 0.0;
+
+  if (result_.success && m_.numeric()) {
+    m_.memcpy_d2h(a_->data(), d_a_, 0, static_cast<std::int64_t>(n_) * n_,
+                  s_compute_, /*blocking=*/true);
+  }
+  return result_;
+}
+
+void LuRun::allocate() {
+  d_a_ = m_.alloc(static_cast<std::int64_t>(n_) * n_);
+  if (ft_) {
+    d_cchk_ = m_.alloc(static_cast<std::int64_t>(2 * nb_) * n_);
+    d_rchk_ = m_.alloc(static_cast<std::int64_t>(n_) * 2 * nb_);
+    scratch_capacity_ =
+        2LL * (static_cast<std::int64_t>(nb_) * nb_ + 2 * nb_) *
+        std::max(b_, kChecksumRows);
+    d_scratch_ = m_.alloc(scratch_capacity_);
+    h_panel_chk_ = Matrix<double>(2 * nb_, b_);
+  }
+  h_panel_ = Matrix<double>(n_, b_);
+  if (m_.numeric()) pristine_ = *a_;
+
+  s_compute_ = m_.default_stream();
+  if (ft_) {
+    s_chk_ = m_.create_stream();
+    int streams = opt_.recalc_streams > 0
+                      ? opt_.recalc_streams
+                      : m_.profile().max_concurrent_kernels;
+    if (!opt_.concurrent_recalc) streams = 1;
+    for (int i = 0; i < streams; ++i) s_recalc_.push_back(m_.create_stream());
+  }
+}
+
+void LuRun::upload() {
+  m_.memcpy_h2d(d_a_, 0, m_.numeric() ? pristine_.data() : nullptr,
+                static_cast<std::int64_t>(n_) * n_, s_compute_,
+                /*blocking=*/true);
+}
+
+void LuRun::encode() {
+  if (!ft_) return;
+  const EventId e_up = m_.record_event(s_compute_);
+  for (StreamId s : s_recalc_) m_.stream_wait_event(s, e_up);
+  int q = 0;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = 0; i < nb_; ++i) {
+      const StreamId s = s_recalc_[q++ % s_recalc_.size()];
+      const DMat blk = data_block(i, k);
+      {
+        const DMat chk = cchk_block(i, k);
+        KernelDesc d{"encode_c", KernelClass::Blas2,
+                     blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+        m_.launch(s, d, [blk, chk] {
+          encode_block(ConstMatrixView<double>(blk.view()), chk.view());
+        });
+      }
+      {
+        const DMat chk = rchk_block(i, k);
+        KernelDesc d{"encode_r", KernelClass::Blas2,
+                     blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+        m_.launch(s, d, [blk, chk] {
+          encode_block_rows(ConstMatrixView<double>(blk.view()), chk.view());
+        });
+      }
+    }
+  }
+  for (StreamId s : s_recalc_) {
+    const EventId e = m_.record_event(s);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+}
+
+void LuRun::run_once() {
+  encode();
+  for (int j = 0; j < nb_; ++j) iterate(j);
+  if (ft_) final_sweep();
+  m_.sync_all();
+}
+
+void LuRun::absorb(const VerifyOutcome& out) {
+  result_.errors_detected += out.errors_detected;
+  result_.errors_corrected += out.errors_corrected;
+  result_.checksum_repairs += out.checksum_repairs;
+  if (out.uncorrectable) {
+    throw UnrecoverableCorruptionError(
+        "more than one error per checksum lane");
+  }
+}
+
+void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
+                              fault::Op attr) {
+  if (!ft_ || blocks.empty()) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
+  }
+  const EventId e_comp = m_.record_event(s_compute_);
+  const EventId e_chk = m_.record_event(s_chk_);
+  const int nstreams = std::max(
+      1, std::min(static_cast<int>(s_recalc_.size()),
+                  static_cast<int>(blocks.size())));
+  for (int i = 0; i < nstreams; ++i) {
+    m_.stream_wait_event(s_recalc_[i], e_comp);
+    m_.stream_wait_event(s_recalc_[i], e_chk);
+  }
+  std::int64_t pos = 0;
+  for (std::size_t q = 0; q < blocks.size(); ++q) {
+    const auto [bi, bk] = blocks[q];
+    const DMat blk = data_block(bi, bk);
+    FTLA_CHECK(pos + 2LL * blk.cols <= scratch_capacity_);
+    const DMat scratch{&d_scratch_, pos, kChecksumRows, blk.cols, 2};
+    pos += 2LL * blk.cols;
+    const StreamId s = s_recalc_[q % nstreams];
+    KernelDesc rd{"recalc_c", KernelClass::Blas2,
+                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+    m_.launch(s, rd, [blk, scratch] {
+      encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
+    });
+    const DMat chk = cchk_block(bi, bk);
+    const DMat rchk = rchk_block(bi, bk);
+    const Tolerance tol = opt_.tolerance;
+    KernelDesc cd{"verify_c", KernelClass::Compare, 4LL * blk.cols, 0};
+    m_.launch(s, cd, [this, blk, chk, rchk, tol, scratch] {
+      auto out = verify_block(blk.view(), chk.view(),
+                              ConstMatrixView<double>(scratch.view()), tol);
+      // Blocks carry both checksum flavors; after a correction through
+      // the column side, re-derive the row checksums from the repaired
+      // data so the two sides stay coherent (corrections are rare, so
+      // the O(B^2) re-encode is negligible).
+      if (!out.corrections.empty()) {
+        encode_block_rows(ConstMatrixView<double>(blk.view()), rchk.view());
+      }
+      absorb(out);
+    });
+  }
+  for (int i = 0; i < nstreams; ++i) {
+    const EventId e = m_.record_event(s_recalc_[i]);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+}
+
+void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
+                              fault::Op attr) {
+  if (!ft_ || blocks.empty()) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
+  }
+  const EventId e_comp = m_.record_event(s_compute_);
+  const EventId e_chk = m_.record_event(s_chk_);
+  const int nstreams = std::max(
+      1, std::min(static_cast<int>(s_recalc_.size()),
+                  static_cast<int>(blocks.size())));
+  for (int i = 0; i < nstreams; ++i) {
+    m_.stream_wait_event(s_recalc_[i], e_comp);
+    m_.stream_wait_event(s_recalc_[i], e_chk);
+  }
+  std::int64_t pos = 0;
+  for (std::size_t q = 0; q < blocks.size(); ++q) {
+    const auto [bi, bk] = blocks[q];
+    const DMat blk = data_block(bi, bk);
+    FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
+    const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
+    pos += 2LL * blk.rows;
+    const StreamId s = s_recalc_[q % nstreams];
+    KernelDesc rd{"recalc_r", KernelClass::Blas2,
+                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+    m_.launch(s, rd, [blk, scratch] {
+      encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
+    });
+    const DMat chk = rchk_block(bi, bk);
+    const DMat cchk = cchk_block(bi, bk);
+    const Tolerance tol = opt_.tolerance;
+    KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
+    m_.launch(s, cd, [this, blk, chk, cchk, tol, scratch] {
+      auto out = verify_block_rows(blk.view(), chk.view(),
+                                   ConstMatrixView<double>(scratch.view()),
+                                   tol);
+      // Mirror of the column path: re-derive the column checksums from
+      // the repaired data.
+      if (!out.corrections.empty()) {
+        encode_block(ConstMatrixView<double>(blk.view()), cchk.view());
+      }
+      absorb(out);
+    });
+  }
+  for (int i = 0; i < nstreams; ++i) {
+    const EventId e = m_.record_event(s_recalc_[i]);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+}
+
+void LuRun::hook_storage(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec :
+       injector_->take(fault::FaultType::Storage, op, j)) {
+    if (!m_.numeric()) continue;
+    int bi = spec.block_row;
+    int bk = spec.block_col;
+    // Defaults per LU context: the panel (Potf2), the U row (Trsm) or a
+    // trailing block (Gemm) that the op is about to read.
+    if (bi < 0) bi = op == fault::Op::Trsm ? j : std::min(j + 1, nb_ - 1);
+    if (bk < 0) bk = op == fault::Op::Potf2 ? j : std::min(j + 1, nb_ - 1);
+    FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+    const int grow = off(bi) + std::min(spec.elem_row, bs(bi) - 1);
+    const int gcol = off(bk) + std::min(spec.elem_col, bs(bk) - 1);
+    double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+    const double old_value = *p;
+    for (int bit : spec.bits) *p = flip_bit(*p, bit);
+    injector_->record(spec, old_value, *p, grow, gcol);
+  }
+}
+
+void LuRun::hook_computing(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec :
+       injector_->take(fault::FaultType::Computing, op, j)) {
+    if (!m_.numeric()) continue;
+    int bi = spec.block_row;
+    int bk = spec.block_col;
+    if (bi < 0) bi = op == fault::Op::Trsm ? j : std::min(j + 1, nb_ - 1);
+    if (bk < 0) bk = op == fault::Op::Potf2 ? j : std::min(j + 1, nb_ - 1);
+    FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+    const int grow = off(bi) + std::min(spec.elem_row, bs(bi) - 1);
+    const int gcol = off(bk) + std::min(spec.elem_col, bs(bk) - 1);
+    double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+    const double old_value = *p;
+    *p = old_value + spec.magnitude * std::max(1.0, std::abs(old_value));
+    injector_->record(spec, old_value, *p, grow, gcol);
+  }
+}
+
+void LuRun::iterate(int j) {
+  const int jb = bs(j);
+  const int below = n_ - off(j);           // panel height (incl. diagonal)
+  const int right = n_ - off(j) - jb;      // trailing width
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  // ---------------- panel: fetch, factor on host, re-encode ----------
+  hook_storage(fault::Op::Potf2, j);
+  if (ft_) {
+    // Panel inputs are always verified: a corrupted pivot path is the
+    // LU analog of the unrecoverable SYRK input (paper Opt 3 logic).
+    std::vector<BlockId> in;
+    for (int i = j; i < nb_; ++i) in.emplace_back(i, j);
+    verify_col_blocks(in, fault::Op::Potf2);
+  }
+  m_.memcpy_d2h_2d(m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
+                   static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                   below, jb, s_compute_, /*blocking=*/true);
+  {
+    KernelDesc d{"getf2", KernelClass::HostPotf2,
+                 // ~ m*b^2 flops for the panel factorization
+                 static_cast<std::int64_t>(below) * jb * jb, 0};
+    m_.host_compute(d, [this, below, jb] {
+      blas::getf2_nopiv(h_panel_.block(0, 0, below, jb));
+    });
+  }
+  if (ft_) {
+    KernelDesc d{"encode_panel", KernelClass::HostChecksum,
+                 4LL * below * jb, 0};
+    m_.host_compute(d, [this, j, below, jb] {
+      // Column checksums of each finished panel block, derived on the
+      // (reliable) host before the factors return to device memory.
+      for (int i = j; i < nb_; ++i) {
+        encode_block(ConstMatrixView<double>(
+                         h_panel_.block(off(i) - off(j), 0, bs(i), jb)),
+                     h_panel_chk_.block(2 * i, 0, kChecksumRows, jb));
+      }
+    });
+  }
+  m_.memcpy_h2d_2d(d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                   m_.numeric() ? h_panel_.data() : nullptr, n_, below, jb,
+                   s_compute_);
+  // Applied after the transfer so the corrupted value actually lands in
+  // device memory.
+  hook_computing(fault::Op::Potf2, j);
+  if (ft_) {
+    m_.memcpy_h2d_2d(d_cchk_,
+                     static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                     2 * nb_, m_.numeric() ? &h_panel_chk_(2 * j, 0) : nullptr,
+                     h_panel_chk_.ld(), 2 * (nb_ - j), jb, s_compute_);
+  }
+  const EventId e_panel = m_.record_event(s_compute_);
+
+  if (right <= 0) return;
+
+  // ---------------- TRSM: U row solve ---------------------------------
+  hook_storage(fault::Op::Trsm, j);
+  if (ft_) {
+    // The diagonal block is always verified before its solve; the
+    // targets follow the K interval.
+    std::vector<BlockId> in;
+    in.emplace_back(j, j);
+    if (verify_this_iter) {
+      for (int k = j + 1; k < nb_; ++k) in.emplace_back(j, k);
+    }
+    verify_col_blocks(in, fault::Op::Trsm);
+  }
+  sim::gpublas::trsm(m_, s_compute_, Side::Left, Uplo::Lower, Trans::No,
+                     Diag::Unit, 1.0, data_block(j, j),
+                     data_region(off(j), off(j) + jb, jb, right));
+  hook_computing(fault::Op::Trsm, j);
+  // rchk(U') = L^{-1} rchk(A) on the checksum stream.
+  if (ft_) {
+    m_.stream_wait_event(s_chk_, e_panel);
+    sim::gpublas::trsm(m_, s_chk_, Side::Left, Uplo::Lower, Trans::No,
+                       Diag::Unit, 1.0, data_block(j, j),
+                       rchk_strip(off(j), jb, j + 1, nb_),
+                       KernelClass::Blas3Skinny);
+  }
+
+  // ---------------- GEMM: trailing update -----------------------------
+  hook_storage(fault::Op::Gemm, j);
+  if (ft_ && verify_this_iter) {
+    std::vector<BlockId> col_in;
+    for (int i = j + 1; i < nb_; ++i) col_in.emplace_back(i, j);  // L panel
+    for (int i = j + 1; i < nb_; ++i)
+      for (int k = j + 1; k < nb_; ++k) col_in.emplace_back(i, k);  // targets
+    verify_col_blocks(col_in, fault::Op::Gemm);
+    std::vector<BlockId> row_in;
+    for (int k = j + 1; k < nb_; ++k) row_in.emplace_back(j, k);  // U row
+    verify_row_blocks(row_in, fault::Op::Gemm);
+  }
+  sim::gpublas::gemm(m_, s_compute_, Trans::No, Trans::No, -1.0,
+                     data_region(off(j) + jb, off(j), right, jb),
+                     data_region(off(j), off(j) + jb, jb, right), 1.0,
+                     data_region(off(j) + jb, off(j) + jb, right, right));
+  hook_computing(fault::Op::Gemm, j);
+  if (ft_) {
+    // cchk(B') = cchk(B) - cchk(L) U_row  (2(nb-j-1) x right GEMM)
+    sim::gpublas::gemm(m_, s_chk_, Trans::No, Trans::No, -1.0,
+                       cchk_strip(j + 1, nb_, off(j), jb),
+                       data_region(off(j), off(j) + jb, jb, right), 1.0,
+                       cchk_strip(j + 1, nb_, off(j) + jb, right),
+                       KernelClass::Blas3Skinny);
+    // rchk(B') = rchk(B) - L rchk(U_row)  (right x 2(nb-j-1) GEMM)
+    sim::gpublas::gemm(m_, s_chk_, Trans::No, Trans::No, -1.0,
+                       data_region(off(j) + jb, off(j), right, jb),
+                       rchk_strip(off(j), jb, j + 1, nb_), 1.0,
+                       rchk_strip(off(j) + jb, right, j + 1, nb_),
+                       KernelClass::Blas3Skinny);
+  }
+}
+
+void LuRun::final_sweep() {
+  // Right-looking LU never re-reads finished blocks, so storage errors
+  // striking them after their last use can only be caught here: one
+  // verification pass over the whole factor (column checksums for the
+  // L region and the diagonal, row checksums for the U region).
+  std::vector<BlockId> l_blocks;
+  std::vector<BlockId> u_blocks;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = 0; i < nb_; ++i) {
+      if (i >= k) {
+        l_blocks.emplace_back(i, k);
+      } else {
+        u_blocks.emplace_back(i, k);
+      }
+    }
+  }
+  verify_col_blocks(l_blocks, fault::Op::Potf2);
+  verify_row_blocks(u_blocks, fault::Op::Trsm);
+}
+
+}  // namespace
+
+CholeskyResult lu(Machine& machine, Matrix<double>* a, int n,
+                  const LuOptions& options, fault::Injector* injector) {
+  LuRun run(machine, a, n, options, injector);
+  return run.execute();
+}
+
+}  // namespace ftla::abft

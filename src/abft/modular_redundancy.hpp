@@ -1,0 +1,43 @@
+// Double and Triple Modular Redundancy baselines (paper §I).
+//
+// The paper motivates ABFT by contrasting it with the general-purpose
+// alternatives: DMR detects soft errors by running the computation twice
+// and comparing (~100% overhead, detection only), TMR corrects them by
+// running three times and voting (~200% overhead). These drivers
+// implement exactly that — temporal redundancy of the NoFT hybrid
+// Cholesky on the simulated node — so the overhead gap against ABFT can
+// be measured rather than asserted.
+#pragma once
+
+#include "abft/options.hpp"
+#include "common/matrix.hpp"
+#include "fault/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::abft {
+
+struct RedundancyOptions {
+  int block_size = 0;  ///< 0 = machine profile default
+  /// Elementwise agreement tolerance for compare/vote.
+  double compare_rtol = 1e-12;
+  /// Full restarts allowed when detection (DMR) or voting (TMR) fails.
+  int max_reruns = 2;
+};
+
+/// Runs the factorization twice and compares the factors elementwise.
+/// A mismatch proves a transient error struck one replica; the pair is
+/// re-run (DMR can detect but not tell which replica is right).
+/// Numeric mode only for fault experiments; TimingOnly prices the
+/// schedule (two factorizations + one comparison sweep).
+CholeskyResult dmr_cholesky(sim::Machine& machine, Matrix<double>* a, int n,
+                            const RedundancyOptions& options = {},
+                            fault::Injector* injector = nullptr);
+
+/// Runs the factorization three times and majority-votes every element
+/// of the lower triangle. An element where all three replicas disagree
+/// is unrecoverable and forces a re-run.
+CholeskyResult tmr_cholesky(sim::Machine& machine, Matrix<double>* a, int n,
+                            const RedundancyOptions& options = {},
+                            fault::Injector* injector = nullptr);
+
+}  // namespace ftla::abft

@@ -1,0 +1,53 @@
+#include "abft/opt2_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ftla::abft {
+
+Opt2Estimate opt2_decide(const sim::MachineProfile& profile, int n, int block,
+                         int verify_interval) {
+  FTLA_CHECK(n > 0 && block > 0 && verify_interval > 0);
+  const double n3 = static_cast<double>(n) * n * n;
+  const double b = block;
+  const double k = verify_interval;
+
+  const double n_cho = n3 / 3.0;
+  const double n_upd = 2.0 * n3 / (3.0 * b);
+  const double n_rec = 2.0 * n3 / (3.0 * b);
+  const double d_upd_words = n3 / (3.0 * k * b * b);
+
+  // Effective rates rather than raw peaks: the factorization runs at
+  // BLAS-3 efficiency, checksum updates at skinny-GEMM efficiency.
+  const double p_gpu = profile.gpu_peak_gflops * profile.eff_blas3 * 1e9;
+  const double p_gpu_upd =
+      profile.gpu_peak_gflops * profile.eff_blas3_skinny * 1e9;
+  const double p_cpu =
+      profile.cpu_peak_gflops * profile.cpu_eff_checksum * 1e9;
+  const double link = profile.d2h_bandwidth_gbs * 1e9;  // bytes/s
+
+  // Both placements hide checksum updating behind the factorization when
+  // they can; what distinguishes them is the *exposed* remainder.
+  //   GPU: concurrent-kernel quality decides how much of the update
+  //        stream actually overlaps a device-filling BLAS-3 kernel
+  //        (Fermi overlaps poorly, Kepler's Hyper-Q almost fully).
+  //   CPU: overlap is free, but the CPU must keep up and the panel /
+  //        verification traffic crosses the PCIe link.
+  const double t_base = n_cho / p_gpu + n_rec / p_gpu_upd;
+  const double overlap_quality =
+      std::min(1.0, static_cast<double>(profile.coexec_spare_units) /
+                        std::max(1, profile.blas3_skinny_sm_units));
+  const double gpu_exposed = (1.0 - overlap_quality) * (n_upd / p_gpu_upd);
+  const double cpu_path = n_upd / p_cpu + d_upd_words * 8.0 / link;
+
+  Opt2Estimate e;
+  e.t_pick_gpu_s = t_base + gpu_exposed;
+  e.t_pick_cpu_s = std::max(t_base, cpu_path);
+  // Ties favor the GPU: it avoids PCIe traffic entirely.
+  e.decision = e.t_pick_gpu_s <= e.t_pick_cpu_s ? UpdatePlacement::Gpu
+                                                : UpdatePlacement::Cpu;
+  return e;
+}
+
+}  // namespace ftla::abft

@@ -1,0 +1,29 @@
+// Paper Opt 2 (§V-B): the analytic model that decides whether checksum
+// updating should run on the GPU (extra stream) or on the idle CPU.
+//
+//   N_cho = n^3 / 3                 FLOPs of the factorization
+//   N_upd = 2 n^3 / (3B)            FLOPs of checksum updating
+//   N_rec = 2 n^3 / (3B)            FLOPs of checksum recalculation
+//   D_upd = n^3 / (3 K B^2)         extra words moved if the CPU updates
+//
+//   T_gpu = (N_cho + N_upd + N_rec) / P_gpu
+//   T_cpu = max((N_cho + N_rec) / P_gpu, N_upd / P_cpu + D_upd / R)
+#pragma once
+
+#include "abft/options.hpp"
+#include "sim/profile.hpp"
+
+namespace ftla::abft {
+
+struct Opt2Estimate {
+  double t_pick_gpu_s = 0.0;
+  double t_pick_cpu_s = 0.0;
+  UpdatePlacement decision = UpdatePlacement::Gpu;
+};
+
+/// Evaluates the paper's decision model for matrix size n, block size B
+/// and verification interval K on the given machine.
+Opt2Estimate opt2_decide(const sim::MachineProfile& profile, int n, int block,
+                         int verify_interval);
+
+}  // namespace ftla::abft

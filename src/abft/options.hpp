@@ -1,0 +1,117 @@
+// Public configuration and result types for the fault-tolerant Cholesky
+// drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "abft/checksum.hpp"
+
+namespace ftla::abft {
+
+/// Which fault-tolerance scheme the driver runs.
+enum class Variant {
+  NoFt,           ///< plain MAGMA-style hybrid Cholesky (baseline)
+  Offline,        ///< Huang & Abraham: encode once, verify at the end
+  Online,         ///< post-update verification (FT-ScaLAPACK style)
+  EnhancedOnline  ///< this paper: pre-reference verification + Opts 1-3
+};
+
+[[nodiscard]] const char* to_string(Variant v);
+
+/// Where checksum *updating* executes (paper Opt 2).
+enum class UpdatePlacement {
+  Blocking,  ///< on the compute stream (the un-optimized baseline)
+  Gpu,       ///< separate GPU stream, overlapped via concurrent kernels
+  Cpu,       ///< host-side mirror updated by the otherwise-idle CPU
+  Auto       ///< pick Gpu/Cpu with the paper's performance model
+};
+
+[[nodiscard]] const char* to_string(UpdatePlacement p);
+
+/// How the driver recovers when verification finds unrecoverable
+/// corruption (or positive definiteness breaks).
+enum class Recovery {
+  /// Restart the whole factorization (the paper's behaviour — what the
+  /// 2x columns of Tables VII/VIII measure).
+  Rerun,
+  /// Roll back to a periodic on-device snapshot and resume from there
+  /// (composing ABFT with checkpointing, the paper's citation [11]).
+  /// Offline-ABFT ignores this: its end-of-run detection cannot tell
+  /// which checkpoint predates the corruption.
+  Checkpoint,
+};
+
+[[nodiscard]] const char* to_string(Recovery r);
+
+struct CholeskyOptions {
+  Variant variant = Variant::EnhancedOnline;
+
+  /// Block size B; 0 selects the machine profile's MAGMA default.
+  int block_size = 0;
+
+  /// Opt 3: verify GEMM/TRSM inputs only every K-th outer iteration.
+  /// SYRK inputs are always verified (errors entering the diagonal block
+  /// are unrecoverable). K = 1 verifies everything every iteration.
+  int verify_interval = 1;
+
+  /// Opt 1: run checksum-recalculation kernels concurrently on multiple
+  /// streams. When false, they serialize on the compute stream.
+  bool concurrent_recalc = true;
+  /// Number of recalc streams; 0 = the device concurrent-kernel limit.
+  int recalc_streams = 0;
+
+  /// Opt 2: placement of checksum updating.
+  UpdatePlacement placement = UpdatePlacement::Auto;
+
+  /// Detection tolerance used by every verification.
+  Tolerance tolerance{};
+
+  /// How many times an unrecoverable corruption may trigger a full
+  /// restart before the driver gives up.
+  int max_reruns = 2;
+
+  /// Recovery strategy on unrecoverable corruption.
+  Recovery recovery = Recovery::Rerun;
+  /// Iterations between device snapshots (Recovery::Checkpoint).
+  int checkpoint_interval = 8;
+  /// Rollback budget before escalating to a full rerun.
+  int max_rollbacks = 8;
+};
+
+/// Instrumented verification counts, one row of the paper's Table I.
+struct VerificationCounters {
+  long long potf2_blocks = 0;
+  long long trsm_blocks = 0;
+  long long syrk_blocks = 0;
+  long long gemm_blocks = 0;
+
+  [[nodiscard]] long long total() const noexcept {
+    return potf2_blocks + trsm_blocks + syrk_blocks + gemm_blocks;
+  }
+};
+
+struct CholeskyResult {
+  bool success = false;
+  /// Total virtual time, including any recovery reruns.
+  double seconds = 0.0;
+  /// Useful-work rate n^3/3 / seconds, in GFLOP/s.
+  double gflops = 0.0;
+
+  int errors_detected = 0;
+  int errors_corrected = 0;
+  int checksum_repairs = 0;
+  /// Full restarts performed after unrecoverable corruption.
+  int reruns = 0;
+  /// Checkpoint rollbacks performed (Recovery::Checkpoint).
+  int rollbacks = 0;
+  /// True when an injected fault slipped past the scheme (possible for
+  /// NoFt / Offline / Online under storage errors — the paper's point).
+  bool fail_stop_observed = false;
+
+  VerificationCounters verified;
+  UpdatePlacement chosen_placement = UpdatePlacement::Gpu;
+  std::string note;
+};
+
+}  // namespace ftla::abft

@@ -1,0 +1,425 @@
+#include "abft/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "blas/qr.hpp"
+#include "blas/types.hpp"
+#include "common/error.hpp"
+#include "common/fp.hpp"
+#include "sim/device_matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::abft {
+
+using sim::DeviceBuffer;
+using sim::DMat;
+using sim::EventId;
+using sim::KernelClass;
+using sim::KernelDesc;
+using sim::Machine;
+using sim::StreamId;
+
+namespace {
+
+using BlockId = std::pair<int, int>;
+
+class QrRun {
+ public:
+  QrRun(Machine& m, Matrix<double>* a, std::vector<double>* tau, int n,
+        const QrOptions& opt, fault::Injector* injector)
+      : m_(m), a_(a), tau_(tau), n_(n), opt_(opt), injector_(injector) {
+    FTLA_CHECK(n_ > 0);
+    FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
+                       opt_.variant == Variant::EnhancedOnline,
+                   "the QR extension implements NoFt and EnhancedOnline");
+    if (m_.numeric()) {
+      FTLA_CHECK(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_);
+      FTLA_CHECK(tau_ != nullptr);
+      tau_->assign(static_cast<std::size_t>(n_), 0.0);
+    }
+    FTLA_CHECK(injector_ == nullptr || m_.numeric());
+    b_ = opt_.block_size > 0 ? opt_.block_size
+                             : m_.profile().magma_block_size;
+    nb_ = (n_ + b_ - 1) / b_;
+    ft_ = opt_.variant == Variant::EnhancedOnline;
+  }
+
+  CholeskyResult execute();
+
+ private:
+  [[nodiscard]] int bs(int i) const { return std::min(b_, n_ - i * b_); }
+  [[nodiscard]] int off(int i) const { return i * b_; }
+
+  [[nodiscard]] DMat data_region(int row, int col, int rows, int cols) {
+    return DMat{&d_a_, static_cast<std::int64_t>(col) * n_ + row, rows, cols,
+                n_};
+  }
+  [[nodiscard]] DMat data_block(int i, int k) {
+    return data_region(off(i), off(k), bs(i), bs(k));
+  }
+  [[nodiscard]] DMat rchk_block(int i, int k) {
+    return DMat{&d_rchk_, static_cast<std::int64_t>(2 * k) * n_ + off(i),
+                bs(i), kChecksumRows, n_};
+  }
+  [[nodiscard]] DMat rchk_strip(int row, int rows, int k0, int k1) {
+    return DMat{&d_rchk_, static_cast<std::int64_t>(2 * k0) * n_ + row, rows,
+                2 * (k1 - k0), n_};
+  }
+
+  void allocate();
+  void upload();
+  void encode();
+  void run_once();
+  void iterate(int j);
+  void final_sweep();
+  void verify_row_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  void absorb(const VerifyOutcome& out);
+  void hook_storage(fault::Op op, int j);
+  void hook_computing(fault::Op op, int j);
+
+  Machine& m_;
+  Matrix<double>* a_;
+  std::vector<double>* tau_;
+  int n_;
+  QrOptions opt_;
+  fault::Injector* injector_;
+
+  int b_ = 0;
+  int nb_ = 0;
+  bool ft_ = false;
+
+  DeviceBuffer d_a_;
+  DeviceBuffer d_rchk_;  // row checksums, n x 2nb
+  DeviceBuffer d_t_;     // the block reflector factor T (b x b)
+  DeviceBuffer d_scratch_;
+  std::int64_t scratch_capacity_ = 0;
+
+  Matrix<double> pristine_;
+  Matrix<double> h_panel_;      // host panel (n x b)
+  Matrix<double> h_t_;          // host T (b x b)
+  Matrix<double> h_panel_chk_;  // re-encoded panel row checksums (n x 2)
+  std::vector<double> h_tau_;
+
+  StreamId s_compute_ = 0;
+  StreamId s_chk_ = 0;
+  std::vector<StreamId> s_recalc_;
+
+  CholeskyResult result_;
+};
+
+CholeskyResult QrRun::execute() {
+  allocate();
+  upload();
+  m_.sync_all();
+  const double t0 = m_.host_now();
+
+  bool done = false;
+  while (!done) {
+    try {
+      run_once();
+      done = true;
+      result_.success = true;
+    } catch (const Error& e) {
+      if (!ft_ || result_.reruns >= opt_.max_reruns) {
+        result_.note = e.what();
+        done = true;
+      } else {
+        ++result_.reruns;
+        upload();
+      }
+    }
+  }
+
+  m_.sync_all();
+  result_.seconds = m_.host_now() - t0;
+  // Householder QR (Q not formed): 4n^3/3 flops.
+  const double flops = 4.0 * n_ * static_cast<double>(n_) * n_ / 3.0;
+  result_.gflops =
+      result_.seconds > 0.0 ? flops / result_.seconds / 1e9 : 0.0;
+
+  if (result_.success && m_.numeric()) {
+    m_.memcpy_d2h(a_->data(), d_a_, 0, static_cast<std::int64_t>(n_) * n_,
+                  s_compute_, /*blocking=*/true);
+    *tau_ = h_tau_;
+  }
+  return result_;
+}
+
+void QrRun::allocate() {
+  d_a_ = m_.alloc(static_cast<std::int64_t>(n_) * n_);
+  d_t_ = m_.alloc(static_cast<std::int64_t>(b_) * b_);
+  if (ft_) {
+    d_rchk_ = m_.alloc(static_cast<std::int64_t>(n_) * 2 * nb_);
+    scratch_capacity_ =
+        2LL * (static_cast<std::int64_t>(nb_) * nb_ + 2 * nb_) * b_;
+    d_scratch_ = m_.alloc(scratch_capacity_);
+    h_panel_chk_ = Matrix<double>(n_, kChecksumRows);
+  }
+  h_panel_ = Matrix<double>(n_, b_);
+  h_t_ = Matrix<double>(b_, b_);
+  h_tau_.assign(static_cast<std::size_t>(n_), 0.0);
+  if (m_.numeric()) pristine_ = *a_;
+
+  s_compute_ = m_.default_stream();
+  if (ft_) {
+    s_chk_ = m_.create_stream();
+    int streams = opt_.recalc_streams > 0
+                      ? opt_.recalc_streams
+                      : m_.profile().max_concurrent_kernels;
+    if (!opt_.concurrent_recalc) streams = 1;
+    for (int i = 0; i < streams; ++i) s_recalc_.push_back(m_.create_stream());
+  }
+}
+
+void QrRun::upload() {
+  m_.memcpy_h2d(d_a_, 0, m_.numeric() ? pristine_.data() : nullptr,
+                static_cast<std::int64_t>(n_) * n_, s_compute_,
+                /*blocking=*/true);
+}
+
+void QrRun::encode() {
+  if (!ft_) return;
+  const EventId e_up = m_.record_event(s_compute_);
+  for (StreamId s : s_recalc_) m_.stream_wait_event(s, e_up);
+  int q = 0;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = 0; i < nb_; ++i) {
+      const StreamId s = s_recalc_[q++ % s_recalc_.size()];
+      const DMat blk = data_block(i, k);
+      const DMat chk = rchk_block(i, k);
+      KernelDesc d{"encode_r", KernelClass::Blas2,
+                   blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+      m_.launch(s, d, [blk, chk] {
+        encode_block_rows(ConstMatrixView<double>(blk.view()), chk.view());
+      });
+    }
+  }
+  for (StreamId s : s_recalc_) {
+    const EventId e = m_.record_event(s);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+}
+
+void QrRun::run_once() {
+  encode();
+  for (int j = 0; j < nb_; ++j) iterate(j);
+  if (ft_) final_sweep();
+  m_.sync_all();
+}
+
+void QrRun::absorb(const VerifyOutcome& out) {
+  result_.errors_detected += out.errors_detected;
+  result_.errors_corrected += out.errors_corrected;
+  result_.checksum_repairs += out.checksum_repairs;
+  if (out.uncorrectable) {
+    throw UnrecoverableCorruptionError("more than one error per block row");
+  }
+}
+
+void QrRun::verify_row_blocks(const std::vector<BlockId>& blocks,
+                              fault::Op attr) {
+  if (!ft_ || blocks.empty()) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
+  }
+  const EventId e_comp = m_.record_event(s_compute_);
+  const EventId e_chk = m_.record_event(s_chk_);
+  const int nstreams = std::max(
+      1, std::min(static_cast<int>(s_recalc_.size()),
+                  static_cast<int>(blocks.size())));
+  for (int i = 0; i < nstreams; ++i) {
+    m_.stream_wait_event(s_recalc_[i], e_comp);
+    m_.stream_wait_event(s_recalc_[i], e_chk);
+  }
+  std::int64_t pos = 0;
+  for (std::size_t q = 0; q < blocks.size(); ++q) {
+    const auto [bi, bk] = blocks[q];
+    const DMat blk = data_block(bi, bk);
+    FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
+    const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
+    pos += 2LL * blk.rows;
+    const StreamId s = s_recalc_[q % nstreams];
+    KernelDesc rd{"recalc_r", KernelClass::Blas2,
+                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+    m_.launch(s, rd, [blk, scratch] {
+      encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
+    });
+    const DMat chk = rchk_block(bi, bk);
+    const Tolerance tol = opt_.tolerance;
+    KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
+    m_.launch(s, cd, [this, blk, chk, tol, scratch] {
+      absorb(verify_block_rows(blk.view(), chk.view(),
+                               ConstMatrixView<double>(scratch.view()),
+                               tol));
+    });
+  }
+  for (int i = 0; i < nstreams; ++i) {
+    const EventId e = m_.record_event(s_recalc_[i]);
+    m_.stream_wait_event(s_compute_, e);
+    m_.stream_wait_event(s_chk_, e);
+  }
+}
+
+void QrRun::hook_storage(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec :
+       injector_->take(fault::FaultType::Storage, op, j)) {
+    if (!m_.numeric()) continue;
+    int bi = spec.block_row;
+    int bk = spec.block_col;
+    if (bi < 0) bi = std::min(j + 1, nb_ - 1);
+    if (bk < 0) bk = op == fault::Op::Potf2 || op == fault::Op::Trsm
+                         ? j
+                         : std::min(j + 1, nb_ - 1);
+    FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+    const int grow = off(bi) + std::min(spec.elem_row, bs(bi) - 1);
+    const int gcol = off(bk) + std::min(spec.elem_col, bs(bk) - 1);
+    double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+    const double old_value = *p;
+    for (int bit : spec.bits) *p = flip_bit(*p, bit);
+    injector_->record(spec, old_value, *p, grow, gcol);
+  }
+}
+
+void QrRun::hook_computing(fault::Op op, int j) {
+  if (injector_ == nullptr) return;
+  for (const auto& spec :
+       injector_->take(fault::FaultType::Computing, op, j)) {
+    if (!m_.numeric()) continue;
+    int bi = spec.block_row;
+    int bk = spec.block_col;
+    if (bi < 0) bi = std::min(j + 1, nb_ - 1);
+    if (bk < 0) bk = op == fault::Op::Potf2 ? j : std::min(j + 1, nb_ - 1);
+    FTLA_CHECK(bi >= 0 && bi < nb_ && bk >= 0 && bk < nb_);
+    const int grow = off(bi) + std::min(spec.elem_row, bs(bi) - 1);
+    const int gcol = off(bk) + std::min(spec.elem_col, bs(bk) - 1);
+    double* p = d_a_.data() + static_cast<std::int64_t>(gcol) * n_ + grow;
+    const double old_value = *p;
+    *p = old_value + spec.magnitude * std::max(1.0, std::abs(old_value));
+    injector_->record(spec, old_value, *p, grow, gcol);
+  }
+}
+
+void QrRun::iterate(int j) {
+  const int jb = bs(j);
+  const int mrem = n_ - off(j);
+  const int right = n_ - off(j) - jb;
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  // ---------------- panel: fetch, factor + T on host, re-encode ------
+  hook_storage(fault::Op::Potf2, j);
+  if (ft_) {
+    std::vector<BlockId> in;
+    for (int i = j; i < nb_; ++i) in.emplace_back(i, j);
+    verify_row_blocks(in, fault::Op::Potf2);
+  }
+  m_.memcpy_d2h_2d(m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
+                   static_cast<std::int64_t>(off(j)) * n_ + off(j), n_, mrem,
+                   jb, s_compute_, /*blocking=*/true);
+  {
+    // geqf2 ~ 2 m b^2 flops, larft ~ m b^2.
+    KernelDesc d{"geqf2+larft", KernelClass::HostPotf2,
+                 3LL * mrem * jb * jb, 0};
+    m_.host_compute(d, [this, j, mrem, jb] {
+      auto panel = h_panel_.block(0, 0, mrem, jb);
+      blas::geqf2(panel, h_tau_.data() + off(j));
+      blas::larft(ConstMatrixView<double>(panel), h_tau_.data() + off(j),
+                  h_t_.block(0, 0, jb, jb));
+    });
+  }
+  if (ft_) {
+    KernelDesc d{"encode_panel_r", KernelClass::HostChecksum,
+                 4LL * mrem * jb, 0};
+    m_.host_compute(d, [this, j, jb] {
+      for (int i = j; i < nb_; ++i) {
+        encode_block_rows(
+            ConstMatrixView<double>(
+                h_panel_.block(off(i) - off(j), 0, bs(i), jb)),
+            h_panel_chk_.block(off(i), 0, bs(i), kChecksumRows));
+      }
+    });
+  }
+  m_.memcpy_h2d_2d(d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                   m_.numeric() ? h_panel_.data() : nullptr, n_, mrem, jb,
+                   s_compute_);
+  m_.memcpy_h2d(d_t_, 0, m_.numeric() ? h_t_.data() : nullptr,
+                static_cast<std::int64_t>(jb) * jb, s_compute_);
+  if (ft_) {
+    m_.memcpy_h2d_2d(d_rchk_, static_cast<std::int64_t>(2 * j) * n_ + off(j),
+                     n_, m_.numeric() ? &h_panel_chk_(off(j), 0) : nullptr,
+                     h_panel_chk_.ld(), mrem, kChecksumRows, s_compute_);
+  }
+  hook_computing(fault::Op::Potf2, j);
+  const EventId e_panel = m_.record_event(s_compute_);
+
+  if (right <= 0) return;
+
+  // ---------------- trailing update: C := (I - V T V^T)^T C ----------
+  hook_storage(fault::Op::Trsm, j);  // faults on the V/T staging window
+  hook_storage(fault::Op::Gemm, j);
+  if (ft_) {
+    // V is always verified before the trailing update reads it: with
+    // row checksums alone, a corrupted reflector would produce a
+    // consistently-wrong (hence invisible) update.
+    std::vector<BlockId> v_in;
+    for (int i = j; i < nb_; ++i) v_in.emplace_back(i, j);
+    verify_row_blocks(v_in, fault::Op::Trsm);
+    if (verify_this_iter) {
+      std::vector<BlockId> c_in;
+      for (int i = j; i < nb_; ++i)
+        for (int k = j + 1; k < nb_; ++k) c_in.emplace_back(i, k);
+      verify_row_blocks(c_in, fault::Op::Gemm);
+    }
+  }
+  {
+    const DMat v = data_region(off(j), off(j), mrem, jb);
+    const DMat t = DMat{&d_t_, 0, jb, jb, b_};
+    const DMat c = data_region(off(j), off(j) + jb, mrem, right);
+    KernelDesc d{"larfb", KernelClass::Blas3,
+                 4LL * mrem * jb * right, 0};
+    m_.launch(s_compute_, d, [v, t, c] {
+      blas::larfb_left_t(ConstMatrixView<double>(v.view()),
+                         ConstMatrixView<double>(t.view()), c.view());
+    });
+  }
+  hook_computing(fault::Op::Gemm, j);
+  if (ft_) {
+    // rchk(M C) = M rchk(C): the identical reflector applies to the
+    // checksum columns.
+    m_.stream_wait_event(s_chk_, e_panel);
+    const DMat v = data_region(off(j), off(j), mrem, jb);
+    const DMat t = DMat{&d_t_, 0, jb, jb, b_};
+    const DMat strip = rchk_strip(off(j), mrem, j + 1, nb_);
+    KernelDesc d{"larfb_rchk", KernelClass::Blas3Skinny,
+                 4LL * mrem * jb * 2 * (nb_ - j - 1), 0};
+    m_.launch(s_chk_, d, [v, t, strip] {
+      blas::larfb_left_t(ConstMatrixView<double>(v.view()),
+                         ConstMatrixView<double>(t.view()), strip.view());
+    });
+  }
+}
+
+void QrRun::final_sweep() {
+  std::vector<BlockId> all;
+  for (int k = 0; k < nb_; ++k)
+    for (int i = 0; i < nb_; ++i) all.emplace_back(i, k);
+  verify_row_blocks(all, fault::Op::Trsm);
+}
+
+}  // namespace
+
+CholeskyResult qr(Machine& machine, Matrix<double>* a,
+                  std::vector<double>* tau, int n, const QrOptions& options,
+                  fault::Injector* injector) {
+  QrRun run(machine, a, tau, n, options, injector);
+  return run.execute();
+}
+
+}  // namespace ftla::abft

@@ -1,0 +1,229 @@
+#include "abft/wcodec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ftla::abft {
+
+namespace {
+
+// Solves the k x k system M x = b by Gaussian elimination with partial
+// pivoting. k <= 4. Returns false when M is numerically singular.
+bool solve_small(int k, double* m, double* b, double* x) {
+  int piv[4];
+  for (int i = 0; i < k; ++i) piv[i] = i;
+  for (int col = 0; col < k; ++col) {
+    int best = col;
+    for (int r = col + 1; r < k; ++r) {
+      if (std::abs(m[piv[r] * k + col]) > std::abs(m[piv[best] * k + col]))
+        best = r;
+    }
+    std::swap(piv[col], piv[best]);
+    const double p = m[piv[col] * k + col];
+    if (std::abs(p) < 1e-300) return false;
+    for (int r = col + 1; r < k; ++r) {
+      const double f = m[piv[r] * k + col] / p;
+      if (f == 0.0) continue;
+      for (int c = col; c < k; ++c) m[piv[r] * k + c] -= f * m[piv[col] * k + c];
+      b[piv[r]] -= f * b[piv[col]];
+    }
+  }
+  for (int row = k - 1; row >= 0; --row) {
+    double s = b[piv[row]];
+    for (int c = row + 1; c < k; ++c) s -= m[piv[row] * k + c] * x[c];
+    x[row] = s / m[piv[row] * k + row];
+  }
+  return true;
+}
+
+double ipow(double base, int e) {
+  double r = 1.0;
+  for (int i = 0; i < e; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+WeightedCodec::WeightedCodec(int redundancy) : redundancy_(redundancy) {
+  FTLA_CHECK_MSG(redundancy >= 2 && redundancy <= 8,
+                 "redundancy must be in [2, 8]");
+}
+
+void WeightedCodec::encode(ConstMatrixView<double> a,
+                           MatrixView<double> chk) const {
+  FTLA_CHECK(chk.rows() == redundancy_ && chk.cols() == a.cols());
+  for (int c = 0; c < a.cols(); ++c) {
+    for (int k = 0; k < redundancy_; ++k) chk(k, c) = 0.0;
+    const double* col = &a(0, c);
+    for (int i = 0; i < a.rows(); ++i) {
+      double w = 1.0;
+      for (int k = 0; k < redundancy_; ++k) {
+        chk(k, c) += w * col[i];
+        w *= (i + 1.0);
+      }
+    }
+  }
+}
+
+void WeightedCodec::potf2_transform(ConstMatrixView<double> l,
+                                    MatrixView<double> chk) {
+  const int n = l.rows();
+  FTLA_CHECK(l.cols() == n && chk.cols() == n);
+  const int rows = chk.rows();
+  for (int j = 0; j < n; ++j) {
+    const double d = l(j, j);
+    for (int k = 0; k < rows; ++k) chk(k, j) /= d;
+    for (int c = j + 1; c < n; ++c) {
+      const double f = l(c, j);
+      if (f == 0.0) continue;
+      for (int k = 0; k < rows; ++k) chk(k, c) -= chk(k, j) * f;
+    }
+  }
+}
+
+WeightedCodec::ColumnDecode WeightedCodec::decode_column(
+    const double* s, const double* t, int rows) const {
+  ColumnDecode out;
+  const int r = redundancy_;
+  bool any_flagged = false;
+  for (int k = 0; k < r; ++k) {
+    if (std::abs(s[k]) > t[k]) {
+      any_flagged = true;
+      out.bad_checksum_rows.push_back(k);
+    }
+  }
+  if (!any_flagged) return out;
+  out.clean = false;
+
+  // Consistency check of a candidate error set against ALL syndromes.
+  auto consistent = [&](const std::vector<std::pair<int, double>>& errs) {
+    for (int k = 0; k < r; ++k) {
+      double fit = 0.0;
+      for (const auto& [row0, e] : errs) fit += e * ipow(row0 + 1.0, k);
+      const double resid = std::abs(s[k] - fit);
+      const double scale = std::max(std::abs(s[k]), std::abs(fit));
+      if (resid > std::max(t[k], 1e-6 * scale)) return false;
+    }
+    return true;
+  };
+
+  // Try nu = 1, 2, ... max_correctable() data errors (Prony's method).
+  for (int nu = 1; nu <= max_correctable(); ++nu) {
+    std::vector<double> coeff(nu);  // locator x^nu + c_{nu-1} x^{nu-1}...
+    if (nu == 1) {
+      if (std::abs(s[0]) < 1e-300) continue;
+      coeff[0] = -(s[1] / s[0]);  // root = S1/S0
+    } else {
+      // Hankel system: sum_i c_i S_{k+i} = -S_{k+nu}, k = 0..nu-1.
+      double m[16], b[4], x[4];
+      for (int k = 0; k < nu; ++k) {
+        for (int i = 0; i < nu; ++i) m[k * nu + i] = s[k + i];
+        b[k] = -s[k + nu];
+      }
+      if (!solve_small(nu, m, b, x)) continue;
+      for (int i = 0; i < nu; ++i) coeff[i] = x[i];
+    }
+    // The locator's roots must be integers in [1, rows]: scan.
+    auto locator = [&](double v) {
+      double acc = ipow(v, nu);
+      for (int i = 0; i < nu; ++i) acc += coeff[i] * ipow(v, i);
+      return acc;
+    };
+    std::vector<std::pair<double, int>> candidates;  // (|p(r)| scaled, r)
+    for (int row = 1; row <= rows; ++row) {
+      const double v = std::abs(locator(row));
+      // Scale by the polynomial's magnitude around this root.
+      const double scale = ipow(static_cast<double>(row), nu) + 1.0;
+      candidates.emplace_back(v / scale, row);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    if (static_cast<int>(candidates.size()) < nu) continue;
+    bool roots_ok = true;
+    std::vector<int> roots(nu);
+    for (int i = 0; i < nu; ++i) {
+      if (candidates[i].first > 1e-3) roots_ok = false;
+      roots[i] = candidates[i].second;
+    }
+    if (!roots_ok) continue;
+    std::sort(roots.begin(), roots.end());
+    if (std::adjacent_find(roots.begin(), roots.end()) != roots.end())
+      continue;  // repeated location: not a valid error pattern
+
+    // Magnitudes from the Vandermonde system S_k = sum e_t r_t^k.
+    double vm[16], vb[4], ve[4];
+    for (int k = 0; k < nu; ++k) {
+      for (int i = 0; i < nu; ++i) vm[k * nu + i] = ipow(roots[i], k);
+      vb[k] = s[k];
+    }
+    if (!solve_small(nu, vm, vb, ve)) continue;
+    std::vector<std::pair<int, double>> errs(nu);
+    for (int i = 0; i < nu; ++i) errs[i] = {roots[i] - 1, ve[i]};
+    if (!consistent(errs)) continue;
+
+    out.errors = std::move(errs);
+    out.bad_checksum_rows.clear();
+    return out;
+  }
+
+  // No data hypothesis fits: the flagged checksum rows themselves are
+  // corrupted — repairable as long as at least one row is clean.
+  if (static_cast<int>(out.bad_checksum_rows.size()) < r) return out;
+  out.bad_checksum_rows.clear();
+  out.uncorrectable = true;
+  return out;
+}
+
+VerifyOutcome WeightedCodec::verify(MatrixView<double> a,
+                                    MatrixView<double> chk,
+                                    ConstMatrixView<double> recalc,
+                                    const Tolerance& tol) const {
+  const int cols = a.cols();
+  FTLA_CHECK(chk.rows() == redundancy_ && chk.cols() == cols);
+  FTLA_CHECK(recalc.rows() == redundancy_ && recalc.cols() == cols);
+
+  VerifyOutcome out;
+  std::vector<double> s(redundancy_), t(redundancy_);
+  for (int c = 0; c < cols; ++c) {
+    double scale = 0.0;
+    for (int k = 0; k < redundancy_; ++k) {
+      s[k] = recalc(k, c) - chk(k, c);
+      scale = std::max({scale, std::abs(chk(k, c)), std::abs(recalc(k, c))});
+    }
+    for (int k = 0; k < redundancy_; ++k) t[k] = tol.threshold(scale);
+
+    auto dec = decode_column(s.data(), t.data(), a.rows());
+    if (dec.clean) continue;
+    if (dec.uncorrectable) {
+      ++out.errors_detected;
+      out.uncorrectable = true;
+      continue;
+    }
+    if (!dec.errors.empty()) {
+      out.errors_detected += 1;
+      for (const auto& [row, e] : dec.errors) {
+        const double old_value = a(row, c);
+        a(row, c) = old_value - e;
+        out.corrections.push_back(Correction{row, c, old_value, a(row, c)});
+        ++out.errors_corrected;
+      }
+    } else {
+      for (int k : dec.bad_checksum_rows) {
+        chk(k, c) = recalc(k, c);
+        ++out.checksum_repairs;
+      }
+    }
+  }
+  return out;
+}
+
+VerifyOutcome WeightedCodec::verify_host(MatrixView<double> a,
+                                         MatrixView<double> chk,
+                                         const Tolerance& tol) const {
+  Matrix<double> recalc(redundancy_, a.cols());
+  encode(ConstMatrixView<double>(a), recalc.view());
+  return verify(a, chk, ConstMatrixView<double>(recalc.view()), tol);
+}
+
+}  // namespace ftla::abft

@@ -1,0 +1,84 @@
+// Generalized weighted checksum codec with configurable redundancy
+// (extension of paper §IV-A).
+//
+// The paper uses two checksum rows (weights v1 = [1..1], v2 = [1..B])
+// and corrects one error per block column; it notes that more weighted
+// checksums correct more errors. This module makes that precise: with R
+// checksum rows whose weights are the Vandermonde powers
+//     w_k(i) = (i+1)^k,   k = 0..R-1,
+// the syndromes of an error pattern {(row r_t, magnitude e_t)} are the
+// power sums S_k = sum_t e_t * r_t^k (rows 1-based), which is exactly a
+// real-field Reed-Solomon code: R syndromes locate and correct up to
+// floor(R/2) simultaneous errors per column via Prony's method. R = 2
+// reproduces the paper's codec; R = 4 corrects two errors per column.
+//
+// (Correcting m errors at *unknown* locations needs 2m syndromes; the
+// literature's "m+1 checksums correct m errors" assumes locations are
+// known, e.g. from an erasure model. This codec handles the harder
+// unknown-location case.)
+//
+// All checksum *update* rules of the paper (SYRK/GEMM/TRSM and the
+// POTF2 Algorithm-2 transform) are linear in the checksum rows, so they
+// apply unchanged to any R — the transform here is shared.
+#pragma once
+
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "common/matrix.hpp"
+
+namespace ftla::abft {
+
+class WeightedCodec {
+ public:
+  /// `redundancy` = number of checksum rows R, 2 <= R <= 8.
+  explicit WeightedCodec(int redundancy);
+
+  [[nodiscard]] int redundancy() const noexcept { return redundancy_; }
+  /// Maximum simultaneous errors per column this codec can correct.
+  [[nodiscard]] int max_correctable() const noexcept {
+    return redundancy_ / 2;
+  }
+
+  /// chk (R x cols) := W a, with W the Vandermonde weight matrix.
+  void encode(ConstMatrixView<double> a, MatrixView<double> chk) const;
+
+  /// Applies the POTF2 checksum transform (paper Algorithm 2) to R
+  /// checksum rows: chk of the pre-factor block becomes chk of L.
+  static void potf2_transform(ConstMatrixView<double> l,
+                              MatrixView<double> chk);
+
+  /// Verifies `a` against stored checksums `chk` given freshly
+  /// recalculated checksums `recalc` (both R x cols); corrects up to
+  /// max_correctable() errors per column in place, repairs corrupted
+  /// checksum rows, and reports the outcome. Mirrors verify_block() for
+  /// R = 2.
+  [[nodiscard]] VerifyOutcome verify(MatrixView<double> a,
+                                     MatrixView<double> chk,
+                                     ConstMatrixView<double> recalc,
+                                     const Tolerance& tol) const;
+
+  /// Convenience: recalculate + verify on the host.
+  [[nodiscard]] VerifyOutcome verify_host(MatrixView<double> a,
+                                          MatrixView<double> chk,
+                                          const Tolerance& tol) const;
+
+ private:
+  struct ColumnDecode {
+    bool clean = true;
+    bool uncorrectable = false;
+    /// Checksum rows to repair (indices into the R rows); empty when a
+    /// data correction was found.
+    std::vector<int> bad_checksum_rows;
+    /// Located data errors: (0-based row, error magnitude).
+    std::vector<std::pair<int, double>> errors;
+  };
+
+  [[nodiscard]] ColumnDecode decode_column(const double* syndromes,
+                                           const double* thresholds,
+                                           int rows) const;
+
+  int redundancy_;
+};
+
+}  // namespace ftla::abft

@@ -1,0 +1,92 @@
+#include "blas/level1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ftla::blas {
+
+void axpy(int n, double alpha, const double* x, int incx, double* y,
+          int incy) {
+  if (n <= 0 || alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  for (int i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+void scal(int n, double alpha, double* x, int incx) {
+  if (n <= 0) return;
+  if (incx == 1) {
+    for (int i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+  for (int i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+double dot(int n, const double* x, int incx, const double* y, int incy) {
+  double s = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+  for (int i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  return s;
+}
+
+double nrm2(int n, const double* x, int incx) {
+  // LAPACK dnrm2-style scaled sum of squares, avoiding overflow/underflow.
+  if (n <= 0) return 0.0;
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double xi = std::abs(x[i * incx]);
+    if (xi == 0.0) continue;
+    if (scale < xi) {
+      const double r = scale / xi;
+      ssq = 1.0 + ssq * r * r;
+      scale = xi;
+    } else {
+      const double r = xi / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+int iamax(int n, const double* x, int incx) {
+  if (n <= 0) return -1;
+  int best = 0;
+  double best_abs = std::abs(x[0]);
+  for (int i = 1; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v > best_abs) {
+      best_abs = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void copy(int n, const double* x, int incx, double* y, int incy) {
+  if (n <= 0) return;
+  if (incx == 1 && incy == 1) {
+    std::copy(x, x + n, y);
+    return;
+  }
+  for (int i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+void swap(int n, double* x, int incx, double* y, int incy) {
+  for (int i = 0; i < n; ++i) std::swap(x[i * incx], y[i * incy]);
+}
+
+double asum(int n, const double* x, int incx) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += std::abs(x[i * incx]);
+  return s;
+}
+
+}  // namespace ftla::blas

@@ -1,0 +1,34 @@
+// BLAS Level-1: vector-vector operations with BLAS-style strides.
+#pragma once
+
+#include <cstddef>
+
+namespace ftla::blas {
+
+/// y := alpha * x + y
+void axpy(int n, double alpha, const double* x, int incx, double* y,
+          int incy);
+
+/// x := alpha * x
+void scal(int n, double alpha, double* x, int incx);
+
+/// Returns x . y
+double dot(int n, const double* x, int incx, const double* y, int incy);
+
+/// Returns the Euclidean norm of x (overflow-safe scaled accumulation).
+double nrm2(int n, const double* x, int incx);
+
+/// Returns the index (0-based) of the element of maximum absolute value;
+/// returns -1 for n <= 0.
+int iamax(int n, const double* x, int incx);
+
+/// y := x
+void copy(int n, const double* x, int incx, double* y, int incy);
+
+/// x <-> y
+void swap(int n, double* x, int incx, double* y, int incy);
+
+/// Returns the sum of absolute values of x.
+double asum(int n, const double* x, int incx);
+
+}  // namespace ftla::blas

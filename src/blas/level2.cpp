@@ -1,0 +1,146 @@
+#include "blas/level2.hpp"
+
+#include "common/error.hpp"
+
+namespace ftla::blas {
+
+void gemv(Trans trans, double alpha, ConstMatrixView<double> a,
+          const double* x, int incx, double beta, double* y, int incy) {
+  const int m = a.rows();
+  const int n = a.cols();
+  const int ylen = trans == Trans::No ? m : n;
+  const int xlen = trans == Trans::No ? n : m;
+  if (beta != 1.0) {
+    for (int i = 0; i < ylen; ++i) y[i * incy] *= beta;
+  }
+  if (alpha == 0.0 || xlen == 0) return;
+  if (trans == Trans::No) {
+    // y += alpha * A x, traversing A by columns.
+    for (int j = 0; j < n; ++j) {
+      const double t = alpha * x[j * incx];
+      if (t == 0.0) continue;
+      const double* col = &a(0, j);
+      for (int i = 0; i < m; ++i) y[i * incy] += t * col[i];
+    }
+  } else {
+    // y_j += alpha * (column j of A) . x — each column is a dot product.
+    for (int j = 0; j < n; ++j) {
+      const double* col = &a(0, j);
+      double s = 0.0;
+      if (incx == 1) {
+        for (int i = 0; i < m; ++i) s += col[i] * x[i];
+      } else {
+        for (int i = 0; i < m; ++i) s += col[i] * x[i * incx];
+      }
+      y[j * incy] += alpha * s;
+    }
+  }
+}
+
+void ger(double alpha, const double* x, int incx, const double* y, int incy,
+         MatrixView<double> a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  if (alpha == 0.0) return;
+  for (int j = 0; j < n; ++j) {
+    const double t = alpha * y[j * incy];
+    if (t == 0.0) continue;
+    double* col = &a(0, j);
+    for (int i = 0; i < m; ++i) col[i] += t * x[i * incx];
+  }
+}
+
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<double> a,
+          double* x, int incx) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  const bool unit = diag == Diag::Unit;
+  if ((uplo == Uplo::Lower) == (trans == Trans::No)) {
+    // Forward substitution (lower/no-trans, or upper/trans behaves the
+    // same traversal order with transposed access).
+    for (int i = 0; i < n; ++i) {
+      double s = x[i * incx];
+      for (int k = 0; k < i; ++k) {
+        const double aik = trans == Trans::No ? a(i, k) : a(k, i);
+        s -= aik * x[k * incx];
+      }
+      x[i * incx] = unit ? s : s / (trans == Trans::No ? a(i, i) : a(i, i));
+    }
+  } else {
+    // Backward substitution.
+    for (int i = n - 1; i >= 0; --i) {
+      double s = x[i * incx];
+      for (int k = i + 1; k < n; ++k) {
+        const double aik = trans == Trans::No ? a(i, k) : a(k, i);
+        s -= aik * x[k * incx];
+      }
+      x[i * incx] = unit ? s : s / a(i, i);
+    }
+  }
+}
+
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<double> a,
+          double* x, int incx) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  const bool unit = diag == Diag::Unit;
+  // Row-oriented form; the iteration direction is chosen so every x[k]
+  // read is still unmodified when it is needed.
+  auto row_value = [&](int i) {
+    double s = unit ? x[i * incx] : 0.0;
+    if (trans == Trans::No) {
+      const int lo = uplo == Uplo::Lower ? 0 : i + (unit ? 1 : 0);
+      const int hi = uplo == Uplo::Lower ? i + (unit ? 0 : 1) : n;
+      for (int k = lo; k < hi; ++k) s += a(i, k) * x[k * incx];
+    } else {
+      const int lo = uplo == Uplo::Lower ? i + (unit ? 1 : 0) : 0;
+      const int hi = uplo == Uplo::Lower ? n : i + (unit ? 0 : 1);
+      for (int k = lo; k < hi; ++k) s += a(k, i) * x[k * incx];
+    }
+    return s;
+  };
+  const bool descending = (uplo == Uplo::Lower) == (trans == Trans::No);
+  if (descending) {
+    for (int i = n - 1; i >= 0; --i) x[i * incx] = row_value(i);
+  } else {
+    for (int i = 0; i < n; ++i) x[i * incx] = row_value(i);
+  }
+}
+
+void syr(Uplo uplo, double alpha, const double* x, int incx,
+         MatrixView<double> a) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  if (alpha == 0.0) return;
+  for (int j = 0; j < n; ++j) {
+    const double t = alpha * x[j * incx];
+    if (t == 0.0) continue;
+    double* col = &a(0, j);
+    if (uplo == Uplo::Lower) {
+      for (int i = j; i < n; ++i) col[i] += t * x[i * incx];
+    } else {
+      for (int i = 0; i <= j; ++i) col[i] += t * x[i * incx];
+    }
+  }
+}
+
+void symv(Uplo uplo, double alpha, ConstMatrixView<double> a, const double* x,
+          int incx, double beta, double* y, int incy) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  for (int i = 0; i < n; ++i) y[i * incy] *= beta;
+  if (alpha == 0.0) return;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double aij;
+      if (uplo == Uplo::Lower) {
+        aij = i >= j ? a(i, j) : a(j, i);
+      } else {
+        aij = i <= j ? a(i, j) : a(j, i);
+      }
+      y[i * incy] += alpha * aij * x[j * incx];
+    }
+  }
+}
+
+}  // namespace ftla::blas

@@ -1,0 +1,39 @@
+// BLAS Level-2: matrix-vector operations on column-major views.
+//
+// Vectors are passed as raw pointer + stride (BLAS convention) so the
+// same routine serves matrix rows, columns and packed checksum rows.
+#pragma once
+
+#include "blas/types.hpp"
+#include "common/matrix.hpp"
+
+namespace ftla::blas {
+
+using ftla::ConstMatrixView;
+using ftla::MatrixView;
+
+/// y := alpha * op(A) x + beta * y
+void gemv(Trans trans, double alpha, ConstMatrixView<double> a,
+          const double* x, int incx, double beta, double* y, int incy);
+
+/// A := alpha * x y^T + A
+void ger(double alpha, const double* x, int incx, const double* y, int incy,
+         MatrixView<double> a);
+
+/// Solves op(A) x = b in place (x on entry holds b). A triangular.
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<double> a,
+          double* x, int incx);
+
+/// x := op(A) x with A triangular.
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<double> a,
+          double* x, int incx);
+
+/// Symmetric rank-1 update on the `uplo` triangle: A := alpha*x*x^T + A.
+void syr(Uplo uplo, double alpha, const double* x, int incx,
+         MatrixView<double> a);
+
+/// y := alpha * A x + beta * y with A symmetric, stored in `uplo`.
+void symv(Uplo uplo, double alpha, ConstMatrixView<double> a, const double* x,
+          int incx, double beta, double* y, int incy);
+
+}  // namespace ftla::blas

@@ -1,0 +1,173 @@
+#include "blas/level3.hpp"
+
+#include "blas/level2.hpp"
+#include "common/error.hpp"
+
+namespace ftla::blas {
+
+namespace {
+
+void scale_inplace(MatrixView<double> c, double beta) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < c.cols(); ++j) {
+    double* col = &c(0, j);
+    if (beta == 0.0) {
+      for (int i = 0; i < c.rows(); ++i) col[i] = 0.0;
+    } else {
+      for (int i = 0; i < c.rows(); ++i) col[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView<double> a,
+          ConstMatrixView<double> b, double beta, MatrixView<double> c) {
+  const int m = c.rows();
+  const int n = c.cols();
+  const int k = ta == Trans::No ? a.cols() : a.rows();
+  FTLA_CHECK((ta == Trans::No ? a.rows() : a.cols()) == m);
+  FTLA_CHECK((tb == Trans::No ? b.rows() : b.cols()) == k);
+  FTLA_CHECK((tb == Trans::No ? b.cols() : b.rows()) == n);
+
+  scale_inplace(c, beta);
+  if (alpha == 0.0 || k == 0) return;
+
+  if (ta == Trans::No) {
+    // Column-major friendly: C(:,j) += alpha * A(:,l) * op(B)(l,j).
+    for (int j = 0; j < n; ++j) {
+      double* cj = &c(0, j);
+      for (int l = 0; l < k; ++l) {
+        const double blj = tb == Trans::No ? b(l, j) : b(j, l);
+        const double t = alpha * blj;
+        if (t == 0.0) continue;
+        const double* al = &a(0, l);
+        for (int i = 0; i < m; ++i) cj[i] += t * al[i];
+      }
+    }
+  } else if (tb == Trans::No) {
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both operands columnwise.
+    for (int j = 0; j < n; ++j) {
+      const double* bj = &b(0, j);
+      double* cj = &c(0, j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = &a(0, i);
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
+        cj[i] += alpha * s;
+      }
+    }
+  } else {
+    // A^T B^T: accumulate per (i, j) with strided access to B's rows.
+    for (int j = 0; j < n; ++j) {
+      double* cj = &c(0, j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = &a(0, i);
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * b(j, l);
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView<double> a,
+          double beta, MatrixView<double> c) {
+  const int n = c.rows();
+  FTLA_CHECK(c.cols() == n);
+  const int k = trans == Trans::No ? a.cols() : a.rows();
+  FTLA_CHECK((trans == Trans::No ? a.rows() : a.cols()) == n);
+
+  // Scale only the referenced triangle.
+  for (int j = 0; j < n; ++j) {
+    const int lo = uplo == Uplo::Lower ? j : 0;
+    const int hi = uplo == Uplo::Lower ? n : j + 1;
+    double* col = &c(0, j);
+    if (beta == 0.0) {
+      for (int i = lo; i < hi; ++i) col[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = lo; i < hi; ++i) col[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (trans == Trans::No) {
+    // C += alpha * A A^T on the triangle: rank-1 updates per column of A.
+    for (int l = 0; l < k; ++l) {
+      const double* al = &a(0, l);
+      for (int j = 0; j < n; ++j) {
+        const double t = alpha * al[j];
+        if (t == 0.0) continue;
+        double* cj = &c(0, j);
+        const int lo = uplo == Uplo::Lower ? j : 0;
+        const int hi = uplo == Uplo::Lower ? n : j + 1;
+        for (int i = lo; i < hi; ++i) cj[i] += t * al[i];
+      }
+    }
+  } else {
+    // C += alpha * A^T A: dot products of A's columns.
+    for (int j = 0; j < n; ++j) {
+      const double* aj = &a(0, j);
+      double* cj = &c(0, j);
+      const int lo = uplo == Uplo::Lower ? j : 0;
+      const int hi = uplo == Uplo::Lower ? n : j + 1;
+      for (int i = lo; i < hi; ++i) {
+        const double* ai = &a(0, i);
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * aj[l];
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b) {
+  const int m = b.rows();
+  const int n = b.cols();
+  const int ka = side == Side::Left ? m : n;
+  FTLA_CHECK(a.rows() == ka && a.cols() == ka);
+
+  scale_inplace(b, alpha);
+  if (side == Side::Left) {
+    // op(A) X = B: solve each column of B independently.
+    for (int j = 0; j < n; ++j) trsv(uplo, trans, diag, a, &b(0, j), 1);
+  } else {
+    // X op(A) = B  <=>  op(A)^T X^T = B^T: solve each row of B with the
+    // transposed operator (stride = ld walks a row of B).
+    const Trans flipped = trans == Trans::No ? Trans::Yes : Trans::No;
+    for (int i = 0; i < m; ++i) trsv(uplo, flipped, diag, a, &b(i, 0), b.ld());
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b) {
+  const int m = b.rows();
+  const int n = b.cols();
+  const int ka = side == Side::Left ? m : n;
+  FTLA_CHECK(a.rows() == ka && a.cols() == ka);
+
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) trmv(uplo, trans, diag, a, &b(0, j), 1);
+  } else {
+    const Trans flipped = trans == Trans::No ? Trans::Yes : Trans::No;
+    for (int i = 0; i < m; ++i) trmv(uplo, flipped, diag, a, &b(i, 0), b.ld());
+  }
+  scale_inplace(b, alpha);
+}
+
+void symmetrize(Uplo stored, MatrixView<double> a) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      if (stored == Uplo::Lower) {
+        a(j, i) = a(i, j);
+      } else {
+        a(i, j) = a(j, i);
+      }
+    }
+  }
+}
+
+}  // namespace ftla::blas

@@ -1,0 +1,40 @@
+// BLAS Level-3: matrix-matrix operations on column-major views.
+//
+// These are the routines MAGMA's hybrid Cholesky dispatches to the GPU
+// (GEMM, SYRK, TRSM). The implementations are cache-blocked scalar code:
+// correctness and exact FLOP accounting matter here, raw speed is
+// supplied by the simulator's device cost model.
+#pragma once
+
+#include "blas/types.hpp"
+#include "common/matrix.hpp"
+
+namespace ftla::blas {
+
+using ftla::ConstMatrixView;
+using ftla::MatrixView;
+
+/// C := alpha * op(A) op(B) + beta * C
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView<double> a,
+          ConstMatrixView<double> b, double beta, MatrixView<double> c);
+
+/// C := alpha * op(A) op(A)^T + beta * C, only the `uplo` triangle of the
+/// n x n result is referenced/updated.
+void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView<double> a,
+          double beta, MatrixView<double> c);
+
+/// B := alpha * op(A)^{-1} B (Side::Left) or alpha * B op(A)^{-1}
+/// (Side::Right), with A triangular.
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b);
+
+/// B := alpha * op(A) B (Side::Left) or alpha * B op(A) (Side::Right),
+/// with A triangular.
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b);
+
+/// Copies the `uplo` triangle of a symmetric matrix into the other
+/// triangle so the matrix becomes explicitly symmetric.
+void symmetrize(Uplo stored, MatrixView<double> a);
+
+}  // namespace ftla::blas

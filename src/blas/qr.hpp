@@ -1,0 +1,47 @@
+// Householder QR substrate (LAPACK geqf2/larft/larfb subset) used by the
+// fault-tolerant QR extension.
+//
+// Conventions follow LAPACK: reflectors are H_j = I - tau_j v_j v_j^T
+// with v_j(j) = 1 implicit and v_j stored below the diagonal of the
+// packed factor; R sits on and above the diagonal. A block of k
+// reflectors composes into H_1 H_2 ... H_k = I - V T V^T with V the
+// unit-lower panel and T upper triangular (forward columnwise larft).
+#pragma once
+
+#include "blas/types.hpp"
+#include "common/matrix.hpp"
+
+namespace ftla::blas {
+
+/// Unblocked Householder QR of an m x k panel (LAPACK dgeqf2). On exit
+/// the panel is packed (V below the diagonal, R on/above); tau[0..k)
+/// receives the reflector scalars.
+void geqf2(MatrixView<double> a, double* tau);
+
+/// Forms the k x k upper-triangular block-reflector factor T for the
+/// packed panel V (LAPACK dlarft, forward columnwise).
+void larft(ConstMatrixView<double> v, const double* tau,
+           MatrixView<double> t);
+
+/// Applies the block reflector from the left: C := (I - V T V^T)^T C
+/// = (I - V T^T V^T) C, i.e. Q_panel^T C — the trailing update of
+/// blocked QR (LAPACK dlarfb, Left/Transpose/Forward/Columnwise).
+/// `v` is the packed panel (unit diagonal implicit, R part ignored).
+void larfb_left_t(ConstMatrixView<double> v, ConstMatrixView<double> t,
+                  MatrixView<double> c);
+
+/// Blocked Householder QR of a square n x n matrix with block size nb
+/// (dgeqrf-style). tau must hold n entries.
+void geqrf(MatrixView<double> a, double* tau, int nb = 64);
+
+/// Applies Q (or Q^T) of a packed QR factorization to C in place, using
+/// the unblocked reflectors (test/oracle quality, O(m^2 n)).
+void apply_q(ConstMatrixView<double> packed, const double* tau,
+             MatrixView<double> c, bool transpose);
+
+/// Relative residual ||A - Q R||_F / ||A||_F for a packed square
+/// factorization.
+double qr_residual(ConstMatrixView<double> a_original,
+                   ConstMatrixView<double> packed, const double* tau);
+
+}  // namespace ftla::blas

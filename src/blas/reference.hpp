@@ -1,0 +1,31 @@
+// Deliberately naive, obviously-correct reference implementations used
+// as test oracles for the optimized routines in level2/level3. They are
+// written element-wise with a generic op() accessor — a completely
+// different code shape from the production loops — so a shared bug is
+// unlikely.
+#pragma once
+
+#include "blas/types.hpp"
+#include "common/matrix.hpp"
+
+namespace ftla::blas::ref {
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView<double> a,
+          ConstMatrixView<double> b, double beta, MatrixView<double> c);
+
+void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView<double> a,
+          double beta, MatrixView<double> c);
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b);
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView<double> a, MatrixView<double> b);
+
+void gemv(Trans trans, double alpha, ConstMatrixView<double> a,
+          const double* x, int incx, double beta, double* y, int incy);
+
+/// Cholesky by the textbook jik formula (no BLAS calls at all).
+void potrf(MatrixView<double> a);
+
+}  // namespace ftla::blas::ref

@@ -1,0 +1,47 @@
+// Shared BLAS/LAPACK parameter enums (LAPACK naming conventions) and
+// exact floating-point-operation counts for each routine.
+//
+// The FLOP counters are load-bearing: the heterogeneous-system simulator
+// converts them into virtual execution time, and the analytic overhead
+// model (paper Tables III-VI) is validated against them.
+#pragma once
+
+#include <cstdint>
+
+namespace ftla::blas {
+
+enum class Trans { No, Yes };
+enum class Uplo { Lower, Upper };
+enum class Side { Left, Right };
+enum class Diag { NonUnit, Unit };
+
+/// FLOPs of C (m x n) += alpha * op(A) op(B) with inner dimension k.
+constexpr std::int64_t gemm_flops(std::int64_t m, std::int64_t n,
+                                  std::int64_t k) {
+  return 2 * m * n * k;
+}
+
+/// FLOPs of a SYRK rank-k update of an n x n triangle.
+constexpr std::int64_t syrk_flops(std::int64_t n, std::int64_t k) {
+  return n * (n + 1) * k;
+}
+
+/// FLOPs of TRSM with an m x n right-hand side (triangle on `side`).
+constexpr std::int64_t trsm_flops(Side side, std::int64_t m, std::int64_t n) {
+  return side == Side::Left ? m * m * n : n * n * m;
+}
+
+/// FLOPs of GEMV with an m x n matrix.
+constexpr std::int64_t gemv_flops(std::int64_t m, std::int64_t n) {
+  return 2 * m * n;
+}
+
+/// FLOPs of an unblocked Cholesky factorization of an n x n block.
+constexpr std::int64_t potf2_flops(std::int64_t n) {
+  return n * n * n / 3 + n * n / 2;  // n^3/3 + O(n^2) (roots + divisions)
+}
+
+/// FLOPs of a full Cholesky factorization of an n x n matrix.
+constexpr std::int64_t potrf_flops(std::int64_t n) { return n * n * n / 3; }
+
+}  // namespace ftla::blas

@@ -1,0 +1,72 @@
+// Error handling primitives shared by every ftla module.
+//
+// The library distinguishes programming errors (precondition violations,
+// reported via FTLA_CHECK / FTLA_BOUNDS_CHECK and always fatal) from
+// runtime conditions that callers are expected to handle (reported via
+// typed exceptions derived from ftla::Error).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ftla {
+
+/// Base class for all recoverable ftla runtime errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a matrix that must be symmetric positive definite is not
+/// (e.g. POTF2 encounters a non-positive pivot). In the fault-tolerance
+/// drivers this typically signals an uncorrected storage error that broke
+/// positive definiteness — the paper's "fail-stop" scenario.
+class NotPositiveDefiniteError : public Error {
+ public:
+  explicit NotPositiveDefiniteError(int column)
+      : Error("matrix is not positive definite at column " +
+              std::to_string(column)),
+        column_(column) {}
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int column_;
+};
+
+/// Thrown by ABFT verification when a corrupted block cannot be repaired
+/// from its checksums (more than one error per block column, or corrupted
+/// data discovered after it already propagated). Drivers respond by
+/// re-running the factorization, exactly as the paper's Offline/Online
+/// baselines must.
+class UnrecoverableCorruptionError : public Error {
+ public:
+  explicit UnrecoverableCorruptionError(const std::string& what)
+      : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "FTLA_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace detail
+
+/// Precondition check: always on (cheap compared to the O(n^3) work this
+/// library performs). Failure indicates a bug in the caller and aborts.
+#define FTLA_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::ftla::detail::check_failed(__FILE__, __LINE__, #expr, "");        \
+  } while (0)
+
+#define FTLA_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::ftla::detail::check_failed(__FILE__, __LINE__, #expr, (msg));     \
+  } while (0)
+
+}  // namespace ftla

@@ -1,0 +1,25 @@
+#include "common/fp.hpp"
+
+namespace ftla {
+
+namespace {
+// Maps the double bit pattern onto a monotone integer line so that
+// adjacent representable doubles differ by exactly 1.
+std::int64_t monotone_key(double x) {
+  const auto bits = static_cast<std::int64_t>(double_to_bits(x));
+  return bits >= 0 ? bits
+                   : std::numeric_limits<std::int64_t>::min() - bits;
+}
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::int64_t ka = monotone_key(a);
+  const std::int64_t kb = monotone_key(b);
+  return ka >= kb ? static_cast<std::uint64_t>(ka) - static_cast<std::uint64_t>(kb)
+                  : static_cast<std::uint64_t>(kb) - static_cast<std::uint64_t>(ka);
+}
+
+}  // namespace ftla

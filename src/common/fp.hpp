@@ -1,0 +1,44 @@
+// IEEE-754 double utilities: bit-level access (for fault injection),
+// ULP distances and tolerance helpers used by the ABFT detectors.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ftla {
+
+/// Reinterprets a double as its 64-bit pattern.
+inline std::uint64_t double_to_bits(double x) {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+/// Reinterprets a 64-bit pattern as a double.
+inline double bits_to_double(std::uint64_t b) {
+  return std::bit_cast<double>(b);
+}
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 63 = sign) of `x`.
+inline double flip_bit(double x, int bit) {
+  FTLA_CHECK(bit >= 0 && bit < 64);
+  return bits_to_double(double_to_bits(x) ^ (1ULL << bit));
+}
+
+/// Number of representable doubles strictly between a and b (saturating),
+/// or UINT64_MAX if either input is NaN.
+std::uint64_t ulp_distance(double a, double b);
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+inline bool approx_equal(double a, double b, double rtol,
+                         double atol = 0.0) {
+  const double diff = std::abs(a - b);
+  return diff <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Machine epsilon for double.
+inline constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+}  // namespace ftla

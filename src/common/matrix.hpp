@@ -1,0 +1,155 @@
+// Column-major dense matrix container and non-owning views.
+//
+// All of ftla uses LAPACK conventions: column-major storage with a
+// leading dimension (ld >= rows), so a view of any sub-block of a matrix
+// is itself a valid view. Element (i, j) of a view v lives at
+// v.data()[i + j * v.ld()].
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ftla {
+
+/// Non-owning mutable view of a column-major block.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    FTLA_CHECK(rows >= 0 && cols >= 0 && ld >= std::max(rows, 1));
+  }
+
+  [[nodiscard]] T* data() const noexcept { return data_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] T& operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  /// Sub-block view of `r x c` elements starting at element (i, j).
+  [[nodiscard]] MatrixView block(int i, int j, int r, int c) const {
+    FTLA_CHECK(i >= 0 && j >= 0 && r >= 0 && c >= 0 && i + r <= rows_ &&
+               j + c <= cols_);
+    return MatrixView(data_ + static_cast<std::size_t>(j) * ld_ + i, r, c,
+                      ld_);
+  }
+
+  [[nodiscard]] MatrixView col(int j) const { return block(0, j, rows_, 1); }
+  [[nodiscard]] MatrixView row(int i) const { return block(i, 0, 1, cols_); }
+
+ private:
+  T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Non-owning read-only view of a column-major block.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    FTLA_CHECK(rows >= 0 && cols >= 0 && ld >= std::max(rows, 1));
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors T* -> const T*.
+  ConstMatrixView(MatrixView<T> v)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return ld_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] const T& operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  [[nodiscard]] ConstMatrixView block(int i, int j, int r, int c) const {
+    FTLA_CHECK(i >= 0 && j >= 0 && r >= 0 && c >= 0 && i + r <= rows_ &&
+               j + c <= cols_);
+    return ConstMatrixView(data_ + static_cast<std::size_t>(j) * ld_ + i, r,
+                           c, ld_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Owning column-major matrix with ld == rows.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T fill = T{})
+      : rows_(rows),
+        cols_(cols),
+        storage_(static_cast<std::size_t>(rows) * cols, fill) {
+    FTLA_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+  [[nodiscard]] T& operator()(int i, int j) {
+    return storage_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  [[nodiscard]] const T& operator()(int i, int j) const {
+    return storage_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  [[nodiscard]] MatrixView<T> view() {
+    return MatrixView<T>(data(), rows_, cols_, std::max(rows_, 1));
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data(), rows_, cols_, std::max(rows_, 1));
+  }
+  [[nodiscard]] MatrixView<T> block(int i, int j, int r, int c) {
+    return view().block(i, j, r, c);
+  }
+  [[nodiscard]] ConstMatrixView<T> block(int i, int j, int r, int c) const {
+    return view().block(i, j, r, c);
+  }
+
+  void fill(T value) { std::fill(storage_.begin(), storage_.end(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.storage_ == b.storage_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> storage_;
+};
+
+/// Copies `src` into `dst`; shapes must match (views may have distinct ld).
+template <typename T>
+void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
+  FTLA_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (int j = 0; j < src.cols(); ++j) {
+    const T* s = &src(0, j);
+    T* d = &dst(0, j);
+    std::copy(s, s + src.rows(), d);
+  }
+}
+
+}  // namespace ftla

@@ -1,0 +1,82 @@
+#include "common/spd.hpp"
+
+#include <cmath>
+
+namespace ftla {
+
+void make_uniform(Matrix<double>& a, std::uint64_t seed) {
+  Rng rng(seed);
+  double* p = a.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = rng.uniform(-1.0, 1.0);
+}
+
+void make_spd(Matrix<double>& a, std::uint64_t seed) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  Matrix<double> g(n, n);
+  make_uniform(g, seed);
+  // A = G G^T + n I, computed symmetrically (lower half then mirrored).
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) s += g(i, k) * g(j, k);
+      if (i == j) s += n;
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+}
+
+void make_spd_diag_dominant(Matrix<double>& a, std::uint64_t seed) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  // Each diagonal entry strictly dominates its row: SPD by Gershgorin.
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j != i) row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0 + rng.next_double();
+  }
+}
+
+void make_spd_exponential(Matrix<double>& a, double rho, std::uint64_t seed) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n);
+  FTLA_CHECK(rho > -1.0 && rho < 1.0);
+  Rng rng(seed);
+  std::vector<double> scale(static_cast<std::size_t>(n));
+  for (auto& s : scale) s = rng.uniform(0.5, 2.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      a(i, j) = scale[i] * scale[j] * std::pow(rho, std::abs(i - j));
+    }
+  }
+}
+
+void make_normal_equations(Matrix<double>& a, int m, std::uint64_t seed) {
+  const int n = a.rows();
+  FTLA_CHECK(a.cols() == n && m >= n);
+  Matrix<double> x(m, n);
+  make_uniform(x, seed);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double s = 0.0;
+      for (int k = 0; k < m; ++k) s += x(k, i) * x(k, j);
+      if (i == j) s += 1e-3 * m;  // ridge keeps A comfortably SPD
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+}
+
+}  // namespace ftla

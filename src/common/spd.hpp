@@ -1,0 +1,33 @@
+// Generators for the workloads the paper factorizes: random symmetric
+// positive-definite matrices, plus structured instances (Kalman-filter
+// covariances, least-squares normal equations) used by the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace ftla {
+
+/// Fills `a` (n x n) with a random SPD matrix: A = G G^T + n * I where G
+/// has i.i.d. uniform(-1,1) entries. The n*I shift keeps the condition
+/// number moderate so factorizations of large test matrices stay stable.
+void make_spd(Matrix<double>& a, std::uint64_t seed);
+
+/// Diagonally dominant SPD matrix with unit off-diagonal scale; cheaper
+/// than make_spd (O(n^2) instead of O(n^3)) — preferred for large n.
+void make_spd_diag_dominant(Matrix<double>& a, std::uint64_t seed);
+
+/// SPD covariance-like matrix with exponentially decaying correlations,
+/// a_ij = s_i * s_j * rho^|i-j|; typical of Kalman-filter workloads.
+void make_spd_exponential(Matrix<double>& a, double rho, std::uint64_t seed);
+
+/// Normal-equations matrix A = X^T X (+ small ridge) for a random
+/// least-squares design matrix X (m x n, m >= n).
+void make_normal_equations(Matrix<double>& a, int m, std::uint64_t seed);
+
+/// Random general matrix with i.i.d. uniform(-1, 1) entries.
+void make_uniform(Matrix<double>& a, std::uint64_t seed);
+
+}  // namespace ftla

@@ -1,0 +1,32 @@
+// Minimal console table / CSV formatter used by the experiment harnesses
+// in bench/ to print paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftla {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Also supports CSV emission so figure data can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` significant digits.
+  static std::string num(double v, int prec = 4);
+  /// Formats a percentage like "5.32%".
+  static std::string pct(double fraction, int prec = 2);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftla

@@ -1,0 +1,125 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace ftla::fault {
+
+const char* to_string(FaultType t) {
+  return t == FaultType::Computing ? "computing" : "storage";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Syrk: return "syrk";
+    case Op::Gemm: return "gemm";
+    case Op::Potf2: return "potf2";
+    case Op::Trsm: return "trsm";
+  }
+  return "?";
+}
+
+Injector::Injector(std::vector<FaultSpec> plan, EccModel ecc)
+    : plan_(std::move(plan)), ecc_(ecc) {}
+
+std::vector<FaultSpec> Injector::take(FaultType type, Op op, int iteration) {
+  std::vector<FaultSpec> fired;
+  auto it = plan_.begin();
+  while (it != plan_.end()) {
+    if (it->type == type && it->op == op && it->iteration == iteration) {
+      // Storage faults pass through the ECC model first; computing
+      // errors are logic faults ECC cannot see.
+      if (type == FaultType::Storage && ecc_.corrects(it->bits)) {
+        ++ecc_absorbed_;
+      } else {
+        fired.push_back(*it);
+      }
+      it = plan_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return fired;
+}
+
+void Injector::record(const FaultSpec& spec, double old_value,
+                      double new_value, int global_row, int global_col) {
+  records_.push_back(
+      InjectionRecord{spec, old_value, new_value, global_row, global_col});
+}
+
+FaultSpec computing_error_at(int iter, int nblocks, Rng& rng) {
+  FTLA_CHECK(iter >= 0 && iter < nblocks);
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.iteration = iter;
+  // The GEMM panel update exists only while there are blocks below the
+  // diagonal; fall back to the SYRK diagonal update on the last column.
+  s.op = iter + 1 < nblocks ? Op::Gemm : Op::Syrk;
+  s.block_col = iter;
+  s.block_row =
+      s.op == Op::Gemm ? rng.uniform_int(iter + 1, nblocks - 1) : iter;
+  s.magnitude = rng.uniform(1.0e3, 1.0e5);
+  return s;
+}
+
+FaultSpec storage_error_at(int iter, int nblocks, Rng& rng) {
+  FTLA_CHECK(iter >= 1 && iter < nblocks);
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.iteration = iter;
+  // Corrupt an already-decomposed panel block that this iteration's
+  // SYRK/GEMM reads — the window classic Online-ABFT leaves unprotected.
+  s.op = rng.next_double() < 0.5 ? Op::Syrk : Op::Gemm;
+  s.block_col = rng.uniform_int(0, iter - 1);
+  s.block_row =
+      s.op == Op::Syrk ? iter
+                       : (iter + 1 < nblocks ? rng.uniform_int(iter + 1, nblocks - 1)
+                                             : iter);
+  if (s.op == Op::Gemm && s.block_row == iter) s.op = Op::Syrk;
+  // Two mantissa bits + one exponent bit: multi-bit, so SEC-DED ECC
+  // cannot repair it.
+  s.bits = {20, 44, 54};
+  return s;
+}
+
+std::vector<FaultSpec> random_plan(int count, int nblocks,
+                                   std::uint64_t seed,
+                                   std::optional<FaultType> only_type) {
+  FTLA_CHECK(count >= 0 && nblocks >= 2);
+  Rng rng(seed);
+  std::vector<FaultSpec> plan;
+  plan.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const bool computing =
+        only_type ? *only_type == FaultType::Computing
+                  : rng.next_double() < 0.5;
+    FaultSpec s;
+    if (computing) {
+      s = computing_error_at(rng.uniform_int(0, nblocks - 1), nblocks, rng);
+    } else {
+      s = storage_error_at(rng.uniform_int(1, nblocks - 1), nblocks, rng);
+    }
+    plan.push_back(s);
+  }
+  // At most one fault per (iteration, op, type, block) hook so that
+  // per-column correctability (one error per block column) holds.
+  std::stable_sort(plan.begin(), plan.end(), [](const FaultSpec& a,
+                                                const FaultSpec& b) {
+    return std::tie(a.iteration, a.op, a.type, a.block_row, a.block_col) <
+           std::tie(b.iteration, b.op, b.type, b.block_row, b.block_col);
+  });
+  plan.erase(std::unique(plan.begin(), plan.end(),
+                         [](const FaultSpec& a, const FaultSpec& b) {
+                           return a.iteration == b.iteration &&
+                                  a.op == b.op && a.type == b.type &&
+                                  a.block_row == b.block_row &&
+                                  a.block_col == b.block_col;
+                         }),
+             plan.end());
+  return plan;
+}
+
+}  // namespace ftla::fault

@@ -1,0 +1,132 @@
+// Fault model and injection bookkeeping (paper §III, §VII-B).
+//
+// Two fault types are modeled, matching the paper's taxonomy:
+//   * Computing errors ("1+1=3"): a kernel writes one wrong element into
+//     its output block. Injected immediately after the chosen operation.
+//   * Storage errors (bit flips at rest): one element of a block already
+//     resident in device memory is corrupted *between its last
+//     verification and its next read* — the window classic Online-ABFT
+//     does not protect. Injected immediately before the chosen operation
+//     reads the block.
+//
+// Faults are specified at program points (outer iteration, operation,
+// block), not at wall-clock times: injection is deterministic and
+// reproducible, and the program-point formulation is exactly how the
+// paper describes its experiments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ftla::fault {
+
+enum class FaultType { Computing, Storage };
+
+/// The four operations of one outer iteration of blocked Cholesky.
+enum class Op { Syrk, Gemm, Potf2, Trsm };
+
+[[nodiscard]] const char* to_string(FaultType t);
+[[nodiscard]] const char* to_string(Op op);
+
+/// One planned fault.
+struct FaultSpec {
+  FaultType type = FaultType::Computing;
+  /// Outer iteration (block column index) at which the fault fires.
+  int iteration = 0;
+  /// Computing: the op whose freshly written output is corrupted.
+  /// Storage: the op that is about to *read* the corrupted block.
+  Op op = Op::Gemm;
+  /// Target block in block coordinates; -1 lets the driver pick the
+  /// first block that matches the (iteration, op) hook.
+  int block_row = -1;
+  int block_col = -1;
+  /// Element inside the target block.
+  int elem_row = 0;
+  int elem_col = 0;
+  /// Computing error: the value written becomes value + magnitude.
+  double magnitude = 1.0e4;
+  /// Storage error: which bits of the stored double flip (0 = mantissa
+  /// LSB … 63 = sign). Multi-bit flips defeat SEC-DED ECC.
+  std::vector<int> bits = {52};
+  /// Inject into the block's checksum row instead of the block itself
+  /// (ABFT must recognize and repair corrupted checksums too).
+  bool target_checksum = false;
+};
+
+/// What actually happened when a fault fired.
+struct InjectionRecord {
+  FaultSpec spec;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  int global_row = -1;  ///< element coordinates in the full matrix
+  int global_col = -1;
+};
+
+/// SEC-DED ECC as deployed on Tesla-class GPUs: corrects any single-bit
+/// error in a protected word, detects-but-cannot-correct double-bit
+/// errors, and misses wider patterns. The paper's storage faults use
+/// multi-bit flips precisely because ECC already covers the 1-bit case.
+struct EccModel {
+  bool enabled = false;
+
+  /// True when ECC silently repairs the flip (fault never lands).
+  [[nodiscard]] bool corrects(const std::vector<int>& bits) const {
+    return enabled && bits.size() <= 1;
+  }
+};
+
+/// Hands out planned faults to the driver's injection hooks and records
+/// what fired so tests can assert every fault was detected/corrected.
+class Injector {
+ public:
+  Injector() = default;
+  explicit Injector(std::vector<FaultSpec> plan, EccModel ecc = {});
+
+  /// Called by the driver at a hook point; pops and returns every
+  /// not-yet-fired spec matching (type, op, iteration). Faults that ECC
+  /// corrects are consumed but reported in `ecc_absorbed_count`.
+  std::vector<FaultSpec> take(FaultType type, Op op, int iteration);
+
+  /// Driver reports the concrete effect of a fired fault.
+  void record(const FaultSpec& spec, double old_value, double new_value,
+              int global_row, int global_col);
+
+  [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] int fired_count() const noexcept {
+    return static_cast<int>(records_.size());
+  }
+  [[nodiscard]] int ecc_absorbed_count() const noexcept {
+    return ecc_absorbed_;
+  }
+  [[nodiscard]] int pending_count() const noexcept {
+    return static_cast<int>(plan_.size());
+  }
+  [[nodiscard]] const EccModel& ecc() const noexcept { return ecc_; }
+
+ private:
+  std::vector<FaultSpec> plan_;
+  std::vector<InjectionRecord> records_;
+  EccModel ecc_;
+  int ecc_absorbed_ = 0;
+};
+
+/// Builders for the paper's two experiment scenarios on an
+/// (nblocks x nblocks)-block matrix.
+/// One computing error in the GEMM output of iteration `iter`.
+FaultSpec computing_error_at(int iter, int nblocks, Rng& rng);
+/// One multi-bit storage error in a decomposed panel block that SYRK or
+/// GEMM of iteration `iter` is about to read.
+FaultSpec storage_error_at(int iter, int nblocks, Rng& rng);
+
+/// A randomized plan of `count` faults spread over the factorization.
+std::vector<FaultSpec> random_plan(int count, int nblocks,
+                                   std::uint64_t seed,
+                                   std::optional<FaultType> only_type = {});
+
+}  // namespace ftla::fault

@@ -1,0 +1,58 @@
+// Deferred column-major views into device memory.
+//
+// In TimingOnly mode device buffers have no storage, so code must not
+// materialize raw pointers while *describing* work. DMat / DConstMat
+// carry (buffer, offset, shape, ld) by value and materialize a real
+// MatrixView only when .view() is called — which drivers do exclusively
+// inside operation bodies, which only run in Numeric mode.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::sim {
+
+struct DMat {
+  DeviceBuffer* buf = nullptr;
+  std::int64_t off = 0;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  [[nodiscard]] MatrixView<double> view() const {
+    return buf->view(off, rows, cols, ld);
+  }
+  /// Sub-block, in elements relative to this view.
+  [[nodiscard]] DMat block(int i, int j, int r, int c) const {
+    FTLA_CHECK(i >= 0 && j >= 0 && i + r <= rows && j + c <= cols);
+    return DMat{buf, off + static_cast<std::int64_t>(j) * ld + i, r, c, ld};
+  }
+};
+
+struct DConstMat {
+  const DeviceBuffer* buf = nullptr;
+  std::int64_t off = 0;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  DConstMat() = default;
+  DConstMat(const DeviceBuffer* b, std::int64_t o, int r, int c, int l)
+      : buf(b), off(o), rows(r), cols(c), ld(l) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors mutable->const.
+  DConstMat(const DMat& m)
+      : buf(m.buf), off(m.off), rows(m.rows), cols(m.cols), ld(m.ld) {}
+
+  [[nodiscard]] ConstMatrixView<double> view() const {
+    return buf->view(off, rows, cols, ld);
+  }
+  [[nodiscard]] DConstMat block(int i, int j, int r, int c) const {
+    FTLA_CHECK(i >= 0 && j >= 0 && i + r <= rows && j + c <= cols);
+    return DConstMat{buf, off + static_cast<std::int64_t>(j) * ld + i, r, c,
+                     ld};
+  }
+};
+
+}  // namespace ftla::sim

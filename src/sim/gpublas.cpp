@@ -1,0 +1,75 @@
+#include "sim/gpublas.hpp"
+
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"
+
+namespace ftla::sim::gpublas {
+
+void gemm(Machine& m, StreamId s, Trans ta, Trans tb, double alpha,
+          DConstMat a, DConstMat b, double beta, DMat c, KernelClass cls) {
+  const std::int64_t k = ta == Trans::No ? a.cols : a.rows;
+  KernelDesc d{"gemm", cls, blas::gemm_flops(c.rows, c.cols, k), 0};
+  m.launch(s, d, [=] {
+    blas::gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view());
+  });
+}
+
+void syrk(Machine& m, StreamId s, Uplo uplo, Trans trans, double alpha,
+          DConstMat a, double beta, DMat c, KernelClass cls) {
+  const std::int64_t k = trans == Trans::No ? a.cols : a.rows;
+  KernelDesc d{"syrk", cls, blas::syrk_flops(c.rows, k), 0};
+  m.launch(s, d, [=] {
+    blas::syrk(uplo, trans, alpha, a.view(), beta, c.view());
+  });
+}
+
+void trsm(Machine& m, StreamId s, Side side, Uplo uplo, Trans trans,
+          Diag diag, double alpha, DConstMat a, DMat b, KernelClass cls) {
+  KernelDesc d{"trsm", cls, blas::trsm_flops(side, b.rows, b.cols), 0};
+  m.launch(s, d, [=] {
+    blas::trsm(side, uplo, trans, diag, alpha, a.view(), b.view());
+  });
+}
+
+void checksum_gemv(Machine& m, StreamId s, bool weighted, DConstMat a,
+                   DMat out_row) {
+  FTLA_CHECK(out_row.rows == 1 && out_row.cols == a.cols);
+  KernelDesc d{"chk_gemv", KernelClass::Blas2,
+               blas::gemv_flops(a.rows, a.cols), 0};
+  m.launch(s, d, [=] {
+    auto av = a.view();
+    auto out = out_row.view();
+    for (int j = 0; j < av.cols(); ++j) {
+      double acc = 0.0;
+      const double* col = &av(0, j);
+      if (weighted) {
+        for (int i = 0; i < av.rows(); ++i) acc += (i + 1.0) * col[i];
+      } else {
+        for (int i = 0; i < av.rows(); ++i) acc += col[i];
+      }
+      out(0, j) = acc;
+    }
+  });
+}
+
+void gemv(Machine& m, StreamId s, Trans trans, double alpha, DConstMat a,
+          DConstMat x, double beta, DMat y) {
+  KernelDesc d{"gemv", KernelClass::Blas2, blas::gemv_flops(a.rows, a.cols),
+               0};
+  m.launch(s, d, [=] {
+    blas::gemv(trans, alpha, a.view(), x.view().data(), 1, beta,
+               y.view().data(), 1);
+  });
+}
+
+void fill(Machine& m, StreamId s, DMat a, double value) {
+  KernelDesc d{"fill", KernelClass::Memset,
+               static_cast<std::int64_t>(a.rows) * a.cols, 0};
+  m.launch(s, d, [=] {
+    auto av = a.view();
+    for (int j = 0; j < av.cols(); ++j)
+      for (int i = 0; i < av.rows(); ++i) av(i, j) = value;
+  });
+}
+
+}  // namespace ftla::sim::gpublas

@@ -1,0 +1,52 @@
+// The simulated node's "cuBLAS": device BLAS entry points that execute
+// the numeric payload via ftla::blas and charge the cost model with the
+// routine's exact FLOP count.
+//
+// Every function is asynchronous with respect to the host and ordered
+// within its stream, matching cuBLAS-with-streams semantics that MAGMA
+// relies on.
+#pragma once
+
+#include "blas/types.hpp"
+#include "sim/device_matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::sim::gpublas {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+/// C := alpha * op(A) op(B) + beta * C. `cls` lets callers price skinny
+/// checksum-update GEMMs differently from full tiles (paper Opt 2).
+void gemm(Machine& m, StreamId s, Trans ta, Trans tb, double alpha,
+          DConstMat a, DConstMat b, double beta, DMat c,
+          KernelClass cls = KernelClass::Blas3);
+
+/// C := alpha * op(A) op(A)^T + beta * C (triangle only).
+void syrk(Machine& m, StreamId s, Uplo uplo, Trans trans, double alpha,
+          DConstMat a, double beta, DMat c,
+          KernelClass cls = KernelClass::Blas3);
+
+/// B := alpha * op(A)^{-1} B or alpha * B op(A)^{-1}.
+void trsm(Machine& m, StreamId s, Side side, Uplo uplo, Trans trans,
+          Diag diag, double alpha, DConstMat a, DMat b,
+          KernelClass cls = KernelClass::Blas3);
+
+/// y-row update used for checksum recalculation: computes
+/// chk := v^T A for one weight vector as a BLAS-2 kernel.
+/// `v` is implicit (weights 1..form selected by `weighted`):
+///   weighted == false -> v = [1, 1, ..., 1]
+///   weighted == true  -> v = [1, 2, ..., rows]
+void checksum_gemv(Machine& m, StreamId s, bool weighted, DConstMat a,
+                   DMat out_row);
+
+/// General device GEMV (BLAS-2 pricing).
+void gemv(Machine& m, StreamId s, Trans trans, double alpha, DConstMat a,
+          DConstMat x, double beta, DMat y);
+
+/// Sets a device region to a constant.
+void fill(Machine& m, StreamId s, DMat a, double value);
+
+}  // namespace ftla::sim::gpublas

@@ -1,0 +1,347 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace ftla::sim {
+
+std::int64_t SimStats::total_gpu_flops() const {
+  std::int64_t total = 0;
+  for (const auto& [cls, s] : gpu) total += s.flops;
+  return total;
+}
+
+// ----- DeviceBuffer --------------------------------------------------
+
+double* DeviceBuffer::data() {
+  FTLA_CHECK_MSG(machine_ != nullptr && machine_->numeric(),
+                 "device data is only addressable in Numeric mode");
+  return storage_.data();
+}
+
+const double* DeviceBuffer::data() const {
+  FTLA_CHECK_MSG(machine_ != nullptr && machine_->numeric(),
+                 "device data is only addressable in Numeric mode");
+  return storage_.data();
+}
+
+MatrixView<double> DeviceBuffer::view(std::int64_t off, int rows, int cols,
+                                      int ld) {
+  FTLA_CHECK(off >= 0 &&
+             off + static_cast<std::int64_t>(ld) * (cols - 1) + rows <=
+                 count_);
+  return MatrixView<double>(data() + off, rows, cols, ld);
+}
+
+ConstMatrixView<double> DeviceBuffer::view(std::int64_t off, int rows,
+                                           int cols, int ld) const {
+  FTLA_CHECK(off >= 0 &&
+             off + static_cast<std::int64_t>(ld) * (cols - 1) + rows <=
+                 count_);
+  return ConstMatrixView<double>(data() + off, rows, cols, ld);
+}
+
+void DeviceBuffer::move_from(DeviceBuffer& other) noexcept {
+  machine_ = other.machine_;
+  storage_ = std::move(other.storage_);
+  count_ = other.count_;
+  other.machine_ = nullptr;
+  other.count_ = 0;
+}
+
+void DeviceBuffer::release() noexcept {
+  if (machine_ != nullptr) {
+    machine_->device_bytes_in_use_ -= bytes();
+    machine_ = nullptr;
+    storage_.clear();
+    count_ = 0;
+  }
+}
+
+// ----- Machine --------------------------------------------------------
+
+Machine::Machine(MachineProfile profile, ExecutionMode mode)
+    : profile_(std::move(profile)),
+      mode_(mode),
+      gpu_pool_(profile_.sm_count + profile_.coexec_spare_units) {
+  streams_.push_back(StreamState{});  // stream 0 = default stream
+}
+
+DeviceBuffer Machine::alloc(std::int64_t count) {
+  FTLA_CHECK(count >= 0);
+  DeviceBuffer buf;
+  buf.machine_ = this;
+  buf.count_ = count;
+  if (numeric()) {
+    buf.storage_.assign(static_cast<std::size_t>(count), 0.0);
+  }
+  device_bytes_in_use_ += buf.bytes();
+  FTLA_CHECK_MSG(device_bytes_in_use_ <= profile_.gpu_memory_bytes,
+                 "simulated device memory exhausted");
+  return buf;
+}
+
+StreamId Machine::create_stream() {
+  streams_.push_back(StreamState{});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+EventId Machine::record_event(StreamId s) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  host_time_ += profile_.host_call_overhead_s;
+  events_.push_back(std::max(streams_[s].last_end, host_time_));
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void Machine::stream_wait_event(StreamId s, EventId e) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  FTLA_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()));
+  host_time_ += profile_.host_call_overhead_s;
+  streams_[s].last_end = std::max(streams_[s].last_end, events_[e]);
+}
+
+void Machine::sync_stream(StreamId s) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  host_time_ = std::max(host_time_, streams_[s].last_end);
+}
+
+void Machine::sync_event(EventId e) {
+  FTLA_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()));
+  host_time_ = std::max(host_time_, events_[e]);
+}
+
+void Machine::sync_all() {
+  double t = host_time_;
+  for (const auto& st : streams_) t = std::max(t, st.last_end);
+  t = std::max({t, h2d_free_, d2h_free_, gpu_pool_.last_end()});
+  host_time_ = t;
+}
+
+int Machine::resolve_units(const KernelDesc& d) const {
+  int units = d.sm_units > 0 ? d.sm_units : profile_.default_sm_units(d.cls);
+  units = std::min(units, profile_.sm_count);
+  // When the concurrent-kernel limit N is tighter than the SM pool,
+  // inflate the footprint so at most N kernels ever co-run.
+  const int min_units =
+      (profile_.sm_count + profile_.max_concurrent_kernels - 1) /
+      profile_.max_concurrent_kernels;
+  return std::max(units, min_units);
+}
+
+double Machine::kernel_duration(const KernelDesc& d, int units) const {
+  double dur = profile_.kernel_launch_overhead_s;
+  if (d.flops > 0) {
+    const double rate = profile_.gpu_rate_gflops(d.cls, units) * 1e9;
+    dur += static_cast<double>(d.flops) / rate;
+  }
+  return dur;
+}
+
+void Machine::note_trace(std::string name, KernelClass cls, int lane,
+                         double start, double end, int units) {
+  if (!trace_enabled_) return;
+  trace_.push_back(TraceRecord{std::move(name), cls, lane, start, end, units});
+}
+
+void Machine::launch(StreamId s, const KernelDesc& d,
+                     const std::function<void()>& body) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  if (numeric() && body) body();
+
+  host_time_ += profile_.host_call_overhead_s;
+  gpu_pool_.prune(std::min(host_time_, gpu_pool_.last_end()));
+  // Duration comes from the units the kernel actually computes with; the
+  // *footprint* may be inflated so that at most max_concurrent_kernels
+  // ever co-run (a scheduling constraint, not a speedup).
+  const int units =
+      std::min(d.sm_units > 0 ? d.sm_units : profile_.default_sm_units(d.cls),
+               profile_.sm_count);
+  const double dur = kernel_duration(d, units);
+  const int footprint = resolve_units(d);
+  const double earliest = std::max(host_time_, streams_[s].last_end);
+  const double start = gpu_pool_.allocate(earliest, dur, footprint);
+  const double end = start + dur;
+  streams_[s].last_end = end;
+
+  auto& cs = stats_.gpu[d.cls];
+  ++cs.count;
+  cs.flops += d.flops;
+  cs.busy_seconds += dur;
+  note_trace(d.name, d.cls, s, start, end, units);
+}
+
+void Machine::host_compute(const KernelDesc& d,
+                           const std::function<void()>& body) {
+  if (numeric() && body) body();
+  double dur = 0.0;
+  if (d.flops > 0) {
+    const double rate =
+        profile_.cpu_peak_gflops * profile_.cpu_efficiency(d.cls) * 1e9;
+    dur = static_cast<double>(d.flops) / rate;
+  }
+  const double start = host_time_;
+  host_time_ += dur;
+  stats_.host_busy_seconds += dur;
+  auto& cs = stats_.host[d.cls];
+  ++cs.count;
+  cs.flops += d.flops;
+  cs.busy_seconds += dur;
+  note_trace(d.name, d.cls, kHostLane, start, host_time_, 0);
+}
+
+void Machine::host_advance(double seconds) {
+  FTLA_CHECK(seconds >= 0.0);
+  host_time_ += seconds;
+}
+
+void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
+                         const double* src, std::int64_t n, StreamId s,
+                         bool blocking) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  FTLA_CHECK(dst_off >= 0 && dst_off + n <= dst.count());
+  if (numeric()) std::copy(src, src + n, dst.data() + dst_off);
+
+  host_time_ += profile_.host_call_overhead_s;
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  const double dur =
+      profile_.transfer_latency_s + bytes / (profile_.h2d_bandwidth_gbs * 1e9);
+  const double earliest =
+      std::max({host_time_, streams_[s].last_end, h2d_free_});
+  const double end = earliest + dur;
+  h2d_free_ = end;
+  streams_[s].last_end = end;
+  ++stats_.h2d_count;
+  stats_.h2d_bytes += n * static_cast<std::int64_t>(sizeof(double));
+  stats_.h2d_seconds += dur;
+  note_trace("h2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  if (blocking) host_time_ = std::max(host_time_, end);
+}
+
+void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
+                         std::int64_t src_off, std::int64_t n, StreamId s,
+                         bool blocking) {
+  FTLA_CHECK(s >= 0 && s < stream_count());
+  FTLA_CHECK(src_off >= 0 && src_off + n <= src.count());
+  if (numeric()) {
+    const double* p = src.data() + src_off;
+    std::copy(p, p + n, dst);
+  }
+
+  host_time_ += profile_.host_call_overhead_s;
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  const double dur =
+      profile_.transfer_latency_s + bytes / (profile_.d2h_bandwidth_gbs * 1e9);
+  const double earliest =
+      std::max({host_time_, streams_[s].last_end, d2h_free_});
+  const double end = earliest + dur;
+  d2h_free_ = end;
+  streams_[s].last_end = end;
+  ++stats_.d2h_count;
+  stats_.d2h_bytes += n * static_cast<std::int64_t>(sizeof(double));
+  stats_.d2h_seconds += dur;
+  note_trace("d2h", KernelClass::Other, kD2hLane, earliest, end, 0);
+  if (blocking) host_time_ = std::max(host_time_, end);
+}
+
+void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
+                            int dst_ld, const double* src, int src_ld,
+                            int rows, int cols, StreamId s, bool blocking) {
+  FTLA_CHECK(rows >= 0 && cols >= 0 && dst_ld >= rows && src_ld >= rows);
+  if (rows == 0 || cols == 0) return;
+  FTLA_CHECK(dst_off >= 0 &&
+             dst_off + static_cast<std::int64_t>(cols - 1) * dst_ld + rows <=
+                 dst.count());
+  if (numeric()) {
+    for (int j = 0; j < cols; ++j) {
+      const double* sp = src + static_cast<std::int64_t>(j) * src_ld;
+      std::copy(sp, sp + rows,
+                dst.data() + dst_off + static_cast<std::int64_t>(j) * dst_ld);
+    }
+  }
+  host_time_ += profile_.host_call_overhead_s;
+  const double bytes =
+      static_cast<double>(rows) * cols * sizeof(double);
+  const double dur =
+      profile_.transfer_latency_s + bytes / (profile_.h2d_bandwidth_gbs * 1e9);
+  const double earliest =
+      std::max({host_time_, streams_[s].last_end, h2d_free_});
+  const double end = earliest + dur;
+  h2d_free_ = end;
+  streams_[s].last_end = end;
+  ++stats_.h2d_count;
+  stats_.h2d_bytes += static_cast<std::int64_t>(rows) * cols * 8;
+  stats_.h2d_seconds += dur;
+  note_trace("h2d_2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  if (blocking) host_time_ = std::max(host_time_, end);
+}
+
+void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
+                            std::int64_t src_off, int src_ld, int rows,
+                            int cols, StreamId s, bool blocking) {
+  FTLA_CHECK(rows >= 0 && cols >= 0 && dst_ld >= rows && src_ld >= rows);
+  if (rows == 0 || cols == 0) return;
+  FTLA_CHECK(src_off >= 0 &&
+             src_off + static_cast<std::int64_t>(cols - 1) * src_ld + rows <=
+                 src.count());
+  if (numeric()) {
+    for (int j = 0; j < cols; ++j) {
+      const double* sp =
+          src.data() + src_off + static_cast<std::int64_t>(j) * src_ld;
+      std::copy(sp, sp + rows, dst + static_cast<std::int64_t>(j) * dst_ld);
+    }
+  }
+  host_time_ += profile_.host_call_overhead_s;
+  const double bytes =
+      static_cast<double>(rows) * cols * sizeof(double);
+  const double dur =
+      profile_.transfer_latency_s + bytes / (profile_.d2h_bandwidth_gbs * 1e9);
+  const double earliest =
+      std::max({host_time_, streams_[s].last_end, d2h_free_});
+  const double end = earliest + dur;
+  d2h_free_ = end;
+  streams_[s].last_end = end;
+  ++stats_.d2h_count;
+  stats_.d2h_bytes += static_cast<std::int64_t>(rows) * cols * 8;
+  stats_.d2h_seconds += dur;
+  note_trace("d2h_2d", KernelClass::Other, kD2hLane, earliest, end, 0);
+  if (blocking) host_time_ = std::max(host_time_, end);
+}
+
+void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
+                         const DeviceBuffer& src, std::int64_t src_off,
+                         std::int64_t n, StreamId s) {
+  FTLA_CHECK(dst_off >= 0 && dst_off + n <= dst.count());
+  FTLA_CHECK(src_off >= 0 && src_off + n <= src.count());
+  // An on-device DMA: bandwidth-priced, occupies one SM-equivalent of
+  // the pool for its duration (copies do steal some memory bandwidth).
+  if (numeric()) {
+    const double* p = src.data() + src_off;
+    std::copy(p, p + n, dst.data() + dst_off);
+  }
+  host_time_ += profile_.host_call_overhead_s;
+  gpu_pool_.prune(std::min(host_time_, gpu_pool_.last_end()));
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  const double dur = profile_.kernel_launch_overhead_s +
+                     bytes / (profile_.d2d_bandwidth_gbs * 1e9);
+  const double earliest = std::max(host_time_, streams_[s].last_end);
+  const double start = gpu_pool_.allocate(earliest, dur, 1);
+  streams_[s].last_end = start + dur;
+  auto& cs = stats_.gpu[KernelClass::Memset];
+  ++cs.count;
+  cs.busy_seconds += dur;
+  note_trace("d2d", KernelClass::Memset, s, start, start + dur, 1);
+}
+
+double Machine::makespan() const noexcept {
+  double t = host_time_;
+  for (const auto& st : streams_) t = std::max(t, st.last_end);
+  return std::max({t, h2d_free_, d2h_free_, gpu_pool_.last_end()});
+}
+
+double Machine::gpu_utilization() const {
+  const double span = makespan();
+  if (span <= 0.0) return 0.0;
+  const int capacity = profile_.sm_count + profile_.coexec_spare_units;
+  return gpu_pool_.busy_unit_seconds() / (span * capacity);
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,239 @@
+// The heterogeneous-node simulator: a CUDA-like runtime with a virtual
+// clock.
+//
+// Semantics mirror the CUDA features the paper's implementation relies
+// on: device memory distinct from host memory, per-stream FIFO ordering,
+// events, async H2D/D2H copies on dedicated copy engines, and concurrent
+// kernel execution bounded by device resources (paper Opt 1).
+//
+// Execution model — "real math, virtual time":
+//   * In ExecutionMode::Numeric every operation's `body` closure runs
+//     eagerly at issue time, so numerics (and injected faults) are real.
+//   * Timing is simulated: each operation is placed on a discrete-event
+//     timeline using the machine profile's cost model, and benches report
+//     virtual seconds. Nothing reads the wall clock.
+//   * In ExecutionMode::TimingOnly bodies are skipped and device buffers
+//     hold no storage, so paper-scale problem sizes (30720^2 doubles)
+//     can be swept cheaply. Callers must only touch data inside bodies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "sim/profile.hpp"
+#include "sim/timeline.hpp"
+
+namespace ftla::sim {
+
+enum class ExecutionMode { Numeric, TimingOnly };
+
+/// Static description of one unit of simulated work.
+struct KernelDesc {
+  std::string name;
+  KernelClass cls = KernelClass::Other;
+  std::int64_t flops = 0;
+  /// SM units requested; 0 means the profile default for `cls`.
+  int sm_units = 0;
+};
+
+using StreamId = int;
+using EventId = int;
+
+struct TraceRecord {
+  std::string name;
+  KernelClass cls = KernelClass::Other;
+  int lane = 0;  ///< stream id, or kHostLane / kH2dLane / kD2hLane
+  double start = 0.0;
+  double end = 0.0;
+  int units = 0;
+};
+
+inline constexpr int kHostLane = -1;
+inline constexpr int kH2dLane = -2;
+inline constexpr int kD2hLane = -3;
+
+struct ClassStats {
+  long long count = 0;
+  std::int64_t flops = 0;
+  double busy_seconds = 0.0;
+};
+
+struct SimStats {
+  std::map<KernelClass, ClassStats> gpu;
+  std::map<KernelClass, ClassStats> host;
+  long long h2d_count = 0;
+  long long d2h_count = 0;
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  double h2d_seconds = 0.0;
+  double d2h_seconds = 0.0;
+  double host_busy_seconds = 0.0;
+
+  [[nodiscard]] std::int64_t total_gpu_flops() const;
+  [[nodiscard]] double total_transfer_seconds() const {
+    return h2d_seconds + d2h_seconds;
+  }
+};
+
+class Machine;
+
+/// A device-memory allocation of doubles. RAII: releases its accounting
+/// (and storage in Numeric mode) on destruction. Movable, not copyable.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { move_from(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t bytes() const noexcept {
+    return count_ * static_cast<std::int64_t>(sizeof(double));
+  }
+  [[nodiscard]] bool allocated() const noexcept { return machine_ != nullptr; }
+
+  /// Raw device pointer — only valid in Numeric mode, and by convention
+  /// only touched from inside operation bodies.
+  [[nodiscard]] double* data();
+  [[nodiscard]] const double* data() const;
+
+  /// Column-major view of [off, off + rows*cols) with leading dim `ld`.
+  [[nodiscard]] MatrixView<double> view(std::int64_t off, int rows, int cols,
+                                        int ld);
+  [[nodiscard]] ConstMatrixView<double> view(std::int64_t off, int rows,
+                                             int cols, int ld) const;
+
+ private:
+  friend class Machine;
+  void move_from(DeviceBuffer& other) noexcept;
+  void release() noexcept;
+
+  Machine* machine_ = nullptr;
+  std::vector<double> storage_;
+  std::int64_t count_ = 0;
+};
+
+/// One simulated CPU+GPU node.
+class Machine {
+ public:
+  Machine(MachineProfile profile, ExecutionMode mode);
+
+  [[nodiscard]] const MachineProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] ExecutionMode mode() const noexcept { return mode_; }
+  /// True when numeric payloads execute (bodies run, buffers are real).
+  [[nodiscard]] bool numeric() const noexcept {
+    return mode_ == ExecutionMode::Numeric;
+  }
+
+  // ----- device memory ---------------------------------------------
+  /// Allocates `count` doubles of device memory (zero-initialized, as
+  /// the drivers rely on deterministic contents).
+  DeviceBuffer alloc(std::int64_t count);
+  [[nodiscard]] std::int64_t device_bytes_in_use() const noexcept {
+    return device_bytes_in_use_;
+  }
+
+  // ----- streams and events ----------------------------------------
+  [[nodiscard]] StreamId default_stream() const noexcept { return 0; }
+  StreamId create_stream();
+  [[nodiscard]] int stream_count() const noexcept {
+    return static_cast<int>(streams_.size());
+  }
+  EventId record_event(StreamId s);
+  void stream_wait_event(StreamId s, EventId e);
+  void sync_stream(StreamId s);
+  void sync_event(EventId e);
+  /// cudaDeviceSynchronize(): joins the host with all device work.
+  void sync_all();
+
+  // ----- work -------------------------------------------------------
+  /// Launches a kernel asynchronously on stream `s`. `body` performs the
+  /// numeric payload (run eagerly in Numeric mode, skipped otherwise).
+  void launch(StreamId s, const KernelDesc& d,
+              const std::function<void()>& body);
+
+  /// Runs work on the host CPU, advancing the host clock by the modeled
+  /// duration. Host work implicitly serializes with other host work.
+  void host_compute(const KernelDesc& d, const std::function<void()>& body);
+
+  /// Advances the host clock without doing work (driver-logic cost).
+  void host_advance(double seconds);
+
+  /// Async copy host -> device on the H2D engine, ordered within `s`.
+  void memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off, const double* src,
+                  std::int64_t n, StreamId s, bool blocking = false);
+  /// Async copy device -> host on the D2H engine, ordered within `s`.
+  void memcpy_d2h(double* dst, const DeviceBuffer& src, std::int64_t src_off,
+                  std::int64_t n, StreamId s, bool blocking = false);
+  /// Strided 2-D copies (cudaMemcpy2D equivalents) for moving blocks and
+  /// panels that are sub-views of larger column-major matrices.
+  void memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off, int dst_ld,
+                     const double* src, int src_ld, int rows, int cols,
+                     StreamId s, bool blocking = false);
+  void memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
+                     std::int64_t src_off, int src_ld, int rows, int cols,
+                     StreamId s, bool blocking = false);
+
+  /// Device-to-device copy (modeled as a 1-SM copy kernel).
+  void memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
+                  const DeviceBuffer& src, std::int64_t src_off,
+                  std::int64_t n, StreamId s);
+
+  // ----- clocks and reporting ---------------------------------------
+  [[nodiscard]] double host_now() const noexcept { return host_time_; }
+  /// Completion time of everything issued so far (host + GPU + copies).
+  [[nodiscard]] double makespan() const noexcept;
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double gpu_busy_sm_seconds() const noexcept {
+    return gpu_pool_.busy_unit_seconds();
+  }
+  /// Mean GPU SM-pool utilization over [0, makespan()].
+  [[nodiscard]] double gpu_utilization() const;
+
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  friend class DeviceBuffer;
+
+  struct StreamState {
+    double last_end = 0.0;
+  };
+
+  double kernel_duration(const KernelDesc& d, int units) const;
+  int resolve_units(const KernelDesc& d) const;
+  void note_trace(std::string name, KernelClass cls, int lane, double start,
+                  double end, int units);
+
+  MachineProfile profile_;
+  ExecutionMode mode_;
+  double host_time_ = 0.0;
+  ResourceTimeline gpu_pool_;
+  double h2d_free_ = 0.0;
+  double d2h_free_ = 0.0;
+  std::vector<StreamState> streams_;
+  std::vector<double> events_;
+  std::int64_t device_bytes_in_use_ = 0;
+  SimStats stats_;
+  bool trace_enabled_ = false;
+  std::vector<TraceRecord> trace_;
+};
+
+}  // namespace ftla::sim

@@ -1,0 +1,188 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ftla::sim {
+
+const char* to_string(KernelClass c) {
+  switch (c) {
+    case KernelClass::Blas3: return "blas3";
+    case KernelClass::Blas3Skinny: return "blas3_skinny";
+    case KernelClass::Blas2: return "blas2";
+    case KernelClass::Blas1: return "blas1";
+    case KernelClass::HostPotf2: return "host_potf2";
+    case KernelClass::HostChecksum: return "host_checksum";
+    case KernelClass::Compare: return "compare";
+    case KernelClass::Memset: return "memset";
+    case KernelClass::Other: return "other";
+  }
+  return "?";
+}
+
+double MachineProfile::gpu_efficiency(KernelClass c) const {
+  switch (c) {
+    case KernelClass::Blas3: return eff_blas3;
+    case KernelClass::Blas3Skinny: return eff_blas3_skinny;
+    case KernelClass::Blas2: return eff_blas2;
+    case KernelClass::Blas1: return eff_blas1;
+    case KernelClass::Compare: return eff_blas1;
+    case KernelClass::Memset: return eff_other;
+    default: return eff_other;
+  }
+}
+
+int MachineProfile::default_sm_units(KernelClass c) const {
+  switch (c) {
+    case KernelClass::Blas2:
+      return std::min(blas2_sm_units, sm_count);
+    case KernelClass::Blas3Skinny:
+      return std::min(blas3_skinny_sm_units, sm_count);
+    case KernelClass::Blas1:
+    case KernelClass::Compare:
+      return 1;
+    default:
+      return sm_count;  // large kernels occupy the whole device
+  }
+}
+
+double MachineProfile::cpu_efficiency(KernelClass c) const {
+  switch (c) {
+    case KernelClass::HostPotf2: return cpu_eff_potf2;
+    case KernelClass::HostChecksum: return cpu_eff_checksum;
+    default: return cpu_eff_checksum;
+  }
+}
+
+double MachineProfile::gpu_rate_gflops(KernelClass c, int units) const {
+  FTLA_CHECK(units > 0 && units <= sm_count);
+  const double per_sm = gpu_peak_gflops / sm_count;
+  return per_sm * units * gpu_efficiency(c);
+}
+
+MachineProfile tardis() {
+  MachineProfile p;
+  p.name = "tardis";
+  // NVIDIA Tesla M2075 (Fermi GF110): 515 GFLOP/s DP peak, 14 SMs,
+  // 16-way concurrent kernels, 6 GB GDDR5, PCIe gen2.
+  p.gpu_peak_gflops = 515.0;
+  p.sm_count = 14;
+  p.max_concurrent_kernels = 16;
+  p.kernel_launch_overhead_s = 6e-6;
+  p.gpu_memory_bytes = 6LL << 30;
+  p.eff_blas3 = 0.62;          // ~320 GFLOP/s DGEMM, matches MAGMA on M2075
+  p.eff_blas3_skinny = 0.20;
+  // A lone cuBLAS dgemv on a 256x256 block reaches ~36 GFLOP/s on Fermi
+  // (bandwidth/latency bound); concurrent kernels roughly double the
+  // aggregate before the memory system saturates. Modeled as 7-SM
+  // kernels at 14% efficiency: solo 36 GF/s, two co-run (P = 2).
+  p.eff_blas2 = 0.14;
+  p.blas2_sm_units = 7;
+  p.blas3_skinny_sm_units = 4;
+  p.coexec_spare_units = 1;    // Fermi co-execution is weak
+  // 2x AMD Opteron 6272 (16 "cores" / 8 modules each, 2.1 GHz):
+  // 8 DP flop/cycle/module -> ~134 GFLOP/s per socket peak.
+  p.cpu_peak_gflops = 268.0;
+  p.cpu_eff_potf2 = 0.06;
+  p.cpu_eff_checksum = 0.30;
+  p.h2d_bandwidth_gbs = 5.5;   // PCIe gen2 x16 effective
+  p.d2h_bandwidth_gbs = 5.5;
+  p.transfer_latency_s = 12e-6;
+  p.d2d_bandwidth_gbs = 120.0; // ~GDDR5 copy throughput on the M2075
+  p.magma_block_size = 256;    // MAGMA default for Fermi
+  return p;
+}
+
+MachineProfile bulldozer64() {
+  MachineProfile p;
+  p.name = "bulldozer64";
+  // NVIDIA Tesla K40c (Kepler GK110B): 1430 GFLOP/s DP peak (boost),
+  // 15 SMX, 32-way concurrent kernels (Hyper-Q), 12 GB, PCIe gen3.
+  p.gpu_peak_gflops = 1430.0;
+  p.sm_count = 15;
+  p.max_concurrent_kernels = 32;
+  p.kernel_launch_overhead_s = 4e-6;
+  p.gpu_memory_bytes = 12LL << 30;
+  p.eff_blas3 = 0.78;          // ~1.1 TFLOP/s DGEMM on K40
+  p.eff_blas3_skinny = 0.22;
+  // A lone dgemv on a 512x512 block reaches ~38 GFLOP/s on the K40;
+  // Hyper-Q co-runs enough of them to quadruple the aggregate (the
+  // paper's much larger Opt-1 gain on this system). Modeled as 4-SM
+  // kernels at 10% efficiency: solo 38 GF/s, four co-run (P = 4).
+  p.eff_blas2 = 0.10;
+  p.blas2_sm_units = 4;
+  p.blas3_skinny_sm_units = 4;
+  p.coexec_spare_units = 4;    // Hyper-Q co-runs small kernels freely
+  // 4x AMD Opteron 6272.
+  p.cpu_peak_gflops = 537.0;
+  p.cpu_eff_potf2 = 0.05;
+  p.cpu_eff_checksum = 0.30;
+  p.h2d_bandwidth_gbs = 10.0;  // PCIe gen3 x16 effective
+  p.d2h_bandwidth_gbs = 10.0;
+  p.transfer_latency_s = 10e-6;
+  p.d2d_bandwidth_gbs = 250.0; // GDDR5 copy throughput on the K40c
+  p.magma_block_size = 512;    // MAGMA default for Kepler
+  return p;
+}
+
+MachineProfile test_rig() {
+  MachineProfile p;
+  p.name = "test_rig";
+  // Round numbers so tests can compute expected virtual times by hand:
+  // per-SM rate = 10 GFLOP/s, all efficiencies 1, no fixed overheads.
+  p.gpu_peak_gflops = 40.0;
+  p.sm_count = 4;
+  p.max_concurrent_kernels = 4;
+  p.kernel_launch_overhead_s = 0.0;
+  p.gpu_memory_bytes = 1LL << 30;
+  p.eff_blas3 = 1.0;
+  p.eff_blas3_skinny = 1.0;
+  p.eff_blas2 = 1.0;
+  p.eff_blas1 = 1.0;
+  p.eff_other = 1.0;
+  p.blas2_sm_units = 1;
+  p.blas3_skinny_sm_units = 2;
+  p.coexec_spare_units = 0;
+  p.cpu_peak_gflops = 10.0;
+  p.cpu_eff_potf2 = 1.0;
+  p.cpu_eff_checksum = 1.0;
+  p.host_call_overhead_s = 0.0;
+  p.h2d_bandwidth_gbs = 1.0;
+  p.d2h_bandwidth_gbs = 1.0;
+  p.transfer_latency_s = 0.0;
+  p.d2d_bandwidth_gbs = 10.0;
+  p.magma_block_size = 8;
+  return p;
+}
+
+MachineProfile ampere() {
+  MachineProfile p;
+  p.name = "ampere";
+  // NVIDIA A100 (SXM): 9.7 TFLOP/s FP64 SIMT, 108 SMs, deep
+  // concurrent-kernel support, 40 GB HBM2e, PCIe gen4 host link.
+  p.gpu_peak_gflops = 9700.0;
+  p.sm_count = 108;
+  p.max_concurrent_kernels = 128;
+  p.kernel_launch_overhead_s = 3e-6;   // launch latency has barely moved
+  p.gpu_memory_bytes = 40LL << 30;
+  p.eff_blas3 = 0.90;                  // ~8.7 TF/s DGEMM
+  p.eff_blas3_skinny = 0.25;
+  // dgemv: ~180 GF/s solo (HBM-bound), wide co-run via many streams.
+  p.eff_blas2 = 0.10;
+  p.blas2_sm_units = 20;               // solo ~180 GF/s, P = 5 co-run
+  p.blas3_skinny_sm_units = 8;
+  p.coexec_spare_units = 12;           // modern GPUs co-schedule freely
+  // 2x 64-core server CPUs, ~4 TFLOP/s DP peak combined.
+  p.cpu_peak_gflops = 4000.0;
+  p.cpu_eff_potf2 = 0.05;
+  p.cpu_eff_checksum = 0.30;
+  p.h2d_bandwidth_gbs = 24.0;          // PCIe gen4 x16 effective
+  p.d2h_bandwidth_gbs = 24.0;
+  p.transfer_latency_s = 8e-6;
+  p.d2d_bandwidth_gbs = 1300.0;        // HBM2e copy throughput
+  p.magma_block_size = 1024;
+  return p;
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,80 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace ftla::sim {
+
+double ResourceTimeline::allocate(double earliest, double duration,
+                                  int units) {
+  FTLA_CHECK(units > 0 && units <= capacity_);
+  FTLA_CHECK(duration >= 0.0);
+  FTLA_CHECK_MSG(earliest >= prune_horizon_,
+                 "allocation starts before the pruned horizon");
+  const int avail = capacity_ - units;
+
+  // Usage just after `earliest` (deltas at exactly `earliest` included).
+  double t = earliest;
+  int usage = base_usage_;
+  auto it = delta_.begin();
+  for (; it != delta_.end() && it->first <= t; ++it) usage += it->second;
+
+  // Slide the candidate start forward until [t, t+duration) fits.
+  // `it` always points at the first breakpoint strictly after t, and
+  // `usage` is the usage on [t, it->first).
+  while (true) {
+    if (usage > avail) {
+      // Cannot start at t: advance to the next point where usage drops.
+      FTLA_CHECK_MSG(it != delta_.end(),
+                     "timeline invariant broken: usage exceeds capacity "
+                     "with no future release");
+      usage += it->second;
+      t = it->first;
+      ++it;
+      continue;
+    }
+    // t is feasible now; verify the whole window [t, t+duration).
+    bool fits = true;
+    int scan_usage = usage;
+    for (auto jt = it; jt != delta_.end() && jt->first < t + duration; ++jt) {
+      scan_usage += jt->second;
+      if (scan_usage > avail) {
+        // Conflict inside the window: restart from this breakpoint.
+        usage = scan_usage;
+        t = jt->first;
+        it = std::next(jt);
+        fits = false;
+        break;
+      }
+    }
+    if (fits) break;
+  }
+
+  delta_[t] += units;
+  delta_[t + duration] -= units;
+  busy_unit_seconds_ += duration * units;
+  last_end_ = std::max(last_end_, t + duration);
+  return t;
+}
+
+int ResourceTimeline::usage_at(double t) const {
+  if (t < prune_horizon_) return 0;  // history discarded
+  int usage = base_usage_;
+  for (const auto& [time, d] : delta_) {
+    if (time > t) break;
+    usage += d;
+  }
+  return usage;
+}
+
+void ResourceTimeline::prune(double t) {
+  if (t <= prune_horizon_) return;
+  auto it = delta_.begin();
+  while (it != delta_.end() && it->first <= t) {
+    base_usage_ += it->second;
+    it = delta_.erase(it);
+  }
+  prune_horizon_ = t;
+}
+
+}  // namespace ftla::sim

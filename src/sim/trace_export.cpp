@@ -1,0 +1,110 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace ftla::sim {
+
+namespace {
+
+std::string lane_name(int lane) {
+  switch (lane) {
+    case kHostLane: return "host CPU";
+    case kH2dLane: return "H2D engine";
+    case kD2hLane: return "D2H engine";
+    default: return "stream " + std::to_string(lane);
+  }
+}
+
+// Chrome tracing sorts lanes by tid; map our lanes to stable ids.
+int lane_tid(int lane) {
+  switch (lane) {
+    case kHostLane: return 0;
+    case kH2dLane: return 1;
+    case kD2hLane: return 2;
+    default: return 10 + lane;
+  }
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Machine& machine, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Lane naming metadata.
+  std::map<int, bool> lanes;
+  for (const auto& r : machine.trace()) lanes[r.lane] = true;
+  for (const auto& [lane, _] : lanes) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << lane_tid(lane) << ",\"args\":{\"name\":\"";
+    json_escape(os, lane_name(lane));
+    os << "\"}}";
+  }
+  // Complete events; virtual seconds -> microseconds.
+  for (const auto& r : machine.trace()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, r.name);
+    os << "\",\"cat\":\"" << to_string(r.cls)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << lane_tid(r.lane)
+       << ",\"ts\":" << r.start * 1e6 << ",\"dur\":" << (r.end - r.start) * 1e6
+       << ",\"args\":{\"sm_units\":" << r.units << "}}";
+  }
+  os << "]}";
+}
+
+bool write_chrome_trace_file(const Machine& machine,
+                             const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(machine, f);
+  return static_cast<bool>(f);
+}
+
+void print_trace_summary(const Machine& machine, std::ostream& os,
+                         int strip_width) {
+  const auto& trace = machine.trace();
+  const double span = machine.makespan();
+  struct LaneStat {
+    long long count = 0;
+    double busy = 0.0;
+    std::vector<char> strip;
+  };
+  std::map<int, LaneStat> lanes;
+  for (const auto& r : trace) {
+    auto& ls = lanes[r.lane];
+    ++ls.count;
+    ls.busy += r.end - r.start;
+    if (ls.strip.empty()) ls.strip.assign(strip_width, '.');
+    if (span > 0.0) {
+      int from = static_cast<int>(r.start / span * strip_width);
+      int to = static_cast<int>(r.end / span * strip_width);
+      from = std::clamp(from, 0, strip_width - 1);
+      to = std::clamp(to, from, strip_width - 1);
+      for (int i = from; i <= to; ++i) ls.strip[i] = '#';
+    }
+  }
+  os << "trace summary — makespan " << span << " s, " << trace.size()
+     << " ops\n";
+  for (const auto& [lane, ls] : lanes) {
+    const double util = span > 0.0 ? ls.busy / span : 0.0;
+    os << "  " << lane_name(lane) << ": " << ls.count << " ops, busy "
+       << ls.busy << " s (" << static_cast<int>(util * 100.0) << "%)\n    ["
+       << std::string(ls.strip.begin(), ls.strip.end()) << "]\n";
+  }
+}
+
+}  // namespace ftla::sim

@@ -1,0 +1,33 @@
+// Trace export for the simulated node.
+//
+// When tracing is enabled on a Machine, every kernel, host task and DMA
+// transfer is recorded with virtual start/end times. These helpers turn
+// that record into:
+//   * Chrome tracing JSON ("catapult" format) — open in
+//     chrome://tracing or https://ui.perfetto.dev to see the GPU
+//     streams, copy engines and host lane as a real timeline, including
+//     how POTF2 hides under the trailing GEMM and how Opt-1's recalc
+//     kernels fan out across streams.
+//   * a compact per-lane ASCII utilization summary for terminals.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace ftla::sim {
+
+/// Writes the machine's trace as Chrome tracing JSON.
+void write_chrome_trace(const Machine& machine, std::ostream& os);
+
+/// Convenience: writes the JSON to a file; returns false on I/O error.
+bool write_chrome_trace_file(const Machine& machine,
+                             const std::string& path);
+
+/// Prints a per-lane summary (op count, busy time, utilization) plus an
+/// ASCII occupancy strip per lane.
+void print_trace_summary(const Machine& machine, std::ostream& os,
+                         int strip_width = 72);
+
+}  // namespace ftla::sim

@@ -1,0 +1,131 @@
+// BLAS Level-1 unit tests, including strided access and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "common/rng.hpp"
+
+namespace ftla::blas {
+namespace {
+
+std::vector<double> random_vec(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Axpy, Contiguous) {
+  auto x = random_vec(100, 1);
+  auto y = random_vec(100, 2);
+  auto expect = y;
+  for (int i = 0; i < 100; ++i) expect[i] += 2.5 * x[i];
+  axpy(100, 2.5, x.data(), 1, y.data(), 1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+}
+
+TEST(Axpy, Strided) {
+  auto x = random_vec(30, 3);
+  auto y = random_vec(30, 4);
+  auto expect = y;
+  for (int i = 0; i < 10; ++i) expect[i * 3] += -1.5 * x[i * 2];
+  axpy(10, -1.5, x.data(), 2, y.data(), 3);
+  for (int i = 0; i < 30; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+}
+
+TEST(Axpy, AlphaZeroIsNoop) {
+  auto x = random_vec(16, 5);
+  auto y = random_vec(16, 6);
+  auto expect = y;
+  axpy(16, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, expect);
+}
+
+TEST(Axpy, NegativeLengthIsNoop) {
+  auto y = random_vec(4, 7);
+  auto expect = y;
+  axpy(-3, 1.0, y.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, expect);
+}
+
+TEST(Scal, ScalesInPlace) {
+  auto x = random_vec(50, 8);
+  auto expect = x;
+  for (auto& v : expect) v *= 3.0;
+  scal(50, 3.0, x.data(), 1);
+  EXPECT_EQ(x, expect);
+}
+
+TEST(Scal, Strided) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  scal(3, 10.0, x.data(), 2);
+  EXPECT_EQ(x, (std::vector<double>{10, 2, 30, 4, 50, 6}));
+}
+
+TEST(Dot, MatchesManualSum) {
+  auto x = random_vec(64, 9);
+  auto y = random_vec(64, 10);
+  double expect = 0.0;
+  for (int i = 0; i < 64; ++i) expect += x[i] * y[i];
+  EXPECT_DOUBLE_EQ(dot(64, x.data(), 1, y.data(), 1), expect);
+}
+
+TEST(Dot, EmptyIsZero) {
+  EXPECT_EQ(dot(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(Nrm2, MatchesSqrtOfDot) {
+  auto x = random_vec(80, 11);
+  const double expect = std::sqrt(dot(80, x.data(), 1, x.data(), 1));
+  EXPECT_NEAR(nrm2(80, x.data(), 1), expect, 1e-12 * expect);
+}
+
+TEST(Nrm2, OverflowSafe) {
+  std::vector<double> x = {1e200, 1e200};
+  EXPECT_NEAR(nrm2(2, x.data(), 1), std::sqrt(2.0) * 1e200,
+              1e188);
+}
+
+TEST(Nrm2, UnderflowSafe) {
+  std::vector<double> x = {1e-200, 1e-200};
+  EXPECT_NEAR(nrm2(2, x.data(), 1) / (std::sqrt(2.0) * 1e-200), 1.0, 1e-12);
+}
+
+TEST(Iamax, FindsLargestMagnitude) {
+  std::vector<double> x = {1.0, -5.0, 3.0, 4.9};
+  EXPECT_EQ(iamax(4, x.data(), 1), 1);
+}
+
+TEST(Iamax, FirstOfTies) {
+  std::vector<double> x = {2.0, -2.0, 2.0};
+  EXPECT_EQ(iamax(3, x.data(), 1), 0);
+}
+
+TEST(Iamax, EmptyReturnsMinusOne) {
+  EXPECT_EQ(iamax(0, nullptr, 1), -1);
+}
+
+TEST(Copy, Strided) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y(8, 0.0);
+  copy(4, x.data(), 1, y.data(), 2);
+  EXPECT_EQ(y, (std::vector<double>{1, 0, 2, 0, 3, 0, 4, 0}));
+}
+
+TEST(Swap, ExchangesContents) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  swap(3, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(y, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Asum, SumsAbsoluteValues) {
+  std::vector<double> x = {-1.0, 2.0, -3.0};
+  EXPECT_DOUBLE_EQ(asum(3, x.data(), 1), 6.0);
+}
+
+}  // namespace
+}  // namespace ftla::blas

@@ -1,0 +1,159 @@
+// BLAS Level-2 tests: every routine against the naive reference oracle,
+// parameterized over shapes, transposes and triangle selections.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "blas/level2.hpp"
+#include "blas/reference.hpp"
+#include "test_util.hpp"
+
+namespace ftla::blas {
+namespace {
+
+using test::random_matrix;
+
+class GemvParam
+    : public ::testing::TestWithParam<std::tuple<int, int, Trans, double,
+                                                 double>> {};
+
+TEST_P(GemvParam, MatchesReference) {
+  const auto [m, n, trans, alpha, beta] = GetParam();
+  auto a = random_matrix(m, n, 1);
+  const int xlen = trans == Trans::No ? n : m;
+  const int ylen = trans == Trans::No ? m : n;
+  auto x = random_matrix(xlen, 1, 2);
+  auto y = random_matrix(ylen, 1, 3);
+  auto y_ref = y;
+  gemv(trans, alpha, a.view(), x.data(), 1, beta, y.data(), 1);
+  ref::gemv(trans, alpha, a.view(), x.data(), 1, beta, y_ref.data(), 1);
+  EXPECT_MATRIX_NEAR(y, y_ref, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvParam,
+    ::testing::Combine(::testing::Values(1, 7, 32), ::testing::Values(1, 5, 33),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(1.0, -0.5),
+                       ::testing::Values(0.0, 1.0, 2.0)));
+
+TEST(Gemv, StridedVectors) {
+  auto a = random_matrix(4, 3, 4);
+  std::vector<double> x = {1, 9, 2, 9, 3, 9};   // stride 2
+  std::vector<double> y = {0, 7, 0, 7, 0, 7, 0, 7};  // stride 2
+  gemv(Trans::No, 1.0, a.view(), x.data(), 2, 0.0, y.data(), 2);
+  for (int i = 0; i < 4; ++i) {
+    double expect = 0.0;
+    for (int j = 0; j < 3; ++j) expect += a(i, j) * x[j * 2];
+    EXPECT_NEAR(y[i * 2], expect, 1e-13);
+    EXPECT_EQ(y[i * 2 + 1], 7.0);  // gaps untouched
+  }
+}
+
+TEST(Ger, MatchesManualOuterProduct) {
+  auto a = random_matrix(5, 4, 5);
+  auto x = random_matrix(5, 1, 6);
+  auto y = random_matrix(4, 1, 7);
+  auto expect = a;
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 5; ++i) expect(i, j) += 1.5 * x(i, 0) * y(j, 0);
+  ger(1.5, x.data(), 1, y.data(), 1, a.view());
+  EXPECT_MATRIX_NEAR(a, expect, 1e-13);
+}
+
+class TrsvParam
+    : public ::testing::TestWithParam<std::tuple<int, Uplo, Trans, Diag>> {};
+
+TEST_P(TrsvParam, SolvesAgainstTrmv) {
+  const auto [n, uplo, trans, diag] = TrsvParam::GetParam();
+  auto a = random_matrix(n, n, 8);
+  for (int i = 0; i < n; ++i) a(i, i) = 4.0 + i * 0.25;  // well-conditioned
+  auto x0 = random_matrix(n, 1, 9);
+  auto b = x0;
+  // b := op(A) x0, then solve and compare with x0.
+  trmv(uplo, trans, diag, a.view(), b.data(), 1);
+  trsv(uplo, trans, diag, a.view(), b.data(), 1);
+  EXPECT_MATRIX_NEAR(b, x0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, TrsvParam,
+    ::testing::Combine(::testing::Values(1, 2, 9, 24),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+class TrmvParam
+    : public ::testing::TestWithParam<std::tuple<int, Uplo, Trans, Diag>> {};
+
+TEST_P(TrmvParam, MatchesDenseMultiply) {
+  const auto [n, uplo, trans, diag] = TrmvParam::GetParam();
+  auto a = random_matrix(n, n, 10);
+  auto x = random_matrix(n, 1, 11);
+  // Build the dense operator explicitly.
+  Matrix<double> t(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int si = i, sj = j;
+      if (trans == Trans::Yes) std::swap(si, sj);
+      const bool stored = uplo == Uplo::Lower ? si >= sj : si <= sj;
+      if (i == j) {
+        t(i, j) = diag == Diag::Unit ? 1.0 : a(i, i);
+      } else if (stored) {
+        t(i, j) = a(si, sj);
+      }
+    }
+  }
+  Matrix<double> expect(n, 1, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) expect(i, 0) += t(i, j) * x(j, 0);
+  trmv(uplo, trans, diag, a.view(), x.data(), 1);
+  EXPECT_MATRIX_NEAR(x, expect, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, TrmvParam,
+    ::testing::Combine(::testing::Values(1, 3, 8, 17),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Syr, UpdatesOnlySelectedTriangle) {
+  auto x = random_matrix(6, 1, 12);
+  Matrix<double> lo(6, 6, 0.0);
+  Matrix<double> up(6, 6, 0.0);
+  syr(Uplo::Lower, 2.0, x.data(), 1, lo.view());
+  syr(Uplo::Upper, 2.0, x.data(), 1, up.view());
+  for (int j = 0; j < 6; ++j) {
+    for (int i = 0; i < 6; ++i) {
+      const double full = 2.0 * x(i, 0) * x(j, 0);
+      EXPECT_DOUBLE_EQ(lo(i, j), i >= j ? full : 0.0);
+      EXPECT_DOUBLE_EQ(up(i, j), i <= j ? full : 0.0);
+    }
+  }
+}
+
+TEST(Symv, MatchesDenseGemv) {
+  const int n = 12;
+  auto a = test::random_spd(n, 13);
+  auto x = random_matrix(n, 1, 14);
+  auto y = random_matrix(n, 1, 15);
+  auto y_ref = y;
+  ref::gemv(Trans::No, 0.7, a.view(), x.data(), 1, 0.3, y_ref.data(), 1);
+  symv(Uplo::Lower, 0.7, a.view(), x.data(), 1, 0.3, y.data(), 1);
+  EXPECT_MATRIX_NEAR(y, y_ref, 1e-11);
+}
+
+TEST(Symv, UpperStorageEqualsLowerStorage) {
+  const int n = 9;
+  auto a = test::random_spd(n, 16);
+  auto x = random_matrix(n, 1, 17);
+  Matrix<double> y1(n, 1, 0.0), y2(n, 1, 0.0);
+  symv(Uplo::Lower, 1.0, a.view(), x.data(), 1, 0.0, y1.data(), 1);
+  symv(Uplo::Upper, 1.0, a.view(), x.data(), 1, 0.0, y2.data(), 1);
+  EXPECT_MATRIX_NEAR(y1, y2, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftla::blas

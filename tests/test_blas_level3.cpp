@@ -1,0 +1,185 @@
+// BLAS Level-3 tests: optimized routines against the naive reference
+// oracle across the full parameter space (transposes, sides, triangles,
+// alpha/beta, including empty and degenerate shapes).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/level3.hpp"
+#include "blas/reference.hpp"
+#include "test_util.hpp"
+
+namespace ftla::blas {
+namespace {
+
+using test::random_matrix;
+
+class GemmParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, Trans, Trans, double, double>> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto [m, n, k, ta, tb, alpha, beta] = GetParam();
+  auto a = ta == Trans::No ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+  auto b = tb == Trans::No ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+  auto c = random_matrix(m, n, 3);
+  auto c_ref = c;
+  gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view());
+  ref::gemm(ta, tb, alpha, a.view(), b.view(), beta, c_ref.view());
+  EXPECT_MATRIX_NEAR(c, c_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Combine(
+        ::testing::Values(1, 8, 21), ::testing::Values(1, 5, 17),
+        ::testing::Values(1, 9, 30),
+        ::testing::Values(Trans::No, Trans::Yes),
+        ::testing::Values(Trans::No, Trans::Yes),
+        ::testing::Values(1.0, -0.7), ::testing::Values(0.0, 1.0, 0.5)));
+
+TEST(Gemm, EmptyInnerDimensionScalesOnly) {
+  auto a = random_matrix(4, 0, 4);
+  auto b = random_matrix(0, 3, 5);
+  auto c = random_matrix(4, 3, 6);
+  auto expect = c;
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 4; ++i) expect(i, j) *= 0.5;
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.5, c.view());
+  EXPECT_MATRIX_NEAR(c, expect, 0.0);
+}
+
+TEST(Gemm, SubBlockViewsWithLargeLd) {
+  auto big_a = random_matrix(10, 10, 7);
+  auto big_b = random_matrix(10, 10, 8);
+  auto big_c = random_matrix(10, 10, 9);
+  auto c_ref = big_c;
+  gemm(Trans::No, Trans::Yes, 2.0, big_a.block(2, 1, 4, 5),
+       big_b.block(3, 2, 3, 5), 1.0, big_c.block(1, 1, 4, 3));
+  ref::gemm(Trans::No, Trans::Yes, 2.0,
+            ConstMatrixView<double>(big_a.block(2, 1, 4, 5)),
+            ConstMatrixView<double>(big_b.block(3, 2, 3, 5)), 1.0,
+            c_ref.block(1, 1, 4, 3));
+  EXPECT_MATRIX_NEAR(big_c, c_ref, 1e-12);
+}
+
+class SyrkParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, Uplo, Trans, double, double>> {};
+
+TEST_P(SyrkParam, MatchesReference) {
+  const auto [n, k, uplo, trans, alpha, beta] = GetParam();
+  auto a =
+      trans == Trans::No ? random_matrix(n, k, 10) : random_matrix(k, n, 10);
+  auto c = random_matrix(n, n, 11);
+  auto c_ref = c;
+  syrk(uplo, trans, alpha, a.view(), beta, c.view());
+  ref::syrk(uplo, trans, alpha, a.view(), beta, c_ref.view());
+  EXPECT_MATRIX_NEAR(c, c_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyrkParam,
+    ::testing::Combine(::testing::Values(1, 6, 19), ::testing::Values(1, 8, 25),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(1.0, -1.0),
+                       ::testing::Values(0.0, 1.0)));
+
+TEST(Syrk, LeavesOppositeTriangleUntouched) {
+  auto a = random_matrix(5, 7, 12);
+  Matrix<double> c(5, 5, 99.0);
+  syrk(Uplo::Lower, Trans::No, 1.0, a.view(), 0.0, c.view());
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_EQ(c(i, j), 99.0);
+}
+
+class TrsmParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, Side, Uplo, Trans, Diag, double>> {};
+
+TEST_P(TrsmParam, MatchesReference) {
+  const auto [m, n, side, uplo, trans, diag, alpha] = GetParam();
+  const int ka = side == Side::Left ? m : n;
+  auto a = random_matrix(ka, ka, 13);
+  for (int i = 0; i < ka; ++i) a(i, i) = 3.0 + 0.5 * i;
+  auto b = random_matrix(m, n, 14);
+  auto b_ref = b;
+  trsm(side, uplo, trans, diag, alpha, a.view(), b.view());
+  ref::trsm(side, uplo, trans, diag, alpha, a.view(), b_ref.view());
+  EXPECT_MATRIX_NEAR(b, b_ref, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, TrsmParam,
+    ::testing::Combine(::testing::Values(1, 6, 14), ::testing::Values(1, 5, 11),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit),
+                       ::testing::Values(1.0, 2.0)));
+
+TEST(Trsm, InverseOfTrmmRoundTrip) {
+  const int m = 9, n = 7;
+  auto a = random_matrix(n, n, 15);
+  for (int i = 0; i < n; ++i) a(i, i) = 4.0 + i;
+  auto b0 = random_matrix(m, n, 16);
+  auto b = b0;
+  trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0, a.view(),
+       b.view());
+  trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0, a.view(),
+       b.view());
+  EXPECT_MATRIX_NEAR(b, b0, 1e-10);
+}
+
+class TrmmParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, Side, Uplo, Trans, Diag>> {};
+
+TEST_P(TrmmParam, MatchesReference) {
+  const auto [m, n, side, uplo, trans, diag] = GetParam();
+  const int ka = side == Side::Left ? m : n;
+  auto a = random_matrix(ka, ka, 17);
+  auto b = random_matrix(m, n, 18);
+  auto b_ref = b;
+  trmm(side, uplo, trans, diag, 1.5, a.view(), b.view());
+  ref::trmm(side, uplo, trans, diag, 1.5, a.view(), b_ref.view());
+  EXPECT_MATRIX_NEAR(b, b_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, TrmmParam,
+    ::testing::Combine(::testing::Values(2, 8), ::testing::Values(3, 9),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Symmetrize, MirrorsLowerToUpper) {
+  auto a = random_matrix(6, 6, 19);
+  symmetrize(Uplo::Lower, a.view());
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Symmetrize, MirrorsUpperToLower) {
+  auto a = random_matrix(5, 5, 20);
+  auto orig = a;
+  symmetrize(Uplo::Upper, a.view());
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i <= j; ++i) EXPECT_EQ(a(i, j), orig(i, j));
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(FlopCounts, MatchClosedForms) {
+  EXPECT_EQ(gemm_flops(3, 4, 5), 120);
+  EXPECT_EQ(syrk_flops(4, 6), 4 * 5 * 6);
+  EXPECT_EQ(trsm_flops(Side::Left, 5, 7), 25 * 7);
+  EXPECT_EQ(trsm_flops(Side::Right, 5, 7), 49 * 5);
+  EXPECT_EQ(gemv_flops(6, 7), 84);
+  EXPECT_EQ(potrf_flops(10), 1000 / 3);
+}
+
+}  // namespace
+}  // namespace ftla::blas

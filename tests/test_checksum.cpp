@@ -1,0 +1,330 @@
+// Checksum codec tests: the mathematical heart of the ABFT scheme.
+//
+// Covers encoding, detection/location/correction of single errors,
+// checksum self-repair, uncorrectable patterns, and — crucially — the
+// invariance of the checksum relation under each of the four update
+// rules the paper derives (SYRK, GEMM, POTF2/Algorithm 2, TRSM).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/checksum.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "common/fp.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+using test::random_matrix;
+
+Matrix<double> encode(const Matrix<double>& a) {
+  Matrix<double> chk(kChecksumRows, a.cols());
+  encode_block(a.view(), chk.view());
+  return chk;
+}
+
+double recalc_mismatch(const Matrix<double>& a, const Matrix<double>& chk) {
+  Matrix<double> r(kChecksumRows, a.cols());
+  encode_block(a.view(), r.view());
+  double worst = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    const double scale = std::max(1.0, std::abs(chk(1, j)));
+    worst = std::max(worst, std::abs(r(0, j) - chk(0, j)) / scale);
+    worst = std::max(worst, std::abs(r(1, j) - chk(1, j)) / scale);
+  }
+  return worst;
+}
+
+TEST(Encode, WeightsAreOneAndRowIndex) {
+  Matrix<double> a(4, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(2, 0) = 3.0;
+  a(3, 0) = 4.0;
+  a(2, 1) = 5.0;
+  auto chk = encode(a);
+  EXPECT_DOUBLE_EQ(chk(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(chk(1, 0), 1 + 4 + 9 + 16);
+  EXPECT_DOUBLE_EQ(chk(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(chk(1, 1), 15.0);
+}
+
+TEST(Verify, CleanBlockHasNoFindings) {
+  auto a = random_matrix(16, 16, 1);
+  auto chk = encode(a);
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(out.errors_detected, 0);
+}
+
+class SingleErrorParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SingleErrorParam, LocatedAndCorrected) {
+  const auto [size, row, col] = GetParam();
+  auto a = random_matrix(size, size, 7);
+  auto chk = encode(a);
+  const double original = a(row, col);
+  a(row, col) += 1234.5;
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_detected, 1);
+  EXPECT_EQ(out.errors_corrected, 1);
+  ASSERT_EQ(out.corrections.size(), 1u);
+  EXPECT_EQ(out.corrections[0].row, row);
+  EXPECT_EQ(out.corrections[0].col, col);
+  EXPECT_NEAR(a(row, col), original, 1e-9 * std::abs(original) + 1e-9);
+  EXPECT_FALSE(out.uncorrectable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, SingleErrorParam,
+    ::testing::Values(std::tuple{8, 0, 0}, std::tuple{8, 7, 7},
+                      std::tuple{8, 0, 7}, std::tuple{8, 7, 0},
+                      std::tuple{16, 5, 11}, std::tuple{32, 31, 0},
+                      std::tuple{1, 0, 0}, std::tuple{3, 1, 2}));
+
+TEST(Verify, BitFlipStorageErrorCorrected) {
+  auto a = random_matrix(12, 12, 9);
+  auto chk = encode(a);
+  const double original = a(4, 6);
+  a(4, 6) = flip_bit(flip_bit(a(4, 6), 20), 54);  // multi-bit flip
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 1);
+  EXPECT_NEAR(a(4, 6), original, 1e-8 * std::max(1.0, std::abs(original)));
+}
+
+TEST(Verify, ErrorsInDistinctColumnsAllCorrected) {
+  auto a = random_matrix(10, 10, 11);
+  auto chk = encode(a);
+  Matrix<double> orig = a;
+  a(2, 1) += 100.0;
+  a(7, 4) -= 55.0;
+  a(9, 9) += 3e4;
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 3);
+  EXPECT_FALSE(out.uncorrectable);
+  EXPECT_LE(test::lower_max_diff(a, orig), 1e-7);
+}
+
+TEST(Verify, TwoErrorsInOneColumnAreUncorrectable) {
+  auto a = random_matrix(10, 10, 13);
+  auto chk = encode(a);
+  a(2, 5) += 100.0;
+  a(8, 5) += 77.0;
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.uncorrectable);
+}
+
+TEST(Verify, CorruptedChecksumRow1IsRepaired) {
+  auto a = random_matrix(8, 8, 15);
+  auto chk = encode(a);
+  chk(0, 3) += 500.0;  // damage the unweighted checksum itself
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.checksum_repairs, 1);
+  EXPECT_EQ(out.errors_corrected, 0);
+  EXPECT_FALSE(out.uncorrectable);
+  // chk must now be consistent again.
+  EXPECT_LT(recalc_mismatch(a, chk), 1e-12);
+}
+
+TEST(Verify, CorruptedChecksumRow2IsRepaired) {
+  auto a = random_matrix(8, 8, 17);
+  auto chk = encode(a);
+  chk(1, 6) = flip_bit(chk(1, 6), 55);
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.checksum_repairs, 1);
+  EXPECT_LT(recalc_mismatch(a, chk), 1e-12);
+}
+
+TEST(Verify, RowOneErrorNotMistakenForChecksumDamage) {
+  // delta1 == delta2 when the corrupt element sits in row 1; the decoder
+  // must correct the data, not "repair" the checksum.
+  auto a = random_matrix(8, 8, 19);
+  auto chk = encode(a);
+  const double original = a(0, 2);
+  a(0, 2) += 250.0;
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 1);
+  EXPECT_EQ(out.checksum_repairs, 0);
+  EXPECT_NEAR(a(0, 2), original, 1e-9);
+}
+
+TEST(Verify, RectangularBlock) {
+  auto a = random_matrix(12, 5, 21);
+  auto chk = encode(a);
+  const double original = a(11, 4);
+  a(11, 4) -= 42.0;
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 1);
+  EXPECT_NEAR(a(11, 4), original, 1e-10);
+}
+
+TEST(Verify, ToleranceRejectsRoundoffNoise) {
+  // Accumulate legitimate rounding by updating both data and checksums
+  // through a long chain of consistent operations.
+  const int n = 24;
+  auto a = random_matrix(n, n, 23);
+  auto chk = encode(a);
+  auto u = random_matrix(n, n, 24);
+  auto chk_u = encode(u);
+  for (int rep = 0; rep < 20; ++rep) {
+    // a += u * 0.01 (consistent on data and checksums)
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) a(i, j) += 0.01 * u(i, j);
+      chk(0, j) += 0.01 * chk_u(0, j);
+      chk(1, j) += 0.01 * chk_u(1, j);
+    }
+  }
+  auto out = verify_block_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.clean());
+}
+
+// ---------------------------------------------------------------------
+// Checksum invariance under the paper's four update rules (§IV-B)
+// ---------------------------------------------------------------------
+
+TEST(UpdateRules, SyrkRule) {
+  // A' = A - LC LC^T with chk(A') = chk(A) - chk(LC) LC^T.
+  const int b = 16, w = 24;
+  auto a = random_matrix(b, b, 31);
+  auto lc = random_matrix(b, w, 32);
+  auto chk_a = encode(a);
+  auto chk_lc = encode(lc);
+  blas::gemm(Trans::No, Trans::Yes, -1.0, lc.view(), lc.view(), 1.0,
+             a.view());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, chk_lc.view(), lc.view(), 1.0,
+             chk_a.view());
+  EXPECT_LT(recalc_mismatch(a, chk_a), 1e-11);
+}
+
+TEST(UpdateRules, GemmRule) {
+  // B' = B - LD LC^T with chk(B') = chk(B) - chk(LD) LC^T.
+  const int b = 16, w = 24;
+  auto bm = random_matrix(b, b, 33);
+  auto ld = random_matrix(b, w, 34);
+  auto lc = random_matrix(b, w, 35);
+  auto chk_b = encode(bm);
+  auto chk_ld = encode(ld);
+  blas::gemm(Trans::No, Trans::Yes, -1.0, ld.view(), lc.view(), 1.0,
+             bm.view());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, chk_ld.view(), lc.view(), 1.0,
+             chk_b.view());
+  EXPECT_LT(recalc_mismatch(bm, chk_b), 1e-11);
+}
+
+class Potf2RuleParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(Potf2RuleParam, Algorithm2YieldsChecksumOfL) {
+  const int n = GetParam();
+  auto a = test::random_spd(n, 37);
+  auto chk = encode(a);
+  blas::potf2(a.view());
+  // Zero the strict upper triangle: the stored block is exactly L.
+  for (int c = 1; c < n; ++c)
+    for (int r = 0; r < c; ++r) a(r, c) = 0.0;
+  potf2_update_checksum(a.view(), chk.view());
+  EXPECT_LT(recalc_mismatch(a, chk), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Potf2RuleParam,
+                         ::testing::Values(1, 2, 3, 8, 16, 64));
+
+TEST(UpdateRules, TrsmRule) {
+  // LB = B' (LA^T)^{-1} with chk(LB) = chk(B') (LA^T)^{-1}.
+  const int b = 16;
+  auto la = test::random_spd(b, 41);
+  blas::potf2(la.view());
+  auto bm = random_matrix(b, b, 42);
+  auto chk_b = encode(bm);
+  blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+             la.view(), bm.view());
+  blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+             la.view(), chk_b.view());
+  EXPECT_LT(recalc_mismatch(bm, chk_b), 1e-10);
+}
+
+TEST(UpdateRules, FullFactorizationKeepsEveryBlockConsistent) {
+  // Drive a miniature blocked factorization by hand, maintaining
+  // checksums with the four rules, and check consistency block by block.
+  const int b = 8, nb = 4, n = b * nb;
+  auto a = test::random_spd(n, 43);
+  Matrix<double> chk(kChecksumRows * nb, n);
+  auto chk_block = [&](int i, int k) {
+    return chk.block(kChecksumRows * i, k * b, kChecksumRows, b);
+  };
+  for (int k = 0; k < nb; ++k)
+    for (int i = k; i < nb; ++i)
+      encode_block(a.block(i * b, k * b, b, b), chk_block(i, k));
+
+  for (int j = 0; j < nb; ++j) {
+    const int w = j * b;
+    // SYRK + rule
+    if (j > 0) {
+      blas::gemm(Trans::No, Trans::Yes, -1.0,
+                 ConstMatrixView<double>(a.block(w, 0, b, w)),
+                 a.block(w, 0, b, w), 1.0, a.block(w, w, b, b));
+      blas::gemm(Trans::No, Trans::Yes, -1.0,
+                 ConstMatrixView<double>(
+                     chk.block(kChecksumRows * j, 0, kChecksumRows, w)),
+                 a.block(w, 0, b, w), 1.0, chk_block(j, j));
+      // GEMM + rule
+      const int below = n - w - b;
+      if (below > 0) {
+        blas::gemm(Trans::No, Trans::Yes, -1.0,
+                   ConstMatrixView<double>(a.block(w + b, 0, below, w)),
+                   a.block(w, 0, b, w), 1.0, a.block(w + b, w, below, b));
+        blas::gemm(
+            Trans::No, Trans::Yes, -1.0,
+            ConstMatrixView<double>(chk.block(kChecksumRows * (j + 1), 0,
+                                              kChecksumRows * (nb - j - 1),
+                                              w)),
+            a.block(w, 0, b, w), 1.0,
+            chk.block(kChecksumRows * (j + 1), w,
+                      kChecksumRows * (nb - j - 1), b));
+      }
+    }
+    // POTF2 + Algorithm 2
+    auto diag = a.block(w, w, b, b);
+    blas::potf2(diag);
+    for (int c = 1; c < b; ++c)
+      for (int r = 0; r < c; ++r) diag(r, c) = 0.0;
+    potf2_update_checksum(ConstMatrixView<double>(diag), chk_block(j, j));
+    // TRSM + rule
+    const int below = n - w - b;
+    if (below > 0) {
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                 ConstMatrixView<double>(diag), a.block(w + b, w, below, b));
+      blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                 ConstMatrixView<double>(diag),
+                 chk.block(kChecksumRows * (j + 1), w,
+                           kChecksumRows * (nb - j - 1), b));
+    }
+  }
+
+  for (int k = 0; k < nb; ++k) {
+    for (int i = k; i < nb; ++i) {
+      Matrix<double> blk(b, b);
+      copy(ConstMatrixView<double>(a.block(i * b, k * b, b, b)),
+           blk.view());
+      Matrix<double> cb(kChecksumRows, b);
+      copy(ConstMatrixView<double>(chk_block(i, k)), cb.view());
+      EXPECT_LT(recalc_mismatch(blk, cb), 1e-9)
+          << "block (" << i << ", " << k << ")";
+    }
+  }
+}
+
+TEST(Tolerance, ThresholdScalesWithMagnitude) {
+  Tolerance tol{1e-8, 1e-6};
+  EXPECT_DOUBLE_EQ(tol.threshold(1e6), 1e-2);
+  EXPECT_DOUBLE_EQ(tol.threshold(0.0), 1e-14);  // floor applies
+}
+
+}  // namespace
+}  // namespace ftla::abft

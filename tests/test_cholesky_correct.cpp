@@ -1,0 +1,286 @@
+// Fault-free correctness of the hybrid Cholesky driver across all
+// variants, placements and optimization settings: the factor must match
+// the reference, no verification may fire falsely, and the Table-I
+// verification-count shapes must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+CholeskyResult run(Matrix<double>* a, int n, const CholeskyOptions& opt,
+                   sim::MachineProfile profile = small_rig()) {
+  Machine m(profile, ExecutionMode::Numeric);
+  return cholesky(m, a, n, opt);
+}
+
+class VariantParam
+    : public ::testing::TestWithParam<std::tuple<Variant, UpdatePlacement>> {
+};
+
+TEST_P(VariantParam, FactorMatchesReferenceAndResidualSmall) {
+  const auto [variant, placement] = GetParam();
+  const int n = 96;
+  auto a0 = test::random_spd(n, 100);
+  auto a = a0;
+  CholeskyOptions opt;
+  opt.variant = variant;
+  opt.placement = placement;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.reruns, 0);
+  EXPECT_EQ(res.errors_detected, 0) << "false positive";
+  EXPECT_EQ(res.checksum_repairs, 0) << "false checksum repair";
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-12);
+  auto l_ref = a0;
+  blas::potrf(l_ref.view(), 16);
+  EXPECT_LE(test::lower_max_diff(a, l_ref), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAndPlacements, VariantParam,
+    ::testing::Combine(
+        ::testing::Values(Variant::NoFt, Variant::Offline, Variant::Online,
+                          Variant::EnhancedOnline),
+        ::testing::Values(UpdatePlacement::Blocking, UpdatePlacement::Gpu,
+                          UpdatePlacement::Cpu)));
+
+class SizeParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SizeParam, EnhancedHandlesArbitrarySizes) {
+  const auto [n, b] = GetParam();
+  auto a0 = test::random_spd(n, 200 + n);
+  auto a = a0;
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.block_size = b;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.errors_detected, 0);
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, SizeParam,
+    ::testing::Values(std::tuple{16, 16},   // single block
+                      std::tuple{17, 16},   // ragged tail block
+                      std::tuple{48, 16},   // exact multiple
+                      std::tuple{50, 16},   // ragged
+                      std::tuple{96, 32},   // bigger blocks
+                      std::tuple{31, 8},    // many ragged blocks
+                      std::tuple{8, 16}));  // block larger than matrix
+
+class IntervalParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalParam, VerifyIntervalPreservesCorrectness) {
+  const int k = GetParam();
+  const int n = 80;
+  auto a0 = test::random_spd(n, 300);
+  auto a = a0;
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.verify_interval = k;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.errors_detected, 0);
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, IntervalParam, ::testing::Values(1, 2, 3, 5, 7));
+
+TEST(CholeskyOptions, SerializedRecalcMatchesNumerics) {
+  const int n = 64;
+  auto a0 = test::random_spd(n, 400);
+  auto a1 = a0;
+  auto a2 = a0;
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.concurrent_recalc = false;  // Opt 1 off
+  auto r1 = run(&a1, n, opt);
+  opt.concurrent_recalc = true;
+  auto r2 = run(&a2, n, opt);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_EQ(a1, a2) << "Opt 1 must not change numerics";
+  EXPECT_GE(r1.seconds, r2.seconds) << "concurrent recalc cannot be slower";
+}
+
+TEST(VerificationCounters, EnhancedShapesMatchTableI) {
+  const int n = 128;
+  const int b = 16;  // nb = 8
+  const int nb = n / b;
+  auto a = test::random_spd(n, 500);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.block_size = b;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success);
+  // SYRK verifies (1 + j) blocks at iteration j.
+  long long syrk_expect = 0;
+  for (int j = 0; j < nb; ++j) syrk_expect += 1 + j;
+  EXPECT_EQ(res.verified.syrk_blocks, syrk_expect);
+  // POTF2 verifies the diagonal block once per iteration.
+  EXPECT_EQ(res.verified.potf2_blocks, nb);
+  // TRSM verifies L plus the panel: (1 + (nb-1-j)) per iteration with a
+  // panel present.
+  long long trsm_expect = 0;
+  for (int j = 0; j < nb - 1; ++j) trsm_expect += 1 + (nb - 1 - j);
+  EXPECT_EQ(res.verified.trsm_blocks, trsm_expect);
+  // GEMM verifies B + C + D = (nb-1-j) + j + (nb-1-j)*j — O(n^2).
+  long long gemm_expect = 0;
+  for (int j = 1; j < nb - 1; ++j)
+    gemm_expect += (nb - 1 - j) + j + (nb - 1 - j) * j;
+  EXPECT_EQ(res.verified.gemm_blocks, gemm_expect);
+}
+
+TEST(VerificationCounters, OnlineShapesMatchTableI) {
+  const int n = 128;
+  const int b = 16;
+  const int nb = n / b;
+  auto a = test::random_spd(n, 600);
+  CholeskyOptions opt;
+  opt.variant = Variant::Online;
+  opt.block_size = b;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success);
+  // Online verifies each op's output: O(1) for SYRK/POTF2, O(n) for
+  // GEMM/TRSM.
+  EXPECT_EQ(res.verified.syrk_blocks, nb - 1);  // no syrk at j = 0
+  EXPECT_EQ(res.verified.potf2_blocks, nb);
+  long long panel_expect = 0;
+  for (int j = 0; j < nb - 1; ++j) panel_expect += nb - 1 - j;
+  EXPECT_EQ(res.verified.trsm_blocks, panel_expect);
+  long long gemm_expect = 0;
+  for (int j = 1; j < nb - 1; ++j) gemm_expect += nb - 1 - j;
+  EXPECT_EQ(res.verified.gemm_blocks, gemm_expect);
+}
+
+TEST(VerificationCounters, IntervalReducesGemmVerifications) {
+  const int n = 128;
+  auto a1 = test::random_spd(n, 700);
+  auto a2 = a1;
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.block_size = 16;
+  opt.verify_interval = 1;
+  auto r1 = run(&a1, n, opt);
+  opt.verify_interval = 4;
+  auto r2 = run(&a2, n, opt);
+  EXPECT_LT(r2.verified.gemm_blocks, r1.verified.gemm_blocks / 2);
+  // SYRK is never interval-gated (errors there are unrecoverable).
+  EXPECT_EQ(r2.verified.syrk_blocks, r1.verified.syrk_blocks);
+}
+
+TEST(Cholesky, NoFtDoesNoVerification) {
+  const int n = 64;
+  auto a = test::random_spd(n, 800);
+  CholeskyOptions opt;
+  opt.variant = Variant::NoFt;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.verified.total(), 0);
+}
+
+TEST(Cholesky, FtVariantsCostMoreVirtualTimeThanNoFt) {
+  const int n = 96;
+  auto a0 = test::random_spd(n, 900);
+  double base = 0.0;
+  for (auto v : {Variant::NoFt, Variant::Offline, Variant::Online,
+                 Variant::EnhancedOnline}) {
+    auto a = a0;
+    CholeskyOptions opt;
+    opt.variant = v;
+    auto res = run(&a, n, opt);
+    ASSERT_TRUE(res.success);
+    if (v == Variant::NoFt) {
+      base = res.seconds;
+    } else {
+      EXPECT_GT(res.seconds, base) << to_string(v);
+    }
+  }
+}
+
+TEST(Cholesky, AutoPlacementResolvesToConcrete) {
+  const int n = 64;
+  auto a = test::random_spd(n, 1000);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.placement = UpdatePlacement::Auto;
+  auto res = run(&a, n, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(res.chosen_placement == UpdatePlacement::Gpu ||
+              res.chosen_placement == UpdatePlacement::Cpu);
+}
+
+TEST(Cholesky, TimingOnlyModeIssuesSameSchedule) {
+  const int n = 96;
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  // Numeric run.
+  auto a = test::random_spd(n, 1100);
+  Machine m1(small_rig(), ExecutionMode::Numeric);
+  auto r1 = cholesky(m1, &a, n, opt);
+  // TimingOnly run, no host matrix at all.
+  Machine m2(small_rig(), ExecutionMode::TimingOnly);
+  auto r2 = cholesky(m2, nullptr, n, opt);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_NEAR(r1.seconds, r2.seconds, 1e-9 * std::max(r1.seconds, 1.0));
+  EXPECT_EQ(r1.verified.total(), r2.verified.total());
+}
+
+TEST(Cholesky, GpuTimeDominatedByBlas3) {
+  const int n = 128;
+  Machine m(small_rig(), ExecutionMode::TimingOnly);
+  CholeskyOptions opt;
+  opt.variant = Variant::NoFt;
+  auto res = cholesky(m, nullptr, n, opt);
+  ASSERT_TRUE(res.success);
+  const auto& gpu = m.stats().gpu;
+  ASSERT_TRUE(gpu.count(sim::KernelClass::Blas3));
+  // Factorization FLOPs on the device ~ n^3/3 (minus the POTF2 share).
+  const double blas3_flops =
+      static_cast<double>(gpu.at(sim::KernelClass::Blas3).flops);
+  const double expect = static_cast<double>(n) * n * n / 3.0;
+  EXPECT_NEAR(blas3_flops / expect, 1.0, 0.25);
+}
+
+TEST(CholeskySolve, SolvesSystem) {
+  const int n = 64;
+  auto a0 = test::random_spd(n, 1200);
+  auto a = a0;
+  auto x_true = test::random_matrix(n, 2, 1201);
+  Matrix<double> b(n, 2, 0.0);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a0.view(), x_true.view(),
+             0.0, b.view());
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  auto res = cholesky_solve(m, &a, b.view(), opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_MATRIX_NEAR(b, x_true, 1e-7);
+}
+
+TEST(ResolveBlockSize, UsesProfileDefault) {
+  CholeskyOptions opt;
+  EXPECT_EQ(resolve_block_size(sim::tardis(), opt), 256);
+  EXPECT_EQ(resolve_block_size(sim::bulldozer64(), opt), 512);
+  opt.block_size = 64;
+  EXPECT_EQ(resolve_block_size(sim::tardis(), opt), 64);
+}
+
+}  // namespace
+}  // namespace ftla::abft

@@ -1,0 +1,324 @@
+// Fault-injection behaviour of the four schemes — the paper's central
+// claims (Tables VII/VIII):
+//   * Enhanced Online-ABFT corrects computing AND storage errors in
+//     place, with no re-run.
+//   * Online-ABFT corrects computing errors but must re-run after a
+//     storage error in the verified-to-read window.
+//   * Offline-ABFT re-runs for both error types.
+//   * NoFt either fail-stops or silently produces a wrong factor.
+#include <gtest/gtest.h>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::Injector;
+using fault::Op;
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+struct Outcome {
+  CholeskyResult res;
+  double residual = 0.0;
+  int fired = 0;
+};
+
+Outcome run_with_faults(Variant variant, std::vector<FaultSpec> plan,
+                        int n = 96, int verify_interval = 1,
+                        fault::EccModel ecc = {}) {
+  auto a0 = test::random_spd(n, 4242);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = variant;
+  opt.verify_interval = verify_interval;
+  Injector inj(std::move(plan), ecc);
+  Outcome out;
+  out.res = cholesky(m, &a, n, opt, &inj);
+  out.fired = inj.fired_count();
+  if (out.res.success) {
+    out.residual = blas::cholesky_residual(a0.view(), a.view());
+  }
+  return out;
+}
+
+FaultSpec computing_gemm(int iter) {
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = iter;
+  s.elem_row = 3;
+  s.elem_col = 5;
+  s.magnitude = 1e6;
+  return s;
+}
+
+FaultSpec storage_syrk(int iter) {
+  // Multi-bit flip in a decomposed panel block that SYRK is about to
+  // read — the exact scenario of the paper's "Memory Error" column.
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Syrk;
+  s.iteration = iter;
+  s.block_row = iter;
+  s.block_col = iter - 1;
+  s.elem_row = 2;
+  s.elem_col = 7;
+  s.bits = {20, 44, 54};
+  return s;
+}
+
+// --------------------------- Enhanced ---------------------------------
+
+TEST(EnhancedFaults, ComputingErrorCorrectedWithoutRerun) {
+  auto out = run_with_faults(Variant::EnhancedOnline, {computing_gemm(2)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, StorageErrorCorrectedWithoutRerun) {
+  auto out = run_with_faults(Variant::EnhancedOnline, {storage_syrk(3)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, BothErrorTypesTogether) {
+  auto out = run_with_faults(Variant::EnhancedOnline,
+                             {computing_gemm(1), storage_syrk(4)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.fired, 2);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 2);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, StorageErrorInGemmInputCorrected) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 2;
+  s.block_row = 4;
+  s.block_col = 1;
+  s.bits = {18, 43, 55};
+  auto out = run_with_faults(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, CorruptedChecksumRepaired) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Syrk;
+  s.iteration = 3;
+  s.block_row = 3;
+  s.block_col = 2;
+  s.target_checksum = true;
+  s.bits = {30, 52};
+  auto out = run_with_faults(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.checksum_repairs, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, SignBitStorageErrorCorrected) {
+  FaultSpec s = storage_syrk(2);
+  s.bits = {63, 10};  // sign flip plus a mantissa bit
+  auto out = run_with_faults(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, EccAbsorbsSingleBitFlip) {
+  FaultSpec s = storage_syrk(3);
+  s.bits = {44};  // single bit: SEC-DED handles it before ABFT sees it
+  auto out = run_with_faults(Variant::EnhancedOnline, {s}, 96, 1,
+                             fault::EccModel{true});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.fired, 0);
+  EXPECT_EQ(out.res.errors_detected, 0);
+  EXPECT_LT(out.residual, 1e-12);
+}
+
+TEST(EnhancedFaults, WithoutEccSingleBitFlipStillCorrected) {
+  FaultSpec s = storage_syrk(3);
+  s.bits = {60};  // high exponent bit: large excursion
+  auto out = run_with_faults(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, IntervalGatedRunStillCorrectsEventually) {
+  // With K = 3 a GEMM-input fault may be read once uncorrected, but the
+  // scheme must still converge to a correct factor (SYRK inputs are
+  // always verified, protecting the unrecoverable path).
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 1;  // not a verify iteration for K = 3? j=1, 1%3 != 0
+  s.block_row = 3;
+  s.block_col = 0;
+  s.bits = {21, 45, 53};
+  auto out = run_with_faults(Variant::EnhancedOnline, {s}, 96, 3);
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(EnhancedFaults, ManyRandomFaultsAllHandled) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto plan = fault::random_plan(5, 6, seed);  // 6x6 blocks of 16 => 96
+    auto out = run_with_faults(Variant::EnhancedOnline, plan);
+    ASSERT_TRUE(out.res.success) << "seed " << seed << ": " << out.res.note;
+    EXPECT_LT(out.residual, 1e-5) << "seed " << seed;
+  }
+}
+
+// --------------------------- Online -----------------------------------
+
+TEST(OnlineFaults, ComputingErrorCorrectedWithoutRerun) {
+  auto out = run_with_faults(Variant::Online, {computing_gemm(2)});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(OnlineFaults, StorageErrorForcesRerun) {
+  auto out = run_with_faults(Variant::Online, {storage_syrk(3)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 1) << "online cannot correct storage errors";
+  EXPECT_LT(out.residual, 1e-10) << "rerun must produce a clean factor";
+}
+
+TEST(OnlineFaults, StorageErrorRoughlyDoublesTime) {
+  auto clean = run_with_faults(Variant::Online, {});
+  auto faulty = run_with_faults(Variant::Online, {storage_syrk(3)});
+  ASSERT_TRUE(clean.res.success && faulty.res.success);
+  // At toy sizes fixed transfer latencies skew the ratio; the clean ~2x
+  // shape is reproduced at paper scale by bench/table7.
+  EXPECT_GT(faulty.res.seconds, 1.3 * clean.res.seconds);
+  EXPECT_LT(faulty.res.seconds, 5.0 * clean.res.seconds);
+}
+
+// --------------------------- Offline ----------------------------------
+
+TEST(OfflineFaults, ComputingErrorForcesRerun) {
+  auto out = run_with_faults(Variant::Offline, {computing_gemm(2)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 1);
+  EXPECT_LT(out.residual, 1e-10);
+}
+
+TEST(OfflineFaults, StorageErrorForcesRerun) {
+  auto out = run_with_faults(Variant::Offline, {storage_syrk(3)});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 1);
+  EXPECT_LT(out.residual, 1e-10);
+}
+
+TEST(OfflineFaults, FaultFreeRunDoesNotRerun) {
+  auto out = run_with_faults(Variant::Offline, {});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.reruns, 0);
+}
+
+// --------------------------- NoFt --------------------------------------
+
+TEST(NoFtFaults, StorageErrorSilentlyCorruptsOrFails) {
+  auto out = run_with_faults(Variant::NoFt, {storage_syrk(3)});
+  if (out.res.success) {
+    EXPECT_GT(out.residual, 1e-8) << "silently wrong factor expected";
+  } else {
+    EXPECT_TRUE(out.res.fail_stop_observed);
+  }
+}
+
+TEST(NoFtFaults, ComputingErrorSilentlyCorruptsOrFails) {
+  auto out = run_with_faults(Variant::NoFt, {computing_gemm(2)});
+  if (out.res.success) {
+    EXPECT_GT(out.residual, 1e-8);
+  } else {
+    EXPECT_TRUE(out.res.fail_stop_observed);
+  }
+}
+
+// ------------------- cross-variant comparison --------------------------
+
+TEST(FaultComparison, EnhancedIsOnlyVariantNotRerunningOnStorage) {
+  const auto spec = storage_syrk(3);
+  auto enh = run_with_faults(Variant::EnhancedOnline, {spec});
+  auto onl = run_with_faults(Variant::Online, {spec});
+  auto off = run_with_faults(Variant::Offline, {spec});
+  ASSERT_TRUE(enh.res.success && onl.res.success && off.res.success);
+  EXPECT_EQ(enh.res.reruns, 0);
+  EXPECT_EQ(onl.res.reruns, 1);
+  EXPECT_EQ(off.res.reruns, 1);
+  // The paper's Table VII in miniature: the enhanced run stays close to
+  // its fault-free time while the others roughly double.
+  auto enh_clean = run_with_faults(Variant::EnhancedOnline, {});
+  EXPECT_LT(enh.res.seconds, 1.1 * enh_clean.res.seconds);
+}
+
+TEST(FaultComparison, StorageInGemmPathSilentlyCorruptsOnlineFactor) {
+  // A storage error in a block only GEMM reads: Online's post-update
+  // verification "corrects" the polluted outputs but never re-checks the
+  // corrupted slate block itself — the final factor is silently wrong.
+  // (This is the paper's argument for pre-read verification.)
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 2;
+  s.block_row = 4;
+  s.block_col = 1;
+  s.elem_row = 3;
+  s.elem_col = 3;
+  s.bits = {25, 48, 56};
+  auto onl = run_with_faults(Variant::Online, {s});
+  if (onl.res.success && onl.res.reruns == 0) {
+    EXPECT_GT(onl.residual, 1e-9) << "expected silent corruption";
+  }
+  auto enh = run_with_faults(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(enh.res.success);
+  EXPECT_LT(enh.residual, 1e-6) << "enhanced must catch it pre-read";
+}
+
+TEST(FaultComparison, MaxRerunsExhaustedReportsFailure) {
+  // Two storage faults at different iterations: online reruns once
+  // (consuming the first), hits the second... both consumed on first
+  // pass? No: the second fires in the rerun only if still pending.
+  // Force exhaustion instead with max_reruns = 0.
+  auto a0 = test::random_spd(96, 4242);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::Online;
+  opt.max_reruns = 0;
+  Injector inj({storage_syrk(3)});
+  auto res = cholesky(m, &a, 96, opt, &inj);
+  EXPECT_FALSE(res.success);
+  EXPECT_FALSE(res.note.empty());
+}
+
+}  // namespace
+}  // namespace ftla::abft

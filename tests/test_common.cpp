@@ -1,0 +1,252 @@
+// Unit tests for the common module: matrix container/views, RNG,
+// floating-point utilities, SPD generators, statistics, table formatter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "blas/lapack.hpp"
+#include "blas/reference.hpp"
+#include "common/fp.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/spd.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "test_util.hpp"
+
+namespace ftla {
+namespace {
+
+TEST(Matrix, StorageIsColumnMajor) {
+  Matrix<double> m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+  EXPECT_EQ(m.ld(), 3);
+}
+
+TEST(Matrix, FillAndEquality) {
+  Matrix<double> a(4, 4, 7.0);
+  Matrix<double> b(4, 4);
+  b.fill(7.0);
+  EXPECT_EQ(a, b);
+  b(3, 3) = 8.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatrixView, BlockAddressing) {
+  Matrix<double> m(6, 6);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) m(i, j) = 10.0 * i + j;
+  auto blk = m.block(2, 3, 3, 2);
+  EXPECT_EQ(blk.rows(), 3);
+  EXPECT_EQ(blk.cols(), 2);
+  EXPECT_EQ(blk(0, 0), 23.0);
+  EXPECT_EQ(blk(2, 1), 44.0);
+  EXPECT_EQ(blk.ld(), 6);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix<double> m(8, 8);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 8; ++i) m(i, j) = 10.0 * i + j;
+  auto outer = m.block(1, 1, 6, 6);
+  auto inner = outer.block(2, 3, 2, 2);
+  EXPECT_EQ(inner(0, 0), m(3, 4));
+  EXPECT_EQ(inner(1, 1), m(4, 5));
+}
+
+TEST(MatrixView, RowAndColViews) {
+  Matrix<double> m = test::random_matrix(5, 5, 1);
+  auto c = m.view().col(2);
+  auto r = m.view().row(3);
+  EXPECT_EQ(c.rows(), 5);
+  EXPECT_EQ(c.cols(), 1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 5);
+  EXPECT_EQ(c(4, 0), m(4, 2));
+  EXPECT_EQ(r(0, 4), m(3, 4));
+}
+
+TEST(MatrixCopy, RespectsDistinctLeadingDims) {
+  Matrix<double> src = test::random_matrix(6, 6, 2);
+  Matrix<double> dst(9, 9, 0.0);
+  copy(ConstMatrixView<double>(src.block(1, 1, 4, 4)),
+       dst.block(3, 2, 4, 4));
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(dst(3 + i, 2 + j), src(1 + i, 1 + j));
+  EXPECT_EQ(dst(0, 0), 0.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformDoublesInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  Stats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Fp, BitFlipRoundTrips) {
+  const double x = 3.141592653589793;
+  for (int bit = 0; bit < 64; ++bit) {
+    const double y = flip_bit(x, bit);
+    EXPECT_NE(double_to_bits(x), double_to_bits(y));
+    EXPECT_EQ(double_to_bits(flip_bit(y, bit)), double_to_bits(x));
+  }
+}
+
+TEST(Fp, SignBitFlip) {
+  EXPECT_EQ(flip_bit(1.5, 63), -1.5);
+}
+
+TEST(Fp, ExponentFlipIsLarge) {
+  const double x = 1.0;
+  const double y = flip_bit(x, 62);  // top exponent bit
+  EXPECT_GT(std::abs(y - x) / std::abs(x), 1e10);
+}
+
+TEST(Fp, UlpDistanceAdjacent) {
+  const double x = 1.0;
+  const double y = std::nextafter(x, 2.0);
+  EXPECT_EQ(ulp_distance(x, y), 1u);
+  EXPECT_EQ(ulp_distance(x, x), 0u);
+}
+
+TEST(Fp, UlpDistanceAcrossZero) {
+  const double a = std::nextafter(0.0, 1.0);
+  const double b = std::nextafter(0.0, -1.0);
+  EXPECT_EQ(ulp_distance(a, b), 2u);
+}
+
+TEST(Fp, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.01, 1e-9));
+  EXPECT_TRUE(approx_equal(0.0, 1e-12, 0.0, 1e-9));
+}
+
+TEST(Spd, DiagDominantFactorizes) {
+  for (int n : {1, 5, 33, 100}) {
+    Matrix<double> a(n, n);
+    make_spd_diag_dominant(a, 3);
+    Matrix<double> l = a;
+    EXPECT_NO_THROW(blas::ref::potrf(l.view())) << "n=" << n;
+  }
+}
+
+TEST(Spd, GramFactorizes) {
+  Matrix<double> a(24, 24);
+  make_spd(a, 5);
+  Matrix<double> l = a;
+  EXPECT_NO_THROW(blas::ref::potrf(l.view()));
+}
+
+TEST(Spd, GeneratedMatricesAreSymmetric) {
+  Matrix<double> a(40, 40);
+  make_spd_diag_dominant(a, 8);
+  for (int j = 0; j < 40; ++j)
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Spd, ExponentialCovarianceFactorizes) {
+  Matrix<double> a(32, 32);
+  make_spd_exponential(a, 0.8, 13);
+  Matrix<double> l = a;
+  EXPECT_NO_THROW(blas::ref::potrf(l.view()));
+}
+
+TEST(Spd, NormalEquationsFactorize) {
+  Matrix<double> a(16, 16);
+  make_normal_equations(a, 48, 17);
+  Matrix<double> l = a;
+  EXPECT_NO_THROW(blas::ref::potrf(l.view()));
+}
+
+TEST(Spd, DeterministicForSeed) {
+  Matrix<double> a(12, 12), b(12, 12);
+  make_spd_diag_dominant(a, 99);
+  make_spd_diag_dominant(b, 99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1234.5678, 6), "1234.57");
+  EXPECT_EQ(Table::pct(0.0532), "5.32%");
+}
+
+}  // namespace
+}  // namespace ftla

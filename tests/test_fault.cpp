@@ -1,0 +1,159 @@
+// Fault-injection bookkeeping tests: plan matching, ECC absorption,
+// scenario builders and randomized plan hygiene.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+
+namespace ftla::fault {
+namespace {
+
+TEST(Injector, TakeMatchesTypeOpIteration) {
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = 3;
+  Injector inj({s});
+  EXPECT_TRUE(inj.take(FaultType::Computing, Op::Gemm, 2).empty());
+  EXPECT_TRUE(inj.take(FaultType::Storage, Op::Gemm, 3).empty());
+  EXPECT_TRUE(inj.take(FaultType::Computing, Op::Syrk, 3).empty());
+  auto fired = inj.take(FaultType::Computing, Op::Gemm, 3);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(inj.pending_count(), 0);
+  // Consumed: does not fire twice (transient fault semantics).
+  EXPECT_TRUE(inj.take(FaultType::Computing, Op::Gemm, 3).empty());
+}
+
+TEST(Injector, MultipleMatchingSpecsAllFire) {
+  FaultSpec a;
+  a.type = FaultType::Storage;
+  a.op = Op::Syrk;
+  a.iteration = 1;
+  FaultSpec b = a;
+  b.block_col = 0;
+  Injector inj({a, b});
+  EXPECT_EQ(inj.take(FaultType::Storage, Op::Syrk, 1).size(), 2u);
+}
+
+TEST(Injector, RecordsKeepHistory) {
+  FaultSpec s;
+  Injector inj;
+  inj.record(s, 1.0, 2.0, 10, 20);
+  ASSERT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(inj.records()[0].old_value, 1.0);
+  EXPECT_EQ(inj.records()[0].new_value, 2.0);
+  EXPECT_EQ(inj.records()[0].global_row, 10);
+  EXPECT_EQ(inj.records()[0].global_col, 20);
+}
+
+TEST(Ecc, CorrectsSingleBitOnly) {
+  EccModel on{true};
+  EccModel off{false};
+  EXPECT_TRUE(on.corrects({5}));
+  EXPECT_FALSE(on.corrects({5, 6}));
+  EXPECT_FALSE(off.corrects({5}));
+}
+
+TEST(Injector, EccAbsorbsSingleBitStorageFaults) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 2;
+  s.bits = {17};
+  Injector inj({s}, EccModel{true});
+  EXPECT_TRUE(inj.take(FaultType::Storage, Op::Gemm, 2).empty());
+  EXPECT_EQ(inj.ecc_absorbed_count(), 1);
+}
+
+TEST(Injector, EccPassesMultiBitStorageFaults) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 2;
+  s.bits = {17, 44};
+  Injector inj({s}, EccModel{true});
+  EXPECT_EQ(inj.take(FaultType::Storage, Op::Gemm, 2).size(), 1u);
+  EXPECT_EQ(inj.ecc_absorbed_count(), 0);
+}
+
+TEST(Injector, EccDoesNotSeeComputingErrors) {
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = 0;
+  Injector inj({s}, EccModel{true});
+  EXPECT_EQ(inj.take(FaultType::Computing, Op::Gemm, 0).size(), 1u);
+}
+
+TEST(Builders, ComputingErrorTargetsCurrentColumn) {
+  Rng rng(1);
+  for (int iter : {0, 3, 7}) {
+    auto s = computing_error_at(iter, 8, rng);
+    EXPECT_EQ(s.type, FaultType::Computing);
+    EXPECT_EQ(s.iteration, iter);
+    EXPECT_EQ(s.block_col, iter);
+    if (s.op == Op::Gemm) EXPECT_GT(s.block_row, iter);
+  }
+}
+
+TEST(Builders, LastIterationFallsBackToSyrk) {
+  Rng rng(2);
+  auto s = computing_error_at(7, 8, rng);
+  EXPECT_EQ(s.op, Op::Syrk);
+  EXPECT_EQ(s.block_row, 7);
+}
+
+TEST(Builders, StorageErrorHitsDecomposedPanel) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int iter = 1 + static_cast<int>(rng.next_below(7));
+    auto s = storage_error_at(iter, 8, rng);
+    EXPECT_EQ(s.type, FaultType::Storage);
+    EXPECT_LT(s.block_col, iter) << "must target the decomposed slate";
+    EXPECT_GE(s.bits.size(), 2u) << "must defeat SEC-DED ECC";
+    if (s.op == Op::Syrk) {
+      EXPECT_EQ(s.block_row, iter);
+    } else {
+      EXPECT_GT(s.block_row, iter);
+    }
+  }
+}
+
+TEST(RandomPlan, RespectsTypeFilter) {
+  auto plan = random_plan(20, 8, 42, FaultType::Computing);
+  for (const auto& s : plan) EXPECT_EQ(s.type, FaultType::Computing);
+}
+
+TEST(RandomPlan, NoDuplicateHooks) {
+  auto plan = random_plan(64, 6, 7);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.size(); ++j) {
+      const bool same = plan[i].iteration == plan[j].iteration &&
+                        plan[i].op == plan[j].op &&
+                        plan[i].type == plan[j].type &&
+                        plan[i].block_row == plan[j].block_row &&
+                        plan[i].block_col == plan[j].block_col;
+      EXPECT_FALSE(same);
+    }
+  }
+}
+
+TEST(RandomPlan, DeterministicForSeed) {
+  auto p1 = random_plan(10, 8, 5);
+  auto p2 = random_plan(10, 8, 5);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].iteration, p2[i].iteration);
+    EXPECT_EQ(p1[i].block_row, p2[i].block_row);
+    EXPECT_EQ(p1[i].block_col, p2[i].block_col);
+  }
+}
+
+TEST(Strings, EnumNames) {
+  EXPECT_STREQ(to_string(FaultType::Computing), "computing");
+  EXPECT_STREQ(to_string(FaultType::Storage), "storage");
+  EXPECT_STREQ(to_string(Op::Potf2), "potf2");
+  EXPECT_STREQ(to_string(Op::Trsm), "trsm");
+}
+
+}  // namespace
+}  // namespace ftla::fault

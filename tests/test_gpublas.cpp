@@ -1,0 +1,157 @@
+// Simulated-device BLAS wrapper tests: numerics must match host BLAS,
+// and the cost model must be charged with the exact FLOP counts.
+#include <gtest/gtest.h>
+
+#include "blas/level3.hpp"
+#include "blas/reference.hpp"
+#include "sim/gpublas.hpp"
+#include "test_util.hpp"
+
+namespace ftla::sim {
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
+
+struct DeviceFixture : ::testing::Test {
+  Machine m{test_rig(), ExecutionMode::Numeric};
+
+  DeviceBuffer upload(const Matrix<double>& h) {
+    auto buf = m.alloc(static_cast<std::int64_t>(h.rows()) * h.cols());
+    m.memcpy_h2d(buf, 0, h.data(), static_cast<std::int64_t>(h.size()), 0);
+    return buf;
+  }
+  Matrix<double> download(const DeviceBuffer& buf, int rows, int cols) {
+    Matrix<double> h(rows, cols);
+    m.memcpy_d2h(h.data(), buf, 0, static_cast<std::int64_t>(h.size()), 0);
+    return h;
+  }
+};
+
+TEST_F(DeviceFixture, GemmMatchesHost) {
+  auto ha = test::random_matrix(6, 4, 1);
+  auto hb = test::random_matrix(4, 5, 2);
+  auto hc = test::random_matrix(6, 5, 3);
+  auto hc_ref = hc;
+  blas::ref::gemm(Trans::No, Trans::No, 2.0, ha.view(), hb.view(), 1.0,
+                  hc_ref.view());
+
+  auto da = upload(ha);
+  auto db = upload(hb);
+  auto dc = upload(hc);
+  gpublas::gemm(m, 0, Trans::No, Trans::No, 2.0,
+                DConstMat{&da, 0, 6, 4, 6}, DConstMat{&db, 0, 4, 5, 4}, 1.0,
+                DMat{&dc, 0, 6, 5, 6});
+  auto out = download(dc, 6, 5);
+  EXPECT_MATRIX_NEAR(out, hc_ref, 1e-12);
+}
+
+TEST_F(DeviceFixture, GemmChargesExactFlops) {
+  auto dc = m.alloc(6 * 5);
+  auto da = m.alloc(6 * 4);
+  auto db = m.alloc(4 * 5);
+  gpublas::gemm(m, 0, Trans::No, Trans::No, 1.0, DConstMat{&da, 0, 6, 4, 6},
+                DConstMat{&db, 0, 4, 5, 4}, 0.0, DMat{&dc, 0, 6, 5, 6});
+  EXPECT_EQ(m.stats().gpu.at(KernelClass::Blas3).flops, 2LL * 6 * 5 * 4);
+}
+
+TEST_F(DeviceFixture, SyrkMatchesHost) {
+  auto ha = test::random_matrix(5, 7, 4);
+  auto hc = test::random_matrix(5, 5, 5);
+  auto hc_ref = hc;
+  blas::ref::syrk(Uplo::Lower, Trans::No, -1.0, ha.view(), 1.0,
+                  hc_ref.view());
+  auto da = upload(ha);
+  auto dc = upload(hc);
+  gpublas::syrk(m, 0, Uplo::Lower, Trans::No, -1.0,
+                DConstMat{&da, 0, 5, 7, 5}, 1.0, DMat{&dc, 0, 5, 5, 5});
+  auto out = download(dc, 5, 5);
+  EXPECT_MATRIX_NEAR(out, hc_ref, 1e-12);
+}
+
+TEST_F(DeviceFixture, TrsmMatchesHost) {
+  auto ha = test::random_matrix(4, 4, 6);
+  for (int i = 0; i < 4; ++i) ha(i, i) = 5.0 + i;
+  auto hb = test::random_matrix(6, 4, 7);
+  auto hb_ref = hb;
+  blas::ref::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                  ha.view(), hb_ref.view());
+  auto da = upload(ha);
+  auto db = upload(hb);
+  gpublas::trsm(m, 0, Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit,
+                1.0, DConstMat{&da, 0, 4, 4, 4}, DMat{&db, 0, 6, 4, 6});
+  auto out = download(db, 6, 4);
+  EXPECT_MATRIX_NEAR(out, hb_ref, 1e-10);
+}
+
+TEST_F(DeviceFixture, ChecksumGemvUnweighted) {
+  auto ha = test::random_matrix(8, 3, 8);
+  auto da = upload(ha);
+  auto dout = m.alloc(3);
+  gpublas::checksum_gemv(m, 0, false, DConstMat{&da, 0, 8, 3, 8},
+                         DMat{&dout, 0, 1, 3, 1});
+  auto out = download(dout, 1, 3);
+  for (int j = 0; j < 3; ++j) {
+    double expect = 0.0;
+    for (int i = 0; i < 8; ++i) expect += ha(i, j);
+    EXPECT_NEAR(out(0, j), expect, 1e-13);
+  }
+}
+
+TEST_F(DeviceFixture, ChecksumGemvWeighted) {
+  auto ha = test::random_matrix(8, 3, 9);
+  auto da = upload(ha);
+  auto dout = m.alloc(3);
+  gpublas::checksum_gemv(m, 0, true, DConstMat{&da, 0, 8, 3, 8},
+                         DMat{&dout, 0, 1, 3, 1});
+  auto out = download(dout, 1, 3);
+  for (int j = 0; j < 3; ++j) {
+    double expect = 0.0;
+    for (int i = 0; i < 8; ++i) expect += (i + 1.0) * ha(i, j);
+    EXPECT_NEAR(out(0, j), expect, 1e-12);
+  }
+}
+
+TEST_F(DeviceFixture, ChecksumGemvIsBlas2Priced) {
+  auto da = m.alloc(64);
+  auto dout = m.alloc(8);
+  gpublas::checksum_gemv(m, 0, false, DConstMat{&da, 0, 8, 8, 8},
+                         DMat{&dout, 0, 1, 8, 1});
+  EXPECT_EQ(m.stats().gpu.at(KernelClass::Blas2).flops, 2LL * 8 * 8);
+}
+
+TEST_F(DeviceFixture, FillSetsRegion) {
+  auto da = m.alloc(12);
+  gpublas::fill(m, 0, DMat{&da, 0, 3, 4, 3}, 2.5);
+  auto out = download(da, 3, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(out(i, j), 2.5);
+}
+
+TEST_F(DeviceFixture, DMatBlockComposition) {
+  auto ha = test::random_matrix(8, 8, 10);
+  auto da = upload(ha);
+  DMat whole{&da, 0, 8, 8, 8};
+  DMat sub = whole.block(2, 3, 4, 4);
+  DMat subsub = sub.block(1, 1, 2, 2);
+  m.launch(0, KernelDesc{"probe", KernelClass::Blas1, 1, 1}, [&] {
+    EXPECT_EQ(subsub.view()(0, 0), ha(3, 4));
+    EXPECT_EQ(subsub.view()(1, 1), ha(4, 5));
+  });
+}
+
+TEST_F(DeviceFixture, SkinnyClassOverridePrices) {
+  auto dc = m.alloc(6 * 5);
+  auto da = m.alloc(6 * 4);
+  auto db = m.alloc(4 * 5);
+  gpublas::gemm(m, 0, Trans::No, Trans::No, 1.0, DConstMat{&da, 0, 6, 4, 6},
+                DConstMat{&db, 0, 4, 5, 4}, 0.0, DMat{&dc, 0, 6, 5, 6},
+                KernelClass::Blas3Skinny);
+  EXPECT_EQ(m.stats().gpu.count(KernelClass::Blas3), 0u);
+  EXPECT_EQ(m.stats().gpu.at(KernelClass::Blas3Skinny).count, 1);
+}
+
+}  // namespace
+}  // namespace ftla::sim

@@ -1,0 +1,339 @@
+// Tests for the LU extension: no-pivot LU substrate correctness, the
+// row/column-checksum scheme, and fault tolerance of the Enhanced
+// Online-ABFT LU driver.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abft/lu.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::Injector;
+using fault::Op;
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+// ----------------------- substrate: getf2/getrf ------------------------
+
+TEST(GetrfNopiv, MatchesUnblockedOnDiagDominant) {
+  const int n = 96;
+  auto a = test::random_spd(n, 1);  // diagonally dominant
+  auto lu1 = a;
+  auto lu2 = a;
+  blas::getf2_nopiv(lu1.view());
+  blas::getrf_nopiv(lu2.view(), 16);
+  EXPECT_MATRIX_NEAR(lu1, lu2, 1e-9);
+}
+
+class GetrfSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GetrfSizes, SmallResidual) {
+  const auto [n, nb] = GetParam();
+  auto a = test::random_spd(n, 100 + n);
+  auto lu_packed = a;
+  blas::getrf_nopiv(lu_packed.view(), nb);
+  EXPECT_LT(blas::lu_residual(a.view(), lu_packed.view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GetrfSizes,
+                         ::testing::Values(std::tuple{1, 8}, std::tuple{7, 8},
+                                           std::tuple{64, 16},
+                                           std::tuple{100, 32},
+                                           std::tuple{130, 64}));
+
+TEST(Getf2Nopiv, RectangularPanel) {
+  const int m = 48, nn = 16;
+  Matrix<double> a(m, nn);
+  make_uniform(a, 7);
+  for (int i = 0; i < nn; ++i) a(i, i) += 10.0;  // safe pivots
+  auto packed = a;
+  blas::getf2_nopiv(packed.view());
+  // Reconstruct: A = L (m x n, unit diag) * U (n x n upper).
+  Matrix<double> rec(m, nn, 0.0);
+  for (int j = 0; j < nn; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const int kmax = std::min(i, j);
+      double s = 0.0;
+      for (int k = 0; k < kmax; ++k) s += packed(i, k) * packed(k, j);
+      s += i <= j ? packed(i, j) : packed(i, j) * packed(j, j);
+      rec(i, j) = s;
+    }
+  }
+  EXPECT_MATRIX_NEAR(rec, a, 1e-10);
+}
+
+TEST(Getf2Nopiv, ThrowsOnZeroPivot) {
+  Matrix<double> a(3, 3, 1.0);  // singular
+  EXPECT_THROW(blas::getf2_nopiv(a.view()), NotPositiveDefiniteError);
+}
+
+// ----------------------- row checksums under LU ops --------------------
+
+TEST(RowChecksums, InvariantUnderLeftTrsm) {
+  // rchk(L^{-1} A) = L^{-1} rchk(A) — the property column checksums lack.
+  const int b = 16, w = 24;
+  auto l = test::random_spd(b, 2);
+  blas::getf2_nopiv(l.view());
+  auto a = test::random_matrix(b, w, 3);
+  Matrix<double> rchk(b, kChecksumRows);
+  encode_block_rows(a.view(), rchk.view());
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+             blas::Diag::Unit, 1.0, l.view(), a.view());
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+             blas::Diag::Unit, 1.0, l.view(), rchk.view());
+  Matrix<double> expect(b, kChecksumRows);
+  encode_block_rows(a.view(), expect.view());
+  EXPECT_MATRIX_NEAR(rchk, expect, 1e-9);
+}
+
+TEST(RowChecksums, InvariantUnderTrailingGemm) {
+  // rchk(B - L U) = rchk(B) - L rchk(U).
+  const int b = 16;
+  auto bm = test::random_matrix(b, b, 4);
+  auto l = test::random_matrix(b, b, 5);
+  auto u = test::random_matrix(b, b, 6);
+  Matrix<double> rchk_b(b, kChecksumRows), rchk_u(b, kChecksumRows);
+  encode_block_rows(bm.view(), rchk_b.view());
+  encode_block_rows(u.view(), rchk_u.view());
+  blas::gemm(blas::Trans::No, blas::Trans::No, -1.0, l.view(), u.view(), 1.0,
+             bm.view());
+  blas::gemm(blas::Trans::No, blas::Trans::No, -1.0, l.view(), rchk_u.view(),
+             1.0, rchk_b.view());
+  Matrix<double> expect(b, kChecksumRows);
+  encode_block_rows(bm.view(), expect.view());
+  EXPECT_MATRIX_NEAR(rchk_b, expect, 1e-10);
+}
+
+TEST(RowChecksums, SingleErrorLocatedAndCorrected) {
+  auto a = test::random_matrix(12, 20, 7);
+  Matrix<double> chk(12, kChecksumRows);
+  encode_block_rows(a.view(), chk.view());
+  const double orig = a(5, 13);
+  a(5, 13) -= 321.5;
+  auto out = verify_block_rows_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 1);
+  ASSERT_EQ(out.corrections.size(), 1u);
+  EXPECT_EQ(out.corrections[0].row, 5);
+  EXPECT_EQ(out.corrections[0].col, 13);
+  EXPECT_NEAR(a(5, 13), orig, 1e-9);
+}
+
+TEST(RowChecksums, TwoErrorsSameRowUncorrectable) {
+  auto a = test::random_matrix(8, 8, 8);
+  Matrix<double> chk(8, kChecksumRows);
+  encode_block_rows(a.view(), chk.view());
+  a(3, 1) += 50.0;
+  a(3, 6) += 70.0;
+  auto out = verify_block_rows_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.uncorrectable);
+}
+
+TEST(RowChecksums, CorruptedChecksumColumnRepaired) {
+  auto a = test::random_matrix(8, 8, 9);
+  Matrix<double> chk(8, kChecksumRows);
+  encode_block_rows(a.view(), chk.view());
+  chk(4, 1) += 1e5;
+  auto out = verify_block_rows_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.checksum_repairs, 1);
+  Matrix<double> expect(8, kChecksumRows);
+  encode_block_rows(a.view(), expect.view());
+  EXPECT_MATRIX_NEAR(chk, expect, 1e-12);
+}
+
+// ----------------------------- the driver ------------------------------
+
+struct LuOutcome {
+  CholeskyResult res;
+  double residual = 0.0;
+};
+
+LuOutcome run_lu(Variant variant, std::vector<FaultSpec> plan, int n = 96,
+                 int k_interval = 1) {
+  auto a0 = test::random_spd(n, 2024);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  LuOptions opt;
+  opt.variant = variant;
+  opt.verify_interval = k_interval;
+  const bool has_faults = !plan.empty();
+  Injector inj(std::move(plan));
+  LuOutcome out;
+  out.res = lu(m, &a, n, opt, has_faults ? &inj : nullptr);
+  if (out.res.success) {
+    out.residual = blas::lu_residual(a0.view(), a.view());
+  }
+  return out;
+}
+
+TEST(LuDriver, FaultFreeMatchesReference) {
+  const int n = 96;
+  auto a0 = test::random_spd(n, 2024);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  LuOptions opt;
+  auto res = lu(m, &a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.errors_detected, 0) << "false positive";
+  EXPECT_EQ(res.checksum_repairs, 0);
+  auto expect = a0;
+  blas::getrf_nopiv(expect.view(), 16);
+  EXPECT_MATRIX_NEAR(a, expect, 1e-8);
+}
+
+TEST(LuDriver, NoFtSkipsAllVerification) {
+  auto out = run_lu(Variant::NoFt, {});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.verified.total(), 0);
+  EXPECT_LT(out.residual, 1e-12);
+}
+
+class LuSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LuSizes, ArbitraryShapes) {
+  const auto [n, b] = GetParam();
+  auto a0 = test::random_spd(n, 300 + n);
+  auto a = a0;
+  auto p = small_rig();
+  p.magma_block_size = b;
+  Machine m(p, ExecutionMode::Numeric);
+  LuOptions opt;
+  auto res = lu(m, &a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_LT(blas::lu_residual(a0.view(), a.view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LuSizes,
+                         ::testing::Values(std::tuple{16, 16},
+                                           std::tuple{17, 16},
+                                           std::tuple{50, 16},
+                                           std::tuple{96, 32},
+                                           std::tuple{31, 8}));
+
+TEST(LuFaults, StorageErrorInPanelInputCorrected) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Potf2;  // about to be read by the panel factorization
+  s.iteration = 2;
+  s.block_row = 3;
+  s.block_col = 2;
+  s.elem_row = 4;
+  s.elem_col = 9;
+  s.bits = {20, 44, 54};
+  auto out = run_lu(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(LuFaults, StorageErrorInURowCorrectedByRowChecksums) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;  // the trailing update reads the U row
+  s.iteration = 2;
+  s.block_row = 2;  // block (2, 4) is U territory at iteration 2
+  s.block_col = 4;
+  s.elem_row = 3;
+  s.elem_col = 5;
+  s.bits = {21, 45, 55};
+  auto out = run_lu(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(LuFaults, ComputingErrorInTrailingUpdateCorrected) {
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = 1;
+  s.block_row = 3;
+  s.block_col = 4;
+  s.elem_row = 2;
+  s.elem_col = 2;
+  s.magnitude = 1e5;
+  auto out = run_lu(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(LuFaults, StorageErrorOnFinishedFactorCaughtByFinalSweep) {
+  // Right-looking LU never re-reads finished blocks; the final sweep is
+  // what protects them. Corrupt a finished U block long after its last
+  // use (fires before the iteration-4 trailing read of *other* blocks).
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Trsm;
+  s.iteration = 4;
+  s.block_row = 0;  // U block finished back at iteration 0
+  s.block_col = 3;
+  s.elem_row = 1;
+  s.elem_col = 2;
+  s.bits = {19, 47, 53};
+  auto out = run_lu(Variant::EnhancedOnline, {s}, 96);
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(LuFaults, IntervalGatingStillConverges) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 1;  // 1 % 3 != 0: trailing verification gated off
+  s.block_row = 4;
+  s.block_col = 3;
+  s.bits = {22, 46, 54};
+  auto out = run_lu(Variant::EnhancedOnline, {s}, 96, 3);
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(LuDriver, TimingOnlyParity) {
+  const int n = 96;
+  LuOptions opt;
+  auto a = test::random_spd(n, 2024);
+  Machine m1(small_rig(), ExecutionMode::Numeric);
+  auto r1 = lu(m1, &a, n, opt);
+  Machine m2(small_rig(), ExecutionMode::TimingOnly);
+  auto r2 = lu(m2, nullptr, n, opt);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_NEAR(r1.seconds, r2.seconds, 1e-9 * std::max(1.0, r1.seconds));
+  EXPECT_EQ(r1.verified.total(), r2.verified.total());
+}
+
+TEST(LuDriver, EnhancedCostsMoreThanNoFt) {
+  const int n = 10240;
+  const auto profile = sim::tardis();
+  LuOptions noft;
+  noft.variant = Variant::NoFt;
+  LuOptions enh;
+  enh.variant = Variant::EnhancedOnline;
+  enh.verify_interval = 5;
+  Machine m1(profile, ExecutionMode::TimingOnly);
+  const double t_noft = lu(m1, nullptr, n, noft).seconds;
+  Machine m2(profile, ExecutionMode::TimingOnly);
+  const double t_enh = lu(m2, nullptr, n, enh).seconds;
+  EXPECT_GT(t_enh, t_noft);
+  EXPECT_LT(t_enh / t_noft - 1.0, 0.30) << "overhead should stay modest";
+}
+
+}  // namespace
+}  // namespace ftla::abft

@@ -1,0 +1,135 @@
+// Tests for the analytic models: the Opt-2 placement decision model and
+// the closed-form overhead model (paper Tables II-VI).
+#include <gtest/gtest.h>
+
+#include "abft/opt2_model.hpp"
+#include "abft/overhead_model.hpp"
+#include "sim/profile.hpp"
+
+namespace ftla::abft {
+namespace {
+
+TEST(Opt2Model, PicksCpuOnTardis) {
+  // Paper §VII-D: "we choose CPU to update checksums on Tardis".
+  auto e = opt2_decide(sim::tardis(), 20480, 256, 1);
+  EXPECT_EQ(e.decision, UpdatePlacement::Cpu);
+  EXPECT_GT(e.t_pick_gpu_s, e.t_pick_cpu_s);
+}
+
+TEST(Opt2Model, PicksGpuOnBulldozer64) {
+  // Paper §VII-D: "choose GPU to update checksums on Bulldozer64".
+  auto e = opt2_decide(sim::bulldozer64(), 30720, 512, 1);
+  EXPECT_EQ(e.decision, UpdatePlacement::Gpu);
+}
+
+TEST(Opt2Model, EstimatesArePositiveAndOrdered) {
+  for (int n : {5120, 10240, 20480}) {
+    auto e = opt2_decide(sim::tardis(), n, 256, 1);
+    EXPECT_GT(e.t_pick_cpu_s, 0.0);
+    EXPECT_GT(e.t_pick_gpu_s, 0.0);
+    // Both include the same base work, so they are within 2x.
+    EXPECT_LT(e.t_pick_gpu_s / e.t_pick_cpu_s, 2.0);
+  }
+}
+
+TEST(Opt2Model, LargerKReducesCpuTransferPenalty) {
+  auto k1 = opt2_decide(sim::tardis(), 20480, 256, 1);
+  auto k5 = opt2_decide(sim::tardis(), 20480, 256, 5);
+  EXPECT_LE(k5.t_pick_cpu_s, k1.t_pick_cpu_s);
+}
+
+TEST(OverheadModel, CholeskyFlops) {
+  EXPECT_DOUBLE_EQ(cholesky_flops_model(3000), 9e9);
+}
+
+TEST(OverheadModel, EncodeIsTwoNSquared) {
+  auto o = online_abft_overhead(1000, 100);
+  EXPECT_DOUBLE_EQ(o.encode, 2e6);
+  // Relative encode overhead = 6/n (paper §VI-1).
+  EXPECT_NEAR(o.encode / cholesky_flops_model(1000), 6.0 / 1000, 1e-12);
+}
+
+TEST(OverheadModel, UpdateTotalsMatchTableIII) {
+  const int n = 20480, b = 256;
+  auto o = online_abft_overhead(n, b);
+  const double n3 = cholesky_flops_model(n);
+  // Total updating relative overhead = 12/n + 2/B (paper §VI-2),
+  // POTF2's 6B/n^2 being the ignorable part.
+  EXPECT_NEAR((o.update_trsm + o.update_syrk + o.update_gemm) / n3,
+              12.0 / n + 2.0 / b, 1e-9);
+}
+
+TEST(OverheadModel, OnlineRecalcMatchesTableIV) {
+  const int n = 20480, b = 256;
+  auto o = online_abft_overhead(n, b);
+  const double n3 = cholesky_flops_model(n);
+  EXPECT_NEAR((o.recalc_trsm + o.recalc_gemm) / n3, 12.0 / n, 1e-9);
+}
+
+TEST(OverheadModel, EnhancedRecalcMatchesTableV) {
+  const int n = 20480, b = 256, k = 3;
+  auto o = enhanced_abft_overhead(n, b, k);
+  const double n3 = cholesky_flops_model(n);
+  // (6K+6)/nK + 2/BK (paper §VI-3b).
+  EXPECT_NEAR((o.recalc_trsm + o.recalc_syrk + o.recalc_gemm) / n3,
+              (6.0 * k + 6.0) / (n * k) + 2.0 / (b * k), 1e-9);
+}
+
+TEST(OverheadModel, OverallFormulasMatchTableVI) {
+  const int n = 20480, b = 256;
+  EXPECT_NEAR(online_relative_overhead(n, b), 30.0 / n + 2.0 / b, 1e-15);
+  for (int k : {1, 3, 5}) {
+    EXPECT_NEAR(enhanced_relative_overhead(n, b, k),
+                (24.0 * k + 6.0) / (static_cast<double>(n) * k) +
+                    (2.0 * k + 2.0) / (static_cast<double>(b) * k),
+                1e-15);
+  }
+}
+
+TEST(OverheadModel, BreakdownTotalsEqualClosedFormAsymptotically) {
+  const int n = 30720, b = 512;
+  // Online: breakdown total / n^3/3 should approach 30/n + 2/B.
+  auto o = online_abft_overhead(n, b);
+  EXPECT_NEAR(o.flops_total() / cholesky_flops_model(n),
+              online_relative_overhead(n, b),
+              2.0 / n);  // POTF2 terms are O(B/n^2)
+  // Enhanced, K = 1.
+  auto e = enhanced_abft_overhead(n, b, 1);
+  EXPECT_NEAR(e.flops_total() / cholesky_flops_model(n),
+              enhanced_relative_overhead(n, b, 1), 2.0 / n);
+}
+
+TEST(OverheadModel, EnhancedConvergesToConstant) {
+  const int b = 256, k = 1;
+  const double at_20k = enhanced_relative_overhead(20480, b, k);
+  const double at_40k = enhanced_relative_overhead(40960, b, k);
+  const double limit = (2.0 * k + 2.0) / (b * k);
+  EXPECT_GT(at_20k, at_40k);
+  EXPECT_GT(at_40k, limit);
+  EXPECT_NEAR(at_40k, limit, 1e-3);
+}
+
+TEST(OverheadModel, LargerKLowersEnhancedOverhead) {
+  const int n = 20480, b = 256;
+  EXPECT_GT(enhanced_relative_overhead(n, b, 1),
+            enhanced_relative_overhead(n, b, 3));
+  EXPECT_GT(enhanced_relative_overhead(n, b, 3),
+            enhanced_relative_overhead(n, b, 5));
+}
+
+TEST(OverheadModel, VerificationTransferScalesAsPaper) {
+  const int n = 20480, b = 256;
+  auto e1 = enhanced_abft_overhead(n, b, 1);
+  auto e4 = enhanced_abft_overhead(n, b, 4);
+  EXPECT_NEAR(e1.xfer_verification,
+              static_cast<double>(n) * n * n / (3.0 * b * b), 1.0);
+  EXPECT_NEAR(e1.xfer_verification / e4.xfer_verification, 4.0, 1e-9);
+}
+
+TEST(OverheadModel, SpaceOverheadIsTwoOverB) {
+  auto o = online_abft_overhead(10240, 256);
+  EXPECT_NEAR(o.checksum_words / (10240.0 * 10240.0), 2.0 / 256, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftla::abft

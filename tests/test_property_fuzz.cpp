@@ -1,0 +1,221 @@
+// Cross-cutting randomized property tests: drive the full system
+// (drivers x variants x placements x fault plans x recovery strategies)
+// through seeded random configurations and assert the global invariants
+// that must hold for every one of them.
+#include <gtest/gtest.h>
+
+#include "abft/cholesky.hpp"
+#include "abft/lu.hpp"
+#include "abft/qr.hpp"
+#include "blas/lapack.hpp"
+#include "blas/qr.hpp"
+#include "common/spd.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+struct Config {
+  int n = 0;
+  Variant variant = Variant::EnhancedOnline;
+  UpdatePlacement placement = UpdatePlacement::Gpu;
+  Recovery recovery = Recovery::Rerun;
+  int k = 1;
+  bool opt1 = true;
+  int faults = 0;
+  std::uint64_t seed = 0;
+};
+
+Config random_config(Rng& rng) {
+  Config c;
+  c.n = 16 * rng.uniform_int(3, 9);  // 48..144
+  const Variant variants[] = {Variant::NoFt, Variant::Offline,
+                              Variant::Online, Variant::EnhancedOnline};
+  c.variant = variants[rng.uniform_int(0, 3)];
+  const UpdatePlacement placements[] = {UpdatePlacement::Blocking,
+                                        UpdatePlacement::Gpu,
+                                        UpdatePlacement::Cpu,
+                                        UpdatePlacement::Auto};
+  c.placement = placements[rng.uniform_int(0, 3)];
+  c.recovery =
+      rng.next_double() < 0.5 ? Recovery::Rerun : Recovery::Checkpoint;
+  c.k = rng.uniform_int(1, 4);
+  c.opt1 = rng.next_double() < 0.7;
+  c.faults = c.variant == Variant::EnhancedOnline ? rng.uniform_int(0, 3)
+                                                  : rng.uniform_int(0, 1);
+  c.seed = rng.next_u64();
+  return c;
+}
+
+class CholeskyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyFuzz, InvariantsHoldUnderRandomConfig) {
+  Rng rng(1234 + GetParam());
+  const Config c = random_config(rng);
+  SCOPED_TRACE("n=" + std::to_string(c.n) +
+               " variant=" + to_string(c.variant) +
+               " placement=" + to_string(c.placement) +
+               " recovery=" + to_string(c.recovery) +
+               " K=" + std::to_string(c.k) +
+               " faults=" + std::to_string(c.faults));
+
+  auto a0 = test::random_spd(c.n, c.seed);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = c.variant;
+  opt.placement = c.placement;
+  opt.recovery = c.recovery;
+  opt.verify_interval = c.k;
+  opt.concurrent_recalc = c.opt1;
+  opt.checkpoint_interval = 2;
+
+  const int nb = (c.n + 15) / 16;
+  fault::Injector inj(
+      c.faults > 0 ? fault::random_plan(c.faults, nb, c.seed ^ 0xabcdef)
+                   : std::vector<fault::FaultSpec>{});
+  auto res = cholesky(m, &a, c.n, opt, c.faults ? &inj : nullptr);
+
+  // Invariant 1: virtual time is positive and finite.
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(res.seconds));
+
+  // Invariant 2: fault-free runs always succeed cleanly.
+  if (c.faults == 0) {
+    ASSERT_TRUE(res.success) << res.note;
+    EXPECT_EQ(res.errors_detected, 0);
+    EXPECT_EQ(res.reruns, 0);
+    EXPECT_EQ(res.rollbacks, 0);
+  }
+
+  // Invariant 3: Enhanced never reruns or rolls back (it corrects in
+  // place) and always delivers a clean factor.
+  if (c.variant == Variant::EnhancedOnline) {
+    ASSERT_TRUE(res.success) << res.note;
+    EXPECT_EQ(res.reruns, 0);
+    EXPECT_EQ(res.rollbacks, 0);
+  }
+
+  // Invariant 4: whenever a run reports success AND no scheme ever
+  // relies on silent luck (Enhanced / recovered runs), the residual is
+  // at rounding level.
+  if (res.success &&
+      (c.variant == Variant::EnhancedOnline || res.reruns > 0 ||
+       res.rollbacks > 0 || c.faults == 0)) {
+    EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-6);
+  }
+
+  // Invariant 5: counters are consistent.
+  EXPECT_GE(res.errors_detected, 0);
+  EXPECT_LE(res.errors_corrected,
+            res.errors_detected + res.errors_corrected);
+  if (c.variant == Variant::NoFt) EXPECT_EQ(res.verified.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyFuzz, ::testing::Range(0, 40));
+
+class TimingParityFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimingParityFuzz, NumericAndTimingOnlyAgree) {
+  // The virtual clock must not depend on the numeric payload: for any
+  // fault-free configuration, Numeric and TimingOnly runs take the
+  // same virtual time and issue the same verification schedule.
+  Rng rng(777 + GetParam());
+  Config c = random_config(rng);
+  c.faults = 0;
+  CholeskyOptions opt;
+  opt.variant = c.variant;
+  opt.placement = c.placement;
+  opt.recovery = c.recovery;
+  opt.verify_interval = c.k;
+  opt.concurrent_recalc = c.opt1;
+  opt.checkpoint_interval = 2;
+
+  auto a = test::random_spd(c.n, c.seed);
+  Machine m1(small_rig(), ExecutionMode::Numeric);
+  auto r1 = cholesky(m1, &a, c.n, opt);
+  Machine m2(small_rig(), ExecutionMode::TimingOnly);
+  auto r2 = cholesky(m2, nullptr, c.n, opt);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_NEAR(r1.seconds, r2.seconds, 1e-12 + 1e-9 * r1.seconds)
+      << "variant=" << to_string(c.variant)
+      << " placement=" << to_string(c.placement) << " n=" << c.n;
+  EXPECT_EQ(r1.verified.total(), r2.verified.total());
+  EXPECT_EQ(m1.stats().total_gpu_flops(), m2.stats().total_gpu_flops());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingParityFuzz, ::testing::Range(0, 20));
+
+class LuFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuFuzz, EnhancedLuSurvivesRandomFaults) {
+  Rng rng(555 + GetParam());
+  const int n = 16 * rng.uniform_int(4, 8);
+  const int nb = n / 16;
+  auto a0 = test::random_spd(n, rng.next_u64());
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  LuOptions opt;
+  opt.verify_interval = rng.uniform_int(1, 3);
+  opt.concurrent_recalc = rng.next_double() < 0.7;
+  auto plan = fault::random_plan(rng.uniform_int(1, 3), nb,
+                                 rng.next_u64());
+  // The random plans are phrased for the Cholesky block layout; retarget
+  // them to LU's program points (SYRK does not exist there, and block
+  // defaults should come from the LU driver's own context).
+  for (auto& spec : plan) {
+    if (spec.op == fault::Op::Syrk) spec.op = fault::Op::Gemm;
+    spec.block_row = -1;
+    spec.block_col = -1;
+  }
+  fault::Injector inj(std::move(plan));
+  auto res = lu(m, &a, n, opt, &inj);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.reruns, 0) << "enhanced LU should correct in place";
+  EXPECT_LT(blas::lu_residual(a0.view(), a.view()), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuFuzz, ::testing::Range(0, 20));
+
+class QrFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrFuzz, EnhancedQrSurvivesRandomFaults) {
+  Rng rng(888 + GetParam());
+  const int n = 16 * rng.uniform_int(4, 8);
+  const int nb = n / 16;
+  Matrix<double> a0(n, n);
+  make_uniform(a0, rng.next_u64());
+  auto a = a0;
+  std::vector<double> tau;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  QrOptions opt;
+  opt.verify_interval = rng.uniform_int(1, 3);
+  opt.concurrent_recalc = rng.next_double() < 0.7;
+  auto plan = fault::random_plan(rng.uniform_int(1, 3), nb,
+                                 rng.next_u64());
+  for (auto& spec : plan) {
+    if (spec.op == fault::Op::Syrk) spec.op = fault::Op::Gemm;
+    spec.block_row = -1;
+    spec.block_col = -1;
+  }
+  fault::Injector inj(std::move(plan));
+  auto res = qr(m, &a, &tau, n, opt, &inj);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.reruns, 0) << "enhanced QR should correct in place";
+  EXPECT_LT(blas::qr_residual(a0.view(), a.view(), tau.data()), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace ftla::abft

@@ -1,0 +1,286 @@
+// Tests for the QR extension: the Householder substrate
+// (geqf2/larft/larfb), the row-checksum-under-left-multiplication
+// property, and the fault-tolerant QR driver.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abft/qr.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "blas/qr.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::Injector;
+using fault::Op;
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+// ----------------------- substrate -------------------------------------
+
+TEST(Geqf2, ReconstructsViaApplyQ) {
+  const int n = 48;
+  auto a = test::random_matrix(n, n, 1);
+  auto packed = a;
+  std::vector<double> tau(n);
+  blas::geqf2(packed.view(), tau.data());
+  EXPECT_LT(blas::qr_residual(a.view(), packed.view(), tau.data()), 1e-13);
+}
+
+TEST(Geqf2, RIsUpperTriangular) {
+  const int n = 24;
+  auto a = test::random_matrix(n, n, 2);
+  std::vector<double> tau(n);
+  blas::geqf2(a.view(), tau.data());
+  // The "R" part is what sits on/above the diagonal by construction;
+  // check Q^T A equals it by applying Q^T to the original.
+  // (Indirectly validated by the residual test; here check diag signs
+  // are well-defined, i.e. no zero pivots on a random matrix.)
+  for (int j = 0; j < n; ++j) EXPECT_NE(a(j, j), 0.0);
+}
+
+TEST(Geqf2, OrthogonalityOfQ) {
+  const int n = 32;
+  auto a = test::random_matrix(n, n, 3);
+  auto packed = a;
+  std::vector<double> tau(n);
+  blas::geqf2(packed.view(), tau.data());
+  // Q^T Q = I: apply Q then Q^T to the identity.
+  Matrix<double> q(n, n, 0.0);
+  for (int i = 0; i < n; ++i) q(i, i) = 1.0;
+  blas::apply_q(packed.view(), tau.data(), q.view(), /*transpose=*/false);
+  blas::apply_q(packed.view(), tau.data(), q.view(), /*transpose=*/true);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(q(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+class GeqrfSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeqrfSizes, BlockedMatchesUnblocked) {
+  const auto [n, nb] = GetParam();
+  auto a = test::random_matrix(n, n, 100 + n);
+  auto p1 = a;
+  auto p2 = a;
+  std::vector<double> t1(n), t2(n);
+  blas::geqf2(p1.view(), t1.data());
+  blas::geqrf(p2.view(), t2.data(), nb);
+  EXPECT_MATRIX_NEAR(p1, p2, 1e-10);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(t1[i], t2[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeqrfSizes,
+                         ::testing::Values(std::tuple{8, 4},
+                                           std::tuple{33, 8},
+                                           std::tuple{64, 16},
+                                           std::tuple{96, 32}));
+
+TEST(Larfb, MatchesSequentialReflectors) {
+  const int m = 40, k = 8, n = 12;
+  auto panel = test::random_matrix(m, k, 5);
+  std::vector<double> tau(k);
+  blas::geqf2(panel.view(), tau.data());
+  Matrix<double> t(k, k);
+  blas::larft(panel.view(), tau.data(), t.view());
+
+  auto c1 = test::random_matrix(m, n, 6);
+  auto c2 = c1;
+  blas::larfb_left_t(panel.view(), t.view(), c1.view());
+  blas::apply_q(panel.view(), tau.data(), c2.view(), /*transpose=*/true);
+  EXPECT_MATRIX_NEAR(c1, c2, 1e-11);
+}
+
+TEST(RowChecksums, InvariantUnderBlockReflector) {
+  // rchk(M C) = M rchk(C): the key identity the FT-QR relies on.
+  const int m = 32, k = 8, n = 10;
+  auto panel = test::random_matrix(m, k, 7);
+  std::vector<double> tau(k);
+  blas::geqf2(panel.view(), tau.data());
+  Matrix<double> t(k, k);
+  blas::larft(panel.view(), tau.data(), t.view());
+
+  auto c = test::random_matrix(m, n, 8);
+  Matrix<double> rchk(m, kChecksumRows);
+  encode_block_rows(c.view(), rchk.view());
+  blas::larfb_left_t(panel.view(), t.view(), c.view());
+  blas::larfb_left_t(panel.view(), t.view(), rchk.view());
+  Matrix<double> expect(m, kChecksumRows);
+  encode_block_rows(c.view(), expect.view());
+  EXPECT_MATRIX_NEAR(rchk, expect, 1e-10);
+}
+
+// ----------------------- the driver ------------------------------------
+
+struct QrOutcome {
+  CholeskyResult res;
+  double residual = 0.0;
+};
+
+QrOutcome run_qr(Variant variant, std::vector<FaultSpec> plan, int n = 96,
+                 int k_interval = 1) {
+  auto a0 = test::random_matrix(n, n, 77);
+  auto a = a0;
+  std::vector<double> tau;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  QrOptions opt;
+  opt.variant = variant;
+  opt.verify_interval = k_interval;
+  const bool has_faults = !plan.empty();
+  Injector inj(std::move(plan));
+  QrOutcome out;
+  out.res = qr(m, &a, &tau, n, opt, has_faults ? &inj : nullptr);
+  if (out.res.success) {
+    out.residual = blas::qr_residual(a0.view(), a.view(), tau.data());
+  }
+  return out;
+}
+
+TEST(QrDriver, FaultFreeMatchesReference) {
+  const int n = 96;
+  auto a0 = test::random_matrix(n, n, 77);
+  auto a = a0;
+  std::vector<double> tau;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  QrOptions opt;
+  auto res = qr(m, &a, &tau, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(res.errors_detected, 0) << "false positive";
+  auto expect = a0;
+  std::vector<double> tau_ref(n);
+  blas::geqrf(expect.view(), tau_ref.data(), 16);
+  EXPECT_MATRIX_NEAR(a, expect, 1e-9);
+}
+
+TEST(QrDriver, NoFtSkipsVerification) {
+  auto out = run_qr(Variant::NoFt, {});
+  ASSERT_TRUE(out.res.success);
+  EXPECT_EQ(out.res.verified.total(), 0);
+  EXPECT_LT(out.residual, 1e-12);
+}
+
+class QrSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrSizes, ArbitraryShapes) {
+  const int n = GetParam();
+  auto out = run_qr(Variant::EnhancedOnline, {}, n);
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_LT(out.residual, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrSizes,
+                         ::testing::Values(16, 17, 50, 96, 31));
+
+TEST(QrFaults, StorageErrorInPanelInputCorrected) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Potf2;
+  s.iteration = 2;
+  s.block_row = 3;
+  s.block_col = 2;
+  s.elem_row = 5;
+  s.elem_col = 4;
+  s.bits = {20, 44, 54};
+  auto out = run_qr(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(QrFaults, StorageErrorInReflectorCaughtBeforeTrailingRead) {
+  // Corrupt V after the panel returned to device memory: the always-on
+  // pre-LARFB verification must repair it, or the trailing update would
+  // be consistently wrong (invisible to row checksums).
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Trsm;  // fires before the V/T staging read
+  s.iteration = 2;
+  s.block_row = 4;
+  s.block_col = 2;
+  s.elem_row = 3;
+  s.elem_col = 6;
+  s.bits = {21, 45, 55};
+  auto out = run_qr(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(QrFaults, ComputingErrorInTrailingUpdateCorrected) {
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = 1;
+  s.block_row = 3;
+  s.block_col = 4;
+  s.elem_row = 2;
+  s.elem_col = 3;
+  s.magnitude = 1e5;
+  auto out = run_qr(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_EQ(out.res.reruns, 0);
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(QrFaults, StorageErrorOnFinishedRCaughtByFinalSweep) {
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Gemm;
+  s.iteration = 4;
+  s.block_row = 0;  // R block finished at iteration 0
+  s.block_col = 2;
+  s.elem_row = 1;
+  s.elem_col = 2;
+  s.bits = {19, 47, 53};
+  auto out = run_qr(Variant::EnhancedOnline, {s});
+  ASSERT_TRUE(out.res.success) << out.res.note;
+  EXPECT_GE(out.res.errors_corrected, 1);
+  EXPECT_LT(out.residual, 1e-6);
+}
+
+TEST(QrDriver, TimingOnlyParity) {
+  const int n = 96;
+  QrOptions opt;
+  auto a = test::random_matrix(n, n, 77);
+  std::vector<double> tau;
+  Machine m1(small_rig(), ExecutionMode::Numeric);
+  auto r1 = qr(m1, &a, &tau, n, opt);
+  Machine m2(small_rig(), ExecutionMode::TimingOnly);
+  auto r2 = qr(m2, nullptr, nullptr, n, opt);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_NEAR(r1.seconds, r2.seconds, 1e-9 * std::max(1.0, r1.seconds));
+  EXPECT_EQ(r1.verified.total(), r2.verified.total());
+}
+
+TEST(QrDriver, OverheadModestAtPaperScale) {
+  const int n = 10240;
+  const auto profile = sim::bulldozer64();
+  QrOptions noft;
+  noft.variant = Variant::NoFt;
+  QrOptions enh;
+  enh.variant = Variant::EnhancedOnline;
+  enh.verify_interval = 5;
+  Machine m1(profile, ExecutionMode::TimingOnly);
+  const double t0 = qr(m1, nullptr, nullptr, n, noft).seconds;
+  Machine m2(profile, ExecutionMode::TimingOnly);
+  const double t1 = qr(m2, nullptr, nullptr, n, enh).seconds;
+  EXPECT_GT(t1, t0);
+  EXPECT_LT(t1 / t0 - 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace ftla::abft

@@ -1,0 +1,143 @@
+// ResourceTimeline tests: capacity packing, delayed starts, window
+// conflicts, pruning, and a randomized never-exceeds-capacity property.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/timeline.hpp"
+
+namespace ftla::sim {
+namespace {
+
+TEST(Timeline, ImmediateStartWhenEmpty) {
+  ResourceTimeline t(4);
+  EXPECT_DOUBLE_EQ(t.allocate(5.0, 2.0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(t.last_end(), 7.0);
+}
+
+TEST(Timeline, ConcurrentAllocationsShareCapacity) {
+  ResourceTimeline t(4);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 10.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 10.0, 2), 0.0);  // fits alongside
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 5.0, 1), 10.0);  // must wait
+}
+
+TEST(Timeline, FullWidthSerializes) {
+  ResourceTimeline t(4);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 3.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 3.0, 4), 3.0);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 3.0, 4), 6.0);
+}
+
+TEST(Timeline, StartsAtReleasePoint) {
+  ResourceTimeline t(2);
+  t.allocate(0.0, 4.0, 2);
+  t.allocate(0.0, 2.0, 1);  // starts at 4
+  EXPECT_DOUBLE_EQ(t.allocate(1.0, 1.0, 2), 6.0);  // needs both units
+}
+
+TEST(Timeline, WindowConflictPushesPastLaterBusyPeriod) {
+  ResourceTimeline t(2);
+  // Busy [5, 8) with full capacity.
+  t.allocate(5.0, 3.0, 2);
+  // A long job that would overlap [5,8) cannot start at 0.
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 6.0, 1), 8.0);
+  // A short one fits before.
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 5.0, 1), 0.0);
+}
+
+TEST(Timeline, GapFitting) {
+  ResourceTimeline t(1);
+  t.allocate(0.0, 2.0, 1);   // [0,2)
+  t.allocate(6.0, 2.0, 1);   // [6,8)
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 3.0, 1), 2.0);  // fits the [2,6) gap
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 2.0, 1), 8.0);  // gap now too small
+}
+
+TEST(Timeline, UsageAt) {
+  ResourceTimeline t(8);
+  t.allocate(1.0, 4.0, 3);
+  t.allocate(2.0, 1.0, 2);
+  EXPECT_EQ(t.usage_at(0.5), 0);
+  EXPECT_EQ(t.usage_at(1.5), 3);
+  EXPECT_EQ(t.usage_at(2.5), 5);
+  EXPECT_EQ(t.usage_at(3.5), 3);
+  EXPECT_EQ(t.usage_at(10.0), 0);
+}
+
+TEST(Timeline, BusyUnitSecondsAccumulates) {
+  ResourceTimeline t(4);
+  t.allocate(0.0, 2.0, 3);
+  t.allocate(0.0, 4.0, 1);
+  EXPECT_DOUBLE_EQ(t.busy_unit_seconds(), 10.0);
+}
+
+TEST(Timeline, PrunePreservesActiveAllocations) {
+  ResourceTimeline t(2);
+  t.allocate(0.0, 100.0, 1);  // long-running, active across the prune
+  t.allocate(0.0, 1.0, 1);    // finished before the prune
+  t.prune(50.0);
+  // Capacity still reflects the long-running allocation.
+  EXPECT_DOUBLE_EQ(t.allocate(50.0, 1.0, 2), 100.0);
+}
+
+TEST(Timeline, ZeroDurationAllocation) {
+  ResourceTimeline t(1);
+  EXPECT_DOUBLE_EQ(t.allocate(3.0, 0.0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 5.0, 1), 0.0);
+}
+
+TEST(TimelineProperty, NeverExceedsCapacityUnderRandomLoad) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const int cap = rng.uniform_int(2, 8);
+    ResourceTimeline t(cap);
+    struct Alloc {
+      double start, end;
+      int units;
+    };
+    std::vector<Alloc> allocs;
+    double earliest = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      earliest += rng.next_double() * 0.1;
+      const double dur = 0.01 + rng.next_double();
+      const int units = rng.uniform_int(1, cap);
+      const double start = t.allocate(earliest, dur, units);
+      EXPECT_GE(start, earliest);
+      allocs.push_back({start, start + dur, units});
+    }
+    // Check usage at every interval boundary.
+    for (const auto& probe : allocs) {
+      for (double at : {probe.start, probe.start + 1e-9}) {
+        int usage = 0;
+        for (const auto& a : allocs) {
+          if (a.start <= at && at < a.end) usage += a.units;
+        }
+        EXPECT_LE(usage, cap) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(TimelineProperty, WorkConservingForUnitJobs) {
+  // With unit-width jobs and a single unit of capacity, the timeline
+  // must behave exactly like a FIFO queue: total busy time equals the
+  // sum of durations and there are no overlaps.
+  Rng rng(99);
+  ResourceTimeline t(1);
+  double total = 0.0;
+  double prev_end = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double dur = 0.1 + rng.next_double();
+    const double start = t.allocate(0.0, dur, 1);
+    EXPECT_DOUBLE_EQ(start, prev_end);
+    prev_end = start + dur;
+    total += dur;
+  }
+  EXPECT_NEAR(t.busy_unit_seconds(), total, 1e-9);
+  EXPECT_NEAR(t.last_end(), total, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftla::sim

@@ -1,0 +1,114 @@
+// Tests for the trace exporter: Chrome-tracing JSON structure and the
+// per-lane ASCII summary.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace_export.hpp"
+
+namespace ftla::sim {
+namespace {
+
+Machine traced_machine() {
+  Machine m(test_rig(), ExecutionMode::Numeric);
+  m.set_trace_enabled(true);
+  auto buf = m.alloc(64);
+  std::vector<double> host(64, 1.0);
+  m.memcpy_h2d(buf, 0, host.data(), 64, 0);
+  m.launch(0, KernelDesc{"work", KernelClass::Blas3, 40'000'000'000LL, 0},
+           {});
+  m.host_compute(KernelDesc{"hwork", KernelClass::HostPotf2,
+                            10'000'000'000LL, 0},
+                 {});
+  m.memcpy_d2h(host.data(), buf, 0, 64, 0);
+  m.sync_all();
+  return m;
+}
+
+TEST(ChromeTrace, EmitsValidEventSkeleton) {
+  auto m = traced_machine();
+  std::ostringstream os;
+  write_chrome_trace(m, os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"hwork\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"h2d\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  // Lane metadata present.
+  EXPECT_NE(s.find("host CPU"), std::string::npos);
+  EXPECT_NE(s.find("H2D engine"), std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBracesAndQuotes) {
+  auto m = traced_machine();
+  std::ostringstream os;
+  write_chrome_trace(m, os);
+  const std::string s = os.str();
+  int depth = 0;
+  int quotes = 0;
+  for (char c : s) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '"') ++quotes;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(ChromeTrace, FileRoundTrip) {
+  auto m = traced_machine();
+  const std::string path = ::testing::TempDir() + "/ftla_trace.json";
+  ASSERT_TRUE(write_chrome_trace_file(m, path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteToBadPathFails) {
+  auto m = traced_machine();
+  EXPECT_FALSE(write_chrome_trace_file(m, "/nonexistent-dir/x/y.json"));
+}
+
+TEST(TraceSummary, ReportsEveryLane) {
+  auto m = traced_machine();
+  std::ostringstream os;
+  print_trace_summary(m, os, 40);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("host CPU"), std::string::npos);
+  EXPECT_NE(s.find("stream 0"), std::string::npos);
+  EXPECT_NE(s.find("H2D engine"), std::string::npos);
+  EXPECT_NE(s.find("D2H engine"), std::string::npos);
+  EXPECT_NE(s.find("makespan"), std::string::npos);
+  // Occupancy strips are the requested width.
+  const auto pos = s.find('[');
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = s.find(']', pos);
+  EXPECT_EQ(end - pos - 1, 40u);
+}
+
+TEST(TraceSummary, EmptyTraceIsSafe) {
+  Machine m(test_rig(), ExecutionMode::Numeric);
+  m.set_trace_enabled(true);
+  std::ostringstream os;
+  print_trace_summary(m, os);
+  EXPECT_NE(os.str().find("0 ops"), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefault) {
+  Machine m(test_rig(), ExecutionMode::Numeric);
+  m.launch(0, KernelDesc{"k", KernelClass::Blas3, 1000, 0}, {});
+  EXPECT_TRUE(m.trace().empty());
+}
+
+}  // namespace
+}  // namespace ftla::sim

@@ -1,0 +1,48 @@
+// Shared helpers for the ftla test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/spd.hpp"
+
+namespace ftla::test {
+
+inline Matrix<double> random_matrix(int rows, int cols, std::uint64_t seed) {
+  Matrix<double> m(rows, cols);
+  make_uniform(m, seed);
+  return m;
+}
+
+inline Matrix<double> random_spd(int n, std::uint64_t seed) {
+  Matrix<double> m(n, n);
+  make_spd_diag_dominant(m, seed);
+  return m;
+}
+
+/// Max elementwise difference over the lower triangle only.
+inline double lower_max_diff(const Matrix<double>& a,
+                             const Matrix<double>& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  double v = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = j; i < a.rows(); ++i)
+      v = std::max(v, std::abs(a(i, j) - b(i, j)));
+  return v;
+}
+
+#define EXPECT_MATRIX_NEAR(a, b, tol)                              \
+  do {                                                             \
+    const auto& a_ = (a);                                          \
+    const auto& b_ = (b);                                          \
+    ASSERT_EQ(a_.rows(), b_.rows());                               \
+    ASSERT_EQ(a_.cols(), b_.cols());                               \
+    double worst = 0.0;                                            \
+    for (int j_ = 0; j_ < a_.cols(); ++j_)                         \
+      for (int i_ = 0; i_ < a_.rows(); ++i_)                       \
+        worst = std::max(worst, std::abs(a_(i_, j_) - b_(i_, j_))); \
+    EXPECT_LE(worst, (tol)) << "matrices differ by " << worst;     \
+  } while (0)
+
+}  // namespace ftla::test

@@ -1,0 +1,243 @@
+// Tests for the generalized weighted checksum codec: Reed-Solomon-style
+// multi-error correction per block column (extension of paper §IV-A).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abft/wcodec.hpp"
+#include "blas/lapack.hpp"
+#include "blas/level3.hpp"
+#include "common/fp.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using test::random_matrix;
+
+Matrix<double> encode(const WeightedCodec& codec, const Matrix<double>& a) {
+  Matrix<double> chk(codec.redundancy(), a.cols());
+  codec.encode(a.view(), chk.view());
+  return chk;
+}
+
+double mismatch(const WeightedCodec& codec, const Matrix<double>& a,
+                const Matrix<double>& chk) {
+  Matrix<double> r(codec.redundancy(), a.cols());
+  codec.encode(a.view(), r.view());
+  double worst = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int k = 0; k < codec.redundancy(); ++k) {
+      const double scale =
+          std::max(1.0, std::abs(chk(codec.redundancy() - 1, j)));
+      worst = std::max(worst, std::abs(r(k, j) - chk(k, j)) / scale);
+    }
+  }
+  return worst;
+}
+
+TEST(WCodec, RejectsBadRedundancy) {
+  EXPECT_NO_THROW(WeightedCodec(2));
+  EXPECT_NO_THROW(WeightedCodec(8));
+}
+
+TEST(WCodec, EncodeMatchesPaperCodecForRedundancyTwo) {
+  auto a = random_matrix(12, 9, 1);
+  WeightedCodec codec(2);
+  auto chk_general = encode(codec, a);
+  Matrix<double> chk_paper(2, 9);
+  encode_block(a.view(), chk_paper.view());
+  EXPECT_MATRIX_NEAR(chk_general, chk_paper, 1e-12);
+}
+
+TEST(WCodec, CleanBlockVerifiesClean) {
+  for (int r : {2, 3, 4, 6}) {
+    auto a = random_matrix(16, 16, 2);
+    WeightedCodec codec(r);
+    auto chk = encode(codec, a);
+    auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+    EXPECT_TRUE(out.clean()) << "R=" << r;
+  }
+}
+
+class WCodecSingleError
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WCodecSingleError, CorrectedAtEveryRedundancy) {
+  const auto [redundancy, row, col] = GetParam();
+  auto a = random_matrix(24, 24, 3);
+  WeightedCodec codec(redundancy);
+  auto chk = encode(codec, a);
+  const double orig = a(row, col);
+  a(row, col) += 4321.0;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 1);
+  EXPECT_FALSE(out.uncorrectable);
+  EXPECT_NEAR(a(row, col), orig, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WCodecSingleError,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6),
+                       ::testing::Values(0, 11, 23),
+                       ::testing::Values(0, 7, 23)));
+
+TEST(WCodec, TwoErrorsSameColumnCorrectedWithRedundancyFour) {
+  auto a = random_matrix(32, 32, 4);
+  WeightedCodec codec(4);
+  auto chk = encode(codec, a);
+  const double o1 = a(5, 9);
+  const double o2 = a(20, 9);
+  a(5, 9) += 1000.0;
+  a(20, 9) -= 777.0;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 2);
+  EXPECT_FALSE(out.uncorrectable);
+  EXPECT_NEAR(a(5, 9), o1, 1e-7);
+  EXPECT_NEAR(a(20, 9), o2, 1e-7);
+}
+
+TEST(WCodec, TwoErrorsSameColumnUncorrectableWithRedundancyTwo) {
+  auto a = random_matrix(32, 32, 5);
+  WeightedCodec codec(2);
+  auto chk = encode(codec, a);
+  a(5, 9) += 1000.0;
+  a(20, 9) -= 777.0;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.uncorrectable);
+}
+
+TEST(WCodec, AdjacentRowPairCorrected) {
+  // Adjacent error rows give the worst-conditioned locator.
+  auto a = random_matrix(64, 8, 6);
+  WeightedCodec codec(4);
+  auto chk = encode(codec, a);
+  const double o1 = a(30, 3), o2 = a(31, 3);
+  a(30, 3) += 2e4;
+  a(31, 3) += 3e4;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 2);
+  EXPECT_NEAR(a(30, 3), o1, 1e-5);
+  EXPECT_NEAR(a(31, 3), o2, 1e-5);
+}
+
+TEST(WCodec, ThreeErrorsCorrectedWithRedundancySix) {
+  auto a = random_matrix(24, 6, 7);
+  WeightedCodec codec(6);
+  ASSERT_EQ(codec.max_correctable(), 3);
+  auto chk = encode(codec, a);
+  const double o[3] = {a(2, 1), a(10, 1), a(17, 1)};
+  a(2, 1) += 900.0;
+  a(10, 1) -= 4e3;
+  a(17, 1) += 2.5e3;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.errors_corrected, 3);
+  EXPECT_NEAR(a(2, 1), o[0], 1e-4);
+  EXPECT_NEAR(a(10, 1), o[1], 1e-4);
+  EXPECT_NEAR(a(17, 1), o[2], 1e-4);
+}
+
+TEST(WCodec, BeyondCapacityDetectedNotMiscorrected) {
+  auto a = random_matrix(32, 4, 8);
+  const Matrix<double> orig = a;
+  WeightedCodec codec(4);
+  auto chk = encode(codec, a);
+  a(1, 2) += 1e3;
+  a(9, 2) -= 2e3;
+  a(25, 2) += 3e3;  // three errors, capacity two
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_TRUE(out.uncorrectable || out.errors_corrected == 0)
+      << "must not silently mis-correct";
+}
+
+TEST(WCodec, CorruptedChecksumRowRepaired) {
+  for (int r : {2, 4}) {
+    auto a = random_matrix(16, 16, 9);
+    WeightedCodec codec(r);
+    auto chk = encode(codec, a);
+    chk(r - 1, 5) = flip_bit(chk(r - 1, 5), 55);
+    auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+    EXPECT_EQ(out.checksum_repairs, 1) << "R=" << r;
+    EXPECT_EQ(out.errors_corrected, 0) << "R=" << r;
+    EXPECT_LT(mismatch(codec, a, chk), 1e-9) << "R=" << r;
+  }
+}
+
+TEST(WCodec, MultipleChecksumRowsRepaired) {
+  auto a = random_matrix(16, 16, 10);
+  WeightedCodec codec(4);
+  auto chk = encode(codec, a);
+  chk(0, 5) += 999.0;
+  chk(2, 5) -= 123.0;
+  auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+  EXPECT_EQ(out.checksum_repairs, 2);
+  EXPECT_LT(mismatch(codec, a, chk), 1e-9);
+}
+
+TEST(WCodec, Potf2TransformInvariantAtHigherRedundancy) {
+  const int n = 32;
+  for (int r : {2, 3, 4}) {
+    auto a = test::random_spd(n, 11);
+    WeightedCodec codec(r);
+    auto chk = encode(codec, a);
+    blas::potf2(a.view());
+    for (int c = 1; c < n; ++c)
+      for (int row = 0; row < c; ++row) a(row, c) = 0.0;
+    WeightedCodec::potf2_transform(a.view(), chk.view());
+    EXPECT_LT(mismatch(codec, a, chk), 1e-8) << "R=" << r;
+  }
+}
+
+TEST(WCodec, UpdateRulesRemainLinearAtHigherRedundancy) {
+  // chk(A - LD LC^T) = chk(A) - chk(LD) LC^T holds for any R.
+  const int b = 16, w = 24;
+  WeightedCodec codec(4);
+  auto a = random_matrix(b, b, 12);
+  auto ld = random_matrix(b, w, 13);
+  auto lc = random_matrix(b, w, 14);
+  auto chk_a = encode(codec, a);
+  auto chk_ld = encode(codec, ld);
+  blas::gemm(blas::Trans::No, blas::Trans::Yes, -1.0, ld.view(), lc.view(),
+             1.0, a.view());
+  blas::gemm(blas::Trans::No, blas::Trans::Yes, -1.0, chk_ld.view(),
+             lc.view(), 1.0, chk_a.view());
+  EXPECT_LT(mismatch(codec, a, chk_a), 1e-9);
+}
+
+TEST(WCodecProperty, RandomizedMultiErrorSweep) {
+  Rng rng(77);
+  int corrected_runs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int redundancy = 2 * rng.uniform_int(1, 3);  // 2, 4, 6
+    WeightedCodec codec(redundancy);
+    const int rows = rng.uniform_int(8, 48);
+    auto a = random_matrix(rows, 6, 1000 + trial);
+    const Matrix<double> orig = a;
+    auto chk = encode(codec, a);
+    const int col = rng.uniform_int(0, 5);
+    const int nerr = rng.uniform_int(1, codec.max_correctable());
+    std::vector<int> used;
+    for (int e = 0; e < nerr; ++e) {
+      int row;
+      do {
+        row = rng.uniform_int(0, rows - 1);
+      } while (std::find(used.begin(), used.end(), row) != used.end());
+      used.push_back(row);
+      a(row, col) += rng.uniform(500.0, 5e4) * (rng.next_double() < 0.5 ? -1 : 1);
+    }
+    auto out = codec.verify_host(a.view(), chk.view(), Tolerance{});
+    ASSERT_FALSE(out.uncorrectable)
+        << "trial " << trial << " R=" << redundancy << " nerr=" << nerr;
+    ASSERT_EQ(out.errors_corrected, nerr) << "trial " << trial;
+    ++corrected_runs;
+    for (int r = 0; r < rows; ++r) {
+      EXPECT_NEAR(a(r, col), orig(r, col),
+                  1e-5 * std::max(1.0, std::abs(orig(r, col))))
+          << "trial " << trial << " row " << r;
+    }
+  }
+  EXPECT_EQ(corrected_runs, 60);
+}
+
+}  // namespace
+}  // namespace ftla::abft

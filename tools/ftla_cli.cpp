@@ -1,0 +1,268 @@
+// ftla_cli — run one fault-tolerant factorization from the command line.
+//
+//   ftla_cli [options]
+//     --machine tardis|bulldozer64|test   simulated node (default tardis)
+//     --n N                               matrix size (default 2048)
+//     --block B                           block size (default: MAGMA's)
+//     --algo cholesky|lu|qr               factorization (default cholesky)
+//     --variant enhanced|online|offline|noft|cula|dmr|tmr
+//     --k K                               Opt-3 verification interval
+//     --recovery rerun|checkpoint         recovery strategy
+//     --ckpt-interval N                   iterations between snapshots
+//     --placement auto|cpu|gpu|blocking   Opt-2 placement
+//     --no-opt1                           serialize checksum recalcs
+//     --mode numeric|timing               execution mode
+//     --faults N                          random faults to inject (numeric)
+//     --fault-seed S                      fault plan seed
+//     --seed S                            matrix seed
+//     --trace FILE.json                   write a Chrome trace
+//     --summary                           print per-lane trace summary
+//
+// Examples:
+//   ftla_cli --machine bulldozer64 --n 30720 --mode timing --variant enhanced --k 5
+//   ftla_cli --n 1024 --faults 3 --variant online --trace run.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "abft/lu.hpp"
+#include "abft/qr.hpp"
+#include "abft/cula_like.hpp"
+#include "abft/modular_redundancy.hpp"
+#include "blas/lapack.hpp"
+#include "blas/qr.hpp"
+#include "common/spd.hpp"
+#include "fault/fault.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace_export.hpp"
+
+namespace {
+
+using namespace ftla;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ftla_cli [--machine tardis|bulldozer64|test] [--n N]\n"
+               "  [--block B] [--variant enhanced|online|offline|noft|cula|"
+               "dmr|tmr]\n"
+               "  [--k K] [--placement auto|cpu|gpu|blocking] [--no-opt1]\n"
+               "  [--mode numeric|timing] [--faults N] [--fault-seed S]\n"
+               "  [--seed S] [--trace FILE.json] [--summary]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string machine = "tardis";
+  std::string algo = "cholesky";
+  std::string recovery = "rerun";
+  int ckpt_interval = 8;
+  int n = 2048;
+  int block = 0;
+  std::string variant = "enhanced";
+  int k = 1;
+  std::string placement = "auto";
+  bool opt1 = true;
+  std::string mode = "numeric";
+  int faults = 0;
+  std::uint64_t fault_seed = 1;
+  std::uint64_t seed = 42;
+  std::string trace_path;
+  bool summary = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--machine") a.machine = need(i);
+    else if (opt == "--algo") a.algo = need(i);
+    else if (opt == "--recovery") a.recovery = need(i);
+    else if (opt == "--ckpt-interval") a.ckpt_interval = std::atoi(need(i));
+    else if (opt == "--n") a.n = std::atoi(need(i));
+    else if (opt == "--block") a.block = std::atoi(need(i));
+    else if (opt == "--variant") a.variant = need(i);
+    else if (opt == "--k") a.k = std::atoi(need(i));
+    else if (opt == "--placement") a.placement = need(i);
+    else if (opt == "--no-opt1") a.opt1 = false;
+    else if (opt == "--mode") a.mode = need(i);
+    else if (opt == "--faults") a.faults = std::atoi(need(i));
+    else if (opt == "--fault-seed") a.fault_seed = std::strtoull(need(i), nullptr, 10);
+    else if (opt == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
+    else if (opt == "--trace") a.trace_path = need(i);
+    else if (opt == "--summary") a.summary = true;
+    else if (opt == "--help" || opt == "-h") usage();
+    else usage(("unknown option " + opt).c_str());
+  }
+  if (a.n <= 0) usage("--n must be positive");
+  if (a.k <= 0) usage("--k must be positive");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  sim::MachineProfile profile;
+  if (args.machine == "tardis") profile = sim::tardis();
+  else if (args.machine == "bulldozer64") profile = sim::bulldozer64();
+  else if (args.machine == "test") profile = sim::test_rig();
+  else usage("unknown --machine");
+
+  const bool numeric = args.mode == "numeric";
+  if (!numeric && args.mode != "timing") usage("unknown --mode");
+  if (!numeric && args.faults > 0) usage("--faults requires --mode numeric");
+
+  sim::Machine machine(profile, numeric ? sim::ExecutionMode::Numeric
+                                        : sim::ExecutionMode::TimingOnly);
+  const bool want_trace = !args.trace_path.empty() || args.summary;
+  machine.set_trace_enabled(want_trace);
+
+  Matrix<double> a;
+  Matrix<double> a0;
+  if (numeric) {
+    a = Matrix<double>(args.n, args.n);
+    make_spd_diag_dominant(a, args.seed);
+    a0 = a;
+  }
+  Matrix<double>* ap = numeric ? &a : nullptr;
+
+  abft::CholeskyOptions opt;
+  opt.block_size = args.block;
+  opt.verify_interval = args.k;
+  opt.concurrent_recalc = args.opt1;
+  opt.checkpoint_interval = args.ckpt_interval;
+  if (args.recovery == "rerun") opt.recovery = abft::Recovery::Rerun;
+  else if (args.recovery == "checkpoint")
+    opt.recovery = abft::Recovery::Checkpoint;
+  else usage("unknown --recovery");
+  if (args.placement == "auto") opt.placement = abft::UpdatePlacement::Auto;
+  else if (args.placement == "cpu") opt.placement = abft::UpdatePlacement::Cpu;
+  else if (args.placement == "gpu") opt.placement = abft::UpdatePlacement::Gpu;
+  else if (args.placement == "blocking")
+    opt.placement = abft::UpdatePlacement::Blocking;
+  else usage("unknown --placement");
+
+  const int block = abft::resolve_block_size(profile, opt);
+  const int nb = (args.n + block - 1) / block;
+  std::vector<fault::FaultSpec> plan =
+      args.faults > 0 ? fault::random_plan(args.faults, nb, args.fault_seed)
+                      : std::vector<fault::FaultSpec>{};
+  if (args.algo == "lu" || args.algo == "qr") {
+    // Retarget the Cholesky-phrased plan to LU/QR program points.
+    for (auto& spec : plan) {
+      if (spec.op == fault::Op::Syrk) spec.op = fault::Op::Gemm;
+      spec.block_row = -1;
+      spec.block_col = -1;
+    }
+  }
+  fault::Injector injector(std::move(plan));
+  fault::Injector* inj = args.faults > 0 ? &injector : nullptr;
+
+  abft::CholeskyResult res;
+  std::vector<double> tau;
+  if (args.algo == "qr") {
+    if (args.variant != "enhanced" && args.variant != "noft") {
+      usage("--algo qr supports --variant enhanced|noft");
+    }
+    abft::QrOptions qopt;
+    qopt.variant = args.variant == "enhanced" ? abft::Variant::EnhancedOnline
+                                              : abft::Variant::NoFt;
+    qopt.block_size = args.block;
+    qopt.verify_interval = args.k;
+    qopt.concurrent_recalc = args.opt1;
+    res = abft::qr(machine, ap, numeric ? &tau : nullptr, args.n, qopt, inj);
+  } else if (args.algo == "lu") {
+    if (args.variant != "enhanced" && args.variant != "noft") {
+      usage("--algo lu supports --variant enhanced|noft");
+    }
+    abft::LuOptions lopt;
+    lopt.variant = args.variant == "enhanced" ? abft::Variant::EnhancedOnline
+                                              : abft::Variant::NoFt;
+    lopt.block_size = args.block;
+    lopt.verify_interval = args.k;
+    lopt.concurrent_recalc = args.opt1;
+    res = abft::lu(machine, ap, args.n, lopt, inj);
+  } else if (args.algo != "cholesky") {
+    usage("unknown --algo");
+  } else if (args.variant == "enhanced") {
+    opt.variant = abft::Variant::EnhancedOnline;
+    res = abft::cholesky(machine, ap, args.n, opt, inj);
+  } else if (args.variant == "online") {
+    opt.variant = abft::Variant::Online;
+    res = abft::cholesky(machine, ap, args.n, opt, inj);
+  } else if (args.variant == "offline") {
+    opt.variant = abft::Variant::Offline;
+    res = abft::cholesky(machine, ap, args.n, opt, inj);
+  } else if (args.variant == "noft") {
+    opt.variant = abft::Variant::NoFt;
+    res = abft::cholesky(machine, ap, args.n, opt, inj);
+  } else if (args.variant == "cula") {
+    res = abft::cula_like_cholesky(machine, ap, args.n, args.block);
+  } else if (args.variant == "dmr") {
+    abft::RedundancyOptions ropt;
+    ropt.block_size = args.block;
+    res = abft::dmr_cholesky(machine, ap, args.n, ropt, inj);
+  } else if (args.variant == "tmr") {
+    abft::RedundancyOptions ropt;
+    ropt.block_size = args.block;
+    res = abft::tmr_cholesky(machine, ap, args.n, ropt, inj);
+  } else {
+    usage("unknown --variant");
+  }
+
+  std::printf("machine           : %s (%s mode)\n", profile.name.c_str(),
+              numeric ? "numeric" : "timing-only");
+  std::printf("problem           : n = %d, block = %d, variant = %s, K = %d\n",
+              args.n, block, args.variant.c_str(), args.k);
+  std::printf("success           : %s%s%s\n", res.success ? "yes" : "no",
+              res.note.empty() ? "" : " — ", res.note.c_str());
+  std::printf("virtual time      : %.6f s (%.2f GFLOP/s)\n", res.seconds,
+              res.gflops);
+  std::printf("detected/corrected: %d / %d (checksum repairs %d, reruns %d)\n",
+              res.errors_detected, res.errors_corrected,
+              res.checksum_repairs, res.reruns);
+  if (inj != nullptr) {
+    std::printf("faults fired      : %d (ECC absorbed %d, pending %d)\n",
+                injector.fired_count(), injector.ecc_absorbed_count(),
+                injector.pending_count());
+  }
+  if (res.verified.total() > 0) {
+    std::printf("verified blocks   : potf2 %lld, trsm %lld, syrk %lld, "
+                "gemm %lld\n",
+                res.verified.potf2_blocks, res.verified.trsm_blocks,
+                res.verified.syrk_blocks, res.verified.gemm_blocks);
+  }
+  if (numeric && res.success) {
+    double resid;
+    if (args.algo == "lu") {
+      resid = blas::lu_residual(a0.view(), a.view());
+    } else if (args.algo == "qr") {
+      resid = blas::qr_residual(a0.view(), a.view(), tau.data());
+    } else {
+      resid = blas::cholesky_residual(a0.view(), a.view());
+    }
+    std::printf("residual          : %.3e %s\n", resid,
+                resid < 1e-8 ? "(clean)" : "(CORRUPTED)");
+  }
+  if (args.summary) sim::print_trace_summary(machine, std::cout);
+  if (!args.trace_path.empty()) {
+    if (sim::write_chrome_trace_file(machine, args.trace_path)) {
+      std::printf("chrome trace      : %s (open in chrome://tracing)\n",
+                  args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
+      return 1;
+    }
+  }
+  return res.success ? 0 : 1;
+}
