@@ -6,8 +6,12 @@
 // payloads); the fault-capability tables run full numerics with real
 // injected faults at a reduced size and combine the measured behaviour
 // ratios with paper-scale baseline times.
+// Every bench accepts `--metrics-out FILE` to additionally dump its
+// measurements as a schema-versioned MetricsReport (see
+// docs/observability.md), so table regeneration is machine-diffable.
 #pragma once
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +19,8 @@
 #include "abft/cholesky.hpp"
 #include "abft/cula_like.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/machine.hpp"
 #include "sim/profile.hpp"
 
@@ -85,6 +91,34 @@ inline void print_table(const Table& t, bool csv = true) {
     t.print_csv(std::cout);
   }
   std::cout << std::endl;
+}
+
+/// Returns the value of `--metrics-out FILE` from a bench's argv, or ""
+/// when absent.
+inline std::string metrics_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes a MetricsReport for a bench run when `path` is non-empty.
+/// `meta` pairs describe the experiment (table name, machine, sizes...).
+inline void write_bench_report(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const obs::MetricsRegistry& metrics) {
+  if (path.empty()) return;
+  obs::MetricsReport report;
+  report.add_meta("bench", bench);
+  for (const auto& [k, v] : meta) report.add_meta(k, v);
+  report.metrics = metrics;
+  if (obs::write_metrics_json_file(report, path)) {
+    std::cout << "metrics report: " << path << "\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
 }
 
 }  // namespace ftla::bench

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "abft/opt2_model.hpp"
+#include "abft/telemetry.hpp"
 #include "blas/lapack.hpp"
 #include "blas/level3.hpp"
 #include "blas/types.hpp"
@@ -68,7 +69,8 @@ class Run {
  public:
   Run(Machine& m, Matrix<double>* a, int n, const CholeskyOptions& opt,
       fault::Injector* injector)
-      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector) {
+      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
+        tel_(m, opt.event_sink, opt.metrics, injector) {
     FTLA_CHECK(n_ > 0);
     if (m_.numeric()) {
       FTLA_CHECK_MSG(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_,
@@ -87,6 +89,12 @@ class Run {
     if (placement_ == UpdatePlacement::Auto) {
       placement_ = opt2_decide(m_.profile(), n_, b_, opt_.verify_interval)
                        .decision;
+    }
+    if (ft_ && tel_.active()) {
+      const Opt2Estimate est =
+          opt2_decide(m_.profile(), n_, b_, opt_.verify_interval);
+      tel_.placement_decided(opt_.placement, placement_, est.t_pick_gpu_s,
+                             est.t_pick_cpu_s);
     }
   }
 
@@ -164,6 +172,10 @@ class Run {
   int n_;
   CholeskyOptions opt_;
   fault::Injector* injector_;
+  Telemetry tel_;
+  /// Outer iteration currently executing; -1 outside the j-loop (encode,
+  /// offline final sweep) — used only to annotate telemetry events.
+  int cur_iter_ = -1;
 
   int b_ = 0;
   int nb_ = 0;
@@ -225,6 +237,7 @@ CholeskyResult Run::execute() {
         done = true;
       } else {
         ++result_.reruns;
+        tel_.rerun(result_.reruns, "not_positive_definite");
         upload();
       }
     } catch (const UnrecoverableCorruptionError& e) {
@@ -234,6 +247,7 @@ CholeskyResult Run::execute() {
         done = true;
       } else {
         ++result_.reruns;
+        tel_.rerun(result_.reruns, "unrecoverable_corruption");
         upload();
       }
     }
@@ -381,6 +395,7 @@ void Run::take_checkpoint(int next_iter) {
     }
   }
   ckpt_iter_ = next_iter;
+  tel_.checkpoint_taken(next_iter);
 }
 
 void Run::rollback() {
@@ -400,6 +415,7 @@ void Run::rollback() {
   }
   m_.sync_stream(s_compute_);
   panel_iter_[0] = panel_iter_[1] = -1;  // host panel cache is stale
+  tel_.rollback(ckpt_iter_);
 }
 
 void Run::final_download() {
@@ -432,6 +448,7 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
     case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
     case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
   }
+  tel_.verify_scheduled(attr, blocks.size());
 
   // Recalc kernels must observe the data state after all compute so far
   // and the checksum state after all updates so far.
@@ -475,9 +492,15 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
       const DMat chk = chk_block(bi, bk);
       const Tolerance tol = opt_.tolerance;
       KernelDesc cd{"verify", KernelClass::Compare, 4LL * blk.cols, 0};
-      m_.launch(s, cd, [this, blk, chk, scratch, tol] {
-        absorb(verify_block(blk.view(), chk.view(),
-                            ConstMatrixView<double>(scratch.view()), tol));
+      const int vi = bi, vk = bk;
+      const std::int64_t rflops = rd.flops;
+      m_.launch(s, cd, [this, blk, chk, scratch, tol, attr, vi, vk, rflops] {
+        const VerifyOutcome out =
+            verify_block(blk.view(), chk.view(),
+                         ConstMatrixView<double>(scratch.view()), tol);
+        tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
+                            blk.rows, off(vk), blk.cols, 2 * vi);
+        absorb(out);
       });
     }
   }
@@ -497,7 +520,7 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
     const Tolerance tol = opt_.tolerance;
     KernelDesc hd{"verify_host", KernelClass::HostChecksum, 4 * col_pos, 0};
     std::vector<Placed> items = placed;
-    m_.host_compute(hd, [this, items, tol] {
+    m_.host_compute(hd, [this, items, tol, attr] {
       for (const auto& p : items) {
         const auto [bi, bk] = p.id;
         const DMat blk = data_block(bi, bk);
@@ -510,6 +533,9 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
         for (std::size_t c = 0; c < out.corrections.size(); ++c) {
           m_.memcpy_h2d(d_a_, 0, nullptr, 0, s_compute_);
         }
+        tel_.block_verified(out, attr, cur_iter_, bi, bk,
+                            blas::gemv_flops(blk.rows, blk.cols) * 2,
+                            off(bi), blk.rows, off(bk), blk.cols, 2 * bi);
         absorb(out);
       }
     });
@@ -706,6 +732,7 @@ void Run::apply_computing_fault(const fault::FaultSpec& spec, int j) {
 // ----------------------------------------------------------------------
 
 void Run::iterate(int j) {
+  cur_iter_ = j;
   const int jb = bs(j);
   const int w = off(j);          // decomposed width to the left
   const int below = n_ - off(j) - jb;  // rows below the diagonal block
@@ -773,6 +800,13 @@ void Run::iterate(int j) {
       for (int i = j + 1; i < nb_; ++i)
         for (int k = 0; k < j; ++k) in.emplace_back(i, k);      // D
       verify_blocks(in, fault::Op::Gemm);
+    } else if (enhanced) {
+      // Opt 3: GEMM input verification skipped this iteration.
+      const std::size_t skipped = static_cast<std::size_t>(nb_ - j - 1) +
+                                  static_cast<std::size_t>(j) +
+                                  static_cast<std::size_t>(nb_ - j - 1) *
+                                      static_cast<std::size_t>(j);
+      tel_.verify_skipped(fault::Op::Gemm, skipped, j);
     }
     sim::gpublas::gemm(m_, s_compute_, Trans::No, Trans::Yes, -1.0,
                        data_region(off(j) + jb, 0, below, w),
@@ -813,12 +847,17 @@ void Run::iterate(int j) {
     });
     if (online) {
       result_.verified.potf2_blocks += 1;
+      tel_.verify_scheduled(fault::Op::Potf2, 1);
       const Tolerance tol = opt_.tolerance;
       KernelDesc vd{"verify_potf2", KernelClass::HostChecksum,
                     blas::gemv_flops(jb, jb) * 2, 0};
-      m_.host_compute(vd, [this, jb, chk_rows, tol] {
-        absorb(verify_block_host(h_diag_.block(0, 0, jb, jb), chk_rows(),
-                                 tol));
+      m_.host_compute(vd, [this, j, jb, chk_rows, tol] {
+        const VerifyOutcome out =
+            verify_block_host(h_diag_.block(0, 0, jb, jb), chk_rows(), tol);
+        tel_.block_verified(out, fault::Op::Potf2, j, j, j,
+                            blas::gemv_flops(jb, jb) * 2, off(j), jb, off(j),
+                            jb, 2 * j);
+        absorb(out);
       });
     }
   }
@@ -847,6 +886,9 @@ void Run::iterate(int j) {
       in.emplace_back(j, j);
       if (verify_this_iter) {
         for (int i = j + 1; i < nb_; ++i) in.emplace_back(i, j);
+      } else {
+        tel_.verify_skipped(fault::Op::Trsm,
+                            static_cast<std::size_t>(nb_ - j - 1), j);
       }
       verify_blocks(in, fault::Op::Trsm);
     }
@@ -868,6 +910,7 @@ void Run::iterate(int j) {
 }
 
 void Run::offline_final_verify() {
+  cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
   // Huang & Abraham: one verification sweep over the finished factor.
   // Any anomaly triggers a full re-run — an offline scheme cannot tell
   // whether a detected error propagated before the sweep, so correcting

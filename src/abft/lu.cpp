@@ -1,5 +1,7 @@
 #include "abft/lu.hpp"
 
+#include "abft/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -36,7 +38,8 @@ class LuRun {
  public:
   LuRun(Machine& m, Matrix<double>* a, int n, const LuOptions& opt,
         fault::Injector* injector)
-      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector) {
+      : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
+        tel_(m, opt.event_sink, opt.metrics, injector) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,
@@ -104,6 +107,8 @@ class LuRun {
   int n_;
   LuOptions opt_;
   fault::Injector* injector_;
+  Telemetry tel_;
+  int cur_iter_ = -1;  ///< telemetry iteration; -1 outside the j-loop
 
   int b_ = 0;
   int nb_ = 0;
@@ -146,6 +151,7 @@ CholeskyResult LuRun::execute() {
         done = true;
       } else {
         ++result_.reruns;
+        tel_.rerun(result_.reruns, e.what());
         upload();
       }
     }
@@ -256,6 +262,7 @@ void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
     case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
     case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
   }
+  tel_.verify_scheduled(attr, blocks.size());
   const EventId e_comp = m_.record_event(s_compute_);
   const EventId e_chk = m_.record_event(s_chk_);
   const int nstreams = std::max(
@@ -282,7 +289,10 @@ void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
     const DMat rchk = rchk_block(bi, bk);
     const Tolerance tol = opt_.tolerance;
     KernelDesc cd{"verify_c", KernelClass::Compare, 4LL * blk.cols, 0};
-    m_.launch(s, cd, [this, blk, chk, rchk, tol, scratch] {
+    const int vi = bi, vk = bk;
+    const std::int64_t rflops = rd.flops;
+    m_.launch(s, cd, [this, blk, chk, rchk, tol, scratch, attr, vi, vk,
+                      rflops] {
       auto out = verify_block(blk.view(), chk.view(),
                               ConstMatrixView<double>(scratch.view()), tol);
       // Blocks carry both checksum flavors; after a correction through
@@ -292,6 +302,8 @@ void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
       if (!out.corrections.empty()) {
         encode_block_rows(ConstMatrixView<double>(blk.view()), rchk.view());
       }
+      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
+                          blk.rows, off(vk), blk.cols);
       absorb(out);
     });
   }
@@ -311,6 +323,7 @@ void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
     case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
     case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
   }
+  tel_.verify_scheduled(attr, blocks.size());
   const EventId e_comp = m_.record_event(s_compute_);
   const EventId e_chk = m_.record_event(s_chk_);
   const int nstreams = std::max(
@@ -337,7 +350,10 @@ void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
     const DMat cchk = cchk_block(bi, bk);
     const Tolerance tol = opt_.tolerance;
     KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
-    m_.launch(s, cd, [this, blk, chk, cchk, tol, scratch] {
+    const int vi = bi, vk = bk;
+    const std::int64_t rflops = rd.flops;
+    m_.launch(s, cd, [this, blk, chk, cchk, tol, scratch, attr, vi, vk,
+                      rflops] {
       auto out = verify_block_rows(blk.view(), chk.view(),
                                    ConstMatrixView<double>(scratch.view()),
                                    tol);
@@ -346,6 +362,8 @@ void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
       if (!out.corrections.empty()) {
         encode_block(ConstMatrixView<double>(blk.view()), cchk.view());
       }
+      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
+                          blk.rows, off(vk), blk.cols);
       absorb(out);
     });
   }
@@ -397,6 +415,7 @@ void LuRun::hook_computing(fault::Op op, int j) {
 }
 
 void LuRun::iterate(int j) {
+  cur_iter_ = j;
   const int jb = bs(j);
   const int below = n_ - off(j);           // panel height (incl. diagonal)
   const int right = n_ - off(j) - jb;      // trailing width
@@ -460,6 +479,9 @@ void LuRun::iterate(int j) {
     in.emplace_back(j, j);
     if (verify_this_iter) {
       for (int k = j + 1; k < nb_; ++k) in.emplace_back(j, k);
+    } else {
+      tel_.verify_skipped(fault::Op::Trsm,
+                          static_cast<std::size_t>(nb_ - j - 1), j);
     }
     verify_col_blocks(in, fault::Op::Trsm);
   }
@@ -487,6 +509,10 @@ void LuRun::iterate(int j) {
     std::vector<BlockId> row_in;
     for (int k = j + 1; k < nb_; ++k) row_in.emplace_back(j, k);  // U row
     verify_row_blocks(row_in, fault::Op::Gemm);
+  } else if (ft_) {
+    // Opt 3: trailing-update input verification skipped this iteration.
+    const std::size_t t = static_cast<std::size_t>(nb_ - j - 1);
+    tel_.verify_skipped(fault::Op::Gemm, t + t * t + t, j);
   }
   sim::gpublas::gemm(m_, s_compute_, Trans::No, Trans::No, -1.0,
                      data_region(off(j) + jb, off(j), right, jb),
@@ -510,6 +536,7 @@ void LuRun::iterate(int j) {
 }
 
 void LuRun::final_sweep() {
+  cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
   // Right-looking LU never re-reads finished blocks, so storage errors
   // striking them after their last use can only be caught here: one
   // verification pass over the whole factor (column checksums for the

@@ -49,6 +49,10 @@ struct LuOptions {
   int recalc_streams = 0;
   Tolerance tolerance{};
   int max_reruns = 2;
+
+  /// Observability hooks (optional, not owned) — see CholeskyOptions.
+  obs::EventSink* event_sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Factorizes `*a` in place into packed L\U (unit-lower L below the

@@ -7,6 +7,11 @@
 
 #include "abft/checksum.hpp"
 
+namespace ftla::obs {
+class EventSink;
+class MetricsRegistry;
+}  // namespace ftla::obs
+
 namespace ftla::abft {
 
 /// Which fault-tolerance scheme the driver runs.
@@ -77,6 +82,14 @@ struct CholeskyOptions {
   int checkpoint_interval = 8;
   /// Rollback budget before escalating to a full rerun.
   int max_rollbacks = 8;
+
+  /// Observability hooks (optional, not owned). When set, the driver
+  /// emits structured telemetry events (verifications, detections,
+  /// corrections, placement decisions, recovery) and mirrors the
+  /// Table-I verification counters into the registry. See
+  /// docs/observability.md for the event taxonomy and metric names.
+  obs::EventSink* event_sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Instrumented verification counts, one row of the paper's Table I.

@@ -1,5 +1,7 @@
 #include "abft/qr.hpp"
 
+#include "abft/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -30,7 +32,8 @@ class QrRun {
  public:
   QrRun(Machine& m, Matrix<double>* a, std::vector<double>* tau, int n,
         const QrOptions& opt, fault::Injector* injector)
-      : m_(m), a_(a), tau_(tau), n_(n), opt_(opt), injector_(injector) {
+      : m_(m), a_(a), tau_(tau), n_(n), opt_(opt), injector_(injector),
+        tel_(m, opt.event_sink, opt.metrics, injector) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,
@@ -86,6 +89,8 @@ class QrRun {
   int n_;
   QrOptions opt_;
   fault::Injector* injector_;
+  Telemetry tel_;
+  int cur_iter_ = -1;  ///< telemetry iteration; -1 outside the j-loop
 
   int b_ = 0;
   int nb_ = 0;
@@ -128,6 +133,7 @@ CholeskyResult QrRun::execute() {
         done = true;
       } else {
         ++result_.reruns;
+        tel_.rerun(result_.reruns, e.what());
         upload();
       }
     }
@@ -229,6 +235,7 @@ void QrRun::verify_row_blocks(const std::vector<BlockId>& blocks,
     case fault::Op::Syrk: result_.verified.syrk_blocks += blocks.size(); break;
     case fault::Op::Gemm: result_.verified.gemm_blocks += blocks.size(); break;
   }
+  tel_.verify_scheduled(attr, blocks.size());
   const EventId e_comp = m_.record_event(s_compute_);
   const EventId e_chk = m_.record_event(s_chk_);
   const int nstreams = std::max(
@@ -254,10 +261,15 @@ void QrRun::verify_row_blocks(const std::vector<BlockId>& blocks,
     const DMat chk = rchk_block(bi, bk);
     const Tolerance tol = opt_.tolerance;
     KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
-    m_.launch(s, cd, [this, blk, chk, tol, scratch] {
-      absorb(verify_block_rows(blk.view(), chk.view(),
-                               ConstMatrixView<double>(scratch.view()),
-                               tol));
+    const int vi = bi, vk = bk;
+    const std::int64_t rflops = rd.flops;
+    m_.launch(s, cd, [this, blk, chk, tol, scratch, attr, vi, vk, rflops] {
+      const VerifyOutcome out =
+          verify_block_rows(blk.view(), chk.view(),
+                            ConstMatrixView<double>(scratch.view()), tol);
+      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
+                          blk.rows, off(vk), blk.cols);
+      absorb(out);
     });
   }
   for (int i = 0; i < nstreams; ++i) {
@@ -308,6 +320,7 @@ void QrRun::hook_computing(fault::Op op, int j) {
 }
 
 void QrRun::iterate(int j) {
+  cur_iter_ = j;
   const int jb = bs(j);
   const int mrem = n_ - off(j);
   const int right = n_ - off(j) - jb;
@@ -376,6 +389,12 @@ void QrRun::iterate(int j) {
       for (int i = j; i < nb_; ++i)
         for (int k = j + 1; k < nb_; ++k) c_in.emplace_back(i, k);
       verify_row_blocks(c_in, fault::Op::Gemm);
+    } else {
+      // Opt 3: trailing-block verification skipped this iteration.
+      tel_.verify_skipped(fault::Op::Gemm,
+                          static_cast<std::size_t>(nb_ - j) *
+                              static_cast<std::size_t>(nb_ - j - 1),
+                          j);
     }
   }
   {
@@ -407,6 +426,7 @@ void QrRun::iterate(int j) {
 }
 
 void QrRun::final_sweep() {
+  cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
   std::vector<BlockId> all;
   for (int k = 0; k < nb_; ++k)
     for (int i = 0; i < nb_; ++i) all.emplace_back(i, k);

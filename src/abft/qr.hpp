@@ -44,6 +44,10 @@ struct QrOptions {
   int recalc_streams = 0;
   Tolerance tolerance{};
   int max_reruns = 2;
+
+  /// Observability hooks (optional, not owned) — see CholeskyOptions.
+  obs::EventSink* event_sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Factorizes `*a` in place into the packed Householder form (V below

@@ -1,0 +1,91 @@
+// Telemetry: the one place the three factorization drivers (Cholesky,
+// LU, QR) turn their fault-tolerance machinery into structured events
+// and metrics.
+//
+// The recorder is deliberately passive — constructed with whatever the
+// caller wired into the options (event sink, metrics registry, both or
+// neither) and a no-op when nothing is attached, so the drivers carry
+// zero overhead in the common un-instrumented path.
+//
+// Responsibilities:
+//   * mirror the Table-I verification counters into the metrics
+//     registry at the *same program points* where the drivers update
+//     CholeskyResult, so exports reconcile exactly;
+//   * emit one Verification event per verified block (pass/fail,
+//     attribution, recalc cost) from inside the verify kernel bodies;
+//   * match a failed verification back to the pending fault injection
+//     whose coordinates fall inside the verified block, stamp the
+//     injector record, and emit a Detection event carrying the
+//     detection latency (virtual time from injection to detection);
+//   * emit Opt-2 placement decisions (with the model's predicted
+//     costs), Opt-3 skips, corrections, checksum repairs, checkpoints,
+//     rollbacks and reruns.
+#pragma once
+
+#include <cstdint>
+
+#include "abft/checksum.hpp"
+#include "abft/options.hpp"
+#include "fault/fault.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::abft {
+
+/// Histogram name for the injection-to-detection virtual-time gap.
+inline constexpr const char* kDetectionLatencyMetric =
+    "abft.detection_latency_s";
+
+class Telemetry {
+ public:
+  /// All pointers optional and not owned. When `injector` is non-null
+  /// and a sink is attached, the injector is wired to the machine's
+  /// virtual clock so injection records carry timestamps.
+  Telemetry(sim::Machine& m, obs::EventSink* sink,
+            obs::MetricsRegistry* metrics, fault::Injector* injector);
+
+  [[nodiscard]] bool active() const noexcept {
+    return sink_ != nullptr || metrics_ != nullptr;
+  }
+
+  /// A verification batch was scheduled (issue time, both execution
+  /// modes) — bumps the "abft.verify.<op>_blocks" counter that mirrors
+  /// VerificationCounters.
+  void verify_scheduled(fault::Op attr, std::size_t blocks);
+
+  /// Opt 3 skipped a verification site this iteration.
+  void verify_skipped(fault::Op attr, std::size_t blocks, int iteration);
+
+  /// One block was verified (called from inside a verify body, Numeric
+  /// mode). The block's global element range is rows [row0, row0+rows)
+  /// x cols [col0, col0+cols); chk_row0 >= 0 additionally gives its row
+  /// range [chk_row0, chk_row0+2) in checksum space for schemes whose
+  /// faults can target stored checksums (-1 otherwise).
+  void block_verified(const VerifyOutcome& out, fault::Op attr,
+                      int iteration, int block_row, int block_col,
+                      std::int64_t recalc_flops, int row0, int rows,
+                      int col0, int cols, int chk_row0 = -1);
+
+  /// Opt-2 decision, with the analytic model's predicted times.
+  void placement_decided(UpdatePlacement requested, UpdatePlacement chosen,
+                         double t_pick_gpu_s, double t_pick_cpu_s);
+
+  void checkpoint_taken(int next_iteration);
+  void rollback(int to_iteration);
+  void rerun(int rerun_count, const char* reason);
+
+ private:
+  /// Oldest still-latent injection whose target lies in the given
+  /// ranges; -1 when none.
+  [[nodiscard]] std::int64_t match_injection(int row0, int rows, int col0,
+                                             int cols, int chk_row0) const;
+
+  sim::Machine& m_;
+  obs::EventSink* sink_;
+  obs::MetricsRegistry* metrics_;
+  fault::Injector* injector_;
+  double last_detection_latency_ = 0.0;
+};
+
+}  // namespace ftla::abft

@@ -1,10 +1,15 @@
 // Streaming statistics accumulator (Welford) used by benches and the
-// simulator's per-resource utilization reports.
+// simulator's per-resource utilization reports, plus a fixed-bucket
+// histogram with percentile estimation for the observability layer.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <vector>
+
+#include "common/error.hpp"
 
 namespace ftla {
 
@@ -30,6 +35,20 @@ class Stats {
   [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
 
+  /// Rebuilds an accumulator from closed-form moments (used by
+  /// Histogram::merge, which combines two Welford streams exactly).
+  static Stats from_moments(long long n, double mean, double m2, double sum,
+                            double min, double max) {
+    Stats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.sum_ = sum;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   long long n_ = 0;
   double mean_ = 0.0;
@@ -37,6 +56,140 @@ class Stats {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram: bucket boundaries are chosen at construction
+/// and never move, so two histograms with identical edges merge exactly
+/// (the property the metrics registry relies on). Bucket i holds samples
+/// with x <= edges[i] (first matching bucket); one implicit overflow
+/// bucket catches everything above the last edge. Percentiles are
+/// estimated by linear interpolation inside the selected bucket, with
+/// the observed min/max clamping the outermost buckets.
+class Histogram {
+ public:
+  /// Default edges: 2-per-decade log spacing over [1e-9, 1e3] seconds —
+  /// wide enough for virtual-time latencies from sub-microsecond kernel
+  /// gaps to full paper-scale factorizations.
+  Histogram() : Histogram(log_edges(1e-9, 1e3, 2)) {}
+
+  /// `upper_edges` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_edges)
+      : edges_(std::move(upper_edges)), hits_(edges_.size() + 1, 0) {
+    FTLA_CHECK(!edges_.empty());
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+      FTLA_CHECK(edges_[i - 1] < edges_[i]);
+    }
+  }
+
+  /// Log-spaced edges covering [lo, hi] with `per_decade` buckets per
+  /// factor of 10.
+  static std::vector<double> log_edges(double lo, double hi,
+                                       int per_decade) {
+    FTLA_CHECK(lo > 0.0 && hi > lo && per_decade >= 1);
+    std::vector<double> edges;
+    const double step = std::pow(10.0, 1.0 / per_decade);
+    for (double e = lo; e < hi * (1.0 + 1e-12); e *= step) edges.push_back(e);
+    return edges;
+  }
+
+  void add(double x) {
+    stats_.add(x);
+    ++hits_[bucket_index(x)];
+  }
+
+  [[nodiscard]] long long count() const noexcept { return stats_.count(); }
+  [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return hits_.size();
+  }
+  /// Inclusive upper bound of bucket i (+inf for the overflow bucket).
+  [[nodiscard]] double bucket_upper(std::size_t i) const {
+    return i < edges_.size() ? edges_[i]
+                             : std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] long long bucket_hits(std::size_t i) const {
+    return hits_[i];
+  }
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Percentile estimate for p in [0, 100]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const {
+    const long long n = count();
+    if (n == 0) return 0.0;
+    const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                          static_cast<double>(n);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < hits_.size(); ++i) {
+      if (hits_[i] == 0) continue;
+      const double next = cum + static_cast<double>(hits_[i]);
+      if (next >= target) {
+        double lo = i == 0 ? min() : edges_[i - 1];
+        double hi = i < edges_.size() ? edges_[i] : max();
+        lo = std::max(lo, min());
+        hi = std::min(hi, max());
+        if (hi < lo) hi = lo;
+        const double frac =
+            std::clamp((target - cum) / static_cast<double>(hits_[i]), 0.0,
+                       1.0);
+        return lo + frac * (hi - lo);
+      }
+      cum = next;
+    }
+    return max();
+  }
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  /// Merge another histogram with identical edges.
+  void merge(const Histogram& other) {
+    FTLA_CHECK_MSG(edges_ == other.edges_,
+                   "histogram merge requires identical bucket edges");
+    for (std::size_t i = 0; i < hits_.size(); ++i) hits_[i] += other.hits_[i];
+    // Welford streams do not compose exactly; fold the scalar summary by
+    // replaying the closed-form merge for count/mean/M2.
+    merge_stats(other.stats_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double x) const {
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+    return static_cast<std::size_t>(it - edges_.begin());
+  }
+
+  // Chan et al. parallel merge of two (count, mean, M2) Welford streams.
+  void merge_stats(const Stats& o) {
+    const long long na = stats_.count();
+    const long long nb = o.count();
+    if (nb == 0) return;
+    if (na == 0) {
+      stats_ = o;
+      return;
+    }
+    const double delta = o.mean() - stats_.mean();
+    const double mean =
+        stats_.mean() + delta * static_cast<double>(nb) /
+                            static_cast<double>(na + nb);
+    const double m2 = stats_.variance() * static_cast<double>(na - 1) +
+                      o.variance() * static_cast<double>(nb - 1) +
+                      delta * delta * static_cast<double>(na) *
+                          static_cast<double>(nb) /
+                          static_cast<double>(na + nb);
+    stats_ = Stats::from_moments(na + nb, mean, m2, stats_.sum() + o.sum(),
+                                 std::min(stats_.min(), o.min()),
+                                 std::max(stats_.max(), o.max()));
+  }
+
+  std::vector<double> edges_;
+  std::vector<long long> hits_;
+  Stats stats_;
 };
 
 }  // namespace ftla

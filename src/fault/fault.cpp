@@ -44,10 +44,43 @@ std::vector<FaultSpec> Injector::take(FaultType type, Op op, int iteration) {
   return fired;
 }
 
-void Injector::record(const FaultSpec& spec, double old_value,
-                      double new_value, int global_row, int global_col) {
-  records_.push_back(
-      InjectionRecord{spec, old_value, new_value, global_row, global_col});
+std::int64_t Injector::record(const FaultSpec& spec, double old_value,
+                              double new_value, int global_row,
+                              int global_col) {
+  InjectionRecord r;
+  r.spec = spec;
+  r.old_value = old_value;
+  r.new_value = new_value;
+  r.global_row = global_row;
+  r.global_col = global_col;
+  r.id = static_cast<std::int64_t>(records_.size());
+  r.inject_time = clock_ ? clock_() : 0.0;
+  records_.push_back(r);
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::FaultInjected;
+    e.time = r.inject_time;
+    e.end = r.inject_time;
+    e.name = std::string("fault:") + to_string(spec.type);
+    e.op = to_string(spec.op);
+    e.iteration = spec.iteration;
+    e.block_row = spec.block_row;
+    e.block_col = spec.block_col;
+    e.row = global_row;
+    e.col = global_col;
+    e.correlation = r.id;
+    e.value = old_value;
+    e.value2 = new_value;
+    if (spec.target_checksum) e.detail = "target=checksum";
+    sink_->post(e);
+  }
+  return r.id;
+}
+
+void Injector::mark_detected(std::int64_t id, double time) {
+  if (id < 0 || id >= static_cast<std::int64_t>(records_.size())) return;
+  auto& r = records_[static_cast<std::size_t>(id)];
+  if (!r.detected()) r.detect_time = time;
 }
 
 FaultSpec computing_error_at(int iter, int nblocks, Rng& rng) {

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/event_sink.hpp"
 
 namespace ftla::fault {
 
@@ -64,6 +66,20 @@ struct InjectionRecord {
   double new_value = 0.0;
   int global_row = -1;  ///< element coordinates in the full matrix
   int global_col = -1;
+  /// Stable injection id (index into records()); links this injection to
+  /// the detection/correction telemetry events that reference it.
+  std::int64_t id = -1;
+  /// Virtual time at injection (0 when no clock is attached).
+  double inject_time = 0.0;
+  /// Virtual time the detecting verification flagged it; < 0 while the
+  /// corruption is still latent. detect_time - inject_time is the
+  /// detection latency Enhanced Online-ABFT exists to bound.
+  double detect_time = -1.0;
+
+  [[nodiscard]] bool detected() const noexcept { return detect_time >= 0.0; }
+  [[nodiscard]] double detection_latency() const noexcept {
+    return detected() ? detect_time - inject_time : -1.0;
+  }
 };
 
 /// SEC-DED ECC as deployed on Tesla-class GPUs: corrects any single-bit
@@ -91,12 +107,31 @@ class Injector {
   /// corrects are consumed but reported in `ecc_absorbed_count`.
   std::vector<FaultSpec> take(FaultType type, Op op, int iteration);
 
-  /// Driver reports the concrete effect of a fired fault.
-  void record(const FaultSpec& spec, double old_value, double new_value,
-              int global_row, int global_col);
+  /// Driver reports the concrete effect of a fired fault. Returns the
+  /// injection id; emits a FaultInjected telemetry event when an event
+  /// sink is attached.
+  std::int64_t record(const FaultSpec& spec, double old_value,
+                      double new_value, int global_row, int global_col);
+
+  /// Driver reports that the verification running at virtual time `time`
+  /// caught injection `id`. First report wins; later calls are no-ops.
+  void mark_detected(std::int64_t id, double time);
+
+  /// Observability wiring (both optional, not owned). The clock supplies
+  /// virtual time for injection stamps — drivers attach the machine's
+  /// host clock.
+  void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
+  void set_clock(std::function<double()> clock) {
+    clock_ = std::move(clock);
+  }
 
   [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
     return records_;
+  }
+  [[nodiscard]] int detected_count() const noexcept {
+    int n = 0;
+    for (const auto& r : records_) n += r.detected() ? 1 : 0;
+    return n;
   }
   [[nodiscard]] int fired_count() const noexcept {
     return static_cast<int>(records_.size());
@@ -114,6 +149,8 @@ class Injector {
   std::vector<InjectionRecord> records_;
   EccModel ecc_;
   int ecc_absorbed_ = 0;
+  obs::EventSink* sink_ = nullptr;
+  std::function<double()> clock_;
 };
 
 /// Builders for the paper's two experiment scenarios on an

@@ -1,0 +1,75 @@
+// Structured-event model for the ABFT observability layer.
+//
+// Every layer of the system (simulator, fault injector, ABFT drivers)
+// describes what it does as a flat stream of Events posted to an
+// EventSink. Events carry virtual-time stamps from the simulated clock,
+// a stable sequence number (assigned by the sink, so a single run has a
+// total order even when several components emit), and a fixed set of
+// typed fields — a deliberately denormalized record so sinks never
+// allocate per-kind payloads. Fields a kind does not use stay at their
+// defaults and are omitted from serialized output.
+//
+// Correlation: a fault injection is assigned an injection id; the
+// verification that later detects it and any correction that repairs it
+// carry the same id in `correlation`, which is what the trace exporter
+// turns into Chrome-trace flow arrows (injection -> detection ->
+// correction) and what the detection-latency histogram is keyed on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftla::obs {
+
+enum class EventKind {
+  Kernel,          ///< GPU kernel span (stream + SM-unit attribution)
+  HostTask,        ///< host compute span
+  Copy,            ///< DMA transfer span (H2D/D2H/D2D)
+  Sync,            ///< host-device synchronization point
+  FaultInjected,   ///< a planned fault actually fired
+  Verification,    ///< one block verified (pass/fail + recalc cost)
+  VerifySkip,      ///< Opt-3 skipped a verification site
+  Placement,       ///< Opt-2 placement decision with predicted costs
+  Detection,       ///< a verification caught an injected fault
+  Correction,      ///< one element repaired from checksums
+  ChecksumRepair,  ///< a corrupted checksum column re-encoded
+  Rollback,        ///< checkpoint rollback triggered
+  Rerun,           ///< full-restart recovery triggered
+  Checkpoint,      ///< device snapshot taken
+  Note,            ///< free-form annotation
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+struct Event {
+  EventKind kind = EventKind::Note;
+  /// Total order within one run; stamped by EventSink::post.
+  std::int64_t seq = -1;
+  /// Virtual seconds (simulated clock). For spans, the start.
+  double time = 0.0;
+  /// Span end; equal to `time` for instantaneous events.
+  double end = 0.0;
+  /// Stream id, or a sim lane constant (kHostLane etc.) for host work.
+  int lane = 0;
+  std::string name;   ///< short label ("syrk", "verify", "fault:storage")
+  std::string op;     ///< ABFT op attribution: syrk|gemm|potf2|trsm
+  int iteration = -1; ///< outer iteration, -1 outside the loop
+  int block_row = -1; ///< target block (block coordinates)
+  int block_col = -1;
+  int row = -1;       ///< target element (global coordinates)
+  int col = -1;
+  bool pass = true;   ///< Verification: no anomaly found
+  std::int64_t flops = 0;  ///< modeled cost of the work / recalc
+  std::int64_t bytes = 0;  ///< Copy payload
+  int units = 0;           ///< SM units occupied
+  /// Kind-specific scalar: detection latency (Detection/Correction),
+  /// predicted T_gpu (Placement), skipped block count (VerifySkip).
+  double value = 0.0;
+  /// Second scalar: predicted T_cpu (Placement).
+  double value2 = 0.0;
+  /// Injection id linking FaultInjected -> Detection -> Correction.
+  std::int64_t correlation = -1;
+  std::string detail;  ///< free-form context
+};
+
+}  // namespace ftla::obs

@@ -1,0 +1,121 @@
+#include "obs/event_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ftla::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Kernel: return "kernel";
+    case EventKind::HostTask: return "host_task";
+    case EventKind::Copy: return "copy";
+    case EventKind::Sync: return "sync";
+    case EventKind::FaultInjected: return "fault_injected";
+    case EventKind::Verification: return "verification";
+    case EventKind::VerifySkip: return "verify_skip";
+    case EventKind::Placement: return "placement";
+    case EventKind::Detection: return "detection";
+    case EventKind::Correction: return "correction";
+    case EventKind::ChecksumRepair: return "checksum_repair";
+    case EventKind::Rollback: return "rollback";
+    case EventKind::Rerun: return "rerun";
+    case EventKind::Checkpoint: return "checkpoint";
+    case EventKind::Note: return "note";
+  }
+  return "?";
+}
+
+// ----- RingBufferSink -------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  FTLA_CHECK(capacity_ > 0);
+}
+
+void RingBufferSink::emit(const Event& e) {
+  if (!full_) {
+    buf_.push_back(e);
+    if (buf_.size() == capacity_) full_ = true;
+    return;
+  }
+  buf_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t RingBufferSink::size() const noexcept { return buf_.size(); }
+
+std::vector<Event> RingBufferSink::events() const {
+  std::vector<Event> out;
+  out.reserve(buf_.size());
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+// ----- JSON serialization ---------------------------------------------
+
+void json_escape(const std::string& s, std::ostream& os) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          os << hex;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void event_to_json(const Event& e, std::ostream& os) {
+  os << "{\"kind\":\"" << to_string(e.kind) << "\",\"seq\":" << e.seq
+     << ",\"t\":" << e.time;
+  if (e.end > e.time) os << ",\"t_end\":" << e.end;
+  os << ",\"lane\":" << e.lane;
+  if (!e.name.empty()) {
+    os << ",\"name\":\"";
+    json_escape(e.name, os);
+    os << '"';
+  }
+  if (!e.op.empty()) {
+    os << ",\"op\":\"";
+    json_escape(e.op, os);
+    os << '"';
+  }
+  if (e.iteration >= 0) os << ",\"iter\":" << e.iteration;
+  if (e.block_row >= 0) os << ",\"brow\":" << e.block_row;
+  if (e.block_col >= 0) os << ",\"bcol\":" << e.block_col;
+  if (e.row >= 0) os << ",\"row\":" << e.row;
+  if (e.col >= 0) os << ",\"col\":" << e.col;
+  if (!e.pass) os << ",\"pass\":false";
+  if (e.flops > 0) os << ",\"flops\":" << e.flops;
+  if (e.bytes > 0) os << ",\"bytes\":" << e.bytes;
+  if (e.units > 0) os << ",\"units\":" << e.units;
+  if (e.value != 0.0) os << ",\"value\":" << e.value;
+  if (e.value2 != 0.0) os << ",\"value2\":" << e.value2;
+  if (e.correlation >= 0) os << ",\"id\":" << e.correlation;
+  if (!e.detail.empty()) {
+    os << ",\"detail\":\"";
+    json_escape(e.detail, os);
+    os << '"';
+  }
+  os << '}';
+}
+
+void JsonlStreamSink::emit(const Event& e) {
+  event_to_json(e, os_);
+  os_ << '\n';
+}
+
+}  // namespace ftla::obs

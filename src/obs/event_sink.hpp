@@ -1,0 +1,93 @@
+// Event sinks: where the structured-event stream goes.
+//
+// Producers call `post`, which stamps the run-wide sequence number and
+// hands the event to the concrete sink. Three implementations cover the
+// intended uses:
+//   * NullSink        — swallow everything (the default-off path costs
+//                       one pointer test at each producer site).
+//   * RingBufferSink  — bounded in-memory capture for trace merging and
+//                       tests; overwrites the oldest events when full
+//                       and counts what it dropped.
+//   * JsonlStreamSink — one JSON object per line to any std::ostream,
+//                       for piping a live run into external tooling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace ftla::obs {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Stamps the sequence number and delivers the event.
+  void post(Event e) {
+    e.seq = next_seq_++;
+    emit(e);
+  }
+
+  /// Events posted so far (including any a bounded sink later dropped).
+  [[nodiscard]] std::int64_t posted() const noexcept { return next_seq_; }
+
+ protected:
+  virtual void emit(const Event& e) = 0;
+
+ private:
+  std::int64_t next_seq_ = 0;
+};
+
+class NullSink final : public EventSink {
+ protected:
+  void emit(const Event&) override {}
+};
+
+class RingBufferSink final : public EventSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit RingBufferSink(std::size_t capacity = kDefaultCapacity);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+
+ protected:
+  void emit(const Event& e) override;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> buf_;   // ring storage once full
+  std::size_t head_ = 0;     // next write position when full
+  bool full_ = false;
+  std::size_t dropped_ = 0;
+};
+
+class JsonlStreamSink final : public EventSink {
+ public:
+  explicit JsonlStreamSink(std::ostream& os) : os_(os) {}
+
+ protected:
+  void emit(const Event& e) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Serializes one event as a compact JSON object (no trailing newline).
+/// Default-valued fields are omitted; shared by JsonlStreamSink and the
+/// Chrome-trace merger.
+void event_to_json(const Event& e, std::ostream& os);
+
+/// Writes `s` with JSON string escaping (quotes, backslashes, control
+/// characters).
+void json_escape(const std::string& s, std::ostream& os);
+
+}  // namespace ftla::obs

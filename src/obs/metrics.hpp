@@ -1,0 +1,85 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the aggregate side of the observability layer: while
+// the event stream records *what happened when*, the registry records
+// *how much of it happened*. Drivers increment counters at the same
+// program points where they update their result structs, so exported
+// metrics reconcile exactly with CholeskyResult (the property the
+// end-to-end tests assert).
+//
+// Naming convention: dotted lowercase paths, `<layer>.<noun>[.<sub>]` —
+// e.g. "abft.verify.gemm_blocks", "abft.detection_latency_s",
+// "sim.h2d_bytes". Units are spelled in the trailing segment (_s,
+// _bytes, _blocks) rather than in a separate field.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ftla::obs {
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter, creating it at zero. The reference stays valid
+  /// for the registry's lifetime (std::map nodes are stable).
+  long long& counter(const std::string& name) { return counters_[name]; }
+  void add_counter(const std::string& name, long long delta) {
+    counters_[name] += delta;
+  }
+
+  double& gauge(const std::string& name) { return gauges_[name]; }
+  void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+
+  /// Returns the histogram, creating it with default log-spaced edges.
+  Histogram& histogram(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    return it->second;
+  }
+  /// Creates (or returns) a histogram with explicit bucket edges; edges
+  /// are ignored when the histogram already exists.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_edges) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{upper_edges}).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  [[nodiscard]] bool has_histogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  /// Folds `other` into this registry: counters add, gauges take the
+  /// other's value (last writer wins, matching sequential export), and
+  /// histograms merge bucket-wise (edges must match).
+  void merge(const MetricsRegistry& other);
+
+  // Deterministically ordered iteration for exporters.
+  [[nodiscard]] const std::map<std::string, long long>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, long long> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ftla::obs

@@ -1,0 +1,90 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "obs/event_sink.hpp"  // json_escape
+
+namespace ftla::obs {
+
+namespace {
+
+void write_histogram(const Histogram& h, std::ostream& os) {
+  os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+     << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.p50()
+     << ",\"p95\":" << h.p95() << ",\"p99\":" << h.p99() << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket_hits(i) == 0) continue;  // sparse: empty buckets omitted
+    if (!first) os << ',';
+    first = false;
+    const double le = h.bucket_upper(i);
+    os << "{\"le\":";
+    if (std::isinf(le)) {
+      os << "\"inf\"";
+    } else {
+      os << le;
+    }
+    os << ",\"n\":" << h.bucket_hits(i) << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsReport& report, std::ostream& os) {
+  os << "{\"schema_version\":" << MetricsReport::kSchemaVersion
+     << ",\"meta\":{";
+  bool first = true;
+  for (const auto& [k, v] : report.meta) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(k, os);
+    os << "\":\"";
+    json_escape(v, os);
+    os << '"';
+  }
+  os << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : report.metrics.counters()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : report.metrics.gauges()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : report.metrics.histograms()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":";
+    write_histogram(h, os);
+  }
+  os << "}}";
+}
+
+bool write_metrics_json_file(const MetricsReport& report,
+                             const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_metrics_json(report, f);
+  f << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace ftla::obs

@@ -1,0 +1,50 @@
+// MetricsReport: the schema-versioned JSON export shared by the bench
+// harnesses and ftla_cli (--metrics-out).
+//
+// Layout (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "meta":       { "<key>": "<string value>", ... },
+//     "counters":   { "<name>": <integer>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": {
+//       "<name>": {
+//         "count": N, "sum": S, "min": m, "max": M, "mean": mu,
+//         "p50": ..., "p95": ..., "p99": ...,
+//         "buckets": [ {"le": <upper bound or "inf">, "n": <hits>}, ... ]
+//       }, ...
+//     }
+//   }
+// Keys inside each section are sorted (std::map order), so exports are
+// byte-stable for identical runs — diffable in CI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftla::obs {
+
+struct MetricsReport {
+  static constexpr int kSchemaVersion = 1;
+
+  /// Free-form run description (machine, mode, n, variant...), emitted
+  /// in insertion order.
+  std::vector<std::pair<std::string, std::string>> meta;
+  MetricsRegistry metrics;
+
+  void add_meta(std::string key, std::string value) {
+    meta.emplace_back(std::move(key), std::move(value));
+  }
+};
+
+void write_metrics_json(const MetricsReport& report, std::ostream& os);
+
+/// Convenience: writes the JSON to a file; returns false on I/O error.
+bool write_metrics_json_file(const MetricsReport& report,
+                             const std::string& path);
+
+}  // namespace ftla::obs

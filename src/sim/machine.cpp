@@ -102,11 +102,13 @@ void Machine::stream_wait_event(StreamId s, EventId e) {
 void Machine::sync_stream(StreamId s) {
   FTLA_CHECK(s >= 0 && s < stream_count());
   host_time_ = std::max(host_time_, streams_[s].last_end);
+  note_sync("sync_stream");
 }
 
 void Machine::sync_event(EventId e) {
   FTLA_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()));
   host_time_ = std::max(host_time_, events_[e]);
+  note_sync("sync_event");
 }
 
 void Machine::sync_all() {
@@ -114,6 +116,7 @@ void Machine::sync_all() {
   for (const auto& st : streams_) t = std::max(t, st.last_end);
   t = std::max({t, h2d_free_, d2h_free_, gpu_pool_.last_end()});
   host_time_ = t;
+  note_sync("sync_all");
 }
 
 int Machine::resolve_units(const KernelDesc& d) const {
@@ -137,9 +140,42 @@ double Machine::kernel_duration(const KernelDesc& d, int units) const {
 }
 
 void Machine::note_trace(std::string name, KernelClass cls, int lane,
-                         double start, double end, int units) {
+                         double start, double end, int units,
+                         std::int64_t flops) {
   if (!trace_enabled_) return;
-  trace_.push_back(TraceRecord{std::move(name), cls, lane, start, end, units});
+  if (trace_.size() >= trace_limit_) {
+    ++trace_dropped_;
+    return;
+  }
+  trace_.push_back(
+      TraceRecord{std::move(name), cls, lane, start, end, units, flops});
+}
+
+void Machine::note_span(obs::EventKind kind, const std::string& name,
+                        int lane, double start, double end,
+                        std::int64_t flops, std::int64_t bytes, int units) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.kind = kind;
+  e.time = start;
+  e.end = end;
+  e.lane = lane;
+  e.name = name;
+  e.flops = flops;
+  e.bytes = bytes;
+  e.units = units;
+  sink_->post(e);
+}
+
+void Machine::note_sync(const char* name) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.kind = obs::EventKind::Sync;
+  e.time = host_time_;
+  e.end = host_time_;
+  e.lane = kHostLane;
+  e.name = name;
+  sink_->post(e);
 }
 
 void Machine::launch(StreamId s, const KernelDesc& d,
@@ -166,7 +202,8 @@ void Machine::launch(StreamId s, const KernelDesc& d,
   ++cs.count;
   cs.flops += d.flops;
   cs.busy_seconds += dur;
-  note_trace(d.name, d.cls, s, start, end, units);
+  note_trace(d.name, d.cls, s, start, end, units, d.flops);
+  note_span(obs::EventKind::Kernel, d.name, s, start, end, d.flops, 0, units);
 }
 
 void Machine::host_compute(const KernelDesc& d,
@@ -185,7 +222,9 @@ void Machine::host_compute(const KernelDesc& d,
   ++cs.count;
   cs.flops += d.flops;
   cs.busy_seconds += dur;
-  note_trace(d.name, d.cls, kHostLane, start, host_time_, 0);
+  note_trace(d.name, d.cls, kHostLane, start, host_time_, 0, d.flops);
+  note_span(obs::EventKind::HostTask, d.name, kHostLane, start, host_time_,
+            d.flops, 0, 0);
 }
 
 void Machine::host_advance(double seconds) {
@@ -213,6 +252,8 @@ void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
   stats_.h2d_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.h2d_seconds += dur;
   note_trace("h2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  note_span(obs::EventKind::Copy, "h2d", kH2dLane, earliest, end, 0,
+            n * static_cast<std::int64_t>(sizeof(double)), 0);
   if (blocking) host_time_ = std::max(host_time_, end);
 }
 
@@ -239,6 +280,8 @@ void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
   stats_.d2h_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.d2h_seconds += dur;
   note_trace("d2h", KernelClass::Other, kD2hLane, earliest, end, 0);
+  note_span(obs::EventKind::Copy, "d2h", kD2hLane, earliest, end, 0,
+            n * static_cast<std::int64_t>(sizeof(double)), 0);
   if (blocking) host_time_ = std::max(host_time_, end);
 }
 
@@ -271,6 +314,8 @@ void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
   stats_.h2d_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.h2d_seconds += dur;
   note_trace("h2d_2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  note_span(obs::EventKind::Copy, "h2d_2d", kH2dLane, earliest, end, 0,
+            static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
 }
 
@@ -303,6 +348,8 @@ void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
   stats_.d2h_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.d2h_seconds += dur;
   note_trace("d2h_2d", KernelClass::Other, kD2hLane, earliest, end, 0);
+  note_span(obs::EventKind::Copy, "d2h_2d", kD2hLane, earliest, end, 0,
+            static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
 }
 
@@ -329,6 +376,8 @@ void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
   ++cs.count;
   cs.busy_seconds += dur;
   note_trace("d2d", KernelClass::Memset, s, start, start + dur, 1);
+  note_span(obs::EventKind::Copy, "d2d", s, start, start + dur, 0,
+            n * static_cast<std::int64_t>(sizeof(double)), 1);
 }
 
 double Machine::makespan() const noexcept {

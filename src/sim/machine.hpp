@@ -25,6 +25,7 @@
 
 #include "common/error.hpp"
 #include "common/matrix.hpp"
+#include "obs/event_sink.hpp"
 #include "sim/profile.hpp"
 #include "sim/timeline.hpp"
 
@@ -51,6 +52,7 @@ struct TraceRecord {
   double start = 0.0;
   double end = 0.0;
   int units = 0;
+  std::int64_t flops = 0;  ///< modeled cost (0 for transfers)
 };
 
 inline constexpr int kHostLane = -1;
@@ -210,6 +212,28 @@ class Machine {
     return trace_;
   }
 
+  /// Default cap on retained trace records. Long TimingOnly sweeps issue
+  /// millions of operations; an unbounded trace_ dominated memory, so
+  /// recording stops at the cap and further records are only counted.
+  static constexpr std::size_t kDefaultTraceLimit = 1u << 20;
+  /// Adjusts the record cap (takes effect for subsequent records; it
+  /// does not shrink an already-collected trace).
+  void set_trace_limit(std::size_t limit) { trace_limit_ = limit; }
+  [[nodiscard]] std::size_t trace_limit() const noexcept {
+    return trace_limit_;
+  }
+  /// Records discarded because the trace was at its cap.
+  [[nodiscard]] std::size_t trace_dropped() const noexcept {
+    return trace_dropped_;
+  }
+
+  /// Attaches a structured-event sink (not owned; nullptr detaches).
+  /// Every kernel, host task, copy and sync is then posted as an
+  /// obs::Event with stream / SM-unit attribution, independent of the
+  /// TraceRecord path.
+  void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
+  [[nodiscard]] obs::EventSink* event_sink() const noexcept { return sink_; }
+
  private:
   friend class DeviceBuffer;
 
@@ -220,7 +244,11 @@ class Machine {
   double kernel_duration(const KernelDesc& d, int units) const;
   int resolve_units(const KernelDesc& d) const;
   void note_trace(std::string name, KernelClass cls, int lane, double start,
-                  double end, int units);
+                  double end, int units, std::int64_t flops = 0);
+  void note_span(obs::EventKind kind, const std::string& name, int lane,
+                 double start, double end, std::int64_t flops,
+                 std::int64_t bytes, int units);
+  void note_sync(const char* name);
 
   MachineProfile profile_;
   ExecutionMode mode_;
@@ -234,6 +262,9 @@ class Machine {
   SimStats stats_;
   bool trace_enabled_ = false;
   std::vector<TraceRecord> trace_;
+  std::size_t trace_limit_ = kDefaultTraceLimit;
+  std::size_t trace_dropped_ = 0;
+  obs::EventSink* sink_ = nullptr;
 };
 
 }  // namespace ftla::sim

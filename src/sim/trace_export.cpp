@@ -36,14 +36,90 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
-}  // namespace
+/// True for obs kinds whose spans duplicate the machine's own trace
+/// records — the merger skips them.
+bool is_machine_span(obs::EventKind k) {
+  return k == obs::EventKind::Kernel || k == obs::EventKind::HostTask ||
+         k == obs::EventKind::Copy || k == obs::EventKind::Sync;
+}
 
-void write_chrome_trace(const Machine& machine, std::ostream& os) {
+void write_event_args(std::ostream& os, const obs::Event& e) {
+  os << "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  if (!e.op.empty()) {
+    sep();
+    os << "\"op\":\"";
+    json_escape(os, e.op);
+    os << "\"";
+  }
+  if (e.iteration >= 0) {
+    sep();
+    os << "\"iter\":" << e.iteration;
+  }
+  if (e.block_row >= 0 || e.block_col >= 0) {
+    sep();
+    os << "\"block_row\":" << e.block_row << ",\"block_col\":" << e.block_col;
+  }
+  if (e.row >= 0 || e.col >= 0) {
+    sep();
+    os << "\"row\":" << e.row << ",\"col\":" << e.col;
+  }
+  if (e.kind == obs::EventKind::Verification ||
+      e.kind == obs::EventKind::Detection) {
+    sep();
+    os << "\"pass\":" << (e.pass ? "true" : "false");
+  }
+  if (e.flops != 0) {
+    sep();
+    os << "\"flops\":" << e.flops;
+  }
+  if (e.bytes != 0) {
+    sep();
+    os << "\"bytes\":" << e.bytes;
+  }
+  if (e.units != 0) {
+    sep();
+    os << "\"units\":" << e.units;
+  }
+  if (e.value != 0.0 || e.kind == obs::EventKind::Detection ||
+      e.kind == obs::EventKind::Placement) {
+    sep();
+    os << "\"value\":" << e.value;
+  }
+  if (e.value2 != 0.0 || e.kind == obs::EventKind::Placement) {
+    sep();
+    os << "\"value2\":" << e.value2;
+  }
+  if (e.correlation >= 0) {
+    sep();
+    os << "\"injection_id\":" << e.correlation;
+  }
+  if (!e.detail.empty()) {
+    sep();
+    os << "\"detail\":\"";
+    json_escape(os, e.detail);
+    os << "\"";
+  }
+  os << "}";
+}
+
+void write_trace_impl(const Machine& machine,
+                      const std::vector<obs::Event>* events,
+                      std::ostream& os) {
   os << "{\"traceEvents\":[";
   bool first = true;
   // Lane naming metadata.
   std::map<int, bool> lanes;
   for (const auto& r : machine.trace()) lanes[r.lane] = true;
+  if (events != nullptr) {
+    for (const auto& e : *events) {
+      if (!is_machine_span(e.kind)) lanes[e.lane] = true;
+    }
+  }
   for (const auto& [lane, _] : lanes) {
     if (!first) os << ",";
     first = false;
@@ -61,9 +137,82 @@ void write_chrome_trace(const Machine& machine, std::ostream& os) {
     os << "\",\"cat\":\"" << to_string(r.cls)
        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << lane_tid(r.lane)
        << ",\"ts\":" << r.start * 1e6 << ",\"dur\":" << (r.end - r.start) * 1e6
-       << ",\"args\":{\"sm_units\":" << r.units << "}}";
+       << ",\"args\":{\"sm_units\":" << r.units;
+    if (r.flops != 0) os << ",\"flops\":" << r.flops;
+    os << "}}";
+  }
+  if (events == nullptr) {
+    os << "]}";
+    return;
+  }
+
+  // Semantic telemetry events as thread-scoped instant events.
+  for (const auto& e : *events) {
+    if (is_machine_span(e.kind)) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, e.name.empty() ? to_string(e.kind) : e.name);
+    os << "\",\"cat\":\"" << to_string(e.kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+       << lane_tid(e.lane) << ",\"ts\":" << e.time * 1e6 << ",\"args\":";
+    write_event_args(os, e);
+    os << "}";
+  }
+
+  // Flow arrows for each correlated fault chain. A flow needs at least
+  // two points, so arrows are emitted only for injections that were
+  // detected; the detection is the flow's end unless a correction or
+  // checksum repair continues the chain.
+  struct Chain {
+    const obs::Event* injection = nullptr;
+    const obs::Event* detection = nullptr;
+    const obs::Event* repair = nullptr;  // first correction / chk repair
+  };
+  std::map<std::int64_t, Chain> chains;
+  for (const auto& e : *events) {
+    if (e.correlation < 0) continue;
+    Chain& c = chains[e.correlation];
+    switch (e.kind) {
+      case obs::EventKind::FaultInjected:
+        if (c.injection == nullptr) c.injection = &e;
+        break;
+      case obs::EventKind::Detection:
+        if (c.detection == nullptr) c.detection = &e;
+        break;
+      case obs::EventKind::Correction:
+      case obs::EventKind::ChecksumRepair:
+        if (c.repair == nullptr) c.repair = &e;
+        break;
+      default: break;
+    }
+  }
+  auto flow = [&](const obs::Event& e, char ph, std::int64_t id) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"fault\",\"cat\":\"fault\",\"ph\":\"" << ph
+       << "\",\"id\":" << id << ",\"pid\":1,\"tid\":" << lane_tid(e.lane)
+       << ",\"ts\":" << e.time * 1e6 << "}";
+  };
+  for (const auto& [id, c] : chains) {
+    if (c.injection == nullptr || c.detection == nullptr) continue;
+    flow(*c.injection, 's', id);
+    flow(*c.detection, c.repair != nullptr ? 't' : 'f', id);
+    if (c.repair != nullptr) flow(*c.repair, 'f', id);
   }
   os << "]}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Machine& machine, std::ostream& os) {
+  write_trace_impl(machine, nullptr, os);
+}
+
+void write_chrome_trace(const Machine& machine,
+                        const std::vector<obs::Event>& events,
+                        std::ostream& os) {
+  write_trace_impl(machine, &events, os);
 }
 
 bool write_chrome_trace_file(const Machine& machine,
@@ -71,6 +220,15 @@ bool write_chrome_trace_file(const Machine& machine,
   std::ofstream f(path);
   if (!f) return false;
   write_chrome_trace(machine, f);
+  return static_cast<bool>(f);
+}
+
+bool write_chrome_trace_file(const Machine& machine,
+                             const std::vector<obs::Event>& events,
+                             const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(machine, events, f);
   return static_cast<bool>(f);
 }
 
@@ -98,7 +256,13 @@ void print_trace_summary(const Machine& machine, std::ostream& os,
     }
   }
   os << "trace summary — makespan " << span << " s, " << trace.size()
-     << " ops\n";
+     << " ops";
+  if (machine.trace_dropped() > 0) {
+    os << " (" << machine.trace_dropped()
+       << " records dropped at the trace cap of " << machine.trace_limit()
+       << ")";
+  }
+  os << "\n";
   for (const auto& [lane, ls] : lanes) {
     const double util = span > 0.0 ? ls.busy / span : 0.0;
     os << "  " << lane_name(lane) << ": " << ls.count << " ops, busy "

@@ -9,11 +9,20 @@
 //     how POTF2 hides under the trailing GEMM and how Opt-1's recalc
 //     kernels fan out across streams.
 //   * a compact per-lane ASCII utilization summary for terminals.
+// Telemetry events captured through the obs layer can be merged into
+// the same timeline: semantic events (fault injections, verifications,
+// detections, corrections, placement decisions, recovery) appear as
+// instant events on their lane, and each injection -> detection ->
+// correction chain is connected with Chrome flow arrows keyed by the
+// injection id, so a fault's latency window is visible as an arrow
+// across the timeline.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "obs/event.hpp"
 #include "sim/machine.hpp"
 
 namespace ftla::sim {
@@ -21,8 +30,21 @@ namespace ftla::sim {
 /// Writes the machine's trace as Chrome tracing JSON.
 void write_chrome_trace(const Machine& machine, std::ostream& os);
 
+/// Writes the machine's trace merged with telemetry events: semantic
+/// events become instant events ("ph":"i") with their fields as args,
+/// and correlated fault chains become flow arrows ("ph":"s"/"t"/"f").
+/// Kernel/copy/sync events from the obs stream are skipped — the
+/// machine's own trace records already provide those spans.
+void write_chrome_trace(const Machine& machine,
+                        const std::vector<obs::Event>& events,
+                        std::ostream& os);
+
 /// Convenience: writes the JSON to a file; returns false on I/O error.
 bool write_chrome_trace_file(const Machine& machine,
+                             const std::string& path);
+
+bool write_chrome_trace_file(const Machine& machine,
+                             const std::vector<obs::Event>& events,
                              const std::string& path);
 
 /// Prints a per-lane summary (op count, busy time, utilization) plus an

@@ -224,6 +224,104 @@ TEST(Stats, EmptyIsSafe) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(Histogram, LogEdgesAreStrictlyIncreasing) {
+  const auto edges = Histogram::log_edges(1e-3, 1e3, 2);
+  ASSERT_GE(edges.size(), 12u);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e-3);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]);
+  }
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // three edges + overflow
+  h.add(0.5);   // bucket 0 (x <= 1)
+  h.add(1.0);   // bucket 0 (inclusive upper bound)
+  h.add(3.0);   // bucket 2
+  h.add(100.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bucket_hits(0), 2);
+  EXPECT_EQ(h.bucket_hits(1), 0);
+  EXPECT_EQ(h.bucket_hits(2), 1);
+  EXPECT_EQ(h.bucket_hits(3), 1);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(3)));
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+}
+
+TEST(Histogram, PercentilesOnUniformGrid) {
+  // 100 samples 1..100 against unit-wide buckets: pXX should land within
+  // one bucket width of the exact order statistic.
+  std::vector<double> edges;
+  for (int i = 10; i <= 100; i += 10) edges.push_back(i);
+  Histogram h(edges);
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_NEAR(h.p50(), 50.0, 10.0);
+  EXPECT_NEAR(h.p95(), 95.0, 10.0);
+  EXPECT_NEAR(h.p99(), 99.0, 10.0);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, MergeMatchesSingleStream) {
+  const auto edges = Histogram::log_edges(1e-3, 1e2, 4);
+  Histogram a(edges);
+  Histogram b(edges);
+  Histogram whole(edges);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double x = std::exp(rng.uniform(-3.0, 3.0));
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.stats().stddev(), whole.stats().stddev(), 1e-9);
+  for (std::size_t i = 0; i < whole.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket_hits(i), whole.bucket_hits(i));
+  }
+  EXPECT_NEAR(a.p50(), whole.p50(), 1e-12);
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsOther) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  b.add(2.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+}
+
+TEST(Stats, FromMomentsRoundTrips) {
+  Stats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(4.0);
+  const Stats r = Stats::from_moments(s.count(), s.mean(),
+                                      s.variance() * 2.0, s.sum(), s.min(),
+                                      s.max());
+  EXPECT_EQ(r.count(), 3);
+  EXPECT_DOUBLE_EQ(r.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(r.stddev(), s.stddev());
+  EXPECT_DOUBLE_EQ(r.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max(), 4.0);
+}
+
 TEST(Table, AlignedOutput) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

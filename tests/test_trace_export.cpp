@@ -110,5 +110,118 @@ TEST(Trace, DisabledByDefault) {
   EXPECT_TRUE(m.trace().empty());
 }
 
+TEST(TraceCap, DropsBeyondLimitAndCounts) {
+  Machine m(test_rig(), ExecutionMode::Numeric);
+  m.set_trace_enabled(true);
+  m.set_trace_limit(4);
+  for (int i = 0; i < 10; ++i) {
+    m.launch(0, KernelDesc{"k" + std::to_string(i), KernelClass::Blas3,
+                           1000, 0},
+             {});
+  }
+  m.sync_all();
+  EXPECT_EQ(m.trace().size(), 4u);
+  EXPECT_EQ(m.trace_dropped(), 6u);
+  // The earliest records are the ones retained.
+  EXPECT_EQ(m.trace()[0].name, "k0");
+  EXPECT_EQ(m.trace()[3].name, "k3");
+}
+
+TEST(TraceCap, SummaryReportsDroppedRecords) {
+  Machine m(test_rig(), ExecutionMode::Numeric);
+  m.set_trace_enabled(true);
+  m.set_trace_limit(2);
+  for (int i = 0; i < 5; ++i) {
+    m.launch(0, KernelDesc{"k", KernelClass::Blas3, 1000, 0}, {});
+  }
+  m.sync_all();
+  std::ostringstream os;
+  print_trace_summary(m, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("3 records dropped at the trace cap of 2"),
+            std::string::npos);
+}
+
+TEST(TraceCap, NoDropMessageUnderLimit) {
+  auto m = traced_machine();
+  std::ostringstream os;
+  print_trace_summary(m, os);
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+}
+
+TEST(ChromeTrace, MergesObsInstantEvents) {
+  auto m = traced_machine();
+  std::vector<obs::Event> events;
+  obs::Event v;
+  v.kind = obs::EventKind::Verification;
+  v.time = 1e-6;
+  v.lane = kHostLane;
+  v.op = "syrk";
+  v.iteration = 3;
+  v.pass = false;
+  events.push_back(v);
+  std::ostringstream os;
+  write_chrome_trace(m, events, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"cat\":\"verification\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(s.find("\"pass\":false"), std::string::npos);
+  EXPECT_NE(s.find("\"op\":\"syrk\""), std::string::npos);
+  // Machine spans still present alongside the instants.
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, ObsKernelEventsAreNotDuplicated) {
+  // Kernel/Copy obs events mirror the machine's own trace records; the
+  // merger must render spans from the trace only.
+  auto m = traced_machine();
+  std::vector<obs::Event> events;
+  obs::Event k;
+  k.kind = obs::EventKind::Kernel;
+  k.name = "work";
+  k.time = 0.0;
+  k.end = 1e-3;
+  events.push_back(k);
+  std::ostringstream os;
+  write_chrome_trace(m, events, os);
+  const std::string s = os.str();
+  std::size_t hits = 0;
+  for (auto p = s.find("\"name\":\"work\""); p != std::string::npos;
+       p = s.find("\"name\":\"work\"", p + 1)) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(ChromeTrace, FlowNeedsInjectionAndDetection) {
+  auto m = traced_machine();
+  std::vector<obs::Event> events;
+  obs::Event inj;
+  inj.kind = obs::EventKind::FaultInjected;
+  inj.time = 1e-6;
+  inj.lane = kHostLane;
+  inj.correlation = 0;
+  events.push_back(inj);
+  // Injection alone: no flow arrows.
+  {
+    std::ostringstream os;
+    write_chrome_trace(m, events, os);
+    EXPECT_EQ(os.str().find("\"ph\":\"s\""), std::string::npos);
+  }
+  obs::Event det;
+  det.kind = obs::EventKind::Detection;
+  det.time = 2e-6;
+  det.lane = kHostLane;
+  det.correlation = 0;
+  events.push_back(det);
+  {
+    std::ostringstream os;
+    write_chrome_trace(m, events, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"f\""), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ftla::sim

@@ -15,12 +15,16 @@
 //     --faults N                          random faults to inject (numeric)
 //     --fault-seed S                      fault plan seed
 //     --seed S                            matrix seed
-//     --trace FILE.json                   write a Chrome trace
+//     --trace-out FILE.json               write a fault-annotated Chrome
+//                                         trace (--trace is an alias)
+//     --metrics-out FILE.json             write the metrics report
+//                                         (schema docs/observability.md)
 //     --summary                           print per-lane trace summary
 //
 // Examples:
 //   ftla_cli --machine bulldozer64 --n 30720 --mode timing --variant enhanced --k 5
-//   ftla_cli --n 1024 --faults 3 --variant online --trace run.json
+//   ftla_cli --n 1024 --faults 3 --variant online --trace-out run.json
+//   ftla_cli --n 1024 --faults 2 --trace-out run.json --metrics-out m.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +41,9 @@
 #include "blas/qr.hpp"
 #include "common/spd.hpp"
 #include "fault/fault.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/profile.hpp"
 #include "sim/trace_export.hpp"
 
@@ -52,7 +59,16 @@ using namespace ftla;
                "dmr|tmr]\n"
                "  [--k K] [--placement auto|cpu|gpu|blocking] [--no-opt1]\n"
                "  [--mode numeric|timing] [--faults N] [--fault-seed S]\n"
-               "  [--seed S] [--trace FILE.json] [--summary]\n");
+               "  [--seed S] [--trace-out FILE.json] [--metrics-out "
+               "FILE.json]\n"
+               "  [--summary]\n"
+               "\n"
+               "  --trace-out FILE    Chrome trace with fault annotations\n"
+               "                      (instant events + injection->detection\n"
+               "                      flow arrows); --trace is an alias\n"
+               "  --metrics-out FILE  metrics report JSON (counters, gauges,\n"
+               "                      detection-latency histogram); schema in\n"
+               "                      docs/observability.md\n");
   std::exit(2);
 }
 
@@ -72,6 +88,7 @@ struct Args {
   std::uint64_t fault_seed = 1;
   std::uint64_t seed = 42;
   std::string trace_path;
+  std::string metrics_path;
   bool summary = false;
 };
 
@@ -97,7 +114,8 @@ Args parse(int argc, char** argv) {
     else if (opt == "--faults") a.faults = std::atoi(need(i));
     else if (opt == "--fault-seed") a.fault_seed = std::strtoull(need(i), nullptr, 10);
     else if (opt == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
-    else if (opt == "--trace") a.trace_path = need(i);
+    else if (opt == "--trace" || opt == "--trace-out") a.trace_path = need(i);
+    else if (opt == "--metrics-out") a.metrics_path = need(i);
     else if (opt == "--summary") a.summary = true;
     else if (opt == "--help" || opt == "-h") usage();
     else usage(("unknown option " + opt).c_str());
@@ -127,6 +145,13 @@ int main(int argc, char** argv) {
   const bool want_trace = !args.trace_path.empty() || args.summary;
   machine.set_trace_enabled(want_trace);
 
+  // Telemetry capture: one event sink + metrics registry shared by the
+  // simulator, the fault injector and the ABFT driver.
+  const bool want_obs = !args.trace_path.empty() || !args.metrics_path.empty();
+  obs::RingBufferSink sink;
+  obs::MetricsRegistry metrics;
+  if (want_obs) machine.set_event_sink(&sink);
+
   Matrix<double> a;
   Matrix<double> a0;
   if (numeric) {
@@ -151,6 +176,10 @@ int main(int argc, char** argv) {
   else if (args.placement == "blocking")
     opt.placement = abft::UpdatePlacement::Blocking;
   else usage("unknown --placement");
+  if (want_obs) {
+    opt.event_sink = &sink;
+    opt.metrics = &metrics;
+  }
 
   const int block = abft::resolve_block_size(profile, opt);
   const int nb = (args.n + block - 1) / block;
@@ -180,6 +209,10 @@ int main(int argc, char** argv) {
     qopt.block_size = args.block;
     qopt.verify_interval = args.k;
     qopt.concurrent_recalc = args.opt1;
+    if (want_obs) {
+      qopt.event_sink = &sink;
+      qopt.metrics = &metrics;
+    }
     res = abft::qr(machine, ap, numeric ? &tau : nullptr, args.n, qopt, inj);
   } else if (args.algo == "lu") {
     if (args.variant != "enhanced" && args.variant != "noft") {
@@ -191,6 +224,10 @@ int main(int argc, char** argv) {
     lopt.block_size = args.block;
     lopt.verify_interval = args.k;
     lopt.concurrent_recalc = args.opt1;
+    if (want_obs) {
+      lopt.event_sink = &sink;
+      lopt.metrics = &metrics;
+    }
     res = abft::lu(machine, ap, args.n, lopt, inj);
   } else if (args.algo != "cholesky") {
     usage("unknown --algo");
@@ -256,11 +293,58 @@ int main(int argc, char** argv) {
   }
   if (args.summary) sim::print_trace_summary(machine, std::cout);
   if (!args.trace_path.empty()) {
-    if (sim::write_chrome_trace_file(machine, args.trace_path)) {
-      std::printf("chrome trace      : %s (open in chrome://tracing)\n",
+    if (sim::write_chrome_trace_file(machine, sink.events(),
+                                     args.trace_path)) {
+      std::printf("chrome trace      : %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
                   args.trace_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!args.metrics_path.empty()) {
+    obs::MetricsReport report;
+    report.add_meta("machine", profile.name);
+    report.add_meta("mode", numeric ? "numeric" : "timing");
+    report.add_meta("algo", args.algo);
+    report.add_meta("variant", args.variant);
+    report.add_meta("n", std::to_string(args.n));
+    report.add_meta("block", std::to_string(block));
+    report.add_meta("k", std::to_string(args.k));
+    report.add_meta("placement", to_string(res.chosen_placement));
+    report.metrics = metrics;
+    // Run-level result counters and gauges alongside the driver's
+    // telemetry so one file answers "what happened".
+    auto& m = report.metrics;
+    m.set_gauge("run.seconds", res.seconds);
+    m.set_gauge("run.gflops", res.gflops);
+    m.counter("run.errors_detected") = res.errors_detected;
+    m.counter("run.errors_corrected") = res.errors_corrected;
+    m.counter("run.checksum_repairs") = res.checksum_repairs;
+    m.counter("run.reruns") = res.reruns;
+    m.counter("run.rollbacks") = res.rollbacks;
+    m.counter("run.verified.potf2_blocks") = res.verified.potf2_blocks;
+    m.counter("run.verified.trsm_blocks") = res.verified.trsm_blocks;
+    m.counter("run.verified.syrk_blocks") = res.verified.syrk_blocks;
+    m.counter("run.verified.gemm_blocks") = res.verified.gemm_blocks;
+    if (inj != nullptr) {
+      m.counter("faults.fired") = injector.fired_count();
+      m.counter("faults.detected") = injector.detected_count();
+      m.counter("faults.ecc_absorbed") = injector.ecc_absorbed_count();
+      m.counter("faults.pending") = injector.pending_count();
+    }
+    m.set_gauge("sim.makespan_s", machine.makespan());
+    m.counter("sim.trace_records") =
+        static_cast<long long>(machine.trace().size());
+    m.counter("sim.trace_dropped") =
+        static_cast<long long>(machine.trace_dropped());
+    m.counter("obs.events_posted") = sink.posted();
+    m.counter("obs.events_dropped") = static_cast<long long>(sink.dropped());
+    if (obs::write_metrics_json_file(report, args.metrics_path)) {
+      std::printf("metrics report    : %s\n", args.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
       return 1;
     }
   }
