@@ -2,8 +2,9 @@
 // simulated heterogeneous node while a storage error strikes mid-run,
 // and watch the scheme detect and repair it in place.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [n]
 #include <cstdio>
+#include <cstdlib>
 
 #include "abft/cholesky.hpp"
 #include "blas/lapack.hpp"
@@ -11,11 +12,12 @@
 #include "fault/fault.hpp"
 #include "sim/profile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftla;
 
-  // 1. A 2048 x 2048 SPD problem.
-  const int n = 2048;
+  // 1. A 2048 x 2048 SPD problem (override with argv[1], e.g. for the
+  //    ctest smoke run).
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
   Matrix<double> a(n, n);
   make_spd_diag_dominant(a, /*seed=*/42);
   const Matrix<double> a_original = a;

@@ -52,14 +52,19 @@ VerifyOutcome verify_block(MatrixView<double> a, MatrixView<double> chk,
   for (int c = 0; c < cols; ++c) {
     const double d1 = recalc(0, c) - chk(0, c);
     const double d2 = recalc(1, c) - chk(1, c);
-    // One threshold per column, from the largest magnitude involved, so
-    // a row-1 data error (d1 == d2) is never misread as checksum damage.
-    const double scale =
-        std::max({std::abs(chk(0, c)), std::abs(recalc(0, c)),
-                  std::abs(chk(1, c)), std::abs(recalc(1, c))});
-    const double t = tol.threshold(scale);
-    const bool e1 = std::abs(d1) > t;
-    const bool e2 = std::abs(d2) > t;
+    // Per-row thresholds: judging both rows against one shared scale
+    // lets a huge corrupted checksum inflate the threshold until the
+    // other row's deviation reads as "clean" — a coincident data error
+    // then classifies as checksum damage and the repair re-encodes the
+    // checksum from the corrupted data (unbounded laundering). With
+    // per-row scales the worst a threshold-band straddle can launder is
+    // an error below that row's own detection floor.
+    const double t1 = tol.threshold(
+        std::max(std::abs(chk(0, c)), std::abs(recalc(0, c))));
+    const double t2w = tol.threshold(
+        std::max(std::abs(chk(1, c)), std::abs(recalc(1, c))));
+    const bool e1 = std::abs(d1) > t1;
+    const bool e2 = std::abs(d2) > t2w;
     if (!e1 && !e2) continue;
 
     if (e1 && e2) {
@@ -69,11 +74,48 @@ VerifyOutcome verify_block(MatrixView<double> a, MatrixView<double> chk,
       if (row1 >= 1 && row1 <= rows &&
           std::abs(r - row1) <= 0.01 * std::max(1.0, std::abs(r))) {
         ++out.errors_detected;
-        ++out.errors_corrected;
         const double old_value = a(row1 - 1, c);
-        a(row1 - 1, c) = old_value - d1;
-        out.corrections.push_back(
-            Correction{row1 - 1, c, old_value, a(row1 - 1, c)});
+        double corrected = old_value - d1;
+        // Size the syndrome against the *clean* scale (the stored
+        // checksums) — the detection threshold t is inflated by the
+        // corrupted recalc. Syndrome subtraction is only exact to
+        // |d1|*eps; for exponent-scale corruption that rounding
+        // residue alone is a visible error, so re-solve the checksum
+        // equation from the clean neighbors in that regime.
+        const double t_clean = tol.threshold(
+            std::max(std::abs(chk(0, c)), std::abs(chk(1, c))));
+        if (std::abs(d1) * 1e-13 > t_clean) {
+          double rest = 0.0;
+          for (int i = 0; i < rows; ++i) {
+            if (i != row1 - 1) rest += a(i, c);
+          }
+          corrected = chk(0, c) - rest;
+        }
+        a(row1 - 1, c) = corrected;
+        // Re-encode and recheck: a correlated double error can alias
+        // to a valid single-error syndrome, and the miscorrection
+        // leaves a sum-consistent error pair that the next
+        // verification would misread as checksum damage and "repair"
+        // — silent corruption. Escalate here instead. Post-correction
+        // scale, so a huge pre-correction value cannot blunt the
+        // recheck; 2x tolerates drift plus correction rounding.
+        double s1 = 0.0;
+        double s2 = 0.0;
+        for (int i = 0; i < rows; ++i) {
+          s1 += a(i, c);
+          s2 += (i + 1.0) * a(i, c);
+        }
+        const double t2 = tol.threshold(
+            std::max({std::abs(chk(0, c)), std::abs(chk(1, c)),
+                      std::abs(s1), std::abs(s2)}));
+        if (std::abs(s1 - chk(0, c)) > 2.0 * t2 ||
+            std::abs(s2 - chk(1, c)) > 2.0 * t2) {
+          out.uncorrectable = true;
+        } else {
+          ++out.errors_corrected;
+          out.corrections.push_back(
+              Correction{row1 - 1, c, old_value, corrected});
+        }
       } else {
         ++out.errors_detected;
         out.uncorrectable = true;
@@ -125,12 +167,14 @@ VerifyOutcome verify_block_rows(MatrixView<double> a, MatrixView<double> chk,
   for (int r = 0; r < rows; ++r) {
     const double d1 = recalc(r, 0) - chk(r, 0);
     const double d2 = recalc(r, 1) - chk(r, 1);
-    const double scale =
-        std::max({std::abs(chk(r, 0)), std::abs(recalc(r, 0)),
-                  std::abs(chk(r, 1)), std::abs(recalc(r, 1))});
-    const double t = tol.threshold(scale);
-    const bool e1 = std::abs(d1) > t;
-    const bool e2 = std::abs(d2) > t;
+    // Per-column thresholds; see verify_block for why a shared scale
+    // would let a corrupted checksum mask a coincident data error.
+    const double t1 = tol.threshold(
+        std::max(std::abs(chk(r, 0)), std::abs(recalc(r, 0))));
+    const double t2w = tol.threshold(
+        std::max(std::abs(chk(r, 1)), std::abs(recalc(r, 1))));
+    const bool e1 = std::abs(d1) > t1;
+    const bool e2 = std::abs(d2) > t2w;
     if (!e1 && !e2) continue;
 
     if (e1 && e2) {
@@ -139,11 +183,41 @@ VerifyOutcome verify_block_rows(MatrixView<double> a, MatrixView<double> chk,
       if (col1 >= 1 && col1 <= cols &&
           std::abs(q - col1) <= 0.01 * std::max(1.0, std::abs(q))) {
         ++out.errors_detected;
-        ++out.errors_corrected;
         const double old_value = a(r, col1 - 1);
-        a(r, col1 - 1) = old_value - d1;
-        out.corrections.push_back(
-            Correction{r, col1 - 1, old_value, a(r, col1 - 1)});
+        double corrected = old_value - d1;
+        // See verify_block: exponent-scale syndromes (sized against
+        // the clean stored-checksum scale) must be corrected via the
+        // checksum equation, not subtraction.
+        const double t_clean = tol.threshold(
+            std::max(std::abs(chk(r, 0)), std::abs(chk(r, 1))));
+        if (std::abs(d1) * 1e-13 > t_clean) {
+          double rest = 0.0;
+          for (int cc = 0; cc < cols; ++cc) {
+            if (cc != col1 - 1) rest += a(r, cc);
+          }
+          corrected = chk(r, 0) - rest;
+        }
+        a(r, col1 - 1) = corrected;
+        // See verify_block: recheck at the post-correction scale so an
+        // aliased double error escalates instead of laundering into a
+        // checksum repair.
+        double s1 = 0.0;
+        double s2 = 0.0;
+        for (int cc = 0; cc < cols; ++cc) {
+          s1 += a(r, cc);
+          s2 += (cc + 1.0) * a(r, cc);
+        }
+        const double t2 = tol.threshold(
+            std::max({std::abs(chk(r, 0)), std::abs(chk(r, 1)),
+                      std::abs(s1), std::abs(s2)}));
+        if (std::abs(s1 - chk(r, 0)) > 2.0 * t2 ||
+            std::abs(s2 - chk(r, 1)) > 2.0 * t2) {
+          out.uncorrectable = true;
+        } else {
+          ++out.errors_corrected;
+          out.corrections.push_back(
+              Correction{r, col1 - 1, old_value, corrected});
+        }
       } else {
         ++out.errors_detected;
         out.uncorrectable = true;

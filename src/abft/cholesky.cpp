@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -163,6 +165,7 @@ class Run {
   // ---- fault hooks ------------------------------------------------------
   void hook_storage(fault::Op op, int j);
   void hook_computing(fault::Op op, int j);
+  void poll_window_faults(fault::Op op, int j);
   void apply_storage_fault(const fault::FaultSpec& spec, int j);
   void apply_computing_fault(const fault::FaultSpec& spec, int j);
 
@@ -348,6 +351,11 @@ void Run::encode() {
 void Run::run_once() {
   panel_iter_[0] = panel_iter_[1] = -1;  // panels are stale after a rerun
   encode();
+  // Stochastic transfer faults cover the H2D copies between encode and
+  // the final download (a corrupted *initial* upload is indistinguishable
+  // from a different input — no ABFT can detect it). D2H staging copies
+  // are armed individually where an arrival check exists (transfer_guard).
+  sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
   if (checkpointing_) take_checkpoint(0);
   int rollbacks_left = opt_.max_rollbacks;
   int j = 0;
@@ -373,11 +381,32 @@ void Run::run_once() {
       take_checkpoint(j);
     }
   }
-  if (opt_.variant == Variant::Offline) offline_final_verify();
+  if (opt_.variant == Variant::Offline) {
+    offline_final_verify();
+  } else if (ft_ && opt_.transfer_guard) {
+    // Transfer-fault hardening: pre-use verification cannot see a
+    // strike on a retired output block (nothing reads it again), so
+    // the guard closes the output-at-rest window with one end sweep.
+    // Unlike the offline sweep, timely in-loop detection guarantees a
+    // sweep-detected error never propagated — anything it finds struck
+    // after the block's last verification and was never read since —
+    // so in-place correction is safe; uncorrectable damage escalates.
+    cur_iter_ = -1;
+    std::vector<BlockId> all;
+    for (int k = 0; k < nb_; ++k)
+      for (int i = k; i < nb_; ++i) all.emplace_back(i, k);
+    verify_blocks(all, fault::Op::Gemm);
+  }
   m_.sync_all();
 }
 
 void Run::take_checkpoint(int next_iter) {
+  // The checkpoint window is itself exposed: a storage strike arriving
+  // now lands *before* the snapshot, so the snapshot preserves the
+  // corruption and rollback alone cannot clear it (data strikes stay
+  // correctable — the checksum snapshot is taken from the untouched
+  // checksum state — while harder cases escalate up the ladder).
+  poll_window_faults(fault::Op::Syrk, next_iter);
   // Snapshot a consistent (matrix, checksum) pair: all checksum-stream
   // work must land first.
   m_.stream_wait_event(s_compute_, m_.record_event(chk_stream()));
@@ -416,6 +445,10 @@ void Run::rollback() {
   m_.sync_stream(s_compute_);
   panel_iter_[0] = panel_iter_[1] = -1;  // host panel cache is stale
   tel_.rollback(ckpt_iter_);
+  // Recovery is not a safe harbor: storage faults arriving during the
+  // restore strike the just-restored state and must be caught by the
+  // verifications of the resumed iterations.
+  poll_window_faults(fault::Op::Syrk, ckpt_iter_);
 }
 
 void Run::final_download() {
@@ -658,6 +691,13 @@ void Run::hook_computing(fault::Op op, int j) {
   }
 }
 
+void Run::poll_window_faults(fault::Op op, int j) {
+  if (injector_ == nullptr || !m_.numeric()) return;
+  for (const auto& spec : injector_->poll_window(op, j)) {
+    apply_storage_fault(spec, j);
+  }
+}
+
 namespace {
 // Default block targets when a spec leaves them unspecified. Computing
 // errors corrupt an *output* block of the operation; storage errors
@@ -778,15 +818,22 @@ void Run::iterate(int j) {
 
   // ---------------- diagonal block to the host -----------------------
   hook_storage(fault::Op::Potf2, j);
-  m_.memcpy_d2h_2d(m_.numeric() ? h_diag_.data() : nullptr, b_, d_a_,
-                   static_cast<std::int64_t>(off(j)) * n_ + off(j), n_, jb,
-                   jb, s_compute_);
   const bool chk_on_host = placement_ == UpdatePlacement::Cpu;
-  if (ft_ && !chk_on_host) {
-    m_.memcpy_d2h_2d(m_.numeric() ? h_diag_chk_.data() : nullptr,
-                     kChecksumRows, d_chk_,
-                     static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
-                     2 * nb_, kChecksumRows, jb, s_compute_);
+  {
+    // The D2H staging copies are fault-armed only when the arrival check
+    // below exists to catch them (otherwise a mid-copy strike would be
+    // factored into L and laundered into consistent checksums).
+    sim::TransferArmGuard diag_arm(m_, m_.h2d_faults_armed(),
+                                   ft_ && opt_.transfer_guard);
+    m_.memcpy_d2h_2d(m_.numeric() ? h_diag_.data() : nullptr, b_, d_a_,
+                     static_cast<std::int64_t>(off(j)) * n_ + off(j), n_, jb,
+                     jb, s_compute_);
+    if (ft_ && !chk_on_host) {
+      m_.memcpy_d2h_2d(m_.numeric() ? h_diag_chk_.data() : nullptr,
+                       kChecksumRows, d_chk_,
+                       static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                       2 * nb_, kChecksumRows, jb, s_compute_);
+    }
   }
   const EventId e_diag = m_.record_event(s_compute_);
 
@@ -823,6 +870,39 @@ void Run::iterate(int j) {
 
   // ---------------- POTF2 on the host (overlapped with GEMM) ---------
   m_.sync_event(e_diag);
+  if (ft_ && opt_.transfer_guard) {
+    // Arrival verification: the diagonal block (and, for device-resident
+    // checksums, its checksum rows) just crossed PCIe. A mid-copy strike
+    // is invisible to every device-side verification — POTF2 would
+    // factor the corrupted block and derive *consistent* checksums from
+    // it, i.e. silent corruption. Check the landed data before use; the
+    // device copy is overwritten by the factor's return trip either way.
+    result_.verified.potf2_blocks += 1;
+    tel_.verify_scheduled(fault::Op::Potf2, 1);
+    const Tolerance tol = opt_.tolerance;
+    KernelDesc vd{"verify_arrival", KernelClass::HostChecksum,
+                  blas::gemv_flops(jb, jb) * 2, 0};
+    m_.host_compute(vd, [this, j, jb, chk_on_host, tol] {
+      auto chk = chk_on_host
+                     ? h_chk_block(j, j)
+                     : h_diag_chk_.block(0, 0, kChecksumRows, jb);
+      const VerifyOutcome out =
+          verify_block_host(h_diag_.block(0, 0, jb, jb), chk, tol);
+      if (std::getenv("FTLA_CAMPAIGN_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "arrival-verify j=%d det=%lld corr=%lld rep=%lld "
+                     "unc=%d\n",
+                     j, static_cast<long long>(out.errors_detected),
+                     static_cast<long long>(out.errors_corrected),
+                     static_cast<long long>(out.checksum_repairs),
+                     out.uncorrectable ? 1 : 0);
+      }
+      tel_.block_verified(out, fault::Op::Potf2, j, j, j,
+                          blas::gemv_flops(jb, jb) * 2, off(j), jb, off(j),
+                          jb, 2 * j);
+      absorb(out);
+    });
+  }
   {
     KernelDesc d{"potf2", KernelClass::HostPotf2, blas::potf2_flops(jb), 0};
     m_.host_compute(d, [this, jb] {
@@ -902,6 +982,11 @@ void Run::iterate(int j) {
       for (int i = j + 1; i < nb_; ++i) outs.emplace_back(i, j);
       verify_blocks(outs, fault::Op::Trsm);
     }
+  } else if (ft_ && opt_.transfer_guard) {
+    // Last block column: no TRSM re-reads the factor block, so its
+    // return H2D copy is the one transfer nothing downstream would
+    // verify. One device-side check closes the window.
+    verify_blocks({{j, j}}, fault::Op::Trsm);
   }
 
   // Row panel j+1 is final now; start moving it to the host so the next

@@ -83,6 +83,16 @@ struct CholeskyOptions {
   /// Rollback budget before escalating to a full rerun.
   int max_rollbacks = 8;
 
+  /// Transfer-fault hardening (fault campaigns; off by default so the
+  /// verification counts of the paper's Table I are unchanged). Adds
+  /// two verifications per run path that close the PCIe windows the
+  /// in-loop scheme cannot see: an arrival check of the diagonal block
+  /// (and its checksum rows) on the host after the D2H staging copy and
+  /// before POTF2 consumes it, and — on the last block column, where no
+  /// TRSM re-reads the factor block — one device-side verification
+  /// after the factor's return H2D copy.
+  bool transfer_guard = false;
+
   /// Observability hooks (optional, not owned). When set, the driver
   /// emits structured telemetry events (verifications, detections,
   /// corrections, placement decisions, recovery) and mirrors the

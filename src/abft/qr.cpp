@@ -212,6 +212,13 @@ void QrRun::encode() {
 
 void QrRun::run_once() {
   encode();
+  // Stochastic transfer faults cover the armed H2D copies (factored
+  // panel, row checksums): V is always verified before LARFB consumes
+  // it and checksum strikes surface as repairs, so nothing lands
+  // silently. The T factor's copy stays excluded — T carries no
+  // checksums, and a corrupted T would update data and checksum strips
+  // identically, i.e. invisibly (the documented exposure above).
+  sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
   for (int j = 0; j < nb_; ++j) iterate(j);
   if (ft_) final_sweep();
   m_.sync_all();
@@ -362,8 +369,13 @@ void QrRun::iterate(int j) {
   m_.memcpy_h2d_2d(d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
                    m_.numeric() ? h_panel_.data() : nullptr, n_, mrem, jb,
                    s_compute_);
-  m_.memcpy_h2d(d_t_, 0, m_.numeric() ? h_t_.data() : nullptr,
-                static_cast<std::int64_t>(jb) * jb, s_compute_);
+  {
+    // T is unprotected by checksums (see the class comment's exposure
+    // note): keep its copy out of the stochastic fault surface.
+    sim::TransferArmGuard t_arm(m_, /*h2d=*/false, /*d2h=*/false);
+    m_.memcpy_h2d(d_t_, 0, m_.numeric() ? h_t_.data() : nullptr,
+                  static_cast<std::int64_t>(jb) * jb, s_compute_);
+  }
   if (ft_) {
     m_.memcpy_h2d_2d(d_rchk_, static_cast<std::int64_t>(2 * j) * n_ + off(j),
                      n_, m_.numeric() ? &h_panel_chk_(off(j), 0) : nullptr,

@@ -1,0 +1,183 @@
+// Stochastic fault-campaign engine with an independent SDC oracle.
+//
+// A *scenario* is one factorization run under fault: an algorithm
+// (Cholesky / LU / QR), a scheme variant, a recovery policy, a matrix,
+// and a fault load — either a stochastic Poisson process (process.hpp)
+// or an explicit planned FaultSpec list (deterministic replay). The
+// engine runs scenarios end to end and classifies each with an oracle
+// that does NOT trust the scheme's own claims: it reconstructs the
+// factorization product against the pristine input (cholesky_residual /
+// lu_residual / qr_residual) and calls anything that passed with a bad
+// residual `sdc` — silent data corruption, the failure mode the paper's
+// Enhanced Online-ABFT exists to eliminate.
+//
+// Verdicts (exactly one per scenario):
+//   corrected   — finished, clean residual, no recovery escalation
+//                 (in-place correction or no effective fault)
+//   rolled_back — finished clean but used >= 1 checkpoint rollback
+//   rerun       — finished clean but needed >= 1 full restart
+//   fail_stop   — did not produce a result (the honest failure mode)
+//   sdc         — produced a WRONG result claimed as success
+//
+// On an unexpected verdict (sdc for the guarded variant, or fail_stop
+// with zero faults fired) the campaign shrinks the scenario: the
+// stochastic run's injection records give a deterministic planned twin,
+// which is then greedily minimized (drop faults, reduce bit widths,
+// canonicalize elements) while it still reproduces the verdict. The
+// result is a replayable plan, printable with format_scenario and
+// loadable with parse_scenario.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abft/options.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+
+namespace ftla::fault {
+
+// Exit-code contract shared by fault_campaign_cli and ftla_cli so shell
+// scripts can tell the honest failure mode from the dangerous one.
+inline constexpr int kExitSuccess = 0;   ///< clean (or expected) outcome
+inline constexpr int kExitIoError = 1;   ///< could not read/write a file
+inline constexpr int kExitUsage = 2;     ///< bad command line
+inline constexpr int kExitFailStop = 3;  ///< run ended in fail-stop
+inline constexpr int kExitSdc = 4;       ///< silent data corruption
+
+enum class Algo { Cholesky, Lu, Qr };
+enum class Verdict { Corrected, RolledBack, Rerun, FailStop, Sdc };
+inline constexpr int kVerdictCount = 5;
+
+[[nodiscard]] const char* to_string(Algo a);
+[[nodiscard]] const char* to_string(Verdict v);
+
+/// One fault-campaign run, fully self-describing and replayable.
+struct Scenario {
+  Algo algo = Algo::Cholesky;
+  abft::Variant variant = abft::Variant::EnhancedOnline;
+  abft::Recovery recovery = abft::Recovery::Rerun;
+  abft::UpdatePlacement placement = abft::UpdatePlacement::Gpu;
+  int n = 64;
+  int block = 16;
+  int verify_interval = 1;
+  int checkpoint_interval = 4;
+  std::uint64_t matrix_seed = 1;
+  bool transfer_guard = false;
+  bool ecc = false;
+  /// Stochastic load: mean time between faults in virtual seconds;
+  /// <= 0 disables the arrival process (planned-only scenario).
+  double mtbf_s = 0.0;
+  std::uint64_t fault_seed = 1;
+  int max_arrivals = 8;
+  /// Planned faults (replay / shrinking); may be combined with mtbf_s.
+  std::vector<FaultSpec> plan;
+
+  [[nodiscard]] int nblocks() const { return (n + block - 1) / block; }
+};
+
+struct ScenarioResult {
+  Verdict verdict = Verdict::FailStop;
+  bool success = false;
+  /// The oracle's residual; NaN/Inf count as corrupt.
+  double residual = 0.0;
+  int faults_fired = 0;
+  int faults_detected = 0;
+  int ecc_absorbed = 0;
+  int transfer_faults = 0;
+  long long errors_corrected = 0;
+  int rollbacks = 0;
+  int reruns = 0;
+  /// Concrete specs of every fired fault, in firing order: running them
+  /// as `plan` (with the process disabled) is the scenario's
+  /// deterministic twin, the starting point for shrinking.
+  std::vector<FaultSpec> fired_plan;
+  /// Full injection records (inject/detect timestamps) for the same
+  /// faults, for per-fault triage of a replayed scenario.
+  std::vector<InjectionRecord> records;
+  std::string note;
+};
+
+/// Runs one scenario end to end and classifies it with the oracle.
+ScenarioResult run_scenario(const Scenario& sc);
+
+struct CampaignOptions {
+  int scenarios = 200;
+  std::uint64_t seed = 1;
+  /// Matrix sizes are block multiples drawn from [min_blocks, max_blocks].
+  int min_blocks = 3;
+  int max_blocks = 7;
+  int block = 16;
+  /// Share of scenarios exercising the LU/QR extensions (their fault
+  /// surface is smaller: NoFt/EnhancedOnline, rerun recovery only).
+  double lu_qr_share = 0.25;
+  /// The variant carrying the zero-SDC invariant: any sdc verdict for
+  /// it is a campaign failure (and gets shrunk).
+  abft::Variant guarded = abft::Variant::EnhancedOnline;
+  bool shrink_failures = true;
+  int max_shrink_runs = 64;
+};
+
+/// Draws a randomized scenario (algorithm, variant, recovery, size,
+/// fault load) from the campaign distribution.
+Scenario random_scenario(Rng& rng, const CampaignOptions& opt);
+
+struct CampaignFailure {
+  Scenario scenario;        ///< deterministic twin of the failing run
+  ScenarioResult result;    ///< the unexpected outcome
+  Scenario shrunk;          ///< minimal reproducer (== scenario if the
+                            ///< twin did not reproduce or shrinking off)
+  bool reproduced = false;  ///< twin reproduced the verdict
+  int shrink_runs = 0;
+};
+
+struct CampaignSummary {
+  int scenarios_run = 0;
+  long long faults_fired = 0;
+  long long faults_detected = 0;
+  long long ecc_absorbed = 0;
+  long long transfer_faults = 0;
+  /// Verdict histogram keyed "algo/variant", indexed by Verdict.
+  std::map<std::string, std::array<long long, kVerdictCount>> verdicts;
+  long long guarded_sdc = 0;           ///< sdc count for the guarded variant
+  long long unexpected_fail_stop = 0;  ///< fail-stop with zero faults fired
+  std::vector<CampaignFailure> failures;
+
+  [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
+};
+
+/// Runs the campaign. When `metrics` is given, verdict counters and
+/// totals are exported under "campaign.*" (see docs/fault-model.md for
+/// the report schema). `progress`, when non-null, receives one status
+/// line every `progress_every` scenarios.
+CampaignSummary run_campaign(const CampaignOptions& opt,
+                             obs::MetricsRegistry* metrics = nullptr,
+                             std::ostream* progress = nullptr,
+                             int progress_every = 100);
+
+struct ShrinkOutcome {
+  Scenario scenario;  ///< the minimal scenario found
+  int runs = 0;       ///< scenario executions spent shrinking
+};
+
+/// Greedy ddmin-style minimizer: drops planned faults one at a time,
+/// then narrows each survivor (single bit, canonical element, default
+/// magnitude), keeping a candidate only when run_scenario still returns
+/// `target`. `seed_scenario` must be a planned (deterministic) scenario
+/// that already reproduces `target`.
+ShrinkOutcome shrink_scenario(const Scenario& seed_scenario, Verdict target,
+                              int max_runs = 64);
+
+/// Human-readable AND machine-parsable scenario serialization: one
+/// `scenario ...` header line plus one `fault ...` line per planned
+/// fault. Round-trips through parse_scenario.
+std::string format_scenario(const Scenario& sc);
+bool parse_scenario(const std::string& text, Scenario* out,
+                    std::string* error);
+
+}  // namespace ftla::fault

@@ -1,14 +1,21 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <set>
 #include <tuple>
 
 #include "common/error.hpp"
+#include "fault/process.hpp"
 
 namespace ftla::fault {
 
 const char* to_string(FaultType t) {
-  return t == FaultType::Computing ? "computing" : "storage";
+  switch (t) {
+    case FaultType::Computing: return "computing";
+    case FaultType::Storage: return "storage";
+    case FaultType::Transfer: return "transfer";
+  }
+  return "?";
 }
 
 const char* to_string(Op op) {
@@ -39,6 +46,65 @@ std::vector<FaultSpec> Injector::take(FaultType type, Op op, int iteration) {
       it = plan_.erase(it);
     } else {
       ++it;
+    }
+  }
+  if (process_ != nullptr && clock_ &&
+      (type == FaultType::Storage || type == FaultType::Computing)) {
+    const int due = process_->drain(type, clock_());
+    for (int i = 0; i < due; ++i) {
+      for (FaultSpec s : process_->synthesize(type, op, iteration)) {
+        if (type == FaultType::Storage && ecc_.corrects(s.bits)) {
+          ++ecc_absorbed_;
+        } else {
+          fired.push_back(s);
+        }
+      }
+    }
+  }
+  return fired;
+}
+
+std::vector<FaultSpec> Injector::take_transfer(std::int64_t seq, double now,
+                                               bool process_eligible) {
+  std::vector<FaultSpec> fired;
+  auto it = plan_.begin();
+  while (it != plan_.end()) {
+    if (it->type == FaultType::Transfer && it->transfer_index == seq) {
+      fired.push_back(*it);
+      it = plan_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (process_eligible && process_ != nullptr) {
+    const int due = process_->drain(FaultType::Transfer, now);
+    for (int i = 0; i < due; ++i) {
+      FaultSpec s;
+      s.type = FaultType::Transfer;
+      s.transfer_index = seq;
+      // Element and bits are chosen by the caller, which knows the
+      // shape of the in-flight copy.
+      s.elem_row = -1;
+      s.elem_col = -1;
+      s.bits.clear();
+      fired.push_back(s);
+    }
+  }
+  return fired;
+}
+
+std::vector<FaultSpec> Injector::poll_window(Op op, int iteration) {
+  std::vector<FaultSpec> fired;
+  if (process_ == nullptr || !clock_) return fired;
+  const int due = process_->drain(FaultType::Storage, clock_());
+  for (int i = 0; i < due; ++i) {
+    for (FaultSpec s : process_->synthesize(FaultType::Storage, op,
+                                            iteration)) {
+      if (ecc_.corrects(s.bits)) {
+        ++ecc_absorbed_;
+      } else {
+        fired.push_back(s);
+      }
     }
   }
   return fired;
@@ -125,7 +191,15 @@ std::vector<FaultSpec> random_plan(int count, int nblocks,
   Rng rng(seed);
   std::vector<FaultSpec> plan;
   plan.reserve(count);
-  for (int i = 0; i < count; ++i) {
+  // At most one fault per (iteration, op, type, block) hook so that
+  // per-column correctability (one error per block column) holds.
+  // Collisions are resampled rather than dropped, so the plan really
+  // contains `count` faults; a bounded attempt budget covers the case
+  // where the hook grid is smaller than the request.
+  std::set<std::tuple<int, int, int, int, int>> used;
+  const int max_attempts = 64 * std::max(count, 1);
+  int attempts = 0;
+  while (static_cast<int>(plan.size()) < count && attempts++ < max_attempts) {
     const bool computing =
         only_type ? *only_type == FaultType::Computing
                   : rng.next_double() < 0.5;
@@ -135,23 +209,16 @@ std::vector<FaultSpec> random_plan(int count, int nblocks,
     } else {
       s = storage_error_at(rng.uniform_int(1, nblocks - 1), nblocks, rng);
     }
-    plan.push_back(s);
+    const auto key = std::make_tuple(s.iteration, static_cast<int>(s.op),
+                                     static_cast<int>(s.type), s.block_row,
+                                     s.block_col);
+    if (used.insert(key).second) plan.push_back(s);
   }
-  // At most one fault per (iteration, op, type, block) hook so that
-  // per-column correctability (one error per block column) holds.
   std::stable_sort(plan.begin(), plan.end(), [](const FaultSpec& a,
                                                 const FaultSpec& b) {
     return std::tie(a.iteration, a.op, a.type, a.block_row, a.block_col) <
            std::tie(b.iteration, b.op, b.type, b.block_row, b.block_col);
   });
-  plan.erase(std::unique(plan.begin(), plan.end(),
-                         [](const FaultSpec& a, const FaultSpec& b) {
-                           return a.iteration == b.iteration &&
-                                  a.op == b.op && a.type == b.type &&
-                                  a.block_row == b.block_row &&
-                                  a.block_col == b.block_col;
-                         }),
-             plan.end());
   return plan;
 }
 

@@ -1,6 +1,6 @@
 // Fault model and injection bookkeeping (paper §III, §VII-B).
 //
-// Two fault types are modeled, matching the paper's taxonomy:
+// Three fault types are modeled, extending the paper's taxonomy:
 //   * Computing errors ("1+1=3"): a kernel writes one wrong element into
 //     its output block. Injected immediately after the chosen operation.
 //   * Storage errors (bit flips at rest): one element of a block already
@@ -8,11 +8,18 @@
 //     verification and its next read* — the window classic Online-ABFT
 //     does not protect. Injected immediately before the chosen operation
 //     reads the block.
+//   * Transfer errors: corruption on the PCIe path during an H2D/D2H
+//     copy. The data leaves one side intact and arrives wrong, so
+//     device-side verification of the source cannot see it; it lands
+//     via sim::Machine's transfer hook (see machine.hpp).
 //
 // Faults are specified at program points (outer iteration, operation,
-// block), not at wall-clock times: injection is deterministic and
-// reproducible, and the program-point formulation is exactly how the
-// paper describes its experiments.
+// block; copy ordinal for transfer faults), not at wall-clock times:
+// injection is deterministic and reproducible, and the program-point
+// formulation is exactly how the paper describes its experiments. A
+// stochastic arrival process (process.hpp) can be attached on top; it
+// samples arrival *times* and converts them into concrete injections at
+// the first matching hook polled after each arrival.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +33,7 @@
 
 namespace ftla::fault {
 
-enum class FaultType { Computing, Storage };
+enum class FaultType { Computing, Storage, Transfer };
 
 /// The four operations of one outer iteration of blocked Cholesky.
 enum class Op { Syrk, Gemm, Potf2, Trsm };
@@ -57,6 +64,10 @@ struct FaultSpec {
   /// Inject into the block's checksum row instead of the block itself
   /// (ABFT must recognize and repair corrupted checksums too).
   bool target_checksum = false;
+  /// Transfer faults only: ordinal of the numeric copy to corrupt
+  /// (sim::Machine counts H2D/D2H copies); -1 everywhere else. Replaying
+  /// a recorded transfer fault strikes the same copy deterministically.
+  std::int64_t transfer_index = -1;
 };
 
 /// What actually happened when a fault fired.
@@ -95,6 +106,8 @@ struct EccModel {
   }
 };
 
+class FaultProcess;
+
 /// Hands out planned faults to the driver's injection hooks and records
 /// what fired so tests can assert every fault was detected/corrected.
 class Injector {
@@ -104,8 +117,32 @@ class Injector {
 
   /// Called by the driver at a hook point; pops and returns every
   /// not-yet-fired spec matching (type, op, iteration). Faults that ECC
-  /// corrects are consumed but reported in `ecc_absorbed_count`.
+  /// corrects are consumed but reported in `ecc_absorbed_count`. When a
+  /// FaultProcess and a clock are attached, arrivals of `type` due at
+  /// the current virtual time are synthesized into concrete specs at
+  /// this program point and returned alongside the planned ones.
   std::vector<FaultSpec> take(FaultType type, Op op, int iteration);
+
+  /// Called by sim::Machine's transfer hook for copy ordinal `seq`
+  /// ending at virtual time `now`. Pops planned Transfer specs whose
+  /// transfer_index matches `seq`; when `process_eligible` (the driver
+  /// armed this copy for stochastic faults), due Transfer arrivals from
+  /// the attached process are also converted, stamped with
+  /// transfer_index = seq. Element/bit choice for process arrivals is
+  /// left to the caller (it knows the copy's shape).
+  std::vector<FaultSpec> take_transfer(std::int64_t seq, double now,
+                                       bool process_eligible);
+
+  /// Called by the drivers inside checkpoint/rollback windows, where no
+  /// kernel hook runs but resident data is still exposed. Converts due
+  /// *storage* arrivals from the attached process into strikes at
+  /// (op, iteration); planned specs are never matched here (they fire
+  /// at their declared kernel hooks only, preserving replay semantics).
+  std::vector<FaultSpec> poll_window(Op op, int iteration);
+
+  /// Attaches a stochastic arrival process (not owned; nullptr
+  /// detaches). Requires a clock for arrivals to be converted.
+  void attach_process(FaultProcess* process) { process_ = process; }
 
   /// Driver reports the concrete effect of a fired fault. Returns the
   /// injection id; emits a FaultInjected telemetry event when an event
@@ -151,6 +188,7 @@ class Injector {
   int ecc_absorbed_ = 0;
   obs::EventSink* sink_ = nullptr;
   std::function<double()> clock_;
+  FaultProcess* process_ = nullptr;
 };
 
 /// Builders for the paper's two experiment scenarios on an
@@ -161,7 +199,12 @@ FaultSpec computing_error_at(int iter, int nblocks, Rng& rng);
 /// GEMM of iteration `iter` is about to read.
 FaultSpec storage_error_at(int iter, int nblocks, Rng& rng);
 
-/// A randomized plan of `count` faults spread over the factorization.
+/// A randomized plan of exactly `count` faults spread over the
+/// factorization, at most one per (iteration, op, type, block) hook.
+/// Sampling resumes after deduplication until `count` distinct hooks are
+/// hit, so campaign fault budgets are honest; if the hook grid is too
+/// small to host `count` distinct faults the plan saturates and the
+/// (smaller) actual size is the returned vector's size.
 std::vector<FaultSpec> random_plan(int count, int nblocks,
                                    std::uint64_t seed,
                                    std::optional<FaultType> only_type = {});

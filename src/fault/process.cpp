@@ -1,0 +1,116 @@
+#include "fault/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ftla::fault {
+
+FaultProcess::FaultProcess(ProcessConfig cfg, int nblocks)
+    : cfg_(cfg),
+      nblocks_(nblocks),
+      rng_(cfg.seed),
+      synth_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ULL) {
+  FTLA_CHECK(cfg_.mtbf_s > 0.0);
+  FTLA_CHECK(nblocks_ >= 1);
+  // First arrival: exponential gap from t = 0.
+  next_time_ = -cfg_.mtbf_s * std::log(1.0 - rng_.next_double());
+}
+
+void FaultProcess::generate_until(double now) {
+  const double wsum = cfg_.w_computing + cfg_.w_storage + cfg_.w_transfer;
+  FTLA_CHECK(wsum > 0.0);
+  while (next_time_ <= now && generated_ < cfg_.max_arrivals) {
+    const double u = rng_.next_double() * wsum;
+    int cat = 0;  // FaultType::Computing
+    if (u >= cfg_.w_computing) {
+      cat = u < cfg_.w_computing + cfg_.w_storage ? 1 : 2;
+    }
+    ++pending_[cat];
+    ++generated_;
+    next_time_ += -cfg_.mtbf_s * std::log(1.0 - rng_.next_double());
+  }
+}
+
+int FaultProcess::drain(FaultType type, double now) {
+  generate_until(now);
+  const int idx = static_cast<int>(type);
+  const int due = pending_[idx];
+  pending_[idx] = 0;
+  return due;
+}
+
+std::vector<int> FaultProcess::sample_bits() {
+  // One anchor bit in the high mantissa / low exponent range keeps the
+  // corruption macroscopic (visible to both verification and the SDC
+  // oracle); extra bits defeat SEC-DED ECC. Bits stay in 8..61 so the
+  // exponent can never become all-ones — a flip never yields Inf/NaN.
+  if (synth_rng_.next_double() < cfg_.p_single_bit) {
+    return {synth_rng_.uniform_int(44, 56)};
+  }
+  std::vector<int> bits;
+  bits.push_back(synth_rng_.uniform_int(44, 56));
+  bits.push_back(synth_rng_.uniform_int(8, 43));
+  if (synth_rng_.next_double() < 0.5) {
+    bits.push_back(synth_rng_.uniform_int(57, 61));
+  }
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  return bits;
+}
+
+std::vector<FaultSpec> FaultProcess::synthesize(FaultType type, Op op,
+                                                int iteration) {
+  std::vector<FaultSpec> out;
+  const int j = std::clamp(iteration, 0, nblocks_ - 1);
+  if (type == FaultType::Computing) {
+    FaultSpec s;
+    s.type = FaultType::Computing;
+    s.op = op;
+    s.iteration = iteration;
+    // Leave the block at the driver's default output target; randomize
+    // the element so strikes spread over the block.
+    s.elem_row = synth_rng_.uniform_int(0, 63);
+    s.elem_col = synth_rng_.uniform_int(0, 63);
+    s.magnitude = synth_rng_.uniform(1.0e3, 1.0e5);
+    out.push_back(s);
+    return out;
+  }
+  FTLA_CHECK(type == FaultType::Storage);
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = op;
+  s.iteration = iteration;
+  if (cfg_.explicit_blocks) {
+    // Live lower-triangle region: any block at or below the current
+    // panel row whose column is already decomposed or being decomposed.
+    // Retired rows (above j) are never re-read by the inner-product
+    // algorithm, so a strike there could not influence the run.
+    const int bi = synth_rng_.uniform_int(j, nblocks_ - 1);
+    const int bk = synth_rng_.uniform_int(0, std::min(bi, j));
+    s.block_row = bi;
+    s.block_col = bk;
+  }
+  s.elem_row = synth_rng_.uniform_int(0, 63);
+  s.elem_col = synth_rng_.uniform_int(0, 63);
+  s.bits = sample_bits();
+  s.target_checksum = synth_rng_.next_double() < cfg_.p_checksum_target;
+  out.push_back(s);
+  if (!s.target_checksum &&
+      synth_rng_.next_double() < cfg_.p_double_fault) {
+    // Correlated double fault: a second flip in the same column of the
+    // same block. Two errors in one block column exceed the scheme's
+    // correction capability and must escalate (rollback/rerun). Rows
+    // stay in 0..15 so they remain distinct after the driver clamps
+    // them to the block size (campaign blocks are at least 16 wide).
+    FaultSpec t = s;
+    out.back().elem_row = synth_rng_.uniform_int(0, 14);
+    t.elem_row = synth_rng_.uniform_int(out.back().elem_row + 1, 15);
+    t.bits = sample_bits();
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ftla::fault

@@ -1,0 +1,102 @@
+// Rate-based stochastic fault process (campaign engine substrate).
+//
+// The planned Injector fires faults at fixed program points; real
+// machines fail at random *times*. FaultProcess models that: arrivals
+// follow a Poisson process with mean inter-arrival time `mtbf_s` in
+// virtual seconds, each arrival is typed (computing / storage /
+// transfer) at sample time, and an arrival is consumed at the first
+// matching injection hook polled after its arrival time. The machine's
+// virtual clock drives the process, so runs are deterministic for a
+// given seed — faster simulated executions see fewer faults, exactly
+// like real MTBF scaling.
+//
+// Synthesis policy (what a consumed arrival becomes):
+//   * Computing arrivals corrupt the polled op's freshly written output
+//     (random element, magnitude 1e3..1e5 relative).
+//   * Storage arrivals strike a resident block of the live region —
+//     block row at or below the current panel, block column at or
+//     before it — occasionally the block's checksum rows
+//     (p_checksum_target) or a correlated pair of flips in one block
+//     column (p_double_fault, defeats single-error correction). Bit
+//     patterns always include a high-mantissa/exponent bit so the
+//     corruption is macroscopic, and are drawn from bits 8..61 so a
+//     flip can never manufacture an Inf/NaN from a finite value.
+//   * Transfer arrivals are handed to sim::Machine's transfer hook,
+//     which knows the in-flight copy's shape (see fault.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+
+namespace ftla::fault {
+
+struct ProcessConfig {
+  /// Mean time between faults, in virtual seconds. Must be > 0.
+  double mtbf_s = 1.0e-3;
+  std::uint64_t seed = 1;
+  /// Relative category weights (normalized internally).
+  double w_computing = 0.35;
+  double w_storage = 0.45;
+  double w_transfer = 0.20;
+  /// Probability a storage arrival strikes a checksum row instead of
+  /// matrix data.
+  double p_checksum_target = 0.15;
+  /// Probability a storage arrival lands a correlated double fault:
+  /// two elements of the same column of one block, which defeats
+  /// single-error-per-column correction and must escalate.
+  double p_double_fault = 0.10;
+  /// Probability a storage flip is single-bit (absorbed when the run
+  /// models ECC; lands otherwise).
+  double p_single_bit = 0.10;
+  /// Hard cap on arrivals per run — bounds fault storms so the rerun
+  /// escalation ladder terminates.
+  int max_arrivals = 64;
+  /// When true, synthesized storage specs carry explicit block targets
+  /// using blocked-Cholesky lower-triangle geometry. When false they
+  /// leave block_row/block_col at -1 and the polling driver's own
+  /// default-target logic picks the block (LU/QR geometry).
+  bool explicit_blocks = true;
+};
+
+/// Poisson arrival generator + arrival-to-FaultSpec synthesizer.
+/// Deterministic for a given (config.seed, sequence of drain times).
+class FaultProcess {
+ public:
+  FaultProcess(ProcessConfig cfg, int nblocks);
+
+  /// Consumes and counts the arrivals of `type` due at or before virtual
+  /// time `now`. Arrivals of other types stay pending for their own
+  /// hooks. Monotonically increasing `now` is expected but not required;
+  /// a stale `now` simply drains nothing new.
+  int drain(FaultType type, double now);
+
+  /// Turns one consumed arrival into concrete fault spec(s) at the
+  /// given program point (two specs for a correlated double fault).
+  std::vector<FaultSpec> synthesize(FaultType type, Op op, int iteration);
+
+  /// Picks the multi-bit (or, with p_single_bit, single-bit) flip
+  /// pattern used for storage and transfer corruption.
+  std::vector<int> sample_bits();
+
+  [[nodiscard]] int arrivals_generated() const noexcept {
+    return generated_;
+  }
+  [[nodiscard]] const ProcessConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void generate_until(double now);
+
+  ProcessConfig cfg_;
+  int nblocks_;
+  Rng rng_;        // arrival times + categories
+  Rng synth_rng_;  // targets, elements, bits
+  double next_time_ = 0.0;
+  int generated_ = 0;
+  // Pending (arrived, not yet consumed) counts per category.
+  int pending_[3] = {0, 0, 0};
+};
+
+}  // namespace ftla::fault

@@ -255,6 +255,10 @@ void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
   note_span(obs::EventKind::Copy, "h2d", kH2dLane, earliest, end, 0,
             n * static_cast<std::int64_t>(sizeof(double)), 0);
   if (blocking) host_time_ = std::max(host_time_, end);
+  if (numeric() && n > 0) {
+    note_transfer("h2d", true, dst.data() + dst_off, static_cast<int>(n), 1,
+                  static_cast<int>(n), dst_off, earliest, end, s);
+  }
 }
 
 void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
@@ -283,6 +287,10 @@ void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
   note_span(obs::EventKind::Copy, "d2h", kD2hLane, earliest, end, 0,
             n * static_cast<std::int64_t>(sizeof(double)), 0);
   if (blocking) host_time_ = std::max(host_time_, end);
+  if (numeric() && n > 0) {
+    note_transfer("d2h", false, dst, static_cast<int>(n), 1,
+                  static_cast<int>(n), -1, earliest, end, s);
+  }
 }
 
 void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
@@ -317,6 +325,10 @@ void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
   note_span(obs::EventKind::Copy, "h2d_2d", kH2dLane, earliest, end, 0,
             static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
+  if (numeric()) {
+    note_transfer("h2d_2d", true, dst.data() + dst_off, rows, cols, dst_ld,
+                  dst_off, earliest, end, s);
+  }
 }
 
 void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
@@ -351,6 +363,10 @@ void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
   note_span(obs::EventKind::Copy, "d2h_2d", kD2hLane, earliest, end, 0,
             static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
+  if (numeric()) {
+    note_transfer("d2h_2d", false, dst, rows, cols, dst_ld, -1, earliest,
+                  end, s);
+  }
 }
 
 void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
@@ -378,6 +394,29 @@ void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
   note_trace("d2d", KernelClass::Memset, s, start, start + dur, 1);
   note_span(obs::EventKind::Copy, "d2d", s, start, start + dur, 0,
             n * static_cast<std::int64_t>(sizeof(double)), 1);
+}
+
+void Machine::note_transfer(const char* name, bool h2d, double* data,
+                            int rows, int cols, int ld, std::int64_t dev_off,
+                            double start, double end, StreamId s) {
+  // Every numeric copy gets an ordinal, hook or not, so a recorded
+  // transfer fault replays against the same copy in a later run.
+  const std::int64_t seq = transfer_seq_++;
+  if (!transfer_hook_) return;
+  TransferCtx ctx;
+  ctx.name = name;
+  ctx.h2d = h2d;
+  ctx.data = data;
+  ctx.rows = rows;
+  ctx.cols = cols;
+  ctx.ld = ld;
+  ctx.dev_off = dev_off;
+  ctx.seq = seq;
+  ctx.start = start;
+  ctx.end = end;
+  ctx.stream = s;
+  ctx.armed = h2d ? h2d_armed_ : d2h_armed_;
+  transfer_hook_(ctx);
 }
 
 double Machine::makespan() const noexcept {

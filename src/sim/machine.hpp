@@ -59,6 +59,32 @@ inline constexpr int kHostLane = -1;
 inline constexpr int kH2dLane = -2;
 inline constexpr int kD2hLane = -3;
 
+/// In-flight copy descriptor handed to the transfer-corruption hook
+/// (fault-campaign support). The hook runs after the numeric copy and
+/// the timing model, so it may mutate the destination region — that is
+/// "corruption on the PCIe path": the source stays intact, the data
+/// arrives wrong, and no device-side verification of the source can
+/// have seen it.
+struct TransferCtx {
+  const char* name = "";  ///< "h2d", "d2h", "h2d_2d", "d2h_2d"
+  bool h2d = true;        ///< direction (false = d2h)
+  double* data = nullptr;  ///< destination region, column-major
+  int rows = 0;
+  int cols = 0;  ///< 1 for flat copies
+  int ld = 0;
+  /// Destination offset into the device buffer when the destination is
+  /// device memory (lets callers map to global coordinates); -1 when
+  /// the destination is host memory.
+  std::int64_t dev_off = -1;
+  std::int64_t seq = 0;  ///< ordinal among this machine's numeric copies
+  double start = 0.0;    ///< modeled transfer window
+  double end = 0.0;
+  StreamId stream = 0;
+  bool armed = false;  ///< driver armed this direction for stochastic faults
+};
+
+using TransferHook = std::function<void(const TransferCtx&)>;
+
 struct ClassStats {
   long long count = 0;
   std::int64_t flops = 0;
@@ -234,6 +260,31 @@ class Machine {
   void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
   [[nodiscard]] obs::EventSink* event_sink() const noexcept { return sink_; }
 
+  // ----- transfer-fault hook ----------------------------------------
+  /// Attaches the transfer-corruption hook (fault campaigns). Called in
+  /// Numeric mode after every non-empty H2D/D2H copy with a TransferCtx
+  /// describing the landed data; the hook may corrupt it in place.
+  /// Copies are numbered (`TransferCtx::seq`) whether or not a hook is
+  /// attached, so replays strike the same copy ordinal.
+  void set_transfer_hook(TransferHook hook) {
+    transfer_hook_ = std::move(hook);
+  }
+  /// Per-direction arming, toggled by the drivers to scope *stochastic*
+  /// transfer faults to copies the fault model covers (e.g. everything
+  /// between checksum encode and the final download). The hook itself
+  /// still runs on unarmed copies — planned faults replay anywhere —
+  /// with TransferCtx::armed = false.
+  void set_transfer_faults_armed(bool h2d, bool d2h) {
+    h2d_armed_ = h2d;
+    d2h_armed_ = d2h;
+  }
+  [[nodiscard]] bool h2d_faults_armed() const noexcept { return h2d_armed_; }
+  [[nodiscard]] bool d2h_faults_armed() const noexcept { return d2h_armed_; }
+  /// Ordinal the next numeric copy will get.
+  [[nodiscard]] std::int64_t transfer_seq() const noexcept {
+    return transfer_seq_;
+  }
+
  private:
   friend class DeviceBuffer;
 
@@ -243,6 +294,9 @@ class Machine {
 
   double kernel_duration(const KernelDesc& d, int units) const;
   int resolve_units(const KernelDesc& d) const;
+  void note_transfer(const char* name, bool h2d, double* data, int rows,
+                     int cols, int ld, std::int64_t dev_off, double start,
+                     double end, StreamId s);
   void note_trace(std::string name, KernelClass cls, int lane, double start,
                   double end, int units, std::int64_t flops = 0);
   void note_span(obs::EventKind kind, const std::string& name, int lane,
@@ -265,6 +319,31 @@ class Machine {
   std::size_t trace_limit_ = kDefaultTraceLimit;
   std::size_t trace_dropped_ = 0;
   obs::EventSink* sink_ = nullptr;
+  TransferHook transfer_hook_;
+  bool h2d_armed_ = false;
+  bool d2h_armed_ = false;
+  std::int64_t transfer_seq_ = 0;
+};
+
+/// Scoped (re)arming of transfer faults: restores the previous arming on
+/// destruction, so drivers stay exception-safe when a verification
+/// throws mid-factorization.
+class TransferArmGuard {
+ public:
+  TransferArmGuard(Machine& m, bool h2d, bool d2h)
+      : m_(m),
+        prev_h2d_(m.h2d_faults_armed()),
+        prev_d2h_(m.d2h_faults_armed()) {
+    m_.set_transfer_faults_armed(h2d, d2h);
+  }
+  TransferArmGuard(const TransferArmGuard&) = delete;
+  TransferArmGuard& operator=(const TransferArmGuard&) = delete;
+  ~TransferArmGuard() { m_.set_transfer_faults_armed(prev_h2d_, prev_d2h_); }
+
+ private:
+  Machine& m_;
+  bool prev_h2d_;
+  bool prev_d2h_;
 };
 
 }  // namespace ftla::sim

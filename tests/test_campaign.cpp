@@ -1,0 +1,265 @@
+// Fault-campaign engine tests: the zero-SDC invariant for the guarded
+// variant, the SDC oracle demonstrably catching unguarded corruption,
+// scenario serialization round-trips, the shrinker's minimal plans, and
+// the transfer-fault hook's injection -> detection -> trace flow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "common/fp.hpp"
+#include "fault/campaign.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace_export.hpp"
+#include "test_util.hpp"
+
+namespace ftla::fault {
+namespace {
+
+long long verdict_total(const CampaignSummary& sum, const std::string& key,
+                        Verdict v) {
+  const auto it = sum.verdicts.find(key);
+  if (it == sum.verdicts.end()) return 0;
+  return it->second[static_cast<int>(v)];
+}
+
+TEST(Campaign, GuardedVariantNeverSilentlyCorrupts) {
+  const std::uint64_t seed = test::root_seed(7);
+  FTLA_SEED_TRACE(seed);
+  CampaignOptions opt;
+  opt.scenarios = 300;
+  opt.seed = seed;
+  obs::MetricsRegistry metrics;
+  const CampaignSummary sum = run_campaign(opt, &metrics);
+
+  EXPECT_EQ(sum.scenarios_run, 300);
+  EXPECT_GT(sum.faults_fired, 0);
+  EXPECT_GT(sum.faults_detected, 0);
+  EXPECT_GT(sum.transfer_faults, 0);
+
+  // The central invariant: the guarded variant must never claim success
+  // with a corrupt result, for any algorithm.
+  EXPECT_EQ(sum.guarded_sdc, 0);
+  for (const char* key :
+       {"cholesky/enhanced-online-abft", "lu/enhanced-online-abft",
+        "qr/enhanced-online-abft"}) {
+    EXPECT_EQ(verdict_total(sum, key, Verdict::Sdc), 0) << key;
+  }
+  // ... while the oracle demonstrably catches unprotected corruption —
+  // otherwise a zero above would only prove the oracle is blind.
+  EXPECT_GT(verdict_total(sum, "cholesky/no-ft", Verdict::Sdc), 0);
+  EXPECT_GT(verdict_total(sum, "lu/no-ft", Verdict::Sdc) +
+                verdict_total(sum, "qr/no-ft", Verdict::Sdc),
+            0);
+  // Offline verifies before reporting success: corruption it cannot fix
+  // escalates to rerun/fail-stop, never sdc.
+  EXPECT_EQ(verdict_total(sum, "cholesky/offline-abft", Verdict::Sdc), 0);
+
+  // The summary is exported through the metrics registry.
+  EXPECT_TRUE(sum.clean());
+  EXPECT_GT(metrics.counter("campaign.scenarios"), 0);
+  EXPECT_GT(metrics.counter("campaign.faults.fired"), 0);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  CampaignOptions opt;
+  opt.scenarios = 40;
+  opt.seed = 11;
+  const CampaignSummary a = run_campaign(opt);
+  const CampaignSummary b = run_campaign(opt);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.faults_detected, b.faults_detected);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+}
+
+TEST(Campaign, DeterministicTwinReproducesStochasticRun) {
+  // Any single-attempt stochastic run must replay identically from its
+  // fired_plan with the arrival process disabled — that twin is the
+  // starting point for shrinking.
+  const std::uint64_t seed = test::root_seed(21);
+  FTLA_SEED_TRACE(seed);
+  CampaignOptions opt;
+  Rng rng(seed);
+  int checked = 0;
+  for (int i = 0; i < 200 && checked < 5; ++i) {
+    const Scenario sc = random_scenario(rng, opt);
+    const ScenarioResult res = run_scenario(sc);
+    if (res.faults_fired == 0 || res.reruns > 0 || res.rollbacks > 0) {
+      continue;  // multi-attempt runs may quantize differently
+    }
+    Scenario twin = sc;
+    twin.mtbf_s = 0.0;
+    twin.plan = res.fired_plan;
+    const ScenarioResult replay = run_scenario(twin);
+    EXPECT_EQ(replay.verdict, res.verdict)
+        << "scenario:\n"
+        << format_scenario(twin);
+    ++checked;
+  }
+  EXPECT_GE(checked, 3) << "campaign mix produced too few twin candidates";
+}
+
+TEST(ScenarioIo, FormatParseRoundTrip) {
+  const std::uint64_t seed = test::root_seed(31);
+  FTLA_SEED_TRACE(seed);
+  CampaignOptions opt;
+  Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    Scenario sc = random_scenario(rng, opt);
+    // Exercise the fault-line serializer too.
+    sc.plan = random_plan(4, sc.nblocks(), rng.next_u64());
+    sc.plan[0].type = FaultType::Transfer;
+    sc.plan[0].transfer_index = 3;
+    sc.plan[1].target_checksum = true;
+    const std::string text = format_scenario(sc);
+    Scenario back;
+    std::string err;
+    ASSERT_TRUE(parse_scenario(text, &back, &err)) << err << "\n" << text;
+    EXPECT_EQ(format_scenario(back), text);
+  }
+}
+
+TEST(ScenarioIo, ParseReportsLineNumbers) {
+  Scenario sc;
+  std::string err;
+  EXPECT_FALSE(parse_scenario("scenario algo=cholesky\nfault type=bogus\n",
+                              &sc, &err));
+  EXPECT_NE(err.find("2"), std::string::npos) << err;
+}
+
+TEST(Shrink, ProducesMinimalReplayablePlan) {
+  // A NoFt run with a pile of faults silently corrupts; the shrinker
+  // must cut the plan to <= 2 faults (here: one) that still reproduce
+  // the sdc verdict when replayed.
+  Scenario sc;
+  sc.algo = Algo::Cholesky;
+  sc.variant = abft::Variant::NoFt;
+  sc.n = 80;
+  sc.matrix_seed = 5;
+  sc.plan = random_plan(5, sc.nblocks(), 17, FaultType::Storage);
+  const ScenarioResult res = run_scenario(sc);
+  ASSERT_EQ(res.verdict, Verdict::Sdc)
+      << "residual=" << res.residual << " fired=" << res.faults_fired;
+
+  const ShrinkOutcome out = shrink_scenario(sc, Verdict::Sdc);
+  ASSERT_LE(out.scenario.plan.size(), 2u);
+  ASSERT_GE(out.scenario.plan.size(), 1u);
+  EXPECT_GT(out.runs, 0);
+
+  // The minimized scenario replays to the same verdict, including after
+  // a serialization round-trip.
+  Scenario back;
+  std::string err;
+  ASSERT_TRUE(parse_scenario(format_scenario(out.scenario), &back, &err))
+      << err;
+  EXPECT_EQ(run_scenario(back).verdict, Verdict::Sdc);
+}
+
+TEST(TransferFault, MidH2dCaughtByNextPreReferenceVerification) {
+  // Acceptance path for the transfer-fault model: corrupt the factored
+  // diagonal block's H2D return trip mid-copy, and require Enhanced
+  // Online-ABFT (transfer_guard on) to catch it at the next verification
+  // that reads the block — with the injection -> detection flow visible
+  // in the exported Chrome trace.
+  const int n = 64;
+  auto a0 = test::random_spd(n, 99);
+
+  // Pass 1: find the copy ordinal of the first *armed* H2D copy after
+  // the run starts (the drivers arm exactly the copies whose corruption
+  // a downstream check can see).
+  std::int64_t target_seq = -1;
+  {
+    auto a = a0;
+    sim::Machine m(sim::test_rig(), sim::ExecutionMode::Numeric);
+    m.set_transfer_hook([&](const sim::TransferCtx& ctx) {
+      // A full-matrix destination (ld == n) keeps coordinates mappable.
+      if (target_seq < 0 && ctx.h2d && ctx.armed && ctx.rows > 1 &&
+          ctx.ld == n && ctx.dev_off >= 0) {
+        target_seq = ctx.seq;
+      }
+    });
+    abft::CholeskyOptions opt;
+    opt.variant = abft::Variant::EnhancedOnline;
+    opt.block_size = 16;
+    opt.transfer_guard = true;
+    ASSERT_TRUE(abft::cholesky(m, &a, n, opt).success);
+  }
+  ASSERT_GE(target_seq, 0) << "no armed H2D copy observed";
+
+  // Pass 2: same run with a planned transfer fault on that copy.
+  FaultSpec spec;
+  spec.type = FaultType::Transfer;
+  spec.op = Op::Potf2;
+  spec.transfer_index = target_seq;
+  spec.elem_row = 1;
+  spec.elem_col = 0;
+  spec.bits = {52, 57};
+
+  auto a = a0;
+  sim::Machine m(sim::test_rig(), sim::ExecutionMode::Numeric);
+  m.set_trace_enabled(true);
+  Injector inj({spec});
+  obs::RingBufferSink sink;
+  m.set_transfer_hook([&](const sim::TransferCtx& ctx) {
+    for (FaultSpec s : inj.take_transfer(ctx.seq, ctx.end, ctx.armed)) {
+      const int r = std::min(s.elem_row, ctx.rows - 1);
+      const int c = std::min(s.elem_col, ctx.cols - 1);
+      double* p = ctx.data + static_cast<std::int64_t>(c) * ctx.ld + r;
+      const double old_value = *p;
+      for (int b : s.bits) *p = flip_bit(*p, b);
+      const int grow = static_cast<int>(ctx.dev_off % n) + r;
+      const int gcol = static_cast<int>(ctx.dev_off / n) + c;
+      inj.record(s, old_value, *p, grow, gcol);
+    }
+  });
+  abft::CholeskyOptions opt;
+  opt.variant = abft::Variant::EnhancedOnline;
+  opt.block_size = 16;
+  opt.transfer_guard = true;
+  opt.event_sink = &sink;
+  const auto res = abft::cholesky(m, &a, n, opt, &inj);
+
+  ASSERT_TRUE(res.success);
+  ASSERT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(inj.detected_count(), 1)
+      << "mid-H2D corruption must be caught before the block is read";
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-10);
+
+  // The event stream carries the correlated chain...
+  const auto events = sink.events();
+  std::int64_t fault_id = -1;
+  bool saw_detection = false;
+  for (const auto& e : events) {
+    if (e.kind == obs::EventKind::FaultInjected &&
+        e.name == "fault:transfer") {
+      fault_id = e.correlation;
+    }
+    if (e.kind == obs::EventKind::Detection && e.correlation >= 0 &&
+        e.correlation == fault_id) {
+      saw_detection = true;
+    }
+  }
+  ASSERT_GE(fault_id, 0);
+  EXPECT_TRUE(saw_detection);
+
+  // ...and the merged Chrome trace renders it: instant events for the
+  // injection and detection plus a flow arrow between them.
+  std::ostringstream os;
+  sim::write_chrome_trace(m, events, os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("fault:transfer"), std::string::npos);
+  EXPECT_NE(trace.find("\"detection\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);  // flow end
+}
+
+}  // namespace
+}  // namespace ftla::fault

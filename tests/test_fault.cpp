@@ -2,7 +2,11 @@
 // scenario builders and randomized plan hygiene.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "fault/fault.hpp"
+#include "fault/process.hpp"
 
 namespace ftla::fault {
 namespace {
@@ -145,6 +149,118 @@ TEST(RandomPlan, DeterministicForSeed) {
     EXPECT_EQ(p1[i].iteration, p2[i].iteration);
     EXPECT_EQ(p1[i].block_row, p2[i].block_row);
     EXPECT_EQ(p1[i].block_col, p2[i].block_col);
+  }
+}
+
+TEST(RandomPlan, ReturnsExactlyRequestedCount) {
+  // The count is a contract, not a hint: hook-site collisions are
+  // resampled, not dropped, so any request the hook grid can hold is
+  // met exactly.
+  for (int count : {1, 5, 17, 40}) {
+    for (std::uint64_t seed : {1ULL, 42ULL, 987654321ULL}) {
+      EXPECT_EQ(random_plan(count, 8, seed).size(),
+                static_cast<std::size_t>(count))
+          << "count=" << count << " seed=" << seed;
+    }
+  }
+}
+
+TEST(RandomPlan, SaturatesGracefullyOnTinyHookGrid) {
+  // A request beyond the distinct-hook capacity of a tiny block grid
+  // returns a shorter duplicate-free plan instead of spinning or
+  // padding with repeats.
+  const auto plan = random_plan(500, 2, 9);
+  EXPECT_LT(plan.size(), 500u);
+  EXPECT_GT(plan.size(), 0u);
+  std::set<std::tuple<int, int, int, int, int>> keys;
+  for (const auto& s : plan) {
+    EXPECT_TRUE(keys.insert({s.iteration, static_cast<int>(s.op),
+                             static_cast<int>(s.type), s.block_row,
+                             s.block_col})
+                    .second);
+  }
+}
+
+TEST(FaultProcess, DeterministicForSeed) {
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-4;
+  cfg.seed = 99;
+  FaultProcess p1(cfg, 6);
+  FaultProcess p2(cfg, 6);
+  for (int step = 1; step <= 50; ++step) {
+    const double now = 1.0e-4 * step;
+    for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                        FaultType::Transfer}) {
+      const int n1 = p1.drain(t, now);
+      const int n2 = p2.drain(t, now);
+      ASSERT_EQ(n1, n2) << "type diverged at step " << step;
+      // Transfer arrivals are concretized by the machine's copy hook,
+      // not synthesize() — drain parity is the whole contract there.
+      if (t == FaultType::Transfer) continue;
+      for (int i = 0; i < n1; ++i) {
+        auto s1 = p1.synthesize(t, Op::Syrk, step);
+        auto s2 = p2.synthesize(t, Op::Syrk, step);
+        ASSERT_EQ(s1.size(), s2.size());
+        for (std::size_t k = 0; k < s1.size(); ++k) {
+          EXPECT_EQ(s1[k].block_row, s2[k].block_row);
+          EXPECT_EQ(s1[k].block_col, s2[k].block_col);
+          EXPECT_EQ(s1[k].elem_row, s2[k].elem_row);
+          EXPECT_EQ(s1[k].bits, s2[k].bits);
+          EXPECT_EQ(s1[k].magnitude, s2[k].magnitude);
+        }
+      }
+    }
+  }
+  EXPECT_GT(p1.arrivals_generated(), 0);
+}
+
+TEST(FaultProcess, ArrivalRateTracksMtbf) {
+  // Over a horizon of H seconds a Poisson process with mean gap m sees
+  // ~H/m arrivals; check within generous bounds across seeds.
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-3;
+  cfg.max_arrivals = 100000;
+  const double horizon = 1.0;  // expect ~1000 arrivals
+  long long total = 0;
+  const int kSeeds = 8;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    cfg.seed = seed;
+    FaultProcess p(cfg, 6);
+    for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                        FaultType::Transfer}) {
+      p.drain(t, horizon);
+    }
+    total += p.arrivals_generated();
+  }
+  const double mean = static_cast<double>(total) / kSeeds;
+  EXPECT_GT(mean, 850.0);
+  EXPECT_LT(mean, 1150.0);
+}
+
+TEST(FaultProcess, MaxArrivalsBoundsStorms) {
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-9;  // pathological rate
+  cfg.seed = 3;
+  cfg.max_arrivals = 16;
+  FaultProcess p(cfg, 4);
+  int drained = 0;
+  for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                      FaultType::Transfer}) {
+    drained += p.drain(t, 10.0);
+  }
+  EXPECT_LE(drained, 16);
+  EXPECT_LE(p.arrivals_generated(), 16);
+}
+
+TEST(FaultProcess, StorageBitsNeverManufactureNanInf) {
+  ProcessConfig cfg;
+  cfg.seed = 11;
+  FaultProcess p(cfg, 6);
+  for (int i = 0; i < 2000; ++i) {
+    for (int b : p.sample_bits()) {
+      EXPECT_GE(b, 8);
+      EXPECT_LE(b, 61);
+    }
   }
 }
 

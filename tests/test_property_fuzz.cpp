@@ -60,7 +60,9 @@ Config random_config(Rng& rng) {
 class CholeskyFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(CholeskyFuzz, InvariantsHoldUnderRandomConfig) {
-  Rng rng(1234 + GetParam());
+  const std::uint64_t seed = test::root_seed(1234 + GetParam());
+  FTLA_SEED_TRACE(seed);
+  Rng rng(seed);
   const Config c = random_config(rng);
   SCOPED_TRACE("n=" + std::to_string(c.n) +
                " variant=" + to_string(c.variant) +
@@ -130,7 +132,9 @@ TEST_P(TimingParityFuzz, NumericAndTimingOnlyAgree) {
   // The virtual clock must not depend on the numeric payload: for any
   // fault-free configuration, Numeric and TimingOnly runs take the
   // same virtual time and issue the same verification schedule.
-  Rng rng(777 + GetParam());
+  const std::uint64_t seed = test::root_seed(777 + GetParam());
+  FTLA_SEED_TRACE(seed);
+  Rng rng(seed);
   Config c = random_config(rng);
   c.faults = 0;
   CholeskyOptions opt;
@@ -159,7 +163,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TimingParityFuzz, ::testing::Range(0, 20));
 class LuFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(LuFuzz, EnhancedLuSurvivesRandomFaults) {
-  Rng rng(555 + GetParam());
+  const std::uint64_t seed = test::root_seed(555 + GetParam());
+  FTLA_SEED_TRACE(seed);
+  Rng rng(seed);
   const int n = 16 * rng.uniform_int(4, 8);
   const int nb = n / 16;
   auto a0 = test::random_spd(n, rng.next_u64());
@@ -190,7 +196,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LuFuzz, ::testing::Range(0, 20));
 class QrFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(QrFuzz, EnhancedQrSurvivesRandomFaults) {
-  Rng rng(888 + GetParam());
+  const std::uint64_t seed = test::root_seed(888 + GetParam());
+  FTLA_SEED_TRACE(seed);
+  Rng rng(seed);
   const int n = 16 * rng.uniform_int(4, 8);
   const int nb = n / 16;
   Matrix<double> a0(n, n);

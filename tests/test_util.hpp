@@ -3,11 +3,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/spd.hpp"
 
 namespace ftla::test {
+
+/// Root seed for a randomized test. FTLA_TEST_SEED in the environment
+/// overrides `def`, so a failure printed by FTLA_SEED_TRACE can be
+/// replayed exactly: FTLA_TEST_SEED=<value> ctest -R <test>.
+inline std::uint64_t root_seed(std::uint64_t def) {
+  if (const char* env = std::getenv("FTLA_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return def;
+}
+
+/// Every assertion failure in scope reports the seed needed to replay
+/// the failing case. Use together with root_seed().
+#define FTLA_SEED_TRACE(seed)                                       \
+  SCOPED_TRACE("seed=" + std::to_string(seed) +                     \
+               " (replay with FTLA_TEST_SEED=" + std::to_string(seed) + ")")
 
 inline Matrix<double> random_matrix(int rows, int cols, std::uint64_t seed) {
   Matrix<double> m(rows, cols);

@@ -38,6 +38,7 @@
 #include "abft/cula_like.hpp"
 #include "abft/modular_redundancy.hpp"
 #include "blas/lapack.hpp"
+#include "fault/campaign.hpp"
 #include "blas/qr.hpp"
 #include "common/spd.hpp"
 #include "fault/fault.hpp"
@@ -68,8 +69,16 @@ using namespace ftla;
                "                      flow arrows); --trace is an alias\n"
                "  --metrics-out FILE  metrics report JSON (counters, gauges,\n"
                "                      detection-latency histogram); schema in\n"
-               "                      docs/observability.md\n");
-  std::exit(2);
+               "                      docs/observability.md\n"
+               "\n"
+               "exit codes:\n"
+               "  0  success (clean result)\n"
+               "  1  I/O error (could not write trace/metrics file)\n"
+               "  2  usage error\n"
+               "  3  fail-stop (run gave up; the honest failure mode)\n"
+               "  4  silent data corruption (claimed success, residual "
+               "corrupt)\n");
+  std::exit(ftla::fault::kExitUsage);
 }
 
 struct Args {
@@ -279,6 +288,10 @@ int main(int argc, char** argv) {
                 res.verified.potf2_blocks, res.verified.trsm_blocks,
                 res.verified.syrk_blocks, res.verified.gemm_blocks);
   }
+  // Exit-code contract (see --help): distinguish the honest failure
+  // mode (fail-stop, 3) from the dangerous one (SDC, 4) so scripts and
+  // CI can tell them apart.
+  int exit_code = res.success ? fault::kExitSuccess : fault::kExitFailStop;
   if (numeric && res.success) {
     double resid;
     if (args.algo == "lu") {
@@ -290,6 +303,8 @@ int main(int argc, char** argv) {
     }
     std::printf("residual          : %.3e %s\n", resid,
                 resid < 1e-8 ? "(clean)" : "(CORRUPTED)");
+    // NaN-safe: a NaN residual must classify as corrupt.
+    if (!(resid < 1e-6)) exit_code = fault::kExitSdc;
   }
   if (args.summary) sim::print_trace_summary(machine, std::cout);
   if (!args.trace_path.empty()) {
@@ -300,7 +315,7 @@ int main(int argc, char** argv) {
                   args.trace_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
-      return 1;
+      return fault::kExitIoError;
     }
   }
   if (!args.metrics_path.empty()) {
@@ -345,8 +360,8 @@ int main(int argc, char** argv) {
       std::printf("metrics report    : %s\n", args.metrics_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
-      return 1;
+      return fault::kExitIoError;
     }
   }
-  return res.success ? 0 : 1;
+  return exit_code;
 }
