@@ -1,12 +1,27 @@
-// Raw wall-clock microbenchmarks (google-benchmark) of the host BLAS /
-// LAPACK substrate that executes every simulated kernel's numerics.
-#include <benchmark/benchmark.h>
+// Raw wall-clock throughput of the host level-3 BLAS substrate that
+// executes every simulated kernel's numerics: GFLOP/s per kernel x size
+// x thread count, plus the naive reference GEMM as the speedup baseline.
+//
+// Usage:
+//   kernels_blas [--sizes 256,512,1024] [--threads 1,2,4]
+//                [--metrics-out FILE]   (default BENCH_kernels_blas.json)
+//
+// Each measurement reports the fastest repetition; gauges are named
+// bench.<kernel>.n<size>.t<threads>.gflops.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "blas/lapack.hpp"
-#include "blas/level2.hpp"
 #include "blas/level3.hpp"
+#include "blas/reference.hpp"
 #include "common/matrix.hpp"
 #include "common/spd.hpp"
+#include "common/thread_pool.hpp"
 
 namespace {
 
@@ -16,92 +31,167 @@ using blas::Side;
 using blas::Trans;
 using blas::Uplo;
 
-void BM_Gemm(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, n), b(n, n), c(n, n);
-  make_uniform(a, 1);
-  make_uniform(b, 2);
-  for (auto _ : state) {
-    blas::gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0,
-               c.view());
-    benchmark::DoNotOptimize(c.data());
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int v = std::stoi(tok);
+    if (v > 0) out.push_back(v);
   }
-  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+  return out;
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Syrk(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, 2 * n), c(n, n);
-  make_uniform(a, 3);
-  for (auto _ : state) {
-    blas::syrk(Uplo::Lower, Trans::No, -1.0, a.view(), 1.0, c.view());
-    benchmark::DoNotOptimize(c.data());
+std::string flag_value(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
   }
-  state.SetItemsProcessed(state.iterations() *
-                          blas::syrk_flops(n, 2 * n));
+  return {};
 }
-BENCHMARK(BM_Syrk)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Trsm(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, n), b(4 * n, n);
-  make_uniform(a, 4);
-  for (int i = 0; i < n; ++i) a(i, i) = n + i;
-  make_uniform(b, 5);
-  for (auto _ : state) {
-    blas::trsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
-               a.view(), b.view());
-    benchmark::DoNotOptimize(b.data());
+std::string join(const std::vector<int>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          blas::trsm_flops(Side::Right, 4 * n, n));
+  return out;
 }
-BENCHMARK(BM_Trsm)->Arg(64)->Arg(128);
 
-void BM_Potf2(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, n);
-  make_spd_diag_dominant(a, 6);
-  for (auto _ : state) {
-    state.PauseTiming();
-    Matrix<double> work = a;
-    state.ResumeTiming();
-    blas::potf2(work.view());
-    benchmark::DoNotOptimize(work.data());
+/// Best-of-N wall time of `body` (seconds); repetitions adapt to the
+/// cost of one call so each cell measures for roughly a quarter second.
+template <typename Fn>
+double best_seconds(Fn&& body) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  body();  // warmup, also sizes the repetition count
+  const double once =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const int reps =
+      std::clamp(static_cast<int>(0.25 / std::max(once, 1e-4)), 1, 50);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t1 = clock::now();
+    body();
+    const double dt =
+        std::chrono::duration<double>(clock::now() - t1).count();
+    best = std::min(best, dt);
   }
-  state.SetItemsProcessed(state.iterations() * blas::potf2_flops(n));
+  return best;
 }
-BENCHMARK(BM_Potf2)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_PotrfBlocked(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, n);
-  make_spd_diag_dominant(a, 7);
-  for (auto _ : state) {
-    state.PauseTiming();
-    Matrix<double> work = a;
-    state.ResumeTiming();
-    blas::potrf(work.view(), 64);
-    benchmark::DoNotOptimize(work.data());
-  }
-  state.SetItemsProcessed(state.iterations() * blas::potrf_flops(n));
-}
-BENCHMARK(BM_PotrfBlocked)->Arg(256)->Arg(512);
-
-void BM_Gemv(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Matrix<double> a(n, n), x(n, 1), y(n, 1);
-  make_uniform(a, 8);
-  make_uniform(x, 9);
-  for (auto _ : state) {
-    blas::gemv(Trans::Yes, 1.0, a.view(), x.data(), 1, 0.0, y.data(), 1);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * blas::gemv_flops(n, n));
-}
-BENCHMARK(BM_Gemv)->Arg(256)->Arg(512);
+struct Cell {
+  std::string kernel;
+  int n;
+  int threads;
+  double gflops;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<int> sizes = {256, 512, 1024};
+  std::vector<int> threads = {1, 2, 4};
+  if (const std::string s = flag_value(argc, argv, "--sizes"); !s.empty()) {
+    sizes = parse_int_list(s);
+  }
+  if (const std::string s = flag_value(argc, argv, "--threads"); !s.empty()) {
+    threads = parse_int_list(s);
+  }
+  std::string out = ftla::bench::metrics_out_path(argc, argv);
+  if (out.empty()) out = "BENCH_kernels_blas.json";
+
+  bench::print_header(
+      "kernels_blas",
+      "Host level-3 BLAS GFLOP/s (best repetition); gemm_naive is the "
+      "single-threaded reference-kernel baseline.");
+
+  std::vector<Cell> cells;
+  for (const int n : sizes) {
+    Matrix<double> a(n, n), b(n, n);
+    make_uniform(a, 1);
+    make_uniform(b, 2);
+    Matrix<double> tri(n, n);
+    make_uniform(tri, 3);
+    for (int i = 0; i < n; ++i) tri(i, i) = n + i;
+
+    // Naive baseline: blas/reference.cpp GEMM, inherently single-thread.
+    {
+      Matrix<double> c(n, n);
+      const double sec = best_seconds([&] {
+        blas::ref::gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0,
+                        c.view());
+      });
+      cells.push_back({"gemm_naive", n, 1, 2.0 * n * n * n / sec / 1e9});
+    }
+
+    for (const int t : threads) {
+      common::set_global_threads(t);
+      {
+        Matrix<double> c(n, n);
+        const double sec = best_seconds([&] {
+          blas::gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0,
+                     c.view());
+        });
+        cells.push_back({"gemm", n, t, 2.0 * n * n * n / sec / 1e9});
+      }
+      {
+        Matrix<double> c(n, n);
+        const double sec = best_seconds([&] {
+          blas::syrk(Uplo::Lower, Trans::No, -1.0, a.view(), 1.0, c.view());
+        });
+        cells.push_back(
+            {"syrk", n, t,
+             static_cast<double>(blas::syrk_flops(n, n)) / sec / 1e9});
+      }
+      {
+        Matrix<double> x(n, n);
+        make_uniform(x, 4);
+        Matrix<double> work = x;
+        const double sec = best_seconds([&] {
+          work = x;
+          blas::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0,
+                     tri.view(), work.view());
+        });
+        cells.push_back(
+            {"trsm", n, t,
+             static_cast<double>(blas::trsm_flops(Side::Left, n, n)) / sec /
+                 1e9});
+      }
+      {
+        // Side::Right exercises the column-blocked right-side path.
+        Matrix<double> x(n, n);
+        make_uniform(x, 5);
+        Matrix<double> work = x;
+        const double sec = best_seconds([&] {
+          work = x;
+          blas::trmm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0,
+                     tri.view(), work.view());
+        });
+        cells.push_back(
+            {"trmm", n, t,
+             static_cast<double>(blas::trsm_flops(Side::Right, n, n)) / sec /
+                 1e9});
+      }
+    }
+  }
+  common::set_global_threads(1);
+
+  Table table({"kernel", "n", "threads", "GFLOP/s"});
+  obs::MetricsRegistry metrics;
+  for (const Cell& c : cells) {
+    table.add_row({c.kernel, std::to_string(c.n), std::to_string(c.threads),
+                   Table::num(c.gflops)});
+    metrics.set_gauge("bench." + c.kernel + ".n" + std::to_string(c.n) +
+                          ".t" + std::to_string(c.threads) + ".gflops",
+                      c.gflops);
+  }
+  bench::print_table(table);
+
+  bench::write_bench_report(out, "kernels_blas",
+                            {{"sizes", join(sizes)},
+                             {"threads", join(threads)},
+                             {"timer", "best-of-reps steady_clock"}},
+                            metrics);
+  return 0;
+}

@@ -4,21 +4,45 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ftla::abft {
 
+namespace {
+
+// Elements below which checksum recalculation is not worth a pool
+// round-trip (the fan-out costs a couple of microseconds).
+constexpr long long kParallelEncodeElems = 16384;
+
+bool use_pool_for(long long elems) {
+  if (elems < kParallelEncodeElems) return false;
+  if (common::ThreadPool::in_parallel_region()) return false;
+  return common::global_pool().threads() > 1;
+}
+
+}  // namespace
+
 void encode_block(ConstMatrixView<double> a, MatrixView<double> chk) {
   FTLA_CHECK(chk.rows() == kChecksumRows && chk.cols() == a.cols());
-  for (int c = 0; c < a.cols(); ++c) {
-    const double* col = &a(0, c);
-    double s1 = 0.0;
-    double s2 = 0.0;
-    for (int i = 0; i < a.rows(); ++i) {
-      s1 += col[i];
-      s2 += (i + 1.0) * col[i];
+  // Each column's sums are computed start-to-finish by one lane, so the
+  // result is bit-identical for every thread count / partition.
+  const auto encode_cols = [&](std::int64_t c0, std::int64_t c1) {
+    for (int c = static_cast<int>(c0); c < c1; ++c) {
+      const double* col = &a(0, c);
+      double s1 = 0.0;
+      double s2 = 0.0;
+      for (int i = 0; i < a.rows(); ++i) {
+        s1 += col[i];
+        s2 += (i + 1.0) * col[i];
+      }
+      chk(0, c) = s1;
+      chk(1, c) = s2;
     }
-    chk(0, c) = s1;
-    chk(1, c) = s2;
+  };
+  if (use_pool_for(static_cast<long long>(a.rows()) * a.cols())) {
+    common::global_pool().parallel_for_chunks(0, a.cols(), encode_cols);
+  } else {
+    encode_cols(0, a.cols());
   }
 }
 
@@ -141,17 +165,29 @@ VerifyOutcome verify_block_host(MatrixView<double> a, MatrixView<double> chk,
 
 void encode_block_rows(ConstMatrixView<double> a, MatrixView<double> chk) {
   FTLA_CHECK(chk.cols() == kChecksumRows && chk.rows() == a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    chk(i, 0) = 0.0;
-    chk(i, 1) = 0.0;
-  }
-  for (int c = 0; c < a.cols(); ++c) {
-    const double* col = &a(0, c);
-    const double w = c + 1.0;
-    for (int i = 0; i < a.rows(); ++i) {
-      chk(i, 0) += col[i];
-      chk(i, 1) += w * col[i];
+  // Partitioned over row ranges: every row's accumulators sweep the
+  // columns in the same order on one lane, so partitioning never
+  // changes the floating-point result.
+  const auto encode_rows = [&](std::int64_t r0, std::int64_t r1) {
+    const int lo = static_cast<int>(r0);
+    const int hi = static_cast<int>(r1);
+    for (int i = lo; i < hi; ++i) {
+      chk(i, 0) = 0.0;
+      chk(i, 1) = 0.0;
     }
+    for (int c = 0; c < a.cols(); ++c) {
+      const double* col = &a(0, c);
+      const double w = c + 1.0;
+      for (int i = lo; i < hi; ++i) {
+        chk(i, 0) += col[i];
+        chk(i, 1) += w * col[i];
+      }
+    }
+  };
+  if (use_pool_for(static_cast<long long>(a.rows()) * a.cols())) {
+    common::global_pool().parallel_for_chunks(0, a.rows(), encode_rows);
+  } else {
+    encode_rows(0, a.rows());
   }
 }
 

@@ -20,9 +20,14 @@
 //   * emit Opt-2 placement decisions (with the model's predicted
 //     costs), Opt-3 skips, corrections, checksum repairs, checkpoints,
 //     rollbacks and reruns.
+//
+// Thread safety: a mutex serializes the recording methods, so kernels
+// running on thread-pool workers may report through a shared Telemetry;
+// the attached sink and injector are only ever touched under that lock.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "abft/checksum.hpp"
 #include "abft/options.hpp"
@@ -81,6 +86,7 @@ class Telemetry {
   [[nodiscard]] std::int64_t match_injection(int row0, int rows, int col0,
                                              int cols, int chk_row0) const;
 
+  mutable std::mutex mu_;
   sim::Machine& m_;
   obs::EventSink* sink_;
   obs::MetricsRegistry* metrics_;

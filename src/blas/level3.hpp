@@ -1,9 +1,12 @@
 // BLAS Level-3: matrix-matrix operations on column-major views.
 //
 // These are the routines MAGMA's hybrid Cholesky dispatches to the GPU
-// (GEMM, SYRK, TRSM). The implementations are cache-blocked scalar code:
-// correctness and exact FLOP accounting matter here, raw speed is
-// supplied by the simulator's device cost model.
+// (GEMM, SYRK, TRSM). The implementations are cache-blocked with packed
+// operand panels and a register-tiled microkernel (plain C++ written so
+// the compiler auto-vectorizes), parallelized over row panels through
+// the shared thread pool (common/thread_pool.hpp). The naive loops in
+// blas/reference.cpp remain the conformance oracle; docs/performance.md
+// describes the blocking scheme and how to tune it.
 #pragma once
 
 #include "blas/types.hpp"
@@ -13,6 +16,18 @@ namespace ftla::blas {
 
 using ftla::ConstMatrixView;
 using ftla::MatrixView;
+
+// Blocking parameters of the packed GEMM core (see docs/performance.md).
+// Exposed so tests can probe sizes straddling the panel boundaries and
+// benches can report the configuration they measured.
+inline constexpr int kGemmMR = 8;    ///< microkernel rows (register tile)
+inline constexpr int kGemmNR = 6;    ///< microkernel cols (register tile)
+inline constexpr int kGemmMC = 120;  ///< packed-A panel rows (L2 resident)
+inline constexpr int kGemmKC = 256;  ///< shared panel depth (L1/L2)
+inline constexpr int kGemmNC = 1024; ///< packed-B panel cols (L3 resident)
+/// Diagonal-block width of the blocked triangular routines (TRSM/TRMM)
+/// and the SYRK column panel.
+inline constexpr int kTriBlock = 64;
 
 /// C := alpha * op(A) op(B) + beta * C
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView<double> a,

@@ -1,0 +1,205 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ftla::common {
+
+namespace {
+thread_local bool t_in_pool_body = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  // Job state: one job at a time, guarded by submit_mu. Workers claim
+  // [next, next+grain) slices with a fetch_add; a lane that claimed a
+  // slice holds `working` until its body calls return. Claims are
+  // impossible once next >= end, so a late-waking worker can never
+  // touch a job whose submitter already returned.
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::mutex submit_mu;
+
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<int> working{0};
+  std::uint64_t seq = 0;
+  bool stop = false;
+
+  std::vector<std::thread> workers;
+
+  void run_slices() {
+    t_in_pool_body = true;
+    for (;;) {
+      const std::int64_t lo = next.fetch_add(grain);
+      if (lo >= end) break;
+      const std::int64_t hi = lo + grain < end ? lo + grain : end;
+      (*body)(lo, hi);
+    }
+    t_in_pool_body = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_work.wait(lk, [&] { return stop || seq != seen; });
+        if (stop) return;
+        seen = seq;
+        if (next.load(std::memory_order_relaxed) >= end) continue;
+        working.fetch_add(1, std::memory_order_relaxed);
+      }
+      run_slices();
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (working.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          cv_done.notify_all();
+        }
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = hardware_threads();
+  lanes_ = threads < 1 ? 1 : threads;
+  impl_ = new Impl;
+  for (int i = 1; i < lanes_; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return t_in_pool_body; }
+
+void ThreadPool::parallel_for_chunks(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  // Nesting ban: a submission from inside any pool body runs inline so
+  // nested parallelism can neither oversubscribe nor deadlock.
+  if (lanes_ <= 1 || t_in_pool_body) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t count = end - begin;
+  const std::int64_t grain = (count + lanes_ - 1) / lanes_;
+
+  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->body = &body;
+    impl_->end = end;
+    impl_->grain = grain;
+    impl_->next.store(begin, std::memory_order_relaxed);
+    ++impl_->seq;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_slices();  // the caller is a lane too
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_done.wait(lk, [&] {
+    return impl_->next.load(std::memory_order_relaxed) >= impl_->end &&
+           impl_->working.load(std::memory_order_acquire) == 0;
+  });
+  impl_->body = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (lanes_ <= 1 || t_in_pool_body) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // Grain of 1: indices are claimed one at a time, which load-balances
+  // tasks of very uneven cost (fault-campaign scenarios).
+  const std::function<void(std::int64_t, std::int64_t)> chunk =
+      [&body](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      };
+  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->body = &chunk;
+    impl_->end = end;
+    impl_->grain = 1;
+    impl_->next.store(begin, std::memory_order_relaxed);
+    ++impl_->seq;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_slices();
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_done.wait(lk, [&] {
+    return impl_->next.load(std::memory_order_relaxed) >= impl_->end &&
+           impl_->working.load(std::memory_order_acquire) == 0;
+  });
+  impl_->body = nullptr;
+}
+
+int hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_pool_lanes = 0;  // 0 = unconfigured
+
+int env_default_threads() {
+  if (const char* env = std::getenv("FTLA_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+    if (n == 0) return hardware_threads();
+  }
+  return 1;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    g_pool_lanes = env_default_threads();
+    g_pool = std::make_unique<ThreadPool>(g_pool_lanes);
+  }
+  return *g_pool;
+}
+
+int global_threads() noexcept {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool) return g_pool_lanes;
+  return env_default_threads();
+}
+
+void set_global_threads(int threads) {
+  if (threads <= 0) threads = hardware_threads();
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool && g_pool_lanes == threads) return;
+  g_pool.reset();  // joins workers before the replacement spins up
+  g_pool_lanes = threads;
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace ftla::common

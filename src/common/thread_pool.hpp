@@ -1,0 +1,80 @@
+// Shared host thread pool: parallel-for over index ranges.
+//
+// One pool serves every parallel host path in ftla — the blocked level-3
+// BLAS (parallel over MC row panels), checksum block recalculation (the
+// host-side analogue of the paper's Opt-1 concurrent-recalc streams),
+// and the fault-campaign scenario executor. Usage rules (enforced, see
+// docs/performance.md):
+//
+//   * Only non-pool threads may submit work. A parallel_for issued from
+//     inside a pool body (any pool's body) runs INLINE on the calling
+//     worker — nesting never spawns nested parallelism and never
+//     deadlocks, and a worker-thread caller observes serial semantics.
+//   * Bodies must not throw: exceptions cannot cross the pool boundary
+//     and will terminate the process.
+//   * Work partitioning never changes the result: each index (or chunk)
+//     is executed exactly once by exactly one thread, so any body whose
+//     per-index work is independent is bit-deterministic regardless of
+//     the thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ftla::common {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total lane count including the submitting thread;
+  /// <= 1 means no workers (everything runs inline) and 0 means "use
+  /// hardware_threads()".
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (worker threads + the submitting caller); always >= 1.
+  [[nodiscard]] int threads() const noexcept { return lanes_; }
+
+  /// Runs body(i) for every i in [begin, end), distributing indices
+  /// dynamically across lanes (the caller participates). Blocks until
+  /// every index has completed. Indices are claimed one at a time, so
+  /// use this for coarse tasks (scenarios, blocks), not tight loops.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& body);
+
+  /// Runs body(lo, hi) over a static partition of [begin, end) into
+  /// ~threads() contiguous chunks. Each chunk is claimed by exactly one
+  /// lane, which lets the body reuse per-chunk scratch (e.g. a packed
+  /// panel buffer) across the chunk's indices.
+  void parallel_for_chunks(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// True while the calling thread is executing inside any pool body
+  /// (used to run nested submissions inline).
+  static bool in_parallel_region() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int lanes_ = 1;
+};
+
+/// std::thread::hardware_concurrency() with a floor of 1.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// The process-wide pool used by the BLAS and checksum layers. Starts
+/// with FTLA_THREADS lanes (default 1 — fully serial) on first use.
+ThreadPool& global_pool();
+
+/// Lane count of the global pool (>= 1) without forcing construction of
+/// worker threads when it was never configured.
+[[nodiscard]] int global_threads() noexcept;
+
+/// Rebuilds the global pool with `threads` lanes (0 = hardware). Must
+/// not be called while any pool work is in flight.
+void set_global_threads(int threads);
+
+}  // namespace ftla::common

@@ -8,6 +8,7 @@
 #include <limits>
 #include <memory>
 #include <iostream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "blas/qr.hpp"
 #include "common/fp.hpp"
 #include "common/spd.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/process.hpp"
 #include "obs/event_sink.hpp"
 #include "sim/machine.hpp"
@@ -294,61 +296,110 @@ Scenario random_scenario(Rng& rng, const CampaignOptions& opt) {
   return sc;
 }
 
+namespace {
+
+/// Folds one finished scenario into the summary; the unexpected-verdict
+/// handling (deterministic twin + shrinking) re-runs scenarios, so with
+/// a parallel campaign this only ever executes in the serial merge
+/// phase, in draw order — making the whole summary order-independent of
+/// the worker schedule.
+void merge_one(CampaignSummary& sum, const Scenario& sc,
+               const ScenarioResult& res, const CampaignOptions& opt) {
+  ++sum.scenarios_run;
+  sum.faults_fired += res.faults_fired;
+  sum.faults_detected += res.faults_detected;
+  sum.ecc_absorbed += res.ecc_absorbed;
+  sum.transfer_faults += res.transfer_faults;
+  const std::string key = std::string(to_string(sc.algo)) + "/" +
+                          abft::to_string(sc.variant);
+  sum.verdicts[key][static_cast<int>(res.verdict)] += 1;
+
+  bool unexpected = false;
+  if (res.verdict == Verdict::Sdc && sc.variant == opt.guarded) {
+    ++sum.guarded_sdc;
+    unexpected = true;
+  }
+  if (res.verdict == Verdict::FailStop && res.faults_fired == 0) {
+    ++sum.unexpected_fail_stop;
+    unexpected = true;
+  }
+  if (unexpected) {
+    CampaignFailure f;
+    // `scenario` stays the original stochastic run — the seeded
+    // arrival process makes it replayable as-is. The deterministic
+    // twin turns the fired faults into a planned list with the
+    // process disabled; shrinking starts from the twin.
+    f.scenario = sc;
+    f.result = res;
+    Scenario twin_sc = sc;
+    twin_sc.mtbf_s = 0.0;
+    twin_sc.plan = res.fired_plan;
+    f.shrunk = twin_sc;
+    const ScenarioResult twin = run_scenario(twin_sc);
+    f.reproduced = twin.verdict == res.verdict;
+    if (f.reproduced && opt.shrink_failures) {
+      ShrinkOutcome so = shrink_scenario(twin_sc, res.verdict,
+                                         opt.max_shrink_runs);
+      f.shrunk = std::move(so.scenario);
+      f.shrink_runs = so.runs;
+    }
+    sum.failures.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
 CampaignSummary run_campaign(const CampaignOptions& opt,
                              obs::MetricsRegistry* metrics,
                              std::ostream* progress, int progress_every) {
   CampaignSummary sum;
   Rng rng(opt.seed != 0 ? opt.seed : 1);
 
-  for (int i = 0; i < opt.scenarios; ++i) {
-    const Scenario sc = random_scenario(rng, opt);
-    const ScenarioResult res = run_scenario(sc);
-    ++sum.scenarios_run;
-    sum.faults_fired += res.faults_fired;
-    sum.faults_detected += res.faults_detected;
-    sum.ecc_absorbed += res.ecc_absorbed;
-    sum.transfer_faults += res.transfer_faults;
-    const std::string key = std::string(to_string(sc.algo)) + "/" +
-                            abft::to_string(sc.variant);
-    sum.verdicts[key][static_cast<int>(res.verdict)] += 1;
-
-    bool unexpected = false;
-    if (res.verdict == Verdict::Sdc && sc.variant == opt.guarded) {
-      ++sum.guarded_sdc;
-      unexpected = true;
-    }
-    if (res.verdict == Verdict::FailStop && res.faults_fired == 0) {
-      ++sum.unexpected_fail_stop;
-      unexpected = true;
-    }
-    if (unexpected) {
-      CampaignFailure f;
-      // `scenario` stays the original stochastic run — the seeded
-      // arrival process makes it replayable as-is. The deterministic
-      // twin turns the fired faults into a planned list with the
-      // process disabled; shrinking starts from the twin.
-      f.scenario = sc;
-      f.result = res;
-      Scenario twin_sc = sc;
-      twin_sc.mtbf_s = 0.0;
-      twin_sc.plan = res.fired_plan;
-      f.shrunk = twin_sc;
-      const ScenarioResult twin = run_scenario(twin_sc);
-      f.reproduced = twin.verdict == res.verdict;
-      if (f.reproduced && opt.shrink_failures) {
-        ShrinkOutcome so = shrink_scenario(twin_sc, res.verdict,
-                                           opt.max_shrink_runs);
-        f.shrunk = std::move(so.scenario);
-        f.shrink_runs = so.runs;
+  if (opt.threads == 1 || opt.scenarios <= 1) {
+    for (int i = 0; i < opt.scenarios; ++i) {
+      const Scenario sc = random_scenario(rng, opt);
+      const ScenarioResult res = run_scenario(sc);
+      merge_one(sum, sc, res, opt);
+      if (progress != nullptr && progress_every > 0 &&
+          (i + 1) % progress_every == 0) {
+        *progress << "[campaign] " << (i + 1) << "/" << opt.scenarios
+                  << " scenarios, " << sum.faults_fired << " faults fired, "
+                  << sum.failures.size() << " failures\n";
       }
-      sum.failures.push_back(std::move(f));
     }
-
-    if (progress != nullptr && progress_every > 0 &&
-        (i + 1) % progress_every == 0) {
-      *progress << "[campaign] " << (i + 1) << "/" << opt.scenarios
-                << " scenarios, " << sum.faults_fired << " faults fired, "
-                << sum.failures.size() << " failures\n";
+  } else {
+    // Parallel executor. Scenarios are pre-drawn serially (identical rng
+    // draw order to the serial path), executed with a grain of 1 so
+    // expensive scenarios load-balance, then merged in draw order. Each
+    // run_scenario is self-contained (own machine, matrices, injector),
+    // and BLAS nested inside a pool worker runs inline, so per-scenario
+    // results are bit-identical to the serial campaign.
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(static_cast<std::size_t>(opt.scenarios));
+    for (int i = 0; i < opt.scenarios; ++i) {
+      scenarios.push_back(random_scenario(rng, opt));
+    }
+    std::vector<ScenarioResult> results(scenarios.size());
+    common::ThreadPool pool(opt.threads);
+    std::mutex progress_mu;
+    int completed = 0;
+    pool.parallel_for(0, opt.scenarios, [&](std::int64_t i) {
+      results[static_cast<std::size_t>(i)] =
+          run_scenario(scenarios[static_cast<std::size_t>(i)]);
+      if (progress != nullptr && progress_every > 0) {
+        std::lock_guard<std::mutex> lk(progress_mu);
+        ++completed;
+        if (completed % progress_every == 0) {
+          // Completion-order progress: counts only — the aggregate
+          // numbers of the serial path are not known until the merge.
+          *progress << "[campaign] " << completed << "/" << opt.scenarios
+                    << " scenarios completed\n";
+        }
+      }
+    });
+    for (int i = 0; i < opt.scenarios; ++i) {
+      merge_one(sum, scenarios[static_cast<std::size_t>(i)],
+                results[static_cast<std::size_t>(i)], opt);
     }
   }
 

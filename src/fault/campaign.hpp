@@ -121,6 +121,13 @@ struct CampaignOptions {
   abft::Variant guarded = abft::Variant::EnhancedOnline;
   bool shrink_failures = true;
   int max_shrink_runs = 64;
+  /// Scenario-level parallelism (0 = all hardware threads). Scenarios
+  /// are pre-drawn serially from the campaign seed, executed on a local
+  /// thread pool, and merged in draw order, so every per-scenario
+  /// verdict, fired plan and the whole summary (including shrinking,
+  /// which runs in the serial merge phase) is bit-identical to a
+  /// single-threaded campaign.
+  int threads = 1;
 };
 
 /// Draws a randomized scenario (algorithm, variant, recovery, size,

@@ -3,6 +3,8 @@
 namespace ftla::obs {
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (this == &other) return;
+  std::scoped_lock lk(mu_, other.mu_);
   for (const auto& [name, v] : other.counters_) counters_[name] += v;
   for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
   for (const auto& [name, h] : other.histograms_) {

@@ -11,10 +11,19 @@
 // e.g. "abft.verify.gemm_blocks", "abft.detection_latency_s",
 // "sim.h2d_bytes". Units are spelled in the trailing segment (_s,
 // _bytes, _blocks) rather than in a separate field.
+//
+// Thread safety: the value-passing mutators (add_counter, set_gauge,
+// record_histogram, merge) and the has_* queries are serialized by an
+// internal mutex, so concurrent recording from thread-pool workers is
+// safe. The reference-returning accessors (counter(), gauge(),
+// histogram()) and the iteration views remain single-threaded by
+// contract — they are for setup and export phases, when no worker is
+// recording.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,17 +33,45 @@ namespace ftla::obs {
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& other) { *this = other; }
+  MetricsRegistry& operator=(const MetricsRegistry& other) {
+    if (this == &other) return *this;
+    std::scoped_lock lk(mu_, other.mu_);
+    counters_ = other.counters_;
+    gauges_ = other.gauges_;
+    histograms_ = other.histograms_;
+    return *this;
+  }
+
   /// Returns the counter, creating it at zero. The reference stays valid
-  /// for the registry's lifetime (std::map nodes are stable).
+  /// for the registry's lifetime (std::map nodes are stable). Not
+  /// thread-safe: use add_counter from concurrent code.
   long long& counter(const std::string& name) { return counters_[name]; }
   void add_counter(const std::string& name, long long delta) {
+    std::lock_guard<std::mutex> lk(mu_);
     counters_[name] += delta;
   }
 
+  /// Not thread-safe; use set_gauge from concurrent code.
   double& gauge(const std::string& name) { return gauges_[name]; }
-  void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+  void set_gauge(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    gauges_[name] = v;
+  }
+
+  /// Thread-safe sample recording into a (default-edged) histogram.
+  void record_histogram(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    it->second.add(value);
+  }
 
   /// Returns the histogram, creating it with default log-spaced edges.
+  /// Not thread-safe; use record_histogram from concurrent code.
   Histogram& histogram(const std::string& name) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
@@ -54,9 +91,11 @@ class MetricsRegistry {
   }
 
   [[nodiscard]] bool has_counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return counters_.count(name) != 0;
   }
   [[nodiscard]] bool has_histogram(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return histograms_.count(name) != 0;
   }
 
@@ -77,6 +116,7 @@ class MetricsRegistry {
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, long long> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;

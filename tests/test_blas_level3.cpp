@@ -172,6 +172,206 @@ TEST(Symmetrize, MirrorsUpperToLower) {
     for (int i = 0; i < 5; ++i) EXPECT_EQ(a(i, j), a(j, i));
 }
 
+// --------------------------------------------------------------------
+// Cache-blocked path: sizes straddling the packing-panel boundaries.
+// --------------------------------------------------------------------
+
+class GemmBoundaryParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, Trans, Trans, double, double>> {};
+
+TEST_P(GemmBoundaryParam, MatchesReferenceAroundPanelEdges) {
+  const auto [m, k, ta, tb, alpha, beta] = GetParam();
+  const int n = kGemmNR + 1;  // forces a partial NR strip as well
+  auto a = ta == Trans::No ? random_matrix(m, k, 21) : random_matrix(k, m, 21);
+  auto b = tb == Trans::No ? random_matrix(k, n, 22) : random_matrix(n, k, 22);
+  auto c = random_matrix(m, n, 23);
+  auto c_ref = c;
+  gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view());
+  ref::gemm(ta, tb, alpha, a.view(), b.view(), beta, c_ref.view());
+  EXPECT_MATRIX_NEAR(c, c_ref, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelEdges, GemmBoundaryParam,
+    ::testing::Combine(::testing::Values(kGemmMC - 1, kGemmMC + 1),
+                       ::testing::Values(kGemmKC - 1, kGemmKC + 1),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(-1.0, 0.3),
+                       ::testing::Values(0.0, 0.3)));
+
+TEST(GemmBlocked, FullAlphaBetaGridOnBlockedPath) {
+  // Big enough for the packed core, awkward enough (primes) to leave
+  // partial MR/NR/KC tiles everywhere.
+  const int m = 37, n = 29, k = 41;
+  for (const double alpha : {0.0, 1.0, -1.0, 0.3}) {
+    for (const double beta : {0.0, 1.0, -1.0, 0.3}) {
+      auto a = random_matrix(m, k, 24);
+      auto b = random_matrix(k, n, 25);
+      auto c = random_matrix(m, n, 26);
+      auto c_ref = c;
+      gemm(Trans::No, Trans::No, alpha, a.view(), b.view(), beta, c.view());
+      ref::gemm(Trans::No, Trans::No, alpha, a.view(), b.view(), beta,
+                c_ref.view());
+      EXPECT_MATRIX_NEAR(c, c_ref, 1e-10);
+    }
+  }
+}
+
+TEST(GemmBlocked, NonContiguousViewsAtPanelBoundary) {
+  // ld > rows on every operand, with the operation size right at the
+  // MC/KC packing edges.
+  const int m = kGemmMC + 1, n = kGemmNR + 2, k = kGemmKC + 1;
+  auto big_a = random_matrix(m + 9, k + 5, 27);
+  auto big_b = random_matrix(k + 7, n + 3, 28);
+  auto big_c = random_matrix(m + 4, n + 6, 29);
+  auto c_ref = big_c;
+  gemm(Trans::No, Trans::No, 1.0, big_a.block(3, 2, m, k),
+       big_b.block(5, 1, k, n), -0.5, big_c.block(2, 4, m, n));
+  ref::gemm(Trans::No, Trans::No, 1.0,
+            ConstMatrixView<double>(big_a.block(3, 2, m, k)),
+            ConstMatrixView<double>(big_b.block(5, 1, k, n)), -0.5,
+            c_ref.block(2, 4, m, n));
+  EXPECT_MATRIX_NEAR(big_c, c_ref, 1e-9);
+}
+
+class SyrkBoundaryParam
+    : public ::testing::TestWithParam<std::tuple<int, Uplo, Trans>> {};
+
+TEST_P(SyrkBoundaryParam, MatchesReferenceAroundTriBlockEdges) {
+  const auto [n, uplo, trans] = GetParam();
+  const int k = kGemmKC + 1;
+  auto a =
+      trans == Trans::No ? random_matrix(n, k, 30) : random_matrix(k, n, 30);
+  auto c = random_matrix(n, n, 31);
+  auto c_ref = c;
+  syrk(uplo, trans, -1.0, a.view(), 0.3, c.view());
+  ref::syrk(uplo, trans, -1.0, a.view(), 0.3, c_ref.view());
+  EXPECT_MATRIX_NEAR(c, c_ref, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelEdges, SyrkBoundaryParam,
+    ::testing::Combine(::testing::Values(kTriBlock - 1, kTriBlock + 1,
+                                         2 * kTriBlock + 1),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes)));
+
+class TriBoundaryParam
+    : public ::testing::TestWithParam<
+          std::tuple<int, Side, Uplo, Trans, Diag>> {};
+
+/// Triangular factor that stays well-conditioned at depth 2*kTriBlock+1
+/// even with a unit diagonal: small centered off-diagonals keep the
+/// substitution from amplifying exponentially (which would drown the
+/// blocked-vs-reference comparison in conditioning noise).
+Matrix<double> boundary_tri(int ka, std::uint64_t seed) {
+  auto a = random_matrix(ka, ka, seed);
+  for (int j = 0; j < ka; ++j) {
+    for (int i = 0; i < ka; ++i) a(i, j) = 0.2 * (a(i, j) - 0.5);
+  }
+  for (int i = 0; i < ka; ++i) a(i, i) = 3.0 + 0.5 * i;
+  return a;
+}
+
+TEST_P(TriBoundaryParam, TrsmMatchesReferenceAroundTriBlockEdges) {
+  const auto [sz, side, uplo, trans, diag] = GetParam();
+  const int m = side == Side::Left ? sz : 33;
+  const int n = side == Side::Left ? 33 : sz;
+  const int ka = side == Side::Left ? m : n;
+  auto a = boundary_tri(ka, 32);
+  auto b = random_matrix(m, n, 33);
+  auto b_ref = b;
+  trsm(side, uplo, trans, diag, -0.7, a.view(), b.view());
+  ref::trsm(side, uplo, trans, diag, -0.7, a.view(), b_ref.view());
+  EXPECT_MATRIX_NEAR(b, b_ref, 1e-9);
+}
+
+TEST_P(TriBoundaryParam, TrmmMatchesReferenceAroundTriBlockEdges) {
+  const auto [sz, side, uplo, trans, diag] = GetParam();
+  const int m = side == Side::Left ? sz : 33;
+  const int n = side == Side::Left ? 33 : sz;
+  const int ka = side == Side::Left ? m : n;
+  auto a = boundary_tri(ka, 34);
+  auto b = random_matrix(m, n, 35);
+  auto b_ref = b;
+  trmm(side, uplo, trans, diag, 0.3, a.view(), b.view());
+  ref::trmm(side, uplo, trans, diag, 0.3, a.view(), b_ref.view());
+  EXPECT_MATRIX_NEAR(b, b_ref, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelEdges, TriBoundaryParam,
+    ::testing::Combine(::testing::Values(kTriBlock - 1, kTriBlock + 1,
+                                         2 * kTriBlock + 1),
+                       ::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+// --------------------------------------------------------------------
+// Thread-count invariance: the parallel GEMM core partitions C into
+// disjoint tiles with a barrier per KC step, so results must be
+// BIT-identical for every thread count, not merely close.
+// --------------------------------------------------------------------
+
+class ThreadedBlas : public ::testing::Test {
+ protected:
+  void TearDown() override { common::set_global_threads(1); }
+};
+
+TEST_F(ThreadedBlas, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const int n = 2 * kGemmMC + 7;  // several MC panels => real fan-out
+  auto a = random_matrix(n, n, 36);
+  auto b = random_matrix(n, n, 37);
+  auto tri = random_matrix(n, n, 38);
+  for (int i = 0; i < n; ++i) tri(i, i) = 4.0 + 0.25 * i;
+
+  common::set_global_threads(1);
+  auto c1 = random_matrix(n, n, 39);
+  auto s1 = random_matrix(n, n, 40);
+  auto t1 = random_matrix(n, n, 41);
+  auto w1 = random_matrix(n, n, 42);
+  gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0, c1.view());
+  syrk(Uplo::Lower, Trans::No, -1.0, a.view(), 1.0, s1.view());
+  trsm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, tri.view(),
+       t1.view());
+  trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0, tri.view(),
+       w1.view());
+
+  for (const int threads : {2, 4}) {
+    common::set_global_threads(threads);
+    auto c = random_matrix(n, n, 39);
+    auto s = random_matrix(n, n, 40);
+    auto t = random_matrix(n, n, 41);
+    auto w = random_matrix(n, n, 42);
+    gemm(Trans::No, Trans::Yes, -1.0, a.view(), b.view(), 1.0, c.view());
+    syrk(Uplo::Lower, Trans::No, -1.0, a.view(), 1.0, s.view());
+    trsm(Side::Right, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, tri.view(),
+         t.view());
+    trmm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0, tri.view(),
+         w.view());
+    EXPECT_TRUE(c == c1) << "gemm differs at threads=" << threads;
+    EXPECT_TRUE(s == s1) << "syrk differs at threads=" << threads;
+    EXPECT_TRUE(t == t1) << "trsm differs at threads=" << threads;
+    EXPECT_TRUE(w == w1) << "trmm differs at threads=" << threads;
+  }
+}
+
+TEST_F(ThreadedBlas, ParallelGemmMatchesReference) {
+  const int m = kGemmMC * 2 + 3, n = 65, k = kGemmKC + 9;
+  common::set_global_threads(4);
+  auto a = random_matrix(m, k, 43);
+  auto b = random_matrix(k, n, 44);
+  auto c = random_matrix(m, n, 45);
+  auto c_ref = c;
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), -0.3, c.view());
+  ref::gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), -0.3,
+            c_ref.view());
+  EXPECT_MATRIX_NEAR(c, c_ref, 1e-9);
+}
+
 TEST(FlopCounts, MatchClosedForms) {
   EXPECT_EQ(gemm_flops(3, 4, 5), 120);
   EXPECT_EQ(syrk_flops(4, 6), 4 * 5 * 6);

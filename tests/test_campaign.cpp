@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -13,6 +14,7 @@
 #include "abft/cholesky.hpp"
 #include "blas/lapack.hpp"
 #include "common/fp.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/campaign.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
@@ -78,6 +80,89 @@ TEST(Campaign, DeterministicForSeed) {
   EXPECT_EQ(a.faults_fired, b.faults_fired);
   EXPECT_EQ(a.faults_detected, b.faults_detected);
   EXPECT_EQ(a.verdicts, b.verdicts);
+}
+
+TEST(Campaign, ParallelCampaignBitIdenticalToSerial) {
+  // The parallel executor pre-draws scenarios in the serial draw order
+  // and merges in draw order, so the whole summary — aggregates,
+  // verdict histogram, and every shrunk failure plan — must match a
+  // single-threaded campaign exactly, not statistically.
+  CampaignOptions opt;
+  opt.scenarios = 24;
+  opt.seed = 7;
+  const CampaignSummary serial = run_campaign(opt);
+
+  CampaignOptions par = opt;
+  par.threads = 4;
+  const CampaignSummary parallel = run_campaign(par);
+
+  EXPECT_EQ(serial.scenarios_run, parallel.scenarios_run);
+  EXPECT_EQ(serial.faults_fired, parallel.faults_fired);
+  EXPECT_EQ(serial.faults_detected, parallel.faults_detected);
+  EXPECT_EQ(serial.ecc_absorbed, parallel.ecc_absorbed);
+  EXPECT_EQ(serial.transfer_faults, parallel.transfer_faults);
+  EXPECT_EQ(serial.guarded_sdc, parallel.guarded_sdc);
+  EXPECT_EQ(serial.unexpected_fail_stop, parallel.unexpected_fail_stop);
+  EXPECT_EQ(serial.verdicts, parallel.verdicts);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    const CampaignFailure& a = serial.failures[i];
+    const CampaignFailure& b = parallel.failures[i];
+    EXPECT_EQ(a.result.verdict, b.result.verdict);
+    EXPECT_EQ(a.reproduced, b.reproduced);
+    EXPECT_EQ(a.shrink_runs, b.shrink_runs);
+    EXPECT_EQ(format_scenario(a.scenario), format_scenario(b.scenario));
+    EXPECT_EQ(format_scenario(a.shrunk), format_scenario(b.shrunk));
+  }
+}
+
+TEST(Campaign, WorkerExecutionMatchesInlinePerScenario) {
+  // Per-scenario bit-identity: the same scenario run on a pool worker
+  // (where nested BLAS parallelism is forced inline) must give the same
+  // verdict, residual and fired plan as an inline run on this thread.
+  CampaignOptions opt;
+  Rng rng(13);
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 12; ++i) scenarios.push_back(random_scenario(rng, opt));
+
+  std::vector<ScenarioResult> inline_res(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    inline_res[i] = run_scenario(scenarios[i]);
+  }
+
+  std::vector<ScenarioResult> pooled_res(scenarios.size());
+  common::ThreadPool pool(4);
+  pool.parallel_for(0, static_cast<std::int64_t>(scenarios.size()),
+                    [&](std::int64_t i) {
+                      const auto u = static_cast<std::size_t>(i);
+                      pooled_res[u] = run_scenario(scenarios[u]);
+                    });
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& a = inline_res[i];
+    const ScenarioResult& b = pooled_res[i];
+    EXPECT_EQ(a.verdict, b.verdict) << "scenario " << i;
+    EXPECT_EQ(a.success, b.success);
+    if (std::isnan(a.residual)) {
+      EXPECT_TRUE(std::isnan(b.residual));
+    } else {
+      EXPECT_EQ(a.residual, b.residual) << "scenario " << i;
+    }
+    EXPECT_EQ(a.faults_fired, b.faults_fired);
+    EXPECT_EQ(a.faults_detected, b.faults_detected);
+    EXPECT_EQ(a.errors_corrected, b.errors_corrected);
+    EXPECT_EQ(a.rollbacks, b.rollbacks);
+    EXPECT_EQ(a.reruns, b.reruns);
+    // Compare fired plans through the replay serialization (exact
+    // round-trip format, so equal text means equal faults).
+    Scenario ta = scenarios[i];
+    ta.mtbf_s = 0.0;
+    ta.plan = a.fired_plan;
+    Scenario tb = scenarios[i];
+    tb.mtbf_s = 0.0;
+    tb.plan = b.fired_plan;
+    EXPECT_EQ(format_scenario(ta), format_scenario(tb)) << "scenario " << i;
+  }
 }
 
 TEST(Campaign, DeterministicTwinReproducesStochasticRun) {

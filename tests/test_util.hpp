@@ -9,6 +9,7 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/spd.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ftla::test {
 
@@ -22,11 +23,16 @@ inline std::uint64_t root_seed(std::uint64_t def) {
   return def;
 }
 
-/// Every assertion failure in scope reports the seed needed to replay
-/// the failing case. Use together with root_seed().
-#define FTLA_SEED_TRACE(seed)                                       \
-  SCOPED_TRACE("seed=" + std::to_string(seed) +                     \
-               " (replay with FTLA_TEST_SEED=" + std::to_string(seed) + ")")
+/// Every assertion failure in scope reports the seed AND the thread
+/// count needed to replay the failing case: parallel results are
+/// bit-identical by design, but a replay must still pin both knobs to
+/// be fully specified (FTLA_THREADS picks the global pool width).
+#define FTLA_SEED_TRACE(seed)                                            \
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " threads=" +            \
+               std::to_string(ftla::common::global_threads()) +          \
+               " (replay with FTLA_TEST_SEED=" + std::to_string(seed) +  \
+               " FTLA_THREADS=" +                                        \
+               std::to_string(ftla::common::global_threads()) + ")")
 
 inline Matrix<double> random_matrix(int rows, int cols, std::uint64_t seed) {
   Matrix<double> m(rows, cols);

@@ -34,6 +34,9 @@ using namespace ftla;
       "  --seed S             campaign seed (default 1)\n"
       "  --blocks LO:HI       matrix size range in 16-wide blocks "
       "(default 3:7)\n"
+      "  --threads N          run scenarios on N worker threads\n"
+      "                       (0 = all cores; default 1). Verdicts and\n"
+      "                       fired plans are bit-identical to serial\n"
       "  --report FILE.json   write the campaign metrics report\n"
       "  --failures-out FILE  write shrunk failure plans (replayable)\n"
       "  --replay FILE        run one scenario from FILE instead of a\n"
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--scenarios") opt.scenarios = std::atoi(need(i));
     else if (arg == "--seed") opt.seed = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--threads") opt.threads = std::atoi(need(i));
     else if (arg == "--blocks") {
       const std::string v = need(i);
       if (std::sscanf(v.c_str(), "%d:%d", &opt.min_blocks,
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     else usage(("unknown option " + arg).c_str());
   }
   if (opt.scenarios <= 0) usage("--scenarios must be positive");
+  if (opt.threads < 0) usage("--threads must be >= 0");
   if (opt.min_blocks < 1 || opt.max_blocks < opt.min_blocks) {
     usage("--blocks range is empty");
   }
@@ -189,6 +194,7 @@ int main(int argc, char** argv) {
     report.add_meta("tool", "fault_campaign_cli");
     report.add_meta("scenarios", std::to_string(opt.scenarios));
     report.add_meta("seed", std::to_string(opt.seed));
+    report.add_meta("threads", std::to_string(opt.threads));
     report.add_meta("guarded_variant", abft::to_string(opt.guarded));
     report.metrics = metrics;
     if (!obs::write_metrics_json_file(report, report_path)) {

@@ -12,6 +12,8 @@
 //     --placement auto|cpu|gpu|blocking   Opt-2 placement
 //     --no-opt1                           serialize checksum recalcs
 //     --mode numeric|timing               execution mode
+//     --threads N                         host BLAS worker threads
+//                                         (0 = all cores; default 1)
 //     --faults N                          random faults to inject (numeric)
 //     --fault-seed S                      fault plan seed
 //     --seed S                            matrix seed
@@ -41,6 +43,7 @@
 #include "fault/campaign.hpp"
 #include "blas/qr.hpp"
 #include "common/spd.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
@@ -59,7 +62,8 @@ using namespace ftla;
                "  [--block B] [--variant enhanced|online|offline|noft|cula|"
                "dmr|tmr]\n"
                "  [--k K] [--placement auto|cpu|gpu|blocking] [--no-opt1]\n"
-               "  [--mode numeric|timing] [--faults N] [--fault-seed S]\n"
+               "  [--mode numeric|timing] [--threads N] [--faults N]\n"
+               "  [--fault-seed S]\n"
                "  [--seed S] [--trace-out FILE.json] [--metrics-out "
                "FILE.json]\n"
                "  [--summary]\n"
@@ -93,6 +97,7 @@ struct Args {
   std::string placement = "auto";
   bool opt1 = true;
   std::string mode = "numeric";
+  int threads = 1;
   int faults = 0;
   std::uint64_t fault_seed = 1;
   std::uint64_t seed = 42;
@@ -120,6 +125,7 @@ Args parse(int argc, char** argv) {
     else if (opt == "--placement") a.placement = need(i);
     else if (opt == "--no-opt1") a.opt1 = false;
     else if (opt == "--mode") a.mode = need(i);
+    else if (opt == "--threads") a.threads = std::atoi(need(i));
     else if (opt == "--faults") a.faults = std::atoi(need(i));
     else if (opt == "--fault-seed") a.fault_seed = std::strtoull(need(i), nullptr, 10);
     else if (opt == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
@@ -130,6 +136,7 @@ Args parse(int argc, char** argv) {
     else usage(("unknown option " + opt).c_str());
   }
   if (a.n <= 0) usage("--n must be positive");
+  if (a.threads < 0) usage("--threads must be >= 0");
   if (a.k <= 0) usage("--k must be positive");
   return a;
 }
@@ -138,6 +145,7 @@ Args parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  common::set_global_threads(args.threads);
 
   sim::MachineProfile profile;
   if (args.machine == "tardis") profile = sim::tardis();
