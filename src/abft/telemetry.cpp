@@ -1,6 +1,5 @@
 #include "abft/telemetry.hpp"
 
-#include <mutex>
 #include <string>
 
 namespace ftla::abft {
@@ -31,7 +30,7 @@ Telemetry::Telemetry(sim::Machine& m, obs::EventSink* sink,
 }
 
 void Telemetry::verify_scheduled(fault::Op attr, std::size_t blocks) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr && blocks > 0) {
     metrics_->add_counter(verify_counter_name(attr),
                           static_cast<long long>(blocks));
@@ -41,7 +40,7 @@ void Telemetry::verify_scheduled(fault::Op attr, std::size_t blocks) {
 void Telemetry::verify_skipped(fault::Op attr, std::size_t blocks,
                                int iteration) {
   if (blocks == 0) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr) {
     metrics_->add_counter("abft.verify.skipped_blocks",
                           static_cast<long long>(blocks));
@@ -83,7 +82,7 @@ void Telemetry::block_verified(const VerifyOutcome& out, fault::Op attr,
                                std::int64_t recalc_flops, int row0, int rows,
                                int col0, int cols, int chk_row0) {
   if (!active()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   const double now = m_.host_now();
   const bool clean = out.clean();
   if (sink_ != nullptr) {
@@ -184,7 +183,7 @@ void Telemetry::block_verified(const VerifyOutcome& out, fault::Op attr,
 void Telemetry::placement_decided(UpdatePlacement requested,
                                   UpdatePlacement chosen, double t_pick_gpu_s,
                                   double t_pick_cpu_s) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr) {
     metrics_->set_gauge("abft.opt2.t_pick_gpu_s", t_pick_gpu_s);
     metrics_->set_gauge("abft.opt2.t_pick_cpu_s", t_pick_cpu_s);
@@ -203,7 +202,7 @@ void Telemetry::placement_decided(UpdatePlacement requested,
 }
 
 void Telemetry::checkpoint_taken(int next_iteration) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr) metrics_->add_counter("abft.checkpoints", 1);
   if (sink_ != nullptr) {
     obs::Event e;
@@ -217,7 +216,7 @@ void Telemetry::checkpoint_taken(int next_iteration) {
 }
 
 void Telemetry::rollback(int to_iteration) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr) metrics_->add_counter("abft.rollbacks", 1);
   if (sink_ != nullptr) {
     obs::Event e;
@@ -232,7 +231,7 @@ void Telemetry::rollback(int to_iteration) {
 }
 
 void Telemetry::rerun(int rerun_count, const char* reason) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (metrics_ != nullptr) metrics_->add_counter("abft.reruns", 1);
   if (sink_ != nullptr) {
     obs::Event e;

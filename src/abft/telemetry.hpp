@@ -24,12 +24,15 @@
 // Thread safety: a mutex serializes the recording methods, so kernels
 // running on thread-pool workers may report through a shared Telemetry;
 // the attached sink and injector are only ever touched under that lock.
+// The pointers themselves are wired once at construction and immutable
+// after, and the locking is annotated for clang's -Wthread-safety
+// (docs/static-analysis.md).
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "abft/checksum.hpp"
+#include "common/thread_annotations.hpp"
 #include "abft/options.hpp"
 #include "fault/fault.hpp"
 #include "obs/event_sink.hpp"
@@ -82,16 +85,18 @@ class Telemetry {
 
  private:
   /// Oldest still-latent injection whose target lies in the given
-  /// ranges; -1 when none.
+  /// ranges; -1 when none. Reads the injector's records, so the caller
+  /// must hold the recording lock.
   [[nodiscard]] std::int64_t match_injection(int row0, int rows, int col0,
-                                             int cols, int chk_row0) const;
+                                             int cols, int chk_row0) const
+      FTLA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   sim::Machine& m_;
-  obs::EventSink* sink_;
-  obs::MetricsRegistry* metrics_;
-  fault::Injector* injector_;
-  double last_detection_latency_ = 0.0;
+  obs::EventSink* const sink_;
+  obs::MetricsRegistry* const metrics_;
+  fault::Injector* const injector_;
+  double last_detection_latency_ FTLA_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace ftla::abft

@@ -83,7 +83,7 @@ void gemm_small(Trans ta, Trans tb, double alpha, ConstMatrixView<double> a,
 /// Packs op(A)[ic:ic+mc, pc:pc+kc] (alpha folded in) into MR-row strips;
 /// partial strips are zero-padded so the microkernel always runs full
 /// width. `a` is the storage view: m x k when ta == No, k x m otherwise.
-void pack_a_panel(Trans ta, const ConstMatrixView<double>& a, double alpha,
+void pack_a_panel(Trans ta, ConstMatrixView<double> a, double alpha,
                   int ic, int pc, int mc, int kc, double* buf) {
   for (int is = 0; is < mc; is += kGemmMR) {
     const int mr = std::min(kGemmMR, mc - is);
@@ -102,7 +102,7 @@ void pack_a_panel(Trans ta, const ConstMatrixView<double>& a, double alpha,
 }
 
 /// Packs op(B)[pc:pc+kc, jc:jc+nc] into NR-column strips (zero-padded).
-void pack_b_panel(Trans tb, const ConstMatrixView<double>& b, int pc, int jc,
+void pack_b_panel(Trans tb, ConstMatrixView<double> b, int pc, int jc,
                   int kc, int nc, double* buf) {
   for (int js = 0; js < nc; js += kGemmNR) {
     const int nr = std::min(kGemmNR, nc - js);
@@ -158,8 +158,8 @@ void micro_kernel(int kc, const double* ap, const double* bp, double* c,
 /// row panels: every C tile is written by exactly one lane and the KC
 /// loop is a barrier between accumulation steps, so the result is
 /// bit-identical for every thread count.
-void gemm_core(Trans ta, const ConstMatrixView<double>& a, Trans tb,
-               const ConstMatrixView<double>& b, double alpha, int k,
+void gemm_core(Trans ta, ConstMatrixView<double> a, Trans tb,
+               ConstMatrixView<double> b, double alpha, int k,
                MatrixView<double> c) {
   const int m = c.rows();
   const int n = c.cols();

@@ -1,0 +1,24 @@
+// Process exit-code contract shared by every ftla command-line tool.
+//
+// Shell scripts and CI jobs branch on these values to tell the honest
+// failure mode (fail-stop) from the dangerous one (silent data
+// corruption), so every `return` path in a tools/*_cli.cpp main must go
+// through one of these constants — a project invariant machine-checked
+// by ftla_lint's exit-code-contract rule (docs/static-analysis.md).
+//
+// Tools whose domain has no fail-stop/SDC axis (e.g. ftla_lint itself)
+// still use the shared scale: kExitFailStop doubles as "the tool did its
+// job and the verdict is bad" (lint findings, failed replay), keeping
+// "4" reserved for SDC everywhere.
+#pragma once
+
+namespace ftla::common {
+
+inline constexpr int kExitSuccess = 0;   ///< clean (or expected) outcome
+inline constexpr int kExitIoError = 1;   ///< could not read/write a file
+inline constexpr int kExitUsage = 2;     ///< bad command line
+inline constexpr int kExitFailStop = 3;  ///< run ended in fail-stop /
+                                         ///< findings reported
+inline constexpr int kExitSdc = 4;       ///< silent data corruption
+
+}  // namespace ftla::common

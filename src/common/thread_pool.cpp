@@ -1,14 +1,13 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ftla::common {
 
@@ -22,22 +21,29 @@ struct ThreadPool::Impl {
   // slice holds `working` until its body calls return. Claims are
   // impossible once next >= end, so a late-waking worker can never
   // touch a job whose submitter already returned.
-  std::mutex mu;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  std::mutex submit_mu;
+  Mutex mu;
+  CondVar cv_work;
+  CondVar cv_done;
+  Mutex submit_mu;
 
-  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
-  std::int64_t end = 0;
-  std::int64_t grain = 1;
+  // body/end/grain are published under `mu` before `seq` is bumped and
+  // stay frozen until the submitter has seen every lane drain (cv_done
+  // under `mu`), which is why run_slices may read them lock-free.
+  const std::function<void(std::int64_t, std::int64_t)>* body
+      FTLA_GUARDED_BY(mu) = nullptr;
+  std::int64_t end FTLA_GUARDED_BY(mu) = 0;
+  std::int64_t grain FTLA_GUARDED_BY(mu) = 1;
   std::atomic<std::int64_t> next{0};
   std::atomic<int> working{0};
-  std::uint64_t seq = 0;
-  bool stop = false;
+  std::uint64_t seq FTLA_GUARDED_BY(mu) = 0;
+  bool stop FTLA_GUARDED_BY(mu) = false;
 
   std::vector<std::thread> workers;
 
-  void run_slices() {
+  // Reads body/end/grain without holding `mu`: safe under the publish
+  // protocol above (acquire via the seq handshake, frozen until every
+  // lane drained), but outside what the static analysis can model.
+  void run_slices() FTLA_NO_THREAD_SAFETY_ANALYSIS {
     t_in_pool_body = true;
     for (;;) {
       const std::int64_t lo = next.fetch_add(grain);
@@ -52,8 +58,8 @@ struct ThreadPool::Impl {
     std::uint64_t seen = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lk(mu);
-        cv_work.wait(lk, [&] { return stop || seq != seen; });
+        MutexLock lk(mu);
+        while (!stop && seq == seen) cv_work.wait(mu);
         if (stop) return;
         seen = seq;
         if (next.load(std::memory_order_relaxed) >= end) continue;
@@ -61,7 +67,7 @@ struct ThreadPool::Impl {
       }
       run_slices();
       {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         if (working.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           cv_done.notify_all();
         }
@@ -81,7 +87,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv_work.notify_all();
@@ -104,9 +110,9 @@ void ThreadPool::parallel_for_chunks(
   const std::int64_t count = end - begin;
   const std::int64_t grain = (count + lanes_ - 1) / lanes_;
 
-  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  MutexLock submit(impl_->submit_mu);
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->body = &body;
     impl_->end = end;
     impl_->grain = grain;
@@ -115,12 +121,14 @@ void ThreadPool::parallel_for_chunks(
   }
   impl_->cv_work.notify_all();
   impl_->run_slices();  // the caller is a lane too
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  impl_->cv_done.wait(lk, [&] {
-    return impl_->next.load(std::memory_order_relaxed) >= impl_->end &&
-           impl_->working.load(std::memory_order_acquire) == 0;
-  });
-  impl_->body = nullptr;
+  {
+    MutexLock lk(impl_->mu);
+    while (impl_->next.load(std::memory_order_relaxed) < impl_->end ||
+           impl_->working.load(std::memory_order_acquire) != 0) {
+      impl_->cv_done.wait(impl_->mu);
+    }
+    impl_->body = nullptr;
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -137,9 +145,9 @@ void ThreadPool::parallel_for(
       [&body](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) body(i);
       };
-  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  MutexLock submit(impl_->submit_mu);
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     impl_->body = &chunk;
     impl_->end = end;
     impl_->grain = 1;
@@ -148,12 +156,14 @@ void ThreadPool::parallel_for(
   }
   impl_->cv_work.notify_all();
   impl_->run_slices();
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  impl_->cv_done.wait(lk, [&] {
-    return impl_->next.load(std::memory_order_relaxed) >= impl_->end &&
-           impl_->working.load(std::memory_order_acquire) == 0;
-  });
-  impl_->body = nullptr;
+  {
+    MutexLock lk(impl_->mu);
+    while (impl_->next.load(std::memory_order_relaxed) < impl_->end ||
+           impl_->working.load(std::memory_order_acquire) != 0) {
+      impl_->cv_done.wait(impl_->mu);
+    }
+    impl_->body = nullptr;
+  }
 }
 
 int hardware_threads() noexcept {
@@ -163,9 +173,9 @@ int hardware_threads() noexcept {
 
 namespace {
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
-int g_pool_lanes = 0;  // 0 = unconfigured
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool FTLA_GUARDED_BY(g_pool_mu);
+int g_pool_lanes FTLA_GUARDED_BY(g_pool_mu) = 0;  // 0 = unconfigured
 
 int env_default_threads() {
   if (const char* env = std::getenv("FTLA_THREADS")) {
@@ -179,7 +189,7 @@ int env_default_threads() {
 }  // namespace
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(g_pool_mu);
   if (!g_pool) {
     g_pool_lanes = env_default_threads();
     g_pool = std::make_unique<ThreadPool>(g_pool_lanes);
@@ -188,14 +198,14 @@ ThreadPool& global_pool() {
 }
 
 int global_threads() noexcept {
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(g_pool_mu);
   if (g_pool) return g_pool_lanes;
   return env_default_threads();
 }
 
 void set_global_threads(int threads) {
   if (threads <= 0) threads = hardware_threads();
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(g_pool_mu);
   if (g_pool && g_pool_lanes == threads) return;
   g_pool.reset();  // joins workers before the replacement spins up
   g_pool_lanes = threads;

@@ -16,6 +16,12 @@
 //     is executed exactly once by exactly one thread, so any body whose
 //     per-index work is independent is bit-deterministic regardless of
 //     the thread count.
+//
+// The pool's internal locking is written against the annotated
+// primitives in common/thread_annotations.hpp, so clang's
+// `-Wthread-safety` checks the guarded state machine on every build
+// (see docs/static-analysis.md); the lock-free slice loop documents its
+// publish protocol at the one place the analysis is waived.
 #pragma once
 
 #include <cstdint>

@@ -8,7 +8,6 @@
 #include <limits>
 #include <memory>
 #include <iostream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -20,6 +19,7 @@
 #include "blas/qr.hpp"
 #include "common/fp.hpp"
 #include "common/spd.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/process.hpp"
 #include "obs/event_sink.hpp"
@@ -334,7 +334,6 @@ void merge_one(CampaignSummary& sum, const Scenario& sc,
     Scenario twin_sc = sc;
     twin_sc.mtbf_s = 0.0;
     twin_sc.plan = res.fired_plan;
-    f.shrunk = twin_sc;
     const ScenarioResult twin = run_scenario(twin_sc);
     f.reproduced = twin.verdict == res.verdict;
     if (f.reproduced && opt.shrink_failures) {
@@ -342,6 +341,8 @@ void merge_one(CampaignSummary& sum, const Scenario& sc,
                                          opt.max_shrink_runs);
       f.shrunk = std::move(so.scenario);
       f.shrink_runs = so.runs;
+    } else {
+      f.shrunk = std::move(twin_sc);
     }
     sum.failures.push_back(std::move(f));
   }
@@ -381,13 +382,13 @@ CampaignSummary run_campaign(const CampaignOptions& opt,
     }
     std::vector<ScenarioResult> results(scenarios.size());
     common::ThreadPool pool(opt.threads);
-    std::mutex progress_mu;
+    common::Mutex progress_mu;
     int completed = 0;
     pool.parallel_for(0, opt.scenarios, [&](std::int64_t i) {
       results[static_cast<std::size_t>(i)] =
           run_scenario(scenarios[static_cast<std::size_t>(i)]);
       if (progress != nullptr && progress_every > 0) {
-        std::lock_guard<std::mutex> lk(progress_mu);
+        common::MutexLock lk(progress_mu);
         ++completed;
         if (completed % progress_every == 0) {
           // Completion-order progress: counts only — the aggregate

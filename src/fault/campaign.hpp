@@ -36,19 +36,20 @@
 #include <vector>
 
 #include "abft/options.hpp"
+#include "common/exit_codes.hpp"
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace ftla::fault {
 
-// Exit-code contract shared by fault_campaign_cli and ftla_cli so shell
-// scripts can tell the honest failure mode from the dangerous one.
-inline constexpr int kExitSuccess = 0;   ///< clean (or expected) outcome
-inline constexpr int kExitIoError = 1;   ///< could not read/write a file
-inline constexpr int kExitUsage = 2;     ///< bad command line
-inline constexpr int kExitFailStop = 3;  ///< run ended in fail-stop
-inline constexpr int kExitSdc = 4;       ///< silent data corruption
+// Exit-code contract shared by every CLI tool; canonical definitions
+// live in common/exit_codes.hpp (re-exported here for existing users).
+using common::kExitFailStop;
+using common::kExitIoError;
+using common::kExitSdc;
+using common::kExitSuccess;
+using common::kExitUsage;
 
 enum class Algo { Cholesky, Lu, Qr };
 enum class Verdict { Corrected, RolledBack, Rerun, FailStop, Sdc };

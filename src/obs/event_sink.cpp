@@ -45,9 +45,18 @@ void RingBufferSink::emit(const Event& e) {
   ++dropped_;
 }
 
-std::size_t RingBufferSink::size() const noexcept { return buf_.size(); }
+std::size_t RingBufferSink::size() const {
+  common::MutexLock lk(mu_);
+  return buf_.size();
+}
+
+std::size_t RingBufferSink::dropped() const {
+  common::MutexLock lk(mu_);
+  return dropped_;
+}
 
 std::vector<Event> RingBufferSink::events() const {
+  common::MutexLock lk(mu_);
   std::vector<Event> out;
   out.reserve(buf_.size());
   for (std::size_t i = 0; i < buf_.size(); ++i) {

@@ -10,6 +10,13 @@
 //                       and counts what it dropped.
 //   * JsonlStreamSink — one JSON object per line to any std::ostream,
 //                       for piping a live run into external tooling.
+//
+// Thread safety: `post` is serialized by an internal mutex held across
+// sequence stamping AND the concrete emit, so one posted event is
+// atomic end to end — events from thread-pool workers interleave whole,
+// never torn, and the sequence numbers match arrival order. The
+// accessors take the same lock; clang's -Wthread-safety checks all of
+// it (see docs/static-analysis.md).
 #pragma once
 
 #include <cstddef>
@@ -17,6 +24,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/event.hpp"
 
 namespace ftla::obs {
@@ -27,23 +35,31 @@ class EventSink {
 
   /// Stamps the sequence number and delivers the event.
   void post(Event e) {
+    common::MutexLock lk(mu_);
     e.seq = next_seq_++;
     emit(e);
   }
 
   /// Events posted so far (including any a bounded sink later dropped).
-  [[nodiscard]] std::int64_t posted() const noexcept { return next_seq_; }
+  [[nodiscard]] std::int64_t posted() const {
+    common::MutexLock lk(mu_);
+    return next_seq_;
+  }
 
  protected:
-  virtual void emit(const Event& e) = 0;
+  /// Called with mu_ held: a concrete sink's state is guarded by the
+  /// same lock, so implementations need no locking of their own.
+  virtual void emit(const Event& e) FTLA_REQUIRES(mu_) = 0;
+
+  mutable common::Mutex mu_;
 
  private:
-  std::int64_t next_seq_ = 0;
+  std::int64_t next_seq_ FTLA_GUARDED_BY(mu_) = 0;
 };
 
 class NullSink final : public EventSink {
  protected:
-  void emit(const Event&) override {}
+  void emit(const Event&) override {}  // no state: nothing to guard
 };
 
 class RingBufferSink final : public EventSink {
@@ -54,20 +70,20 @@ class RingBufferSink final : public EventSink {
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<Event> events() const;
-  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Events overwritten because the buffer was full.
-  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t dropped() const;
 
  protected:
-  void emit(const Event& e) override;
+  void emit(const Event& e) override FTLA_REQUIRES(mu_);
 
  private:
-  std::size_t capacity_;
-  std::vector<Event> buf_;   // ring storage once full
-  std::size_t head_ = 0;     // next write position when full
-  bool full_ = false;
-  std::size_t dropped_ = 0;
+  const std::size_t capacity_;
+  std::vector<Event> buf_ FTLA_GUARDED_BY(mu_);  // ring storage once full
+  std::size_t head_ FTLA_GUARDED_BY(mu_) = 0;    // next write slot if full
+  bool full_ FTLA_GUARDED_BY(mu_) = false;
+  std::size_t dropped_ FTLA_GUARDED_BY(mu_) = 0;
 };
 
 class JsonlStreamSink final : public EventSink {
@@ -75,7 +91,7 @@ class JsonlStreamSink final : public EventSink {
   explicit JsonlStreamSink(std::ostream& os) : os_(os) {}
 
  protected:
-  void emit(const Event& e) override;
+  void emit(const Event& e) override FTLA_REQUIRES(mu_);
 
  private:
   std::ostream& os_;

@@ -4,13 +4,24 @@ namespace ftla::obs {
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   if (this == &other) return;
-  std::scoped_lock lk(mu_, other.mu_);
-  for (const auto& [name, v] : other.counters_) counters_[name] += v;
-  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
-  for (const auto& [name, h] : other.histograms_) {
+  // Snapshot the source under its own lock, then fold under ours — same
+  // one-lock-at-a-time discipline as operator=.
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  {
+    common::MutexLock lk(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  common::MutexLock lk(mu_);
+  for (const auto& [name, v] : counters) counters_[name] += v;
+  for (const auto& [name, v] : gauges) gauges_[name] = v;
+  for (auto& [name, h] : histograms) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      histograms_.emplace(name, h);
+      histograms_.emplace(name, std::move(h));
     } else {
       it->second.merge(h);
     }

@@ -10,24 +10,32 @@
 // Naming convention: dotted lowercase paths, `<layer>.<noun>[.<sub>]` —
 // e.g. "abft.verify.gemm_blocks", "abft.detection_latency_s",
 // "sim.h2d_bytes". Units are spelled in the trailing segment (_s,
-// _bytes, _blocks) rather than in a separate field.
+// _bytes, _blocks) rather than in a separate field. The convention is
+// machine-checked by ftla_lint's metrics-naming rule
+// (docs/static-analysis.md).
 //
 // Thread safety: the value-passing mutators (add_counter, set_gauge,
 // record_histogram, merge) and the has_* queries are serialized by an
 // internal mutex, so concurrent recording from thread-pool workers is
-// safe. The reference-returning accessors (counter(), gauge(),
-// histogram()) and the iteration views remain single-threaded by
-// contract — they are for setup and export phases, when no worker is
-// recording.
+// safe; clang's -Wthread-safety checks the locking. The
+// reference-returning accessors (counter(), gauge(), histogram()) and
+// the iteration views remain single-threaded by contract — they are for
+// setup and export phases, when no worker is recording. Debug builds
+// enforce that contract: the first reference-accessor call claims an
+// owner thread, and any later call from a different thread aborts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ftla::obs {
 
@@ -37,32 +45,52 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry& other) { *this = other; }
   MetricsRegistry& operator=(const MetricsRegistry& other) {
     if (this == &other) return *this;
-    std::scoped_lock lk(mu_, other.mu_);
-    counters_ = other.counters_;
-    gauges_ = other.gauges_;
-    histograms_ = other.histograms_;
+    // Snapshot under the source lock, then install under ours: locking
+    // one registry at a time keeps the analysis exact and makes a lock
+    // order impossible to get wrong.
+    std::map<std::string, long long> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+    {
+      common::MutexLock lk(other.mu_);
+      counters = other.counters_;
+      gauges = other.gauges_;
+      histograms = other.histograms_;
+    }
+    common::MutexLock lk(mu_);
+    counters_ = std::move(counters);
+    gauges_ = std::move(gauges);
+    histograms_ = std::move(histograms);
     return *this;
   }
 
   /// Returns the counter, creating it at zero. The reference stays valid
   /// for the registry's lifetime (std::map nodes are stable). Not
   /// thread-safe: use add_counter from concurrent code.
-  long long& counter(const std::string& name) { return counters_[name]; }
+  long long& counter(const std::string& name) {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
+    return counters_[name];
+  }
   void add_counter(const std::string& name, long long delta) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     counters_[name] += delta;
   }
 
   /// Not thread-safe; use set_gauge from concurrent code.
-  double& gauge(const std::string& name) { return gauges_[name]; }
+  double& gauge(const std::string& name) {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
+    return gauges_[name];
+  }
   void set_gauge(const std::string& name, double v) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     gauges_[name] = v;
   }
 
   /// Thread-safe sample recording into a (default-edged) histogram.
   void record_histogram(const std::string& name, double value) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       it = histograms_.emplace(name, Histogram{}).first;
@@ -73,6 +101,8 @@ class MetricsRegistry {
   /// Returns the histogram, creating it with default log-spaced edges.
   /// Not thread-safe; use record_histogram from concurrent code.
   Histogram& histogram(const std::string& name) {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       it = histograms_.emplace(name, Histogram{}).first;
@@ -83,6 +113,8 @@ class MetricsRegistry {
   /// are ignored when the histogram already exists.
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& upper_edges) {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       it = histograms_.emplace(name, Histogram{upper_edges}).first;
@@ -91,11 +123,11 @@ class MetricsRegistry {
   }
 
   [[nodiscard]] bool has_counter(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     return counters_.count(name) != 0;
   }
   [[nodiscard]] bool has_histogram(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     return histograms_.count(name) != 0;
   }
 
@@ -104,22 +136,51 @@ class MetricsRegistry {
   /// histograms merge bucket-wise (edges must match).
   void merge(const MetricsRegistry& other);
 
-  // Deterministically ordered iteration for exporters.
+  // Deterministically ordered iteration for exporters. Single-threaded
+  // by the same contract as the reference accessors: the returned view
+  // must not be walked while workers are still recording.
   [[nodiscard]] const std::map<std::string, long long>& counters() const {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
     return gauges_;
   }
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    assert_single_threaded_ref();
+    common::MutexLock lk(mu_);
     return histograms_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, long long> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  /// Debug-build enforcement of the reference accessors' single-threaded
+  /// contract (a comment-only rule before): the first call claims the
+  /// registry for its thread; a call from any other thread aborts with a
+  /// pointer at the thread-safe mutators. Compiled out under NDEBUG.
+  void assert_single_threaded_ref() const {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!ref_thread_.compare_exchange_strong(expected, self,
+                                             std::memory_order_relaxed)) {
+      FTLA_CHECK_MSG(expected == self,
+                     "MetricsRegistry reference accessor called from a "
+                     "second thread; concurrent code must use add_counter/"
+                     "set_gauge/record_histogram");
+    }
+#endif
+  }
+
+  mutable common::Mutex mu_;
+  std::map<std::string, long long> counters_ FTLA_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ FTLA_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ FTLA_GUARDED_BY(mu_);
+#ifndef NDEBUG
+  mutable std::atomic<std::thread::id> ref_thread_{};
+#endif
 };
 
 }  // namespace ftla::obs

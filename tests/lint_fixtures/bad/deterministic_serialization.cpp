@@ -1,0 +1,22 @@
+// Fixture: iterating an unordered container inside a function that
+// writes serialized output must fire deterministic-serialization.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void dump_counters(const std::unordered_map<std::string, long>& counters,
+                   std::ostream& os) {
+  for (const auto& kv : counters) {  // line 9: unordered iteration + <<
+    os << kv.first << "=" << kv.second << "\n";
+  }
+}
+
+struct Exporter {
+  std::unordered_map<std::string, double> gauges_;
+
+  void to_json(std::ostream& os) const {
+    for (auto it = gauges_.begin(); it != gauges_.end(); ++it) {  // line 18
+      os << it->first;
+    }
+  }
+};

@@ -1,0 +1,17 @@
+// Fixture: scanned under a tools/*_cli.cpp virtual path, every raw
+// exit status here must fire exit-code-contract (plus the
+// missing-contract finding, since kExit* never appears).
+#include <cstdlib>
+
+int main(int argc, char**) {
+  if (argc > 3) {
+    std::exit(2);  // line 8: raw exit()
+  }
+  if (argc > 2) {
+    return EXIT_FAILURE;  // line 11: macro return
+  }
+  if (argc > 1) {
+    return 1;  // line 14: numeric return from main
+  }
+  return 0;  // line 16: numeric return from main
+}

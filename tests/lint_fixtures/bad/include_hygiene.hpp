@@ -1,0 +1,8 @@
+// Fixture: a header (scanned under src/) pulling in heavyweight
+// standard includes must fire include-hygiene on each.
+#pragma once
+
+#include <iostream>  // line 5: banned in headers
+#include <regex>     // line 6: banned in headers
+
+inline void trace(const char* msg) { std::cout << msg; }

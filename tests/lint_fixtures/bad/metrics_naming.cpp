@@ -1,0 +1,15 @@
+// Fixture: every literal metric name here violates the
+// subsystem.noun[_unit] convention and must fire metrics-naming.
+struct Registry {
+  long& counter(const char*);
+  void add_counter(const char*, long);
+  void set_gauge(const char*, double);
+  void record_histogram(const char*, double);
+};
+
+void report(Registry& reg) {
+  reg.counter("blocks") += 1;              // line 11: no dot
+  reg.add_counter("abft.Verify", 1);       // line 12: uppercase segment
+  reg.set_gauge("abft..gap", 0.5);         // line 13: empty segment
+  reg.record_histogram("2fast.metric", 1); // line 14: leading digit
+}

@@ -1,0 +1,17 @@
+// Fixture: every randomness construct here must fire
+// no-raw-randomness regardless of where the file sits.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  return rand() % 6;  // line 7: rand()
+}
+
+void reseed() {
+  srand(42);  // line 11: srand()
+}
+
+unsigned entropy() {
+  std::random_device rd;  // line 15: random_device
+  return rd();
+}

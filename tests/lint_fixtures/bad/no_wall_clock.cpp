@@ -1,0 +1,22 @@
+// Fixture: every timing construct here must fire no-wall-clock when
+// the file is scanned under a src/sim virtual path.
+#include <chrono>
+#include <ctime>
+
+double sample_system_clock() {
+  auto now = std::chrono::system_clock::now();  // line 7: system_clock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long sample_time() {
+  return time(nullptr);  // line 12: time()
+}
+
+long sample_clock() {
+  return clock();  // line 16: clock()
+}
+
+double sample_steady() {
+  auto t = std::chrono::steady_clock::now();  // line 20: steady_clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: an allow() comment naming a different rule does not silence
+// the finding — this must still fire no-wall-clock.
+#include <ctime>
+
+long sample() {
+  return time(nullptr);  // ftla-lint: allow(no-raw-randomness)
+}

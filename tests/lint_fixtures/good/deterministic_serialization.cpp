@@ -1,0 +1,19 @@
+// Fixture: must stay silent — ordered iteration while serializing,
+// and unordered iteration in functions that never serialize.
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void dump_sorted(const std::map<std::string, long>& counters,
+                 std::ostream& os) {
+  for (const auto& kv : counters) {  // std::map: deterministic order
+    os << kv.first << "=" << kv.second << "\n";
+  }
+}
+
+long total(const std::unordered_map<std::string, long>& tallies) {
+  long sum = 0;
+  for (const auto& kv : tallies) sum += kv.second;  // no sink here
+  return sum;
+}

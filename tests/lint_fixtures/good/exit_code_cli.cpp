@@ -1,0 +1,19 @@
+// Fixture: must stay silent under a tools/*_cli.cpp virtual path —
+// exit paths use the shared contract; numeric returns in helper
+// functions (not main) are fine.
+namespace ftla::common {
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitUsage = 2;
+}  // namespace ftla::common
+
+int parse_count(const char* s) {
+  if (s == nullptr) return 0;  // helper: numeric return is fine here
+  return 1;
+}
+
+int main(int argc, char** argv) {
+  if (parse_count(argc > 1 ? argv[1] : nullptr) == 0) {
+    return ftla::common::kExitUsage;
+  }
+  return ftla::common::kExitSuccess;
+}

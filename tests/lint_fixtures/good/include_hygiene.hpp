@@ -1,0 +1,10 @@
+// Fixture: must stay silent — forward-declaration headers are the
+// sanctioned alternative, and project includes are never banned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+
+void trace(std::ostream& os, const std::string& msg);

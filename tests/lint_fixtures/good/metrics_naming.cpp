@@ -1,0 +1,15 @@
+// Fixture: must stay silent — compliant dotted names, runtime-built
+// names (outside the rule's reach), and banned shapes in comments.
+#include <string>
+
+struct Registry {
+  long& counter(const std::string&);
+  void set_gauge(const std::string&, double);
+};
+
+void report(Registry& reg, const std::string& op) {
+  reg.counter("abft.verify.dgemm_blocks") += 1;
+  reg.set_gauge("sim.queue_depth", 3.0);
+  reg.counter("abft.verify." + op) += 1;  // assembled name: not judged
+  // reg.counter("BAD") in a comment must not fire.
+}

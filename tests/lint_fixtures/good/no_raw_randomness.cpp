@@ -1,0 +1,18 @@
+// Fixture: must stay silent — seeded Rng usage and identifiers that
+// merely contain the banned substrings.
+struct Rng {
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  double uniform() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state_ >> 11) / 9007199254740992.0;
+  }
+  unsigned long long state_;
+};
+
+double operand(double x) { return x; }  // contains "rand(" mid-word
+
+double draw(Rng& rng) {
+  // rand() in a comment must not fire.
+  const char* note = "srand(1) in a string must not fire";
+  return rng.uniform() + operand(note[0] == 's' ? 1.0 : 0.0);
+}

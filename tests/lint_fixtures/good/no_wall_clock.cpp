@@ -1,0 +1,15 @@
+// Fixture: none of this may fire no-wall-clock — identifiers that
+// merely contain clock/time words, commented-out violations, and
+// violations inside string literals.
+struct Machine {
+  double host_now() const { return now_; }
+  double now_ = 0.0;
+};
+
+double detection_time(const Machine& m) {
+  // auto t = std::chrono::system_clock::now();  (comment: must not fire)
+  const char* label = "time(nullptr) inside a string must not fire";
+  double wall_clock_budget = 0.0;  // identifier containing clock
+  double timeline = m.host_now();  // virtual clock is the sanctioned source
+  return timeline + wall_clock_budget + static_cast<double>(label[0] != '\0');
+}

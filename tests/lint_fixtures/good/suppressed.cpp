@@ -1,0 +1,12 @@
+// Fixture: must stay silent — both suppression placements (same line,
+// line above) naming the firing rule.
+#include <ctime>
+
+long same_line() {
+  return time(nullptr);  // ftla-lint: allow(no-wall-clock) calibration only
+}
+
+long line_above() {
+  // ftla-lint: allow(no-wall-clock, no-raw-randomness)
+  return time(nullptr);
+}

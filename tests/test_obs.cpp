@@ -104,19 +104,19 @@ TEST(MetricsRegistry, CountersGaugesHistograms) {
 TEST(MetricsRegistry, MergeAddsCountersAndFoldsHistograms) {
   MetricsRegistry a;
   MetricsRegistry b;
-  a.counter("n") = 2;
-  b.counter("n") = 3;
-  b.counter("only_b") = 7;
-  a.set_gauge("g", 1.0);
-  b.set_gauge("g", 9.0);
-  a.histogram("h", {1.0, 10.0}).add(0.5);
-  b.histogram("h", {1.0, 10.0}).add(5.0);
+  a.counter("merge.n") = 2;
+  b.counter("merge.n") = 3;
+  b.counter("merge.only_b") = 7;
+  a.set_gauge("merge.g", 1.0);
+  b.set_gauge("merge.g", 9.0);
+  a.histogram("merge.h", {1.0, 10.0}).add(0.5);
+  b.histogram("merge.h", {1.0, 10.0}).add(5.0);
   a.merge(b);
-  EXPECT_EQ(a.counters().at("n"), 5);
-  EXPECT_EQ(a.counters().at("only_b"), 7);
-  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 9.0);  // last writer wins
-  EXPECT_EQ(a.histogram("h").count(), 2);
-  EXPECT_DOUBLE_EQ(a.histogram("h").max(), 5.0);
+  EXPECT_EQ(a.counters().at("merge.n"), 5);
+  EXPECT_EQ(a.counters().at("merge.only_b"), 7);
+  EXPECT_DOUBLE_EQ(a.gauges().at("merge.g"), 9.0);  // last writer wins
+  EXPECT_EQ(a.histogram("merge.h").count(), 2);
+  EXPECT_DOUBLE_EQ(a.histogram("merge.h").max(), 5.0);
 }
 
 TEST(MetricsReportJson, SchemaAndSections) {
@@ -125,8 +125,8 @@ TEST(MetricsReportJson, SchemaAndSections) {
   report.add_meta("mode", "numeric");
   report.metrics.counter("z.last") = 1;
   report.metrics.counter("a.first") = 2;
-  report.metrics.set_gauge("g", 0.5);
-  report.metrics.histogram("h", {1.0}).add(3.0);
+  report.metrics.set_gauge("report.g", 0.5);
+  report.metrics.histogram("report.h", {1.0}).add(3.0);
   std::ostringstream os;
   write_metrics_json(report, os);
   const std::string s = os.str();

@@ -1,0 +1,125 @@
+// ftla_lint — command-line driver for the project-invariant linter.
+//
+// Usage:
+//   ftla_lint [--config FILE] [--root DIR] [--quiet] PATH...
+//   ftla_lint --list-rules
+//
+// Paths are files or directories, resolved relative to --root (default:
+// the current directory). Exit codes follow the shared contract:
+// kExitSuccess when the tree is clean, kExitFailStop when findings were
+// reported, kExitUsage for bad flags, kExitIoError when inputs could
+// not be read.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/exit_codes.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: ftla_lint [--config FILE] [--root DIR] [--quiet] PATH...\n"
+      "       ftla_lint --list-rules\n"
+      "       ftla_lint --dump-config\n"
+      "\n"
+      "Lints C++ sources under each PATH against the project's domain\n"
+      "invariants (see docs/static-analysis.md). Exits %d when clean,\n"
+      "%d when findings were reported.\n",
+      ftla::common::kExitSuccess, ftla::common::kExitFailStop);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftla;
+
+  std::string config_path;
+  std::string root = ".";
+  bool quiet = false;
+  bool list_rules = false;
+  bool dump_config = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return common::kExitSuccess;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--dump-config") {
+      dump_config = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--config") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "ftla_lint: --config needs a file argument\n");
+        return common::kExitUsage;
+      }
+      config_path = argv[i];
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "ftla_lint: --root needs a directory argument\n");
+        return common::kExitUsage;
+      }
+      root = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ftla_lint: unknown flag '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return common::kExitUsage;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const lint::RuleInfo& r : lint::rule_catalog()) {
+      std::printf("%-28s %s\n", r.name, r.summary);
+    }
+    return common::kExitSuccess;
+  }
+
+  lint::Config config = lint::default_config();
+  if (!config_path.empty()) {
+    std::string error;
+    if (!lint::load_config(config_path, &config, &error)) {
+      std::fprintf(stderr, "ftla_lint: %s\n", error.c_str());
+      return common::kExitIoError;
+    }
+  }
+
+  if (dump_config) {
+    std::fputs(lint::format_config(config).c_str(), stdout);
+    return common::kExitSuccess;
+  }
+
+  if (paths.empty()) {
+    std::fprintf(stderr, "ftla_lint: no paths given\n");
+    print_usage(stderr);
+    return common::kExitUsage;
+  }
+
+  std::vector<std::string> io_errors;
+  const std::vector<lint::Finding> findings =
+      lint::lint_paths(paths, root, config, &io_errors);
+
+  for (const std::string& err : io_errors) {
+    std::fprintf(stderr, "ftla_lint: %s\n", err.c_str());
+  }
+  if (!quiet) {
+    for (const lint::Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  if (!findings.empty() && !quiet) {
+    std::printf("ftla_lint: %zu finding%s\n", findings.size(),
+                findings.size() == 1 ? "" : "s");
+  }
+
+  if (!io_errors.empty()) return common::kExitIoError;
+  return findings.empty() ? common::kExitSuccess : common::kExitFailStop;
+}

@@ -1,0 +1,210 @@
+// Config parsing/serialization for ftla_lint: a deliberately small TOML
+// subset (integer, boolean and string-array values; [rule.<name>]
+// sections) so the tool stays dependency-free. format_config and
+// parse_config round-trip exactly — a property tests/test_lint.cpp
+// holds them to.
+#include <fstream>
+#include <sstream>
+
+#include "lint/lint.hpp"
+
+namespace ftla::lint {
+
+namespace {
+
+/// Built-in fallback for rules with no config entry.
+const RuleConfig& fallback_rule_config(const std::string& name) {
+  static const std::map<std::string, RuleConfig>& defaults =
+      default_config().rules;
+  static const RuleConfig enabled_everywhere;
+  const auto it = defaults.find(name);
+  return it == defaults.end() ? enabled_everywhere : it->second;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses `"a", "b"` (the inside of a string array).
+bool parse_string_list(const std::string& body, std::vector<std::string>* out,
+                       std::string* error) {
+  out->clear();
+  std::string rest = trim(body);
+  while (!rest.empty()) {
+    if (rest.front() != '"') {
+      *error = "expected quoted string in list near '" + rest + "'";
+      return false;
+    }
+    const auto close = rest.find('"', 1);
+    if (close == std::string::npos) {
+      *error = "unterminated string in list";
+      return false;
+    }
+    out->push_back(rest.substr(1, close - 1));
+    rest = trim(rest.substr(close + 1));
+    if (rest.empty()) break;
+    if (rest.front() != ',') {
+      *error = "expected ',' between list entries near '" + rest + "'";
+      return false;
+    }
+    rest = trim(rest.substr(1));
+  }
+  return true;
+}
+
+// Always written, even when empty: a parsed section starts from the
+// rule's built-in default, so an explicit `paths = []` is how "scope to
+// everything" round-trips without being re-defaulted.
+void write_string_list(std::ostringstream& os, const char* key,
+                       const std::vector<std::string>& values) {
+  os << key << " = [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << values[i] << '"';
+  }
+  os << "]\n";
+}
+
+bool known_rule(const std::string& name) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const RuleConfig& Config::rule(const std::string& name) const {
+  const auto it = rules.find(name);
+  return it == rules.end() ? fallback_rule_config(name) : it->second;
+}
+
+bool parse_config(const std::string& text, Config* out, std::string* error) {
+  Config cfg;
+  cfg.exclude.clear();
+  RuleConfig* section = nullptr;  // null = top level
+  std::string section_name;
+
+  std::istringstream lines(text);
+  std::string raw_line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + msg;
+    }
+    return false;
+  };
+
+  while (std::getline(lines, raw_line)) {
+    ++lineno;
+    std::string line = raw_line;
+    // Strip comments; the value grammar has no '#' inside strings.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      constexpr const char* kPrefix = "rule.";
+      if (name.rfind(kPrefix, 0) != 0) {
+        return fail("unknown section '" + name +
+                    "' (only [rule.<name>] sections exist)");
+      }
+      section_name = name.substr(5);
+      if (!known_rule(section_name)) {
+        return fail("unknown rule '" + section_name + "'");
+      }
+      // Start from the rule's built-in default so a section that only
+      // says `enabled = false` keeps its default scoping.
+      cfg.rules[section_name] = fallback_rule_config(section_name);
+      section = &cfg.rules[section_name];
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    std::string list_error;
+
+    if (section == nullptr) {
+      if (key == "version") {
+        cfg.version = std::atoi(value.c_str());
+        if (cfg.version != 1) return fail("unsupported version " + value);
+      } else if (key == "exclude") {
+        if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+          return fail("exclude must be a [\"...\"] list");
+        }
+        if (!parse_string_list(value.substr(1, value.size() - 2),
+                               &cfg.exclude, &list_error)) {
+          return fail(list_error);
+        }
+      } else {
+        return fail("unknown top-level key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (key == "enabled") {
+      if (value != "true" && value != "false") {
+        return fail("enabled must be true or false");
+      }
+      section->enabled = value == "true";
+    } else if (key == "paths" || key == "exempt" || key == "extra") {
+      if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+        return fail(key + " must be a [\"...\"] list");
+      }
+      std::vector<std::string>* dst = key == "paths"    ? &section->paths
+                                      : key == "exempt" ? &section->exempt
+                                                        : &section->extra;
+      if (!parse_string_list(value.substr(1, value.size() - 2), dst,
+                             &list_error)) {
+        return fail(list_error);
+      }
+    } else {
+      return fail("unknown rule key '" + key + "' in [rule." + section_name +
+                  "]");
+    }
+  }
+
+  *out = cfg;
+  return true;
+}
+
+std::string format_config(const Config& config) {
+  std::ostringstream os;
+  os << "# ftla_lint configuration — rule catalog and suppression syntax\n"
+        "# in docs/static-analysis.md.\n";
+  os << "version = " << config.version << "\n";
+  write_string_list(os, "exclude", config.exclude);
+  for (const auto& [name, rule] : config.rules) {
+    os << "\n[rule." << name << "]\n";
+    os << "enabled = " << (rule.enabled ? "true" : "false") << "\n";
+    write_string_list(os, "paths", rule.paths);
+    write_string_list(os, "exempt", rule.exempt);
+    write_string_list(os, "extra", rule.extra);
+  }
+  return os.str();
+}
+
+bool load_config(const std::string& path, Config* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open config file '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parse_config(buf.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ftla::lint

@@ -1,0 +1,140 @@
+// ftla_lint — the project-invariant static analyzer.
+//
+// The Enhanced Online-ABFT correctness argument rests on invariants the
+// compiler never sees: all timing flows through the simulator's virtual
+// clock, all randomness through seeded ftla::Rng, serialized output is
+// deterministically ordered, CLI exit codes follow the shared 0..4
+// contract, and metric names follow the dotted convention exporters and
+// dashboards parse. ftla_lint enforces those invariants as named,
+// suppressible rules over a lightweight token scan (comment/string
+// stripping + regex + brace tracking — no libclang), so they are
+// machine-checked on every PR instead of enforced by convention.
+//
+// Rule catalog, suppression syntax and the how-to-add-a-rule guide live
+// in docs/static-analysis.md. Configuration comes from .ftla_lint.toml
+// (a small TOML subset, see parse_config below).
+//
+// Suppressing one finding:
+//   double t = clock();  // ftla-lint: allow(no-wall-clock) calibration
+// or on the line directly above the violating one.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftla::lint {
+
+// ----- configuration --------------------------------------------------
+
+/// Per-rule switches. `paths`/`exempt` are project-relative path
+/// prefixes ('/'-separated); an empty `paths` means "everywhere the
+/// tool is pointed at". `extra` is the rule-specific list (banned
+/// headers for include-hygiene, sink tokens for
+/// deterministic-serialization).
+struct RuleConfig {
+  bool enabled = true;
+  std::vector<std::string> paths;
+  std::vector<std::string> exempt;
+  std::vector<std::string> extra;
+
+  friend bool operator==(const RuleConfig&, const RuleConfig&) = default;
+};
+
+struct Config {
+  int version = 1;
+  /// Paths skipped entirely (fixture corpora, generated code).
+  std::vector<std::string> exclude;
+  /// Keyed by rule name; rules absent from the map run with their
+  /// built-in defaults.
+  std::map<std::string, RuleConfig> rules;
+
+  friend bool operator==(const Config&, const Config&) = default;
+
+  /// Effective config for `rule` (the entry, or the built-in default).
+  [[nodiscard]] const RuleConfig& rule(const std::string& name) const;
+};
+
+/// Built-in defaults: every rule enabled with the path scopes described
+/// in docs/static-analysis.md (mirrored by the checked-in
+/// .ftla_lint.toml).
+Config default_config();
+
+/// Parses the .ftla_lint.toml subset:
+///   version = 1
+///   exclude = ["tests/lint_fixtures"]
+///   [rule.<name>]
+///   enabled = true
+///   paths = ["src/sim", "src/fault"]
+///   exempt = ["src/sim/generated"]
+///   extra = ["iostream"]
+/// Comments (#) and blank lines are ignored. Unknown rule names and
+/// unknown keys are errors (they are always typos). Round-trips with
+/// format_config.
+bool parse_config(const std::string& text, Config* out, std::string* error);
+
+/// Serializes a Config in the exact shape parse_config accepts.
+std::string format_config(const Config& config);
+
+/// Reads and parses a config file; `error` gets I/O or parse detail.
+bool load_config(const std::string& path, Config* out, std::string* error);
+
+// ----- scanning -------------------------------------------------------
+
+/// One source file preprocessed for rule matching. Line vectors are
+/// parallel and 0-indexed; findings report 1-based lines.
+struct SourceFile {
+  std::string path;  ///< project-relative, '/'-separated
+  /// Original text, for suppression comments.
+  std::vector<std::string> raw;
+  /// Comments blanked, string/char literal *contents* blanked (the
+  /// quotes remain). Token rules match against this.
+  std::vector<std::string> code;
+  /// Comments blanked, string literals intact — for rules that read
+  /// literal contents (#include targets, metric names).
+  std::vector<std::string> nocomment;
+
+  [[nodiscard]] bool is_header() const;
+
+  /// True when the finding at 1-based `line` for `rule` is silenced by
+  /// an `// ftla-lint: allow(<rules>)` comment on that line or the one
+  /// directly above it.
+  [[nodiscard]] bool suppressed(int line, const std::string& rule) const;
+};
+
+/// Strips comments/strings and indexes suppression comments.
+/// `path` should already be project-relative.
+SourceFile scan_source(std::string path, const std::string& contents);
+
+// ----- rules ----------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// Every rule the binary knows, in reporting order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Runs every enabled rule over one scanned file. Suppressed findings
+/// are already removed.
+std::vector<Finding> lint_file(const SourceFile& file, const Config& config);
+
+// ----- driver ---------------------------------------------------------
+
+/// Walks `roots` (files or directories) under project root `root`,
+/// scans every *.hpp/*.h/*.cpp/*.cc not excluded by the config, and
+/// lints each. Files are visited in sorted path order so output is
+/// deterministic. Unreadable paths are reported through `io_errors`.
+std::vector<Finding> lint_paths(const std::vector<std::string>& roots,
+                                const std::string& root, const Config& config,
+                                std::vector<std::string>* io_errors);
+
+}  // namespace ftla::lint

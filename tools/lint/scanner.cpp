@@ -1,0 +1,218 @@
+// Source scanning for ftla_lint: a character-level state machine that
+// strips comments and string literals so the rule regexes never match
+// inside either, plus the suppression-comment lookup.
+//
+// The scanner produces two parallel views of each line:
+//   * `code`      — comments blanked, string/char *contents* blanked
+//                   (quotes kept, so "..." still reads as one token);
+//   * `nocomment` — comments blanked, string literals intact, for rules
+//                   that inspect literal contents (#include targets,
+//                   metric names).
+// Blanking replaces characters with spaces, never removes them, so
+// column positions line up with the raw text.
+#include <cctype>
+#include <cstddef>
+
+#include "lint/lint.hpp"
+
+namespace ftla::lint {
+
+namespace {
+
+enum class State {
+  kCode,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+/// Splits on '\n'; a trailing newline does not add an empty last line.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    std::string line = text.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    start = nl + 1;
+  }
+  if (lines.empty()) lines.emplace_back();
+  return lines;
+}
+
+}  // namespace
+
+bool SourceFile::is_header() const {
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+bool SourceFile::suppressed(int line, const std::string& rule) const {
+  const std::string needle = "ftla-lint: allow(";
+  // The allow comment counts on the flagged line and the line above.
+  for (int l = line - 1; l >= line - 2; --l) {
+    if (l < 0 || l >= static_cast<int>(raw.size())) continue;
+    const std::string& text = raw[static_cast<std::size_t>(l)];
+    const auto at = text.find(needle);
+    if (at == std::string::npos) continue;
+    const auto open = at + needle.size() - 1;
+    const auto close = text.find(')', open);
+    if (close == std::string::npos) continue;
+    // Comma/space-separated rule list inside the parens.
+    std::string list = text.substr(open + 1, close - open - 1);
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      const auto end = list.find_first_of(", \t", pos);
+      const std::string name = list.substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+      if (name == rule || name == "*") return true;
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+  }
+  return false;
+}
+
+SourceFile scan_source(std::string path, const std::string& contents) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.raw = split_lines(contents);
+  f.code.reserve(f.raw.size());
+  f.nocomment.reserve(f.raw.size());
+
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
+
+  for (const std::string& line : f.raw) {
+    std::string code(line.size(), ' ');
+    std::string nocom(line.size(), ' ');
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+
+    while (i < n) {
+      const char c = line[i];
+      const char next = i + 1 < n ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = n;  // line comment: rest of line stays blank in both views
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == '"') {
+            // R"delim( ... )delim" — the delimiter may be empty.
+            if (i >= 1 && line[i - 1] == 'R' &&
+                (i < 2 || (!std::isalnum(static_cast<unsigned char>(
+                               line[i - 2])) &&
+                           line[i - 2] != '_'))) {
+              const auto paren = line.find('(', i + 1);
+              if (paren != std::string::npos) {
+                raw_delim = ")" + line.substr(i + 1, paren - i - 1) + "\"";
+                state = State::kRawString;
+                for (std::size_t k = i; k <= paren; ++k) {
+                  code[k] = k == i ? '"' : ' ';
+                  nocom[k] = line[k];
+                }
+                i = paren + 1;
+                break;
+              }
+            }
+            code[i] = '"';
+            nocom[i] = '"';
+            state = State::kString;
+            ++i;
+          } else if (c == '\'') {
+            // Skip digit separators (1'000'000) — not a char literal.
+            if (i >= 1 && std::isdigit(static_cast<unsigned char>(
+                              line[i - 1]))) {
+              code[i] = c;
+              nocom[i] = c;
+              ++i;
+            } else {
+              code[i] = '\'';
+              nocom[i] = '\'';
+              state = State::kChar;
+              ++i;
+            }
+          } else {
+            code[i] = c;
+            nocom[i] = c;
+            ++i;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            i += 2;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && i + 1 < n) {
+            nocom[i] = c;
+            nocom[i + 1] = next;
+            i += 2;
+          } else if (c == '"') {
+            code[i] = '"';
+            nocom[i] = '"';
+            state = State::kCode;
+            ++i;
+          } else {
+            nocom[i] = c;
+            ++i;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && i + 1 < n) {
+            nocom[i] = c;
+            nocom[i + 1] = next;
+            i += 2;
+          } else if (c == '\'') {
+            code[i] = '\'';
+            nocom[i] = '\'';
+            state = State::kCode;
+            ++i;
+          } else {
+            nocom[i] = c;
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          const auto end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            for (std::size_t k = i; k < n; ++k) nocom[k] = line[k];
+            i = n;
+          } else {
+            for (std::size_t k = i; k < end + raw_delim.size(); ++k) {
+              nocom[k] = line[k];
+            }
+            code[end + raw_delim.size() - 1] = '"';
+            i = end + raw_delim.size();
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+
+    // Unterminated ordinary string/char literals do not span lines
+    // (line continuations are rare enough to ignore); resync.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+    f.code.push_back(std::move(code));
+    f.nocomment.push_back(std::move(nocom));
+  }
+  return f;
+}
+
+}  // namespace ftla::lint
