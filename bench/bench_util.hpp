@@ -8,11 +8,16 @@
 // ratios with paper-scale baseline times.
 // Every bench accepts `--metrics-out FILE` to additionally dump its
 // measurements as a schema-versioned MetricsReport (see
-// docs/observability.md), so table regeneration is machine-diffable.
+// docs/observability.md), so table regeneration is machine-diffable,
+// and `--profile-out FILE` to save the simulated-time profile of one
+// representative run (the largest fully optimized configuration) as a
+// schema-versioned ProfileReport for the perf-regression gate.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,9 +25,12 @@
 #include "abft/cula_like.hpp"
 #include "common/table.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile_report.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "sim/machine.hpp"
 #include "sim/profile.hpp"
+#include "sim/profiler.hpp"
 
 namespace ftla::bench {
 
@@ -43,6 +51,24 @@ inline double timing_run(const sim::MachineProfile& profile, int n,
     std::cerr << "timing run failed: " << res.note << "\n";
     std::exit(1);
   }
+  return res.seconds;
+}
+
+/// Like timing_run, but with the simulated-time profiler attached:
+/// `*out` receives the analyzed ProfileReport of the run.
+inline double timing_run_profiled(const sim::MachineProfile& profile, int n,
+                                  abft::CholeskyOptions opt,
+                                  obs::ProfileReport* out) {
+  sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+  obs::SpanStore spans;
+  m.set_span_store(&spans);
+  opt.profile = &spans;
+  auto res = abft::cholesky(m, nullptr, n, opt);
+  if (!res.success) {
+    std::cerr << "timing run failed: " << res.note << "\n";
+    std::exit(1);
+  }
+  *out = sim::build_profile(m, spans);
   return res.seconds;
 }
 
@@ -102,6 +128,34 @@ inline std::string metrics_out_path(int argc, char** argv) {
   return {};
 }
 
+/// Returns the value of `--profile-out FILE` from a bench's argv, or ""
+/// when absent.
+inline std::string profile_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Returns the comma-separated list of `--sizes N1,N2,...` from a
+/// bench's argv, or `fallback` when the flag is absent. Lets CI rerun a
+/// paper-scale sweep at tractable sizes.
+inline std::vector<int> sizes_override(int argc, char** argv,
+                                       std::vector<int> fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--sizes") != 0) continue;
+    std::vector<int> sizes;
+    std::stringstream ss(argv[i + 1]);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const int n = std::atoi(item.c_str());
+      if (n > 0) sizes.push_back(n);
+    }
+    if (!sizes.empty()) return sizes;
+  }
+  return fallback;
+}
+
 /// Writes a MetricsReport for a bench run when `path` is non-empty.
 /// `meta` pairs describe the experiment (table name, machine, sizes...).
 inline void write_bench_report(
@@ -115,6 +169,23 @@ inline void write_bench_report(
   report.metrics = metrics;
   if (obs::write_metrics_json_file(report, path)) {
     std::cout << "metrics report: " << path << "\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+}
+
+/// Writes a bench's captured ProfileReport when `path` is non-empty.
+/// `meta` pairs describe the profiled configuration (machine, n, K...).
+inline void write_bench_profile(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    obs::ProfileReport report) {
+  if (path.empty()) return;
+  report.meta["bench"] = bench;
+  for (const auto& [k, v] : meta) report.meta[k] = v;
+  if (obs::write_profile_json_file(report, path)) {
+    std::cout << "profile report: " << path << "\n";
   } else {
     std::cerr << "failed to write " << path << "\n";
     std::exit(1);

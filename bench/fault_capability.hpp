@@ -27,9 +27,14 @@ struct CapabilityCell {
   bool success = false;
 };
 
+/// `profile_out`, when non-empty, additionally replays the Enhanced /
+/// memory-error scenario under the simulated-time profiler and writes
+/// its ProfileReport there — the recovery path (Verify + Recover
+/// phases) is this table's signature workload.
 inline void run_fault_capability(const sim::MachineProfile& profile,
                                  int paper_n, int reduced_n,
-                                 int reduced_block) {
+                                 int reduced_block,
+                                 const std::string& profile_out = "") {
   using abft::Variant;
   const int nb = reduced_n / reduced_block;
 
@@ -128,6 +133,26 @@ inline void run_fault_capability(const sim::MachineProfile& profile,
          "computing-error column doubles Offline only; the memory-error\n"
          "column doubles both Offline and Online; Enhanced stays flat in\n"
          "every column because it corrects both error types in place.\n";
+
+  if (!profile_out.empty()) {
+    auto a = a0;
+    sim::Machine m(profile, sim::ExecutionMode::Numeric);
+    obs::SpanStore spans;
+    m.set_span_store(&spans);
+    abft::CholeskyOptions opt =
+        variant_options(profile, Variant::EnhancedOnline);
+    opt.block_size = reduced_block;
+    opt.profile = &spans;
+    fault::Injector inj(make_plan("memory"));
+    abft::cholesky(m, &a, reduced_n, opt, &inj);
+    write_bench_profile(profile_out, "fault_capability",
+                        {{"machine", profile.name},
+                         {"variant", "enhanced"},
+                         {"scenario", "memory"},
+                         {"n", std::to_string(reduced_n)},
+                         {"k", "1"}},
+                        sim::build_profile(m, spans));
+  }
 }
 
 }  // namespace ftla::bench

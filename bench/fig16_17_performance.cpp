@@ -1,6 +1,10 @@
 // Paper Figures 16 and 17: performance (GFLOP/s) of the original
 // MAGMA-style Cholesky, the CULA-like vendor baseline, and the three
 // ABFT schemes, across the matrix-size sweep on both testbeds.
+//
+// Flags: `--sizes N1,N2,...` replaces the paper-scale sweeps;
+// `--profile-out FILE` saves the simulated-time profile of the
+// largest-size enhanced run on Tardis (perf-regression gate input).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -8,7 +12,8 @@
 namespace {
 
 void sweep(const ftla::sim::MachineProfile& profile,
-           const std::vector<int>& sizes, const char* fig) {
+           const std::vector<int>& sizes, const char* fig,
+           ftla::obs::ProfileReport* prof) {
   using namespace ftla;
   using namespace ftla::bench;
 
@@ -30,7 +35,11 @@ void sweep(const ftla::sim::MachineProfile& profile,
         profile, n, variant_options(profile, abft::Variant::Offline)));
     const double onl = gf(timing_run(
         profile, n, variant_options(profile, abft::Variant::Online)));
-    const double enh = gf(timing_run(profile, n, enhanced_options(profile, 5)));
+    const bool capture = prof != nullptr && n == sizes.back();
+    const double enh =
+        gf(capture ? timing_run_profiled(profile, n,
+                                         enhanced_options(profile, 5), prof)
+                   : timing_run(profile, n, enhanced_options(profile, 5)));
     if (enh <= cula) enhanced_always_beats_cula = false;
     t.add_row({std::to_string(n), Table::num(magma, 5), Table::num(cula, 5),
                Table::num(off, 5), Table::num(onl, 5), Table::num(enh, 5)});
@@ -42,8 +51,22 @@ void sweep(const ftla::sim::MachineProfile& profile,
 
 }  // namespace
 
-int main() {
-  sweep(ftla::sim::tardis(), ftla::bench::tardis_sizes(), "16");
-  sweep(ftla::sim::bulldozer64(), ftla::bench::bulldozer_sizes(), "17");
+int main(int argc, char** argv) {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  const std::string profile_path = profile_out_path(argc, argv);
+  const auto t_sizes = sizes_override(argc, argv, tardis_sizes());
+  const auto b_sizes = sizes_override(argc, argv, bulldozer_sizes());
+
+  obs::ProfileReport prof;
+  sweep(sim::tardis(), t_sizes, "16", profile_path.empty() ? nullptr : &prof);
+  sweep(sim::bulldozer64(), b_sizes, "17", nullptr);
+  write_bench_profile(profile_path, "fig16_17_performance",
+                      {{"machine", "tardis"},
+                       {"variant", "enhanced"},
+                       {"n", std::to_string(t_sizes.back())},
+                       {"k", "5"}},
+                      prof);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace ftla;
   using namespace ftla::bench;
   const std::string metrics_path = metrics_out_path(argc, argv);
+  const std::string profile_path = profile_out_path(argc, argv);
 
   print_header(
       "Table I — verification comparison (measured block counts)",
@@ -34,12 +35,17 @@ int main(int argc, char** argv) {
     auto res = abft::cholesky(m, nullptr, n, opt);
     online = res.verified;
   }
+  obs::ProfileReport prof;
   {
     sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+    obs::SpanStore spans;
+    if (!profile_path.empty()) m.set_span_store(&spans);
     auto opt = variant_options(profile, abft::Variant::EnhancedOnline);
     opt.metrics = &enhanced_metrics;
+    if (!profile_path.empty()) opt.profile = &spans;
     auto res = abft::cholesky(m, nullptr, n, opt);
     enhanced = res.verified;
+    if (!profile_path.empty()) prof = sim::build_profile(m, spans);
   }
 
   auto per_iter = [&](long long total) {
@@ -86,5 +92,11 @@ int main(int argc, char** argv) {
                       {"n", std::to_string(n)},
                       {"nb", std::to_string(nb)}},
                      combined);
+  write_bench_profile(profile_path, "table1_verification_counts",
+                      {{"machine", profile.name},
+                       {"variant", "enhanced"},
+                       {"n", std::to_string(n)},
+                       {"k", "1"}},
+                      prof);
   return 0;
 }

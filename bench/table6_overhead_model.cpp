@@ -9,10 +9,11 @@
 #include "abft/overhead_model.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftla;
   using namespace ftla::bench;
 
+  const std::string profile_path = profile_out_path(argc, argv);
   const auto profile = sim::tardis();
   const int n = 20480;
   const int b = 256;
@@ -97,6 +98,19 @@ int main() {
     t.add_row({"GEMM", Table::num(o.update_gemm, 4),
                Table::num(o.recalc_gemm, 4)});
     print_table(t, /*csv=*/false);
+  }
+
+  if (!profile_path.empty()) {
+    obs::ProfileReport prof;
+    timing_run_profiled(
+        profile, n, variant_options(profile, abft::Variant::EnhancedOnline, 1),
+        &prof);
+    write_bench_profile(profile_path, "table6_overhead_model",
+                        {{"machine", profile.name},
+                         {"variant", "enhanced"},
+                         {"n", std::to_string(n)},
+                         {"k", "1"}},
+                        prof);
   }
   return 0;
 }

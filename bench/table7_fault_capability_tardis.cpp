@@ -2,9 +2,10 @@
 // 20480 x 20480 Cholesky decomposition.
 #include "fault_capability.hpp"
 
-int main() {
-  ftla::bench::run_fault_capability(ftla::sim::tardis(), 20480,
-                                    /*reduced_n=*/1024,
-                                    /*reduced_block=*/128);
+int main(int argc, char** argv) {
+  ftla::bench::run_fault_capability(
+      ftla::sim::tardis(), 20480,
+      /*reduced_n=*/1024,
+      /*reduced_block=*/128, ftla::bench::profile_out_path(argc, argv));
   return 0;
 }

@@ -2,9 +2,10 @@
 // 30720 x 30720 Cholesky decomposition.
 #include "fault_capability.hpp"
 
-int main() {
-  ftla::bench::run_fault_capability(ftla::sim::bulldozer64(), 30720,
-                                    /*reduced_n=*/1024,
-                                    /*reduced_block=*/128);
+int main(int argc, char** argv) {
+  ftla::bench::run_fault_capability(
+      ftla::sim::bulldozer64(), 30720,
+      /*reduced_n=*/1024,
+      /*reduced_block=*/128, ftla::bench::profile_out_path(argc, argv));
   return 0;
 }

@@ -72,7 +72,7 @@ class Run {
   Run(Machine& m, Matrix<double>* a, int n, const CholeskyOptions& opt,
       fault::Injector* injector)
       : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
     FTLA_CHECK(n_ > 0);
     if (m_.numeric()) {
       FTLA_CHECK_MSG(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_,
@@ -241,6 +241,7 @@ CholeskyResult Run::execute() {
       } else {
         ++result_.reruns;
         tel_.rerun(result_.reruns, "not_positive_definite");
+        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
         upload();
       }
     } catch (const UnrecoverableCorruptionError& e) {
@@ -251,6 +252,7 @@ CholeskyResult Run::execute() {
       } else {
         ++result_.reruns;
         tel_.rerun(result_.reruns, "unrecoverable_corruption");
+        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
         upload();
       }
     }
@@ -317,6 +319,9 @@ void Run::upload() {
 
 void Run::encode() {
   if (!ft_) return;
+  // Profiler attribution: everything issued here (the encode kernels
+  // and, for placement Cpu, the checksum D2H move) is encode overhead.
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Encode);
   // One BLAS-2 encode kernel per lower-triangle block, spread across the
   // recalc streams so encoding itself benefits from concurrency.
   const EventId e_up = m_.record_event(s_compute_);
@@ -392,6 +397,7 @@ void Run::run_once() {
     // after the block's last verification and was never read since —
     // so in-place correction is safe; uncorrectable damage escalates.
     cur_iter_ = -1;
+    tel_.begin_iteration(-1);
     std::vector<BlockId> all;
     for (int k = 0; k < nb_; ++k)
       for (int i = k; i < nb_; ++i) all.emplace_back(i, k);
@@ -401,6 +407,7 @@ void Run::run_once() {
 }
 
 void Run::take_checkpoint(int next_iter) {
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Recover);
   // The checkpoint window is itself exposed: a storage strike arriving
   // now lands *before* the snapshot, so the snapshot preserves the
   // corruption and rollback alone cannot clear it (data strikes stay
@@ -428,6 +435,7 @@ void Run::take_checkpoint(int next_iter) {
 }
 
 void Run::rollback() {
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Recover);
   m_.sync_all();
   m_.memcpy_d2d(d_a_, 0, d_ckpt_a_, 0, static_cast<std::int64_t>(n_) * n_,
                 s_compute_);
@@ -475,6 +483,9 @@ void Run::absorb(const VerifyOutcome& out) {
 
 void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
   if (!ft_ || blocks.empty()) return;
+  // Recalc kernels classify as Recalc by name; the scope catches the
+  // neutral spans issued here (scratch D2H batch, host repair H2Ds).
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Verify);
   switch (attr) {
     case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
     case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
@@ -583,6 +594,9 @@ void Run::fetch_panel_for_cpu_update(int j) {
   if (!ft_ || placement_ != UpdatePlacement::Cpu || j <= 0 || j >= nb_) {
     return;
   }
+  // Profiler: the panel staging copy exists only to feed host-side
+  // checksum updating, so it is Update overhead.
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Update);
   // The CPU needs iteration j's decomposed row panel A[j, 0:j*B] to
   // update checksums (paper §VI-6b: n^2/2 words total). The panel is
   // final once iteration j-1's TRSM completed, so it is normally
@@ -605,6 +619,9 @@ void Run::wait_panel(int j) {
 
 void Run::chk_update_syrk(int j) {
   if (!ft_ || j == 0) return;
+  // The GPU path issues neutral gpublas names ("gemm"/"trsm"); the scope
+  // is what tags them as checksum-update overhead.
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Update);
   const int jb = bs(j);
   const int w = off(j);  // width of the decomposed panel to the left
   if (placement_ == UpdatePlacement::Cpu) {
@@ -628,6 +645,7 @@ void Run::chk_update_syrk(int j) {
 
 void Run::chk_update_gemm(int j) {
   if (!ft_ || j == 0 || j + 1 >= nb_) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Update);
   const int jb = bs(j);
   const int w = off(j);
   if (placement_ == UpdatePlacement::Cpu) {
@@ -653,6 +671,7 @@ void Run::chk_update_gemm(int j) {
 
 void Run::chk_update_trsm(int j, EventId e_l_ready) {
   if (!ft_ || j + 1 >= nb_) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Update);
   const int jb = bs(j);
   if (placement_ == UpdatePlacement::Cpu) {
     KernelDesc d{"chk_trsm_cpu", KernelClass::HostChecksum,
@@ -773,6 +792,7 @@ void Run::apply_computing_fault(const fault::FaultSpec& spec, int j) {
 
 void Run::iterate(int j) {
   cur_iter_ = j;
+  tel_.begin_iteration(j);
   const int jb = bs(j);
   const int w = off(j);          // decomposed width to the left
   const int below = n_ - off(j) - jb;  // rows below the diagonal block
@@ -829,6 +849,8 @@ void Run::iterate(int j) {
                      static_cast<std::int64_t>(off(j)) * n_ + off(j), n_, jb,
                      jb, s_compute_);
     if (ft_ && !chk_on_host) {
+      // Checksum rows ride along only because FT is on: Update overhead.
+      const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
       m_.memcpy_d2h_2d(m_.numeric() ? h_diag_chk_.data() : nullptr,
                        kChecksumRows, d_chk_,
                        static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
@@ -946,6 +968,7 @@ void Run::iterate(int j) {
                    m_.numeric() ? h_diag_.data() : nullptr, b_, jb, jb,
                    s_compute_);
   if (ft_ && !chk_on_host) {
+    const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
     m_.memcpy_h2d_2d(d_chk_,
                      static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
                      2 * nb_, m_.numeric() ? h_diag_chk_.data() : nullptr,
@@ -996,6 +1019,7 @@ void Run::iterate(int j) {
 
 void Run::offline_final_verify() {
   cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
+  tel_.begin_iteration(-1);
   // Huang & Abraham: one verification sweep over the finished factor.
   // Any anomaly triggers a full re-run — an offline scheme cannot tell
   // whether a detected error propagated before the sweep, so correcting

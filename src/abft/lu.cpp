@@ -39,7 +39,7 @@ class LuRun {
   LuRun(Machine& m, Matrix<double>* a, int n, const LuOptions& opt,
         fault::Injector* injector)
       : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,
@@ -152,6 +152,7 @@ CholeskyResult LuRun::execute() {
       } else {
         ++result_.reruns;
         tel_.rerun(result_.reruns, e.what());
+        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
         upload();
       }
     }
@@ -204,6 +205,7 @@ void LuRun::upload() {
 
 void LuRun::encode() {
   if (!ft_) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Encode);
   const EventId e_up = m_.record_event(s_compute_);
   for (StreamId s : s_recalc_) m_.stream_wait_event(s, e_up);
   int q = 0;
@@ -263,6 +265,7 @@ void LuRun::absorb(const VerifyOutcome& out) {
 void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
                               fault::Op attr) {
   if (!ft_ || blocks.empty()) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Verify);
   switch (attr) {
     case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
     case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
@@ -324,6 +327,7 @@ void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
 void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
                               fault::Op attr) {
   if (!ft_ || blocks.empty()) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Verify);
   switch (attr) {
     case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
     case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
@@ -423,6 +427,7 @@ void LuRun::hook_computing(fault::Op op, int j) {
 
 void LuRun::iterate(int j) {
   cur_iter_ = j;
+  tel_.begin_iteration(j);
   const int jb = bs(j);
   const int below = n_ - off(j);           // panel height (incl. diagonal)
   const int right = n_ - off(j) - jb;      // trailing width
@@ -468,6 +473,8 @@ void LuRun::iterate(int j) {
   // device memory.
   hook_computing(fault::Op::Potf2, j);
   if (ft_) {
+    // The re-encoded panel checksums ride back only because FT is on.
+    const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
     m_.memcpy_h2d_2d(d_cchk_,
                      static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
                      2 * nb_, m_.numeric() ? &h_panel_chk_(2 * j, 0) : nullptr,
@@ -498,6 +505,8 @@ void LuRun::iterate(int j) {
   hook_computing(fault::Op::Trsm, j);
   // rchk(U') = L^{-1} rchk(A) on the checksum stream.
   if (ft_) {
+    // Neutral gpublas name ("trsm"): the scope tags it Update.
+    const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
     m_.stream_wait_event(s_chk_, e_panel);
     sim::gpublas::trsm(m_, s_chk_, Side::Left, Uplo::Lower, Trans::No,
                        Diag::Unit, 1.0, data_block(j, j),
@@ -537,6 +546,7 @@ void LuRun::iterate(int j) {
                      data_region(off(j) + jb, off(j) + jb, right, right));
   hook_computing(fault::Op::Gemm, j);
   if (ft_) {
+    const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
     // cchk(B') = cchk(B) - cchk(L) U_row  (2(nb-j-1) x right GEMM)
     sim::gpublas::gemm(m_, s_chk_, Trans::No, Trans::No, -1.0,
                        cchk_strip(j + 1, nb_, off(j), jb),
@@ -554,6 +564,7 @@ void LuRun::iterate(int j) {
 
 void LuRun::final_sweep() {
   cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
+  tel_.begin_iteration(-1);
   // Right-looking LU never re-reads finished blocks, so storage errors
   // striking them after their last use can only be caught here: one
   // verification pass over the whole factor (column checksums for the

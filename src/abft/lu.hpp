@@ -53,6 +53,7 @@ struct LuOptions {
   /// Observability hooks (optional, not owned) — see CholeskyOptions.
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanStore* profile = nullptr;
 };
 
 /// Factorizes `*a` in place into packed L\U (unit-lower L below the

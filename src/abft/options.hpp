@@ -10,6 +10,7 @@
 namespace ftla::obs {
 class EventSink;
 class MetricsRegistry;
+class SpanStore;
 }  // namespace ftla::obs
 
 namespace ftla::abft {
@@ -100,6 +101,12 @@ struct CholeskyOptions {
   /// docs/observability.md for the event taxonomy and metric names.
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Profiler span store (optional, not owned). Wire the same store
+  /// into Machine::set_span_store so machine spans and driver
+  /// phase/iteration tags meet in one place (docs/observability.md,
+  /// "Simulated-time profiler").
+  obs::SpanStore* profile = nullptr;
 };
 
 /// Instrumented verification counts, one row of the paper's Table I.

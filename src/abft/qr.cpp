@@ -33,7 +33,7 @@ class QrRun {
   QrRun(Machine& m, Matrix<double>* a, std::vector<double>* tau, int n,
         const QrOptions& opt, fault::Injector* injector)
       : m_(m), a_(a), tau_(tau), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,
@@ -134,6 +134,7 @@ CholeskyResult QrRun::execute() {
       } else {
         ++result_.reruns;
         tel_.rerun(result_.reruns, e.what());
+        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
         upload();
       }
     }
@@ -188,6 +189,7 @@ void QrRun::upload() {
 
 void QrRun::encode() {
   if (!ft_) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Encode);
   const EventId e_up = m_.record_event(s_compute_);
   for (StreamId s : s_recalc_) m_.stream_wait_event(s, e_up);
   int q = 0;
@@ -236,6 +238,7 @@ void QrRun::absorb(const VerifyOutcome& out) {
 void QrRun::verify_row_blocks(const std::vector<BlockId>& blocks,
                               fault::Op attr) {
   if (!ft_ || blocks.empty()) return;
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Verify);
   switch (attr) {
     case fault::Op::Potf2: result_.verified.potf2_blocks += blocks.size(); break;
     case fault::Op::Trsm: result_.verified.trsm_blocks += blocks.size(); break;
@@ -328,6 +331,7 @@ void QrRun::hook_computing(fault::Op op, int j) {
 
 void QrRun::iterate(int j) {
   cur_iter_ = j;
+  tel_.begin_iteration(j);
   const int jb = bs(j);
   const int mrem = n_ - off(j);
   const int right = n_ - off(j) - jb;
@@ -377,6 +381,8 @@ void QrRun::iterate(int j) {
                   static_cast<std::int64_t>(jb) * jb, s_compute_);
   }
   if (ft_) {
+    // The re-encoded panel row checksums ride back only because FT is on.
+    const obs::PhaseScope chk_phase(tel_.profile(), obs::Phase::Update);
     m_.memcpy_h2d_2d(d_rchk_, static_cast<std::int64_t>(2 * j) * n_ + off(j),
                      n_, m_.numeric() ? &h_panel_chk_(off(j), 0) : nullptr,
                      h_panel_chk_.ld(), mrem, kChecksumRows, s_compute_);
@@ -439,6 +445,7 @@ void QrRun::iterate(int j) {
 
 void QrRun::final_sweep() {
   cur_iter_ = -1;  // telemetry: the sweep belongs to no outer iteration
+  tel_.begin_iteration(-1);
   std::vector<BlockId> all;
   for (int k = 0; k < nb_; ++k)
     for (int i = 0; i < nb_; ++i) all.emplace_back(i, k);

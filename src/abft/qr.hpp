@@ -48,6 +48,7 @@ struct QrOptions {
   /// Observability hooks (optional, not owned) — see CholeskyOptions.
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanStore* profile = nullptr;
 };
 
 /// Factorizes `*a` in place into the packed Householder form (V below

@@ -21,8 +21,10 @@ const char* verify_counter_name(fault::Op op) {
 }  // namespace
 
 Telemetry::Telemetry(sim::Machine& m, obs::EventSink* sink,
-                     obs::MetricsRegistry* metrics, fault::Injector* injector)
-    : m_(m), sink_(sink), metrics_(metrics), injector_(injector) {
+                     obs::MetricsRegistry* metrics, fault::Injector* injector,
+                     obs::SpanStore* profile)
+    : m_(m), sink_(sink), metrics_(metrics), injector_(injector),
+      profile_(profile) {
   if (injector_ != nullptr && active()) {
     injector_->set_event_sink(sink_);
     injector_->set_clock([&machine = m_] { return machine.host_now(); });

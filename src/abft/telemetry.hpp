@@ -37,6 +37,7 @@
 #include "fault/fault.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/machine.hpp"
 
 namespace ftla::abft {
@@ -49,12 +50,24 @@ class Telemetry {
  public:
   /// All pointers optional and not owned. When `injector` is non-null
   /// and a sink is attached, the injector is wired to the machine's
-  /// virtual clock so injection records carry timestamps.
+  /// virtual clock so injection records carry timestamps. `profile` is
+  /// the profiler span store the driver tags phases/iterations on.
   Telemetry(sim::Machine& m, obs::EventSink* sink,
-            obs::MetricsRegistry* metrics, fault::Injector* injector);
+            obs::MetricsRegistry* metrics, fault::Injector* injector,
+            obs::SpanStore* profile = nullptr);
 
   [[nodiscard]] bool active() const noexcept {
     return sink_ != nullptr || metrics_ != nullptr;
+  }
+
+  /// The attached profiler store (nullptr when profiling is off);
+  /// drivers hand it to obs::PhaseScope around ABFT program phases.
+  [[nodiscard]] obs::SpanStore* profile() const noexcept { return profile_; }
+
+  /// Stamps the outer iteration subsequent profiler spans belong to
+  /// (-1 = outside the factorization loop). No-op when unattached.
+  void begin_iteration(int iteration) {
+    if (profile_ != nullptr) profile_->set_iteration(iteration);
   }
 
   /// A verification batch was scheduled (issue time, both execution
@@ -96,6 +109,7 @@ class Telemetry {
   obs::EventSink* const sink_;
   obs::MetricsRegistry* const metrics_;
   fault::Injector* const injector_;
+  obs::SpanStore* const profile_;
   double last_detection_latency_ FTLA_GUARDED_BY(mu_) = 0.0;
 };
 

@@ -1,0 +1,679 @@
+#include "obs/profile_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+#include <utility>
+
+#include "obs/event_sink.hpp"
+
+namespace ftla::obs {
+
+namespace {
+
+constexpr Phase kAllPhases[] = {Phase::Base,   Phase::Encode, Phase::Recalc,
+                                Phase::Update, Phase::Verify, Phase::Recover};
+
+/// 17 significant digits: enough for exact double round-trips through
+/// strtod, and a fixed width-independent format for byte-stable output
+/// (std::ostream would default to 6 digits).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_string(const std::string& s, std::ostream& os) {
+  os << '"';
+  json_escape(s, os);
+  os << '"';
+}
+
+// ----- critical-path walk --------------------------------------------
+
+/// Deterministic ordering for the walk's candidate list: by end, then
+/// start, then lane/name/iteration as tie-breakers so identical runs
+/// always blame identical spans.
+bool span_walk_less(const Span* a, const Span* b) {
+  if (a->end != b->end) return a->end < b->end;
+  if (a->start != b->start) return a->start < b->start;
+  if (a->lane != b->lane) return a->lane < b->lane;
+  if (a->name != b->name) return a->name < b->name;
+  return a->iteration < b->iteration;
+}
+
+}  // namespace
+
+ProfileReport build_profile(
+    const std::vector<Span>& spans, double makespan,
+    const std::map<std::string, ResourceProfile>& resources,
+    std::size_t spans_dropped, int top_k) {
+  ProfileReport r;
+  r.makespan_seconds = makespan;
+  r.resources = resources;
+  r.span_count = static_cast<long long>(spans.size());
+  r.spans_dropped = static_cast<long long>(spans_dropped);
+  for (Phase p : kAllPhases) r.phases[to_string(p)];
+
+  for (const Span& s : spans) {
+    PhaseProfile& ph = r.phases[to_string(s.phase)];
+    ++ph.spans;
+    ph.busy_seconds += s.end - s.start;
+    ph.flops += s.flops;
+  }
+
+  // Backward walk from the makespan: blame the latest-finishing span
+  // covering the frontier, jump to its start, repeat. Zero-duration
+  // spans are excluded so every step makes strict progress; among spans
+  // sharing the blamed end time, the earliest-starting one wins (the
+  // longest explanation). Gaps the walk crosses are idle time.
+  std::vector<const Span*> by_end;
+  by_end.reserve(spans.size());
+  for (const Span& s : spans) {
+    if (s.end > s.start) by_end.push_back(&s);
+  }
+  std::sort(by_end.begin(), by_end.end(), span_walk_less);
+
+  double t = makespan;
+  while (t > 0.0) {
+    // Last candidate with end <= t.
+    auto it = std::upper_bound(
+        by_end.begin(), by_end.end(), t,
+        [](double value, const Span* s) { return value < s->end; });
+    if (it == by_end.begin()) {
+      ++r.critical_gaps;  // nothing ends before t: idle back to 0
+      break;
+    }
+    const double blamed_end = (*(it - 1))->end;
+    // First member of the equal-end group (smallest start).
+    auto lo = std::lower_bound(
+        by_end.begin(), it, blamed_end,
+        [](const Span* s, double value) { return s->end < value; });
+    const Span* blamed = *lo;
+    if (blamed_end < t) ++r.critical_gaps;
+    r.phases[to_string(blamed->phase)].critical_seconds +=
+        blamed->end - blamed->start;
+    ++r.critical_segments;
+    t = blamed->start;
+  }
+
+  // The exactness contract (see header): the walk tiles [0, makespan],
+  // so the critical path's length IS the makespan; idle is defined as
+  // the remainder after the sorted-order phase sum, making the
+  // decomposition reproduce the makespan bit-for-bit.
+  r.critical_path_seconds = makespan;
+  const auto sorted_phase_sum = [&r] {
+    double sum = 0.0;
+    for (const auto& [name, ph] : r.phases) sum += ph.critical_seconds;
+    return sum;
+  };
+  double phase_sum = sorted_phase_sum();
+  r.idle_critical_seconds = makespan - phase_sum;
+  // The summation can overshoot the makespan by a few ulps (the walk's
+  // segment durations round independently of the boundaries they tile).
+  // Normalize by absorbing the overshoot into the largest phase — a
+  // deterministic choice (ties break on sorted key order) — so idle is
+  // never negative and the remainder identity still holds bit-for-bit.
+  for (int pass = 0; pass < 16 && r.idle_critical_seconds < 0.0; ++pass) {
+    PhaseProfile* largest = nullptr;
+    for (auto& [name, ph] : r.phases) {
+      if (largest == nullptr || ph.critical_seconds > largest->critical_seconds) {
+        largest = &ph;
+      }
+    }
+    largest->critical_seconds += r.idle_critical_seconds;
+    phase_sum = sorted_phase_sum();
+    r.idle_critical_seconds = makespan - phase_sum;
+  }
+  double abft_sum = 0.0;
+  for (const auto& [name, ph] : r.phases) {
+    if (name != to_string(Phase::Base)) abft_sum += ph.critical_seconds;
+  }
+  r.abft_critical_seconds = abft_sum;
+  r.projected_no_abft_seconds = makespan - abft_sum;
+
+  // Top-K aggregates by total busy time.
+  std::map<std::pair<std::string, int>, SpanAggregate> agg;
+  for (const Span& s : spans) {
+    SpanAggregate& a = agg[{s.name, static_cast<int>(s.phase)}];
+    a.name = s.name;
+    a.phase = s.phase;
+    ++a.count;
+    a.busy_seconds += s.end - s.start;
+    a.flops += s.flops;
+  }
+  r.top_spans.reserve(agg.size());
+  for (auto& [key, a] : agg) r.top_spans.push_back(std::move(a));
+  std::sort(r.top_spans.begin(), r.top_spans.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              if (a.busy_seconds != b.busy_seconds) {
+                return a.busy_seconds > b.busy_seconds;
+              }
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.phase) < static_cast<int>(b.phase);
+            });
+  if (top_k >= 0 &&
+      r.top_spans.size() > static_cast<std::size_t>(top_k)) {
+    r.top_spans.resize(static_cast<std::size_t>(top_k));
+  }
+  return r;
+}
+
+// ----- JSON export ----------------------------------------------------
+
+void write_profile_json(const ProfileReport& r, std::ostream& os) {
+  const double makespan = r.makespan_seconds;
+  os << "{\n";
+  os << "  \"critical_path\": {\n";
+  os << "    \"abft_seconds\": " << fmt_double(r.abft_critical_seconds)
+     << ",\n";
+  os << "    \"gaps\": " << r.critical_gaps << ",\n";
+  os << "    \"idle_seconds\": " << fmt_double(r.idle_critical_seconds)
+     << ",\n";
+  os << "    \"length_seconds\": " << fmt_double(r.critical_path_seconds)
+     << ",\n";
+  os << "    \"projected_no_abft_seconds\": "
+     << fmt_double(r.projected_no_abft_seconds) << ",\n";
+  os << "    \"segments\": " << r.critical_segments << "\n";
+  os << "  },\n";
+  os << "  \"makespan_seconds\": " << fmt_double(makespan) << ",\n";
+  os << "  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : r.meta) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_string(key, os);
+    os << ": ";
+    write_string(value, os);
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"phases\": {";
+  first = true;
+  for (const auto& [name, ph] : r.phases) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_string(name, os);
+    os << ": {\"busy_seconds\": " << fmt_double(ph.busy_seconds)
+       << ", \"critical_seconds\": " << fmt_double(ph.critical_seconds)
+       << ", \"flops\": " << ph.flops << ", \"spans\": " << ph.spans << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"profile_version\": " << ProfileReport::kProfileVersion << ",\n";
+  os << "  \"resources\": {";
+  first = true;
+  for (const auto& [name, res] : r.resources) {
+    const double window = res.capacity_units * makespan;
+    const double util =
+        window > 0.0 ? res.busy_unit_seconds / window : 0.0;
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_string(name, os);
+    os << ": {\"busy_unit_seconds\": " << fmt_double(res.busy_unit_seconds)
+       << ", \"capacity_units\": " << fmt_double(res.capacity_units)
+       << ", \"idle_unit_seconds\": "
+       << fmt_double(window - res.busy_unit_seconds)
+       << ", \"utilization\": " << fmt_double(util) << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"spans\": {\"dropped\": " << r.spans_dropped
+     << ", \"recorded\": " << r.span_count << "},\n";
+  os << "  \"top_spans\": [";
+  first = true;
+  for (const auto& a : r.top_spans) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"busy_seconds\": " << fmt_double(a.busy_seconds)
+       << ", \"count\": " << a.count << ", \"flops\": " << a.flops
+       << ", \"name\": ";
+    write_string(a.name, os);
+    os << ", \"phase\": ";
+    write_string(to_string(a.phase), os);
+    os << "}";
+  }
+  os << (first ? "" : "\n  ") << "]\n";
+  os << "}\n";
+}
+
+bool write_profile_json_file(const ProfileReport& report,
+                             const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_profile_json(report, os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+// ----- JSON import ----------------------------------------------------
+
+namespace {
+
+/// A minimal JSON value tree — just enough to read back what
+/// write_profile_json emits (objects, arrays, strings, numbers).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Object, Array };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> elements;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out->type = JsonValue::Type::String;
+                return parse_string(&out->str);
+      case 't':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = true;
+        return parse_literal("true");
+      case 'f':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = false;
+        return parse_literal("false");
+      case 'n': out->type = JsonValue::Type::Null;
+                return parse_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* lit) {
+    for (; *lit != '\0'; ++lit) {
+      if (p_ == end_ || *p_ != *lit) return false;
+      ++p_;
+    }
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    char* after = nullptr;
+    // The buffer came from a file read into a NUL-terminated string, so
+    // strtod stops at the first non-number character.
+    const double v = std::strtod(p_, &after);
+    if (after == p_) return false;
+    out->type = JsonValue::Type::Number;
+    out->number = v;
+    p_ = after;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) return false;
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // Only the control-character escapes our writer emits.
+            if (end_ - p_ < 4) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code > 0x7f) return false;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      }
+      out->push_back(c);
+    }
+    return consume('"');
+  }
+
+  bool parse_object(JsonValue* out) {
+    if (!consume('{')) return false;
+    out->type = JsonValue::Type::Object;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    if (!consume('[')) return false;
+    out->type = JsonValue::Type::Array;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->elements.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+bool get_number(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Number) return false;
+  *out = v->number;
+  return true;
+}
+
+bool get_count(const JsonValue& obj, const char* key, long long* out) {
+  double v = 0.0;
+  if (!get_number(obj, key, &v)) return false;
+  *out = static_cast<long long>(v);
+  return true;
+}
+
+bool get_int64(const JsonValue& obj, const char* key, std::int64_t* out) {
+  double v = 0.0;
+  if (!get_number(obj, key, &v)) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+Phase phase_from_name(const std::string& name) {
+  for (Phase p : kAllPhases) {
+    if (name == to_string(p)) return p;
+  }
+  return Phase::Base;
+}
+
+}  // namespace
+
+bool read_profile_json(std::istream& is, ProfileReport* out) {
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  JsonValue root;
+  JsonParser parser(text.c_str(), text.c_str() + text.size());
+  if (!parser.parse(&root) || root.type != JsonValue::Type::Object) {
+    return false;
+  }
+  double version = 0.0;
+  if (!get_number(root, "profile_version", &version) ||
+      static_cast<int>(version) != ProfileReport::kProfileVersion) {
+    return false;
+  }
+
+  ProfileReport r;
+  if (!get_number(root, "makespan_seconds", &r.makespan_seconds)) {
+    return false;
+  }
+  const JsonValue* cp = root.find("critical_path");
+  if (cp == nullptr || cp->type != JsonValue::Type::Object) return false;
+  if (!get_number(*cp, "abft_seconds", &r.abft_critical_seconds) ||
+      !get_number(*cp, "idle_seconds", &r.idle_critical_seconds) ||
+      !get_number(*cp, "length_seconds", &r.critical_path_seconds) ||
+      !get_number(*cp, "projected_no_abft_seconds",
+                  &r.projected_no_abft_seconds) ||
+      !get_count(*cp, "segments", &r.critical_segments) ||
+      !get_count(*cp, "gaps", &r.critical_gaps)) {
+    return false;
+  }
+
+  if (const JsonValue* meta = root.find("meta");
+      meta != nullptr && meta->type == JsonValue::Type::Object) {
+    for (const auto& [key, value] : meta->members) {
+      if (value.type != JsonValue::Type::String) return false;
+      r.meta[key] = value.str;
+    }
+  }
+
+  const JsonValue* phases = root.find("phases");
+  if (phases == nullptr || phases->type != JsonValue::Type::Object) {
+    return false;
+  }
+  for (const auto& [name, value] : phases->members) {
+    if (value.type != JsonValue::Type::Object) return false;
+    PhaseProfile ph;
+    if (!get_number(value, "busy_seconds", &ph.busy_seconds) ||
+        !get_number(value, "critical_seconds", &ph.critical_seconds) ||
+        !get_int64(value, "flops", &ph.flops) ||
+        !get_count(value, "spans", &ph.spans)) {
+      return false;
+    }
+    r.phases[name] = ph;
+  }
+
+  if (const JsonValue* resources = root.find("resources");
+      resources != nullptr && resources->type == JsonValue::Type::Object) {
+    for (const auto& [name, value] : resources->members) {
+      if (value.type != JsonValue::Type::Object) return false;
+      ResourceProfile res;
+      if (!get_number(value, "busy_unit_seconds", &res.busy_unit_seconds) ||
+          !get_number(value, "capacity_units", &res.capacity_units)) {
+        return false;
+      }
+      r.resources[name] = res;
+    }
+  }
+
+  if (const JsonValue* spans = root.find("spans");
+      spans != nullptr && spans->type == JsonValue::Type::Object) {
+    if (!get_count(*spans, "recorded", &r.span_count) ||
+        !get_count(*spans, "dropped", &r.spans_dropped)) {
+      return false;
+    }
+  }
+
+  if (const JsonValue* top = root.find("top_spans");
+      top != nullptr && top->type == JsonValue::Type::Array) {
+    for (const JsonValue& value : top->elements) {
+      if (value.type != JsonValue::Type::Object) return false;
+      SpanAggregate a;
+      const JsonValue* name = value.find("name");
+      const JsonValue* phase = value.find("phase");
+      if (name == nullptr || name->type != JsonValue::Type::String ||
+          phase == nullptr || phase->type != JsonValue::Type::String ||
+          !get_number(value, "busy_seconds", &a.busy_seconds) ||
+          !get_count(value, "count", &a.count) ||
+          !get_int64(value, "flops", &a.flops)) {
+        return false;
+      }
+      a.name = name->str;
+      a.phase = phase_from_name(phase->str);
+      r.top_spans.push_back(std::move(a));
+    }
+  }
+
+  *out = std::move(r);
+  return true;
+}
+
+bool read_profile_json_file(const std::string& path, ProfileReport* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return read_profile_json(is, out);
+}
+
+// ----- regression-gate comparison ------------------------------------
+
+namespace {
+
+std::string fmt_finding(const char* format, const std::string& subject,
+                        double before, double after, double drift,
+                        double tolerance) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, subject.c_str(), before, after,
+                drift, tolerance);
+  return buf;
+}
+
+double fraction(double part, double whole) {
+  return whole > 0.0 ? part / whole : 0.0;
+}
+
+}  // namespace
+
+std::vector<std::string> compare_profiles(const ProfileReport& baseline,
+                                          const ProfileReport& current,
+                                          double tolerance) {
+  std::vector<std::string> findings;
+  const double mb = baseline.makespan_seconds;
+  const double mc = current.makespan_seconds;
+  const double rel = std::abs(mc - mb) / std::max(std::abs(mb), 1e-300);
+  if (rel > tolerance) {
+    findings.push_back(fmt_finding(
+        "%s: %.6g s -> %.6g s (relative drift %.3g > tolerance %.3g)",
+        "makespan", mb, mc, rel, tolerance));
+  }
+  // Union of phase names, in sorted order (both maps are sorted).
+  std::vector<std::string> keys;
+  for (const auto& [name, ph] : baseline.phases) keys.push_back(name);
+  for (const auto& [name, ph] : current.phases) keys.push_back(name);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const PhaseProfile zero;
+  for (const std::string& name : keys) {
+    const auto bit = baseline.phases.find(name);
+    const auto cit = current.phases.find(name);
+    const PhaseProfile& bp = bit != baseline.phases.end() ? bit->second : zero;
+    const PhaseProfile& cp = cit != current.phases.end() ? cit->second : zero;
+    const double crit_b = fraction(bp.critical_seconds, mb);
+    const double crit_c = fraction(cp.critical_seconds, mc);
+    if (std::abs(crit_c - crit_b) > tolerance) {
+      findings.push_back(fmt_finding(
+          "phase %s: critical-path fraction %.4f -> %.4f "
+          "(drift %.3g > tolerance %.3g)",
+          name, crit_b, crit_c, std::abs(crit_c - crit_b), tolerance));
+    }
+    const double busy_b = fraction(bp.busy_seconds, mb);
+    const double busy_c = fraction(cp.busy_seconds, mc);
+    if (std::abs(busy_c - busy_b) > tolerance) {
+      findings.push_back(fmt_finding(
+          "phase %s: busy fraction %.4f -> %.4f "
+          "(drift %.3g > tolerance %.3g)",
+          name, busy_b, busy_c, std::abs(busy_c - busy_b), tolerance));
+    }
+  }
+  return findings;
+}
+
+// ----- text rendering -------------------------------------------------
+
+void write_profile_text(const ProfileReport& r, std::ostream& os) {
+  char buf[256];
+  const double makespan = r.makespan_seconds;
+  std::snprintf(buf, sizeof(buf),
+                "profile v%d  makespan %.6f s  (%lld spans, %lld dropped)\n",
+                ProfileReport::kProfileVersion, makespan, r.span_count,
+                r.spans_dropped);
+  os << buf;
+  for (const auto& [key, value] : r.meta) {
+    os << "  " << key << ": " << value << "\n";
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "critical path: %.6f s over %lld segments + %lld gaps "
+      "(idle %.6f s)\n",
+      r.critical_path_seconds, r.critical_segments, r.critical_gaps,
+      r.idle_critical_seconds);
+  os << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "abft on path : %.6f s; no-ABFT projection %.6f s (%.1f%% of run)\n",
+      r.abft_critical_seconds, r.projected_no_abft_seconds,
+      100.0 * fraction(r.projected_no_abft_seconds, makespan));
+  os << buf;
+
+  os << "\nphase      spans       busy_s    critical_s  crit%\n";
+  for (const auto& [name, ph] : r.phases) {
+    std::snprintf(buf, sizeof(buf), "%-9s %6lld %12.6f %12.6f %6.2f\n",
+                  name.c_str(), ph.spans, ph.busy_seconds,
+                  ph.critical_seconds,
+                  100.0 * fraction(ph.critical_seconds, makespan));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-9s %6s %12s %12.6f %6.2f\n", "idle", "-",
+                "-", r.idle_critical_seconds,
+                100.0 * fraction(r.idle_critical_seconds, makespan));
+  os << buf;
+
+  os << "\nresource     busy_unit_s  capacity  util%   idle_unit_s\n";
+  for (const auto& [name, res] : r.resources) {
+    const double window = res.capacity_units * makespan;
+    std::snprintf(buf, sizeof(buf), "%-12s %11.6f %9.0f %6.2f %13.6f\n",
+                  name.c_str(), res.busy_unit_seconds, res.capacity_units,
+                  100.0 * fraction(res.busy_unit_seconds, window),
+                  window - res.busy_unit_seconds);
+    os << buf;
+  }
+
+  os << "\ntop spans by busy time:\n";
+  os << "name             phase    count       busy_s          flops\n";
+  for (const auto& a : r.top_spans) {
+    std::snprintf(buf, sizeof(buf), "%-16s %-8s %6lld %12.6f %14lld\n",
+                  a.name.c_str(), to_string(a.phase), a.count, a.busy_seconds,
+                  static_cast<long long>(a.flops));
+    os << buf;
+  }
+}
+
+}  // namespace ftla::obs

@@ -1,0 +1,120 @@
+// Profile reports: the analyzer over SpanStore output.
+//
+// build_profile() turns a run's spans plus the simulator's resource
+// accounting into the paper-shaped overhead story:
+//   * per-phase decomposition — span counts, busy (span-duration)
+//     seconds and modeled flops for base factorization work vs. each
+//     ABFT phase (encode/recalc/update/verify/recover);
+//   * critical-path extraction — a deterministic backward walk from the
+//     makespan, at each point blaming the latest-finishing span and
+//     jumping to its start (span starts already encode stream FIFO
+//     order, event waits and SM contention, so the walk follows the
+//     dependency structure the simulator enforced); uncovered gaps are
+//     idle time (host API overhead, true bubbles);
+//   * a what-if "ABFT removed" projection — the makespan minus the
+//     critical-path time attributed to non-Base phases, an optimistic
+//     lower bound (removing ABFT work cannot lengthen the path, but
+//     remaining work may re-pack differently);
+//   * per-resource utilization (busy unit-seconds over capacity x
+//     makespan) and idle-time attribution;
+//   * top-K span aggregates by total busy time.
+//
+// Exactness contract (virtual time has no measurement noise, so these
+// are identities, not approximations):
+//   * critical_path_seconds == makespan_seconds, by construction: the
+//     walk tiles [0, makespan] with span segments and idle gaps;
+//   * idle_critical_seconds is defined as the exact remainder
+//     makespan - sum of per-phase critical_seconds accumulated in
+//     sorted phase order, so recomputing that sorted sum and adding the
+//     idle term reproduces the makespan bit-for-bit. A few-ulp
+//     summation overshoot is absorbed into the largest phase
+//     (deterministically), so the remainder is also never negative.
+//
+// JSON export is schema-versioned (profile_version 1), keys sorted at
+// every level, doubles printed with 17 significant digits: identical
+// runs — serial or threaded — serialize byte-identically, which is
+// what the bench/baselines regression gate diffs against.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ftla::obs {
+
+struct PhaseProfile {
+  long long spans = 0;
+  double busy_seconds = 0.0;  ///< sum of span durations (overlap counted)
+  std::int64_t flops = 0;
+  double critical_seconds = 0.0;  ///< time on the critical path
+};
+
+struct ResourceProfile {
+  double busy_unit_seconds = 0.0;
+  double capacity_units = 1.0;
+};
+
+struct SpanAggregate {
+  std::string name;
+  Phase phase = Phase::Base;
+  long long count = 0;
+  double busy_seconds = 0.0;
+  std::int64_t flops = 0;
+};
+
+struct ProfileReport {
+  static constexpr int kProfileVersion = 1;
+
+  /// Free-form run description (algo, n, variant...), sorted on export.
+  std::map<std::string, std::string> meta;
+
+  double makespan_seconds = 0.0;
+  double critical_path_seconds = 0.0;  ///< == makespan (see header)
+  double idle_critical_seconds = 0.0;  ///< exact decomposition remainder
+  double abft_critical_seconds = 0.0;  ///< non-Base critical-path time
+  double projected_no_abft_seconds = 0.0;
+  long long critical_segments = 0;  ///< spans blamed by the walk
+  long long critical_gaps = 0;      ///< idle gaps the walk crossed
+
+  /// Keyed by phase name; every phase is present (zeroed when unused).
+  std::map<std::string, PhaseProfile> phases;
+  std::map<std::string, ResourceProfile> resources;
+  std::vector<SpanAggregate> top_spans;  ///< busy-time descending
+
+  long long span_count = 0;
+  long long spans_dropped = 0;
+};
+
+/// Analyzes one run. `makespan` is Machine::makespan(); `resources`
+/// carries the simulator's busy-unit accounting (see sim/profiler.hpp).
+ProfileReport build_profile(const std::vector<Span>& spans, double makespan,
+                            const std::map<std::string, ResourceProfile>& resources,
+                            std::size_t spans_dropped = 0, int top_k = 12);
+
+/// Byte-stable schema-v1 JSON (sorted keys, 17-digit doubles).
+void write_profile_json(const ProfileReport& report, std::ostream& os);
+/// Convenience: writes the JSON to a file; returns false on I/O error.
+bool write_profile_json_file(const ProfileReport& report,
+                             const std::string& path);
+
+/// Parses a profile_version-1 document written by write_profile_json.
+/// Returns false on malformed input or a schema-version mismatch.
+bool read_profile_json(std::istream& is, ProfileReport* out);
+bool read_profile_json_file(const std::string& path, ProfileReport* out);
+
+/// Regression-gate comparison: relative makespan drift plus absolute
+/// drift of each phase's critical-path and busy fractions, against
+/// `tolerance`. Returns human-readable findings (empty = within
+/// tolerance), in deterministic order.
+std::vector<std::string> compare_profiles(const ProfileReport& baseline,
+                                          const ProfileReport& current,
+                                          double tolerance);
+
+/// Human-readable rendering (the ftla_profile_cli text table).
+void write_profile_text(const ProfileReport& report, std::ostream& os);
+
+}  // namespace ftla::obs

@@ -1,0 +1,87 @@
+#include "obs/span.hpp"
+
+namespace ftla::obs {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::Base: return "base";
+    case Phase::Encode: return "encode";
+    case Phase::Recalc: return "recalc";
+    case Phase::Update: return "update";
+    case Phase::Verify: return "verify";
+    case Phase::Recover: return "recover";
+  }
+  return "base";
+}
+
+Phase classify_span_name(const std::string& name) {
+  const auto starts_with = [&name](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  if (starts_with("verify")) return Phase::Verify;
+  if (starts_with("recalc")) return Phase::Recalc;
+  if (starts_with("encode")) return Phase::Encode;
+  // Checkpoint/restore names carry a "chk" fragment too, so the recovery
+  // prefixes must win before the substring test below.
+  if (starts_with("ckpt") || starts_with("restore")) return Phase::Recover;
+  if (name.find("chk") != std::string::npos) return Phase::Update;
+  return Phase::Base;
+}
+
+void SpanStore::record(EventKind kind, const std::string& name,
+                       const char* cls, int lane, double start, double end,
+                       std::int64_t flops, std::int64_t bytes, int units) {
+  common::MutexLock lk(mu_);
+  if (spans_.size() >= limit_) {
+    ++dropped_;
+    return;
+  }
+  Span s;
+  s.kind = kind;
+  s.name = name;
+  s.cls = cls;
+  s.lane = lane;
+  s.start = start;
+  s.end = end;
+  s.flops = flops;
+  s.bytes = bytes;
+  s.units = units;
+  s.phase = classify_span_name(name);
+  if (s.phase == Phase::Base && !phase_stack_.empty()) {
+    s.phase = phase_stack_.back();
+  }
+  s.iteration = iteration_;
+  spans_.push_back(std::move(s));
+}
+
+void SpanStore::set_iteration(int iteration) {
+  common::MutexLock lk(mu_);
+  iteration_ = iteration;
+}
+
+void SpanStore::push_phase(Phase p) {
+  common::MutexLock lk(mu_);
+  phase_stack_.push_back(p);
+}
+
+void SpanStore::pop_phase() {
+  common::MutexLock lk(mu_);
+  if (!phase_stack_.empty()) phase_stack_.pop_back();
+}
+
+std::vector<Span> SpanStore::snapshot() const {
+  common::MutexLock lk(mu_);
+  return spans_;
+}
+
+std::size_t SpanStore::size() const {
+  common::MutexLock lk(mu_);
+  return spans_.size();
+}
+
+std::size_t SpanStore::dropped() const {
+  common::MutexLock lk(mu_);
+  return dropped_;
+}
+
+}  // namespace ftla::obs

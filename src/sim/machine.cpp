@@ -152,8 +152,12 @@ void Machine::note_trace(std::string name, KernelClass cls, int lane,
 }
 
 void Machine::note_span(obs::EventKind kind, const std::string& name,
-                        int lane, double start, double end,
+                        KernelClass cls, int lane, double start, double end,
                         std::int64_t flops, std::int64_t bytes, int units) {
+  if (spans_ != nullptr) {
+    spans_->record(kind, name, to_string(cls), lane, start, end, flops,
+                   bytes, units);
+  }
   if (sink_ == nullptr) return;
   obs::Event e;
   e.kind = kind;
@@ -203,7 +207,8 @@ void Machine::launch(StreamId s, const KernelDesc& d,
   cs.flops += d.flops;
   cs.busy_seconds += dur;
   note_trace(d.name, d.cls, s, start, end, units, d.flops);
-  note_span(obs::EventKind::Kernel, d.name, s, start, end, d.flops, 0, units);
+  note_span(obs::EventKind::Kernel, d.name, d.cls, s, start, end, d.flops, 0,
+            units);
 }
 
 void Machine::host_compute(const KernelDesc& d,
@@ -223,8 +228,8 @@ void Machine::host_compute(const KernelDesc& d,
   cs.flops += d.flops;
   cs.busy_seconds += dur;
   note_trace(d.name, d.cls, kHostLane, start, host_time_, 0, d.flops);
-  note_span(obs::EventKind::HostTask, d.name, kHostLane, start, host_time_,
-            d.flops, 0, 0);
+  note_span(obs::EventKind::HostTask, d.name, d.cls, kHostLane, start,
+            host_time_, d.flops, 0, 0);
 }
 
 void Machine::host_advance(double seconds) {
@@ -252,8 +257,9 @@ void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
   stats_.h2d_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.h2d_seconds += dur;
   note_trace("h2d", KernelClass::Other, kH2dLane, earliest, end, 0);
-  note_span(obs::EventKind::Copy, "h2d", kH2dLane, earliest, end, 0,
-            n * static_cast<std::int64_t>(sizeof(double)), 0);
+  note_span(obs::EventKind::Copy, "h2d", KernelClass::Other, kH2dLane,
+            earliest, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
+            0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric() && n > 0) {
     note_transfer("h2d", true, dst.data() + dst_off, static_cast<int>(n), 1,
@@ -284,8 +290,9 @@ void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
   stats_.d2h_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.d2h_seconds += dur;
   note_trace("d2h", KernelClass::Other, kD2hLane, earliest, end, 0);
-  note_span(obs::EventKind::Copy, "d2h", kD2hLane, earliest, end, 0,
-            n * static_cast<std::int64_t>(sizeof(double)), 0);
+  note_span(obs::EventKind::Copy, "d2h", KernelClass::Other, kD2hLane,
+            earliest, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
+            0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric() && n > 0) {
     note_transfer("d2h", false, dst, static_cast<int>(n), 1,
@@ -322,8 +329,8 @@ void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
   stats_.h2d_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.h2d_seconds += dur;
   note_trace("h2d_2d", KernelClass::Other, kH2dLane, earliest, end, 0);
-  note_span(obs::EventKind::Copy, "h2d_2d", kH2dLane, earliest, end, 0,
-            static_cast<std::int64_t>(rows) * cols * 8, 0);
+  note_span(obs::EventKind::Copy, "h2d_2d", KernelClass::Other, kH2dLane,
+            earliest, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric()) {
     note_transfer("h2d_2d", true, dst.data() + dst_off, rows, cols, dst_ld,
@@ -360,8 +367,8 @@ void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
   stats_.d2h_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.d2h_seconds += dur;
   note_trace("d2h_2d", KernelClass::Other, kD2hLane, earliest, end, 0);
-  note_span(obs::EventKind::Copy, "d2h_2d", kD2hLane, earliest, end, 0,
-            static_cast<std::int64_t>(rows) * cols * 8, 0);
+  note_span(obs::EventKind::Copy, "d2h_2d", KernelClass::Other, kD2hLane,
+            earliest, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric()) {
     note_transfer("d2h_2d", false, dst, rows, cols, dst_ld, -1, earliest,
@@ -392,8 +399,8 @@ void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
   ++cs.count;
   cs.busy_seconds += dur;
   note_trace("d2d", KernelClass::Memset, s, start, start + dur, 1);
-  note_span(obs::EventKind::Copy, "d2d", s, start, start + dur, 0,
-            n * static_cast<std::int64_t>(sizeof(double)), 1);
+  note_span(obs::EventKind::Copy, "d2d", KernelClass::Memset, s, start,
+            start + dur, 0, n * static_cast<std::int64_t>(sizeof(double)), 1);
 }
 
 void Machine::note_transfer(const char* name, bool h2d, double* data,

@@ -26,6 +26,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/span.hpp"
 #include "sim/profile.hpp"
 #include "sim/timeline.hpp"
 
@@ -260,6 +261,13 @@ class Machine {
   void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
   [[nodiscard]] obs::EventSink* event_sink() const noexcept { return sink_; }
 
+  /// Attaches a profiler span store (not owned; nullptr detaches).
+  /// Every kernel, host task and copy is then recorded as an obs::Span
+  /// with its virtual window, lane, kernel class and modeled cost; the
+  /// attached store stamps ABFT phase and iteration (sim/profiler.hpp).
+  void set_span_store(obs::SpanStore* spans) { spans_ = spans; }
+  [[nodiscard]] obs::SpanStore* span_store() const noexcept { return spans_; }
+
   // ----- transfer-fault hook ----------------------------------------
   /// Attaches the transfer-corruption hook (fault campaigns). Called in
   /// Numeric mode after every non-empty H2D/D2H copy with a TransferCtx
@@ -299,9 +307,9 @@ class Machine {
                      double end, StreamId s);
   void note_trace(std::string name, KernelClass cls, int lane, double start,
                   double end, int units, std::int64_t flops = 0);
-  void note_span(obs::EventKind kind, const std::string& name, int lane,
-                 double start, double end, std::int64_t flops,
-                 std::int64_t bytes, int units);
+  void note_span(obs::EventKind kind, const std::string& name,
+                 KernelClass cls, int lane, double start, double end,
+                 std::int64_t flops, std::int64_t bytes, int units);
   void note_sync(const char* name);
 
   MachineProfile profile_;
@@ -319,6 +327,7 @@ class Machine {
   std::size_t trace_limit_ = kDefaultTraceLimit;
   std::size_t trace_dropped_ = 0;
   obs::EventSink* sink_ = nullptr;
+  obs::SpanStore* spans_ = nullptr;
   TransferHook transfer_hook_;
   bool h2d_armed_ = false;
   bool d2h_armed_ = false;

@@ -141,6 +141,49 @@ void write_trace_impl(const Machine& machine,
     if (r.flops != 0) os << ",\"flops\":" << r.flops;
     os << "}}";
   }
+
+  // Counter tracks ("ph":"C"): SM occupancy, copy-engine busy and
+  // outstanding verification work over time, derived from the same
+  // trace records as step functions over their start/end deltas.
+  using Deltas = std::vector<std::pair<double, long long>>;
+  Deltas sm_use, h2d_use, d2h_use, verify_use;
+  for (const auto& r : machine.trace()) {
+    if (r.lane >= 0) {  // GPU pool work: kernels and d2d copies
+      sm_use.emplace_back(r.start, r.units);
+      sm_use.emplace_back(r.end, -r.units);
+    } else if (r.lane == kH2dLane) {
+      h2d_use.emplace_back(r.start, 1);
+      h2d_use.emplace_back(r.end, -1);
+    } else if (r.lane == kD2hLane) {
+      d2h_use.emplace_back(r.start, 1);
+      d2h_use.emplace_back(r.end, -1);
+    }
+    if (r.name.rfind("verify", 0) == 0 || r.name.rfind("recalc", 0) == 0) {
+      verify_use.emplace_back(r.start, 1);
+      verify_use.emplace_back(r.end, -1);
+    }
+  }
+  auto counter_track = [&](const char* name, const char* key,
+                           Deltas& deltas) {
+    if (deltas.empty()) return;
+    std::sort(deltas.begin(), deltas.end());
+    long long level = 0;
+    for (std::size_t i = 0; i < deltas.size();) {
+      const double t = deltas[i].first;
+      for (; i < deltas.size() && deltas[i].first == t; ++i) {
+        level += deltas[i].second;
+      }
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+         << t * 1e6 << ",\"args\":{\"" << key << "\":" << level << "}}";
+    }
+  };
+  counter_track("sm_units_in_use", "units", sm_use);
+  counter_track("h2d_engine_busy", "copies", h2d_use);
+  counter_track("d2h_engine_busy", "copies", d2h_use);
+  counter_track("outstanding_verifications", "spans", verify_use);
+
   if (events == nullptr) {
     os << "]}";
     return;

@@ -12,4 +12,5 @@ void report(Registry& reg) {
   reg.add_counter("abft.Verify", 1);       // line 12: uppercase segment
   reg.set_gauge("abft..gap", 0.5);         // line 13: empty segment
   reg.record_histogram("2fast.metric", 1); // line 14: leading digit
+  reg.counter("wallclock.reads") += 1;     // line 15: unknown namespace
 }

@@ -10,6 +10,7 @@ struct Registry {
 void report(Registry& reg, const std::string& op) {
   reg.counter("abft.verify.dgemm_blocks") += 1;
   reg.set_gauge("sim.queue_depth", 3.0);
+  reg.set_gauge("profile.critical_path_s", 0.25);
   reg.counter("abft.verify." + op) += 1;  // assembled name: not judged
   // reg.counter("BAD") in a comment must not fire.
 }

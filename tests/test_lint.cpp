@@ -227,12 +227,34 @@ TEST(MetricsNaming, FiresOnBadFixture) {
   const auto findings =
       lint_fixture("bad/metrics_naming.cpp", "src/obs/fixture.cpp");
   const std::vector<int> lines = lines_of(findings, "metrics-naming");
-  EXPECT_EQ(lines, (std::vector<int>{11, 12, 13, 14}));
+  EXPECT_EQ(lines, (std::vector<int>{11, 12, 13, 14, 15}));
 }
 
 TEST(MetricsNaming, SilentOnGoodFixture) {
   EXPECT_TRUE(
       lint_fixture("good/metrics_naming.cpp", "src/obs/fixture.cpp").empty());
+}
+
+TEST(MetricsNaming, NamespaceAllowlistIsConfigurable) {
+  // With `extra` overriding the built-in namespace list, "wallclock.*"
+  // becomes legal and every abft/sim/profile name becomes a finding.
+  Config cfg = ftla::lint::default_config();
+  cfg.rules["metrics-naming"].extra = {"wallclock"};
+  const std::string text = read_file(std::string(FTLA_LINT_FIXTURE_DIR) +
+                                     "/bad/metrics_naming.cpp");
+  const auto findings = ftla::lint::lint_file(
+      ftla::lint::scan_source("src/obs/fixture.cpp", text), cfg);
+  const std::vector<int> lines = lines_of(findings, "metrics-naming");
+  // Lines 11-14 still violate the shape rule; line 15 is now allowed.
+  EXPECT_EQ(lines, (std::vector<int>{11, 12, 13, 14}));
+
+  const auto good = ftla::lint::lint_file(
+      ftla::lint::scan_source(
+          "src/obs/fixture.cpp",
+          "struct R { void set_gauge(const char*, double); };\n"
+          "void f(R& r) { r.set_gauge(\"wallclock.reads_total\", 1.0); }\n"),
+      cfg);
+  EXPECT_TRUE(good.empty());
 }
 
 TEST(IncludeHygiene, FiresOnBadHeaderOnly) {

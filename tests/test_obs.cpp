@@ -90,50 +90,50 @@ TEST(EventSink, JsonlEmitsOneObjectPerLine) {
 
 TEST(MetricsRegistry, CountersGaugesHistograms) {
   MetricsRegistry reg;
-  reg.counter("a.count") += 2;
-  reg.add_counter("a.count", 3);
-  reg.set_gauge("a.gauge", 1.25);
-  reg.histogram("a.h", {1.0, 2.0}).add(1.5);
-  EXPECT_EQ(reg.counters().at("a.count"), 5);
-  EXPECT_DOUBLE_EQ(reg.gauges().at("a.gauge"), 1.25);
-  EXPECT_EQ(reg.histogram("a.h").count(), 1);
-  EXPECT_TRUE(reg.has_counter("a.count"));
+  reg.counter("test.count") += 2;
+  reg.add_counter("test.count", 3);
+  reg.set_gauge("test.gauge", 1.25);
+  reg.histogram("test.h", {1.0, 2.0}).add(1.5);
+  EXPECT_EQ(reg.counters().at("test.count"), 5);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("test.gauge"), 1.25);
+  EXPECT_EQ(reg.histogram("test.h").count(), 1);
+  EXPECT_TRUE(reg.has_counter("test.count"));
   EXPECT_FALSE(reg.has_counter("missing"));
 }
 
 TEST(MetricsRegistry, MergeAddsCountersAndFoldsHistograms) {
   MetricsRegistry a;
   MetricsRegistry b;
-  a.counter("merge.n") = 2;
-  b.counter("merge.n") = 3;
-  b.counter("merge.only_b") = 7;
-  a.set_gauge("merge.g", 1.0);
-  b.set_gauge("merge.g", 9.0);
-  a.histogram("merge.h", {1.0, 10.0}).add(0.5);
-  b.histogram("merge.h", {1.0, 10.0}).add(5.0);
+  a.counter("test.merge.n") = 2;
+  b.counter("test.merge.n") = 3;
+  b.counter("test.merge.only_b") = 7;
+  a.set_gauge("test.merge.g", 1.0);
+  b.set_gauge("test.merge.g", 9.0);
+  a.histogram("test.merge.h", {1.0, 10.0}).add(0.5);
+  b.histogram("test.merge.h", {1.0, 10.0}).add(5.0);
   a.merge(b);
-  EXPECT_EQ(a.counters().at("merge.n"), 5);
-  EXPECT_EQ(a.counters().at("merge.only_b"), 7);
-  EXPECT_DOUBLE_EQ(a.gauges().at("merge.g"), 9.0);  // last writer wins
-  EXPECT_EQ(a.histogram("merge.h").count(), 2);
-  EXPECT_DOUBLE_EQ(a.histogram("merge.h").max(), 5.0);
+  EXPECT_EQ(a.counters().at("test.merge.n"), 5);
+  EXPECT_EQ(a.counters().at("test.merge.only_b"), 7);
+  EXPECT_DOUBLE_EQ(a.gauges().at("test.merge.g"), 9.0);  // last writer wins
+  EXPECT_EQ(a.histogram("test.merge.h").count(), 2);
+  EXPECT_DOUBLE_EQ(a.histogram("test.merge.h").max(), 5.0);
 }
 
 TEST(MetricsReportJson, SchemaAndSections) {
   MetricsReport report;
   report.add_meta("machine", "test");
   report.add_meta("mode", "numeric");
-  report.metrics.counter("z.last") = 1;
-  report.metrics.counter("a.first") = 2;
-  report.metrics.set_gauge("report.g", 0.5);
-  report.metrics.histogram("report.h", {1.0}).add(3.0);
+  report.metrics.counter("test.z_last") = 1;
+  report.metrics.counter("test.a_first") = 2;
+  report.metrics.set_gauge("test.report_g", 0.5);
+  report.metrics.histogram("test.report_h", {1.0}).add(3.0);
   std::ostringstream os;
   write_metrics_json(report, os);
   const std::string s = os.str();
   EXPECT_NE(s.find("\"schema_version\":1"), std::string::npos);
   EXPECT_NE(s.find("\"machine\":\"test\""), std::string::npos);
   // Counters are emitted in sorted (map) order.
-  EXPECT_LT(s.find("a.first"), s.find("z.last"));
+  EXPECT_LT(s.find("test.a_first"), s.find("test.z_last"));
   EXPECT_NE(s.find("\"p50\":"), std::string::npos);
   // Overflow bucket upper bound serialized as "inf".
   EXPECT_NE(s.find("\"le\":\"inf\""), std::string::npos);

@@ -1,0 +1,201 @@
+// Simulated-time profiler tests: span classification and tagging, the
+// exactness contract of the analyzer (critical path == makespan, phase
+// decomposition sums exactly to simulated time), JSON round-tripping,
+// byte-identical reports across repeated and threaded runs, and the
+// perf-regression comparison.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/profile_report.hpp"
+#include "obs/span.hpp"
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+#include "sim/profiler.hpp"
+
+namespace ftla {
+namespace {
+
+using obs::Phase;
+
+TEST(SpanClassify, NamingConventionCoversEveryPhase) {
+  EXPECT_EQ(obs::classify_span_name("verify_gemm_inputs"), Phase::Verify);
+  EXPECT_EQ(obs::classify_span_name("recalc_colsum"), Phase::Recalc);
+  EXPECT_EQ(obs::classify_span_name("encode_checksums"), Phase::Encode);
+  EXPECT_EQ(obs::classify_span_name("ckpt_save"), Phase::Recover);
+  EXPECT_EQ(obs::classify_span_name("restore_block"), Phase::Recover);
+  EXPECT_EQ(obs::classify_span_name("chk_syrk_cpu"), Phase::Update);
+  EXPECT_EQ(obs::classify_span_name("larfb_rchk"), Phase::Update);
+  EXPECT_EQ(obs::classify_span_name("gemm"), Phase::Base);
+  EXPECT_EQ(obs::classify_span_name("potf2"), Phase::Base);
+  EXPECT_EQ(obs::classify_span_name("h2d_2d"), Phase::Base);
+}
+
+TEST(SpanStore, PhaseScopeOverridesNeutralNamesOnly) {
+  obs::SpanStore store;
+  store.record(obs::EventKind::Kernel, "gemm", "blas3", 0, 0.0, 1.0, 10, 0,
+               4);
+  {
+    const obs::PhaseScope update(&store, Phase::Update);
+    store.record(obs::EventKind::Kernel, "gemm", "blas3", 0, 1.0, 2.0, 10, 0,
+                 4);
+    // A name-classified span keeps its own phase inside any scope.
+    store.record(obs::EventKind::Kernel, "verify_panel", "host_checksum", -1,
+                 2.0, 3.0, 0, 0, 0);
+    {
+      const obs::PhaseScope recover(&store, Phase::Recover);
+      store.record(obs::EventKind::Copy, "h2d_2d", "copy", -2, 3.0, 4.0, 0,
+                   100, 0);
+    }
+  }
+  store.record(obs::EventKind::Kernel, "trsm", "blas3", 1, 4.0, 5.0, 10, 0,
+               4);
+
+  const std::vector<obs::Span> spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[0].phase, Phase::Base);
+  EXPECT_EQ(spans[1].phase, Phase::Update);
+  EXPECT_EQ(spans[2].phase, Phase::Verify);
+  EXPECT_EQ(spans[3].phase, Phase::Recover);  // innermost scope wins
+  EXPECT_EQ(spans[4].phase, Phase::Base);     // scopes fully unwound
+}
+
+TEST(SpanStore, StampsIterationAndCountsDrops) {
+  obs::SpanStore store(/*limit=*/2);
+  store.set_iteration(3);
+  store.record(obs::EventKind::Kernel, "gemm", "blas3", 0, 0.0, 1.0, 0, 0, 1);
+  store.set_iteration(-1);
+  store.record(obs::EventKind::Kernel, "gemm", "blas3", 0, 1.0, 2.0, 0, 0, 1);
+  store.record(obs::EventKind::Kernel, "gemm", "blas3", 0, 2.0, 3.0, 0, 0, 1);
+  const auto spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].iteration, 3);
+  EXPECT_EQ(spans[1].iteration, -1);
+  EXPECT_EQ(store.dropped(), 1u);
+}
+
+/// One quickstart-like Enhanced Online-ABFT run under the profiler.
+obs::ProfileReport run_profiled(int threads = 1) {
+  common::set_global_threads(threads);
+  sim::Machine machine(sim::test_rig(), sim::ExecutionMode::TimingOnly);
+  obs::SpanStore spans;
+  machine.set_span_store(&spans);
+  abft::CholeskyOptions opt;
+  opt.variant = abft::Variant::EnhancedOnline;
+  opt.block_size = 64;
+  opt.profile = &spans;
+  auto res = abft::cholesky(machine, nullptr, 256, opt);
+  EXPECT_TRUE(res.success) << res.note;
+  obs::ProfileReport report = sim::build_profile(machine, spans);
+  common::set_global_threads(1);
+  return report;
+}
+
+std::string to_json(const obs::ProfileReport& report) {
+  std::ostringstream os;
+  obs::write_profile_json(report, os);
+  return os.str();
+}
+
+TEST(ProfileReport, CriticalPathEqualsMakespanExactly) {
+  const obs::ProfileReport r = run_profiled();
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  // Identity, not approximation: the walk tiles [0, makespan].
+  EXPECT_EQ(r.critical_path_seconds, r.makespan_seconds);
+  EXPECT_GT(r.critical_segments, 0);
+  EXPECT_GE(r.idle_critical_seconds, 0.0);
+  EXPECT_GT(r.abft_critical_seconds, 0.0);  // enhanced run does ABFT work
+  EXPECT_LE(r.projected_no_abft_seconds, r.makespan_seconds);
+}
+
+TEST(ProfileReport, PhaseDecompositionSumsToSimulatedTimeExactly) {
+  const obs::ProfileReport r = run_profiled();
+  // All six phases are always present (zeroed when unused).
+  ASSERT_EQ(r.phases.size(), 6u);
+  // Accumulating per-phase critical seconds in sorted key order (the
+  // map's order) plus the idle remainder reproduces the makespan
+  // bit-for-bit — the analyzer defines idle as exactly this remainder.
+  double sum = 0.0;
+  for (const auto& [name, phase] : r.phases) sum += phase.critical_seconds;
+  EXPECT_EQ(sum + r.idle_critical_seconds, r.makespan_seconds);
+  // The enhanced run exercises base + every online-ABFT phase.
+  EXPECT_GT(r.phases.at("base").busy_seconds, 0.0);
+  EXPECT_GT(r.phases.at("encode").busy_seconds, 0.0);
+  EXPECT_GT(r.phases.at("recalc").busy_seconds, 0.0);
+  EXPECT_GT(r.phases.at("update").busy_seconds, 0.0);
+  EXPECT_GT(r.phases.at("verify").busy_seconds, 0.0);
+  EXPECT_EQ(r.phases.at("recover").spans, 0);  // fault-free run
+}
+
+TEST(ProfileReport, ReportsResourcesAndTopSpans) {
+  const obs::ProfileReport r = run_profiled();
+  ASSERT_TRUE(r.resources.count("gpu_sm"));
+  ASSERT_TRUE(r.resources.count("host_cpu"));
+  ASSERT_TRUE(r.resources.count("h2d_engine"));
+  ASSERT_TRUE(r.resources.count("d2h_engine"));
+  EXPECT_GT(r.resources.at("gpu_sm").busy_unit_seconds, 0.0);
+  EXPECT_GT(r.resources.at("gpu_sm").capacity_units, 1.0);
+  ASSERT_FALSE(r.top_spans.empty());
+  // Aggregates are busy-time descending.
+  for (std::size_t i = 1; i < r.top_spans.size(); ++i) {
+    EXPECT_GE(r.top_spans[i - 1].busy_seconds, r.top_spans[i].busy_seconds);
+  }
+  EXPECT_GT(r.span_count, 0);
+  EXPECT_EQ(r.spans_dropped, 0);
+}
+
+TEST(ProfileJson, RoundTripsByteIdentically) {
+  obs::ProfileReport r = run_profiled();
+  r.meta["algo"] = "cholesky";
+  r.meta["n"] = "256";
+  const std::string first = to_json(r);
+  std::istringstream is(first);
+  obs::ProfileReport parsed;
+  ASSERT_TRUE(obs::read_profile_json(is, &parsed));
+  EXPECT_EQ(to_json(parsed), first);
+  EXPECT_EQ(parsed.meta.at("n"), "256");
+  EXPECT_EQ(parsed.makespan_seconds, r.makespan_seconds);
+}
+
+TEST(ProfileJson, RejectsGarbageAndWrongVersion) {
+  obs::ProfileReport out;
+  std::istringstream garbage("not json at all");
+  EXPECT_FALSE(obs::read_profile_json(garbage, &out));
+  std::istringstream wrong("{\"profile_version\":99}");
+  EXPECT_FALSE(obs::read_profile_json(wrong, &out));
+}
+
+TEST(ProfileDeterminism, IdenticalRunsSerializeByteIdentically) {
+  EXPECT_EQ(to_json(run_profiled()), to_json(run_profiled()));
+}
+
+TEST(ProfileDeterminism, ThreadedRunMatchesSerial) {
+  // Virtual time is independent of the host thread count; the report —
+  // including every double — must be byte-identical.
+  EXPECT_EQ(to_json(run_profiled(1)), to_json(run_profiled(4)));
+}
+
+TEST(ProfileGate, SelfComparisonIsClean) {
+  const obs::ProfileReport r = run_profiled();
+  EXPECT_TRUE(obs::compare_profiles(r, r, 0.0).empty());
+}
+
+TEST(ProfileGate, FlagsMakespanAndPhaseDrift) {
+  const obs::ProfileReport base = run_profiled();
+  obs::ProfileReport slow = base;
+  slow.makespan_seconds *= 1.10;
+  const auto findings = obs::compare_profiles(base, slow, 0.01);
+  EXPECT_FALSE(findings.empty());
+
+  obs::ProfileReport shifted = base;
+  shifted.phases.at("recalc").busy_seconds +=
+      0.5 * base.makespan_seconds;  // busy-fraction drift, same makespan
+  EXPECT_FALSE(obs::compare_profiles(base, shifted, 0.01).empty());
+}
+
+}  // namespace
+}  // namespace ftla

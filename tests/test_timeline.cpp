@@ -66,11 +66,49 @@ TEST(Timeline, UsageAt) {
   EXPECT_EQ(t.usage_at(10.0), 0);
 }
 
+TEST(Timeline, UsageAtHalfOpenBoundaries) {
+  // Allocations are active on the half-open interval [start, end): the
+  // start instant counts, the end instant does not. The profiler's
+  // utilization tracks depend on exactly this convention.
+  ResourceTimeline t(4);
+  t.allocate(1.0, 2.0, 3);  // [1, 3)
+  EXPECT_EQ(t.usage_at(1.0), 3);  // closed at start
+  EXPECT_EQ(t.usage_at(3.0), 0);  // open at end
+  // Back-to-back allocations at a shared breakpoint never double-count:
+  // at the handoff instant only the starting job is active.
+  t.allocate(3.0, 2.0, 4);  // [3, 5)
+  EXPECT_EQ(t.usage_at(3.0), 4);
+  EXPECT_EQ(t.usage_at(5.0), 0);
+  // A zero-duration allocation occupies no instant at all.
+  ResourceTimeline z(1);
+  z.allocate(2.0, 0.0, 1);
+  EXPECT_EQ(z.usage_at(2.0), 0);
+}
+
 TEST(Timeline, BusyUnitSecondsAccumulates) {
   ResourceTimeline t(4);
   t.allocate(0.0, 2.0, 3);
   t.allocate(0.0, 4.0, 1);
   EXPECT_DOUBLE_EQ(t.busy_unit_seconds(), 10.0);
+}
+
+TEST(Timeline, BusyUnitSecondsUnderContentionDelayedStarts) {
+  // Contention delays starts but never shrinks or stretches work:
+  // busy_unit_seconds must equal sum(units * duration) over the
+  // *requested* jobs regardless of where they were pushed to start.
+  ResourceTimeline t(2);
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 4.0, 2), 0.0);   // [0, 4) full width
+  EXPECT_DOUBLE_EQ(t.allocate(1.0, 3.0, 1), 4.0);   // delayed to [4, 7)
+  EXPECT_DOUBLE_EQ(t.allocate(2.0, 3.0, 1), 4.0);   // co-runs on [4, 7)
+  EXPECT_DOUBLE_EQ(t.allocate(0.0, 1.0, 2), 7.0);   // delayed to [7, 8)
+  EXPECT_DOUBLE_EQ(t.busy_unit_seconds(),
+                   2 * 4.0 + 1 * 3.0 + 1 * 3.0 + 2 * 1.0);
+  // The accounting matches the integral of usage_at over the horizon.
+  double integral = 0.0;
+  for (double at = 0.005; at < 8.0; at += 0.01) {
+    integral += t.usage_at(at) * 0.01;
+  }
+  EXPECT_NEAR(integral, t.busy_unit_seconds(), 1e-6);
 }
 
 TEST(Timeline, PrunePreservesActiveAllocations) {

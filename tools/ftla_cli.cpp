@@ -21,6 +21,9 @@
 //                                         trace (--trace is an alias)
 //     --metrics-out FILE.json             write the metrics report
 //                                         (schema docs/observability.md)
+//     --profile-out FILE.json             write the simulated-time profile
+//                                         (phase decomposition + critical
+//                                         path; ftla_profile_cli reads it)
 //     --summary                           print per-lane trace summary
 //
 // Examples:
@@ -47,8 +50,11 @@
 #include "fault/fault.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile_report.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "sim/profile.hpp"
+#include "sim/profiler.hpp"
 #include "sim/trace_export.hpp"
 
 namespace {
@@ -66,7 +72,7 @@ using namespace ftla;
                "  [--fault-seed S]\n"
                "  [--seed S] [--trace-out FILE.json] [--metrics-out "
                "FILE.json]\n"
-               "  [--summary]\n"
+               "  [--profile-out FILE.json] [--summary]\n"
                "\n"
                "  --trace-out FILE    Chrome trace with fault annotations\n"
                "                      (instant events + injection->detection\n"
@@ -74,6 +80,10 @@ using namespace ftla;
                "  --metrics-out FILE  metrics report JSON (counters, gauges,\n"
                "                      detection-latency histogram); schema in\n"
                "                      docs/observability.md\n"
+               "  --profile-out FILE  simulated-time profile JSON (per-phase\n"
+               "                      overhead decomposition, critical path,\n"
+               "                      resource utilization); inspect or gate\n"
+               "                      with ftla_profile_cli\n"
                "\n"
                "exit codes:\n"
                "  0  success (clean result)\n"
@@ -103,6 +113,7 @@ struct Args {
   std::uint64_t seed = 42;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
   bool summary = false;
 };
 
@@ -131,6 +142,7 @@ Args parse(int argc, char** argv) {
     else if (opt == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
     else if (opt == "--trace" || opt == "--trace-out") a.trace_path = need(i);
     else if (opt == "--metrics-out") a.metrics_path = need(i);
+    else if (opt == "--profile-out") a.profile_path = need(i);
     else if (opt == "--summary") a.summary = true;
     else if (opt == "--help" || opt == "-h") usage();
     else usage(("unknown option " + opt).c_str());
@@ -169,6 +181,13 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   if (want_obs) machine.set_event_sink(&sink);
 
+  // Profiler capture: the span store collects every simulated activity
+  // from the machine while the driver tags ABFT phases and iterations
+  // on the same store (the wiring convention of docs/observability.md).
+  const bool want_profile = !args.profile_path.empty();
+  obs::SpanStore spans;
+  if (want_profile) machine.set_span_store(&spans);
+
   Matrix<double> a;
   Matrix<double> a0;
   if (numeric) {
@@ -197,6 +216,7 @@ int main(int argc, char** argv) {
     opt.event_sink = &sink;
     opt.metrics = &metrics;
   }
+  if (want_profile) opt.profile = &spans;
 
   const int block = abft::resolve_block_size(profile, opt);
   const int nb = (args.n + block - 1) / block;
@@ -230,6 +250,7 @@ int main(int argc, char** argv) {
       qopt.event_sink = &sink;
       qopt.metrics = &metrics;
     }
+    if (want_profile) qopt.profile = &spans;
     res = abft::qr(machine, ap, numeric ? &tau : nullptr, args.n, qopt, inj);
   } else if (args.algo == "lu") {
     if (args.variant != "enhanced" && args.variant != "noft") {
@@ -245,6 +266,7 @@ int main(int argc, char** argv) {
       lopt.event_sink = &sink;
       lopt.metrics = &metrics;
     }
+    if (want_profile) lopt.profile = &spans;
     res = abft::lu(machine, ap, args.n, lopt, inj);
   } else if (args.algo != "cholesky") {
     usage("unknown --algo");
@@ -326,6 +348,24 @@ int main(int argc, char** argv) {
       return fault::kExitIoError;
     }
   }
+  obs::ProfileReport prof;
+  if (want_profile) {
+    prof = sim::build_profile(machine, spans);
+    prof.meta["machine"] = profile.name;
+    prof.meta["mode"] = numeric ? "numeric" : "timing";
+    prof.meta["algo"] = args.algo;
+    prof.meta["variant"] = args.variant;
+    prof.meta["n"] = std::to_string(args.n);
+    prof.meta["block"] = std::to_string(block);
+    prof.meta["k"] = std::to_string(args.k);
+    if (obs::write_profile_json_file(prof, args.profile_path)) {
+      std::printf("profile report    : %s (inspect with ftla_profile_cli)\n",
+                  args.profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.profile_path.c_str());
+      return fault::kExitIoError;
+    }
+  }
   if (!args.metrics_path.empty()) {
     obs::MetricsReport report;
     report.add_meta("machine", profile.name);
@@ -364,6 +404,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(machine.trace_dropped());
     m.counter("obs.events_posted") = sink.posted();
     m.counter("obs.events_dropped") = static_cast<long long>(sink.dropped());
+    if (want_profile) {
+      // The profiler's headline numbers, so the metrics trajectory can
+      // chart overhead without parsing the profile document.
+      m.set_gauge("profile.critical_path_s", prof.critical_path_seconds);
+      m.set_gauge("profile.abft_critical_s", prof.abft_critical_seconds);
+      m.set_gauge("profile.idle_critical_s", prof.idle_critical_seconds);
+      m.set_gauge("profile.projected_no_abft_s",
+                  prof.projected_no_abft_seconds);
+      m.counter("profile.spans_recorded") = prof.span_count;
+      m.counter("profile.spans_dropped") = prof.spans_dropped;
+    }
     if (obs::write_metrics_json_file(report, args.metrics_path)) {
       std::printf("metrics report    : %s\n", args.metrics_path.c_str());
     } else {

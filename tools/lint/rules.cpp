@@ -347,7 +347,17 @@ bool valid_metric_name(const std::string& name) {
   return std::regex_match(name, kName);
 }
 
-void rule_metrics_naming(const SourceFile& f, const RuleConfig&,
+/// The subsystem prefixes exporters and dashboards route by. `extra`
+/// overrides the list (same pattern as include-hygiene's banned set:
+/// empty means "use the built-in default").
+const std::vector<std::string>& metric_namespaces(const RuleConfig& cfg) {
+  static const std::vector<std::string> kDefault = {
+      "abft", "bench", "campaign", "faults", "obs",
+      "profile", "run", "sim", "test"};
+  return cfg.extra.empty() ? kDefault : cfg.extra;
+}
+
+void rule_metrics_naming(const SourceFile& f, const RuleConfig& cfg,
                          std::vector<Finding>* out) {
   // Only full-literal first arguments are judged: a closing quote that
   // is not directly followed by ',' or ')' means the name is assembled
@@ -365,6 +375,21 @@ void rule_metrics_naming(const SourceFile& f, const RuleConfig&,
                             "\" violates the subsystem.noun[_unit] "
                             "convention (lowercase dotted segments, e.g. "
                             "\"abft.verify.dgemm_blocks\")"});
+        continue;
+      }
+      const std::string ns = name.substr(0, name.find('.'));
+      const std::vector<std::string>& allowed = metric_namespaces(cfg);
+      if (std::find(allowed.begin(), allowed.end(), ns) == allowed.end()) {
+        std::string list;
+        for (const std::string& a : allowed) {
+          if (!list.empty()) list += ", ";
+          list += a;
+        }
+        out->push_back({f.path, static_cast<int>(i) + 1, "metrics-naming",
+                        "metric name \"" + name + "\" uses unknown "
+                            "namespace \"" + ns +
+                            "\" (known subsystem prefixes: " + list +
+                            "; extend via extra in .ftla_lint.toml)"});
       }
     }
   }
