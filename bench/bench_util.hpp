@@ -11,7 +11,11 @@
 // docs/observability.md), so table regeneration is machine-diffable,
 // and `--profile-out FILE` to save the simulated-time profile of one
 // representative run (the largest fully optimized configuration) as a
-// schema-versioned ProfileReport for the perf-regression gate.
+// schema-versioned ProfileReport for the perf-regression gate. The
+// performance bench also accepts `--timeseries-out FILE` for a
+// windowed occupancy TimeSeriesReport of that representative run. All
+// three artifacts are inputs to ftla_report_cli, which fuses them into
+// the self-contained HTML run report.
 #pragma once
 
 #include <cstdlib>
@@ -28,6 +32,7 @@
 #include "obs/profile_report.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
 #include "sim/profile.hpp"
 #include "sim/profiler.hpp"
@@ -137,6 +142,15 @@ inline std::string profile_out_path(int argc, char** argv) {
   return {};
 }
 
+/// Returns the value of `--timeseries-out FILE` from a bench's argv, or
+/// "" when absent.
+inline std::string timeseries_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeseries-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
 /// Returns the comma-separated list of `--sizes N1,N2,...` from a
 /// bench's argv, or `fallback` when the flag is absent. Lets CI rerun a
 /// paper-scale sweep at tractable sizes.
@@ -169,6 +183,39 @@ inline void write_bench_report(
   report.metrics = metrics;
   if (obs::write_metrics_json_file(report, path)) {
     std::cout << "metrics report: " << path << "\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+}
+
+/// Re-runs one configuration with tracing enabled and writes the
+/// windowed time-series report (resource occupancy over virtual time;
+/// obs/timeseries.hpp) when `path` is non-empty. The rollup window is
+/// makespan / 20, matching ftla_cli's --timeseries-out default, so
+/// bench exports render side by side with run exports in
+/// ftla_report_cli.
+inline void write_bench_timeseries(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const sim::MachineProfile& profile, int n,
+    const abft::CholeskyOptions& opt) {
+  if (path.empty()) return;
+  sim::Machine m(profile, sim::ExecutionMode::TimingOnly);
+  m.set_trace_enabled(true);
+  auto res = abft::cholesky(m, nullptr, n, opt);
+  if (!res.success) {
+    std::cerr << "timeseries run failed: " << res.note << "\n";
+    std::exit(1);
+  }
+  obs::TimeSeriesStore store;
+  sim::append_machine_timeseries(m, &store);
+  obs::TimeSeriesReport report =
+      obs::build_timeseries_report(store, m.makespan() / 20.0);
+  report.meta["bench"] = bench;
+  for (const auto& [k, v] : meta) report.meta[k] = v;
+  if (obs::write_timeseries_json_file(report, path)) {
+    std::cout << "timeseries report: " << path << "\n";
   } else {
     std::cerr << "failed to write " << path << "\n";
     std::exit(1);

@@ -4,7 +4,9 @@
 //
 // Flags: `--sizes N1,N2,...` replaces the paper-scale sweeps;
 // `--profile-out FILE` saves the simulated-time profile of the
-// largest-size enhanced run on Tardis (perf-regression gate input).
+// largest-size enhanced run on Tardis (perf-regression gate input);
+// `--timeseries-out FILE` saves the windowed occupancy time-series of
+// that same configuration (HTML report input).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -68,5 +70,13 @@ int main(int argc, char** argv) {
                        {"n", std::to_string(t_sizes.back())},
                        {"k", "5"}},
                       prof);
+  write_bench_timeseries(timeseries_out_path(argc, argv),
+                         "fig16_17_performance",
+                         {{"machine", "tardis"},
+                          {"variant", "enhanced"},
+                          {"n", std::to_string(t_sizes.back())},
+                          {"k", "5"}},
+                         sim::tardis(), t_sizes.back(),
+                         enhanced_options(sim::tardis(), 5));
   return 0;
 }

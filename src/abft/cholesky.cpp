@@ -72,7 +72,8 @@ class Run {
   Run(Machine& m, Matrix<double>* a, int n, const CholeskyOptions& opt,
       fault::Injector* injector)
       : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile,
+             opt.timeseries) {
     FTLA_CHECK(n_ > 0);
     if (m_.numeric()) {
       FTLA_CHECK_MSG(a_ != nullptr && a_->rows() == n_ && a_->cols() == n_,

@@ -39,7 +39,8 @@ class LuRun {
   LuRun(Machine& m, Matrix<double>* a, int n, const LuOptions& opt,
         fault::Injector* injector)
       : m_(m), a_(a), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile,
+             opt.timeseries) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,

@@ -54,6 +54,7 @@ struct LuOptions {
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::SpanStore* profile = nullptr;
+  obs::TimeSeriesStore* timeseries = nullptr;
 };
 
 /// Factorizes `*a` in place into packed L\U (unit-lower L below the

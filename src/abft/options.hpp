@@ -11,6 +11,7 @@ namespace ftla::obs {
 class EventSink;
 class MetricsRegistry;
 class SpanStore;
+class TimeSeriesStore;
 }  // namespace ftla::obs
 
 namespace ftla::abft {
@@ -107,6 +108,12 @@ struct CholeskyOptions {
   /// phase/iteration tags meet in one place (docs/observability.md,
   /// "Simulated-time profiler").
   obs::SpanStore* profile = nullptr;
+
+  /// Time-series store (optional, not owned): the telemetry layer
+  /// samples verification progress and detection latencies over
+  /// virtual time into it (docs/observability.md, "Analytics &
+  /// postmortems").
+  obs::TimeSeriesStore* timeseries = nullptr;
 };
 
 /// Instrumented verification counts, one row of the paper's Table I.

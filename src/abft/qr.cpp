@@ -33,7 +33,8 @@ class QrRun {
   QrRun(Machine& m, Matrix<double>* a, std::vector<double>* tau, int n,
         const QrOptions& opt, fault::Injector* injector)
       : m_(m), a_(a), tau_(tau), n_(n), opt_(opt), injector_(injector),
-        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile) {
+        tel_(m, opt.event_sink, opt.metrics, injector, opt.profile,
+             opt.timeseries) {
     FTLA_CHECK(n_ > 0);
     FTLA_CHECK_MSG(opt_.variant == Variant::NoFt ||
                        opt_.variant == Variant::EnhancedOnline,

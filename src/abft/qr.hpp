@@ -49,6 +49,7 @@ struct QrOptions {
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::SpanStore* profile = nullptr;
+  obs::TimeSeriesStore* timeseries = nullptr;
 };
 
 /// Factorizes `*a` in place into the packed Householder form (V below

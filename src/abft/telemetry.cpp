@@ -22,9 +22,10 @@ const char* verify_counter_name(fault::Op op) {
 
 Telemetry::Telemetry(sim::Machine& m, obs::EventSink* sink,
                      obs::MetricsRegistry* metrics, fault::Injector* injector,
-                     obs::SpanStore* profile)
+                     obs::SpanStore* profile,
+                     obs::TimeSeriesStore* timeseries)
     : m_(m), sink_(sink), metrics_(metrics), injector_(injector),
-      profile_(profile) {
+      profile_(profile), timeseries_(timeseries) {
   if (injector_ != nullptr && active()) {
     injector_->set_event_sink(sink_);
     injector_->set_clock([&machine = m_] { return machine.host_now(); });
@@ -87,6 +88,13 @@ void Telemetry::block_verified(const VerifyOutcome& out, fault::Op attr,
   common::MutexLock lk(mu_);
   const double now = m_.host_now();
   const bool clean = out.clean();
+  if (timeseries_ != nullptr) {
+    timeseries_->sample_counter("timeseries.abft.verified_blocks", now, 1.0);
+    if (!clean) {
+      timeseries_->sample_counter("timeseries.abft.errors_detected", now,
+                                  static_cast<double>(out.errors_detected));
+    }
+  }
   if (sink_ != nullptr) {
     obs::Event e;
     e.kind = obs::EventKind::Verification;
@@ -113,7 +121,13 @@ void Telemetry::block_verified(const VerifyOutcome& out, fault::Op attr,
     injector_->mark_detected(inj, now);
     latency = injector_->records()[static_cast<std::size_t>(inj)]
                   .detection_latency();
-    if (latency >= 0.0) last_detection_latency_ = latency;
+    if (latency >= 0.0) {
+      last_detection_latency_ = latency;
+      if (timeseries_ != nullptr) {
+        timeseries_->sample_gauge("timeseries.abft.detection_latency_s",
+                                  now, latency);
+      }
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->add_counter("abft.errors_detected", out.errors_detected);

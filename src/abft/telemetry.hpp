@@ -38,6 +38,7 @@
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
 
 namespace ftla::abft {
@@ -54,10 +55,12 @@ class Telemetry {
   /// the profiler span store the driver tags phases/iterations on.
   Telemetry(sim::Machine& m, obs::EventSink* sink,
             obs::MetricsRegistry* metrics, fault::Injector* injector,
-            obs::SpanStore* profile = nullptr);
+            obs::SpanStore* profile = nullptr,
+            obs::TimeSeriesStore* timeseries = nullptr);
 
   [[nodiscard]] bool active() const noexcept {
-    return sink_ != nullptr || metrics_ != nullptr;
+    return sink_ != nullptr || metrics_ != nullptr ||
+           timeseries_ != nullptr;
   }
 
   /// The attached profiler store (nullptr when profiling is off);
@@ -110,6 +113,7 @@ class Telemetry {
   obs::MetricsRegistry* const metrics_;
   fault::Injector* const injector_;
   obs::SpanStore* const profile_;
+  obs::TimeSeriesStore* const timeseries_;
   double last_detection_latency_ FTLA_GUARDED_BY(mu_) = 0.0;
 };
 

@@ -62,9 +62,20 @@ class Stats {
 /// and never move, so two histograms with identical edges merge exactly
 /// (the property the metrics registry relies on). Bucket i holds samples
 /// with x <= edges[i] (first matching bucket); one implicit overflow
-/// bucket catches everything above the last edge. Percentiles are
-/// estimated by linear interpolation inside the selected bucket, with
-/// the observed min/max clamping the outermost buckets.
+/// bucket catches everything above the last edge.
+///
+/// Percentile contract (deterministic nearest-rank): for p > 0,
+/// percentile(p) is the upper edge of the bucket containing the sample
+/// of rank max(1, ceil(p/100 * count)), clamped to [min(), max()];
+/// percentile(0) is exactly min() (the rank-0 convention). Properties
+/// exporters and their tests rely on:
+///   * pure function of (edges, hits, min, max) — two histograms with
+///     the same state report byte-identical percentiles, and a merge of
+///     partial streams matches the single-stream histogram exactly;
+///   * no interpolation, so no accumulation-order float sensitivity;
+///   * edge cases: empty -> 0; a single sample or an all-equal stream
+///     collapses to that value via the min/max clamp (the overflow
+///     bucket's +inf upper bound clamps to max()).
 class Histogram {
  public:
   /// Default edges: 2-per-decade log spacing over [1e-9, 1e3] seconds —
@@ -119,30 +130,24 @@ class Histogram {
     return edges_;
   }
 
-  /// Percentile estimate for p in [0, 100]; 0 when empty.
+  /// Nearest-rank percentile for p in [0, 100]; 0 when empty. See the
+  /// class comment for the full contract.
   [[nodiscard]] double percentile(double p) const {
     const long long n = count();
     if (n == 0) return 0.0;
-    const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
-                          static_cast<double>(n);
-    double cum = 0.0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    if (clamped == 0.0) return min();
+    long long rank = static_cast<long long>(
+        std::ceil(clamped / 100.0 * static_cast<double>(n)));
+    rank = std::clamp(rank, 1LL, n);
+    long long cum = 0;
     for (std::size_t i = 0; i < hits_.size(); ++i) {
-      if (hits_[i] == 0) continue;
-      const double next = cum + static_cast<double>(hits_[i]);
-      if (next >= target) {
-        double lo = i == 0 ? min() : edges_[i - 1];
-        double hi = i < edges_.size() ? edges_[i] : max();
-        lo = std::max(lo, min());
-        hi = std::min(hi, max());
-        if (hi < lo) hi = lo;
-        const double frac =
-            std::clamp((target - cum) / static_cast<double>(hits_[i]), 0.0,
-                       1.0);
-        return lo + frac * (hi - lo);
+      cum += hits_[i];
+      if (cum >= rank) {
+        return std::clamp(bucket_upper(i), min(), max());
       }
-      cum = next;
     }
-    return max();
+    return max();  // unreachable: cum == n covers every rank
   }
   [[nodiscard]] double p50() const { return percentile(50.0); }
   [[nodiscard]] double p95() const { return percentile(95.0); }

@@ -1,0 +1,105 @@
+// Cross-scenario campaign analytics: the distributions a single
+// CampaignSummary only holds implicitly.
+//
+// The campaign engine classifies each scenario in isolation; resilience
+// papers (Bosilca et al., and the online-GEMM ABFT line) judge a scheme
+// by *distributions* — how fast faults are detected, how outcomes split
+// per configuration, how much the protection costs. aggregate_campaign
+// turns the per-scenario observations retained by
+// CampaignOptions::collect_observations into exactly those:
+//
+//   * detection-latency histograms per fault type (computing / storage /
+//     transfer), in virtual seconds, on the default log-spaced edges so
+//     they merge with the drivers' abft.detection_latency_s metric;
+//   * verdict breakdowns keyed "algo/variant/recovery" — one level
+//     finer than CampaignSummary::verdicts, enough to compare recovery
+//     policies;
+//   * ABFT overhead percentiles keyed "algo/variant": each scenario's
+//     virtual makespan divided by a memoized fault-free NoFt baseline
+//     of the same (algo, n, block) — the online-ABFT overhead ratio,
+//     reported as exact nearest-rank percentiles over the raw ratios.
+//
+// Export is byte-stable schema-v1 JSON (analytics_version 1) with the
+// same conventions as every obs serializer: sorted keys, fmt_double.
+// Everything derives from virtual time, so a campaign aggregates
+// identically on any machine and thread count.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/campaign.hpp"
+
+namespace ftla::fault {
+
+/// A serialized-friendly histogram snapshot: summary scalars plus the
+/// (upper_edge, hits) bucket rows, overflow bucket last with an
+/// infinite upper edge. Round-trips exactly through the JSON export
+/// (the obs MetricsReport uses the same row shape).
+struct HistogramSummary {
+  long long count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<double, long long>> buckets;
+};
+
+struct CampaignAnalytics {
+  static constexpr int kAnalyticsVersion = 1;
+
+  /// Free-form campaign description (seed, scenario count...), sorted
+  /// on export.
+  std::map<std::string, std::string> meta;
+
+  /// Scenarios aggregated (== observations consumed).
+  int scenarios = 0;
+
+  /// Verdict histogram keyed "algo/variant/recovery", indexed by
+  /// Verdict (same row layout as CampaignSummary::verdicts).
+  std::map<std::string, std::array<long long, kVerdictCount>> verdicts;
+
+  /// Detection latency per fault type name ("computing", "storage",
+  /// "transfer"), virtual seconds, default log-spaced edges.
+  std::map<std::string, HistogramSummary> detection_latency;
+
+  /// Exact nearest-rank summary over raw overhead ratios
+  /// (scenario makespan / fault-free NoFt baseline of the same shape).
+  struct OverheadStats {
+    long long samples = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Keyed "algo/variant".
+  std::map<std::string, OverheadStats> overhead;
+};
+
+/// Aggregates a summary's observations (requires a campaign run with
+/// CampaignOptions::collect_observations). Baseline runs are memoized
+/// per (algo, n, block), so the cost is a handful of small fault-free
+/// factorizations.
+CampaignAnalytics aggregate_campaign(const CampaignSummary& summary);
+
+/// Byte-stable analytics_version-1 JSON (sorted keys, 17-digit doubles).
+void write_analytics_json(const CampaignAnalytics& analytics,
+                          std::ostream& os);
+bool write_analytics_json_file(const CampaignAnalytics& analytics,
+                               const std::string& path);
+
+/// Parses a document written by write_analytics_json. Returns false on
+/// malformed input or a schema-version mismatch.
+bool read_analytics_json(std::istream& is, CampaignAnalytics* out);
+bool read_analytics_json_file(const std::string& path,
+                              CampaignAnalytics* out);
+
+}  // namespace ftla::fault

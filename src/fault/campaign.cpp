@@ -239,6 +239,7 @@ ScenarioResult run_scenario(const Scenario& sc) {
     }
   }
   out.verdict = classify(res, out.residual);
+  out.seconds = res.seconds;
   out.faults_fired = inj.fired_count();
   out.faults_detected = inj.detected_count();
   out.ecc_absorbed = inj.ecc_absorbed_count();
@@ -314,6 +315,24 @@ void merge_one(CampaignSummary& sum, const Scenario& sc,
                           abft::to_string(sc.variant);
   sum.verdicts[key][static_cast<int>(res.verdict)] += 1;
 
+  if (opt.collect_observations) {
+    ScenarioObservation obs;
+    obs.algo = sc.algo;
+    obs.variant = sc.variant;
+    obs.recovery = sc.recovery;
+    obs.verdict = res.verdict;
+    obs.n = sc.n;
+    obs.block = sc.block;
+    obs.seconds = res.seconds;
+    obs.faults_fired = res.faults_fired;
+    for (const auto& rec : res.records) {
+      if (!rec.detected()) continue;
+      obs.detections.push_back(
+          DetectionSample{rec.spec.type, rec.detection_latency()});
+    }
+    sum.observations.push_back(std::move(obs));
+  }
+
   bool unexpected = false;
   if (res.verdict == Verdict::Sdc && sc.variant == opt.guarded) {
     ++sum.guarded_sdc;
@@ -356,14 +375,23 @@ CampaignSummary run_campaign(const CampaignOptions& opt,
   CampaignSummary sum;
   Rng rng(opt.seed != 0 ? opt.seed : 1);
 
-  if (opt.threads == 1 || opt.scenarios <= 1) {
-    for (int i = 0; i < opt.scenarios; ++i) {
+  // abort_after truncates the campaign after a prefix of the draw
+  // order. Both execution paths honor the same limit, and the rng draws
+  // are identical to the full campaign's prefix, so an aborted run's
+  // summary is exactly the full run's state after `limit` scenarios.
+  const int limit = opt.abort_after > 0
+                        ? std::min(opt.scenarios, opt.abort_after)
+                        : opt.scenarios;
+  sum.aborted = limit < opt.scenarios;
+
+  if (opt.threads == 1 || limit <= 1) {
+    for (int i = 0; i < limit; ++i) {
       const Scenario sc = random_scenario(rng, opt);
       const ScenarioResult res = run_scenario(sc);
       merge_one(sum, sc, res, opt);
       if (progress != nullptr && progress_every > 0 &&
           (i + 1) % progress_every == 0) {
-        *progress << "[campaign] " << (i + 1) << "/" << opt.scenarios
+        *progress << "[campaign] " << (i + 1) << "/" << limit
                   << " scenarios, " << sum.faults_fired << " faults fired, "
                   << sum.failures.size() << " failures\n";
       }
@@ -376,15 +404,15 @@ CampaignSummary run_campaign(const CampaignOptions& opt,
     // and BLAS nested inside a pool worker runs inline, so per-scenario
     // results are bit-identical to the serial campaign.
     std::vector<Scenario> scenarios;
-    scenarios.reserve(static_cast<std::size_t>(opt.scenarios));
-    for (int i = 0; i < opt.scenarios; ++i) {
+    scenarios.reserve(static_cast<std::size_t>(limit));
+    for (int i = 0; i < limit; ++i) {
       scenarios.push_back(random_scenario(rng, opt));
     }
     std::vector<ScenarioResult> results(scenarios.size());
     common::ThreadPool pool(opt.threads);
     common::Mutex progress_mu;
     int completed = 0;
-    pool.parallel_for(0, opt.scenarios, [&](std::int64_t i) {
+    pool.parallel_for(0, limit, [&](std::int64_t i) {
       results[static_cast<std::size_t>(i)] =
           run_scenario(scenarios[static_cast<std::size_t>(i)]);
       if (progress != nullptr && progress_every > 0) {
@@ -393,12 +421,12 @@ CampaignSummary run_campaign(const CampaignOptions& opt,
         if (completed % progress_every == 0) {
           // Completion-order progress: counts only — the aggregate
           // numbers of the serial path are not known until the merge.
-          *progress << "[campaign] " << completed << "/" << opt.scenarios
+          *progress << "[campaign] " << completed << "/" << limit
                     << " scenarios completed\n";
         }
       }
     });
-    for (int i = 0; i < opt.scenarios; ++i) {
+    for (int i = 0; i < limit; ++i) {
       merge_one(sum, scenarios[static_cast<std::size_t>(i)],
                 results[static_cast<std::size_t>(i)], opt);
     }

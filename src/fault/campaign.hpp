@@ -87,6 +87,8 @@ struct ScenarioResult {
   bool success = false;
   /// The oracle's residual; NaN/Inf count as corrupt.
   double residual = 0.0;
+  /// Virtual makespan of the run (simulated seconds).
+  double seconds = 0.0;
   int faults_fired = 0;
   int faults_detected = 0;
   int ecc_absorbed = 0;
@@ -129,6 +131,16 @@ struct CampaignOptions {
   /// which runs in the serial merge phase) is bit-identical to a
   /// single-threaded campaign.
   int threads = 1;
+  /// Retain one ScenarioObservation per scenario for cross-scenario
+  /// analytics (analytics.hpp). Off by default: a large campaign's
+  /// observations are only needed when --analytics-out is requested.
+  bool collect_observations = false;
+  /// Stop after this many scenarios (0 = run all). An aborted campaign
+  /// is the deterministic "killed mid-flight" case: the completed
+  /// prefix is identical to the same-seed full campaign's, and the
+  /// summary is flagged `aborted` so callers exit nonzero and dump a
+  /// postmortem bundle.
+  int abort_after = 0;
 };
 
 /// Draws a randomized scenario (algorithm, variant, recovery, size,
@@ -144,6 +156,27 @@ struct CampaignFailure {
   int shrink_runs = 0;
 };
 
+/// One detected fault's latency sample, tagged by fault type.
+struct DetectionSample {
+  FaultType type = FaultType::Computing;
+  double latency_s = 0.0;
+};
+
+/// Per-scenario record kept (only when CampaignOptions::
+/// collect_observations) for cross-scenario aggregation. Deliberately
+/// small — the analytics layer wants distributions, not replays.
+struct ScenarioObservation {
+  Algo algo = Algo::Cholesky;
+  abft::Variant variant = abft::Variant::EnhancedOnline;
+  abft::Recovery recovery = abft::Recovery::Rerun;
+  Verdict verdict = Verdict::FailStop;
+  int n = 0;
+  int block = 0;
+  double seconds = 0.0;
+  int faults_fired = 0;
+  std::vector<DetectionSample> detections;
+};
+
 struct CampaignSummary {
   int scenarios_run = 0;
   long long faults_fired = 0;
@@ -155,6 +188,12 @@ struct CampaignSummary {
   long long guarded_sdc = 0;           ///< sdc count for the guarded variant
   long long unexpected_fail_stop = 0;  ///< fail-stop with zero faults fired
   std::vector<CampaignFailure> failures;
+  /// Per-scenario observations, in draw order (empty unless
+  /// CampaignOptions::collect_observations).
+  std::vector<ScenarioObservation> observations;
+  /// The campaign stopped at CampaignOptions::abort_after before
+  /// covering every drawn scenario.
+  bool aborted = false;
 
   [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
 };

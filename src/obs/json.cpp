@@ -1,0 +1,210 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "obs/event_sink.hpp"  // json_escape
+
+namespace ftla::obs {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_json_string(const std::string& s, std::ostream& os) {
+  os << '"';
+  json_escape(s, os);
+  os << '"';
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out->type = JsonValue::Type::String;
+                return parse_string(&out->str);
+      case 't':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = true;
+        return parse_literal("true");
+      case 'f':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = false;
+        return parse_literal("false");
+      case 'n': out->type = JsonValue::Type::Null;
+                return parse_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* lit) {
+    for (; *lit != '\0'; ++lit) {
+      if (p_ == end_ || *p_ != *lit) return false;
+      ++p_;
+    }
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    char* after = nullptr;
+    // The buffer came from a file read into a NUL-terminated string, so
+    // strtod stops at the first non-number character.
+    const double v = std::strtod(p_, &after);
+    if (after == p_) return false;
+    out->type = JsonValue::Type::Number;
+    out->number = v;
+    p_ = after;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) return false;
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // Only the control-character escapes our writers emit.
+            if (end_ - p_ < 4) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (code > 0x7f) return false;
+            c = static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      }
+      out->push_back(c);
+    }
+    return consume('"');
+  }
+
+  bool parse_object(JsonValue* out) {
+    if (!consume('{')) return false;
+    out->type = JsonValue::Type::Object;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    if (!consume('[')) return false;
+    out->type = JsonValue::Type::Array;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->elements.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue* out) {
+  JsonParser parser(text.c_str(), text.c_str() + text.size());
+  return parser.parse(out);
+}
+
+bool json_get_number(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Number) return false;
+  *out = v->number;
+  return true;
+}
+
+bool json_get_count(const JsonValue& obj, const char* key, long long* out) {
+  double v = 0.0;
+  if (!json_get_number(obj, key, &v)) return false;
+  *out = static_cast<long long>(v);
+  return true;
+}
+
+bool json_get_int64(const JsonValue& obj, const char* key,
+                    std::int64_t* out) {
+  double v = 0.0;
+  if (!json_get_number(obj, key, &v)) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool json_get_string(const JsonValue& obj, const char* key,
+                     std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::String) return false;
+  *out = v->str;
+  return true;
+}
+
+}  // namespace ftla::obs

@@ -1,0 +1,67 @@
+// Minimal JSON utilities shared by the obs serializers.
+//
+// Every byte-stable export in the observability layer (profile reports,
+// metrics reports, time-series rollups, flight-recorder bundles,
+// campaign analytics) follows the same conventions: keys sorted at
+// every level, doubles printed with 17 significant digits via
+// fmt_double so values round-trip exactly through strtod, and strings
+// escaped with json_escape (event_sink.hpp). The reader side is a
+// deliberately small value tree — objects, arrays, strings, numbers —
+// just enough to parse back what our writers emit, so the repo stays
+// dependency-free.
+//
+// Extracted from profile_report.cpp when the timeseries / analytics /
+// postmortem exports joined the layer; the profile reader is the
+// reference user.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftla::obs {
+
+/// 17 significant digits: enough for exact double round-trips through
+/// strtod, and a fixed width-independent format for byte-stable output
+/// (std::ostream would default to 6 digits).
+std::string fmt_double(double v);
+
+/// Writes `s` quoted and JSON-escaped.
+void write_json_string(const std::string& s, std::ostream& os);
+
+/// A minimal JSON value tree — just enough to read back what the obs
+/// writers emit (objects, arrays, strings, numbers, bools, null).
+/// Object members keep document order; find() is linear.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Object, Array };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> elements;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document (no trailing garbage). Returns false
+/// on malformed input.
+bool parse_json(const std::string& text, JsonValue* out);
+
+// Typed member accessors: each returns false when the key is missing or
+// holds the wrong type.
+bool json_get_number(const JsonValue& obj, const char* key, double* out);
+bool json_get_count(const JsonValue& obj, const char* key, long long* out);
+bool json_get_int64(const JsonValue& obj, const char* key,
+                    std::int64_t* out);
+bool json_get_string(const JsonValue& obj, const char* key,
+                     std::string* out);
+
+}  // namespace ftla::obs

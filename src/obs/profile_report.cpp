@@ -9,7 +9,7 @@
 #include <ostream>
 #include <utility>
 
-#include "obs/event_sink.hpp"
+#include "obs/json.hpp"
 
 namespace ftla::obs {
 
@@ -17,21 +17,6 @@ namespace {
 
 constexpr Phase kAllPhases[] = {Phase::Base,   Phase::Encode, Phase::Recalc,
                                 Phase::Update, Phase::Verify, Phase::Recover};
-
-/// 17 significant digits: enough for exact double round-trips through
-/// strtod, and a fixed width-independent format for byte-stable output
-/// (std::ostream would default to 6 digits).
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-void write_string(const std::string& s, std::ostream& os) {
-  os << '"';
-  json_escape(s, os);
-  os << '"';
-}
 
 // ----- critical-path walk --------------------------------------------
 
@@ -186,9 +171,9 @@ void write_profile_json(const ProfileReport& r, std::ostream& os) {
   for (const auto& [key, value] : r.meta) {
     os << (first ? "\n    " : ",\n    ");
     first = false;
-    write_string(key, os);
+    write_json_string(key, os);
     os << ": ";
-    write_string(value, os);
+    write_json_string(value, os);
   }
   os << (first ? "" : "\n  ") << "},\n";
   os << "  \"phases\": {";
@@ -196,7 +181,7 @@ void write_profile_json(const ProfileReport& r, std::ostream& os) {
   for (const auto& [name, ph] : r.phases) {
     os << (first ? "\n    " : ",\n    ");
     first = false;
-    write_string(name, os);
+    write_json_string(name, os);
     os << ": {\"busy_seconds\": " << fmt_double(ph.busy_seconds)
        << ", \"critical_seconds\": " << fmt_double(ph.critical_seconds)
        << ", \"flops\": " << ph.flops << ", \"spans\": " << ph.spans << "}";
@@ -211,7 +196,7 @@ void write_profile_json(const ProfileReport& r, std::ostream& os) {
         window > 0.0 ? res.busy_unit_seconds / window : 0.0;
     os << (first ? "\n    " : ",\n    ");
     first = false;
-    write_string(name, os);
+    write_json_string(name, os);
     os << ": {\"busy_unit_seconds\": " << fmt_double(res.busy_unit_seconds)
        << ", \"capacity_units\": " << fmt_double(res.capacity_units)
        << ", \"idle_unit_seconds\": "
@@ -229,9 +214,9 @@ void write_profile_json(const ProfileReport& r, std::ostream& os) {
     os << "{\"busy_seconds\": " << fmt_double(a.busy_seconds)
        << ", \"count\": " << a.count << ", \"flops\": " << a.flops
        << ", \"name\": ";
-    write_string(a.name, os);
+    write_json_string(a.name, os);
     os << ", \"phase\": ";
-    write_string(to_string(a.phase), os);
+    write_json_string(to_string(a.phase), os);
     os << "}";
   }
   os << (first ? "" : "\n  ") << "]\n";
@@ -251,194 +236,6 @@ bool write_profile_json_file(const ProfileReport& report,
 
 namespace {
 
-/// A minimal JSON value tree — just enough to read back what
-/// write_profile_json emits (objects, arrays, strings, numbers).
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Object, Array };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<std::pair<std::string, JsonValue>> members;
-  std::vector<JsonValue> elements;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const char* begin, const char* end) : p_(begin), end_(end) {}
-
-  bool parse(JsonValue* out) {
-    skip_ws();
-    if (!parse_value(out)) return false;
-    skip_ws();
-    return p_ == end_;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
-                          *p_ == '\r')) {
-      ++p_;
-    }
-  }
-
-  bool consume(char c) {
-    if (p_ == end_ || *p_ != c) return false;
-    ++p_;
-    return true;
-  }
-
-  bool parse_value(JsonValue* out) {
-    if (p_ == end_) return false;
-    switch (*p_) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"': out->type = JsonValue::Type::String;
-                return parse_string(&out->str);
-      case 't':
-        out->type = JsonValue::Type::Bool;
-        out->boolean = true;
-        return parse_literal("true");
-      case 'f':
-        out->type = JsonValue::Type::Bool;
-        out->boolean = false;
-        return parse_literal("false");
-      case 'n': out->type = JsonValue::Type::Null;
-                return parse_literal("null");
-      default: return parse_number(out);
-    }
-  }
-
-  bool parse_literal(const char* lit) {
-    for (; *lit != '\0'; ++lit) {
-      if (p_ == end_ || *p_ != *lit) return false;
-      ++p_;
-    }
-    return true;
-  }
-
-  bool parse_number(JsonValue* out) {
-    char* after = nullptr;
-    // The buffer came from a file read into a NUL-terminated string, so
-    // strtod stops at the first non-number character.
-    const double v = std::strtod(p_, &after);
-    if (after == p_) return false;
-    out->type = JsonValue::Type::Number;
-    out->number = v;
-    p_ = after;
-    return true;
-  }
-
-  bool parse_string(std::string* out) {
-    if (!consume('"')) return false;
-    out->clear();
-    while (p_ != end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c == '\\') {
-        if (p_ == end_) return false;
-        const char esc = *p_++;
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            // Only the control-character escapes our writer emits.
-            if (end_ - p_ < 4) return false;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = *p_++;
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return false;
-            }
-            if (code > 0x7f) return false;
-            c = static_cast<char>(code);
-            break;
-          }
-          default: return false;
-        }
-      }
-      out->push_back(c);
-    }
-    return consume('"');
-  }
-
-  bool parse_object(JsonValue* out) {
-    if (!consume('{')) return false;
-    out->type = JsonValue::Type::Object;
-    skip_ws();
-    if (consume('}')) return true;
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(&key)) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(&value)) return false;
-      out->members.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (consume(',')) continue;
-      return consume('}');
-    }
-  }
-
-  bool parse_array(JsonValue* out) {
-    if (!consume('[')) return false;
-    out->type = JsonValue::Type::Array;
-    skip_ws();
-    if (consume(']')) return true;
-    while (true) {
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(&value)) return false;
-      out->elements.push_back(std::move(value));
-      skip_ws();
-      if (consume(',')) continue;
-      return consume(']');
-    }
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-bool get_number(const JsonValue& obj, const char* key, double* out) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->type != JsonValue::Type::Number) return false;
-  *out = v->number;
-  return true;
-}
-
-bool get_count(const JsonValue& obj, const char* key, long long* out) {
-  double v = 0.0;
-  if (!get_number(obj, key, &v)) return false;
-  *out = static_cast<long long>(v);
-  return true;
-}
-
-bool get_int64(const JsonValue& obj, const char* key, std::int64_t* out) {
-  double v = 0.0;
-  if (!get_number(obj, key, &v)) return false;
-  *out = static_cast<std::int64_t>(v);
-  return true;
-}
-
 Phase phase_from_name(const std::string& name) {
   for (Phase p : kAllPhases) {
     if (name == to_string(p)) return p;
@@ -452,29 +249,28 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
   std::string text((std::istreambuf_iterator<char>(is)),
                    std::istreambuf_iterator<char>());
   JsonValue root;
-  JsonParser parser(text.c_str(), text.c_str() + text.size());
-  if (!parser.parse(&root) || root.type != JsonValue::Type::Object) {
+  if (!parse_json(text, &root) || root.type != JsonValue::Type::Object) {
     return false;
   }
   double version = 0.0;
-  if (!get_number(root, "profile_version", &version) ||
+  if (!json_get_number(root, "profile_version", &version) ||
       static_cast<int>(version) != ProfileReport::kProfileVersion) {
     return false;
   }
 
   ProfileReport r;
-  if (!get_number(root, "makespan_seconds", &r.makespan_seconds)) {
+  if (!json_get_number(root, "makespan_seconds", &r.makespan_seconds)) {
     return false;
   }
   const JsonValue* cp = root.find("critical_path");
   if (cp == nullptr || cp->type != JsonValue::Type::Object) return false;
-  if (!get_number(*cp, "abft_seconds", &r.abft_critical_seconds) ||
-      !get_number(*cp, "idle_seconds", &r.idle_critical_seconds) ||
-      !get_number(*cp, "length_seconds", &r.critical_path_seconds) ||
-      !get_number(*cp, "projected_no_abft_seconds",
+  if (!json_get_number(*cp, "abft_seconds", &r.abft_critical_seconds) ||
+      !json_get_number(*cp, "idle_seconds", &r.idle_critical_seconds) ||
+      !json_get_number(*cp, "length_seconds", &r.critical_path_seconds) ||
+      !json_get_number(*cp, "projected_no_abft_seconds",
                   &r.projected_no_abft_seconds) ||
-      !get_count(*cp, "segments", &r.critical_segments) ||
-      !get_count(*cp, "gaps", &r.critical_gaps)) {
+      !json_get_count(*cp, "segments", &r.critical_segments) ||
+      !json_get_count(*cp, "gaps", &r.critical_gaps)) {
     return false;
   }
 
@@ -493,10 +289,10 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
   for (const auto& [name, value] : phases->members) {
     if (value.type != JsonValue::Type::Object) return false;
     PhaseProfile ph;
-    if (!get_number(value, "busy_seconds", &ph.busy_seconds) ||
-        !get_number(value, "critical_seconds", &ph.critical_seconds) ||
-        !get_int64(value, "flops", &ph.flops) ||
-        !get_count(value, "spans", &ph.spans)) {
+    if (!json_get_number(value, "busy_seconds", &ph.busy_seconds) ||
+        !json_get_number(value, "critical_seconds", &ph.critical_seconds) ||
+        !json_get_int64(value, "flops", &ph.flops) ||
+        !json_get_count(value, "spans", &ph.spans)) {
       return false;
     }
     r.phases[name] = ph;
@@ -507,8 +303,8 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
     for (const auto& [name, value] : resources->members) {
       if (value.type != JsonValue::Type::Object) return false;
       ResourceProfile res;
-      if (!get_number(value, "busy_unit_seconds", &res.busy_unit_seconds) ||
-          !get_number(value, "capacity_units", &res.capacity_units)) {
+      if (!json_get_number(value, "busy_unit_seconds", &res.busy_unit_seconds) ||
+          !json_get_number(value, "capacity_units", &res.capacity_units)) {
         return false;
       }
       r.resources[name] = res;
@@ -517,8 +313,8 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
 
   if (const JsonValue* spans = root.find("spans");
       spans != nullptr && spans->type == JsonValue::Type::Object) {
-    if (!get_count(*spans, "recorded", &r.span_count) ||
-        !get_count(*spans, "dropped", &r.spans_dropped)) {
+    if (!json_get_count(*spans, "recorded", &r.span_count) ||
+        !json_get_count(*spans, "dropped", &r.spans_dropped)) {
       return false;
     }
   }
@@ -532,9 +328,9 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
       const JsonValue* phase = value.find("phase");
       if (name == nullptr || name->type != JsonValue::Type::String ||
           phase == nullptr || phase->type != JsonValue::Type::String ||
-          !get_number(value, "busy_seconds", &a.busy_seconds) ||
-          !get_count(value, "count", &a.count) ||
-          !get_int64(value, "flops", &a.flops)) {
+          !json_get_number(value, "busy_seconds", &a.busy_seconds) ||
+          !json_get_count(value, "count", &a.count) ||
+          !json_get_int64(value, "flops", &a.flops)) {
         return false;
       }
       a.name = name->str;

@@ -2,19 +2,24 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "obs/event_sink.hpp"  // json_escape
+#include "obs/json.hpp"
 
 namespace ftla::obs {
 
 namespace {
 
 void write_histogram(const Histogram& h, std::ostream& os) {
-  os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
-     << ",\"min\":" << h.min() << ",\"max\":" << h.max()
-     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.p50()
-     << ",\"p95\":" << h.p95() << ",\"p99\":" << h.p99() << ",\"buckets\":[";
+  os << "{\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.sum())
+     << ",\"min\":" << fmt_double(h.min()) << ",\"max\":"
+     << fmt_double(h.max()) << ",\"mean\":" << fmt_double(h.mean())
+     << ",\"p50\":" << fmt_double(h.p50()) << ",\"p95\":"
+     << fmt_double(h.p95()) << ",\"p99\":" << fmt_double(h.p99())
+     << ",\"buckets\":[";
   bool first = true;
   for (std::size_t i = 0; i < h.bucket_count(); ++i) {
     if (h.bucket_hits(i) == 0) continue;  // sparse: empty buckets omitted
@@ -25,7 +30,7 @@ void write_histogram(const Histogram& h, std::ostream& os) {
     if (std::isinf(le)) {
       os << "\"inf\"";
     } else {
-      os << le;
+      os << fmt_double(le);
     }
     os << ",\"n\":" << h.bucket_hits(i) << '}';
   }
@@ -63,7 +68,7 @@ void write_metrics_json(const MetricsReport& report, std::ostream& os) {
     first = false;
     os << '"';
     json_escape(name, os);
-    os << "\":" << v;
+    os << "\":" << fmt_double(v);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -85,6 +90,92 @@ bool write_metrics_json_file(const MetricsReport& report,
   write_metrics_json(report, f);
   f << '\n';
   return static_cast<bool>(f);
+}
+
+bool read_metrics_json(std::istream& is, MetricsDoc* out) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue root;
+  if (!parse_json(text, &root) || root.type != JsonValue::Type::Object) {
+    return false;
+  }
+  long long version = 0;
+  if (!json_get_count(root, "schema_version", &version) ||
+      version != MetricsReport::kSchemaVersion) {
+    return false;
+  }
+
+  MetricsDoc doc;
+  if (const JsonValue* meta = root.find("meta");
+      meta != nullptr && meta->type == JsonValue::Type::Object) {
+    for (const auto& [k, v] : meta->members) {
+      if (v.type != JsonValue::Type::String) return false;
+      doc.meta.emplace_back(k, v.str);
+    }
+  }
+  if (const JsonValue* counters = root.find("counters");
+      counters != nullptr && counters->type == JsonValue::Type::Object) {
+    for (const auto& [name, v] : counters->members) {
+      if (v.type != JsonValue::Type::Number) return false;
+      doc.counters[name] = static_cast<long long>(v.number);
+    }
+  }
+  if (const JsonValue* gauges = root.find("gauges");
+      gauges != nullptr && gauges->type == JsonValue::Type::Object) {
+    for (const auto& [name, v] : gauges->members) {
+      if (v.type != JsonValue::Type::Number) return false;
+      doc.gauges[name] = v.number;
+    }
+  }
+  if (const JsonValue* histograms = root.find("histograms");
+      histograms != nullptr &&
+      histograms->type == JsonValue::Type::Object) {
+    for (const auto& [name, v] : histograms->members) {
+      if (v.type != JsonValue::Type::Object) return false;
+      MetricsDoc::HistogramSummary h;
+      if (!json_get_count(v, "count", &h.count) ||
+          !json_get_number(v, "sum", &h.sum) ||
+          !json_get_number(v, "min", &h.min) ||
+          !json_get_number(v, "max", &h.max) ||
+          !json_get_number(v, "mean", &h.mean) ||
+          !json_get_number(v, "p50", &h.p50) ||
+          !json_get_number(v, "p95", &h.p95) ||
+          !json_get_number(v, "p99", &h.p99)) {
+        return false;
+      }
+      const JsonValue* buckets = v.find("buckets");
+      if (buckets == nullptr || buckets->type != JsonValue::Type::Array) {
+        return false;
+      }
+      for (const auto& b : buckets->elements) {
+        if (b.type != JsonValue::Type::Object) return false;
+        const JsonValue* le = b.find("le");
+        long long hits = 0;
+        if (le == nullptr || !json_get_count(b, "n", &hits)) return false;
+        double upper = 0.0;
+        if (le->type == JsonValue::Type::String && le->str == "inf") {
+          upper = std::numeric_limits<double>::infinity();
+        } else if (le->type == JsonValue::Type::Number) {
+          upper = le->number;
+        } else {
+          return false;
+        }
+        h.buckets.emplace_back(upper, hits);
+      }
+      doc.histograms.emplace(name, std::move(h));
+    }
+  }
+
+  *out = std::move(doc);
+  return true;
+}
+
+bool read_metrics_json_file(const std::string& path, MetricsDoc* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return read_metrics_json(is, out);
 }
 
 }  // namespace ftla::obs

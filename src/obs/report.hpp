@@ -20,6 +20,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,5 +47,42 @@ void write_metrics_json(const MetricsReport& report, std::ostream& os);
 /// Convenience: writes the JSON to a file; returns false on I/O error.
 bool write_metrics_json_file(const MetricsReport& report,
                              const std::string& path);
+
+/// Parsed-back view of a schema_version-1 metrics document (ftla_cli
+/// --metrics-out, fault_campaign_cli --report, BENCH_*.json). The
+/// consumer side of write_metrics_json: the report CLI and triage
+/// scripts read these instead of re-running anything.
+struct MetricsDoc {
+  /// Meta pairs in document order.
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+
+  struct HistogramSummary {
+    long long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// (upper bound, hits); the overflow bucket carries +inf.
+    std::vector<std::pair<double, long long>> buckets;
+  };
+  std::map<std::string, HistogramSummary> histograms;
+
+  [[nodiscard]] const std::string* find_meta(const std::string& key) const {
+    for (const auto& [k, v] : meta) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a document written by write_metrics_json. Returns false on
+/// malformed input or a schema-version mismatch.
+bool read_metrics_json(std::istream& is, MetricsDoc* out);
+bool read_metrics_json_file(const std::string& path, MetricsDoc* out);
 
 }  // namespace ftla::obs

@@ -1,0 +1,135 @@
+// Time-series telemetry: virtual-clock-sampled counter/gauge series
+// with deterministic windowed rollups.
+//
+// The store is the recording side: producers (sim::Machine occupancy
+// derivation, abft::Telemetry verification counters) push samples
+// stamped with the simulated clock. Two sample kinds cover the layer's
+// needs:
+//   * sample_counter(name, t, delta) — a monotone accumulation; the
+//     store records the running total at t, so the series is the
+//     counter's level over virtual time;
+//   * sample_gauge(name, t, v) — a point-in-time measurement (SM units
+//     in use, detection latency of the fault just caught).
+//
+// build_timeseries_report() turns a store into fixed-width windowed
+// rollups: for every series, each non-empty window [k*W, (k+1)*W)
+// carries the sample count, min, max, mean and nearest-rank p50/p99 of
+// the samples falling inside it. Determinism contract: samples are
+// sorted by (time, value) before any window is folded, so the mean's
+// summation order and the percentiles are independent of recording
+// interleaving — a run under FTLA_THREADS=4 rolls up byte-identically
+// to a serial run. Everything is virtual time; nothing here reads a
+// wall clock.
+//
+// Naming: series use the "timeseries." metric namespace (enforced by
+// ftla_lint's metrics-naming rule), with the producing subsystem as the
+// second segment — "timeseries.sim.sm_units_in_use",
+// "timeseries.abft.verified_blocks".
+//
+// JSON export is schema-versioned (timeseries_version 1), keys sorted
+// at every level, doubles via fmt_double — byte-stable for identical
+// runs, like profile reports.
+//
+// Thread safety: the store's mutators are serialized by an internal
+// mutex (telemetry records from thread-pool workers), annotated for
+// clang's -Wthread-safety; snapshot() copies under the same lock.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace ftla::obs {
+
+struct TimeSeriesSample {
+  double time = 0.0;   ///< virtual seconds
+  double value = 0.0;  ///< counter level or gauge reading
+};
+
+class TimeSeriesStore {
+ public:
+  /// Cap on total retained samples across all series, mirroring
+  /// SpanStore::kDefaultLimit.
+  static constexpr std::size_t kDefaultLimit = 1u << 20;
+
+  explicit TimeSeriesStore(std::size_t limit = kDefaultLimit)
+      : limit_(limit) {}
+
+  /// Adds `delta` to the named counter and records its new running
+  /// total at virtual time `time`.
+  void sample_counter(const std::string& name, double time, double delta);
+
+  /// Records a point-in-time gauge reading.
+  void sample_gauge(const std::string& name, double time, double value);
+
+  /// All series, keyed by name, samples in record order (copy taken
+  /// under the lock).
+  [[nodiscard]] std::map<std::string, std::vector<TimeSeriesSample>>
+  snapshot() const;
+  /// Total samples retained across all series.
+  [[nodiscard]] std::size_t size() const;
+  /// Samples discarded because the store was at its cap.
+  [[nodiscard]] std::size_t dropped() const;
+
+ private:
+  mutable common::Mutex mu_;
+  const std::size_t limit_;
+  std::map<std::string, std::vector<TimeSeriesSample>> series_
+      FTLA_GUARDED_BY(mu_);
+  std::map<std::string, double> totals_ FTLA_GUARDED_BY(mu_);
+  std::size_t size_ FTLA_GUARDED_BY(mu_) = 0;
+  std::size_t dropped_ FTLA_GUARDED_BY(mu_) = 0;
+};
+
+/// One rollup window: samples falling in [start, end).
+struct TimeSeriesWindow {
+  double start = 0.0;
+  double end = 0.0;
+  long long samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;  ///< nearest-rank over the window's exact samples
+  double p99 = 0.0;
+};
+
+struct TimeSeriesRollup {
+  long long samples = 0;                  ///< total over all windows
+  std::vector<TimeSeriesWindow> windows;  ///< non-empty windows only
+};
+
+struct TimeSeriesReport {
+  static constexpr int kTimeseriesVersion = 1;
+
+  /// Free-form run description (algo, n, variant...), sorted on export.
+  std::map<std::string, std::string> meta;
+
+  double window_seconds = 0.0;
+  long long samples_recorded = 0;
+  long long samples_dropped = 0;
+  std::map<std::string, TimeSeriesRollup> series;
+};
+
+/// Rolls a store up into fixed-width windows. `window_seconds` <= 0
+/// collapses each series into a single window covering its full span.
+/// Deterministic regardless of sample recording order (see header).
+TimeSeriesReport build_timeseries_report(const TimeSeriesStore& store,
+                                         double window_seconds);
+
+/// Byte-stable schema-v1 JSON (sorted keys, 17-digit doubles).
+void write_timeseries_json(const TimeSeriesReport& report, std::ostream& os);
+bool write_timeseries_json_file(const TimeSeriesReport& report,
+                                const std::string& path);
+
+/// Parses a timeseries_version-1 document written by
+/// write_timeseries_json. Returns false on malformed input or a
+/// schema-version mismatch.
+bool read_timeseries_json(std::istream& is, TimeSeriesReport* out);
+bool read_timeseries_json_file(const std::string& path,
+                               TimeSeriesReport* out);
+
+}  // namespace ftla::obs

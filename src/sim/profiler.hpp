@@ -12,6 +12,7 @@
 
 #include "obs/profile_report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
 
 namespace ftla::sim {
@@ -23,5 +24,16 @@ namespace ftla::sim {
 [[nodiscard]] obs::ProfileReport build_profile(const Machine& machine,
                                                const obs::SpanStore& spans,
                                                int top_k = 12);
+
+/// Derives resource-occupancy gauge series from a finished run's trace
+/// and appends them to `out` (same step-function derivation as the
+/// Chrome-trace counter tracks): timeseries.sim.sm_units_in_use,
+/// timeseries.sim.h2d_copies_in_flight,
+/// timeseries.sim.d2h_copies_in_flight and
+/// timeseries.sim.outstanding_verifications, each sampled at every
+/// level change and closed with a final sample at the makespan.
+/// Deterministic: the trace is replayed in a canonical sorted order.
+void append_machine_timeseries(const Machine& machine,
+                               obs::TimeSeriesStore* out);
 
 }  // namespace ftla::sim

@@ -7,10 +7,17 @@ struct Registry {
   void record_histogram(const char*, double);
 };
 
-void report(Registry& reg) {
-  reg.counter("blocks") += 1;              // line 11: no dot
-  reg.add_counter("abft.Verify", 1);       // line 12: uppercase segment
-  reg.set_gauge("abft..gap", 0.5);         // line 13: empty segment
-  reg.record_histogram("2fast.metric", 1); // line 14: leading digit
-  reg.counter("wallclock.reads") += 1;     // line 15: unknown namespace
+struct Store {
+  void sample_counter(const char*, double, double);
+  void sample_gauge(const char*, double, double);
+};
+
+void report(Registry& reg, Store& ts) {
+  reg.counter("blocks") += 1;              // line 16: no dot
+  reg.add_counter("abft.Verify", 1);       // line 17: uppercase segment
+  reg.set_gauge("abft..gap", 0.5);         // line 18: empty segment
+  reg.record_histogram("2fast.metric", 1); // line 19: leading digit
+  reg.counter("wallclock.reads") += 1;     // line 20: unknown namespace
+  ts.sample_counter("verified_blocks", 0.5, 1.0);       // line 21: no dot
+  ts.sample_gauge("wallclock.in_use", 0.5, 1.0);        // line 22: unknown ns
 }

@@ -7,10 +7,17 @@ struct Registry {
   void set_gauge(const std::string&, double);
 };
 
-void report(Registry& reg, const std::string& op) {
+struct Store {
+  void sample_counter(const std::string&, double, double);
+  void sample_gauge(const std::string&, double, double);
+};
+
+void report(Registry& reg, Store& ts, const std::string& op) {
   reg.counter("abft.verify.dgemm_blocks") += 1;
   reg.set_gauge("sim.queue_depth", 3.0);
   reg.set_gauge("profile.critical_path_s", 0.25);
   reg.counter("abft.verify." + op) += 1;  // assembled name: not judged
+  ts.sample_counter("timeseries.abft.verified_blocks", 0.5, 1.0);
+  ts.sample_gauge("timeseries.sim.sm_units_in_use", 0.5, 12.0);
   // reg.counter("BAD") in a comment must not fire.
 }

@@ -1,0 +1,131 @@
+// Tests for campaign analytics: aggregation reconciles with the
+// campaign summary, serial and parallel campaigns aggregate
+// byte-identically, the JSON round-trips, and --abort-after truncation
+// is deterministic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "fault/analytics.hpp"
+#include "fault/campaign.hpp"
+
+namespace ftla::fault {
+namespace {
+
+CampaignOptions small_campaign(int threads) {
+  CampaignOptions opt;
+  opt.scenarios = 24;
+  opt.seed = 11;
+  opt.threads = threads;
+  opt.shrink_failures = false;
+  opt.collect_observations = true;
+  return opt;
+}
+
+TEST(CampaignAnalyticsAggregate, VerdictsReconcileWithSummary) {
+  const CampaignSummary sum = run_campaign(small_campaign(1));
+  ASSERT_EQ(static_cast<int>(sum.observations.size()), sum.scenarios_run);
+  const CampaignAnalytics a = aggregate_campaign(sum);
+  EXPECT_EQ(a.scenarios, sum.scenarios_run);
+
+  // Folding analytics' per-recovery rows back to algo/variant must give
+  // exactly the summary's verdict table.
+  std::map<std::string, std::array<long long, kVerdictCount>> folded;
+  for (const auto& [key, row] : a.verdicts) {
+    const std::string av = key.substr(0, key.rfind('/'));
+    auto& dst = folded[av];
+    for (int i = 0; i < kVerdictCount; ++i) dst[i] += row[i];
+  }
+  EXPECT_EQ(folded, sum.verdicts);
+}
+
+TEST(CampaignAnalyticsAggregate, LatencyCountsMatchObservations) {
+  const CampaignSummary sum = run_campaign(small_campaign(1));
+  const CampaignAnalytics a = aggregate_campaign(sum);
+  long long observed = 0;
+  for (const auto& ob : sum.observations) {
+    observed += static_cast<long long>(ob.detections.size());
+  }
+  long long aggregated = 0;
+  for (const auto& [type, h] : a.detection_latency) {
+    (void)type;
+    aggregated += h.count;
+  }
+  EXPECT_EQ(aggregated, observed);
+  EXPECT_GT(observed, 0);  // the seed fires and detects faults
+}
+
+TEST(CampaignAnalyticsAggregate, SerialAndParallelAreByteIdentical) {
+  const CampaignSummary serial = run_campaign(small_campaign(1));
+  const CampaignSummary parallel = run_campaign(small_campaign(4));
+  std::ostringstream a;
+  std::ostringstream b;
+  write_analytics_json(aggregate_campaign(serial), a);
+  write_analytics_json(aggregate_campaign(parallel), b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CampaignAnalyticsAggregate, OverheadBaselinesArePositive) {
+  const CampaignSummary sum = run_campaign(small_campaign(1));
+  const CampaignAnalytics a = aggregate_campaign(sum);
+  ASSERT_FALSE(a.overhead.empty());
+  for (const auto& [key, st] : a.overhead) {
+    EXPECT_GT(st.samples, 0) << key;
+    EXPECT_GT(st.max, 0.0) << key;
+    EXPECT_LE(st.min, st.p50) << key;
+    EXPECT_LE(st.p50, st.p99) << key;
+    EXPECT_LE(st.p99, st.max) << key;
+  }
+}
+
+TEST(CampaignAnalyticsJson, RoundTripIsByteIdentical) {
+  const CampaignAnalytics a =
+      aggregate_campaign(run_campaign(small_campaign(1)));
+  std::ostringstream os;
+  write_analytics_json(a, os);
+  std::istringstream is(os.str());
+  CampaignAnalytics back;
+  ASSERT_TRUE(read_analytics_json(is, &back));
+  std::ostringstream os2;
+  write_analytics_json(back, os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(CampaignAnalyticsJson, RejectsWrongSchemaVersion) {
+  std::istringstream is(
+      R"({"analytics_version":9,"detection_latency":{},"meta":{},)"
+      R"("overhead":{},"scenarios":0,"verdicts":{}})");
+  CampaignAnalytics out;
+  EXPECT_FALSE(read_analytics_json(is, &out));
+}
+
+TEST(CampaignAbort, TruncatesDeterministically) {
+  CampaignOptions full = small_campaign(1);
+  CampaignOptions cut = full;
+  cut.abort_after = 7;
+  const CampaignSummary whole = run_campaign(full);
+  const CampaignSummary part = run_campaign(cut);
+  EXPECT_FALSE(whole.aborted);
+  EXPECT_TRUE(part.aborted);
+  EXPECT_EQ(part.scenarios_run, 7);
+  // Shared rng prefix: the aborted campaign's observations are exactly
+  // the first 7 of the full campaign's.
+  ASSERT_EQ(part.observations.size(), 7u);
+  for (std::size_t i = 0; i < part.observations.size(); ++i) {
+    EXPECT_EQ(part.observations[i].verdict, whole.observations[i].verdict);
+    EXPECT_EQ(part.observations[i].n, whole.observations[i].n);
+    EXPECT_DOUBLE_EQ(part.observations[i].seconds,
+                     whole.observations[i].seconds);
+  }
+  // Parallel truncation agrees with serial truncation.
+  CampaignOptions cut4 = cut;
+  cut4.threads = 4;
+  const CampaignSummary part4 = run_campaign(cut4);
+  EXPECT_EQ(part4.scenarios_run, 7);
+  EXPECT_EQ(part4.verdicts, part.verdicts);
+}
+
+}  // namespace
+}  // namespace ftla::fault

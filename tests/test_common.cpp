@@ -274,6 +274,37 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_EQ(h.p99(), 0.0);
 }
 
+// The nearest-rank contract's edge cases (documented in stats.hpp):
+// with n = 1 every percentile is that sample, and with identical
+// samples every percentile is that value — both because the estimate
+// is clamped to the observed [min, max].
+TEST(Histogram, SingleSampleEveryPercentileIsTheSample) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 7.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+}
+
+TEST(Histogram, AllEqualSamplesCollapseEveryPercentile) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.5);
+  EXPECT_DOUBLE_EQ(h.p99(), 3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.5);
+}
+
+TEST(Histogram, PercentileArgumentIsClampedTo0And100) {
+  Histogram h({1.0, 10.0});
+  h.add(2.0);
+  h.add(8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
 TEST(Histogram, MergeMatchesSingleStream) {
   const auto edges = Histogram::log_edges(1e-3, 1e2, 4);
   Histogram a(edges);

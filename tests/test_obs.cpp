@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "abft/cholesky.hpp"
@@ -68,6 +71,51 @@ TEST(EventSink, NullSinkCountsButStoresNothing) {
   sink.post(note("x"));
   sink.post(note("y"));
   EXPECT_EQ(sink.posted(), 2);
+}
+
+TEST(EventSink, JsonlConcurrentWritersEmitWholeLines) {
+  // The JSONL sink's contract under concurrency: every posted event
+  // lands as one complete, balanced line with a unique sequence number
+  // — no interleaved fragments. Run under TSan in CI.
+  std::ostringstream os;
+  JsonlStreamSink sink(os);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&sink, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          Event e;
+          e.kind = EventKind::Note;
+          e.name = "w" + std::to_string(t) + "." + std::to_string(i);
+          sink.post(e);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), kThreads * kPerThread);
+  EXPECT_EQ(sink.posted(), kThreads * kPerThread);
+
+  std::istringstream lines(s);
+  std::string line;
+  std::set<long long> seqs;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+    const std::size_t at = line.find("\"seq\":");
+    ASSERT_NE(at, std::string::npos);
+    seqs.insert(std::strtoll(line.c_str() + at + 6, nullptr, 10));
+  }
+  // Sequence numbers are exactly 0..N-1, each on its own line.
+  EXPECT_EQ(seqs.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(*seqs.begin(), 0);
+  EXPECT_EQ(*seqs.rbegin(), kThreads * kPerThread - 1);
 }
 
 TEST(EventSink, JsonlEmitsOneObjectPerLine) {

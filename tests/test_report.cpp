@@ -1,0 +1,145 @@
+// Tests for the HTML run report and the metrics-document reader it
+// feeds on: byte-stable rendering, well-formedness basics, HTML
+// escaping of untrusted labels, and the MetricsDoc round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fault/analytics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile_report.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
+#include "report/html_report.hpp"
+
+namespace ftla::report {
+namespace {
+
+ReportInputs sample_inputs() {
+  ReportInputs in;
+  in.title = "test report";
+
+  obs::ProfileReport prof;
+  prof.makespan_seconds = 2.0;
+  prof.critical_path_seconds = 1.5;
+  prof.abft_critical_seconds = 0.25;
+  prof.idle_critical_seconds = 0.1;
+  prof.projected_no_abft_seconds = 1.25;
+  prof.span_count = 10;
+  prof.meta["algo"] = "cholesky";
+  obs::PhaseProfile update;
+  update.spans = 6;
+  update.busy_seconds = 1.0;
+  update.critical_seconds = 0.9;
+  prof.phases["update"] = update;
+  obs::PhaseProfile verify;
+  verify.spans = 4;
+  verify.busy_seconds = 0.3;
+  verify.critical_seconds = 0.25;
+  prof.phases["verify"] = verify;
+  obs::ResourceProfile sm;
+  sm.busy_unit_seconds = 12.0;
+  sm.capacity_units = 8;
+  prof.resources["gpu_sm"] = sm;
+  in.profiles.emplace_back("profile", prof);
+
+  fault::CampaignAnalytics an;
+  an.scenarios = 3;
+  an.verdicts["cholesky/no-ft/rerun"] = {1, 0, 0, 0, 2};
+  fault::HistogramSummary h;
+  h.count = 2;
+  h.min = 0.5;
+  h.max = 1.5;
+  h.mean = 1.0;
+  h.p50 = 0.5;
+  h.p95 = 1.5;
+  h.p99 = 1.5;
+  h.buckets = {{1.0, 1}, {10.0, 1}};
+  an.detection_latency["computing"] = h;
+  in.analytics.emplace_back("analytics", an);
+
+  obs::TimeSeriesStore store;
+  store.sample_gauge("timeseries.test.g", 0.0, 1.0);
+  store.sample_gauge("timeseries.test.g", 1.0, 3.0);
+  in.timeseries.emplace_back("ts", obs::build_timeseries_report(store, 0.5));
+
+  obs::MetricsDoc doc;
+  doc.meta.emplace_back("tool", "test");
+  doc.counters["run.reruns"] = 2;
+  doc.gauges["run.seconds"] = 1.5;
+  in.metrics.emplace_back("metrics", doc);
+  return in;
+}
+
+TEST(HtmlReport, ByteStableAcrossInvocations) {
+  const ReportInputs in = sample_inputs();
+  std::ostringstream a;
+  std::ostringstream b;
+  write_html_report(in, a);
+  write_html_report(in, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(HtmlReport, ContainsAllSectionsAndSvgCharts) {
+  std::ostringstream os;
+  write_html_report(sample_inputs(), os);
+  const std::string html = os.str();
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("test report"), std::string::npos);
+  EXPECT_NE(html.find("cholesky/no-ft/rerun"), std::string::npos);
+  EXPECT_NE(html.find("timeseries.test.g"), std::string::npos);
+  EXPECT_NE(html.find("run.reruns"), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesUntrustedLabels) {
+  ReportInputs in;
+  obs::MetricsDoc doc;
+  doc.meta.emplace_back("note", "<script>alert(1)</script>");
+  in.metrics.emplace_back("a<b&c", doc);
+  std::ostringstream os;
+  write_html_report(in, os);
+  const std::string html = os.str();
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+  EXPECT_NE(html.find("a&lt;b&amp;c"), std::string::npos);
+}
+
+TEST(MetricsDocReader, RoundTripsReportJson) {
+  obs::MetricsReport report;
+  report.add_meta("tool", "test");
+  report.add_meta("n", "64");
+  report.metrics.counter("run.reruns") = 3;
+  report.metrics.set_gauge("run.seconds", 0.125);
+  report.metrics.histogram("abft.detection_latency_s", {1.0, 10.0})
+      .add(0.5);
+  std::ostringstream os;
+  obs::write_metrics_json(report, os);
+
+  std::istringstream is(os.str());
+  obs::MetricsDoc doc;
+  ASSERT_TRUE(obs::read_metrics_json(is, &doc));
+  const std::string* tool = doc.find_meta("tool");
+  ASSERT_NE(tool, nullptr);
+  EXPECT_EQ(*tool, "test");
+  EXPECT_EQ(doc.counters.at("run.reruns"), 3);
+  EXPECT_DOUBLE_EQ(doc.gauges.at("run.seconds"), 0.125);
+  const auto& h = doc.histograms.at("abft.detection_latency_s");
+  EXPECT_EQ(h.count, 1);
+  // The writer is sparse: only the one hit bucket appears.
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.buckets[0].first, 1.0);
+  EXPECT_EQ(h.buckets[0].second, 1);
+}
+
+TEST(MetricsDocReader, RejectsWrongSchemaVersion) {
+  std::istringstream is(R"({"schema_version":2,"meta":{}})");
+  obs::MetricsDoc doc;
+  EXPECT_FALSE(obs::read_metrics_json(is, &doc));
+}
+
+}  // namespace
+}  // namespace ftla::report

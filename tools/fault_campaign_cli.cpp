@@ -8,6 +8,10 @@
 //
 // Replay mode (--replay FILE): run one scenario from a file written by
 // --failures-out (format_scenario text), exit by the verdict.
+//
+// With FTLA_POSTMORTEM=FILE.json in the environment (or --postmortem-out),
+// the flight-recorder bundle is dumped on exit (docs/observability.md,
+// "Analytics & postmortems").
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -17,13 +21,34 @@
 #include <sstream>
 #include <string>
 
+#include "fault/analytics.hpp"
 #include "fault/campaign.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 namespace {
 
 using namespace ftla;
+
+// Flight recorder shared with usage(): whatever was attached by the
+// time the tool exits is what the postmortem bundle shows.
+obs::FlightRecorder g_recorder;
+std::string g_postmortem_path;
+
+/// The single exit gate: dumps the flight-recorder bundle to
+/// --postmortem-out (always) or $FTLA_POSTMORTEM (nonzero exits only),
+/// then hands the code back. Best-effort — a failed dump never changes
+/// the exit code.
+int finish(int code, const std::string& reason) {
+  if (!g_postmortem_path.empty()) {
+    g_recorder.dump_file(g_postmortem_path, code, reason);
+  } else if (const char* env = std::getenv("FTLA_POSTMORTEM");
+             env != nullptr && code != fault::kExitSuccess) {
+    g_recorder.dump_file(env, code, reason);
+  }
+  return code;
+}
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
@@ -38,6 +63,13 @@ using namespace ftla;
       "                       (0 = all cores; default 1). Verdicts and\n"
       "                       fired plans are bit-identical to serial\n"
       "  --report FILE.json   write the campaign metrics report\n"
+      "  --analytics-out FILE write cross-scenario analytics JSON\n"
+      "                       (detection-latency histograms per fault\n"
+      "                       type, verdict breakdowns, overhead\n"
+      "                       percentiles; render with ftla_report_cli)\n"
+      "  --abort-after N      stop after N scenarios (deterministic\n"
+      "                       truncation; exits 3 to flag the abort)\n"
+      "  --postmortem-out FILE write the flight-recorder bundle at exit\n"
       "  --failures-out FILE  write shrunk failure plans (replayable)\n"
       "  --replay FILE        run one scenario from FILE instead of a\n"
       "                       campaign; exits by its verdict\n"
@@ -49,10 +81,13 @@ using namespace ftla;
       "  1  I/O error (could not read or write a file)\n"
       "  2  usage error\n"
       "  3  fail-stop (replay: run gave up; campaign: unexpected\n"
-      "     fail-stop with zero faults fired)\n"
+      "     fail-stop with zero faults fired, or --abort-after cut the\n"
+      "     campaign short)\n"
       "  4  silent data corruption (replay: corrupt result claimed as\n"
       "     success; campaign: any sdc verdict for the guarded variant)\n");
-  std::exit(fault::kExitUsage);
+  std::exit(finish(fault::kExitUsage,
+                   msg != nullptr ? std::string("usage error: ") + msg
+                                  : std::string("usage error")));
 }
 
 int replay_exit_code(fault::Verdict v) {
@@ -68,6 +103,7 @@ int replay_exit_code(fault::Verdict v) {
 int main(int argc, char** argv) {
   fault::CampaignOptions opt;
   std::string report_path;
+  std::string analytics_path;
   std::string failures_path;
   std::string replay_path;
   bool quiet = false;
@@ -88,6 +124,9 @@ int main(int argc, char** argv) {
         usage("--blocks expects LO:HI");
       }
     } else if (arg == "--report") report_path = need(i);
+    else if (arg == "--analytics-out") analytics_path = need(i);
+    else if (arg == "--abort-after") opt.abort_after = std::atoi(need(i));
+    else if (arg == "--postmortem-out") g_postmortem_path = need(i);
     else if (arg == "--failures-out") failures_path = need(i);
     else if (arg == "--replay") replay_path = need(i);
     else if (arg == "--no-shrink") opt.shrink_failures = false;
@@ -100,12 +139,23 @@ int main(int argc, char** argv) {
   if (opt.min_blocks < 1 || opt.max_blocks < opt.min_blocks) {
     usage("--blocks range is empty");
   }
+  if (!analytics_path.empty()) opt.collect_observations = true;
+
+  g_recorder.set_meta("tool", "fault_campaign_cli");
+  g_recorder.set_meta("scenarios", std::to_string(opt.scenarios));
+  g_recorder.set_meta("seed", std::to_string(opt.seed));
+  g_recorder.set_meta("threads", std::to_string(opt.threads));
+  if (opt.abort_after > 0) {
+    g_recorder.set_meta("abort_after", std::to_string(opt.abort_after));
+  }
+  g_recorder.note("args parsed");
 
   if (!replay_path.empty()) {
+    g_recorder.set_meta("replay", replay_path);
     std::ifstream in(replay_path);
     if (!in) {
       std::fprintf(stderr, "cannot read %s\n", replay_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "cannot read replay file");
     }
     std::ostringstream text;
     text << in.rdbuf();
@@ -113,7 +163,7 @@ int main(int argc, char** argv) {
     std::string err;
     if (!fault::parse_scenario(text.str(), &sc, &err)) {
       std::fprintf(stderr, "%s: %s\n", replay_path.c_str(), err.c_str());
-      return fault::kExitUsage;
+      return finish(fault::kExitUsage, "unparsable replay scenario");
     }
     const fault::ScenarioResult res = fault::run_scenario(sc);
     std::printf("verdict   : %s\n", fault::to_string(res.verdict));
@@ -140,12 +190,17 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
-    return replay_exit_code(res.verdict);
+    const int code = replay_exit_code(res.verdict);
+    return finish(code, std::string("replay verdict: ") +
+                            fault::to_string(res.verdict));
   }
 
   obs::MetricsRegistry metrics;
+  g_recorder.attach_metrics(&metrics);
   const fault::CampaignSummary sum = fault::run_campaign(
       opt, &metrics, quiet ? nullptr : &std::cout, 100);
+  g_recorder.note(sum.aborted ? "campaign aborted early"
+                              : "campaign complete");
 
   std::printf("scenarios : %d\n", sum.scenarios_run);
   std::printf("faults    : %lld fired, %lld detected, %lld via transfer, "
@@ -180,7 +235,7 @@ int main(int argc, char** argv) {
     std::ofstream out(failures_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", failures_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "cannot write failures file");
     }
     for (const auto& f : sum.failures) {
       out << "# verdict=" << fault::to_string(f.result.verdict)
@@ -199,12 +254,37 @@ int main(int argc, char** argv) {
     report.metrics = metrics;
     if (!obs::write_metrics_json_file(report, report_path)) {
       std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "failed to write report");
     }
     std::printf("report    : %s\n", report_path.c_str());
   }
 
-  if (sum.guarded_sdc > 0) return fault::kExitSdc;
-  if (sum.unexpected_fail_stop > 0) return fault::kExitFailStop;
-  return fault::kExitSuccess;
+  if (!analytics_path.empty()) {
+    fault::CampaignAnalytics analytics = fault::aggregate_campaign(sum);
+    analytics.meta["tool"] = "fault_campaign_cli";
+    analytics.meta["scenarios"] = std::to_string(opt.scenarios);
+    analytics.meta["seed"] = std::to_string(opt.seed);
+    analytics.meta["threads"] = std::to_string(opt.threads);
+    analytics.meta["guarded_variant"] = abft::to_string(opt.guarded);
+    if (!fault::write_analytics_json_file(analytics, analytics_path)) {
+      std::fprintf(stderr, "failed to write %s\n", analytics_path.c_str());
+      return finish(fault::kExitIoError, "failed to write analytics");
+    }
+    std::printf("analytics : %s (render with ftla_report_cli)\n",
+                analytics_path.c_str());
+  }
+
+  // --abort-after truncation is reported as a fail-stop: the campaign
+  // did not finish, and scripts must not read a clean verdict into a
+  // partial run.
+  if (sum.guarded_sdc > 0) {
+    return finish(fault::kExitSdc, "guarded variant saw sdc");
+  }
+  if (sum.unexpected_fail_stop > 0) {
+    return finish(fault::kExitFailStop, "unexpected fail-stop");
+  }
+  if (sum.aborted) {
+    return finish(fault::kExitFailStop, "campaign aborted by --abort-after");
+  }
+  return finish(fault::kExitSuccess, "campaign clean");
 }

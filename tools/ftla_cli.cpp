@@ -24,7 +24,18 @@
 //     --profile-out FILE.json             write the simulated-time profile
 //                                         (phase decomposition + critical
 //                                         path; ftla_profile_cli reads it)
+//     --timeseries-out FILE.json          write windowed time-series rollups
+//                                         (resource occupancy + verification
+//                                         progress over virtual time)
+//     --timeseries-window W               rollup window in virtual seconds
+//                                         (default: makespan / 20)
+//     --postmortem-out FILE.json          write the flight-recorder bundle
+//                                         at exit (any exit code)
 //     --summary                           print per-lane trace summary
+//
+// With FTLA_POSTMORTEM=FILE.json in the environment, the flight-recorder
+// bundle is dumped to FILE on any nonzero exit (the shared exit-code
+// contract; see docs/observability.md, "Analytics & postmortems").
 //
 // Examples:
 //   ftla_cli --machine bulldozer64 --n 30720 --mode timing --variant enhanced --k 5
@@ -49,10 +60,12 @@
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile_report.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/profile.hpp"
 #include "sim/profiler.hpp"
 #include "sim/trace_export.hpp"
@@ -60,6 +73,25 @@
 namespace {
 
 using namespace ftla;
+
+// Flight recorder shared with usage(): whatever was attached by the
+// time the tool exits is what the postmortem bundle shows.
+obs::FlightRecorder g_recorder;
+std::string g_postmortem_path;
+
+/// The single exit gate: dumps the flight-recorder bundle to
+/// --postmortem-out (always) or $FTLA_POSTMORTEM (nonzero exits only),
+/// then hands the code back. Best-effort — a failed dump never changes
+/// the exit code.
+int finish(int code, const std::string& reason) {
+  if (!g_postmortem_path.empty()) {
+    g_recorder.dump_file(g_postmortem_path, code, reason);
+  } else if (const char* env = std::getenv("FTLA_POSTMORTEM");
+             env != nullptr && code != fault::kExitSuccess) {
+    g_recorder.dump_file(env, code, reason);
+  }
+  return code;
+}
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
@@ -72,7 +104,9 @@ using namespace ftla;
                "  [--fault-seed S]\n"
                "  [--seed S] [--trace-out FILE.json] [--metrics-out "
                "FILE.json]\n"
-               "  [--profile-out FILE.json] [--summary]\n"
+               "  [--profile-out FILE.json] [--timeseries-out FILE.json]\n"
+               "  [--timeseries-window W] [--postmortem-out FILE.json]\n"
+               "  [--summary]\n"
                "\n"
                "  --trace-out FILE    Chrome trace with fault annotations\n"
                "                      (instant events + injection->detection\n"
@@ -84,6 +118,12 @@ using namespace ftla;
                "                      overhead decomposition, critical path,\n"
                "                      resource utilization); inspect or gate\n"
                "                      with ftla_profile_cli\n"
+               "  --timeseries-out FILE  windowed time-series rollups JSON\n"
+               "                      (resource occupancy + verification\n"
+               "                      progress over virtual time)\n"
+               "  --postmortem-out FILE  flight-recorder bundle at exit;\n"
+               "                      FTLA_POSTMORTEM=FILE in the environment\n"
+               "                      dumps on any nonzero exit instead\n"
                "\n"
                "exit codes:\n"
                "  0  success (clean result)\n"
@@ -92,7 +132,9 @@ using namespace ftla;
                "  3  fail-stop (run gave up; the honest failure mode)\n"
                "  4  silent data corruption (claimed success, residual "
                "corrupt)\n");
-  std::exit(ftla::fault::kExitUsage);
+  std::exit(finish(ftla::fault::kExitUsage,
+                   msg != nullptr ? std::string("usage error: ") + msg
+                                  : std::string("usage error")));
 }
 
 struct Args {
@@ -114,6 +156,8 @@ struct Args {
   std::string trace_path;
   std::string metrics_path;
   std::string profile_path;
+  std::string timeseries_path;
+  double timeseries_window = 0.0;  ///< <= 0: makespan / 20
   bool summary = false;
 };
 
@@ -143,6 +187,10 @@ Args parse(int argc, char** argv) {
     else if (opt == "--trace" || opt == "--trace-out") a.trace_path = need(i);
     else if (opt == "--metrics-out") a.metrics_path = need(i);
     else if (opt == "--profile-out") a.profile_path = need(i);
+    else if (opt == "--timeseries-out") a.timeseries_path = need(i);
+    else if (opt == "--timeseries-window")
+      a.timeseries_window = std::atof(need(i));
+    else if (opt == "--postmortem-out") g_postmortem_path = need(i);
     else if (opt == "--summary") a.summary = true;
     else if (opt == "--help" || opt == "-h") usage();
     else usage(("unknown option " + opt).c_str());
@@ -159,6 +207,20 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   common::set_global_threads(args.threads);
 
+  // Postmortem capture is active when explicitly requested or armed via
+  // the environment; it implies event + metrics recording so a failing
+  // run always has a tail to dump.
+  const bool want_postmortem = !g_postmortem_path.empty() ||
+                               std::getenv("FTLA_POSTMORTEM") != nullptr;
+  g_recorder.set_meta("tool", "ftla_cli");
+  g_recorder.set_meta("machine", args.machine);
+  g_recorder.set_meta("algo", args.algo);
+  g_recorder.set_meta("variant", args.variant);
+  g_recorder.set_meta("mode", args.mode);
+  g_recorder.set_meta("n", std::to_string(args.n));
+  g_recorder.set_meta("faults", std::to_string(args.faults));
+  g_recorder.note("args parsed");
+
   sim::MachineProfile profile;
   if (args.machine == "tardis") profile = sim::tardis();
   else if (args.machine == "bulldozer64") profile = sim::bulldozer64();
@@ -171,22 +233,37 @@ int main(int argc, char** argv) {
 
   sim::Machine machine(profile, numeric ? sim::ExecutionMode::Numeric
                                         : sim::ExecutionMode::TimingOnly);
-  const bool want_trace = !args.trace_path.empty() || args.summary;
+  const bool want_timeseries = !args.timeseries_path.empty();
+  const bool want_trace =
+      !args.trace_path.empty() || args.summary || want_timeseries;
   machine.set_trace_enabled(want_trace);
 
   // Telemetry capture: one event sink + metrics registry shared by the
   // simulator, the fault injector and the ABFT driver.
-  const bool want_obs = !args.trace_path.empty() || !args.metrics_path.empty();
+  const bool want_obs = !args.trace_path.empty() ||
+                        !args.metrics_path.empty() || want_postmortem;
   obs::RingBufferSink sink;
   obs::MetricsRegistry metrics;
   if (want_obs) machine.set_event_sink(&sink);
+  if (want_postmortem) {
+    g_recorder.attach_events(&sink);
+    g_recorder.attach_metrics(&metrics);
+  }
 
   // Profiler capture: the span store collects every simulated activity
   // from the machine while the driver tags ABFT phases and iterations
   // on the same store (the wiring convention of docs/observability.md).
   const bool want_profile = !args.profile_path.empty();
   obs::SpanStore spans;
-  if (want_profile) machine.set_span_store(&spans);
+  if (want_profile) {
+    machine.set_span_store(&spans);
+    g_recorder.attach_spans(&spans);
+  }
+
+  // Time-series capture: verification progress from the telemetry layer
+  // lands here during the run; resource occupancy is derived from the
+  // trace afterwards.
+  obs::TimeSeriesStore timeseries;
 
   Matrix<double> a;
   Matrix<double> a0;
@@ -217,6 +294,7 @@ int main(int argc, char** argv) {
     opt.metrics = &metrics;
   }
   if (want_profile) opt.profile = &spans;
+  if (want_timeseries) opt.timeseries = &timeseries;
 
   const int block = abft::resolve_block_size(profile, opt);
   const int nb = (args.n + block - 1) / block;
@@ -251,6 +329,7 @@ int main(int argc, char** argv) {
       qopt.metrics = &metrics;
     }
     if (want_profile) qopt.profile = &spans;
+    if (want_timeseries) qopt.timeseries = &timeseries;
     res = abft::qr(machine, ap, numeric ? &tau : nullptr, args.n, qopt, inj);
   } else if (args.algo == "lu") {
     if (args.variant != "enhanced" && args.variant != "noft") {
@@ -267,6 +346,7 @@ int main(int argc, char** argv) {
       lopt.metrics = &metrics;
     }
     if (want_profile) lopt.profile = &spans;
+    if (want_timeseries) lopt.timeseries = &timeseries;
     res = abft::lu(machine, ap, args.n, lopt, inj);
   } else if (args.algo != "cholesky") {
     usage("unknown --algo");
@@ -295,6 +375,7 @@ int main(int argc, char** argv) {
   } else {
     usage("unknown --variant");
   }
+  g_recorder.note("factorization returned");
 
   std::printf("machine           : %s (%s mode)\n", profile.name.c_str(),
               numeric ? "numeric" : "timing-only");
@@ -345,7 +426,29 @@ int main(int argc, char** argv) {
                   args.trace_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "failed to write trace");
+    }
+  }
+  if (want_timeseries) {
+    sim::append_machine_timeseries(machine, &timeseries);
+    const double window = args.timeseries_window > 0.0
+                              ? args.timeseries_window
+                              : machine.makespan() / 20.0;
+    obs::TimeSeriesReport ts = obs::build_timeseries_report(timeseries, window);
+    ts.meta["machine"] = profile.name;
+    ts.meta["mode"] = numeric ? "numeric" : "timing";
+    ts.meta["algo"] = args.algo;
+    ts.meta["variant"] = args.variant;
+    ts.meta["n"] = std::to_string(args.n);
+    ts.meta["block"] = std::to_string(block);
+    ts.meta["k"] = std::to_string(args.k);
+    if (obs::write_timeseries_json_file(ts, args.timeseries_path)) {
+      std::printf("timeseries report : %s (render with ftla_report_cli)\n",
+                  args.timeseries_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n",
+                   args.timeseries_path.c_str());
+      return finish(fault::kExitIoError, "failed to write timeseries");
     }
   }
   obs::ProfileReport prof;
@@ -363,23 +466,15 @@ int main(int argc, char** argv) {
                   args.profile_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.profile_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "failed to write profile");
     }
   }
-  if (!args.metrics_path.empty()) {
-    obs::MetricsReport report;
-    report.add_meta("machine", profile.name);
-    report.add_meta("mode", numeric ? "numeric" : "timing");
-    report.add_meta("algo", args.algo);
-    report.add_meta("variant", args.variant);
-    report.add_meta("n", std::to_string(args.n));
-    report.add_meta("block", std::to_string(block));
-    report.add_meta("k", std::to_string(args.k));
-    report.add_meta("placement", to_string(res.chosen_placement));
-    report.metrics = metrics;
+  if (want_obs) {
     // Run-level result counters and gauges alongside the driver's
-    // telemetry so one file answers "what happened".
-    auto& m = report.metrics;
+    // telemetry so one file answers "what happened". Folded into the
+    // live registry (not a report-local copy) so the flight recorder's
+    // postmortem snapshot reconciles exactly with the metrics report.
+    auto& m = metrics;
     m.set_gauge("run.seconds", res.seconds);
     m.set_gauge("run.gflops", res.gflops);
     m.counter("run.errors_detected") = res.errors_detected;
@@ -415,12 +510,27 @@ int main(int argc, char** argv) {
       m.counter("profile.spans_recorded") = prof.span_count;
       m.counter("profile.spans_dropped") = prof.spans_dropped;
     }
+  }
+  if (!args.metrics_path.empty()) {
+    obs::MetricsReport report;
+    report.add_meta("machine", profile.name);
+    report.add_meta("mode", numeric ? "numeric" : "timing");
+    report.add_meta("algo", args.algo);
+    report.add_meta("variant", args.variant);
+    report.add_meta("n", std::to_string(args.n));
+    report.add_meta("block", std::to_string(block));
+    report.add_meta("k", std::to_string(args.k));
+    report.add_meta("placement", to_string(res.chosen_placement));
+    report.metrics = metrics;
     if (obs::write_metrics_json_file(report, args.metrics_path)) {
       std::printf("metrics report    : %s\n", args.metrics_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
-      return fault::kExitIoError;
+      return finish(fault::kExitIoError, "failed to write metrics");
     }
   }
-  return exit_code;
+  return finish(exit_code, exit_code == fault::kExitSuccess ? "success"
+                           : exit_code == fault::kExitSdc
+                               ? "silent data corruption"
+                               : "fail-stop");
 }

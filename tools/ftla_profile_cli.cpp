@@ -35,6 +35,10 @@
 //
 // exit codes: 0 success / within tolerance, 1 I/O error, 2 usage error,
 // 3 drift beyond tolerance (kExitFailStop doubles as "findings").
+//
+// With FTLA_POSTMORTEM=FILE.json in the environment (or --postmortem-out),
+// the flight-recorder bundle is dumped on exit (docs/observability.md,
+// "Analytics & postmortems").
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -47,6 +51,7 @@
 #include "common/exit_codes.hpp"
 #include "common/spd.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/profile_report.hpp"
 #include "obs/span.hpp"
 #include "sim/profile.hpp"
@@ -55,6 +60,25 @@
 namespace {
 
 using namespace ftla;
+
+// Flight recorder shared with usage(): whatever was attached by the
+// time the tool exits is what the postmortem bundle shows.
+obs::FlightRecorder g_recorder;
+std::string g_postmortem_path;
+
+/// The single exit gate: dumps the flight-recorder bundle to
+/// --postmortem-out (always) or $FTLA_POSTMORTEM (nonzero exits only),
+/// then hands the code back. Best-effort — a failed dump never changes
+/// the exit code.
+int finish(int code, const std::string& reason) {
+  if (!g_postmortem_path.empty()) {
+    g_recorder.dump_file(g_postmortem_path, code, reason);
+  } else if (const char* env = std::getenv("FTLA_POSTMORTEM");
+             env != nullptr && code != common::kExitSuccess) {
+    g_recorder.dump_file(env, code, reason);
+  }
+  return code;
+}
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
@@ -65,7 +89,7 @@ using namespace ftla;
       "  [--algo cholesky|lu|qr] [--variant enhanced|online|offline|noft]\n"
       "  [--k K] [--placement auto|cpu|gpu|blocking]\n"
       "  [--mode timing|numeric] [--threads N] [--seed S] [--top K]\n"
-      "  [--json-out FILE.json]\n"
+      "  [--json-out FILE.json] [--postmortem-out FILE.json]\n"
       "  [--check-against BASELINE.json] [--tolerance T]\n"
       "\n"
       "Without --from, runs one factorization under the simulated-time\n"
@@ -78,7 +102,9 @@ using namespace ftla;
       "  1  I/O error (unreadable or unwritable profile file)\n"
       "  2  usage error\n"
       "  3  drift beyond tolerance (findings reported)\n");
-  std::exit(common::kExitUsage);
+  std::exit(finish(common::kExitUsage,
+                   msg != nullptr ? std::string("usage error: ") + msg
+                                  : std::string("usage error")));
 }
 
 struct Args {
@@ -120,6 +146,7 @@ Args parse(int argc, char** argv) {
     else if (opt == "--top") a.top = std::atoi(need(i));
     else if (opt == "--seed") a.seed = std::strtoull(need(i), nullptr, 10);
     else if (opt == "--json-out") a.json_path = need(i);
+    else if (opt == "--postmortem-out") g_postmortem_path = need(i);
     else if (opt == "--check-against") a.baseline_path = need(i);
     else if (opt == "--tolerance") a.tolerance = std::atof(need(i));
     else if (opt == "--help" || opt == "-h") usage();
@@ -217,21 +244,26 @@ obs::ProfileReport run_and_profile(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  g_recorder.set_meta("tool", "ftla_profile_cli");
+  g_recorder.set_meta(
+      "source", args.from_path.empty() ? std::string("run") : args.from_path);
+  g_recorder.note("args parsed");
 
   obs::ProfileReport report;
   if (!args.from_path.empty()) {
     if (!obs::read_profile_json_file(args.from_path, &report)) {
       std::fprintf(stderr, "cannot read profile %s\n", args.from_path.c_str());
-      return common::kExitIoError;
+      return finish(common::kExitIoError, "cannot read profile");
     }
   } else {
     report = run_and_profile(args);
+    g_recorder.note("profiled run complete");
   }
 
   if (!args.json_path.empty()) {
     if (!obs::write_profile_json_file(report, args.json_path)) {
       std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
-      return common::kExitIoError;
+      return finish(common::kExitIoError, "failed to write profile");
     }
     std::printf("profile report    : %s\n", args.json_path.c_str());
   }
@@ -241,23 +273,24 @@ int main(int argc, char** argv) {
     if (!obs::read_profile_json_file(args.baseline_path, &baseline)) {
       std::fprintf(stderr, "cannot read baseline %s\n",
                    args.baseline_path.c_str());
-      return common::kExitIoError;
+      return finish(common::kExitIoError, "cannot read baseline");
     }
     const std::vector<std::string> findings =
         obs::compare_profiles(baseline, report, args.tolerance);
     if (findings.empty()) {
       std::printf("perf gate: within tolerance %g of %s\n", args.tolerance,
                   args.baseline_path.c_str());
-      return common::kExitSuccess;
+      return finish(common::kExitSuccess, "within tolerance");
     }
     std::printf("perf gate: %zu finding(s) against %s (tolerance %g)\n",
                 findings.size(), args.baseline_path.c_str(), args.tolerance);
     for (const std::string& f : findings) {
+      g_recorder.note(f);
       std::printf("  %s\n", f.c_str());
     }
-    return common::kExitFailStop;
+    return finish(common::kExitFailStop, "drift beyond tolerance");
   }
 
   obs::write_profile_text(report, std::cout);
-  return common::kExitSuccess;
+  return finish(common::kExitSuccess, "success");
 }

@@ -1,0 +1,143 @@
+// ftla_report_cli — fuse observability exports into one self-contained
+// HTML dashboard.
+//
+// Inputs (each flag repeatable; sections render in the order given):
+//   --profile FILE.json      profile_version-1 document (ftla_cli
+//                            --profile-out, ftla_profile_cli --json-out,
+//                            BENCH_*_profile.json)
+//   --analytics FILE.json    campaign analytics (fault_campaign_cli
+//                            --analytics-out)
+//   --timeseries FILE.json   time-series rollups (ftla_cli
+//                            --timeseries-out)
+//   --metrics FILE.json      schema_version-1 metrics documents
+//                            (ftla_cli --metrics-out, fault_campaign_cli
+//                            --report, BENCH_*.json)
+//
+// Output:
+//   --out FILE.html          the dashboard (default: stdout)
+//   --title STR              page title
+//
+// The output is byte-stable: same inputs, identical file — CI renders it
+// twice and diffs. No external assets, no timestamps; charts are inline
+// SVG (docs/observability.md, "Analytics & postmortems").
+//
+// exit codes: 0 success, 1 I/O error (unreadable input or unwritable
+// output), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/exit_codes.hpp"
+#include "fault/analytics.hpp"
+#include "obs/profile_report.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
+#include "report/html_report.hpp"
+
+namespace {
+
+using namespace ftla;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: ftla_report_cli [--title STR] [--out FILE.html]\n"
+      "  [--profile FILE.json]... [--analytics FILE.json]...\n"
+      "  [--timeseries FILE.json]... [--metrics FILE.json]...\n"
+      "\n"
+      "Fuses profile, campaign-analytics, time-series and metrics JSON\n"
+      "exports into one dependency-free, byte-stable HTML dashboard\n"
+      "(inline SVG, no external assets). At least one input required.\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  I/O error (unreadable input or unwritable output)\n"
+      "  2  usage error\n");
+  std::exit(common::kExitUsage);
+}
+
+/// Section label for an input path: the basename, extension stripped.
+std::string label_for(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<char, std::string>> inputs;  // (kind, path)
+  std::string out_path;
+  std::string title = "FTLA run report";
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--profile") inputs.emplace_back('p', need(i));
+    else if (opt == "--analytics") inputs.emplace_back('a', need(i));
+    else if (opt == "--timeseries") inputs.emplace_back('t', need(i));
+    else if (opt == "--metrics") inputs.emplace_back('m', need(i));
+    else if (opt == "--out") out_path = need(i);
+    else if (opt == "--title") title = need(i);
+    else if (opt == "--help" || opt == "-h") usage();
+    else usage(("unknown option " + opt).c_str());
+  }
+  if (inputs.empty()) usage("at least one input document required");
+
+  report::ReportInputs report;
+  report.title = title;
+  for (const auto& [kind, path] : inputs) {
+    const std::string label = label_for(path);
+    bool ok = false;
+    switch (kind) {
+      case 'p': {
+        obs::ProfileReport p;
+        ok = obs::read_profile_json_file(path, &p);
+        if (ok) report.profiles.emplace_back(label, std::move(p));
+        break;
+      }
+      case 'a': {
+        fault::CampaignAnalytics a;
+        ok = fault::read_analytics_json_file(path, &a);
+        if (ok) report.analytics.emplace_back(label, std::move(a));
+        break;
+      }
+      case 't': {
+        obs::TimeSeriesReport ts;
+        ok = obs::read_timeseries_json_file(path, &ts);
+        if (ok) report.timeseries.emplace_back(label, std::move(ts));
+        break;
+      }
+      case 'm': {
+        obs::MetricsDoc doc;
+        ok = obs::read_metrics_json_file(path, &doc);
+        if (ok) report.metrics.emplace_back(label, std::move(doc));
+        break;
+      }
+      default: break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot read or parse %s\n",
+                   path.c_str());
+      return common::kExitIoError;
+    }
+  }
+
+  if (out_path.empty()) {
+    report::write_html_report(report, std::cout);
+  } else if (!report::write_html_report_file(report, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return common::kExitIoError;
+  }
+  return common::kExitSuccess;
+}

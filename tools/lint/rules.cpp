@@ -353,7 +353,7 @@ bool valid_metric_name(const std::string& name) {
 const std::vector<std::string>& metric_namespaces(const RuleConfig& cfg) {
   static const std::vector<std::string> kDefault = {
       "abft", "bench", "campaign", "faults", "obs",
-      "profile", "run", "sim", "test"};
+      "profile", "run", "sim", "test", "timeseries"};
   return cfg.extra.empty() ? kDefault : cfg.extra;
 }
 
@@ -363,7 +363,7 @@ void rule_metrics_naming(const SourceFile& f, const RuleConfig& cfg,
   // is not directly followed by ',' or ')' means the name is assembled
   // at runtime and out of this rule's reach.
   static const std::regex kCall(
-      R"re(\b(add_counter|set_gauge|record_histogram|counter|gauge|histogram)\s*\(\s*"([^"]*)"\s*[,\)])re");
+      R"re(\b(add_counter|set_gauge|record_histogram|counter|gauge|histogram|sample_counter|sample_gauge)\s*\(\s*"([^"]*)"\s*[,\)])re");
   for (std::size_t i = 0; i < f.nocomment.size(); ++i) {
     const std::string& line = f.nocomment[i];
     for (auto it = std::sregex_iterator(line.begin(), line.end(), kCall);

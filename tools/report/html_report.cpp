@@ -1,0 +1,416 @@
+#include "report/html_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace ftla::report {
+
+namespace {
+
+/// One deterministic number formatter for everything user-visible: 6
+/// significant digits, locale-independent.
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void html_escape(const std::string& s, std::ostream& os) {
+  for (const char c : s) {
+    switch (c) {
+      case '&': os << "&amp;"; break;
+      case '<': os << "&lt;"; break;
+      case '>': os << "&gt;"; break;
+      case '"': os << "&quot;"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+/// Fixed palettes keyed by name so colors are stable across reports.
+const char* phase_color(const std::string& phase) {
+  if (phase == "base") return "#7b8a9a";
+  if (phase == "encode") return "#d9a441";
+  if (phase == "recalc") return "#c75b5b";
+  if (phase == "update") return "#6faa6f";
+  if (phase == "verify") return "#5b82c7";
+  if (phase == "recover") return "#9a6fc7";
+  return "#b0b0b0";
+}
+
+const char* verdict_color(int verdict) {
+  switch (verdict) {
+    case 0: return "#4c9a4c";  // corrected
+    case 1: return "#4c9a8a";  // rolled_back
+    case 2: return "#c7a341";  // rerun
+    case 3: return "#c7744c";  // fail_stop
+    case 4: return "#c74c4c";  // sdc
+    default: return "#b0b0b0";
+  }
+}
+
+constexpr double kChartWidth = 640.0;
+
+void meta_table(const std::map<std::string, std::string>& meta,
+                std::ostream& os) {
+  if (meta.empty()) return;
+  os << "<table class=\"meta\">";
+  for (const auto& [k, v] : meta) {
+    os << "<tr><th>";
+    html_escape(k, os);
+    os << "</th><td>";
+    html_escape(v, os);
+    os << "</td></tr>";
+  }
+  os << "</table>\n";
+}
+
+/// A horizontal stacked bar: (label, value, color) segments scaled to
+/// the row total across kChartWidth pixels.
+void stacked_bar(
+    const std::vector<std::tuple<std::string, double, std::string>>& segments,
+    std::ostream& os) {
+  double total = 0.0;
+  for (const auto& [label, value, color] : segments) total += value;
+  os << "<svg width=\"" << fmt(kChartWidth)
+     << "\" height=\"26\" role=\"img\">";
+  if (total > 0.0) {
+    double x = 0.0;
+    for (const auto& [label, value, color] : segments) {
+      if (value <= 0.0) continue;
+      const double w = value / total * kChartWidth;
+      os << "<rect x=\"" << fmt(x) << "\" y=\"2\" width=\"" << fmt(w)
+         << "\" height=\"22\" fill=\"" << color << "\"><title>";
+      html_escape(label, os);
+      os << ": " << fmt(value) << " (" << fmt_pct(value / total)
+         << ")</title></rect>";
+      x += w;
+    }
+  }
+  os << "</svg>\n";
+}
+
+void legend(
+    const std::vector<std::tuple<std::string, double, std::string>>& segments,
+    std::ostream& os) {
+  os << "<p class=\"legend\">";
+  bool first = true;
+  for (const auto& [label, value, color] : segments) {
+    if (value <= 0.0) continue;
+    if (!first) os << " &middot; ";
+    first = false;
+    os << "<span class=\"swatch\" style=\"background:" << color
+       << "\"></span>";
+    html_escape(label, os);
+    os << " " << fmt(value);
+  }
+  os << "</p>\n";
+}
+
+void profile_section(const std::string& label, const obs::ProfileReport& p,
+                     std::ostream& os) {
+  os << "<section><h2>Profile: ";
+  html_escape(label, os);
+  os << "</h2>\n";
+  meta_table(p.meta, os);
+  os << "<p>makespan <b>" << fmt(p.makespan_seconds)
+     << " s</b>, ABFT on critical path <b>"
+     << fmt(p.abft_critical_seconds) << " s</b>";
+  if (p.makespan_seconds > 0.0) {
+    os << " (" << fmt_pct(p.abft_critical_seconds / p.makespan_seconds)
+       << ")";
+  }
+  os << ", projected without ABFT <b>" << fmt(p.projected_no_abft_seconds)
+     << " s</b></p>\n";
+
+  std::vector<std::tuple<std::string, double, std::string>> segments;
+  for (const auto& [name, ph] : p.phases) {
+    segments.emplace_back(name, ph.critical_seconds, phase_color(name));
+  }
+  segments.emplace_back("idle", p.idle_critical_seconds, "#e3e3e3");
+  os << "<h3>Critical path by phase</h3>\n";
+  stacked_bar(segments, os);
+  legend(segments, os);
+
+  os << "<h3>Phases</h3>\n<table><tr><th>phase</th><th>spans</th>"
+        "<th>busy s</th><th>critical s</th></tr>";
+  for (const auto& [name, ph] : p.phases) {
+    os << "<tr><td>";
+    html_escape(name, os);
+    os << "</td><td>" << ph.spans << "</td><td>" << fmt(ph.busy_seconds)
+       << "</td><td>" << fmt(ph.critical_seconds) << "</td></tr>";
+  }
+  os << "</table>\n";
+
+  os << "<h3>Resource utilization</h3>\n";
+  for (const auto& [name, r] : p.resources) {
+    const double denom = r.capacity_units * p.makespan_seconds;
+    const double util =
+        denom > 0.0 ? std::min(1.0, r.busy_unit_seconds / denom) : 0.0;
+    os << "<div class=\"util\"><span class=\"util-name\">";
+    html_escape(name, os);
+    os << "</span><svg width=\"" << fmt(kChartWidth)
+       << "\" height=\"14\"><rect x=\"0\" y=\"1\" width=\""
+       << fmt(kChartWidth) << "\" height=\"12\" fill=\"#eee\"/>"
+       << "<rect x=\"0\" y=\"1\" width=\"" << fmt(util * kChartWidth)
+       << "\" height=\"12\" fill=\"#5b82c7\"/></svg><span>"
+       << fmt_pct(util) << "</span></div>\n";
+  }
+  os << "</section>\n";
+}
+
+void analytics_section(const std::string& label,
+                       const fault::CampaignAnalytics& a, std::ostream& os) {
+  os << "<section><h2>Campaign analytics: ";
+  html_escape(label, os);
+  os << "</h2>\n";
+  meta_table(a.meta, os);
+  os << "<p>" << a.scenarios << " scenarios aggregated</p>\n";
+
+  os << "<h3>Verdicts by algo/variant/recovery</h3>\n";
+  for (const auto& [key, row] : a.verdicts) {
+    std::vector<std::tuple<std::string, double, std::string>> segments;
+    for (int i = 0; i < fault::kVerdictCount; ++i) {
+      segments.emplace_back(
+          fault::to_string(static_cast<fault::Verdict>(i)),
+          static_cast<double>(row[static_cast<std::size_t>(i)]),
+          verdict_color(i));
+    }
+    os << "<div class=\"row-label\">";
+    html_escape(key, os);
+    os << "</div>\n";
+    stacked_bar(segments, os);
+  }
+  {
+    // One legend for all verdict rows.
+    std::vector<std::tuple<std::string, double, std::string>> segments;
+    for (int i = 0; i < fault::kVerdictCount; ++i) {
+      segments.emplace_back(
+          fault::to_string(static_cast<fault::Verdict>(i)), 1.0,
+          verdict_color(i));
+    }
+    os << "<p class=\"legend\">";
+    bool first = true;
+    for (const auto& [name, value, color] : segments) {
+      if (!first) os << " &middot; ";
+      first = false;
+      os << "<span class=\"swatch\" style=\"background:" << color
+         << "\"></span>";
+      html_escape(name, os);
+    }
+    os << "</p>\n";
+  }
+
+  os << "<h3>Detection latency (virtual seconds)</h3>\n";
+  for (const auto& [type, h] : a.detection_latency) {
+    os << "<div class=\"row-label\">";
+    html_escape(type, os);
+    os << " &mdash; " << h.count << " detections, p50 " << fmt(h.p50)
+       << " s, p99 " << fmt(h.p99) << " s</div>\n";
+    // Bucket bar chart: equal-width bars (the buckets are log-spaced),
+    // heights scaled to the fullest bucket.
+    std::vector<std::pair<double, long long>> nonempty;
+    for (const auto& b : h.buckets) {
+      if (b.second > 0) nonempty.push_back(b);
+    }
+    long long peak = 1;
+    for (const auto& b : nonempty) peak = std::max(peak, b.second);
+    const double bar_w =
+        nonempty.empty()
+            ? 0.0
+            : kChartWidth / static_cast<double>(nonempty.size());
+    os << "<svg width=\"" << fmt(kChartWidth) << "\" height=\"80\">";
+    for (std::size_t i = 0; i < nonempty.size(); ++i) {
+      const double frac = static_cast<double>(nonempty[i].second) /
+                          static_cast<double>(peak);
+      const double bh = frac * 70.0;
+      os << "<rect x=\"" << fmt(static_cast<double>(i) * bar_w + 1.0)
+         << "\" y=\"" << fmt(75.0 - bh) << "\" width=\""
+         << fmt(bar_w - 2.0) << "\" height=\"" << fmt(bh)
+         << "\" fill=\"#5b82c7\"><title>&le; "
+         << (std::isinf(nonempty[i].first) ? std::string("inf")
+                                           : fmt(nonempty[i].first))
+         << " s: " << nonempty[i].second << "</title></rect>";
+    }
+    os << "</svg>\n";
+  }
+
+  os << "<h3>ABFT overhead ratio (vs fault-free NoFt)</h3>\n"
+        "<table><tr><th>algo/variant</th><th>samples</th><th>min</th>"
+        "<th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th>"
+        "</tr>";
+  for (const auto& [key, st] : a.overhead) {
+    os << "<tr><td>";
+    html_escape(key, os);
+    os << "</td><td>" << st.samples << "</td><td>" << fmt(st.min)
+       << "</td><td>" << fmt(st.mean) << "</td><td>" << fmt(st.p50)
+       << "</td><td>" << fmt(st.p95) << "</td><td>" << fmt(st.p99)
+       << "</td><td>" << fmt(st.max) << "</td></tr>";
+  }
+  os << "</table>\n</section>\n";
+}
+
+void timeseries_section(const std::string& label,
+                        const obs::TimeSeriesReport& ts, std::ostream& os) {
+  os << "<section><h2>Time series: ";
+  html_escape(label, os);
+  os << "</h2>\n";
+  meta_table(ts.meta, os);
+  os << "<p>window " << fmt(ts.window_seconds) << " s, "
+     << ts.samples_recorded << " samples recorded, " << ts.samples_dropped
+     << " dropped</p>\n";
+  for (const auto& [name, rollup] : ts.series) {
+    if (rollup.windows.empty()) continue;
+    double t0 = rollup.windows.front().start;
+    double t1 = rollup.windows.back().end;
+    double vmax = 0.0;
+    for (const auto& w : rollup.windows) vmax = std::max(vmax, w.max);
+    if (t1 <= t0) t1 = t0 + 1.0;
+    if (vmax <= 0.0) vmax = 1.0;
+    const double h = 110.0;
+    const auto px = [&](double t) {
+      return (t - t0) / (t1 - t0) * kChartWidth;
+    };
+    const auto py = [&](double v) { return h - 5.0 - v / vmax * (h - 15.0); };
+
+    os << "<div class=\"row-label\">";
+    html_escape(name, os);
+    os << " &mdash; " << rollup.samples << " samples, peak " << fmt(vmax)
+       << "</div>\n<svg width=\"" << fmt(kChartWidth) << "\" height=\""
+       << fmt(h) << "\">";
+    // max envelope (light) then mean (solid): step per window.
+    for (const int pass : {0, 1}) {
+      os << "<polyline fill=\"none\" stroke=\""
+         << (pass == 0 ? "#b9c8dd" : "#2d5ba9")
+         << "\" stroke-width=\"1.5\" points=\"";
+      bool first = true;
+      for (const auto& w : rollup.windows) {
+        const double v = pass == 0 ? w.max : w.mean;
+        if (!first) os << ' ';
+        first = false;
+        os << fmt(px(w.start)) << ',' << fmt(py(v)) << ' ' << fmt(px(w.end))
+           << ',' << fmt(py(v));
+      }
+      os << "\"/>";
+    }
+    os << "</svg>\n";
+  }
+  os << "</section>\n";
+}
+
+void metrics_section(const std::string& label, const obs::MetricsDoc& doc,
+                     std::ostream& os) {
+  os << "<section><h2>Metrics: ";
+  html_escape(label, os);
+  os << "</h2>\n";
+  if (!doc.meta.empty()) {
+    os << "<table class=\"meta\">";
+    for (const auto& [k, v] : doc.meta) {
+      os << "<tr><th>";
+      html_escape(k, os);
+      os << "</th><td>";
+      html_escape(v, os);
+      os << "</td></tr>";
+    }
+    os << "</table>\n";
+  }
+  if (!doc.counters.empty()) {
+    os << "<h3>Counters</h3>\n<table><tr><th>name</th><th>value</th></tr>";
+    for (const auto& [name, v] : doc.counters) {
+      os << "<tr><td>";
+      html_escape(name, os);
+      os << "</td><td>" << v << "</td></tr>";
+    }
+    os << "</table>\n";
+  }
+  if (!doc.gauges.empty()) {
+    os << "<h3>Gauges</h3>\n<table><tr><th>name</th><th>value</th></tr>";
+    for (const auto& [name, v] : doc.gauges) {
+      os << "<tr><td>";
+      html_escape(name, os);
+      os << "</td><td>" << fmt(v) << "</td></tr>";
+    }
+    os << "</table>\n";
+  }
+  if (!doc.histograms.empty()) {
+    os << "<h3>Histograms</h3>\n<table><tr><th>name</th><th>count</th>"
+          "<th>min</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th>"
+          "<th>max</th></tr>";
+    for (const auto& [name, h] : doc.histograms) {
+      os << "<tr><td>";
+      html_escape(name, os);
+      os << "</td><td>" << h.count << "</td><td>" << fmt(h.min)
+         << "</td><td>" << fmt(h.mean) << "</td><td>" << fmt(h.p50)
+         << "</td><td>" << fmt(h.p95) << "</td><td>" << fmt(h.p99)
+         << "</td><td>" << fmt(h.max) << "</td></tr>";
+    }
+    os << "</table>\n";
+  }
+  os << "</section>\n";
+}
+
+}  // namespace
+
+void write_html_report(const ReportInputs& inputs, std::ostream& os) {
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n<title>";
+  html_escape(inputs.title, os);
+  os << "</title>\n<style>\n"
+        "body{font:14px/1.5 system-ui,sans-serif;margin:24px auto;"
+        "max-width:720px;color:#222}\n"
+        "h1{font-size:22px}h2{font-size:18px;border-bottom:1px solid #ddd;"
+        "padding-bottom:4px}h3{font-size:15px}\n"
+        "section{margin-bottom:32px}\n"
+        "table{border-collapse:collapse;margin:8px 0}\n"
+        "th,td{border:1px solid #ddd;padding:3px 8px;text-align:left;"
+        "font-variant-numeric:tabular-nums}\n"
+        "table.meta th{background:#f5f5f5;font-weight:600}\n"
+        ".legend{font-size:12px;color:#555}\n"
+        ".swatch{display:inline-block;width:10px;height:10px;"
+        "margin-right:4px;border-radius:2px}\n"
+        ".row-label{font-size:13px;margin-top:10px}\n"
+        ".util{display:flex;gap:8px;align-items:center;margin:2px 0}\n"
+        ".util-name{width:90px;font-size:13px}\n"
+        "</style>\n</head>\n<body>\n<h1>";
+  html_escape(inputs.title, os);
+  os << "</h1>\n";
+
+  for (const auto& [label, p] : inputs.profiles) {
+    profile_section(label, p, os);
+  }
+  for (const auto& [label, a] : inputs.analytics) {
+    analytics_section(label, a, os);
+  }
+  for (const auto& [label, ts] : inputs.timeseries) {
+    timeseries_section(label, ts, os);
+  }
+  for (const auto& [label, doc] : inputs.metrics) {
+    metrics_section(label, doc, os);
+  }
+
+  os << "</body>\n</html>\n";
+}
+
+bool write_html_report_file(const ReportInputs& inputs,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_html_report(inputs, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace ftla::report

@@ -1,0 +1,45 @@
+// Self-contained HTML run report: fuses profile JSON, campaign
+// analytics, time-series rollups and metrics documents (ftla_cli
+// --metrics-out, BENCH_*.json) into one dependency-free dashboard.
+//
+// Constraints, in priority order:
+//   * byte-stable — same inputs produce the identical file, so CI can
+//     diff two invocations; no timestamps, no environment probes, all
+//     numbers through one deterministic snprintf formatter;
+//   * no external assets — CSS and charts (plain inline SVG) are
+//     generated inline, so the file works from an artifact store or an
+//     air-gapped mail attachment;
+//   * honest about inputs — each section is labeled with the caller's
+//     label (the CLI uses file basenames) and sections render in the
+//     order given.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/analytics.hpp"
+#include "obs/profile_report.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
+
+namespace ftla::report {
+
+struct ReportInputs {
+  std::string title = "FTLA run report";
+  std::vector<std::pair<std::string, obs::ProfileReport>> profiles;
+  std::vector<std::pair<std::string, fault::CampaignAnalytics>> analytics;
+  std::vector<std::pair<std::string, obs::TimeSeriesReport>> timeseries;
+  std::vector<std::pair<std::string, obs::MetricsDoc>> metrics;
+};
+
+/// Renders the dashboard. Deterministic: byte-identical output for
+/// equal inputs.
+void write_html_report(const ReportInputs& inputs, std::ostream& os);
+
+/// write_html_report to `path`; returns false on I/O failure.
+bool write_html_report_file(const ReportInputs& inputs,
+                            const std::string& path);
+
+}  // namespace ftla::report
