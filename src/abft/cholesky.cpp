@@ -99,6 +99,24 @@ class Run {
       tel_.placement_decided(opt_.placement, placement_, est.t_pick_gpu_s,
                              est.t_pick_cpu_s);
     }
+    // Panel checkpointing needs real panel data, so it is Numeric-only;
+    // a TimingOnly run silently ignores the store.
+    ck_ = m_.numeric() ? opt_.panel_checkpoint : nullptr;
+    if (ck_ != nullptr) {
+      if (ck_->usable(n_, b_) && ck_->columns.rows() == n_ &&
+          ck_->columns.cols() == n_) {
+        resume_from_ = std::min(ck_->iterations, nb_);
+        ck_->iterations = resume_from_;
+      } else {
+        ck_->n = n_;
+        ck_->block = b_;
+        ck_->iterations = 0;
+        if (ck_->columns.rows() != n_ || ck_->columns.cols() != n_) {
+          ck_->columns = Matrix<double>(n_, n_);
+        }
+      }
+      result_.resumed_iterations = resume_from_;
+    }
   }
 
   CholeskyResult execute();
@@ -145,6 +163,7 @@ class Run {
   void iterate(int j);
   void run_once();
   void take_checkpoint(int next_iter);
+  void save_panels(int upto);
   void rollback();
   void final_download();
   void offline_final_verify();
@@ -199,6 +218,13 @@ class Run {
   DeviceBuffer d_ckpt_chk_;
   Matrix<double> h_ckpt_chk_;
   int ckpt_iter_ = 0;
+
+  // Fleet panel-checkpoint store (options.panel_checkpoint, Numeric
+  // only): host-side slab of retired panel columns, refreshed every
+  // checkpoint_interval iterations; resume_from_ is the outer iteration
+  // this run starts at when the store seeded it.
+  PanelCheckpoint* ck_ = nullptr;
+  int resume_from_ = 0;
 
   Matrix<double> pristine_;     // host copy for recovery reruns
   Matrix<double> h_chk_;        // host checksum mirror (placement Cpu)
@@ -316,6 +342,18 @@ void Run::upload() {
   m_.memcpy_h2d(d_a_, 0, m_.numeric() ? pristine_.data() : nullptr,
                 static_cast<std::int64_t>(n_) * n_, s_compute_,
                 /*blocking=*/true);
+  if (ck_ == nullptr) return;
+  // A rerun escalation restarts from the resume point, so panels saved
+  // by the failed attempt are discarded along with the device state.
+  if (ck_->iterations > resume_from_) ck_->iterations = resume_from_;
+  if (resume_from_ > 0) {
+    // Seed the resume: overwrite the retired block columns with the
+    // checkpointed factor slab. Everything right of them is pristine by
+    // the left-looking invariant, so this is the complete mid-run state.
+    m_.memcpy_h2d(d_a_, 0, ck_->columns.data(),
+                  static_cast<std::int64_t>(off(resume_from_)) * n_,
+                  s_compute_, /*blocking=*/true);
+  }
 }
 
 void Run::encode() {
@@ -362,9 +400,13 @@ void Run::run_once() {
   // from a different input — no ABFT can detect it). D2H staging copies
   // are armed individually where an arrival check exists (transfer_guard).
   sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
-  if (checkpointing_) take_checkpoint(0);
+  if (checkpointing_) take_checkpoint(resume_from_);
+  // Resuming mid-matrix with CPU-side checksum updating: the first
+  // resumed iteration needs its decomposed row panel on the host (a
+  // no-op for cold starts and for the other placements).
+  fetch_panel_for_cpu_update(resume_from_);
   int rollbacks_left = opt_.max_rollbacks;
-  int j = 0;
+  int j = resume_from_;
   while (j < nb_) {
     if (checkpointing_ && rollbacks_left > 0) {
       try {
@@ -385,6 +427,10 @@ void Run::run_once() {
     ++j;
     if (checkpointing_ && j < nb_ && j % opt_.checkpoint_interval == 0) {
       take_checkpoint(j);
+    }
+    if (ck_ != nullptr && j < nb_ && j % opt_.checkpoint_interval == 0 &&
+        j > ck_->iterations) {
+      save_panels(j);
     }
   }
   if (opt_.variant == Variant::Offline) {
@@ -433,6 +479,40 @@ void Run::take_checkpoint(int next_iter) {
   }
   ckpt_iter_ = next_iter;
   tel_.checkpoint_taken(next_iter);
+}
+
+void Run::save_panels(int upto) {
+  // Fleet panel checkpoint (docs/fleet.md): ship the block columns
+  // retired since the last save to the host store. Left-looking
+  // Cholesky never rewrites them and they were verified before they
+  // retired, so this one D2H copy is the entire checkpoint — no device
+  // snapshot, no extra verification — and it survives the device.
+  const int c0 = off(ck_->iterations);
+  const int cols = off(upto) - c0;
+  if (cols <= 0) return;
+  // The shipped columns were verified when their iterations retired,
+  // but a storage strike landing *after* that verification would be
+  // frozen into the checkpoint — and a resume re-encodes checksums
+  // from the slab, so the corruption becomes undetectable forever.
+  // Surface any pending strikes, then re-verify (correcting in place)
+  // everything about to leave the device; uncorrectable damage
+  // escalates up the rerun ladder like any other detection.
+  if (ft_) {
+    poll_window_faults(fault::Op::Syrk, upto);
+    std::vector<BlockId> shipped;
+    for (int k = ck_->iterations; k < upto; ++k) {
+      for (int i = k; i < nb_; ++i) shipped.emplace_back(i, k);
+    }
+    verify_blocks(shipped, fault::Op::Gemm);
+  }
+  const obs::PhaseScope phase(tel_.profile(), obs::Phase::Recover);
+  m_.sync_stream(s_compute_);
+  m_.memcpy_d2h(ck_->columns.data() + static_cast<std::int64_t>(c0) * n_,
+                d_a_, static_cast<std::int64_t>(c0) * n_,
+                static_cast<std::int64_t>(cols) * n_, s_xfer_,
+                /*blocking=*/true);
+  ck_->iterations = upto;
+  tel_.checkpoint_taken(upto);
 }
 
 void Run::rollback() {

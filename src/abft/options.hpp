@@ -6,6 +6,7 @@
 #include <string>
 
 #include "abft/checksum.hpp"
+#include "common/matrix.hpp"
 
 namespace ftla::obs {
 class EventSink;
@@ -50,6 +51,31 @@ enum class Recovery {
 };
 
 [[nodiscard]] const char* to_string(Recovery r);
+
+/// Host-side panel checkpoint for resumable factorization (fleet
+/// device-loss recovery, docs/fleet.md). Left-looking blocked Cholesky
+/// never rewrites a block column after its own iteration retires it,
+/// and columns right of the current panel stay pristine until their
+/// iteration — so the completed panel columns alone reconstruct the
+/// full mid-run state: re-upload the pristine input, overwrite columns
+/// [0, iterations*block) with the stored slab, re-encode checksums, and
+/// continue the outer loop at `iterations`. The panels were verified
+/// before they retired (that is the ABFT invariant), so checkpointing
+/// them costs one D2H copy per cadence and zero extra verification.
+struct PanelCheckpoint {
+  int n = 0;
+  int block = 0;
+  /// Completed outer iterations covered by `columns` (block columns).
+  int iterations = 0;
+  /// n x n column-major store; columns [0, iterations*block) are valid.
+  Matrix<double> columns;
+
+  void reset() noexcept { iterations = 0; }
+  /// True when the stored slab can seed a resume of an (n_, block_) run.
+  [[nodiscard]] bool usable(int n_, int block_) const noexcept {
+    return iterations > 0 && n == n_ && block == block_;
+  }
+};
 
 struct CholeskyOptions {
   Variant variant = Variant::EnhancedOnline;
@@ -114,6 +140,15 @@ struct CholeskyOptions {
   /// virtual time into it (docs/observability.md, "Analytics &
   /// postmortems").
   obs::TimeSeriesStore* timeseries = nullptr;
+
+  /// Panel-checkpoint store (optional, not owned; Numeric mode only).
+  /// Every `checkpoint_interval` completed iterations the driver
+  /// appends the newly retired panel columns to it; when the store
+  /// already matches (n, block) and holds iterations > 0, the run
+  /// *resumes* after those iterations instead of starting cold — the
+  /// fleet service hands a dead device's checkpoint to the retry on a
+  /// surviving device (docs/fleet.md).
+  PanelCheckpoint* panel_checkpoint = nullptr;
 };
 
 /// Instrumented verification counts, one row of the paper's Table I.
@@ -142,6 +177,9 @@ struct CholeskyResult {
   int reruns = 0;
   /// Checkpoint rollbacks performed (Recovery::Checkpoint).
   int rollbacks = 0;
+  /// Outer iterations skipped by seeding from a panel checkpoint
+  /// (options.panel_checkpoint); 0 for a cold start.
+  int resumed_iterations = 0;
   /// True when an injected fault slipped past the scheme (possible for
   /// NoFt / Offline / Online under storage errors — the paper's point).
   bool fail_stop_observed = false;

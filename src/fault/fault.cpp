@@ -222,4 +222,62 @@ std::vector<FaultSpec> random_plan(int count, int nblocks,
   return plan;
 }
 
+const char* to_string(DeviceFaultKind k) {
+  switch (k) {
+    case DeviceFaultKind::FailStop:
+      return "fail_stop";
+    case DeviceFaultKind::Stall:
+      return "stall";
+    case DeviceFaultKind::Degrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+std::vector<DeviceFaultSpec> sample_device_faults(
+    const DeviceFaultPlanConfig& cfg) {
+  FTLA_CHECK(cfg.devices >= 1);
+  FTLA_CHECK(cfg.horizon_s > 0.0);
+  Rng rng(cfg.seed ^ 0x5851f42d4c957f2dULL);
+  std::vector<DeviceFaultSpec> plan;
+
+  // Losses strike distinct devices, and at least one device survives by
+  // plan (a fully annihilated fleet certifies nothing: every job would
+  // trivially fail-stop).
+  const int losses = std::min(cfg.loss_count, cfg.devices - 1);
+  std::vector<char> lost(static_cast<std::size_t>(cfg.devices), 0);
+  for (int i = 0; i < losses; ++i) {
+    int d = rng.uniform_int(0, cfg.devices - 1);
+    while (lost[static_cast<std::size_t>(d)] != 0) d = (d + 1) % cfg.devices;
+    lost[static_cast<std::size_t>(d)] = 1;
+    DeviceFaultSpec s;
+    s.kind = DeviceFaultKind::FailStop;
+    s.device = d;
+    s.time = rng.uniform(0.15, 0.85) * cfg.horizon_s;
+    plan.push_back(s);
+  }
+  for (int i = 0; i < cfg.stall_count; ++i) {
+    DeviceFaultSpec s;
+    s.kind = DeviceFaultKind::Stall;
+    s.device = rng.uniform_int(0, cfg.devices - 1);
+    s.time = rng.uniform(0.15, 0.85) * cfg.horizon_s;
+    s.duration = cfg.stall_duration_frac * cfg.horizon_s;
+    plan.push_back(s);
+  }
+  for (int i = 0; i < cfg.degrade_count; ++i) {
+    DeviceFaultSpec s;
+    s.kind = DeviceFaultKind::Degrade;
+    s.device = rng.uniform_int(0, cfg.devices - 1);
+    s.time = 0.0;  // degradation is in effect from job admission
+    s.rate_multiplier = cfg.degrade_multiplier;
+    plan.push_back(s);
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const DeviceFaultSpec& a, const DeviceFaultSpec& b) {
+                     return std::tie(a.time, a.device) <
+                            std::tie(b.time, b.device);
+                   });
+  return plan;
+}
+
 }  // namespace ftla::fault

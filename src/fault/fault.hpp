@@ -209,4 +209,55 @@ std::vector<FaultSpec> random_plan(int count, int nblocks,
                                    std::uint64_t seed,
                                    std::optional<FaultType> only_type = {});
 
+// ----- device-level faults (fleet model, docs/fleet.md) --------------
+
+/// Machine-level failure modes, orthogonal to the element-level
+/// taxonomy above: they strike a whole device, not a block.
+enum class DeviceFaultKind {
+  /// The device vanishes at a virtual instant; every subsequent
+  /// operation issued to it throws sim::DeviceLostError.
+  FailStop,
+  /// Transient hang: operations issued inside [time, time + duration)
+  /// are held until the window closes, then proceed normally.
+  Stall,
+  /// The device keeps computing but its soft-error arrival rate is
+  /// multiplied by rate_multiplier (per-device stream in FaultProcess).
+  Degrade,
+};
+[[nodiscard]] const char* to_string(DeviceFaultKind k);
+
+/// One planned device-level fault, addressed by virtual time — unlike
+/// FaultSpec's program points, a device does not fail at an iteration
+/// of someone's loop; it fails at an instant.
+struct DeviceFaultSpec {
+  DeviceFaultKind kind = DeviceFaultKind::FailStop;
+  int device = 0;
+  double time = 0.0;
+  /// Stall only: width of the hang window in virtual seconds.
+  double duration = 0.0;
+  /// Degrade only: soft-error rate multiplier (> 1).
+  double rate_multiplier = 8.0;
+};
+
+/// Shape of a randomized device-fault plan for one fleet scenario.
+struct DeviceFaultPlanConfig {
+  int devices = 2;
+  int loss_count = 1;
+  int stall_count = 0;
+  int degrade_count = 0;
+  /// Fault-free fleet makespan of the workload; fail-stop and stall
+  /// instants land in [0.15, 0.85] of it so losses strike mid-run.
+  double horizon_s = 1.0;
+  /// Stall width as a fraction of the horizon.
+  double stall_duration_frac = 0.05;
+  double degrade_multiplier = 8.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministically samples a device-fault plan: distinct devices for
+/// losses (capped at devices - 1 so the fleet is never annihilated by
+/// plan), times sorted ascending with device id as tie-break.
+std::vector<DeviceFaultSpec> sample_device_faults(
+    const DeviceFaultPlanConfig& cfg);
+
 }  // namespace ftla::fault

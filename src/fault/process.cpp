@@ -10,34 +10,80 @@ namespace ftla::fault {
 FaultProcess::FaultProcess(ProcessConfig cfg, int nblocks)
     : cfg_(cfg),
       nblocks_(nblocks),
-      rng_(cfg.seed),
       synth_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ULL) {
   FTLA_CHECK(cfg_.mtbf_s > 0.0);
   FTLA_CHECK(nblocks_ >= 1);
-  // First arrival: exponential gap from t = 0.
-  next_time_ = -cfg_.mtbf_s * std::log(1.0 - rng_.next_double());
+  FTLA_CHECK(cfg_.devices >= 1);
+  dev_.reserve(static_cast<std::size_t>(cfg_.devices));
+  for (int d = 0; d < cfg_.devices; ++d) {
+    // Device 0 is seeded exactly like the historical single-device
+    // process; siblings mix the device id in with an odd multiplier so
+    // no derived seed collides with the synth stream's seed ^ golden.
+    const std::uint64_t seed =
+        d == 0 ? cfg_.seed
+               : cfg_.seed ^
+                     (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(d));
+    dev_.emplace_back(seed);
+    // First arrival: exponential gap from t = 0.
+    dev_.back().next_time =
+        -cfg_.mtbf_s * std::log(1.0 - dev_.back().rng.next_double());
+  }
 }
 
-void FaultProcess::generate_until(double now) {
+FaultProcess::DeviceStream& FaultProcess::active_stream() {
+  return dev_[static_cast<std::size_t>(active_)];
+}
+
+void FaultProcess::set_active_device(int device) {
+  FTLA_CHECK(device >= 0 && device < static_cast<int>(dev_.size()));
+  active_ = device;
+}
+
+void FaultProcess::set_rate_multiplier(int device, double multiplier) {
+  FTLA_CHECK(device >= 0 && device < static_cast<int>(dev_.size()));
+  FTLA_CHECK(multiplier > 0.0);
+  auto& ds = dev_[static_cast<std::size_t>(device)];
+  // Rescale the already-drawn pending gap so the change is exact when
+  // applied before the device's first generated arrival.
+  ds.next_time *= ds.rate_multiplier / multiplier;
+  ds.rate_multiplier = multiplier;
+}
+
+int FaultProcess::arrivals_generated() const noexcept {
+  int total = 0;
+  for (const auto& ds : dev_) total += ds.generated;
+  return total;
+}
+
+int FaultProcess::arrivals_generated(int device) const {
+  FTLA_CHECK(device >= 0 && device < static_cast<int>(dev_.size()));
+  return dev_[static_cast<std::size_t>(device)].generated;
+}
+
+void FaultProcess::generate_until(DeviceStream& ds, double now) {
   const double wsum = cfg_.w_computing + cfg_.w_storage + cfg_.w_transfer;
   FTLA_CHECK(wsum > 0.0);
-  while (next_time_ <= now && generated_ < cfg_.max_arrivals) {
-    const double u = rng_.next_double() * wsum;
+  // The storm cap is per-device: a noisy sibling never consumes this
+  // device's injection budget.
+  while (ds.next_time <= now && ds.generated < cfg_.max_arrivals) {
+    const double u = ds.rng.next_double() * wsum;
     int cat = 0;  // FaultType::Computing
     if (u >= cfg_.w_computing) {
       cat = u < cfg_.w_computing + cfg_.w_storage ? 1 : 2;
     }
-    ++pending_[cat];
-    ++generated_;
-    next_time_ += -cfg_.mtbf_s * std::log(1.0 - rng_.next_double());
+    ++ds.pending[cat];
+    ++ds.generated;
+    ds.next_time += -(cfg_.mtbf_s / ds.rate_multiplier) *
+                    std::log(1.0 - ds.rng.next_double());
   }
 }
 
 int FaultProcess::drain(FaultType type, double now) {
-  generate_until(now);
+  DeviceStream& ds = active_stream();
+  generate_until(ds, now);
   const int idx = static_cast<int>(type);
-  const int due = pending_[idx];
-  pending_[idx] = 0;
+  const int due = ds.pending[idx];
+  ds.pending[idx] = 0;
   return due;
 }
 

@@ -51,26 +51,37 @@ struct ProcessConfig {
   /// Probability a storage flip is single-bit (absorbed when the run
   /// models ECC; lands otherwise).
   double p_single_bit = 0.10;
-  /// Hard cap on arrivals per run — bounds fault storms so the rerun
-  /// escalation ladder terminates.
+  /// Hard cap on arrivals *per device* — bounds fault storms so the
+  /// rerun escalation ladder terminates. The cap is deliberately not
+  /// fleet-global: one noisy device exhausting a shared budget would
+  /// starve injection on its healthy siblings and silently weaken
+  /// fleet campaigns.
   int max_arrivals = 64;
   /// When true, synthesized storage specs carry explicit block targets
   /// using blocked-Cholesky lower-triangle geometry. When false they
   /// leave block_row/block_col at -1 and the polling driver's own
   /// default-target logic picks the block (LU/QR geometry).
   bool explicit_blocks = true;
+  /// Devices this process covers. Each device gets an independent
+  /// arrival stream (own rng, own clock, own storm cap); device 0's
+  /// stream is seeded with `seed` exactly like the single-device
+  /// process, so single-node runs are unchanged.
+  int devices = 1;
 };
 
 /// Poisson arrival generator + arrival-to-FaultSpec synthesizer.
 /// Deterministic for a given (config.seed, sequence of drain times).
+/// With config.devices > 1 the process keeps one independent arrival
+/// stream per device; drains apply to the *active* device (the one the
+/// caller is currently driving), selected with set_active_device().
 class FaultProcess {
  public:
   FaultProcess(ProcessConfig cfg, int nblocks);
 
-  /// Consumes and counts the arrivals of `type` due at or before virtual
-  /// time `now`. Arrivals of other types stay pending for their own
-  /// hooks. Monotonically increasing `now` is expected but not required;
-  /// a stale `now` simply drains nothing new.
+  /// Consumes and counts the active device's arrivals of `type` due at
+  /// or before virtual time `now`. Arrivals of other types stay pending
+  /// for their own hooks. Monotonically increasing `now` is expected
+  /// but not required; a stale `now` simply drains nothing new.
   int drain(FaultType type, double now);
 
   /// Turns one consumed arrival into concrete fault spec(s) at the
@@ -81,22 +92,41 @@ class FaultProcess {
   /// pattern used for storage and transfer corruption.
   std::vector<int> sample_bits();
 
-  [[nodiscard]] int arrivals_generated() const noexcept {
-    return generated_;
-  }
+  /// Routes subsequent drains to `device`'s arrival stream.
+  void set_active_device(int device);
+  [[nodiscard]] int active_device() const noexcept { return active_; }
+
+  /// Scales `device`'s soft-error arrival rate (degraded hardware:
+  /// multiplier > 1 means faults arrive that much faster). Applies to
+  /// arrivals not yet generated; deterministic when set before the
+  /// device's first drain.
+  void set_rate_multiplier(int device, double multiplier);
+
+  /// Arrivals generated across all devices.
+  [[nodiscard]] int arrivals_generated() const noexcept;
+  /// Arrivals generated on one device's stream.
+  [[nodiscard]] int arrivals_generated(int device) const;
   [[nodiscard]] const ProcessConfig& config() const noexcept { return cfg_; }
 
  private:
-  void generate_until(double now);
+  struct DeviceStream {
+    explicit DeviceStream(std::uint64_t seed) : rng(seed) {}
+    Rng rng;  // arrival times + categories
+    double next_time = 0.0;
+    double rate_multiplier = 1.0;
+    int generated = 0;
+    // Pending (arrived, not yet consumed) counts per category.
+    int pending[3] = {0, 0, 0};
+  };
+
+  void generate_until(DeviceStream& ds, double now);
+  [[nodiscard]] DeviceStream& active_stream();
 
   ProcessConfig cfg_;
   int nblocks_;
-  Rng rng_;        // arrival times + categories
-  Rng synth_rng_;  // targets, elements, bits
-  double next_time_ = 0.0;
-  int generated_ = 0;
-  // Pending (arrived, not yet consumed) counts per category.
-  int pending_[3] = {0, 0, 0};
+  std::vector<DeviceStream> dev_;
+  int active_ = 0;
+  Rng synth_rng_;  // targets, elements, bits (shared; drains are ordered)
 };
 
 }  // namespace ftla::fault

@@ -1,0 +1,357 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "abft/cholesky.hpp"
+#include "blas/lapack.hpp"
+#include "common/error.hpp"
+#include "common/fp.hpp"
+#include "common/spd.hpp"
+#include "fault/process.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::service {
+namespace {
+
+/// Same oracle line as the fault campaign: injected corruption is
+/// macroscopic, so anything uncorrected lands far above this.
+constexpr double kResidualThreshold = 1.0e-6;
+
+/// Clears the per-attempt transfer hook even when the attempt unwinds
+/// via DeviceLostError — the machine outlives the job.
+struct TransferHookGuard {
+  explicit TransferHookGuard(sim::Machine& machine) : m(machine) {}
+  TransferHookGuard(const TransferHookGuard&) = delete;
+  TransferHookGuard& operator=(const TransferHookGuard&) = delete;
+  ~TransferHookGuard() { m.set_transfer_hook({}); }
+  sim::Machine& m;
+};
+
+}  // namespace
+
+const char* to_string(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::Completed: return "completed";
+    case JobOutcome::Migrated: return "migrated";
+    case JobOutcome::Degraded: return "degraded";
+    case JobOutcome::ExhaustedRetries: return "exhausted_retries";
+    case JobOutcome::FailStop: return "fail_stop";
+  }
+  return "?";
+}
+
+FactorizationService::FactorizationService(sim::Fleet& fleet,
+                                           ServiceOptions options)
+    : fleet_(fleet), opt_(std::move(options)) {
+  FTLA_CHECK(opt_.max_retries >= 0);
+  FTLA_CHECK(opt_.backoff_base_s >= 0.0);
+  FTLA_CHECK(opt_.checkpoint_interval >= 1);
+}
+
+void FactorizationService::submit(JobSpec spec) {
+  FTLA_CHECK(spec.n >= 1 && spec.block >= 1);
+  const double now = fleet_.now();
+  QueuedJob q;
+  q.spec = spec;
+  q.submit_time = now;
+  queue_.push_back(std::move(q));
+  ++admitted_;
+  counter("service.jobs.admitted", 1);
+  note(now, "service:admit",
+       "job=" + std::to_string(spec.id) + " n=" + std::to_string(spec.n));
+}
+
+void FactorizationService::apply(
+    const std::vector<fault::DeviceFaultSpec>& plan) {
+  for (const auto& s : plan) {
+    FTLA_CHECK(s.device >= 0 && s.device < fleet_.size());
+    switch (s.kind) {
+      case fault::DeviceFaultKind::FailStop:
+        fleet_.arm_loss(s.device, s.time);
+        break;
+      case fault::DeviceFaultKind::Stall:
+        fleet_.arm_stall(s.device, s.time, s.time + s.duration);
+        break;
+      case fault::DeviceFaultKind::Degrade:
+        fleet_.mark_degraded(s.device, s.rate_multiplier);
+        counter("fleet.devices_degraded", 1);
+        break;
+    }
+  }
+}
+
+std::vector<JobResult> FactorizationService::drain() {
+  std::vector<JobResult> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    QueuedJob q = std::move(queue_.front());
+    queue_.pop_front();
+    JobResult r = run_job(q.spec, q.submit_time);
+    counter(std::string("service.jobs.") + to_string(r.outcome), 1);
+    if (r.sdc) counter("service.jobs.sdc", 1);
+    if (opt_.metrics != nullptr) {
+      opt_.metrics->record_histogram("service.job_latency_s", r.latency());
+    }
+    if (opt_.timeseries != nullptr) {
+      opt_.timeseries->sample_counter("service.jobs_finished", r.end_time,
+                                      1.0);
+    }
+    note(r.end_time, "service:finish",
+         "job=" + std::to_string(r.job_id) + " outcome=" +
+             to_string(r.outcome) + " attempts=" +
+             std::to_string(r.attempts));
+    out.push_back(std::move(r));
+  }
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->set_gauge("fleet.devices",
+                            static_cast<double>(fleet_.size()));
+    opt_.metrics->set_gauge("fleet.devices_usable",
+                            static_cast<double>(fleet_.usable_count()));
+  }
+  return out;
+}
+
+int FactorizationService::pick_device() const {
+  int best = -1;
+  double best_now = 0.0;
+  for (int d = 0; d < fleet_.size(); ++d) {
+    if (fleet_.state(d) == sim::DeviceState::Lost) continue;
+    const double now = fleet_.device(d).host_now();
+    if (best < 0 || now < best_now) {
+      best = d;
+      best_now = now;
+    }
+  }
+  return best;
+}
+
+void FactorizationService::discover_loss(int device, double time, int job_id,
+                                         const char* where) {
+  if (fleet_.state(device) == sim::DeviceState::Lost) return;
+  fleet_.mark_lost(device);
+  counter("fleet.device_losses", 1);
+  if (opt_.timeseries != nullptr) {
+    opt_.timeseries->sample_gauge("fleet.devices_usable", time,
+                                  static_cast<double>(fleet_.usable_count()));
+  }
+  note(time, "service:device_lost",
+       "device=" + std::to_string(device) + " job=" +
+           std::to_string(job_id) + " at=" + where);
+}
+
+void FactorizationService::note(double time, const std::string& name,
+                                const std::string& detail) {
+  if (opt_.event_sink == nullptr) return;
+  obs::Event e;
+  e.kind = obs::EventKind::Note;
+  e.time = time;
+  e.end = time;
+  e.name = name;
+  e.detail = detail;
+  opt_.event_sink->post(e);
+}
+
+void FactorizationService::counter(const std::string& name,
+                                   long long delta) {
+  if (opt_.metrics != nullptr) opt_.metrics->add_counter(name, delta);
+}
+
+JobResult FactorizationService::run_job(const JobSpec& spec,
+                                        double submit_time) {
+  JobResult r;
+  r.job_id = spec.id;
+  r.submit_time = submit_time;
+
+  const bool numeric = fleet_.numeric();
+  const int n = spec.n;
+
+  // The pristine input regenerates each attempt's working copy: a dead
+  // attempt may leave partially factored state behind, and the oracle
+  // needs the original anyway.
+  Matrix<double> pristine;
+  if (numeric) {
+    pristine = Matrix<double>(n, n);
+    make_spd_diag_dominant(pristine, spec.matrix_seed);
+  }
+
+  // Host-side panel checkpoint: lives with the job, not the device, so
+  // it survives a loss and seeds the migrated attempt.
+  abft::PanelCheckpoint ck;
+
+  // One soft-error process for the whole job, with an independent
+  // arrival stream per device: a fault storm on the device that dies
+  // does not consume the replacement device's budget.
+  std::unique_ptr<fault::FaultProcess> proc;
+  if (numeric && spec.mtbf_s > 0.0) {
+    fault::ProcessConfig pc;
+    pc.mtbf_s = spec.mtbf_s;
+    pc.seed = spec.fault_seed;
+    pc.max_arrivals = spec.max_arrivals;
+    pc.devices = fleet_.size();
+    proc = std::make_unique<fault::FaultProcess>(pc, spec.nblocks());
+    for (int d = 0; d < fleet_.size(); ++d) {
+      if (fleet_.degrade_factor(d) > 1.0) {
+        proc->set_rate_multiplier(d, fleet_.degrade_factor(d));
+      }
+    }
+  }
+
+  const bool admitted_degraded = fleet_.usable_count() < fleet_.size();
+  double earliest = submit_time;
+
+  for (;;) {
+    const int dev = pick_device();
+    if (dev < 0) {
+      r.outcome = JobOutcome::FailStop;
+      r.end_time = fleet_.now();
+      r.note = "no usable devices";
+      break;
+    }
+    sim::Machine& m = fleet_.device(dev);
+
+    // Clock catch-up to the job's earliest start. A loss discovered
+    // here means the device died before this job began there: that is
+    // a re-placement, not a migration, and costs no retry.
+    try {
+      if (m.host_now() < earliest) m.host_advance(earliest - m.host_now());
+    } catch (const sim::DeviceLostError& e) {
+      discover_loss(dev, e.at(), spec.id, "placement");
+      continue;
+    }
+
+    ++r.attempts;
+    r.device = dev;
+    const double t0 = m.host_now();
+    if (r.attempts == 1) r.start_time = t0;
+    note(t0, "service:place",
+         "job=" + std::to_string(spec.id) + " device=" +
+             std::to_string(dev) + " attempt=" +
+             std::to_string(r.attempts));
+
+    Matrix<double> a;
+    if (numeric) a = pristine;
+
+    fault::Injector inj({}, fault::EccModel{spec.ecc});
+    inj.set_clock([&m] { return m.host_now(); });
+    if (proc != nullptr) {
+      proc->set_active_device(dev);
+      inj.attach_process(proc.get());
+    }
+
+    // Transfer-corruption hook, campaign-style: process arrivals come
+    // back as skeletons concretized from the in-flight copy's shape.
+    Rng xfer_rng(spec.fault_seed ^ 0x7f4a7c15ULL ^
+                 static_cast<std::uint64_t>(r.attempts));
+    TransferHookGuard hook_guard(m);
+    if (proc != nullptr) {
+      m.set_transfer_hook([&](const sim::TransferCtx& ctx) {
+        auto specs = inj.take_transfer(ctx.seq, ctx.end, ctx.armed);
+        if (specs.empty() || ctx.data == nullptr || ctx.rows <= 0 ||
+            ctx.cols <= 0) {
+          return;
+        }
+        for (fault::FaultSpec fs : specs) {
+          int fr = 0;
+          int fc = 0;
+          if (fs.elem_row >= 0) {
+            fr = std::min(fs.elem_row, ctx.rows - 1);
+            fc = std::min(fs.elem_col, ctx.cols - 1);
+          } else {
+            fr = xfer_rng.uniform_int(0, ctx.rows - 1);
+            fc = xfer_rng.uniform_int(0, ctx.cols - 1);
+            fs.elem_row = fr;
+            fs.elem_col = fc;
+            fs.bits = proc->sample_bits();
+          }
+          double* p = ctx.data + static_cast<std::int64_t>(fc) * ctx.ld + fr;
+          const double old_value = *p;
+          double v = old_value;
+          for (int b : fs.bits) v = flip_bit(v, b);
+          *p = v;
+          int grow = -1;
+          int gcol = -1;
+          if (ctx.dev_off >= 0 && ctx.ld == n) {
+            grow = static_cast<int>(ctx.dev_off % n) + fr;
+            gcol = static_cast<int>(ctx.dev_off / n) + fc;
+          }
+          inj.record(fs, old_value, v, grow, gcol);
+        }
+      });
+    }
+
+    // A scratch registry activates the driver's telemetry layer, which
+    // is what correlates corrections back to injections.
+    obs::MetricsRegistry scratch_metrics;
+
+    abft::CholeskyOptions o;
+    o.variant = spec.variant;
+    o.block_size = spec.block;
+    o.verify_interval = spec.verify_interval;
+    o.placement = spec.placement;
+    o.recovery = spec.recovery;
+    o.checkpoint_interval = opt_.checkpoint_interval;
+    o.transfer_guard = spec.transfer_guard;
+    o.metrics = &scratch_metrics;
+    if (numeric && opt_.checkpoint_resume) o.panel_checkpoint = &ck;
+
+    abft::CholeskyResult res;
+    try {
+      res = abft::cholesky(m, numeric ? &a : nullptr, n, o,
+                           numeric ? &inj : nullptr);
+    } catch (const sim::DeviceLostError& e) {
+      discover_loss(dev, e.at(), spec.id, "mid-run");
+      r.faults_fired += inj.fired_count();
+      r.faults_detected += inj.detected_count();
+      ++r.migrations;
+      counter("service.migrations", 1);
+      if (r.attempts >= 1 + opt_.max_retries) {
+        r.outcome = JobOutcome::ExhaustedRetries;
+        r.end_time = e.at();
+        r.note = "retry budget exhausted after device loss";
+        break;
+      }
+      counter("service.retries", 1);
+      // Deterministic exponential backoff on the virtual clock.
+      earliest =
+          e.at() + opt_.backoff_base_s * std::ldexp(1.0, r.attempts - 1);
+      note(e.at(), "service:migrate",
+           "job=" + std::to_string(spec.id) + " from=" +
+               std::to_string(dev) + " resume_iters=" +
+               std::to_string(ck.iterations) + " not_before=" +
+               std::to_string(earliest));
+      continue;
+    }
+
+    r.end_time = m.host_now();
+    r.seconds = res.seconds;
+    r.resumed_iterations = res.resumed_iterations;
+    r.reruns += res.reruns;
+    r.rollbacks += res.rollbacks;
+    r.faults_fired += inj.fired_count();
+    r.faults_detected += inj.detected_count();
+    r.note = res.note;
+    if (!res.success) {
+      r.outcome = JobOutcome::FailStop;
+    } else {
+      r.success = true;
+      if (numeric) {
+        r.residual = blas::cholesky_residual(pristine.view(), a.view());
+        // NaN-safe: a NaN residual must read as corrupt.
+        r.sdc = !(r.residual < kResidualThreshold);
+      }
+      r.outcome = r.migrations > 0      ? JobOutcome::Migrated
+                  : admitted_degraded   ? JobOutcome::Degraded
+                                        : JobOutcome::Completed;
+    }
+    break;
+  }
+  return r;
+}
+
+}  // namespace ftla::service

@@ -1,8 +1,15 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace ftla::sim {
+
+DeviceLostError::DeviceLostError(int device, double at)
+    : std::runtime_error("device " + std::to_string(device) +
+                         " lost at virtual t=" + std::to_string(at)),
+      device_(device),
+      at_(at) {}
 
 std::int64_t SimStats::total_gpu_flops() const {
   std::int64_t total = 0;
@@ -66,7 +73,27 @@ Machine::Machine(MachineProfile profile, ExecutionMode mode)
   streams_.push_back(StreamState{});  // stream 0 = default stream
 }
 
+void Machine::add_stall(double from, double to) {
+  FTLA_CHECK(from >= 0.0 && to >= from);
+  const auto w = std::make_pair(from, to);
+  stalls_.insert(std::upper_bound(stalls_.begin(), stalls_.end(), w), w);
+}
+
+void Machine::tick() {
+  // Windows are sorted by start, so chained stalls apply in one pass.
+  for (const auto& [from, to] : stalls_) {
+    if (host_time_ >= from && host_time_ < to) host_time_ = to;
+  }
+  if (host_time_ >= fail_at_) throw DeviceLostError(device_id_, fail_at_);
+}
+
+double Machine::reserve_link(double earliest, double dur) {
+  if (host_link_ == nullptr) return earliest;
+  return host_link_->allocate(earliest, dur, 1);
+}
+
 DeviceBuffer Machine::alloc(std::int64_t count) {
+  tick();
   FTLA_CHECK(count >= 0);
   DeviceBuffer buf;
   buf.machine_ = this;
@@ -81,11 +108,13 @@ DeviceBuffer Machine::alloc(std::int64_t count) {
 }
 
 StreamId Machine::create_stream() {
+  tick();
   streams_.push_back(StreamState{});
   return static_cast<StreamId>(streams_.size() - 1);
 }
 
 EventId Machine::record_event(StreamId s) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   host_time_ += profile_.host_call_overhead_s;
   events_.push_back(std::max(streams_[s].last_end, host_time_));
@@ -93,6 +122,7 @@ EventId Machine::record_event(StreamId s) {
 }
 
 void Machine::stream_wait_event(StreamId s, EventId e) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   FTLA_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()));
   host_time_ += profile_.host_call_overhead_s;
@@ -100,18 +130,21 @@ void Machine::stream_wait_event(StreamId s, EventId e) {
 }
 
 void Machine::sync_stream(StreamId s) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   host_time_ = std::max(host_time_, streams_[s].last_end);
   note_sync("sync_stream");
 }
 
 void Machine::sync_event(EventId e) {
+  tick();
   FTLA_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()));
   host_time_ = std::max(host_time_, events_[e]);
   note_sync("sync_event");
 }
 
 void Machine::sync_all() {
+  tick();
   double t = host_time_;
   for (const auto& st : streams_) t = std::max(t, st.last_end);
   t = std::max({t, h2d_free_, d2h_free_, gpu_pool_.last_end()});
@@ -184,6 +217,7 @@ void Machine::note_sync(const char* name) {
 
 void Machine::launch(StreamId s, const KernelDesc& d,
                      const std::function<void()>& body) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   if (numeric() && body) body();
 
@@ -213,6 +247,7 @@ void Machine::launch(StreamId s, const KernelDesc& d,
 
 void Machine::host_compute(const KernelDesc& d,
                            const std::function<void()>& body) {
+  tick();
   if (numeric() && body) body();
   double dur = 0.0;
   if (d.flops > 0) {
@@ -233,6 +268,7 @@ void Machine::host_compute(const KernelDesc& d,
 }
 
 void Machine::host_advance(double seconds) {
+  tick();
   FTLA_CHECK(seconds >= 0.0);
   host_time_ += seconds;
 }
@@ -240,6 +276,7 @@ void Machine::host_advance(double seconds) {
 void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
                          const double* src, std::int64_t n, StreamId s,
                          bool blocking) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   FTLA_CHECK(dst_off >= 0 && dst_off + n <= dst.count());
   if (numeric()) std::copy(src, src + n, dst.data() + dst_off);
@@ -250,26 +287,28 @@ void Machine::memcpy_h2d(DeviceBuffer& dst, std::int64_t dst_off,
       profile_.transfer_latency_s + bytes / (profile_.h2d_bandwidth_gbs * 1e9);
   const double earliest =
       std::max({host_time_, streams_[s].last_end, h2d_free_});
-  const double end = earliest + dur;
+  const double start = reserve_link(earliest, dur);
+  const double end = start + dur;
   h2d_free_ = end;
   streams_[s].last_end = end;
   ++stats_.h2d_count;
   stats_.h2d_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.h2d_seconds += dur;
-  note_trace("h2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  note_trace("h2d", KernelClass::Other, kH2dLane, start, end, 0);
   note_span(obs::EventKind::Copy, "h2d", KernelClass::Other, kH2dLane,
-            earliest, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
+            start, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
             0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric() && n > 0) {
     note_transfer("h2d", true, dst.data() + dst_off, static_cast<int>(n), 1,
-                  static_cast<int>(n), dst_off, earliest, end, s);
+                  static_cast<int>(n), dst_off, start, end, s);
   }
 }
 
 void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
                          std::int64_t src_off, std::int64_t n, StreamId s,
                          bool blocking) {
+  tick();
   FTLA_CHECK(s >= 0 && s < stream_count());
   FTLA_CHECK(src_off >= 0 && src_off + n <= src.count());
   if (numeric()) {
@@ -283,26 +322,28 @@ void Machine::memcpy_d2h(double* dst, const DeviceBuffer& src,
       profile_.transfer_latency_s + bytes / (profile_.d2h_bandwidth_gbs * 1e9);
   const double earliest =
       std::max({host_time_, streams_[s].last_end, d2h_free_});
-  const double end = earliest + dur;
+  const double start = reserve_link(earliest, dur);
+  const double end = start + dur;
   d2h_free_ = end;
   streams_[s].last_end = end;
   ++stats_.d2h_count;
   stats_.d2h_bytes += n * static_cast<std::int64_t>(sizeof(double));
   stats_.d2h_seconds += dur;
-  note_trace("d2h", KernelClass::Other, kD2hLane, earliest, end, 0);
+  note_trace("d2h", KernelClass::Other, kD2hLane, start, end, 0);
   note_span(obs::EventKind::Copy, "d2h", KernelClass::Other, kD2hLane,
-            earliest, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
+            start, end, 0, n * static_cast<std::int64_t>(sizeof(double)),
             0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric() && n > 0) {
     note_transfer("d2h", false, dst, static_cast<int>(n), 1,
-                  static_cast<int>(n), -1, earliest, end, s);
+                  static_cast<int>(n), -1, start, end, s);
   }
 }
 
 void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
                             int dst_ld, const double* src, int src_ld,
                             int rows, int cols, StreamId s, bool blocking) {
+  tick();
   FTLA_CHECK(rows >= 0 && cols >= 0 && dst_ld >= rows && src_ld >= rows);
   if (rows == 0 || cols == 0) return;
   FTLA_CHECK(dst_off >= 0 &&
@@ -322,25 +363,27 @@ void Machine::memcpy_h2d_2d(DeviceBuffer& dst, std::int64_t dst_off,
       profile_.transfer_latency_s + bytes / (profile_.h2d_bandwidth_gbs * 1e9);
   const double earliest =
       std::max({host_time_, streams_[s].last_end, h2d_free_});
-  const double end = earliest + dur;
+  const double start = reserve_link(earliest, dur);
+  const double end = start + dur;
   h2d_free_ = end;
   streams_[s].last_end = end;
   ++stats_.h2d_count;
   stats_.h2d_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.h2d_seconds += dur;
-  note_trace("h2d_2d", KernelClass::Other, kH2dLane, earliest, end, 0);
+  note_trace("h2d_2d", KernelClass::Other, kH2dLane, start, end, 0);
   note_span(obs::EventKind::Copy, "h2d_2d", KernelClass::Other, kH2dLane,
-            earliest, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
+            start, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric()) {
     note_transfer("h2d_2d", true, dst.data() + dst_off, rows, cols, dst_ld,
-                  dst_off, earliest, end, s);
+                  dst_off, start, end, s);
   }
 }
 
 void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
                             std::int64_t src_off, int src_ld, int rows,
                             int cols, StreamId s, bool blocking) {
+  tick();
   FTLA_CHECK(rows >= 0 && cols >= 0 && dst_ld >= rows && src_ld >= rows);
   if (rows == 0 || cols == 0) return;
   FTLA_CHECK(src_off >= 0 &&
@@ -360,18 +403,19 @@ void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
       profile_.transfer_latency_s + bytes / (profile_.d2h_bandwidth_gbs * 1e9);
   const double earliest =
       std::max({host_time_, streams_[s].last_end, d2h_free_});
-  const double end = earliest + dur;
+  const double start = reserve_link(earliest, dur);
+  const double end = start + dur;
   d2h_free_ = end;
   streams_[s].last_end = end;
   ++stats_.d2h_count;
   stats_.d2h_bytes += static_cast<std::int64_t>(rows) * cols * 8;
   stats_.d2h_seconds += dur;
-  note_trace("d2h_2d", KernelClass::Other, kD2hLane, earliest, end, 0);
+  note_trace("d2h_2d", KernelClass::Other, kD2hLane, start, end, 0);
   note_span(obs::EventKind::Copy, "d2h_2d", KernelClass::Other, kD2hLane,
-            earliest, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
+            start, end, 0, static_cast<std::int64_t>(rows) * cols * 8, 0);
   if (blocking) host_time_ = std::max(host_time_, end);
   if (numeric()) {
-    note_transfer("d2h_2d", false, dst, rows, cols, dst_ld, -1, earliest,
+    note_transfer("d2h_2d", false, dst, rows, cols, dst_ld, -1, start,
                   end, s);
   }
 }
@@ -379,6 +423,7 @@ void Machine::memcpy_d2h_2d(double* dst, int dst_ld, const DeviceBuffer& src,
 void Machine::memcpy_d2d(DeviceBuffer& dst, std::int64_t dst_off,
                          const DeviceBuffer& src, std::int64_t src_off,
                          std::int64_t n, StreamId s) {
+  tick();
   FTLA_CHECK(dst_off >= 0 && dst_off + n <= dst.count());
   FTLA_CHECK(src_off >= 0 && src_off + n <= src.count());
   // An on-device DMA: bandwidth-priced, occupies one SM-equivalent of

@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -33,6 +36,25 @@
 namespace ftla::sim {
 
 enum class ExecutionMode { Numeric, TimingOnly };
+
+/// Thrown by every Machine entry point once the device's virtual clock
+/// has reached its armed fail-stop instant (set_fail_at): the device is
+/// gone, and no further work can be issued to it. Deliberately NOT an
+/// ftla::Error — the ABFT drivers' recovery ladders catch Error to
+/// rerun or roll back *on the same device*, which a lost device cannot
+/// execute; this exception must unwind out of the driver to the fleet
+/// layer, which owns migration (docs/fleet.md).
+class DeviceLostError : public std::runtime_error {
+ public:
+  DeviceLostError(int device, double at);
+  [[nodiscard]] int device() const noexcept { return device_; }
+  /// The virtual instant the device failed.
+  [[nodiscard]] double at() const noexcept { return at_; }
+
+ private:
+  int device_;
+  double at_;
+};
 
 /// Static description of one unit of simulated work.
 struct KernelDesc {
@@ -293,6 +315,34 @@ class Machine {
     return transfer_seq_;
   }
 
+  // ----- fleet integration (device faults + shared interconnect) -----
+  /// Labels this machine inside a fleet (error messages, telemetry).
+  void set_device_id(int id) noexcept { device_id_ = id; }
+  [[nodiscard]] int device_id() const noexcept { return device_id_; }
+
+  /// Arms a fail-stop device loss: the first operation issued at or
+  /// after virtual instant `t` throws DeviceLostError. Work issued
+  /// strictly before `t` completes — in-flight kernels are not clawed
+  /// back, matching a host-observed device loss.
+  void set_fail_at(double t) noexcept { fail_at_ = t; }
+  [[nodiscard]] double fail_at() const noexcept { return fail_at_; }
+  /// True once the virtual clock has reached the armed loss instant.
+  [[nodiscard]] bool lost() const noexcept { return host_time_ >= fail_at_; }
+
+  /// Adds a transient stall window [from, to): any operation issued
+  /// inside the window is held until `to` (a driver/runtime hang, not a
+  /// loss — no exception, only time).
+  void add_stall(double from, double to);
+
+  /// Attaches the fleet's shared host-interconnect timeline (not owned;
+  /// nullptr detaches). When set, every H2D/D2H copy reserves one unit
+  /// on it, so transfers of fleet siblings contend for the shared link
+  /// in addition to this device's own copy engines.
+  void set_host_link(ResourceTimeline* link) noexcept { host_link_ = link; }
+  [[nodiscard]] ResourceTimeline* host_link() const noexcept {
+    return host_link_;
+  }
+
  private:
   friend class DeviceBuffer;
 
@@ -302,6 +352,14 @@ class Machine {
 
   double kernel_duration(const KernelDesc& d, int units) const;
   int resolve_units(const KernelDesc& d) const;
+  /// Device-fault gate, run at the entry of every clock-advancing
+  /// operation: applies pending stall windows to the host clock, then
+  /// throws DeviceLostError if the clock has reached the armed loss.
+  void tick();
+  /// Reserves the transfer window [earliest, +dur) on this device's
+  /// copy engine and, when attached, on the fleet's shared host link;
+  /// returns the contention-resolved start time.
+  double reserve_link(double earliest, double dur);
   void note_transfer(const char* name, bool h2d, double* data, int rows,
                      int cols, int ld, std::int64_t dev_off, double start,
                      double end, StreamId s);
@@ -332,6 +390,10 @@ class Machine {
   bool h2d_armed_ = false;
   bool d2h_armed_ = false;
   std::int64_t transfer_seq_ = 0;
+  int device_id_ = 0;
+  double fail_at_ = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<double, double>> stalls_;  ///< sorted by start
+  ResourceTimeline* host_link_ = nullptr;
 };
 
 /// Scoped (re)arming of transfer faults: restores the previous arming on

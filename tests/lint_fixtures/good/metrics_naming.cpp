@@ -19,5 +19,9 @@ void report(Registry& reg, Store& ts, const std::string& op) {
   reg.counter("abft.verify." + op) += 1;  // assembled name: not judged
   ts.sample_counter("timeseries.abft.verified_blocks", 0.5, 1.0);
   ts.sample_gauge("timeseries.sim.sm_units_in_use", 0.5, 12.0);
+  reg.counter("fleet.device_losses") += 1;
+  reg.set_gauge("fleet.devices_usable", 2.0);
+  reg.counter("service.jobs.migrated") += 1;
+  ts.sample_counter("service.jobs_finished", 0.5, 1.0);
   // reg.counter("BAD") in a comment must not fire.
 }

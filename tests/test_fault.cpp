@@ -2,6 +2,7 @@
 // scenario builders and randomized plan hygiene.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 
@@ -252,6 +253,88 @@ TEST(FaultProcess, MaxArrivalsBoundsStorms) {
   EXPECT_LE(p.arrivals_generated(), 16);
 }
 
+TEST(FaultProcess, StormCapIsPerDeviceNotPerRun) {
+  // Regression (ISSUE 7 satellite): the cap used to be a single per-run
+  // budget, so one noisy device could exhaust it and silently starve
+  // injection on its healthy fleet siblings. Drain device 0 to the cap,
+  // then device 1 must still generate its own full storm.
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-9;  // pathological rate: every drain hits the cap
+  cfg.seed = 3;
+  cfg.max_arrivals = 16;
+  cfg.devices = 2;
+  FaultProcess p(cfg, 4);
+
+  p.set_active_device(0);
+  for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                      FaultType::Transfer}) {
+    p.drain(t, 10.0);
+  }
+  EXPECT_EQ(p.arrivals_generated(0), 16);
+
+  p.set_active_device(1);
+  int drained = 0;
+  for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                      FaultType::Transfer}) {
+    drained += p.drain(t, 10.0);
+  }
+  EXPECT_EQ(drained, 16) << "device 1's budget was eaten by device 0";
+  EXPECT_EQ(p.arrivals_generated(1), 16);
+  EXPECT_EQ(p.arrivals_generated(), 32);
+}
+
+TEST(FaultProcess, DeviceStreamsAreIndependent) {
+  // Device 0's stream is seeded exactly like the single-device process
+  // (bit-compatibility with every pre-fleet test); sibling devices see
+  // different, independent arrival sequences.
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-4;
+  cfg.seed = 99;
+  cfg.max_arrivals = 1000;
+
+  FaultProcess single(cfg, 6);
+  ProcessConfig fleet_cfg = cfg;
+  fleet_cfg.devices = 3;
+  FaultProcess fleet(fleet_cfg, 6);
+
+  int single_total = 0;
+  int fleet_dev0_total = 0;
+  for (int step = 1; step <= 20; ++step) {
+    const double now = 1.0e-4 * step;
+    for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                        FaultType::Transfer}) {
+      single_total += single.drain(t, now);
+      fleet.set_active_device(0);
+      fleet_dev0_total += fleet.drain(t, now);
+      fleet.set_active_device(1);
+      fleet.drain(t, now);
+    }
+  }
+  EXPECT_EQ(fleet_dev0_total, single_total);
+  EXPECT_GT(fleet.arrivals_generated(1), 0);
+}
+
+TEST(FaultProcess, RateMultiplierAcceleratesOneDeviceOnly) {
+  ProcessConfig cfg;
+  cfg.mtbf_s = 1.0e-3;
+  cfg.seed = 5;
+  cfg.max_arrivals = 100000;
+  cfg.devices = 2;
+  FaultProcess p(cfg, 6);
+  p.set_rate_multiplier(1, 8.0);
+  for (int d = 0; d < 2; ++d) {
+    p.set_active_device(d);
+    for (FaultType t : {FaultType::Computing, FaultType::Storage,
+                        FaultType::Transfer}) {
+      p.drain(t, 1.0);
+    }
+  }
+  // Device 1 runs degraded hardware: ~8x the arrivals of device 0 over
+  // the same horizon (generous bounds — it is still a Poisson draw).
+  EXPECT_GT(p.arrivals_generated(1),
+            4 * std::max(1, p.arrivals_generated(0)));
+}
+
 TEST(FaultProcess, StorageBitsNeverManufactureNanInf) {
   ProcessConfig cfg;
   cfg.seed = 11;
@@ -261,6 +344,45 @@ TEST(FaultProcess, StorageBitsNeverManufactureNanInf) {
       EXPECT_GE(b, 8);
       EXPECT_LE(b, 61);
     }
+  }
+}
+
+TEST(DeviceFaultPlan, LossesLandMidRunOnDistinctDevices) {
+  DeviceFaultPlanConfig cfg;
+  cfg.devices = 4;
+  cfg.loss_count = 5;  // asked for more than survivable
+  cfg.stall_count = 2;
+  cfg.degrade_count = 1;
+  cfg.horizon_s = 2.0;
+  cfg.seed = 77;
+  const std::vector<DeviceFaultSpec> plan = sample_device_faults(cfg);
+
+  std::set<int> lost;
+  for (const auto& s : plan) {
+    EXPECT_GE(s.device, 0);
+    EXPECT_LT(s.device, cfg.devices);
+    if (s.kind == DeviceFaultKind::FailStop) {
+      EXPECT_TRUE(lost.insert(s.device).second)
+          << "two losses on device " << s.device;
+      EXPECT_GE(s.time, 0.15 * cfg.horizon_s);
+      EXPECT_LE(s.time, 0.85 * cfg.horizon_s);
+    } else if (s.kind == DeviceFaultKind::Stall) {
+      EXPECT_GT(s.duration, 0.0);
+      EXPECT_GE(s.time, 0.15 * cfg.horizon_s);
+    } else {
+      EXPECT_GT(s.rate_multiplier, 1.0);
+    }
+  }
+  // At least one device must survive, whatever was requested.
+  EXPECT_LE(static_cast<int>(lost.size()), cfg.devices - 1);
+  EXPECT_EQ(static_cast<int>(lost.size()), 3);
+
+  // Deterministic for the seed.
+  const std::vector<DeviceFaultSpec> again = sample_device_faults(cfg);
+  ASSERT_EQ(plan.size(), again.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].device, again[i].device);
+    EXPECT_EQ(plan[i].time, again[i].time);
   }
 }
 

@@ -1,0 +1,159 @@
+// Fleet-campaign certification tests (docs/fleet.md): the >= 500
+// scenario sweep that certifies the resilient service's invariants —
+// zero silent data corruption and zero silently dropped jobs — plus
+// the serial-vs-parallel determinism twin.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "service/fleet_campaign.hpp"
+
+namespace ftla::service {
+namespace {
+
+void expect_identical(const FleetCampaignSummary& a,
+                      const FleetCampaignSummary& b) {
+  EXPECT_EQ(a.scenarios_run, b.scenarios_run);
+  EXPECT_EQ(a.jobs_admitted, b.jobs_admitted);
+  EXPECT_EQ(a.sdc_jobs, b.sdc_jobs);
+  EXPECT_EQ(a.dropped_jobs, b.dropped_jobs);
+  EXPECT_EQ(a.device_losses, b.device_losses);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.retries_spent, b.retries_spent);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.faults_detected, b.faults_detected);
+  EXPECT_EQ(a.aborted, b.aborted);
+  for (int v = 0; v < kFleetVerdictCount; ++v) {
+    EXPECT_EQ(a.verdicts[static_cast<std::size_t>(v)],
+              b.verdicts[static_cast<std::size_t>(v)]);
+  }
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(format_fleet_scenario(a.failures[i].scenario),
+              format_fleet_scenario(b.failures[i].scenario));
+    EXPECT_EQ(a.failures[i].reason, b.failures[i].reason);
+  }
+}
+
+long long counter_or_zero(const obs::MetricsRegistry& reg,
+                          const std::string& name) {
+  for (const auto& [key, value] : reg.counters()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+TEST(FleetCampaign, FiveHundredScenariosCertifyTheInvariants) {
+  // The acceptance sweep (ISSUE 7): across >= 500 randomized fleet
+  // scenarios — device counts, workloads, loss/stall/degrade plans,
+  // soft-error pressure — no job is silently corrupted and no admitted
+  // job goes unaccounted.
+  FleetCampaignOptions opt;
+  opt.scenarios = 500;
+  opt.seed = 20260808;
+  opt.threads = 0;  // all cores; the summary is schedule-independent
+
+  obs::MetricsRegistry metrics;
+  const FleetCampaignSummary sum = run_fleet_campaign(opt, &metrics);
+
+  EXPECT_EQ(sum.scenarios_run, 500);
+  EXPECT_TRUE(sum.clean());
+  EXPECT_EQ(sum.sdc_jobs, 0);
+  EXPECT_EQ(sum.dropped_jobs, 0);
+  EXPECT_EQ(sum.verdicts[static_cast<std::size_t>(FleetVerdict::Sdc)], 0);
+
+  // Every admitted job carries exactly one verdict.
+  long long accounted = 0;
+  for (int v = 0; v < kFleetVerdictCount; ++v) {
+    accounted += sum.verdicts[static_cast<std::size_t>(v)];
+  }
+  EXPECT_EQ(accounted, sum.jobs_admitted);
+
+  // The campaign must actually exercise the recovery machinery, not
+  // vacuously pass on fault-free scenarios.
+  EXPECT_GT(sum.device_losses, 100);
+  EXPECT_GT(sum.migrations, 0);
+  EXPECT_GT(sum.faults_fired, 0);
+  EXPECT_GT(sum.verdicts[static_cast<std::size_t>(FleetVerdict::Migrated)],
+            0);
+
+  // Reconciliation: the exported metrics tell the same story as the
+  // summary (what the flight-recorder postmortem embeds).
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.scenarios"), sum.scenarios_run);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.jobs.admitted"),
+            sum.jobs_admitted);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.jobs.sdc"), 0);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.jobs.dropped"), 0);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.device_losses"),
+            sum.device_losses);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.migrations"), sum.migrations);
+  EXPECT_EQ(counter_or_zero(metrics, "fleet.failures"), 0);
+  long long metric_verdicts = 0;
+  for (int v = 0; v < kFleetVerdictCount; ++v) {
+    metric_verdicts += counter_or_zero(
+        metrics, std::string("fleet.verdict.") +
+                     to_string(static_cast<FleetVerdict>(v)));
+  }
+  EXPECT_EQ(metric_verdicts, sum.jobs_admitted);
+}
+
+TEST(FleetCampaign, ParallelSummaryIsBitIdenticalToSerial) {
+  // Satellite 3 (ISSUE 7): the deterministic twin. Same seed, serial vs
+  // four worker threads — the campaign summary (and any failure dump)
+  // must match field for field.
+  FleetCampaignOptions opt;
+  opt.scenarios = 60;
+  opt.seed = 424242;
+
+  opt.threads = 1;
+  const FleetCampaignSummary serial = run_fleet_campaign(opt);
+  opt.threads = 4;
+  const FleetCampaignSummary parallel = run_fleet_campaign(opt);
+  expect_identical(serial, parallel);
+}
+
+TEST(FleetCampaign, AbortAfterTruncatesDeterministically) {
+  FleetCampaignOptions opt;
+  opt.scenarios = 40;
+  opt.seed = 7;
+  const FleetCampaignSummary full = run_fleet_campaign(opt);
+
+  opt.abort_after = 15;
+  const FleetCampaignSummary cut = run_fleet_campaign(opt);
+  EXPECT_TRUE(cut.aborted);
+  EXPECT_EQ(cut.scenarios_run, 15);
+  EXPECT_FALSE(full.aborted);
+  // The truncated campaign is a prefix of the full one, so it can never
+  // see more of anything.
+  EXPECT_LE(cut.jobs_admitted, full.jobs_admitted);
+  EXPECT_LE(cut.device_losses, full.device_losses);
+}
+
+TEST(FleetCampaign, FailingScenarioDumpReplays) {
+  // Any scenario the campaign would dump must replay through the same
+  // entry point the CLI's --replay uses. Use a healthy scenario (the
+  // campaign is clean) and check the round trip end to end.
+  FleetCampaignOptions opt;
+  Rng rng(99);
+  const FleetScenario sc = random_fleet_scenario(rng, opt);
+  const std::string text = format_fleet_scenario(sc);
+
+  FleetScenario back;
+  std::string err;
+  ASSERT_TRUE(parse_fleet_scenario(text, &back, &err)) << err;
+  const FleetScenarioResult a = run_fleet_scenario(sc);
+  const FleetScenarioResult b = run_fleet_scenario(back);
+  EXPECT_EQ(a.jobs_admitted, b.jobs_admitted);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.device_losses, b.device_losses);
+  EXPECT_EQ(a.migrations, b.migrations);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].residual, b.jobs[i].residual);
+    EXPECT_EQ(a.jobs[i].end_time, b.jobs[i].end_time);
+  }
+}
+
+}  // namespace
+}  // namespace ftla::service
