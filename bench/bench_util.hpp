@@ -151,6 +151,19 @@ inline std::string timeseries_out_path(int argc, char** argv) {
   return {};
 }
 
+/// Returns the RuntimeMode selected by `--runtime bulk|dag` from a
+/// bench's argv (docs/runtime.md), defaulting to Bulk when absent.
+inline abft::RuntimeMode runtime_override(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime") != 0) continue;
+    if (std::strcmp(argv[i + 1], "dag") == 0) return abft::RuntimeMode::Dag;
+    if (std::strcmp(argv[i + 1], "bulk") == 0) return abft::RuntimeMode::Bulk;
+    std::cerr << "unknown --runtime " << argv[i + 1] << "\n";
+    std::exit(2);
+  }
+  return abft::RuntimeMode::Bulk;
+}
+
 /// Returns the comma-separated list of `--sizes N1,N2,...` from a
 /// bench's argv, or `fallback` when the flag is absent. Lets CI rerun a
 /// paper-scale sweep at tractable sizes.

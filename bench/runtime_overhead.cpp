@@ -1,0 +1,88 @@
+// Task-graph runtime vs bulk-synchronous oracle: simulated makespan of
+// the Enhanced Online-ABFT Cholesky under both execution structures
+// (docs/runtime.md), on both testbeds, at CI-tractable sizes.
+//
+// The DAG runtime issues the same kernels as bulk (bit-identical
+// numerics — tests/test_runtime_drivers.cpp) but replaces the bulk
+// verify-batch barriers with per-block dependencies, so verification
+// hides in compute/transfer slack and iterations overlap. This bench
+// *asserts* the makespan is strictly shorter at every measured point
+// and exits nonzero otherwise, making the win a regression-gated
+// invariant rather than a claim.
+//
+// Flags: `--sizes N1,N2,...` replaces the pinned sizes,
+// `--metrics-out FILE` dumps every measurement (byte-stable JSON; the
+// perf gate compares it against bench/baselines/BENCH_runtime.json).
+//
+// Placement is pinned to Gpu on both machines: the Cpu-mirror placement
+// keeps checksum updates on the host and falls back to bulk by design,
+// so it cannot exercise the graph path.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+bool sweep(const ftla::sim::MachineProfile& profile,
+           const std::vector<int>& sizes,
+           ftla::obs::MetricsRegistry* metrics) {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  print_header("Task-graph runtime — makespan vs bulk on " + profile.name,
+               "Enhanced Online-ABFT, K = 1, placement Gpu, concurrent "
+               "recalc. delta = 1 - dag/bulk (positive = DAG shorter).");
+  Table t({"n", "bulk (s)", "dag (s)", "delta"});
+  bool strictly_shorter = true;
+  for (int n : sizes) {
+    abft::CholeskyOptions opt;
+    opt.variant = abft::Variant::EnhancedOnline;
+    opt.placement = abft::UpdatePlacement::Gpu;
+    opt.runtime = abft::RuntimeMode::Bulk;
+    const double bulk = timing_run(profile, n, opt);
+    opt.runtime = abft::RuntimeMode::Dag;
+    const double dag = timing_run(profile, n, opt);
+    const double delta = 1.0 - dag / bulk;
+    strictly_shorter &= dag < bulk;
+    t.add_row({std::to_string(n), Table::num(bulk, 6), Table::num(dag, 6),
+               Table::pct(delta)});
+    if (metrics != nullptr) {
+      const std::string key =
+          "bench.runtime." + profile.name + ".n" + std::to_string(n) + ".";
+      metrics->set_gauge(key + "bulk_s", bulk);
+      metrics->set_gauge(key + "dag_s", dag);
+      metrics->set_gauge(key + "delta", delta);
+    }
+  }
+  print_table(t);
+  std::cout << "DAG strictly shorter at every size: "
+            << (strictly_shorter ? "yes" : "NO") << " (required)\n";
+  return strictly_shorter;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftla;
+  using namespace ftla::bench;
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  const std::vector<int> sizes = sizes_override(argc, argv, {2048, 4096});
+
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry* mp = metrics_path.empty() ? nullptr : &metrics;
+  bool ok = sweep(sim::tardis(), sizes, mp);
+  ok &= sweep(sim::bulldozer64(), sizes, mp);
+
+  write_bench_report(metrics_path, "runtime_overhead",
+                     {{"variant", "enhanced"},
+                      {"placement", "gpu"},
+                      {"k", "1"},
+                      {"max_n", std::to_string(sizes.back())}},
+                     metrics);
+  if (!ok) {
+    std::cerr << "FAIL: DAG makespan not strictly below bulk\n";
+    return 1;
+  }
+  return 0;
+}

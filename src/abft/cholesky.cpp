@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "blas/types.hpp"
 #include "common/error.hpp"
 #include "common/fp.hpp"
+#include "runtime/executor.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/gpublas.hpp"
 
@@ -54,6 +56,10 @@ const char* to_string(UpdatePlacement p) {
 
 const char* to_string(Recovery r) {
   return r == Recovery::Rerun ? "rerun" : "checkpoint";
+}
+
+const char* to_string(RuntimeMode m) {
+  return m == RuntimeMode::Dag ? "dag" : "bulk";
 }
 
 int resolve_block_size(const sim::MachineProfile& profile,
@@ -177,9 +183,47 @@ class Run {
 
   // ---- verification ----------------------------------------------------
   void verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  void issue_block_verify(StreamId s, int bi, int bk, fault::Op attr,
+                          std::int64_t scratch_col, int iter);
   void absorb(const VerifyOutcome& out);
   [[nodiscard]] StreamId chk_stream() const {
     return placement_ == UpdatePlacement::Gpu ? s_chk_ : s_compute_;
+  }
+
+  // ---- task-graph (DAG) runtime path -----------------------------------
+  // The DAG path expresses the same kernel sequence as a dependency
+  // graph (docs/runtime.md). It covers the device-resident checksum
+  // placements and Rerun recovery; the remaining combinations (CPU
+  // checksum mirror, checkpoint recovery, fleet panel checkpoints)
+  // fall back to the bulk-synchronous oracle.
+  [[nodiscard]] bool use_dag() const {
+    return opt_.runtime == RuntimeMode::Dag &&
+           placement_ != UpdatePlacement::Cpu && !checkpointing_ &&
+           ck_ == nullptr;
+  }
+  void run_once_dag();
+  void dag_encode(runtime::TaskGraph& g);
+  void dag_iteration(runtime::TaskGraph& g, int j);
+  void dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                  int iter);
+  void dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                std::function<void()> fn);
+  [[nodiscard]] std::vector<StreamId> dag_streams() const;
+
+  // Tile namespaces for dependency inference: data blocks, checksum
+  // blocks, the reused host diagonal staging buffer (h_diag_ +
+  // h_diag_chk_, one tile so cross-iteration reuse hazards serialize),
+  // and recalc scratch slots.
+  enum TileSpace : int { kTileData = 0, kTileChk, kTileHost, kTileScratch };
+  [[nodiscard]] static runtime::TileKey dtile(int i, int k) {
+    return {kTileData, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey ctile(int i, int k) {
+    return {kTileChk, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey htile() { return {kTileHost, 0, 0}; }
+  [[nodiscard]] static runtime::TileKey stile(int slot) {
+    return {kTileScratch, slot, 0};
   }
 
   // ---- fault hooks ------------------------------------------------------
@@ -209,6 +253,9 @@ class Run {
   DeviceBuffer d_chk_;
   DeviceBuffer d_scratch_;
   std::int64_t scratch_capacity_cols_ = 0;
+  /// Round-robin scratch-slot cursor for DAG verify tasks (each slot is
+  /// b_ columns wide; slot reuse serializes through the slot tile).
+  std::int64_t dag_slot_ = 0;
 
   // Checkpoint state (Recovery::Checkpoint): on-device snapshots of the
   // matrix (and checksums), plus a host snapshot of the checksum mirror
@@ -335,6 +382,10 @@ void Run::allocate() {
     if (!opt_.concurrent_recalc) streams = 1;
     s_recalc_.clear();
     for (int i = 0; i < streams; ++i) s_recalc_.push_back(m_.create_stream());
+  } else if (use_dag()) {
+    // NoFt DAG: one extra lane so the graph can overlap the diagonal
+    // staging copies with the trailing update of the previous iteration.
+    s_xfer_ = m_.create_stream();
   }
 }
 
@@ -393,6 +444,10 @@ void Run::encode() {
 }
 
 void Run::run_once() {
+  if (use_dag()) {
+    run_once_dag();
+    return;
+  }
   panel_iter_[0] = panel_iter_[1] = -1;  // panels are stale after a rerun
   encode();
   // Stochastic transfer faults cover the H2D copies between encode and
@@ -600,34 +655,22 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
     const auto [bi, bk] = blocks[q];
     const DMat blk = data_block(bi, bk);
     FTLA_CHECK(col_pos + blk.cols <= scratch_capacity_cols_);
-    const DMat scratch{&d_scratch_, 2 * col_pos, kChecksumRows, blk.cols, 2};
     placed.push_back(Placed{blocks[q], col_pos});
-    col_pos += blk.cols;
-
     const StreamId s = s_recalc_[q % nstreams];
-    KernelDesc rd{"recalc", KernelClass::Blas2,
-                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
-    m_.launch(s, rd, [blk, scratch] {
-      encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
-    });
-
     if (device_compare) {
-      // Compare + correct in place on the device, same stream as the
-      // recalc so it observes the freshly computed sums.
-      const DMat chk = chk_block(bi, bk);
-      const Tolerance tol = opt_.tolerance;
-      KernelDesc cd{"verify", KernelClass::Compare, 4LL * blk.cols, 0};
-      const int vi = bi, vk = bk;
-      const std::int64_t rflops = rd.flops;
-      m_.launch(s, cd, [this, blk, chk, scratch, tol, attr, vi, vk, rflops] {
-        const VerifyOutcome out =
-            verify_block(blk.view(), chk.view(),
-                         ConstMatrixView<double>(scratch.view()), tol);
-        tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
-                            blk.rows, off(vk), blk.cols, 2 * vi);
-        absorb(out);
+      // Recalc + compare + correct in place on the device, one stream so
+      // the compare observes the freshly computed sums.
+      issue_block_verify(s, bi, bk, attr, col_pos, cur_iter_);
+    } else {
+      const DMat scratch{&d_scratch_, 2 * col_pos, kChecksumRows, blk.cols,
+                         2};
+      KernelDesc rd{"recalc", KernelClass::Blas2,
+                    blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+      m_.launch(s, rd, [blk, scratch] {
+        encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
       });
     }
+    col_pos += blk.cols;
   }
 
   for (int i = 0; i < nstreams; ++i) {
@@ -665,6 +708,37 @@ void Run::verify_blocks(const std::vector<BlockId>& blocks, fault::Op attr) {
       }
     });
   }
+}
+
+// One block verification: recalc the block's column sums into the
+// scratch slot at `scratch_col`, then compare against the stored
+// checksum rows and correct in place. Both launches ride the same
+// stream so the compare observes the fresh sums. Shared by the bulk
+// batches (which pass cur_iter_) and the DAG verify tasks (which pass
+// the iteration the task belongs to).
+void Run::issue_block_verify(StreamId s, int bi, int bk, fault::Op attr,
+                             std::int64_t scratch_col, int iter) {
+  const DMat blk = data_block(bi, bk);
+  const DMat scratch{&d_scratch_, 2 * scratch_col, kChecksumRows, blk.cols,
+                     2};
+  KernelDesc rd{"recalc", KernelClass::Blas2,
+                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+  m_.launch(s, rd, [blk, scratch] {
+    encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
+  });
+  const DMat chk = chk_block(bi, bk);
+  const Tolerance tol = opt_.tolerance;
+  KernelDesc cd{"verify", KernelClass::Compare, 4LL * blk.cols, 0};
+  const std::int64_t rflops = rd.flops;
+  m_.launch(s, cd,
+            [this, blk, chk, scratch, tol, attr, bi, bk, rflops, iter] {
+              const VerifyOutcome out =
+                  verify_block(blk.view(), chk.view(),
+                               ConstMatrixView<double>(scratch.view()), tol);
+              tel_.block_verified(out, attr, iter, bi, bk, rflops, off(bi),
+                                  blk.rows, off(bk), blk.cols, 2 * bi);
+              absorb(out);
+            });
 }
 
 // ----------------------------------------------------------------------
@@ -1117,6 +1191,449 @@ void Run::offline_final_verify() {
     throw UnrecoverableCorruptionError(
         "offline sweep found corruption in the finished factor");
   }
+}
+
+// ----------------------------------------------------------------------
+// Task-graph (DAG) runtime path (docs/runtime.md)
+//
+// The graph is built in exactly the order the bulk path issues its
+// machine operations, every task carries its data footprint, and all
+// inferred edges point from earlier to later tasks — so the executor's
+// deterministic (priority, insertion) schedule issues tasks in bulk
+// program order and the numeric results (and fault-hook firing points)
+// are bit-identical to Bulk by construction. Only the *virtual-time*
+// placement differs: instead of the bulk barriers (every verification
+// batch fences all prior compute), each task waits for its true
+// dependencies, so iteration j's trailing update overlaps iteration
+// j+1's panel work and verify tasks hide in compute/transfer slack.
+// ----------------------------------------------------------------------
+
+std::vector<StreamId> Run::dag_streams() const {
+  std::vector<StreamId> streams{s_compute_};
+  if (ft_) {
+    streams.push_back(s_chk_);
+    streams.push_back(s_xfer_);
+    streams.insert(streams.end(), s_recalc_.begin(), s_recalc_.end());
+  } else if (s_xfer_ != s_compute_) {
+    streams.push_back(s_xfer_);
+  }
+  return streams;
+}
+
+void Run::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                   std::function<void()> fn) {
+  // Fault hooks consume injector state at a fixed program point; they
+  // issue no machine work, so an empty footprint keeps them out of the
+  // dependency structure while insertion order fixes *when* they fire.
+  if (injector_ == nullptr) return;
+  runtime::TaskOptions opts;
+  opts.iteration = iter;
+  opts.where = runtime::Where::Inline;
+  g.add_task(name, {},
+             [fn = std::move(fn)](const runtime::TaskContext&) { fn(); },
+             opts);
+}
+
+void Run::dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                     int iter) {
+  if (!ft_) return;
+  // Counter bumps happen at graph-build time — the bulk path also counts
+  // at issue time, and the metric totals are what the conformance tests
+  // compare.
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += 1; break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += 1; break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += 1; break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += 1; break;
+  }
+  tel_.verify_scheduled(attr, 1);
+  const std::int64_t nslots = scratch_capacity_cols_ / b_;
+  const int slot = static_cast<int>(dag_slot_++ % nslots);
+  const std::int64_t col = static_cast<std::int64_t>(slot) * b_;
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Verify;
+  opts.iteration = iter;
+  g.add_task("verify",
+             {runtime::rw(dtile(bi, bk)), runtime::rw(ctile(bi, bk)),
+              runtime::write(stile(slot))},
+             [this, bi, bk, attr, col, iter](const runtime::TaskContext& c) {
+               issue_block_verify(c.stream, bi, bk, attr, col, iter);
+             },
+             opts);
+}
+
+void Run::dag_encode(runtime::TaskGraph& g) {
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Encode;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = k; i < nb_; ++i) {
+      const DMat blk = data_block(i, k);
+      const DMat chk = chk_block(i, k);
+      g.add_task("encode",
+                 {runtime::read(dtile(i, k)), runtime::write(ctile(i, k))},
+                 [this, blk, chk](const runtime::TaskContext& c) {
+                   KernelDesc d{"encode", KernelClass::Blas2,
+                                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+                   m_.launch(c.stream, d, [blk, chk] {
+                     encode_block(ConstMatrixView<double>(blk.view()),
+                                  chk.view());
+                   });
+                 },
+                 opts);
+    }
+  }
+}
+
+void Run::dag_iteration(runtime::TaskGraph& g, int j) {
+  const int jb = bs(j);
+  const int w = off(j);                // decomposed width to the left
+  const int below = n_ - off(j) - jb;  // rows below the diagonal block
+  const bool enhanced = opt_.variant == Variant::EnhancedOnline;
+  const bool online = opt_.variant == Variant::Online;
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  runtime::TaskOptions base;
+  base.iteration = j;
+  runtime::TaskOptions update = base;
+  update.phase = obs::Phase::Update;
+  runtime::TaskOptions host = base;
+  host.where = runtime::Where::Host;
+
+  // ---------------- SYRK: A[j,j] -= LC LC^T --------------------------
+  dag_hook(g, "hook_storage_syrk", j,
+           [this, j] { hook_storage(fault::Op::Syrk, j); });
+  if (enhanced) {
+    // SYRK inputs are always verified (Opt 3 never gates them). Column
+    // j was untouched since encode, so these verify tasks depend only
+    // on the encode tasks and park arbitrarily early.
+    dag_verify(g, j, j, fault::Op::Syrk, j);
+    for (int k = 0; k < j; ++k) dag_verify(g, j, k, fault::Op::Syrk, j);
+  }
+  if (j > 0) {
+    std::vector<runtime::Footprint> fp;
+    for (int k = 0; k < j; ++k) fp.push_back(runtime::read(dtile(j, k)));
+    fp.push_back(runtime::rw(dtile(j, j)));
+    g.add_task("syrk", std::move(fp),
+               [this, j, jb, w](const runtime::TaskContext& c) {
+                 const DMat diag = data_block(j, j);
+                 const DConstMat lc = data_region(off(j), 0, jb, w);
+                 KernelDesc d{"syrk", KernelClass::Blas3,
+                              blas::syrk_flops(jb, w), 0};
+                 m_.launch(c.stream, d, [diag, lc] {
+                   blas::gemm(Trans::No, Trans::Yes, -1.0, lc.view(),
+                              lc.view(), 1.0, diag.view());
+                 });
+               },
+               base);
+  }
+  dag_hook(g, "hook_computing_syrk", j,
+           [this, j] { hook_computing(fault::Op::Syrk, j); });
+  if (ft_ && j > 0) {
+    std::vector<runtime::Footprint> fp;
+    for (int k = 0; k < j; ++k) {
+      fp.push_back(runtime::read(ctile(j, k)));
+      fp.push_back(runtime::read(dtile(j, k)));
+    }
+    fp.push_back(runtime::rw(ctile(j, j)));
+    g.add_task("chk_syrk", std::move(fp),
+               [this, j, jb, w](const runtime::TaskContext& c) {
+                 sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
+                                    -1.0, chk_strip(j, j + 1, 0, w),
+                                    data_region(off(j), 0, jb, w), 1.0,
+                                    chk_block(j, j),
+                                    KernelClass::Blas3Skinny);
+               },
+               update);
+  }
+  if (online && j > 0) dag_verify(g, j, j, fault::Op::Syrk, j);
+  if (enhanced) dag_verify(g, j, j, fault::Op::Potf2, j);
+
+  // ---------------- diagonal block to the host -----------------------
+  dag_hook(g, "hook_storage_potf2", j,
+           [this, j] { hook_storage(fault::Op::Potf2, j); });
+  {
+    std::vector<runtime::Footprint> fp{runtime::read(dtile(j, j)),
+                                       runtime::write(htile())};
+    if (ft_) fp.push_back(runtime::read(ctile(j, j)));
+    g.add_task(
+        "d2h_diag", std::move(fp),
+        [this, j, jb](const runtime::TaskContext& c) {
+          sim::TransferArmGuard diag_arm(m_, m_.h2d_faults_armed(),
+                                         ft_ && opt_.transfer_guard);
+          m_.memcpy_d2h_2d(m_.numeric() ? h_diag_.data() : nullptr, b_, d_a_,
+                           static_cast<std::int64_t>(off(j)) * n_ + off(j),
+                           n_, jb, jb, c.stream);
+          if (ft_) {
+            const obs::PhaseScope chk_phase(tel_.profile(),
+                                            obs::Phase::Update);
+            m_.memcpy_d2h_2d(
+                m_.numeric() ? h_diag_chk_.data() : nullptr, kChecksumRows,
+                d_chk_,
+                static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                2 * nb_, kChecksumRows, jb, c.stream);
+          }
+        },
+        base);
+  }
+
+  // ---------------- GEMM: panel update -------------------------------
+  // Built before the host tasks, as in bulk: it has no dependency on
+  // POTF2 (disjoint footprints), so it runs under the host section and
+  // — unlike bulk, which serializes on the compute stream — also
+  // alongside the *next* iteration's SYRK.
+  if (below > 0 && j > 0) {
+    dag_hook(g, "hook_storage_gemm", j,
+             [this, j] { hook_storage(fault::Op::Gemm, j); });
+    if (enhanced && verify_this_iter) {
+      for (int i = j + 1; i < nb_; ++i)
+        dag_verify(g, i, j, fault::Op::Gemm, j);                       // B
+      for (int k = 0; k < j; ++k) dag_verify(g, j, k, fault::Op::Gemm, j);
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = 0; k < j; ++k)
+          dag_verify(g, i, k, fault::Op::Gemm, j);                     // D
+    } else if (enhanced) {
+      const std::size_t skipped = static_cast<std::size_t>(nb_ - j - 1) +
+                                  static_cast<std::size_t>(j) +
+                                  static_cast<std::size_t>(nb_ - j - 1) *
+                                      static_cast<std::size_t>(j);
+      tel_.verify_skipped(fault::Op::Gemm, skipped, j);
+    }
+    {
+      std::vector<runtime::Footprint> fp;
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = 0; k < j; ++k) fp.push_back(runtime::read(dtile(i, k)));
+      for (int k = 0; k < j; ++k) fp.push_back(runtime::read(dtile(j, k)));
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::rw(dtile(i, j)));
+      g.add_task("gemm", std::move(fp),
+                 [this, j, jb, w, below](const runtime::TaskContext& c) {
+                   sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
+                                      -1.0,
+                                      data_region(off(j) + jb, 0, below, w),
+                                      data_region(off(j), 0, jb, w), 1.0,
+                                      data_region(off(j) + jb, off(j), below,
+                                                  jb));
+                 },
+                 base);
+    }
+    dag_hook(g, "hook_computing_gemm", j,
+             [this, j] { hook_computing(fault::Op::Gemm, j); });
+    if (ft_ && j + 1 < nb_) {
+      std::vector<runtime::Footprint> fp;
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = 0; k < j; ++k) fp.push_back(runtime::read(ctile(i, k)));
+      for (int k = 0; k < j; ++k) fp.push_back(runtime::read(dtile(j, k)));
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::rw(ctile(i, j)));
+      g.add_task("chk_gemm", std::move(fp),
+                 [this, j, jb, w](const runtime::TaskContext& c) {
+                   sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
+                                      -1.0, chk_strip(j + 1, nb_, 0, w),
+                                      data_region(off(j), 0, jb, w), 1.0,
+                                      chk_strip(j + 1, nb_, off(j), jb),
+                                      KernelClass::Blas3Skinny);
+                 },
+                 update);
+    }
+    if (online) {
+      for (int i = j + 1; i < nb_; ++i)
+        dag_verify(g, i, j, fault::Op::Gemm, j);
+    }
+  }
+
+  // ---------------- POTF2 on the host --------------------------------
+  if (ft_ && opt_.transfer_guard) {
+    result_.verified.potf2_blocks += 1;
+    tel_.verify_scheduled(fault::Op::Potf2, 1);
+    g.add_task(
+        "verify_arrival", {runtime::rw(htile())},
+        [this, j, jb](const runtime::TaskContext&) {
+          const Tolerance tol = opt_.tolerance;
+          KernelDesc vd{"verify_arrival", KernelClass::HostChecksum,
+                        blas::gemv_flops(jb, jb) * 2, 0};
+          m_.host_compute(vd, [this, j, jb, tol] {
+            const VerifyOutcome out = verify_block_host(
+                h_diag_.block(0, 0, jb, jb),
+                h_diag_chk_.block(0, 0, kChecksumRows, jb), tol);
+            if (std::getenv("FTLA_CAMPAIGN_DEBUG") != nullptr) {
+              std::fprintf(stderr,
+                           "arrival-verify j=%d det=%lld corr=%lld rep=%lld "
+                           "unc=%d\n",
+                           j, static_cast<long long>(out.errors_detected),
+                           static_cast<long long>(out.errors_corrected),
+                           static_cast<long long>(out.checksum_repairs),
+                           out.uncorrectable ? 1 : 0);
+            }
+            tel_.block_verified(out, fault::Op::Potf2, j, j, j,
+                                blas::gemv_flops(jb, jb) * 2, off(j), jb,
+                                off(j), jb, 2 * j);
+            absorb(out);
+          });
+        },
+        host);
+  }
+  g.add_task("potf2", {runtime::rw(htile())},
+             [this, jb](const runtime::TaskContext&) {
+               KernelDesc d{"potf2", KernelClass::HostPotf2,
+                            blas::potf2_flops(jb), 0};
+               m_.host_compute(d, [this, jb] {
+                 auto blk = h_diag_.block(0, 0, jb, jb);
+                 blas::potf2(blk);
+                 // Zero the strict upper triangle so the stored block is
+                 // exactly L and column checksums cover well-defined
+                 // contents.
+                 for (int c = 1; c < jb; ++c)
+                   for (int r = 0; r < c; ++r) blk(r, c) = 0.0;
+               });
+             },
+             host);
+  if (ft_) {
+    g.add_task("chk_potf2", {runtime::rw(htile())},
+               [this, jb](const runtime::TaskContext&) {
+                 KernelDesc d{"chk_potf2", KernelClass::HostChecksum,
+                              2LL * kChecksumRows * jb * jb, 0};
+                 m_.host_compute(d, [this, jb] {
+                   potf2_update_checksum(
+                       ConstMatrixView<double>(h_diag_.block(0, 0, jb, jb)),
+                       h_diag_chk_.block(0, 0, kChecksumRows, jb));
+                 });
+               },
+               host);
+    if (online) {
+      result_.verified.potf2_blocks += 1;
+      tel_.verify_scheduled(fault::Op::Potf2, 1);
+      g.add_task("verify_potf2", {runtime::rw(htile())},
+                 [this, j, jb](const runtime::TaskContext&) {
+                   const Tolerance tol = opt_.tolerance;
+                   KernelDesc vd{"verify_potf2", KernelClass::HostChecksum,
+                                 blas::gemv_flops(jb, jb) * 2, 0};
+                   m_.host_compute(vd, [this, j, jb, tol] {
+                     const VerifyOutcome out = verify_block_host(
+                         h_diag_.block(0, 0, jb, jb),
+                         h_diag_chk_.block(0, 0, kChecksumRows, jb), tol);
+                     tel_.block_verified(out, fault::Op::Potf2, j, j, j,
+                                         blas::gemv_flops(jb, jb) * 2,
+                                         off(j), jb, off(j), jb, 2 * j);
+                     absorb(out);
+                   });
+                 },
+                 host);
+    }
+  }
+
+  // ---------------- factor (and checksums) back to the GPU ------------
+  {
+    std::vector<runtime::Footprint> fp{runtime::read(htile()),
+                                       runtime::write(dtile(j, j))};
+    if (ft_) fp.push_back(runtime::write(ctile(j, j)));
+    g.add_task(
+        "h2d_factor", std::move(fp),
+        [this, j, jb](const runtime::TaskContext& c) {
+          m_.memcpy_h2d_2d(d_a_,
+                           static_cast<std::int64_t>(off(j)) * n_ + off(j),
+                           n_, m_.numeric() ? h_diag_.data() : nullptr, b_,
+                           jb, jb, c.stream);
+          if (ft_) {
+            const obs::PhaseScope chk_phase(tel_.profile(),
+                                            obs::Phase::Update);
+            m_.memcpy_h2d_2d(
+                d_chk_,
+                static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                2 * nb_, m_.numeric() ? h_diag_chk_.data() : nullptr,
+                kChecksumRows, kChecksumRows, jb, c.stream);
+          }
+        },
+        base);
+  }
+  dag_hook(g, "hook_computing_potf2", j,
+           [this, j] { hook_computing(fault::Op::Potf2, j); });
+
+  // ---------------- TRSM: panel solve ---------------------------------
+  if (below > 0) {
+    dag_hook(g, "hook_storage_trsm", j,
+             [this, j] { hook_storage(fault::Op::Trsm, j); });
+    if (enhanced) {
+      // The factor block is always verified before use; the panel obeys
+      // the K interval.
+      dag_verify(g, j, j, fault::Op::Trsm, j);
+      if (verify_this_iter) {
+        for (int i = j + 1; i < nb_; ++i)
+          dag_verify(g, i, j, fault::Op::Trsm, j);
+      } else {
+        tel_.verify_skipped(fault::Op::Trsm,
+                            static_cast<std::size_t>(nb_ - j - 1), j);
+      }
+    }
+    {
+      std::vector<runtime::Footprint> fp{runtime::read(dtile(j, j))};
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::rw(dtile(i, j)));
+      g.add_task("trsm", std::move(fp),
+                 [this, j, jb, below](const runtime::TaskContext& c) {
+                   sim::gpublas::trsm(m_, c.stream, Side::Right, Uplo::Lower,
+                                      Trans::Yes, Diag::NonUnit, 1.0,
+                                      data_block(j, j),
+                                      data_region(off(j) + jb, off(j), below,
+                                                  jb));
+                 },
+                 base);
+    }
+    dag_hook(g, "hook_computing_trsm", j,
+             [this, j] { hook_computing(fault::Op::Trsm, j); });
+    if (ft_ && j + 1 < nb_) {
+      std::vector<runtime::Footprint> fp{runtime::read(dtile(j, j))};
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::rw(ctile(i, j)));
+      g.add_task("chk_trsm", std::move(fp),
+                 [this, j, jb](const runtime::TaskContext& c) {
+                   sim::gpublas::trsm(m_, c.stream, Side::Right, Uplo::Lower,
+                                      Trans::Yes, Diag::NonUnit, 1.0,
+                                      data_block(j, j),
+                                      chk_strip(j + 1, nb_, off(j), jb),
+                                      KernelClass::Blas3Skinny);
+                 },
+                 update);
+    }
+    if (online) {
+      for (int i = j + 1; i < nb_; ++i)
+        dag_verify(g, i, j, fault::Op::Trsm, j);
+    }
+  } else if (ft_ && opt_.transfer_guard) {
+    // Last block column: no TRSM re-reads the factor block; one
+    // device-side check closes the H2D return window (same as bulk).
+    dag_verify(g, j, j, fault::Op::Trsm, j);
+  }
+}
+
+void Run::run_once_dag() {
+  panel_iter_[0] = panel_iter_[1] = -1;
+  dag_slot_ = 0;
+  runtime::TaskGraph g;
+  if (ft_) dag_encode(g);
+  for (int j = 0; j < nb_; ++j) dag_iteration(g, j);
+  if (ft_ && opt_.transfer_guard && opt_.variant != Variant::Offline) {
+    // Output-at-rest end sweep (see the bulk path for the rationale).
+    // Each block's verify depends only on that block's last writer, so
+    // retired columns are swept while the factorization tail still runs.
+    cur_iter_ = -1;
+    for (int k = 0; k < nb_; ++k)
+      for (int i = k; i < nb_; ++i) dag_verify(g, i, k, fault::Op::Gemm, -1);
+  }
+  // Same transfer-fault arming as the bulk path: H2D copies inside the
+  // run are armed; D2H staging copies arm individually (transfer_guard).
+  sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
+  runtime::StreamRunOptions ropts;
+  ropts.streams = dag_streams();
+  ropts.profile = tel_.profile();
+  ropts.metrics = opt_.metrics;
+  runtime::run_on_streams(g, m_, ropts);
+  if (opt_.variant == Variant::Offline) {
+    // The offline sweep reuses the bulk batch machinery; align the host
+    // clock with all graph work first so its fences see the full run.
+    m_.sync_all();
+    offline_final_verify();
+  }
+  m_.sync_all();
 }
 
 }  // namespace

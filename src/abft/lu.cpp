@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "blas/types.hpp"
 #include "common/error.hpp"
 #include "common/fp.hpp"
+#include "runtime/executor.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/gpublas.hpp"
 
@@ -98,10 +100,57 @@ class LuRun {
 
   void verify_col_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
   void verify_row_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  /// Recalc + compare launches for one block on one stream, against the
+  /// column (respectively row) checksums. Shared by the bulk batches and
+  /// the DAG verify tasks so both runtimes issue identical kernels.
+  void issue_col_verify(StreamId s, int bi, int bk, fault::Op attr,
+                        std::int64_t pos, int iter);
+  void issue_row_verify(StreamId s, int bi, int bk, fault::Op attr,
+                        std::int64_t pos, int iter);
   void absorb(const VerifyOutcome& out);
 
   void hook_storage(fault::Op op, int j);
   void hook_computing(fault::Op op, int j);
+
+  // ---- task-graph (DAG) runtime path (docs/runtime.md) ----
+  [[nodiscard]] bool use_dag() const {
+    return opt_.runtime == RuntimeMode::Dag;
+  }
+  void run_once_dag();
+  void dag_encode(runtime::TaskGraph& g);
+  void dag_iteration(runtime::TaskGraph& g, int j);
+  void dag_sweep(runtime::TaskGraph& g);
+  void dag_col_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                      int iter);
+  void dag_row_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                      int iter);
+  void dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                std::function<void()> fn);
+  [[nodiscard]] std::vector<StreamId> dag_streams() const;
+
+  /// Tile namespaces for dependency inference: data blocks, the two
+  /// checksum flavors, the host panel staging area, and scratch slots.
+  enum TileSpace : int {
+    kTileData = 0,
+    kTileCchk,
+    kTileRchk,
+    kTileHost,
+    kTileScratch
+  };
+  [[nodiscard]] static runtime::TileKey dtile(int i, int k) {
+    return {kTileData, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey cctile(int i, int k) {
+    return {kTileCchk, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey rctile(int i, int k) {
+    return {kTileRchk, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey htile() { return {kTileHost, 0, 0}; }
+  [[nodiscard]] static runtime::TileKey stile(int slot) {
+    return {kTileScratch, slot, 0};
+  }
+  std::int64_t dag_slot_ = 0;  ///< round-robin scratch-slot cursor
 
   Machine& m_;
   Matrix<double>* a_;
@@ -240,6 +289,10 @@ void LuRun::encode() {
 }
 
 void LuRun::run_once() {
+  if (use_dag()) {
+    run_once_dag();
+    return;
+  }
   encode();
   // Stochastic transfer faults cover the H2D return trips of the host
   // factored panel and its checksums; every landed corruption stays
@@ -286,43 +339,46 @@ void LuRun::verify_col_blocks(const std::vector<BlockId>& blocks,
   std::int64_t pos = 0;
   for (std::size_t q = 0; q < blocks.size(); ++q) {
     const auto [bi, bk] = blocks[q];
-    const DMat blk = data_block(bi, bk);
-    FTLA_CHECK(pos + 2LL * blk.cols <= scratch_capacity_);
-    const DMat scratch{&d_scratch_, pos, kChecksumRows, blk.cols, 2};
-    pos += 2LL * blk.cols;
-    const StreamId s = s_recalc_[q % nstreams];
-    KernelDesc rd{"recalc_c", KernelClass::Blas2,
-                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
-    m_.launch(s, rd, [blk, scratch] {
-      encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
-    });
-    const DMat chk = cchk_block(bi, bk);
-    const DMat rchk = rchk_block(bi, bk);
-    const Tolerance tol = opt_.tolerance;
-    KernelDesc cd{"verify_c", KernelClass::Compare, 4LL * blk.cols, 0};
-    const int vi = bi, vk = bk;
-    const std::int64_t rflops = rd.flops;
-    m_.launch(s, cd, [this, blk, chk, rchk, tol, scratch, attr, vi, vk,
-                      rflops] {
-      auto out = verify_block(blk.view(), chk.view(),
-                              ConstMatrixView<double>(scratch.view()), tol);
-      // Blocks carry both checksum flavors; after a correction through
-      // the column side, re-derive the row checksums from the repaired
-      // data so the two sides stay coherent (corrections are rare, so
-      // the O(B^2) re-encode is negligible).
-      if (!out.corrections.empty()) {
-        encode_block_rows(ConstMatrixView<double>(blk.view()), rchk.view());
-      }
-      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
-                          blk.rows, off(vk), blk.cols);
-      absorb(out);
-    });
+    issue_col_verify(s_recalc_[q % nstreams], bi, bk, attr, pos, cur_iter_);
+    pos += 2LL * bs(bk);
   }
   for (int i = 0; i < nstreams; ++i) {
     const EventId e = m_.record_event(s_recalc_[i]);
     m_.stream_wait_event(s_compute_, e);
     m_.stream_wait_event(s_chk_, e);
   }
+}
+
+void LuRun::issue_col_verify(StreamId s, int bi, int bk, fault::Op attr,
+                             std::int64_t pos, int iter) {
+  const DMat blk = data_block(bi, bk);
+  FTLA_CHECK(pos + 2LL * blk.cols <= scratch_capacity_);
+  const DMat scratch{&d_scratch_, pos, kChecksumRows, blk.cols, 2};
+  KernelDesc rd{"recalc_c", KernelClass::Blas2,
+                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+  m_.launch(s, rd, [blk, scratch] {
+    encode_block(ConstMatrixView<double>(blk.view()), scratch.view());
+  });
+  const DMat chk = cchk_block(bi, bk);
+  const DMat rchk = rchk_block(bi, bk);
+  const Tolerance tol = opt_.tolerance;
+  KernelDesc cd{"verify_c", KernelClass::Compare, 4LL * blk.cols, 0};
+  const std::int64_t rflops = rd.flops;
+  m_.launch(s, cd, [this, blk, chk, rchk, tol, scratch, attr, bi, bk, rflops,
+                    iter] {
+    auto out = verify_block(blk.view(), chk.view(),
+                            ConstMatrixView<double>(scratch.view()), tol);
+    // Blocks carry both checksum flavors; after a correction through
+    // the column side, re-derive the row checksums from the repaired
+    // data so the two sides stay coherent (corrections are rare, so
+    // the O(B^2) re-encode is negligible).
+    if (!out.corrections.empty()) {
+      encode_block_rows(ConstMatrixView<double>(blk.view()), rchk.view());
+    }
+    tel_.block_verified(out, attr, iter, bi, bk, rflops, off(bi), blk.rows,
+                        off(bk), blk.cols);
+    absorb(out);
+  });
 }
 
 void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
@@ -348,42 +404,45 @@ void LuRun::verify_row_blocks(const std::vector<BlockId>& blocks,
   std::int64_t pos = 0;
   for (std::size_t q = 0; q < blocks.size(); ++q) {
     const auto [bi, bk] = blocks[q];
-    const DMat blk = data_block(bi, bk);
-    FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
-    const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
-    pos += 2LL * blk.rows;
-    const StreamId s = s_recalc_[q % nstreams];
-    KernelDesc rd{"recalc_r", KernelClass::Blas2,
-                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
-    m_.launch(s, rd, [blk, scratch] {
-      encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
-    });
-    const DMat chk = rchk_block(bi, bk);
-    const DMat cchk = cchk_block(bi, bk);
-    const Tolerance tol = opt_.tolerance;
-    KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
-    const int vi = bi, vk = bk;
-    const std::int64_t rflops = rd.flops;
-    m_.launch(s, cd, [this, blk, chk, cchk, tol, scratch, attr, vi, vk,
-                      rflops] {
-      auto out = verify_block_rows(blk.view(), chk.view(),
-                                   ConstMatrixView<double>(scratch.view()),
-                                   tol);
-      // Mirror of the column path: re-derive the column checksums from
-      // the repaired data.
-      if (!out.corrections.empty()) {
-        encode_block(ConstMatrixView<double>(blk.view()), cchk.view());
-      }
-      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
-                          blk.rows, off(vk), blk.cols);
-      absorb(out);
-    });
+    issue_row_verify(s_recalc_[q % nstreams], bi, bk, attr, pos, cur_iter_);
+    pos += 2LL * bs(bi);
   }
   for (int i = 0; i < nstreams; ++i) {
     const EventId e = m_.record_event(s_recalc_[i]);
     m_.stream_wait_event(s_compute_, e);
     m_.stream_wait_event(s_chk_, e);
   }
+}
+
+void LuRun::issue_row_verify(StreamId s, int bi, int bk, fault::Op attr,
+                             std::int64_t pos, int iter) {
+  const DMat blk = data_block(bi, bk);
+  FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
+  const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
+  KernelDesc rd{"recalc_r", KernelClass::Blas2,
+                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+  m_.launch(s, rd, [blk, scratch] {
+    encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
+  });
+  const DMat chk = rchk_block(bi, bk);
+  const DMat cchk = cchk_block(bi, bk);
+  const Tolerance tol = opt_.tolerance;
+  KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
+  const std::int64_t rflops = rd.flops;
+  m_.launch(s, cd, [this, blk, chk, cchk, tol, scratch, attr, bi, bk, rflops,
+                    iter] {
+    auto out = verify_block_rows(blk.view(), chk.view(),
+                                 ConstMatrixView<double>(scratch.view()),
+                                 tol);
+    // Mirror of the column path: re-derive the column checksums from
+    // the repaired data.
+    if (!out.corrections.empty()) {
+      encode_block(ConstMatrixView<double>(blk.view()), cchk.view());
+    }
+    tel_.block_verified(out, attr, iter, bi, bk, rflops, off(bi), blk.rows,
+                        off(bk), blk.cols);
+    absorb(out);
+  });
 }
 
 void LuRun::hook_storage(fault::Op op, int j) {
@@ -583,6 +642,378 @@ void LuRun::final_sweep() {
   }
   verify_col_blocks(l_blocks, fault::Op::Potf2);
   verify_row_blocks(u_blocks, fault::Op::Trsm);
+}
+
+// ----------------------------------------------------------------------
+// Task-graph (DAG) runtime path (docs/runtime.md)
+//
+// Same construction as the Cholesky driver: the graph is built in the
+// exact order the bulk path issues its machine operations, so the
+// executor's deterministic (priority, insertion) schedule replays bulk
+// program order and the numerics (and fault-hook firing points) are
+// bit-identical by design. Only virtual time changes: verify tasks
+// depend on their block's writers instead of fencing every stream, and
+// the final sweep over retired factor blocks overlaps the tail of the
+// factorization instead of running after it.
+// ----------------------------------------------------------------------
+
+std::vector<StreamId> LuRun::dag_streams() const {
+  std::vector<StreamId> streams{s_compute_};
+  if (ft_) {
+    streams.push_back(s_chk_);
+    streams.insert(streams.end(), s_recalc_.begin(), s_recalc_.end());
+  }
+  return streams;
+}
+
+void LuRun::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                     std::function<void()> fn) {
+  // Fault hooks consume injector state at a fixed program point; an
+  // empty footprint keeps them out of the dependency structure while
+  // insertion order fixes *when* they fire.
+  if (injector_ == nullptr) return;
+  runtime::TaskOptions opts;
+  opts.iteration = iter;
+  opts.where = runtime::Where::Inline;
+  g.add_task(name, {},
+             [fn = std::move(fn)](const runtime::TaskContext&) { fn(); },
+             opts);
+}
+
+void LuRun::dag_col_verify(runtime::TaskGraph& g, int bi, int bk,
+                           fault::Op attr, int iter) {
+  if (!ft_) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += 1; break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += 1; break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += 1; break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += 1; break;
+  }
+  tel_.verify_scheduled(attr, 1);
+  const std::int64_t nslots = scratch_capacity_ / (2 * b_);
+  const int slot = static_cast<int>(dag_slot_++ % nslots);
+  const std::int64_t pos = static_cast<std::int64_t>(slot) * 2 * b_;
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Verify;
+  opts.iteration = iter;
+  // Corrections through the column side re-derive the row checksums,
+  // so both checksum tiles are read-write.
+  g.add_task("verify_c",
+             {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
+              runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
+             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
+               issue_col_verify(c.stream, bi, bk, attr, pos, iter);
+             },
+             opts);
+}
+
+void LuRun::dag_row_verify(runtime::TaskGraph& g, int bi, int bk,
+                           fault::Op attr, int iter) {
+  if (!ft_) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += 1; break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += 1; break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += 1; break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += 1; break;
+  }
+  tel_.verify_scheduled(attr, 1);
+  const std::int64_t nslots = scratch_capacity_ / (2 * b_);
+  const int slot = static_cast<int>(dag_slot_++ % nslots);
+  const std::int64_t pos = static_cast<std::int64_t>(slot) * 2 * b_;
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Verify;
+  opts.iteration = iter;
+  g.add_task("verify_r",
+             {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
+              runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
+             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
+               issue_row_verify(c.stream, bi, bk, attr, pos, iter);
+             },
+             opts);
+}
+
+void LuRun::dag_encode(runtime::TaskGraph& g) {
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Encode;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = 0; i < nb_; ++i) {
+      const DMat blk = data_block(i, k);
+      const DMat cchk = cchk_block(i, k);
+      const DMat rchk = rchk_block(i, k);
+      g.add_task("encode",
+                 {runtime::read(dtile(i, k)), runtime::write(cctile(i, k)),
+                  runtime::write(rctile(i, k))},
+                 [this, blk, cchk, rchk](const runtime::TaskContext& c) {
+                   KernelDesc dc{"encode_c", KernelClass::Blas2,
+                                 blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+                   m_.launch(c.stream, dc, [blk, cchk] {
+                     encode_block(ConstMatrixView<double>(blk.view()),
+                                  cchk.view());
+                   });
+                   KernelDesc dr{"encode_r", KernelClass::Blas2,
+                                 blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+                   m_.launch(c.stream, dr, [blk, rchk] {
+                     encode_block_rows(ConstMatrixView<double>(blk.view()),
+                                       rchk.view());
+                   });
+                 },
+                 opts);
+    }
+  }
+}
+
+void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
+  const int jb = bs(j);
+  const int below = n_ - off(j);       // panel height (incl. diagonal)
+  const int right = n_ - off(j) - jb;  // trailing width
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  runtime::TaskOptions base;
+  base.iteration = j;
+  runtime::TaskOptions update = base;
+  update.phase = obs::Phase::Update;
+  runtime::TaskOptions host = base;
+  host.where = runtime::Where::Host;
+
+  // ---------------- panel: fetch, factor on host, re-encode ----------
+  dag_hook(g, "hook_storage_potf2", j,
+           [this, j] { hook_storage(fault::Op::Potf2, j); });
+  if (ft_) {
+    // Panel inputs are always verified (see the bulk path).
+    for (int i = j; i < nb_; ++i)
+      dag_col_verify(g, i, j, fault::Op::Potf2, j);
+  }
+  {
+    std::vector<runtime::Footprint> fp;
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::read(dtile(i, j)));
+    fp.push_back(runtime::write(htile()));
+    g.add_task("d2h_panel", std::move(fp),
+               [this, j, jb, below](const runtime::TaskContext& c) {
+                 m_.memcpy_d2h_2d(
+                     m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
+                     static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                     below, jb, c.stream);
+               },
+               base);
+  }
+  g.add_task("getf2", {runtime::rw(htile())},
+             [this, below, jb](const runtime::TaskContext&) {
+               KernelDesc d{"getf2", KernelClass::HostPotf2,
+                            static_cast<std::int64_t>(below) * jb * jb, 0};
+               m_.host_compute(d, [this, below, jb] {
+                 blas::getf2_nopiv(h_panel_.block(0, 0, below, jb));
+               });
+             },
+             host);
+  if (ft_) {
+    g.add_task("encode_panel", {runtime::rw(htile())},
+               [this, j, below, jb](const runtime::TaskContext&) {
+                 KernelDesc d{"encode_panel", KernelClass::HostChecksum,
+                              4LL * below * jb, 0};
+                 m_.host_compute(d, [this, j, jb] {
+                   for (int i = j; i < nb_; ++i) {
+                     encode_block(
+                         ConstMatrixView<double>(
+                             h_panel_.block(off(i) - off(j), 0, bs(i), jb)),
+                         h_panel_chk_.block(2 * i, 0, kChecksumRows, jb));
+                   }
+                 });
+               },
+               host);
+  }
+  {
+    std::vector<runtime::Footprint> fp{runtime::read(htile())};
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(dtile(i, j)));
+    g.add_task("h2d_panel", std::move(fp),
+               [this, j, jb, below](const runtime::TaskContext& c) {
+                 m_.memcpy_h2d_2d(
+                     d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j),
+                     n_, m_.numeric() ? h_panel_.data() : nullptr, n_, below,
+                     jb, c.stream);
+               },
+               base);
+  }
+  dag_hook(g, "hook_computing_potf2", j,
+           [this, j] { hook_computing(fault::Op::Potf2, j); });
+  if (ft_) {
+    std::vector<runtime::Footprint> fp{runtime::read(htile())};
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(cctile(i, j)));
+    g.add_task("h2d_panel_chk", std::move(fp),
+               [this, j, jb](const runtime::TaskContext& c) {
+                 m_.memcpy_h2d_2d(
+                     d_cchk_,
+                     static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
+                     2 * nb_,
+                     m_.numeric() ? &h_panel_chk_(2 * j, 0) : nullptr,
+                     h_panel_chk_.ld(), 2 * (nb_ - j), jb, c.stream);
+               },
+               update);
+  }
+
+  if (right <= 0) return;
+
+  // ---------------- TRSM: U row solve ---------------------------------
+  dag_hook(g, "hook_storage_trsm", j,
+           [this, j] { hook_storage(fault::Op::Trsm, j); });
+  if (ft_) {
+    dag_col_verify(g, j, j, fault::Op::Trsm, j);
+    if (verify_this_iter) {
+      for (int k = j + 1; k < nb_; ++k)
+        dag_col_verify(g, j, k, fault::Op::Trsm, j);
+    } else {
+      tel_.verify_skipped(fault::Op::Trsm,
+                          static_cast<std::size_t>(nb_ - j - 1), j);
+    }
+  }
+  {
+    std::vector<runtime::Footprint> fp{runtime::read(dtile(j, j))};
+    for (int k = j + 1; k < nb_; ++k) fp.push_back(runtime::rw(dtile(j, k)));
+    g.add_task("trsm", std::move(fp),
+               [this, j, jb, right](const runtime::TaskContext& c) {
+                 sim::gpublas::trsm(
+                     m_, c.stream, Side::Left, Uplo::Lower, Trans::No,
+                     Diag::Unit, 1.0, data_block(j, j),
+                     data_region(off(j), off(j) + jb, jb, right));
+               },
+               base);
+  }
+  dag_hook(g, "hook_computing_trsm", j,
+           [this, j] { hook_computing(fault::Op::Trsm, j); });
+  if (ft_) {
+    // rchk(U') = L^{-1} rchk(A).
+    std::vector<runtime::Footprint> fp{runtime::read(dtile(j, j))};
+    for (int k = j + 1; k < nb_; ++k)
+      fp.push_back(runtime::rw(rctile(j, k)));
+    g.add_task("chk_trsm", std::move(fp),
+               [this, j, jb](const runtime::TaskContext& c) {
+                 sim::gpublas::trsm(m_, c.stream, Side::Left, Uplo::Lower,
+                                    Trans::No, Diag::Unit, 1.0,
+                                    data_block(j, j),
+                                    rchk_strip(off(j), jb, j + 1, nb_),
+                                    KernelClass::Blas3Skinny);
+               },
+               update);
+  }
+
+  // ---------------- GEMM: trailing update -----------------------------
+  dag_hook(g, "hook_storage_gemm", j,
+           [this, j] { hook_storage(fault::Op::Gemm, j); });
+  if (ft_) {
+    // Multipliers (L panel, U row) are always verified; the trailing
+    // targets obey the K interval — see the bulk path's rationale.
+    if (!verify_this_iter) {
+      const std::size_t t = static_cast<std::size_t>(nb_ - j - 1);
+      tel_.verify_skipped(fault::Op::Gemm, t * t, j);
+    }
+    for (int i = j + 1; i < nb_; ++i)
+      dag_col_verify(g, i, j, fault::Op::Gemm, j);  // L panel
+    if (verify_this_iter) {
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = j + 1; k < nb_; ++k)
+          dag_col_verify(g, i, k, fault::Op::Gemm, j);
+    }
+    for (int k = j + 1; k < nb_; ++k)
+      dag_row_verify(g, j, k, fault::Op::Gemm, j);  // U row
+  }
+  {
+    std::vector<runtime::Footprint> fp;
+    for (int i = j + 1; i < nb_; ++i)
+      fp.push_back(runtime::read(dtile(i, j)));
+    for (int k = j + 1; k < nb_; ++k)
+      fp.push_back(runtime::read(dtile(j, k)));
+    for (int i = j + 1; i < nb_; ++i)
+      for (int k = j + 1; k < nb_; ++k)
+        fp.push_back(runtime::rw(dtile(i, k)));
+    g.add_task("gemm", std::move(fp),
+               [this, j, jb, right](const runtime::TaskContext& c) {
+                 sim::gpublas::gemm(
+                     m_, c.stream, Trans::No, Trans::No, -1.0,
+                     data_region(off(j) + jb, off(j), right, jb),
+                     data_region(off(j), off(j) + jb, jb, right), 1.0,
+                     data_region(off(j) + jb, off(j) + jb, right, right));
+               },
+               base);
+  }
+  dag_hook(g, "hook_computing_gemm", j,
+           [this, j] { hook_computing(fault::Op::Gemm, j); });
+  if (ft_) {
+    {
+      // cchk(B') = cchk(B) - cchk(L) U_row
+      std::vector<runtime::Footprint> fp;
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::read(cctile(i, j)));
+      for (int k = j + 1; k < nb_; ++k)
+        fp.push_back(runtime::read(dtile(j, k)));
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = j + 1; k < nb_; ++k)
+          fp.push_back(runtime::rw(cctile(i, k)));
+      g.add_task("chk_gemm_c", std::move(fp),
+                 [this, j, jb, right](const runtime::TaskContext& c) {
+                   sim::gpublas::gemm(
+                       m_, c.stream, Trans::No, Trans::No, -1.0,
+                       cchk_strip(j + 1, nb_, off(j), jb),
+                       data_region(off(j), off(j) + jb, jb, right), 1.0,
+                       cchk_strip(j + 1, nb_, off(j) + jb, right),
+                       KernelClass::Blas3Skinny);
+                 },
+                 update);
+    }
+    {
+      // rchk(B') = rchk(B) - L rchk(U_row)
+      std::vector<runtime::Footprint> fp;
+      for (int i = j + 1; i < nb_; ++i)
+        fp.push_back(runtime::read(dtile(i, j)));
+      for (int k = j + 1; k < nb_; ++k)
+        fp.push_back(runtime::read(rctile(j, k)));
+      for (int i = j + 1; i < nb_; ++i)
+        for (int k = j + 1; k < nb_; ++k)
+          fp.push_back(runtime::rw(rctile(i, k)));
+      g.add_task("chk_gemm_r", std::move(fp),
+                 [this, j, jb, right](const runtime::TaskContext& c) {
+                   sim::gpublas::gemm(
+                       m_, c.stream, Trans::No, Trans::No, -1.0,
+                       data_region(off(j) + jb, off(j), right, jb),
+                       rchk_strip(off(j), jb, j + 1, nb_), 1.0,
+                       rchk_strip(off(j) + jb, right, j + 1, nb_),
+                       KernelClass::Blas3Skinny);
+                 },
+                 update);
+    }
+  }
+}
+
+void LuRun::dag_sweep(runtime::TaskGraph& g) {
+  // End sweep over the finished factor (see final_sweep). Each verify
+  // depends only on its block's last writer, so retired columns are
+  // swept while the factorization tail still runs.
+  for (int k = 0; k < nb_; ++k)
+    for (int i = k; i < nb_; ++i)
+      dag_col_verify(g, i, k, fault::Op::Potf2, -1);
+  for (int k = 0; k < nb_; ++k)
+    for (int i = 0; i < k; ++i)
+      dag_row_verify(g, i, k, fault::Op::Trsm, -1);
+}
+
+void LuRun::run_once_dag() {
+  dag_slot_ = 0;
+  runtime::TaskGraph g;
+  if (ft_) dag_encode(g);
+  for (int j = 0; j < nb_; ++j) {
+    cur_iter_ = j;
+    dag_iteration(g, j);
+  }
+  if (ft_) {
+    cur_iter_ = -1;
+    dag_sweep(g);
+  }
+  // Same transfer-fault arming as the bulk path.
+  sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
+  runtime::StreamRunOptions ropts;
+  ropts.streams = dag_streams();
+  ropts.profile = tel_.profile();
+  ropts.metrics = opt_.metrics;
+  runtime::run_on_streams(g, m_, ropts);
+  m_.sync_all();
 }
 
 }  // namespace

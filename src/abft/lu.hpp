@@ -50,6 +50,9 @@ struct LuOptions {
   Tolerance tolerance{};
   int max_reruns = 2;
 
+  /// Execution structure — see CholeskyOptions::runtime.
+  RuntimeMode runtime = RuntimeMode::Bulk;
+
   /// Observability hooks (optional, not owned) — see CholeskyOptions.
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;

@@ -52,6 +52,24 @@ enum class Recovery {
 
 [[nodiscard]] const char* to_string(Recovery r);
 
+/// Which execution structure the driver uses (docs/runtime.md).
+enum class RuntimeMode {
+  /// Paper Algorithm 1: bulk-synchronous iterations, verification
+  /// batches fenced against all prior compute. The conformance oracle.
+  Bulk,
+  /// Dependency-driven task graph (src/runtime): the same kernels as
+  /// first-class task nodes with inferred RAW/WAR/WAW edges, scheduled
+  /// with cross-iteration lookahead so trailing updates, checksum
+  /// updates and per-block verifications overlap. Bit-identical to
+  /// Bulk fault-free; strictly shorter simulated makespan. Drivers
+  /// fall back to Bulk for the combinations the graph does not model
+  /// (CPU-side checksum mirror, checkpoint recovery, panel
+  /// checkpoints).
+  Dag,
+};
+
+[[nodiscard]] const char* to_string(RuntimeMode m);
+
 /// Host-side panel checkpoint for resumable factorization (fleet
 /// device-loss recovery, docs/fleet.md). Left-looking blocked Cholesky
 /// never rewrites a block column after its own iteration retires it,
@@ -103,6 +121,10 @@ struct CholeskyOptions {
   /// How many times an unrecoverable corruption may trigger a full
   /// restart before the driver gives up.
   int max_reruns = 2;
+
+  /// Execution structure: bulk-synchronous (the oracle) or the
+  /// dependency-driven task-graph runtime.
+  RuntimeMode runtime = RuntimeMode::Bulk;
 
   /// Recovery strategy on unrecoverable corruption.
   Recovery recovery = Recovery::Rerun;

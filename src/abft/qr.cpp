@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "blas/types.hpp"
 #include "common/error.hpp"
 #include "common/fp.hpp"
+#include "runtime/executor.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/machine.hpp"
 
@@ -80,9 +82,50 @@ class QrRun {
   void iterate(int j);
   void final_sweep();
   void verify_row_blocks(const std::vector<BlockId>& blocks, fault::Op attr);
+  /// Recalc + compare launches for one block on one stream. Shared by
+  /// the bulk batches and the DAG verify tasks so both runtimes issue
+  /// identical kernels.
+  void issue_row_verify(StreamId s, int bi, int bk, fault::Op attr,
+                        std::int64_t pos, int iter);
   void absorb(const VerifyOutcome& out);
   void hook_storage(fault::Op op, int j);
   void hook_computing(fault::Op op, int j);
+
+  // ---- task-graph (DAG) runtime path (docs/runtime.md) ----
+  [[nodiscard]] bool use_dag() const {
+    return opt_.runtime == RuntimeMode::Dag;
+  }
+  void run_once_dag();
+  void dag_encode(runtime::TaskGraph& g);
+  void dag_iteration(runtime::TaskGraph& g, int j);
+  void dag_sweep(runtime::TaskGraph& g);
+  void dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                  int iter);
+  void dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                std::function<void()> fn);
+  [[nodiscard]] std::vector<StreamId> dag_streams() const;
+
+  /// Tile namespaces for dependency inference: data blocks, row
+  /// checksums, the device T factor, host staging, scratch slots.
+  enum TileSpace : int {
+    kTileData = 0,
+    kTileRchk,
+    kTileT,
+    kTileHost,
+    kTileScratch
+  };
+  [[nodiscard]] static runtime::TileKey dtile(int i, int k) {
+    return {kTileData, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey rctile(int i, int k) {
+    return {kTileRchk, i, k};
+  }
+  [[nodiscard]] static runtime::TileKey ttile() { return {kTileT, 0, 0}; }
+  [[nodiscard]] static runtime::TileKey htile() { return {kTileHost, 0, 0}; }
+  [[nodiscard]] static runtime::TileKey stile(int slot) {
+    return {kTileScratch, slot, 0};
+  }
+  std::int64_t dag_slot_ = 0;  ///< round-robin scratch-slot cursor
 
   Machine& m_;
   Matrix<double>* a_;
@@ -214,6 +257,10 @@ void QrRun::encode() {
 }
 
 void QrRun::run_once() {
+  if (use_dag()) {
+    run_once_dag();
+    return;
+  }
   encode();
   // Stochastic transfer faults cover the armed H2D copies (factored
   // panel, row checksums): V is always verified before LARFB consumes
@@ -259,35 +306,39 @@ void QrRun::verify_row_blocks(const std::vector<BlockId>& blocks,
   std::int64_t pos = 0;
   for (std::size_t q = 0; q < blocks.size(); ++q) {
     const auto [bi, bk] = blocks[q];
-    const DMat blk = data_block(bi, bk);
-    FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
-    const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
-    pos += 2LL * blk.rows;
-    const StreamId s = s_recalc_[q % nstreams];
-    KernelDesc rd{"recalc_r", KernelClass::Blas2,
-                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
-    m_.launch(s, rd, [blk, scratch] {
-      encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
-    });
-    const DMat chk = rchk_block(bi, bk);
-    const Tolerance tol = opt_.tolerance;
-    KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
-    const int vi = bi, vk = bk;
-    const std::int64_t rflops = rd.flops;
-    m_.launch(s, cd, [this, blk, chk, tol, scratch, attr, vi, vk, rflops] {
-      const VerifyOutcome out =
-          verify_block_rows(blk.view(), chk.view(),
-                            ConstMatrixView<double>(scratch.view()), tol);
-      tel_.block_verified(out, attr, cur_iter_, vi, vk, rflops, off(vi),
-                          blk.rows, off(vk), blk.cols);
-      absorb(out);
-    });
+    issue_row_verify(s_recalc_[q % nstreams], bi, bk, attr, pos, cur_iter_);
+    pos += 2LL * bs(bi);
   }
   for (int i = 0; i < nstreams; ++i) {
     const EventId e = m_.record_event(s_recalc_[i]);
     m_.stream_wait_event(s_compute_, e);
     m_.stream_wait_event(s_chk_, e);
   }
+}
+
+void QrRun::issue_row_verify(StreamId s, int bi, int bk, fault::Op attr,
+                             std::int64_t pos, int iter) {
+  const DMat blk = data_block(bi, bk);
+  FTLA_CHECK(pos + 2LL * blk.rows <= scratch_capacity_);
+  const DMat scratch{&d_scratch_, pos, blk.rows, kChecksumRows, blk.rows};
+  KernelDesc rd{"recalc_r", KernelClass::Blas2,
+                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+  m_.launch(s, rd, [blk, scratch] {
+    encode_block_rows(ConstMatrixView<double>(blk.view()), scratch.view());
+  });
+  const DMat chk = rchk_block(bi, bk);
+  const Tolerance tol = opt_.tolerance;
+  KernelDesc cd{"verify_r", KernelClass::Compare, 4LL * blk.rows, 0};
+  const std::int64_t rflops = rd.flops;
+  m_.launch(s, cd, [this, blk, chk, tol, scratch, attr, bi, bk, rflops,
+                    iter] {
+    const VerifyOutcome out =
+        verify_block_rows(blk.view(), chk.view(),
+                          ConstMatrixView<double>(scratch.view()), tol);
+    tel_.block_verified(out, attr, iter, bi, bk, rflops, off(bi), blk.rows,
+                        off(bk), blk.cols);
+    absorb(out);
+  });
 }
 
 void QrRun::hook_storage(fault::Op op, int j) {
@@ -451,6 +502,294 @@ void QrRun::final_sweep() {
   for (int k = 0; k < nb_; ++k)
     for (int i = 0; i < nb_; ++i) all.emplace_back(i, k);
   verify_row_blocks(all, fault::Op::Trsm);
+}
+
+// ----------------------------------------------------------------------
+// Task-graph (DAG) runtime path (docs/runtime.md)
+//
+// Same construction as the Cholesky and LU drivers: the graph is built
+// in exact bulk issue order, so the deterministic schedule replays bulk
+// program order and the numerics (including tau) are bit-identical.
+// The timing win comes from dropping the bulk verify-batch barriers and
+// from the final sweep overlapping the factorization tail. The block
+// reflector's T factor is a real tile here: LARFB tasks read it, the
+// next panel's staging copy overwrites it, and the inferred WAR edge
+// keeps the overlap sound.
+// ----------------------------------------------------------------------
+
+std::vector<StreamId> QrRun::dag_streams() const {
+  std::vector<StreamId> streams{s_compute_};
+  if (ft_) {
+    streams.push_back(s_chk_);
+    streams.insert(streams.end(), s_recalc_.begin(), s_recalc_.end());
+  }
+  return streams;
+}
+
+void QrRun::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
+                     std::function<void()> fn) {
+  // Fault hooks consume injector state at a fixed program point; an
+  // empty footprint keeps them out of the dependency structure while
+  // insertion order fixes *when* they fire.
+  if (injector_ == nullptr) return;
+  runtime::TaskOptions opts;
+  opts.iteration = iter;
+  opts.where = runtime::Where::Inline;
+  g.add_task(name, {},
+             [fn = std::move(fn)](const runtime::TaskContext&) { fn(); },
+             opts);
+}
+
+void QrRun::dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
+                       int iter) {
+  if (!ft_) return;
+  switch (attr) {
+    case fault::Op::Potf2: result_.verified.potf2_blocks += 1; break;
+    case fault::Op::Trsm: result_.verified.trsm_blocks += 1; break;
+    case fault::Op::Syrk: result_.verified.syrk_blocks += 1; break;
+    case fault::Op::Gemm: result_.verified.gemm_blocks += 1; break;
+  }
+  tel_.verify_scheduled(attr, 1);
+  const std::int64_t nslots = scratch_capacity_ / (2 * b_);
+  const int slot = static_cast<int>(dag_slot_++ % nslots);
+  const std::int64_t pos = static_cast<std::int64_t>(slot) * 2 * b_;
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Verify;
+  opts.iteration = iter;
+  g.add_task("verify_r",
+             {runtime::rw(dtile(bi, bk)), runtime::rw(rctile(bi, bk)),
+              runtime::write(stile(slot))},
+             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
+               issue_row_verify(c.stream, bi, bk, attr, pos, iter);
+             },
+             opts);
+}
+
+void QrRun::dag_encode(runtime::TaskGraph& g) {
+  runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Encode;
+  for (int k = 0; k < nb_; ++k) {
+    for (int i = 0; i < nb_; ++i) {
+      const DMat blk = data_block(i, k);
+      const DMat chk = rchk_block(i, k);
+      g.add_task("encode",
+                 {runtime::read(dtile(i, k)), runtime::write(rctile(i, k))},
+                 [this, blk, chk](const runtime::TaskContext& c) {
+                   KernelDesc d{"encode_r", KernelClass::Blas2,
+                                blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
+                   m_.launch(c.stream, d, [blk, chk] {
+                     encode_block_rows(ConstMatrixView<double>(blk.view()),
+                                       chk.view());
+                   });
+                 },
+                 opts);
+    }
+  }
+}
+
+void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
+  const int jb = bs(j);
+  const int mrem = n_ - off(j);
+  const int right = n_ - off(j) - jb;
+  const bool verify_this_iter = (j % opt_.verify_interval) == 0;
+
+  runtime::TaskOptions base;
+  base.iteration = j;
+  runtime::TaskOptions update = base;
+  update.phase = obs::Phase::Update;
+  runtime::TaskOptions host = base;
+  host.where = runtime::Where::Host;
+
+  // ---------------- panel: fetch, factor + T on host, re-encode ------
+  dag_hook(g, "hook_storage_potf2", j,
+           [this, j] { hook_storage(fault::Op::Potf2, j); });
+  if (ft_) {
+    for (int i = j; i < nb_; ++i) dag_verify(g, i, j, fault::Op::Potf2, j);
+  }
+  {
+    std::vector<runtime::Footprint> fp;
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::read(dtile(i, j)));
+    fp.push_back(runtime::write(htile()));
+    g.add_task("d2h_panel", std::move(fp),
+               [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 m_.memcpy_d2h_2d(
+                     m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
+                     static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
+                     mrem, jb, c.stream);
+               },
+               base);
+  }
+  g.add_task("geqf2+larft", {runtime::rw(htile())},
+             [this, j, mrem, jb](const runtime::TaskContext&) {
+               KernelDesc d{"geqf2+larft", KernelClass::HostPotf2,
+                            3LL * mrem * jb * jb, 0};
+               m_.host_compute(d, [this, j, mrem, jb] {
+                 auto panel = h_panel_.block(0, 0, mrem, jb);
+                 blas::geqf2(panel, h_tau_.data() + off(j));
+                 blas::larft(ConstMatrixView<double>(panel),
+                             h_tau_.data() + off(j),
+                             h_t_.block(0, 0, jb, jb));
+               });
+             },
+             host);
+  if (ft_) {
+    g.add_task("encode_panel_r", {runtime::rw(htile())},
+               [this, j, mrem, jb](const runtime::TaskContext&) {
+                 KernelDesc d{"encode_panel_r", KernelClass::HostChecksum,
+                              4LL * mrem * jb, 0};
+                 m_.host_compute(d, [this, j, jb] {
+                   for (int i = j; i < nb_; ++i) {
+                     encode_block_rows(
+                         ConstMatrixView<double>(
+                             h_panel_.block(off(i) - off(j), 0, bs(i), jb)),
+                         h_panel_chk_.block(off(i), 0, bs(i),
+                                            kChecksumRows));
+                   }
+                 });
+               },
+               host);
+  }
+  {
+    std::vector<runtime::Footprint> fp{runtime::read(htile())};
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(dtile(i, j)));
+    g.add_task("h2d_panel", std::move(fp),
+               [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 m_.memcpy_h2d_2d(
+                     d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j),
+                     n_, m_.numeric() ? h_panel_.data() : nullptr, n_, mrem,
+                     jb, c.stream);
+               },
+               base);
+  }
+  g.add_task("h2d_t", {runtime::read(htile()), runtime::write(ttile())},
+             [this, jb](const runtime::TaskContext& c) {
+               // T is unprotected by checksums (see the class comment's
+               // exposure note): keep its copy out of the fault surface.
+               sim::TransferArmGuard t_arm(m_, /*h2d=*/false,
+                                           /*d2h=*/false);
+               m_.memcpy_h2d(d_t_, 0, m_.numeric() ? h_t_.data() : nullptr,
+                             static_cast<std::int64_t>(jb) * jb, c.stream);
+             },
+             base);
+  if (ft_) {
+    std::vector<runtime::Footprint> fp{runtime::read(htile())};
+    for (int i = j; i < nb_; ++i)
+      fp.push_back(runtime::write(rctile(i, j)));
+    g.add_task("h2d_panel_chk", std::move(fp),
+               [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 m_.memcpy_h2d_2d(
+                     d_rchk_,
+                     static_cast<std::int64_t>(2 * j) * n_ + off(j), n_,
+                     m_.numeric() ? &h_panel_chk_(off(j), 0) : nullptr,
+                     h_panel_chk_.ld(), mrem, kChecksumRows, c.stream);
+               },
+               update);
+  }
+  dag_hook(g, "hook_computing_potf2", j,
+           [this, j] { hook_computing(fault::Op::Potf2, j); });
+
+  if (right <= 0) return;
+
+  // ---------------- trailing update: C := (I - V T V^T)^T C ----------
+  dag_hook(g, "hook_storage_trsm", j,
+           [this, j] { hook_storage(fault::Op::Trsm, j); });
+  dag_hook(g, "hook_storage_gemm", j,
+           [this, j] { hook_storage(fault::Op::Gemm, j); });
+  if (ft_) {
+    // V is always verified before the trailing update reads it (see the
+    // bulk path); the trailing blocks obey the K interval.
+    for (int i = j; i < nb_; ++i) dag_verify(g, i, j, fault::Op::Trsm, j);
+    if (verify_this_iter) {
+      for (int i = j; i < nb_; ++i)
+        for (int k = j + 1; k < nb_; ++k)
+          dag_verify(g, i, k, fault::Op::Gemm, j);
+    } else {
+      tel_.verify_skipped(fault::Op::Gemm,
+                          static_cast<std::size_t>(nb_ - j) *
+                              static_cast<std::size_t>(nb_ - j - 1),
+                          j);
+    }
+  }
+  {
+    std::vector<runtime::Footprint> fp;
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::read(dtile(i, j)));
+    fp.push_back(runtime::read(ttile()));
+    for (int i = j; i < nb_; ++i)
+      for (int k = j + 1; k < nb_; ++k)
+        fp.push_back(runtime::rw(dtile(i, k)));
+    g.add_task("larfb", std::move(fp),
+               [this, j, jb, mrem, right](const runtime::TaskContext& c) {
+                 const DMat v = data_region(off(j), off(j), mrem, jb);
+                 const DMat t = DMat{&d_t_, 0, jb, jb, b_};
+                 const DMat cmat =
+                     data_region(off(j), off(j) + jb, mrem, right);
+                 KernelDesc d{"larfb", KernelClass::Blas3,
+                              4LL * mrem * jb * right, 0};
+                 m_.launch(c.stream, d, [v, t, cmat] {
+                   blas::larfb_left_t(ConstMatrixView<double>(v.view()),
+                                      ConstMatrixView<double>(t.view()),
+                                      cmat.view());
+                 });
+               },
+               base);
+  }
+  dag_hook(g, "hook_computing_gemm", j,
+           [this, j] { hook_computing(fault::Op::Gemm, j); });
+  if (ft_) {
+    // rchk(M C) = M rchk(C): the identical reflector applies to the
+    // checksum columns.
+    std::vector<runtime::Footprint> fp;
+    for (int i = j; i < nb_; ++i) fp.push_back(runtime::read(dtile(i, j)));
+    fp.push_back(runtime::read(ttile()));
+    for (int i = j; i < nb_; ++i)
+      for (int k = j + 1; k < nb_; ++k)
+        fp.push_back(runtime::rw(rctile(i, k)));
+    g.add_task("larfb_rchk", std::move(fp),
+               [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 const DMat v = data_region(off(j), off(j), mrem, jb);
+                 const DMat t = DMat{&d_t_, 0, jb, jb, b_};
+                 const DMat strip = rchk_strip(off(j), mrem, j + 1, nb_);
+                 KernelDesc d{"larfb_rchk", KernelClass::Blas3Skinny,
+                              4LL * mrem * jb * 2 * (nb_ - j - 1), 0};
+                 m_.launch(c.stream, d, [v, t, strip] {
+                   blas::larfb_left_t(ConstMatrixView<double>(v.view()),
+                                      ConstMatrixView<double>(t.view()),
+                                      strip.view());
+                 });
+               },
+               update);
+  }
+}
+
+void QrRun::dag_sweep(runtime::TaskGraph& g) {
+  // End sweep over the finished factor (see final_sweep). Each verify
+  // depends only on its block's last writer, so retired columns are
+  // swept while the factorization tail still runs.
+  for (int k = 0; k < nb_; ++k)
+    for (int i = 0; i < nb_; ++i)
+      dag_verify(g, i, k, fault::Op::Trsm, -1);
+}
+
+void QrRun::run_once_dag() {
+  dag_slot_ = 0;
+  runtime::TaskGraph g;
+  if (ft_) dag_encode(g);
+  for (int j = 0; j < nb_; ++j) {
+    cur_iter_ = j;
+    dag_iteration(g, j);
+  }
+  if (ft_) {
+    cur_iter_ = -1;
+    dag_sweep(g);
+  }
+  // Same transfer-fault arming as the bulk path.
+  sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
+  runtime::StreamRunOptions ropts;
+  ropts.streams = dag_streams();
+  ropts.profile = tel_.profile();
+  ropts.metrics = opt_.metrics;
+  runtime::run_on_streams(g, m_, ropts);
+  m_.sync_all();
 }
 
 }  // namespace

@@ -173,6 +173,7 @@ ScenarioResult run_scenario(const Scenario& sc) {
       o.block_size = sc.block;
       o.verify_interval = sc.verify_interval;
       o.placement = sc.placement;
+      o.runtime = sc.runtime;
       o.recovery = sc.recovery;
       o.checkpoint_interval = sc.checkpoint_interval;
       o.transfer_guard = sc.transfer_guard;
@@ -185,6 +186,7 @@ ScenarioResult run_scenario(const Scenario& sc) {
       abft::LuOptions o;
       o.variant = sc.variant;
       o.block_size = sc.block;
+      o.runtime = sc.runtime;
       o.verify_interval = sc.verify_interval;
       o.metrics = &scratch_metrics;
       o.event_sink = dbg_sink.get();
@@ -195,6 +197,7 @@ ScenarioResult run_scenario(const Scenario& sc) {
       abft::QrOptions o;
       o.variant = sc.variant;
       o.block_size = sc.block;
+      o.runtime = sc.runtime;
       o.verify_interval = sc.verify_interval;
       o.metrics = &scratch_metrics;
       o.event_sink = dbg_sink.get();
@@ -281,6 +284,18 @@ Scenario random_scenario(Rng& rng, const CampaignOptions& opt) {
       case 1: sc.placement = abft::UpdatePlacement::Gpu; break;
       case 2: sc.placement = abft::UpdatePlacement::Cpu; break;
       default: sc.placement = abft::UpdatePlacement::Auto; break;
+    }
+  }
+  // Some of the load runs the task-graph runtime so the zero-SDC
+  // invariant is demonstrated over the DAG drivers, not just the bulk
+  // oracle. Cholesky's graph path models Gpu-placement rerun-recovery
+  // runs only (everything else falls back to bulk, docs/runtime.md), so
+  // dag draws pin those axes to guarantee real graph coverage.
+  if (rng.uniform(0.0, 1.0) < opt.dag_share) {
+    sc.runtime = abft::RuntimeMode::Dag;
+    if (sc.algo == Algo::Cholesky) {
+      sc.placement = abft::UpdatePlacement::Gpu;
+      sc.recovery = abft::Recovery::Rerun;
     }
   }
   sc.verify_interval = rng.uniform_int(0, 3) == 0 ? 2 : 1;
@@ -551,6 +566,16 @@ bool recovery_from_string(const std::string& s, abft::Recovery* out) {
   return false;
 }
 
+bool runtime_from_string(const std::string& s, abft::RuntimeMode* out) {
+  for (const auto m : {abft::RuntimeMode::Bulk, abft::RuntimeMode::Dag}) {
+    if (s == abft::to_string(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool placement_from_string(const std::string& s,
                            abft::UpdatePlacement* out) {
   for (int i = 0; i <= static_cast<int>(abft::UpdatePlacement::Auto); ++i) {
@@ -591,7 +616,8 @@ std::string format_scenario(const Scenario& sc) {
   os << "scenario algo=" << to_string(sc.algo)
      << " variant=" << abft::to_string(sc.variant)
      << " recovery=" << abft::to_string(sc.recovery)
-     << " placement=" << abft::to_string(sc.placement) << " n=" << sc.n
+     << " placement=" << abft::to_string(sc.placement)
+     << " runtime=" << abft::to_string(sc.runtime) << " n=" << sc.n
      << " block=" << sc.block << " k=" << sc.verify_interval
      << " ckpt=" << sc.checkpoint_interval
      << " matrix_seed=" << sc.matrix_seed
@@ -652,6 +678,9 @@ bool parse_scenario(const std::string& text, Scenario* out,
           ok = recovery_from_string(val, &sc.recovery);
         } else if (key == "placement") {
           ok = placement_from_string(val, &sc.placement);
+        } else if (key == "runtime") {
+          // Absent in pre-runtime plans: the Bulk default applies.
+          ok = runtime_from_string(val, &sc.runtime);
         } else if (key == "n") {
           sc.n = std::atoi(val.c_str());
         } else if (key == "block") {

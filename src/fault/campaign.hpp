@@ -64,6 +64,10 @@ struct Scenario {
   abft::Variant variant = abft::Variant::EnhancedOnline;
   abft::Recovery recovery = abft::Recovery::Rerun;
   abft::UpdatePlacement placement = abft::UpdatePlacement::Gpu;
+  /// Execution structure (docs/runtime.md): bulk-synchronous oracle or
+  /// the dependency-driven task-graph runtime. Dag scenarios put the
+  /// graph drivers under the same fault load and SDC oracle as bulk.
+  abft::RuntimeMode runtime = abft::RuntimeMode::Bulk;
   int n = 64;
   int block = 16;
   int verify_interval = 1;
@@ -119,6 +123,11 @@ struct CampaignOptions {
   /// Share of scenarios exercising the LU/QR extensions (their fault
   /// surface is smaller: NoFt/EnhancedOnline, rerun recovery only).
   double lu_qr_share = 0.25;
+  /// Share of scenarios running the task-graph runtime instead of the
+  /// bulk oracle (docs/runtime.md). Cholesky dag draws pin placement to
+  /// Gpu and recovery to rerun — the combinations the graph models — so
+  /// every dag scenario genuinely exercises the graph path.
+  double dag_share = 0.25;
   /// The variant carrying the zero-SDC invariant: any sdc verdict for
   /// it is a campaign failure (and gets shrunk).
   abft::Variant guarded = abft::Variant::EnhancedOnline;

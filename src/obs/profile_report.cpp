@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iterator>
 #include <ostream>
+#include <set>
 #include <utility>
 
 #include "obs/json.hpp"
@@ -44,12 +45,15 @@ ProfileReport build_profile(
   r.spans_dropped = static_cast<long long>(spans_dropped);
   for (Phase p : kAllPhases) r.phases[to_string(p)];
 
+  std::set<int> task_ids;
   for (const Span& s : spans) {
     PhaseProfile& ph = r.phases[to_string(s.phase)];
     ++ph.spans;
     ph.busy_seconds += s.end - s.start;
     ph.flops += s.flops;
+    if (s.task >= 0) task_ids.insert(s.task);
   }
+  r.task_nodes = static_cast<long long>(task_ids.size());
 
   // Backward walk from the makespan: blame the latest-finishing span
   // covering the frontier, jump to its start, repeat. Zero-duration
@@ -204,8 +208,13 @@ void write_profile_json(const ProfileReport& r, std::ostream& os) {
        << ", \"utilization\": " << fmt_double(util) << "}";
   }
   os << (first ? "" : "\n  ") << "},\n";
+  // task_nodes is emitted only when task attribution exists, so
+  // bulk-synchronous profiles (and their pinned baselines) keep their
+  // exact historical bytes.
   os << "  \"spans\": {\"dropped\": " << r.spans_dropped
-     << ", \"recorded\": " << r.span_count << "},\n";
+     << ", \"recorded\": " << r.span_count;
+  if (r.task_nodes > 0) os << ", \"task_nodes\": " << r.task_nodes;
+  os << "},\n";
   os << "  \"top_spans\": [";
   first = true;
   for (const auto& a : r.top_spans) {
@@ -317,6 +326,12 @@ bool read_profile_json(std::istream& is, ProfileReport* out) {
         !json_get_count(*spans, "dropped", &r.spans_dropped)) {
       return false;
     }
+    // Optional: absent from pre-runtime profiles (bulk runs carry no
+    // task attribution).
+    if (spans->find("task_nodes") != nullptr &&
+        !json_get_count(*spans, "task_nodes", &r.task_nodes)) {
+      return false;
+    }
   }
 
   if (const JsonValue* top = root.find("top_spans");
@@ -422,6 +437,11 @@ void write_profile_text(const ProfileReport& r, std::ostream& os) {
                 ProfileReport::kProfileVersion, makespan, r.span_count,
                 r.spans_dropped);
   os << buf;
+  if (r.task_nodes > 0) {
+    std::snprintf(buf, sizeof(buf), "  task nodes: %lld (DAG runtime)\n",
+                  r.task_nodes);
+    os << buf;
+  }
   for (const auto& [key, value] : r.meta) {
     os << "  " << key << ": " << value << "\n";
   }

@@ -87,6 +87,12 @@ struct ProfileReport {
 
   long long span_count = 0;
   long long spans_dropped = 0;
+  /// Distinct task-graph nodes that issued spans (0 = bulk-synchronous
+  /// run, no task attribution). Under the DAG runtime iterations
+  /// interleave in virtual time, so per-task stamps — not the iteration
+  /// label — are what keep the phase decomposition and the critical
+  /// walk's blame exact; this count is the export of that attribution.
+  long long task_nodes = 0;
 };
 
 /// Analyzes one run. `makespan` is Machine::makespan(); `resources`

@@ -51,12 +51,20 @@ void SpanStore::record(EventKind kind, const std::string& name,
     s.phase = phase_stack_.back();
   }
   s.iteration = iteration_;
+  s.task = task_;
   spans_.push_back(std::move(s));
 }
 
 void SpanStore::set_iteration(int iteration) {
   common::MutexLock lk(mu_);
   iteration_ = iteration;
+}
+
+int SpanStore::set_task(int task) {
+  common::MutexLock lk(mu_);
+  const int prev = task_;
+  task_ = task;
+  return prev;
 }
 
 void SpanStore::push_phase(Phase p) {

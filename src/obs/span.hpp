@@ -64,6 +64,10 @@ struct Span {
   int units = 0;  ///< SM units occupied (kernels)
   Phase phase = Phase::Base;
   int iteration = -1;
+  /// Task-graph node that issued this span (-1 = outside a task). With
+  /// the DAG runtime, iterations interleave in virtual time, so the
+  /// task node — not the iteration — is the unit that partitions work.
+  int task = -1;
 };
 
 class SpanStore {
@@ -84,6 +88,10 @@ class SpanStore {
   /// Driver tagging (normally via abft::Telemetry): the outer iteration
   /// subsequent spans belong to (-1 = outside the loop).
   void set_iteration(int iteration);
+  /// Task-graph tagging (normally via runtime::TaskScope): the graph
+  /// node subsequent spans belong to. Returns the previous value so a
+  /// scope can restore it.
+  int set_task(int task);
   void push_phase(Phase p);
   void pop_phase();
 
@@ -99,6 +107,7 @@ class SpanStore {
   std::vector<Span> spans_ FTLA_GUARDED_BY(mu_);
   std::vector<Phase> phase_stack_ FTLA_GUARDED_BY(mu_);
   int iteration_ FTLA_GUARDED_BY(mu_) = -1;
+  int task_ FTLA_GUARDED_BY(mu_) = -1;
   std::size_t dropped_ FTLA_GUARDED_BY(mu_) = 0;
 };
 
@@ -118,6 +127,26 @@ class PhaseScope {
 
  private:
   SpanStore* store_;
+};
+
+/// Null-safe RAII task attribution: spans recorded while the scope
+/// lives carry `task` as their graph-node id. Restores the previous
+/// task on exit (scopes nest, the innermost wins), including during
+/// exception unwind — verification tasks may throw at issue time.
+class TaskScope {
+ public:
+  TaskScope(SpanStore* store, int task) : store_(store) {
+    if (store_ != nullptr) prev_ = store_->set_task(task);
+  }
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+  ~TaskScope() {
+    if (store_ != nullptr) store_->set_task(prev_);
+  }
+
+ private:
+  SpanStore* store_;
+  int prev_ = -1;
 };
 
 }  // namespace ftla::obs

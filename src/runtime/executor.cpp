@@ -1,0 +1,125 @@
+#include "runtime/executor.hpp"
+
+#include <cstddef>
+
+namespace ftla::runtime {
+
+void run_on_host(const TaskGraph& graph, const HostRunOptions& opts) {
+  const auto waves = graph.waves();  // throws CycleError up front
+  common::ThreadPool* pool =
+      opts.pool != nullptr ? opts.pool : &common::global_pool();
+  for (const std::vector<int>& wave : waves) {
+    pool->parallel_for(0, static_cast<std::int64_t>(wave.size()),
+                       [&](std::int64_t i) {
+                         const int id = wave[static_cast<std::size_t>(i)];
+                         TaskContext ctx;
+                         ctx.task = id;
+                         graph.node(id).body(ctx);
+                       });
+  }
+  if (opts.metrics != nullptr) {
+    opts.metrics->add_counter("runtime.host.tasks", graph.size());
+    opts.metrics->add_counter("runtime.host.waves",
+                              static_cast<long long>(waves.size()));
+  }
+}
+
+StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
+                              const StreamRunOptions& opts) {
+  const std::vector<int> order = graph.schedule();  // throws CycleError
+  std::vector<sim::StreamId> pool = opts.streams;
+  if (pool.empty()) pool.push_back(machine.default_stream());
+
+  StreamRunStats stats;
+  stats.tasks = graph.size();
+  stats.edges = graph.edge_count();
+
+  // Per-node completion event, the stream it was recorded on, and the
+  // producer stream's end time at issue (-1 event = no event: Host and
+  // Inline tasks order via the host clock, and terminal Device tasks
+  // skip the record — the caller's final sync covers them).
+  //
+  // Wait elision: every stream_wait_event / record_event costs one host
+  // call (profile.host_call_overhead_s), and dense iterations produce
+  // tasks with dozens of predecessors that are long retired. A wait is
+  // a timing no-op whenever the producer's kernels ended at or before
+  // the consumer stream's current end — the event's host-clock
+  // component is always dominated by the consumer's own (monotonically
+  // later) issue time — so those waits are skipped instead of issued.
+  std::vector<sim::EventId> events(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<sim::StreamId> on(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<double> ends(static_cast<std::size_t>(graph.size()), 0.0);
+
+  for (const int id : order) {
+    const TaskNode& node = graph.node(id);
+    if (opts.profile != nullptr) opts.profile->set_iteration(node.opts.iteration);
+    obs::TaskScope task_scope(opts.profile, id);
+    obs::PhaseScope phase_scope(opts.profile, node.opts.phase);
+
+    TaskContext ctx;
+    ctx.task = id;
+    switch (node.opts.where) {
+      case Where::Inline:
+        ++stats.inline_tasks;
+        node.body(ctx);
+        break;
+      case Where::Host: {
+        ++stats.host_tasks;
+        for (const int p : node.preds) {
+          const sim::EventId e = events[static_cast<std::size_t>(p)];
+          if (e < 0) continue;  // host/inline pred: host clock orders us
+          if (ends[static_cast<std::size_t>(p)] <= machine.host_now()) {
+            ++stats.syncs_elided;
+            continue;
+          }
+          machine.sync_event(e);
+          ++stats.host_syncs;
+        }
+        node.body(ctx);
+        break;
+      }
+      case Where::Device: {
+        ++stats.device_tasks;
+        sim::StreamId s = pool.front();
+        for (const sim::StreamId cand : pool) {
+          if (machine.stream_end(cand) < machine.stream_end(s)) s = cand;
+        }
+        for (const int p : node.preds) {
+          const sim::EventId e = events[static_cast<std::size_t>(p)];
+          if (e < 0) continue;  // host/inline pred: host clock orders us
+          if (on[static_cast<std::size_t>(p)] == s) continue;  // FIFO order
+          if (ends[static_cast<std::size_t>(p)] <= machine.stream_end(s)) {
+            ++stats.waits_elided;
+            continue;
+          }
+          machine.stream_wait_event(s, e);
+          ++stats.stream_waits;
+        }
+        ctx.stream = s;
+        node.body(ctx);
+        if (!node.succs.empty()) {
+          events[static_cast<std::size_t>(id)] = machine.record_event(s);
+        }
+        on[static_cast<std::size_t>(id)] = s;
+        ends[static_cast<std::size_t>(id)] = machine.stream_end(s);
+        break;
+      }
+    }
+  }
+  if (opts.profile != nullptr) opts.profile->set_iteration(-1);
+
+  if (opts.metrics != nullptr) {
+    opts.metrics->add_counter("runtime.tasks", stats.tasks);
+    opts.metrics->add_counter("runtime.tasks_device", stats.device_tasks);
+    opts.metrics->add_counter("runtime.tasks_host", stats.host_tasks);
+    opts.metrics->add_counter("runtime.tasks_inline", stats.inline_tasks);
+    opts.metrics->add_counter("runtime.edges", stats.edges);
+    opts.metrics->add_counter("runtime.stream_waits", stats.stream_waits);
+    opts.metrics->add_counter("runtime.host_syncs", stats.host_syncs);
+    opts.metrics->add_counter("runtime.waits_elided", stats.waits_elided);
+    opts.metrics->add_counter("runtime.syncs_elided", stats.syncs_elided);
+  }
+  return stats;
+}
+
+}  // namespace ftla::runtime

@@ -1,0 +1,81 @@
+// Executors: two ways of running the same TaskGraph.
+//
+// run_on_host — real execution on the shared ThreadPool. Waves of
+// mutually independent tasks (TaskGraph::waves) run concurrently via
+// parallel_for; because tasks in one wave touch disjoint writable
+// tiles, the result is bit-identical at any thread count, including
+// serial. ThreadPool contract applies: task bodies must not throw.
+//
+// run_on_streams — issue onto the simulator's streams. Issue order is
+// the graph's deterministic schedule(); each Device task runs on the
+// least-loaded stream of the pool (tie: pool order) with
+// stream_wait_event fences on its cross-stream predecessors, each Host
+// task syncs its device predecessors' events before running, and
+// Inline tasks run with no machine interaction. Same-stream program
+// order and the monotonic host clock make the remaining fences
+// implicit — see docs/runtime.md ("Executor contracts") for the
+// ordering proof. Bodies run eagerly at issue time (that is how the
+// simulator executes numerics), so any topological issue order
+// produces bit-identical numerics; the schedule only shapes virtual
+// time. Bodies may throw (verification tasks do on unrecoverable
+// corruption); the exception unwinds out of the executor with span
+// scopes restored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "runtime/graph.hpp"
+#include "sim/machine.hpp"
+
+namespace ftla::runtime {
+
+struct HostRunOptions {
+  /// Pool to run on; nullptr = the process-global pool (FTLA_THREADS).
+  common::ThreadPool* pool = nullptr;
+  /// Optional `runtime.host.*` counters.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Executes every task (wave-parallel). Throws CycleError on a cyclic
+/// graph before running anything.
+void run_on_host(const TaskGraph& graph, const HostRunOptions& opts = {});
+
+struct StreamRunOptions {
+  /// Stream pool for Device tasks; empty = {machine.default_stream()}.
+  std::vector<sim::StreamId> streams;
+  /// Optional span store: every span a task issues is stamped with the
+  /// task's node id, phase and iteration (per-task-node attribution).
+  obs::SpanStore* profile = nullptr;
+  /// Optional `runtime.*` counters.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct StreamRunStats {
+  int tasks = 0;
+  int device_tasks = 0;
+  int host_tasks = 0;
+  int inline_tasks = 0;
+  std::int64_t edges = 0;
+  /// Cross-stream event fences issued (same-stream edges are free).
+  std::int64_t stream_waits = 0;
+  /// Host-side event syncs issued for Host-task predecessors.
+  std::int64_t host_syncs = 0;
+  /// Fences skipped because the producer had already retired (its
+  /// stream end never exceeded the consumer's) — each saves one host
+  /// call of overhead without changing any timestamp.
+  std::int64_t waits_elided = 0;
+  /// Host syncs skipped because the producer ended at or before the
+  /// current host clock.
+  std::int64_t syncs_elided = 0;
+};
+
+/// Issues every task onto `machine`. Throws CycleError on a cyclic
+/// graph before issuing anything; rethrows task-body exceptions.
+StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
+                              const StreamRunOptions& opts = {});
+
+}  // namespace ftla::runtime

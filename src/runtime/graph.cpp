@@ -1,0 +1,127 @@
+#include "runtime/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace ftla::runtime {
+
+namespace {
+
+// Min-heap entry for the ready set: (priority, seq), lowest first.
+struct Ready {
+  int priority;
+  int seq;
+  friend bool operator>(const Ready& a, const Ready& b) noexcept {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+void TaskGraph::link(int from, int to) {
+  if (from == to) return;
+  auto& preds = nodes_[static_cast<std::size_t>(to)].preds;
+  if (std::find(preds.begin(), preds.end(), from) != preds.end()) return;
+  preds.push_back(from);
+  nodes_[static_cast<std::size_t>(from)].succs.push_back(to);
+  ++edges_;
+}
+
+int TaskGraph::add_task(std::string name, std::vector<Footprint> footprint,
+                        TaskBody body, TaskOptions opts) {
+  const int id = static_cast<int>(nodes_.size());
+  TaskNode node;
+  node.name = std::move(name);
+  node.footprint = std::move(footprint);
+  node.body = std::move(body);
+  node.opts = opts;
+  nodes_.push_back(std::move(node));
+
+  for (const Footprint& f : nodes_.back().footprint) {
+    auto it = std::lower_bound(
+        tiles_.begin(), tiles_.end(), f.tile,
+        [](const auto& entry, const TileKey& key) { return entry.first < key; });
+    if (it == tiles_.end() || !(it->first == f.tile)) {
+      it = tiles_.insert(it, {f.tile, TileState{}});
+    }
+    TileState& state = it->second;
+    switch (f.access) {
+      case Access::Read:
+        if (state.last_writer >= 0) link(state.last_writer, id);
+        state.readers_since_write.push_back(id);
+        break;
+      case Access::Write:
+      case Access::ReadWrite:
+        if (state.last_writer >= 0) link(state.last_writer, id);
+        for (int r : state.readers_since_write) link(r, id);
+        state.readers_since_write.clear();
+        state.last_writer = id;
+        break;
+    }
+  }
+  return id;
+}
+
+void TaskGraph::add_edge(int from, int to) {
+  FTLA_CHECK_MSG(from >= 0 && from < size(), "add_edge: from out of range");
+  FTLA_CHECK_MSG(to >= 0 && to < size(), "add_edge: to out of range");
+  FTLA_CHECK_MSG(from != to, "add_edge: self-edge");
+  link(from, to);
+}
+
+std::vector<int> TaskGraph::schedule() const {
+  const int n = size();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int id = 0; id < n; ++id) {
+    indegree[static_cast<std::size_t>(id)] =
+        static_cast<int>(nodes_[static_cast<std::size_t>(id)].preds.size());
+  }
+  std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> ready;
+  for (int id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) {
+      ready.push({nodes_[static_cast<std::size_t>(id)].opts.priority, id});
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int id = ready.top().seq;
+    ready.pop();
+    order.push_back(id);
+    for (int s : nodes_[static_cast<std::size_t>(id)].succs) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) {
+        ready.push({nodes_[static_cast<std::size_t>(s)].opts.priority, s});
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw CycleError(n - static_cast<int>(order.size()));
+  }
+  return order;
+}
+
+std::vector<std::vector<int>> TaskGraph::waves() const {
+  if (size() == 0) return {};
+  const std::vector<int> order = schedule();  // throws on cycle
+  std::vector<int> depth(static_cast<std::size_t>(size()), 0);
+  int max_depth = 0;
+  for (int id : order) {
+    int d = 0;
+    for (int p : nodes_[static_cast<std::size_t>(id)].preds) {
+      d = std::max(d, depth[static_cast<std::size_t>(p)] + 1);
+    }
+    depth[static_cast<std::size_t>(id)] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  std::vector<std::vector<int>> waves(static_cast<std::size_t>(max_depth + 1));
+  for (int id = 0; id < size(); ++id) {
+    waves[static_cast<std::size_t>(depth[static_cast<std::size_t>(id)])]
+        .push_back(id);
+  }
+  // Node ids are scanned in insertion order, so each wave already is.
+  return waves;
+}
+
+}  // namespace ftla::runtime

@@ -1,0 +1,160 @@
+// Dependency-driven task graph: the runtime's core data structure.
+//
+// A TaskGraph is a DAG of named tasks, each declaring the tiles it
+// reads and writes (its *footprint*). Dependencies are not wired by
+// hand: add_task infers them from footprint overlap with the classic
+// hazard rules —
+//
+//   * RAW: a Read of tile T depends on T's last writer;
+//   * WAW: a Write of T depends on T's last writer;
+//   * WAR: a Write of T depends on every reader of T since that writer.
+//
+// Inference edges always point from an earlier-inserted task to a
+// later-inserted one, so inference alone can never create a cycle;
+// only explicit add_edge can, and schedule() rejects it.
+//
+// Determinism contract: schedule() runs Kahn's algorithm with a fixed
+// (priority, insertion-sequence) tie-break over the ready set, so the
+// issue order is a pure function of the graph — no pointer values, no
+// hash iteration order, no wall clock. waves() groups tasks by
+// longest-path depth; tasks in one wave are mutually independent, which
+// is what lets the host executor run a wave's tasks concurrently and
+// still produce bit-identical results at any thread count.
+//
+// The graph itself is execution-agnostic: bodies are opaque callables
+// and `Where` only tells an executor which issue protocol a task needs
+// (device stream, host, or inline). See docs/runtime.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/span.hpp"
+
+namespace ftla::runtime {
+
+/// Thrown by schedule()/waves() when explicit edges made the graph
+/// cyclic. Carries the number of tasks left unordered.
+class CycleError : public Error {
+ public:
+  explicit CycleError(int unordered)
+      : Error("task graph contains a cycle (" + std::to_string(unordered) +
+              " tasks unorderable)"),
+        unordered_(unordered) {}
+  [[nodiscard]] int unordered() const noexcept { return unordered_; }
+
+ private:
+  int unordered_;
+};
+
+/// A tile is any unit of data a task can depend on: a block of the
+/// factor matrix, a checksum strip, a host staging buffer, a scratch
+/// slot. `matrix` namespaces independent arrays so (row, col) spaces
+/// never collide across them.
+struct TileKey {
+  int matrix = 0;
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const TileKey& a, const TileKey& b) noexcept {
+    return a.matrix == b.matrix && a.row == b.row && a.col == b.col;
+  }
+  friend bool operator<(const TileKey& a, const TileKey& b) noexcept {
+    if (a.matrix != b.matrix) return a.matrix < b.matrix;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  }
+};
+
+enum class Access {
+  Read,       ///< consumes the tile's current contents
+  Write,      ///< fully overwrites the tile
+  ReadWrite,  ///< updates in place (both hazard directions)
+};
+
+struct Footprint {
+  TileKey tile;
+  Access access = Access::Read;
+};
+
+/// Convenience builders, so driver code reads like the math.
+[[nodiscard]] inline Footprint read(TileKey t) { return {t, Access::Read}; }
+[[nodiscard]] inline Footprint write(TileKey t) { return {t, Access::Write}; }
+[[nodiscard]] inline Footprint rw(TileKey t) { return {t, Access::ReadWrite}; }
+
+/// Which issue protocol a task needs from an executor.
+enum class Where {
+  Device,  ///< issues kernels/copies on an executor-chosen stream
+  Host,    ///< runs host-side work; executor syncs device predecessors
+  Inline,  ///< runs at issue time with no machine interaction
+};
+
+/// Handed to the body at execution time.
+struct TaskContext {
+  int task = -1;    ///< node id in the graph
+  int stream = -1;  ///< chosen sim stream (Where::Device only)
+  int worker = 0;   ///< host-executor worker index
+};
+
+using TaskBody = std::function<void(const TaskContext&)>;
+
+struct TaskOptions {
+  obs::Phase phase = obs::Phase::Base;
+  int iteration = -1;
+  Where where = Where::Device;
+  /// Ready-queue rank: lower runs first; ties break on insertion order.
+  int priority = 0;
+};
+
+struct TaskNode {
+  std::string name;
+  std::vector<Footprint> footprint;
+  TaskBody body;
+  TaskOptions opts;
+  std::vector<int> preds;  ///< deduplicated, insertion order
+  std::vector<int> succs;
+};
+
+class TaskGraph {
+ public:
+  /// Appends a task and infers RAW/WAR/WAW edges from its footprint.
+  /// Returns the node id (dense, starting at 0).
+  int add_task(std::string name, std::vector<Footprint> footprint,
+               TaskBody body, TaskOptions opts = {});
+
+  /// Explicit ordering edge (`from` before `to`), for constraints the
+  /// footprints cannot express. Self-edges are rejected.
+  void add_edge(int from, int to);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const TaskNode& node(int id) const { return nodes_.at(id); }
+  [[nodiscard]] std::int64_t edge_count() const noexcept { return edges_; }
+
+  /// Deterministic topological order: Kahn's algorithm, ready set
+  /// ordered by (priority, insertion sequence). Throws CycleError.
+  [[nodiscard]] std::vector<int> schedule() const;
+
+  /// Tasks grouped by longest-path depth (wave 0 has no predecessors).
+  /// Tasks within a wave are pairwise independent; each wave is sorted
+  /// by insertion sequence. Throws CycleError.
+  [[nodiscard]] std::vector<std::vector<int>> waves() const;
+
+ private:
+  struct TileState {
+    int last_writer = -1;
+    std::vector<int> readers_since_write;
+  };
+
+  void link(int from, int to);
+
+  std::vector<TaskNode> nodes_;
+  std::vector<std::pair<TileKey, TileState>> tiles_;  // sorted by key
+  std::int64_t edges_ = 0;
+};
+
+}  // namespace ftla::runtime

@@ -205,6 +205,12 @@ class Machine {
   [[nodiscard]] int stream_count() const noexcept {
     return static_cast<int>(streams_.size());
   }
+  /// Virtual time at which everything so far issued on `s` completes.
+  /// Free to read (no host-call overhead): the runtime's stream
+  /// executor uses it to pick the least-loaded stream for a task.
+  [[nodiscard]] double stream_end(StreamId s) const {
+    return streams_.at(static_cast<std::size_t>(s)).last_end;
+  }
   EventId record_event(StreamId s);
   void stream_wait_event(StreamId s, EventId e);
   void sync_stream(StreamId s);

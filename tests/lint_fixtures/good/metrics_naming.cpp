@@ -23,5 +23,7 @@ void report(Registry& reg, Store& ts, const std::string& op) {
   reg.set_gauge("fleet.devices_usable", 2.0);
   reg.counter("service.jobs.migrated") += 1;
   ts.sample_counter("service.jobs_finished", 0.5, 1.0);
+  reg.counter("runtime.stream_waits") += 1;
+  reg.counter("runtime.waits_elided") += 1;
   // reg.counter("BAD") in a comment must not fire.
 }

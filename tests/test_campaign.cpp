@@ -212,6 +212,47 @@ TEST(ScenarioIo, FormatParseRoundTrip) {
   }
 }
 
+TEST(Campaign, DagRuntimeScenariosStayZeroSdc) {
+  // Force every scenario onto the task-graph runtime: the zero-SDC
+  // invariant must hold over the DAG drivers exactly as over the bulk
+  // oracle (docs/runtime.md), for all three algorithms.
+  const std::uint64_t seed = test::root_seed(77);
+  FTLA_SEED_TRACE(seed);
+  CampaignOptions opt;
+  opt.scenarios = 120;
+  opt.seed = seed;
+  opt.dag_share = 1.0;
+  const CampaignSummary sum = run_campaign(opt);
+  EXPECT_EQ(sum.scenarios_run, 120);
+  EXPECT_GT(sum.faults_fired, 0);
+  EXPECT_GT(sum.faults_detected, 0);
+  EXPECT_EQ(sum.guarded_sdc, 0);
+  EXPECT_TRUE(sum.clean());
+  // The oracle still catches unguarded corruption under the DAG, so the
+  // zero above is not the oracle going blind.
+  long long noft_sdc = 0;
+  for (const char* key : {"cholesky/no-ft", "lu/no-ft", "qr/no-ft"}) {
+    noft_sdc += verdict_total(sum, key, Verdict::Sdc);
+  }
+  EXPECT_GT(noft_sdc, 0);
+}
+
+TEST(ScenarioIo, RuntimeKeyRoundTripsAndDefaultsToBulk) {
+  Scenario sc;
+  sc.runtime = abft::RuntimeMode::Dag;
+  const std::string text = format_scenario(sc);
+  EXPECT_NE(text.find(" runtime=dag "), std::string::npos) << text;
+  Scenario back;
+  std::string err;
+  ASSERT_TRUE(parse_scenario(text, &back, &err)) << err;
+  EXPECT_EQ(back.runtime, abft::RuntimeMode::Dag);
+  // Pre-runtime plans omit the key: bulk is the compatibility default.
+  ASSERT_TRUE(
+      parse_scenario("scenario algo=cholesky n=64 block=16\n", &back, &err))
+      << err;
+  EXPECT_EQ(back.runtime, abft::RuntimeMode::Bulk);
+}
+
 TEST(ScenarioIo, ParseReportsLineNumbers) {
   Scenario sc;
   std::string err;

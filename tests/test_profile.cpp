@@ -148,6 +148,37 @@ TEST(ProfileReport, ReportsResourcesAndTopSpans) {
   EXPECT_EQ(r.spans_dropped, 0);
 }
 
+TEST(ProfileReport, DagRunAttributesSpansToTaskNodes) {
+  // Under the task-graph runtime every span carries its issuing task
+  // node, and the analyzer surfaces the distinct-node count; a bulk
+  // run has no task attribution and must report zero (docs/runtime.md).
+  const auto profiled = [](abft::RuntimeMode mode) {
+    sim::Machine machine(sim::test_rig(), sim::ExecutionMode::TimingOnly);
+    obs::SpanStore spans;
+    machine.set_span_store(&spans);
+    abft::CholeskyOptions opt;
+    opt.variant = abft::Variant::EnhancedOnline;
+    opt.block_size = 64;
+    opt.placement = abft::UpdatePlacement::Gpu;
+    opt.runtime = mode;
+    opt.profile = &spans;
+    auto res = abft::cholesky(machine, nullptr, 256, opt);
+    EXPECT_TRUE(res.success) << res.note;
+    return sim::build_profile(machine, spans);
+  };
+  const obs::ProfileReport bulk = profiled(abft::RuntimeMode::Bulk);
+  EXPECT_EQ(bulk.task_nodes, 0);
+  const obs::ProfileReport dag = profiled(abft::RuntimeMode::Dag);
+  EXPECT_GT(dag.task_nodes, 0);
+  // Attribution survives the JSON round trip (and stays byte-stable).
+  const std::string first = to_json(dag);
+  std::istringstream is(first);
+  obs::ProfileReport parsed;
+  ASSERT_TRUE(obs::read_profile_json(is, &parsed));
+  EXPECT_EQ(parsed.task_nodes, dag.task_nodes);
+  EXPECT_EQ(to_json(parsed), first);
+}
+
 TEST(ProfileJson, RoundTripsByteIdentically) {
   obs::ProfileReport r = run_profiled();
   r.meta["algo"] = "cholesky";

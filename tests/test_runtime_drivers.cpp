@@ -1,0 +1,322 @@
+// DAG-runtime conformance for the factorization drivers
+// (docs/runtime.md): the task-graph path must be bit-identical to the
+// bulk-synchronous oracle fault-free, produce the same verification
+// counters, survive fault injection with zero silent corruption, and
+// strictly shorten the simulated makespan at the benchmarked sizes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "abft/cholesky.hpp"
+#include "abft/lu.hpp"
+#include "abft/qr.hpp"
+#include "blas/lapack.hpp"
+#include "sim/profile.hpp"
+#include "test_util.hpp"
+
+namespace ftla::abft {
+namespace {
+
+using fault::FaultSpec;
+using fault::FaultType;
+using fault::Injector;
+using fault::Op;
+using sim::ExecutionMode;
+using sim::Machine;
+
+sim::MachineProfile small_rig() {
+  auto p = sim::test_rig();
+  p.magma_block_size = 16;
+  return p;
+}
+
+// Exact elementwise equality — the DAG schedule must reproduce the bulk
+// result to the last bit, not merely to a residual tolerance.
+void expect_bit_identical(const Matrix<double>& a, const Matrix<double>& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "first divergence at (" << i << ", "
+                                  << j << ")";
+    }
+  }
+}
+
+// --------------------- Cholesky: fault-free conformance ----------------
+
+class CholeskyConformance
+    : public ::testing::TestWithParam<
+          std::tuple<Variant, UpdatePlacement, int, bool>> {};
+
+TEST_P(CholeskyConformance, DagBitIdenticalToBulk) {
+  const auto [variant, placement, verify_interval, transfer_guard] =
+      GetParam();
+  const int n = 96;
+  const auto a0 = test::random_spd(n, 321);
+
+  CholeskyOptions opt;
+  opt.variant = variant;
+  opt.placement = placement;
+  opt.verify_interval = verify_interval;
+  opt.transfer_guard = transfer_guard;
+
+  auto bulk = a0;
+  Machine mb(small_rig(), ExecutionMode::Numeric);
+  opt.runtime = RuntimeMode::Bulk;
+  const CholeskyResult rb = cholesky(mb, &bulk, n, opt);
+  ASSERT_TRUE(rb.success) << rb.note;
+
+  auto dag = a0;
+  Machine md(small_rig(), ExecutionMode::Numeric);
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult rd = cholesky(md, &dag, n, opt);
+  ASSERT_TRUE(rd.success) << rd.note;
+
+  expect_bit_identical(bulk, dag);
+  EXPECT_EQ(rd.errors_detected, 0);
+  EXPECT_EQ(rd.checksum_repairs, 0);
+  // Table-I conformance: the DAG schedules exactly the verifications the
+  // bulk path does.
+  EXPECT_EQ(rb.verified.potf2_blocks, rd.verified.potf2_blocks);
+  EXPECT_EQ(rb.verified.trsm_blocks, rd.verified.trsm_blocks);
+  EXPECT_EQ(rb.verified.syrk_blocks, rd.verified.syrk_blocks);
+  EXPECT_EQ(rb.verified.gemm_blocks, rd.verified.gemm_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsPlacementsIntervals, CholeskyConformance,
+    ::testing::Combine(
+        ::testing::Values(Variant::NoFt, Variant::Offline, Variant::Online,
+                          Variant::EnhancedOnline),
+        ::testing::Values(UpdatePlacement::Blocking, UpdatePlacement::Gpu),
+        ::testing::Values(1, 2), ::testing::Values(false, true)));
+
+TEST(CholeskyConformance, CpuPlacementFallsBackToBulk) {
+  // The graph does not model the host checksum mirror; the driver must
+  // silently run the bulk path and still be correct.
+  const int n = 64;
+  const auto a0 = test::random_spd(n, 77);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.placement = UpdatePlacement::Cpu;
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult res = cholesky(m, &a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-12);
+}
+
+TEST(CholeskyConformance, CheckpointRecoveryFallsBackToBulk) {
+  const int n = 64;
+  const auto a0 = test::random_spd(n, 78);
+  auto a = a0;
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.recovery = Recovery::Checkpoint;
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult res = cholesky(m, &a, n, opt);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-12);
+}
+
+// --------------------- Cholesky: faults under the DAG ------------------
+
+TEST(CholeskyDagFaults, ComputingErrorCorrectedInPlace) {
+  const int n = 96;
+  const auto a0 = test::random_spd(n, 4242);
+  auto a = a0;
+  FaultSpec s;
+  s.type = FaultType::Computing;
+  s.op = Op::Gemm;
+  s.iteration = 2;
+  s.elem_row = 3;
+  s.elem_col = 5;
+  s.magnitude = 1e6;
+  Injector inj({s});
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult res = cholesky(m, &a, n, opt, &inj);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(res.reruns, 0);
+  EXPECT_GE(res.errors_corrected, 1);
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-10);
+}
+
+TEST(CholeskyDagFaults, StorageErrorCorrectedInPlace) {
+  const int n = 96;
+  const auto a0 = test::random_spd(n, 4242);
+  auto a = a0;
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Syrk;
+  s.iteration = 3;
+  s.block_row = 3;
+  s.block_col = 2;
+  s.elem_row = 2;
+  s.elem_col = 7;
+  s.bits = {20, 44, 54};
+  Injector inj({s});
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::EnhancedOnline;
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult res = cholesky(m, &a, n, opt, &inj);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(res.reruns, 0);
+  EXPECT_GE(res.errors_corrected, 1);
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-10);
+}
+
+TEST(CholeskyDagFaults, OnlineStorageErrorEscalatesToRerun) {
+  // Online-ABFT verifies only outputs; a storage strike in the
+  // verified-to-read window is uncorrectable and must re-run — same
+  // ladder as bulk, reached from inside the executor.
+  const int n = 96;
+  const auto a0 = test::random_spd(n, 4242);
+  auto a = a0;
+  FaultSpec s;
+  s.type = FaultType::Storage;
+  s.op = Op::Syrk;
+  s.iteration = 3;
+  s.block_row = 3;
+  s.block_col = 2;
+  s.elem_row = 2;
+  s.elem_col = 7;
+  s.bits = {20, 44, 54};
+  Injector inj({s});
+  Machine m(small_rig(), ExecutionMode::Numeric);
+  CholeskyOptions opt;
+  opt.variant = Variant::Online;
+  opt.runtime = RuntimeMode::Dag;
+  const CholeskyResult res = cholesky(m, &a, n, opt, &inj);
+  ASSERT_TRUE(res.success) << res.note;
+  EXPECT_GE(res.reruns, 1);
+  EXPECT_LT(blas::cholesky_residual(a0.view(), a.view()), 1e-10);
+}
+
+// --------------------- Cholesky: makespan ------------------------------
+
+double timed_seconds(const sim::MachineProfile& profile, int n,
+                     RuntimeMode runtime, Variant variant) {
+  Machine m(profile, ExecutionMode::TimingOnly);
+  CholeskyOptions opt;
+  opt.variant = variant;
+  opt.placement = UpdatePlacement::Gpu;
+  opt.runtime = runtime;
+  const CholeskyResult res = cholesky(m, nullptr, n, opt);
+  EXPECT_TRUE(res.success) << res.note;
+  return res.seconds;
+}
+
+class MakespanParam
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ public:
+  static sim::MachineProfile profile(const char* name) {
+    return std::string(name) == "tardis" ? sim::tardis()
+                                         : sim::bulldozer64();
+  }
+};
+
+TEST_P(MakespanParam, DagStrictlyShorterThanBulk) {
+  const auto [name, n] = GetParam();
+  const auto p = profile(name);
+  const double bulk =
+      timed_seconds(p, n, RuntimeMode::Bulk, Variant::EnhancedOnline);
+  const double dag =
+      timed_seconds(p, n, RuntimeMode::Dag, Variant::EnhancedOnline);
+  EXPECT_LT(dag, bulk) << "DAG lost its overlap win on " << name
+                       << " at n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedBenchSizes, MakespanParam,
+    ::testing::Combine(::testing::Values("tardis", "bulldozer64"),
+                       ::testing::Values(2048, 4096)));
+
+// --------------------- LU / QR conformance -----------------------------
+
+TEST(LuConformance, DagBitIdenticalToBulk) {
+  const int n = 96;
+  const auto a0 = test::random_spd(n, 555);
+  for (const Variant variant : {Variant::NoFt, Variant::EnhancedOnline}) {
+    auto bulk = a0;
+    Machine mb(small_rig(), ExecutionMode::Numeric);
+    LuOptions opt;
+    opt.variant = variant;
+    opt.runtime = RuntimeMode::Bulk;
+    const CholeskyResult rb = lu(mb, &bulk, n, opt);
+    ASSERT_TRUE(rb.success) << rb.note;
+
+    auto dag = a0;
+    Machine md(small_rig(), ExecutionMode::Numeric);
+    opt.runtime = RuntimeMode::Dag;
+    const CholeskyResult rd = lu(md, &dag, n, opt);
+    ASSERT_TRUE(rd.success) << rd.note;
+
+    expect_bit_identical(bulk, dag);
+    EXPECT_EQ(rb.verified.total(), rd.verified.total());
+  }
+}
+
+TEST(LuConformance, DagMakespanStrictlyShorter) {
+  Machine mb(sim::tardis(), ExecutionMode::TimingOnly);
+  LuOptions opt;
+  opt.runtime = RuntimeMode::Bulk;
+  const double bulk = lu(mb, nullptr, 2048, opt).seconds;
+  Machine md(sim::tardis(), ExecutionMode::TimingOnly);
+  opt.runtime = RuntimeMode::Dag;
+  const double dag = lu(md, nullptr, 2048, opt).seconds;
+  EXPECT_LT(dag, bulk);
+}
+
+TEST(QrConformance, DagBitIdenticalToBulk) {
+  const int n = 96;
+  const auto a0 = test::random_matrix(n, n, 808);
+  for (const Variant variant : {Variant::NoFt, Variant::EnhancedOnline}) {
+    auto bulk = a0;
+    std::vector<double> tau_bulk;
+    Machine mb(small_rig(), ExecutionMode::Numeric);
+    QrOptions opt;
+    opt.variant = variant;
+    opt.runtime = RuntimeMode::Bulk;
+    const CholeskyResult rb = qr(mb, &bulk, &tau_bulk, n, opt);
+    ASSERT_TRUE(rb.success) << rb.note;
+
+    auto dag = a0;
+    std::vector<double> tau_dag;
+    Machine md(small_rig(), ExecutionMode::Numeric);
+    opt.runtime = RuntimeMode::Dag;
+    const CholeskyResult rd = qr(md, &dag, &tau_dag, n, opt);
+    ASSERT_TRUE(rd.success) << rd.note;
+
+    expect_bit_identical(bulk, dag);
+    ASSERT_EQ(tau_bulk.size(), tau_dag.size());
+    for (std::size_t i = 0; i < tau_bulk.size(); ++i) {
+      ASSERT_EQ(tau_bulk[i], tau_dag[i]) << "tau diverges at " << i;
+    }
+    EXPECT_EQ(rb.verified.total(), rd.verified.total());
+  }
+}
+
+TEST(QrConformance, DagMakespanStrictlyShorter) {
+  Machine mb(sim::tardis(), ExecutionMode::TimingOnly);
+  QrOptions opt;
+  opt.runtime = RuntimeMode::Bulk;
+  const double bulk = qr(mb, nullptr, nullptr, 2048, opt).seconds;
+  Machine md(sim::tardis(), ExecutionMode::TimingOnly);
+  opt.runtime = RuntimeMode::Dag;
+  const double dag = qr(md, nullptr, nullptr, 2048, opt).seconds;
+  EXPECT_LT(dag, bulk);
+}
+
+}  // namespace
+}  // namespace ftla::abft

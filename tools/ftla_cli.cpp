@@ -100,6 +100,7 @@ int finish(int code, const std::string& reason) {
                "  [--block B] [--variant enhanced|online|offline|noft|cula|"
                "dmr|tmr]\n"
                "  [--k K] [--placement auto|cpu|gpu|blocking] [--no-opt1]\n"
+               "  [--runtime bulk|dag]\n"
                "  [--mode numeric|timing] [--threads N] [--faults N]\n"
                "  [--fault-seed S]\n"
                "  [--seed S] [--trace-out FILE.json] [--metrics-out "
@@ -108,6 +109,10 @@ int finish(int code, const std::string& reason) {
                "  [--timeseries-window W] [--postmortem-out FILE.json]\n"
                "  [--summary]\n"
                "\n"
+               "  --runtime bulk|dag  execution structure: bulk-synchronous\n"
+               "                      phases (the conformance oracle) or the\n"
+               "                      dependency-driven task graph\n"
+               "                      (docs/runtime.md)\n"
                "  --trace-out FILE    Chrome trace with fault annotations\n"
                "                      (instant events + injection->detection\n"
                "                      flow arrows); --trace is an alias\n"
@@ -147,6 +152,7 @@ struct Args {
   std::string variant = "enhanced";
   int k = 1;
   std::string placement = "auto";
+  std::string runtime = "bulk";
   bool opt1 = true;
   std::string mode = "numeric";
   int threads = 1;
@@ -178,6 +184,7 @@ Args parse(int argc, char** argv) {
     else if (opt == "--variant") a.variant = need(i);
     else if (opt == "--k") a.k = std::atoi(need(i));
     else if (opt == "--placement") a.placement = need(i);
+    else if (opt == "--runtime") a.runtime = need(i);
     else if (opt == "--no-opt1") a.opt1 = false;
     else if (opt == "--mode") a.mode = need(i);
     else if (opt == "--threads") a.threads = std::atoi(need(i));
@@ -217,6 +224,7 @@ int main(int argc, char** argv) {
   g_recorder.set_meta("algo", args.algo);
   g_recorder.set_meta("variant", args.variant);
   g_recorder.set_meta("mode", args.mode);
+  g_recorder.set_meta("runtime", args.runtime);
   g_recorder.set_meta("n", std::to_string(args.n));
   g_recorder.set_meta("faults", std::to_string(args.faults));
   g_recorder.note("args parsed");
@@ -289,6 +297,11 @@ int main(int argc, char** argv) {
   else if (args.placement == "blocking")
     opt.placement = abft::UpdatePlacement::Blocking;
   else usage("unknown --placement");
+  abft::RuntimeMode runtime_mode;
+  if (args.runtime == "bulk") runtime_mode = abft::RuntimeMode::Bulk;
+  else if (args.runtime == "dag") runtime_mode = abft::RuntimeMode::Dag;
+  else usage("unknown --runtime");
+  opt.runtime = runtime_mode;
   if (want_obs) {
     opt.event_sink = &sink;
     opt.metrics = &metrics;
@@ -324,6 +337,7 @@ int main(int argc, char** argv) {
     qopt.block_size = args.block;
     qopt.verify_interval = args.k;
     qopt.concurrent_recalc = args.opt1;
+    qopt.runtime = runtime_mode;
     if (want_obs) {
       qopt.event_sink = &sink;
       qopt.metrics = &metrics;
@@ -341,6 +355,7 @@ int main(int argc, char** argv) {
     lopt.block_size = args.block;
     lopt.verify_interval = args.k;
     lopt.concurrent_recalc = args.opt1;
+    lopt.runtime = runtime_mode;
     if (want_obs) {
       lopt.event_sink = &sink;
       lopt.metrics = &metrics;
@@ -379,8 +394,10 @@ int main(int argc, char** argv) {
 
   std::printf("machine           : %s (%s mode)\n", profile.name.c_str(),
               numeric ? "numeric" : "timing-only");
-  std::printf("problem           : n = %d, block = %d, variant = %s, K = %d\n",
-              args.n, block, args.variant.c_str(), args.k);
+  std::printf("problem           : n = %d, block = %d, variant = %s, K = %d, "
+              "runtime = %s\n",
+              args.n, block, args.variant.c_str(), args.k,
+              args.runtime.c_str());
   std::printf("success           : %s%s%s\n", res.success ? "yes" : "no",
               res.note.empty() ? "" : " — ", res.note.c_str());
   std::printf("virtual time      : %.6f s (%.2f GFLOP/s)\n", res.seconds,

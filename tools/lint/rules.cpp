@@ -352,8 +352,8 @@ bool valid_metric_name(const std::string& name) {
 /// empty means "use the built-in default").
 const std::vector<std::string>& metric_namespaces(const RuleConfig& cfg) {
   static const std::vector<std::string> kDefault = {
-      "abft", "bench", "campaign", "faults", "fleet", "obs",
-      "profile", "run", "service", "sim", "test", "timeseries"};
+      "abft", "bench", "campaign", "faults", "fleet", "obs", "profile",
+      "run", "runtime", "service", "sim", "test", "timeseries"};
   return cfg.extra.empty() ? kDefault : cfg.extra;
 }
 
