@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "common/fp.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/sanitizer.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/gpublas.hpp"
 
@@ -1227,6 +1228,7 @@ void Run::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
   // dependency structure while insertion order fixes *when* they fire.
   if (injector_ == nullptr) return;
   runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Base;
   opts.iteration = iter;
   opts.where = runtime::Where::Inline;
   g.add_task(name, {},
@@ -1253,13 +1255,17 @@ void Run::dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
   runtime::TaskOptions opts;
   opts.phase = obs::Phase::Verify;
   opts.iteration = iter;
-  g.add_task("verify",
-             {runtime::rw(dtile(bi, bk)), runtime::rw(ctile(bi, bk)),
-              runtime::write(stile(slot))},
-             [this, bi, bk, attr, col, iter](const runtime::TaskContext& c) {
-               issue_block_verify(c.stream, bi, bk, attr, col, iter);
-             },
-             opts);
+  g.add_task(
+      "verify",
+      {runtime::rw(dtile(bi, bk)), runtime::rw(ctile(bi, bk)),
+       runtime::write(stile(slot))},
+      [this, bi, bk, attr, col, slot, iter](const runtime::TaskContext& c) {
+        c.tiles.rw(dtile(bi, bk));
+        c.tiles.rw(ctile(bi, bk));
+        c.tiles.write(stile(slot));
+        issue_block_verify(c.stream, bi, bk, attr, col, iter);
+      },
+      opts);
 }
 
 void Run::dag_encode(runtime::TaskGraph& g) {
@@ -1271,7 +1277,9 @@ void Run::dag_encode(runtime::TaskGraph& g) {
       const DMat chk = chk_block(i, k);
       g.add_task("encode",
                  {runtime::read(dtile(i, k)), runtime::write(ctile(i, k))},
-                 [this, blk, chk](const runtime::TaskContext& c) {
+                 [this, blk, chk, i, k](const runtime::TaskContext& c) {
+                   c.tiles.read(dtile(i, k));
+                   c.tiles.write(ctile(i, k));
                    KernelDesc d{"encode", KernelClass::Blas2,
                                 blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
                    m_.launch(c.stream, d, [blk, chk] {
@@ -1293,10 +1301,12 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
   const bool verify_this_iter = (j % opt_.verify_interval) == 0;
 
   runtime::TaskOptions base;
+  base.phase = obs::Phase::Base;
   base.iteration = j;
   runtime::TaskOptions update = base;
   update.phase = obs::Phase::Update;
   runtime::TaskOptions host = base;
+  host.phase = obs::Phase::Base;
   host.where = runtime::Where::Host;
 
   // ---------------- SYRK: A[j,j] -= LC LC^T --------------------------
@@ -1315,6 +1325,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
     fp.push_back(runtime::rw(dtile(j, j)));
     g.add_task("syrk", std::move(fp),
                [this, j, jb, w](const runtime::TaskContext& c) {
+                 for (int k = 0; k < j; ++k) c.tiles.read(dtile(j, k));
+                 c.tiles.rw(dtile(j, j));
                  const DMat diag = data_block(j, j);
                  const DConstMat lc = data_region(off(j), 0, jb, w);
                  KernelDesc d{"syrk", KernelClass::Blas3,
@@ -1337,6 +1349,11 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
     fp.push_back(runtime::rw(ctile(j, j)));
     g.add_task("chk_syrk", std::move(fp),
                [this, j, jb, w](const runtime::TaskContext& c) {
+                 for (int k = 0; k < j; ++k) {
+                   c.tiles.read(ctile(j, k));
+                   c.tiles.read(dtile(j, k));
+                 }
+                 c.tiles.rw(ctile(j, j));
                  sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
                                     -1.0, chk_strip(j, j + 1, 0, w),
                                     data_region(off(j), 0, jb, w), 1.0,
@@ -1358,6 +1375,9 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
     g.add_task(
         "d2h_diag", std::move(fp),
         [this, j, jb](const runtime::TaskContext& c) {
+          c.tiles.read(dtile(j, j));
+          c.tiles.write(htile());
+          if (ft_) c.tiles.read(ctile(j, j));
           sim::TransferArmGuard diag_arm(m_, m_.h2d_faults_armed(),
                                          ft_ && opt_.transfer_guard);
           m_.memcpy_d2h_2d(m_.numeric() ? h_diag_.data() : nullptr, b_, d_a_,
@@ -1407,6 +1427,10 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(dtile(i, j)));
       g.add_task("gemm", std::move(fp),
                  [this, j, jb, w, below](const runtime::TaskContext& c) {
+                   for (int i = j + 1; i < nb_; ++i)
+                     for (int k = 0; k < j; ++k) c.tiles.read(dtile(i, k));
+                   for (int k = 0; k < j; ++k) c.tiles.read(dtile(j, k));
+                   for (int i = j + 1; i < nb_; ++i) c.tiles.rw(dtile(i, j));
                    sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
                                       -1.0,
                                       data_region(off(j) + jb, 0, below, w),
@@ -1427,6 +1451,10 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(ctile(i, j)));
       g.add_task("chk_gemm", std::move(fp),
                  [this, j, jb, w](const runtime::TaskContext& c) {
+                   for (int i = j + 1; i < nb_; ++i)
+                     for (int k = 0; k < j; ++k) c.tiles.read(ctile(i, k));
+                   for (int k = 0; k < j; ++k) c.tiles.read(dtile(j, k));
+                   for (int i = j + 1; i < nb_; ++i) c.tiles.rw(ctile(i, j));
                    sim::gpublas::gemm(m_, c.stream, Trans::No, Trans::Yes,
                                       -1.0, chk_strip(j + 1, nb_, 0, w),
                                       data_region(off(j), 0, jb, w), 1.0,
@@ -1447,7 +1475,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
     tel_.verify_scheduled(fault::Op::Potf2, 1);
     g.add_task(
         "verify_arrival", {runtime::rw(htile())},
-        [this, j, jb](const runtime::TaskContext&) {
+        [this, j, jb](const runtime::TaskContext& c) {
+          c.tiles.rw(htile());
           const Tolerance tol = opt_.tolerance;
           KernelDesc vd{"verify_arrival", KernelClass::HostChecksum,
                         blas::gemv_flops(jb, jb) * 2, 0};
@@ -1473,7 +1502,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
         host);
   }
   g.add_task("potf2", {runtime::rw(htile())},
-             [this, jb](const runtime::TaskContext&) {
+             [this, jb](const runtime::TaskContext& tc) {
+               tc.tiles.rw(htile());
                KernelDesc d{"potf2", KernelClass::HostPotf2,
                             blas::potf2_flops(jb), 0};
                m_.host_compute(d, [this, jb] {
@@ -1489,7 +1519,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
              host);
   if (ft_) {
     g.add_task("chk_potf2", {runtime::rw(htile())},
-               [this, jb](const runtime::TaskContext&) {
+               [this, jb](const runtime::TaskContext& c) {
+                 c.tiles.rw(htile());
                  KernelDesc d{"chk_potf2", KernelClass::HostChecksum,
                               2LL * kChecksumRows * jb * jb, 0};
                  m_.host_compute(d, [this, jb] {
@@ -1503,7 +1534,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
       result_.verified.potf2_blocks += 1;
       tel_.verify_scheduled(fault::Op::Potf2, 1);
       g.add_task("verify_potf2", {runtime::rw(htile())},
-                 [this, j, jb](const runtime::TaskContext&) {
+                 [this, j, jb](const runtime::TaskContext& c) {
+                   c.tiles.rw(htile());
                    const Tolerance tol = opt_.tolerance;
                    KernelDesc vd{"verify_potf2", KernelClass::HostChecksum,
                                  blas::gemv_flops(jb, jb) * 2, 0};
@@ -1529,6 +1561,9 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
     g.add_task(
         "h2d_factor", std::move(fp),
         [this, j, jb](const runtime::TaskContext& c) {
+          c.tiles.read(htile());
+          c.tiles.write(dtile(j, j));
+          if (ft_) c.tiles.write(ctile(j, j));
           m_.memcpy_h2d_2d(d_a_,
                            static_cast<std::int64_t>(off(j)) * n_ + off(j),
                            n_, m_.numeric() ? h_diag_.data() : nullptr, b_,
@@ -1570,6 +1605,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(dtile(i, j)));
       g.add_task("trsm", std::move(fp),
                  [this, j, jb, below](const runtime::TaskContext& c) {
+                   c.tiles.read(dtile(j, j));
+                   for (int i = j + 1; i < nb_; ++i) c.tiles.rw(dtile(i, j));
                    sim::gpublas::trsm(m_, c.stream, Side::Right, Uplo::Lower,
                                       Trans::Yes, Diag::NonUnit, 1.0,
                                       data_block(j, j),
@@ -1586,6 +1623,8 @@ void Run::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(ctile(i, j)));
       g.add_task("chk_trsm", std::move(fp),
                  [this, j, jb](const runtime::TaskContext& c) {
+                   c.tiles.read(dtile(j, j));
+                   for (int i = j + 1; i < nb_; ++i) c.tiles.rw(ctile(i, j));
                    sim::gpublas::trsm(m_, c.stream, Side::Right, Uplo::Lower,
                                       Trans::Yes, Diag::NonUnit, 1.0,
                                       data_block(j, j),
@@ -1619,6 +1658,13 @@ void Run::run_once_dag() {
     for (int k = 0; k < nb_; ++k)
       for (int i = k; i < nb_; ++i) dag_verify(g, i, k, fault::Op::Gemm, -1);
   }
+  // Opt-in dynamic footprint sanitizer (docs/static-analysis.md): the
+  // executor hands every body a recording TileAccessor, and any access
+  // outside a declared footprint — or unordered by happens-before —
+  // fails the run with the tracker's report.
+  runtime::AccessTracker tracker;
+  const bool sanitize = runtime::sanitize_env_enabled();
+  if (sanitize) g.set_access_tracker(&tracker);
   // Same transfer-fault arming as the bulk path: H2D copies inside the
   // run are armed; D2H staging copies arm individually (transfer_guard).
   sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
@@ -1626,6 +1672,7 @@ void Run::run_once_dag() {
   ropts.streams = dag_streams();
   ropts.profile = tel_.profile();
   ropts.metrics = opt_.metrics;
+  ropts.schedule_seed = opt_.dag_schedule_seed;
   runtime::run_on_streams(g, m_, ropts);
   if (opt_.variant == Variant::Offline) {
     // The offline sweep reuses the bulk batch machinery; align the host
@@ -1634,6 +1681,10 @@ void Run::run_once_dag() {
     offline_final_verify();
   }
   m_.sync_all();
+  if (sanitize && !tracker.clean()) {
+    throw Error("cholesky DAG failed footprint sanitizing\n" +
+                tracker.report(g));
+  }
 }
 
 }  // namespace

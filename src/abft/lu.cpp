@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/fp.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/sanitizer.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/gpublas.hpp"
 
@@ -673,6 +674,7 @@ void LuRun::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
   // insertion order fixes *when* they fire.
   if (injector_ == nullptr) return;
   runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Base;
   opts.iteration = iter;
   opts.where = runtime::Where::Inline;
   g.add_task(name, {},
@@ -698,13 +700,18 @@ void LuRun::dag_col_verify(runtime::TaskGraph& g, int bi, int bk,
   opts.iteration = iter;
   // Corrections through the column side re-derive the row checksums,
   // so both checksum tiles are read-write.
-  g.add_task("verify_c",
-             {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
-              runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
-             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
-               issue_col_verify(c.stream, bi, bk, attr, pos, iter);
-             },
-             opts);
+  g.add_task(
+      "verify_c",
+      {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
+       runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
+      [this, bi, bk, attr, pos, slot, iter](const runtime::TaskContext& c) {
+        c.tiles.rw(dtile(bi, bk));
+        c.tiles.rw(cctile(bi, bk));
+        c.tiles.rw(rctile(bi, bk));
+        c.tiles.write(stile(slot));
+        issue_col_verify(c.stream, bi, bk, attr, pos, iter);
+      },
+      opts);
 }
 
 void LuRun::dag_row_verify(runtime::TaskGraph& g, int bi, int bk,
@@ -723,13 +730,18 @@ void LuRun::dag_row_verify(runtime::TaskGraph& g, int bi, int bk,
   runtime::TaskOptions opts;
   opts.phase = obs::Phase::Verify;
   opts.iteration = iter;
-  g.add_task("verify_r",
-             {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
-              runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
-             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
-               issue_row_verify(c.stream, bi, bk, attr, pos, iter);
-             },
-             opts);
+  g.add_task(
+      "verify_r",
+      {runtime::rw(dtile(bi, bk)), runtime::rw(cctile(bi, bk)),
+       runtime::rw(rctile(bi, bk)), runtime::write(stile(slot))},
+      [this, bi, bk, attr, pos, slot, iter](const runtime::TaskContext& c) {
+        c.tiles.rw(dtile(bi, bk));
+        c.tiles.rw(cctile(bi, bk));
+        c.tiles.rw(rctile(bi, bk));
+        c.tiles.write(stile(slot));
+        issue_row_verify(c.stream, bi, bk, attr, pos, iter);
+      },
+      opts);
 }
 
 void LuRun::dag_encode(runtime::TaskGraph& g) {
@@ -743,7 +755,10 @@ void LuRun::dag_encode(runtime::TaskGraph& g) {
       g.add_task("encode",
                  {runtime::read(dtile(i, k)), runtime::write(cctile(i, k)),
                   runtime::write(rctile(i, k))},
-                 [this, blk, cchk, rchk](const runtime::TaskContext& c) {
+                 [this, blk, cchk, rchk, i, k](const runtime::TaskContext& c) {
+                   c.tiles.read(dtile(i, k));
+                   c.tiles.write(cctile(i, k));
+                   c.tiles.write(rctile(i, k));
                    KernelDesc dc{"encode_c", KernelClass::Blas2,
                                  blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
                    m_.launch(c.stream, dc, [blk, cchk] {
@@ -769,10 +784,12 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
   const bool verify_this_iter = (j % opt_.verify_interval) == 0;
 
   runtime::TaskOptions base;
+  base.phase = obs::Phase::Base;
   base.iteration = j;
   runtime::TaskOptions update = base;
   update.phase = obs::Phase::Update;
   runtime::TaskOptions host = base;
+  host.phase = obs::Phase::Base;
   host.where = runtime::Where::Host;
 
   // ---------------- panel: fetch, factor on host, re-encode ----------
@@ -789,6 +806,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
     fp.push_back(runtime::write(htile()));
     g.add_task("d2h_panel", std::move(fp),
                [this, j, jb, below](const runtime::TaskContext& c) {
+                 for (int i = j; i < nb_; ++i) c.tiles.read(dtile(i, j));
+                 c.tiles.write(htile());
                  m_.memcpy_d2h_2d(
                      m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
                      static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
@@ -797,7 +816,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
                base);
   }
   g.add_task("getf2", {runtime::rw(htile())},
-             [this, below, jb](const runtime::TaskContext&) {
+             [this, below, jb](const runtime::TaskContext& c) {
+               c.tiles.rw(htile());
                KernelDesc d{"getf2", KernelClass::HostPotf2,
                             static_cast<std::int64_t>(below) * jb * jb, 0};
                m_.host_compute(d, [this, below, jb] {
@@ -807,7 +827,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
              host);
   if (ft_) {
     g.add_task("encode_panel", {runtime::rw(htile())},
-               [this, j, below, jb](const runtime::TaskContext&) {
+               [this, j, below, jb](const runtime::TaskContext& c) {
+                 c.tiles.rw(htile());
                  KernelDesc d{"encode_panel", KernelClass::HostChecksum,
                               4LL * below * jb, 0};
                  m_.host_compute(d, [this, j, jb] {
@@ -826,6 +847,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
     for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(dtile(i, j)));
     g.add_task("h2d_panel", std::move(fp),
                [this, j, jb, below](const runtime::TaskContext& c) {
+                 c.tiles.read(htile());
+                 for (int i = j; i < nb_; ++i) c.tiles.write(dtile(i, j));
                  m_.memcpy_h2d_2d(
                      d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j),
                      n_, m_.numeric() ? h_panel_.data() : nullptr, n_, below,
@@ -840,6 +863,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
     for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(cctile(i, j)));
     g.add_task("h2d_panel_chk", std::move(fp),
                [this, j, jb](const runtime::TaskContext& c) {
+                 c.tiles.read(htile());
+                 for (int i = j; i < nb_; ++i) c.tiles.write(cctile(i, j));
                  m_.memcpy_h2d_2d(
                      d_cchk_,
                      static_cast<std::int64_t>(off(j)) * (2 * nb_) + 2 * j,
@@ -870,6 +895,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
     for (int k = j + 1; k < nb_; ++k) fp.push_back(runtime::rw(dtile(j, k)));
     g.add_task("trsm", std::move(fp),
                [this, j, jb, right](const runtime::TaskContext& c) {
+                 c.tiles.read(dtile(j, j));
+                 for (int k = j + 1; k < nb_; ++k) c.tiles.rw(dtile(j, k));
                  sim::gpublas::trsm(
                      m_, c.stream, Side::Left, Uplo::Lower, Trans::No,
                      Diag::Unit, 1.0, data_block(j, j),
@@ -886,6 +913,8 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
       fp.push_back(runtime::rw(rctile(j, k)));
     g.add_task("chk_trsm", std::move(fp),
                [this, j, jb](const runtime::TaskContext& c) {
+                 c.tiles.read(dtile(j, j));
+                 for (int k = j + 1; k < nb_; ++k) c.tiles.rw(rctile(j, k));
                  sim::gpublas::trsm(m_, c.stream, Side::Left, Uplo::Lower,
                                     Trans::No, Diag::Unit, 1.0,
                                     data_block(j, j),
@@ -926,6 +955,10 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(dtile(i, k)));
     g.add_task("gemm", std::move(fp),
                [this, j, jb, right](const runtime::TaskContext& c) {
+                 for (int i = j + 1; i < nb_; ++i) c.tiles.read(dtile(i, j));
+                 for (int k = j + 1; k < nb_; ++k) c.tiles.read(dtile(j, k));
+                 for (int i = j + 1; i < nb_; ++i)
+                   for (int k = j + 1; k < nb_; ++k) c.tiles.rw(dtile(i, k));
                  sim::gpublas::gemm(
                      m_, c.stream, Trans::No, Trans::No, -1.0,
                      data_region(off(j) + jb, off(j), right, jb),
@@ -949,6 +982,13 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
           fp.push_back(runtime::rw(cctile(i, k)));
       g.add_task("chk_gemm_c", std::move(fp),
                  [this, j, jb, right](const runtime::TaskContext& c) {
+                   for (int i = j + 1; i < nb_; ++i)
+                     c.tiles.read(cctile(i, j));
+                   for (int k = j + 1; k < nb_; ++k)
+                     c.tiles.read(dtile(j, k));
+                   for (int i = j + 1; i < nb_; ++i)
+                     for (int k = j + 1; k < nb_; ++k)
+                       c.tiles.rw(cctile(i, k));
                    sim::gpublas::gemm(
                        m_, c.stream, Trans::No, Trans::No, -1.0,
                        cchk_strip(j + 1, nb_, off(j), jb),
@@ -970,6 +1010,13 @@ void LuRun::dag_iteration(runtime::TaskGraph& g, int j) {
           fp.push_back(runtime::rw(rctile(i, k)));
       g.add_task("chk_gemm_r", std::move(fp),
                  [this, j, jb, right](const runtime::TaskContext& c) {
+                   for (int i = j + 1; i < nb_; ++i)
+                     c.tiles.read(dtile(i, j));
+                   for (int k = j + 1; k < nb_; ++k)
+                     c.tiles.read(rctile(j, k));
+                   for (int i = j + 1; i < nb_; ++i)
+                     for (int k = j + 1; k < nb_; ++k)
+                       c.tiles.rw(rctile(i, k));
                    sim::gpublas::gemm(
                        m_, c.stream, Trans::No, Trans::No, -1.0,
                        data_region(off(j) + jb, off(j), right, jb),
@@ -1006,14 +1053,22 @@ void LuRun::run_once_dag() {
     cur_iter_ = -1;
     dag_sweep(g);
   }
+  // Opt-in dynamic footprint sanitizer (docs/static-analysis.md).
+  runtime::AccessTracker tracker;
+  const bool sanitize = runtime::sanitize_env_enabled();
+  if (sanitize) g.set_access_tracker(&tracker);
   // Same transfer-fault arming as the bulk path.
   sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
   runtime::StreamRunOptions ropts;
   ropts.streams = dag_streams();
   ropts.profile = tel_.profile();
   ropts.metrics = opt_.metrics;
+  ropts.schedule_seed = opt_.dag_schedule_seed;
   runtime::run_on_streams(g, m_, ropts);
   m_.sync_all();
+  if (sanitize && !tracker.clean()) {
+    throw Error("lu DAG failed footprint sanitizing\n" + tracker.report(g));
+  }
 }
 
 }  // namespace

@@ -125,6 +125,11 @@ struct CholeskyOptions {
   /// Execution structure: bulk-synchronous (the oracle) or the
   /// dependency-driven task-graph runtime.
   RuntimeMode runtime = RuntimeMode::Bulk;
+  /// RuntimeMode::Dag only: 0 = the deterministic schedule; nonzero =
+  /// issue the DAG in the seeded random topological order drawn by
+  /// TaskGraph::random_schedule. The schedule-permutation fuzzer's
+  /// knob — numerics are bit-identical for every seed.
+  std::uint64_t dag_schedule_seed = 0;
 
   /// Recovery strategy on unrecoverable corruption.
   Recovery recovery = Recovery::Rerun;

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/fp.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/sanitizer.hpp"
 #include "sim/device_matrix.hpp"
 #include "sim/machine.hpp"
 
@@ -533,6 +534,7 @@ void QrRun::dag_hook(runtime::TaskGraph& g, const char* name, int iter,
   // insertion order fixes *when* they fire.
   if (injector_ == nullptr) return;
   runtime::TaskOptions opts;
+  opts.phase = obs::Phase::Base;
   opts.iteration = iter;
   opts.where = runtime::Where::Inline;
   g.add_task(name, {},
@@ -556,13 +558,17 @@ void QrRun::dag_verify(runtime::TaskGraph& g, int bi, int bk, fault::Op attr,
   runtime::TaskOptions opts;
   opts.phase = obs::Phase::Verify;
   opts.iteration = iter;
-  g.add_task("verify_r",
-             {runtime::rw(dtile(bi, bk)), runtime::rw(rctile(bi, bk)),
-              runtime::write(stile(slot))},
-             [this, bi, bk, attr, pos, iter](const runtime::TaskContext& c) {
-               issue_row_verify(c.stream, bi, bk, attr, pos, iter);
-             },
-             opts);
+  g.add_task(
+      "verify_r",
+      {runtime::rw(dtile(bi, bk)), runtime::rw(rctile(bi, bk)),
+       runtime::write(stile(slot))},
+      [this, bi, bk, attr, pos, slot, iter](const runtime::TaskContext& c) {
+        c.tiles.rw(dtile(bi, bk));
+        c.tiles.rw(rctile(bi, bk));
+        c.tiles.write(stile(slot));
+        issue_row_verify(c.stream, bi, bk, attr, pos, iter);
+      },
+      opts);
 }
 
 void QrRun::dag_encode(runtime::TaskGraph& g) {
@@ -574,7 +580,9 @@ void QrRun::dag_encode(runtime::TaskGraph& g) {
       const DMat chk = rchk_block(i, k);
       g.add_task("encode",
                  {runtime::read(dtile(i, k)), runtime::write(rctile(i, k))},
-                 [this, blk, chk](const runtime::TaskContext& c) {
+                 [this, blk, chk, i, k](const runtime::TaskContext& c) {
+                   c.tiles.read(dtile(i, k));
+                   c.tiles.write(rctile(i, k));
                    KernelDesc d{"encode_r", KernelClass::Blas2,
                                 blas::gemv_flops(blk.rows, blk.cols) * 2, 0};
                    m_.launch(c.stream, d, [blk, chk] {
@@ -594,10 +602,12 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
   const bool verify_this_iter = (j % opt_.verify_interval) == 0;
 
   runtime::TaskOptions base;
+  base.phase = obs::Phase::Base;
   base.iteration = j;
   runtime::TaskOptions update = base;
   update.phase = obs::Phase::Update;
   runtime::TaskOptions host = base;
+  host.phase = obs::Phase::Base;
   host.where = runtime::Where::Host;
 
   // ---------------- panel: fetch, factor + T on host, re-encode ------
@@ -612,6 +622,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
     fp.push_back(runtime::write(htile()));
     g.add_task("d2h_panel", std::move(fp),
                [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 for (int i = j; i < nb_; ++i) c.tiles.read(dtile(i, j));
+                 c.tiles.write(htile());
                  m_.memcpy_d2h_2d(
                      m_.numeric() ? h_panel_.data() : nullptr, n_, d_a_,
                      static_cast<std::int64_t>(off(j)) * n_ + off(j), n_,
@@ -620,7 +632,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
                base);
   }
   g.add_task("geqf2+larft", {runtime::rw(htile())},
-             [this, j, mrem, jb](const runtime::TaskContext&) {
+             [this, j, mrem, jb](const runtime::TaskContext& c) {
+               c.tiles.rw(htile());
                KernelDesc d{"geqf2+larft", KernelClass::HostPotf2,
                             3LL * mrem * jb * jb, 0};
                m_.host_compute(d, [this, j, mrem, jb] {
@@ -634,7 +647,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
              host);
   if (ft_) {
     g.add_task("encode_panel_r", {runtime::rw(htile())},
-               [this, j, mrem, jb](const runtime::TaskContext&) {
+               [this, j, mrem, jb](const runtime::TaskContext& c) {
+                 c.tiles.rw(htile());
                  KernelDesc d{"encode_panel_r", KernelClass::HostChecksum,
                               4LL * mrem * jb, 0};
                  m_.host_compute(d, [this, j, jb] {
@@ -654,6 +668,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
     for (int i = j; i < nb_; ++i) fp.push_back(runtime::write(dtile(i, j)));
     g.add_task("h2d_panel", std::move(fp),
                [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 c.tiles.read(htile());
+                 for (int i = j; i < nb_; ++i) c.tiles.write(dtile(i, j));
                  m_.memcpy_h2d_2d(
                      d_a_, static_cast<std::int64_t>(off(j)) * n_ + off(j),
                      n_, m_.numeric() ? h_panel_.data() : nullptr, n_, mrem,
@@ -663,6 +679,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
   }
   g.add_task("h2d_t", {runtime::read(htile()), runtime::write(ttile())},
              [this, jb](const runtime::TaskContext& c) {
+               c.tiles.read(htile());
+               c.tiles.write(ttile());
                // T is unprotected by checksums (see the class comment's
                // exposure note): keep its copy out of the fault surface.
                sim::TransferArmGuard t_arm(m_, /*h2d=*/false,
@@ -677,6 +695,8 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
       fp.push_back(runtime::write(rctile(i, j)));
     g.add_task("h2d_panel_chk", std::move(fp),
                [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 c.tiles.read(htile());
+                 for (int i = j; i < nb_; ++i) c.tiles.write(rctile(i, j));
                  m_.memcpy_h2d_2d(
                      d_rchk_,
                      static_cast<std::int64_t>(2 * j) * n_ + off(j), n_,
@@ -719,6 +739,10 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(dtile(i, k)));
     g.add_task("larfb", std::move(fp),
                [this, j, jb, mrem, right](const runtime::TaskContext& c) {
+                 for (int i = j; i < nb_; ++i) c.tiles.read(dtile(i, j));
+                 c.tiles.read(ttile());
+                 for (int i = j; i < nb_; ++i)
+                   for (int k = j + 1; k < nb_; ++k) c.tiles.rw(dtile(i, k));
                  const DMat v = data_region(off(j), off(j), mrem, jb);
                  const DMat t = DMat{&d_t_, 0, jb, jb, b_};
                  const DMat cmat =
@@ -746,6 +770,11 @@ void QrRun::dag_iteration(runtime::TaskGraph& g, int j) {
         fp.push_back(runtime::rw(rctile(i, k)));
     g.add_task("larfb_rchk", std::move(fp),
                [this, j, jb, mrem](const runtime::TaskContext& c) {
+                 for (int i = j; i < nb_; ++i) c.tiles.read(dtile(i, j));
+                 c.tiles.read(ttile());
+                 for (int i = j; i < nb_; ++i)
+                   for (int k = j + 1; k < nb_; ++k)
+                     c.tiles.rw(rctile(i, k));
                  const DMat v = data_region(off(j), off(j), mrem, jb);
                  const DMat t = DMat{&d_t_, 0, jb, jb, b_};
                  const DMat strip = rchk_strip(off(j), mrem, j + 1, nb_);
@@ -782,14 +811,22 @@ void QrRun::run_once_dag() {
     cur_iter_ = -1;
     dag_sweep(g);
   }
+  // Opt-in dynamic footprint sanitizer (docs/static-analysis.md).
+  runtime::AccessTracker tracker;
+  const bool sanitize = runtime::sanitize_env_enabled();
+  if (sanitize) g.set_access_tracker(&tracker);
   // Same transfer-fault arming as the bulk path.
   sim::TransferArmGuard arm(m_, /*h2d=*/true, /*d2h=*/false);
   runtime::StreamRunOptions ropts;
   ropts.streams = dag_streams();
   ropts.profile = tel_.profile();
   ropts.metrics = opt_.metrics;
+  ropts.schedule_seed = opt_.dag_schedule_seed;
   runtime::run_on_streams(g, m_, ropts);
   m_.sync_all();
+  if (sanitize && !tracker.clean()) {
+    throw Error("qr DAG failed footprint sanitizing\n" + tracker.report(g));
+  }
 }
 
 }  // namespace

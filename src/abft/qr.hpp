@@ -47,6 +47,8 @@ struct QrOptions {
 
   /// Execution structure — see CholeskyOptions::runtime.
   RuntimeMode runtime = RuntimeMode::Bulk;
+  /// Seeded random DAG issue order — see CholeskyOptions.
+  std::uint64_t dag_schedule_seed = 0;
 
   /// Observability hooks (optional, not owned) — see CholeskyOptions.
   obs::EventSink* event_sink = nullptr;

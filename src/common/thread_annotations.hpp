@@ -95,7 +95,9 @@ class CondVar {
   /// throughout, which is sound for the predicate-loop idiom).
   void wait(Mutex& mu) FTLA_REQUIRES(mu) {
     std::unique_lock<std::mutex> lk(mu.m_, std::adopt_lock);
-    cv_.wait(lk);
+    // The predicate loop lives at every call site by the contract
+    // above; this wrapper is the loop body, not the loop.
+    cv_.wait(lk);  // NOLINT(bugprone-spuriously-wake-up-functions)
     lk.release();  // ownership stays with the caller's MutexLock
   }
 

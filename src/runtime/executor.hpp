@@ -4,7 +4,10 @@
 // mutually independent tasks (TaskGraph::waves) run concurrently via
 // parallel_for; because tasks in one wave touch disjoint writable
 // tiles, the result is bit-identical at any thread count, including
-// serial. ThreadPool contract applies: task bodies must not throw.
+// serial. Bodies may throw: the first exception observed is captured
+// under a mutex, remaining tasks are skipped, and it is rethrown once
+// the in-flight wave drains (which of several same-wave exceptions is
+// "first" follows thread interleaving).
 //
 // run_on_streams — issue onto the simulator's streams. Issue order is
 // the graph's deterministic schedule(); each Device task runs on the
@@ -17,9 +20,17 @@
 // ordering proof. Bodies run eagerly at issue time (that is how the
 // simulator executes numerics), so any topological issue order
 // produces bit-identical numerics; the schedule only shapes virtual
-// time. Bodies may throw (verification tasks do on unrecoverable
-// corruption); the exception unwinds out of the executor with span
-// scopes restored.
+// time. StreamRunOptions::schedule_seed draws a seeded random valid
+// topological order instead of the deterministic one — the
+// schedule-permutation fuzzer's lever for testing exactly that
+// equivalence-class property. Bodies may throw (verification tasks do
+// on unrecoverable corruption); the exception unwinds out of the
+// executor with span scopes restored.
+//
+// Both executors honor an armed sanitizer (TaskGraph::
+// set_access_tracker): they call begin_run/begin_task and hand every
+// body a recording TileAccessor via TaskContext::tiles — see
+// sanitizer.hpp.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +63,11 @@ struct StreamRunOptions {
   obs::SpanStore* profile = nullptr;
   /// Optional `runtime.*` counters.
   obs::MetricsRegistry* metrics = nullptr;
+  /// 0 = the deterministic schedule(). Nonzero = issue in the seeded
+  /// random topological order TaskGraph::random_schedule(seed) draws;
+  /// numerics stay bit-identical (eager-at-issue bodies), only the
+  /// virtual-time shape and fence counts may change.
+  std::uint64_t schedule_seed = 0;
 };
 
 struct StreamRunStats {

@@ -4,6 +4,8 @@
 #include <queue>
 #include <utility>
 
+#include "common/rng.hpp"
+
 namespace ftla::runtime {
 
 namespace {
@@ -99,6 +101,69 @@ std::vector<int> TaskGraph::schedule() const {
   if (static_cast<int>(order.size()) != n) {
     throw CycleError(n - static_cast<int>(order.size()));
   }
+  return order;
+}
+
+std::vector<int> TaskGraph::random_schedule(std::uint64_t seed) const {
+  // Start from the deterministic order (throws on cycle) and split it
+  // at the sequence points (empty-footprint tasks). Each segment is
+  // then re-drawn as a random topological order of its own tasks: every
+  // edge between two segment members is respected, every edge across a
+  // fence keeps its direction because segments run in order, so the
+  // result is a valid topological order of the whole graph with each
+  // sequence point preceded by exactly the task set that precedes it
+  // deterministically.
+  const std::vector<int> det = schedule();
+  Rng rng(seed);
+  std::vector<int> order;
+  order.reserve(det.size());
+
+  std::vector<int> segment;
+  std::vector<int> pending;  // scratch for the per-segment ready draw
+  const auto flush = [&] {
+    if (segment.empty()) return;
+    // indexed by position in `segment`
+    std::vector<int> indegree(segment.size(), 0);
+    std::vector<int> pos_of(static_cast<std::size_t>(size()), -1);
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+      pos_of[static_cast<std::size_t>(segment[i])] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+      for (const int p : nodes_[static_cast<std::size_t>(segment[i])].preds) {
+        if (pos_of[static_cast<std::size_t>(p)] >= 0) ++indegree[i];
+      }
+    }
+    pending.clear();
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+      if (indegree[i] == 0) pending.push_back(static_cast<int>(i));
+    }
+    while (!pending.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(pending.size())));
+      const int at = pending[pick];
+      pending[pick] = pending.back();
+      pending.pop_back();
+      const int id = segment[static_cast<std::size_t>(at)];
+      order.push_back(id);
+      for (const int s : nodes_[static_cast<std::size_t>(id)].succs) {
+        const int sp = pos_of[static_cast<std::size_t>(s)];
+        if (sp >= 0 && --indegree[static_cast<std::size_t>(sp)] == 0) {
+          pending.push_back(sp);
+        }
+      }
+    }
+    segment.clear();
+  };
+
+  for (const int id : det) {
+    if (nodes_[static_cast<std::size_t>(id)].footprint.empty()) {
+      flush();
+      order.push_back(id);  // sequence point: keep its deterministic slot
+    } else {
+      segment.push_back(id);
+    }
+  }
+  flush();
   return order;
 }
 

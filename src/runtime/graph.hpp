@@ -36,6 +36,8 @@
 
 namespace ftla::runtime {
 
+class AccessTracker;  // sanitizer.hpp — opt-in dynamic footprint checker
+
 /// Thrown by schedule()/waves() when explicit edges made the graph
 /// cyclic. Carries the number of tasks left unordered.
 class CycleError : public Error {
@@ -92,11 +94,29 @@ enum class Where {
   Inline,  ///< runs at issue time with no machine interaction
 };
 
+/// Checked tile handle passed to task bodies via TaskContext. When the
+/// graph has an AccessTracker armed (TaskGraph::set_access_tracker /
+/// FTLA_DAG_SANITIZE), every call records the dynamic access so the
+/// sanitizer can verify it against the declared footprint and the
+/// inferred happens-before order; with no tracker armed the calls are
+/// no-ops, so instrumented bodies cost nothing in production runs.
+struct TileAccessor {
+  AccessTracker* tracker = nullptr;
+  int task = -1;
+
+  void read(TileKey t) const;   ///< body consumed the tile's contents
+  void write(TileKey t) const;  ///< body fully overwrote the tile
+  void rw(TileKey t) const;     ///< body updated the tile in place
+};
+
 /// Handed to the body at execution time.
 struct TaskContext {
   int task = -1;    ///< node id in the graph
   int stream = -1;  ///< chosen sim stream (Where::Device only)
   int worker = 0;   ///< host-executor worker index
+  /// Dynamic-footprint recording handle (inert unless a sanitizer
+  /// tracker is armed on the graph).
+  TileAccessor tiles;
 };
 
 using TaskBody = std::function<void(const TaskContext&)>;
@@ -144,6 +164,27 @@ class TaskGraph {
   /// by insertion sequence. Throws CycleError.
   [[nodiscard]] std::vector<std::vector<int>> waves() const;
 
+  /// A seeded random valid topological order, for the schedule-
+  /// permutation fuzzer. Tasks with an *empty* footprint are treated as
+  /// sequence points and keep exactly the position (same preceding task
+  /// set) they have in the deterministic schedule(): an empty footprint
+  /// opted out of dependency inference (the fault hooks use it to pin a
+  /// program point), so no reordering across one can be proven safe.
+  /// All other tasks are permuted freely within those fences, subject
+  /// to the graph's edges. seed selects the permutation; the result is
+  /// a pure function of (graph, seed). Throws CycleError.
+  [[nodiscard]] std::vector<int> random_schedule(std::uint64_t seed) const;
+
+  /// Arms (or disarms, with nullptr) the dynamic footprint sanitizer.
+  /// Executors call tracker->begin_run/begin_task and hand bodies a
+  /// recording TileAccessor; see sanitizer.hpp. Not owned.
+  void set_access_tracker(AccessTracker* tracker) noexcept {
+    tracker_ = tracker;
+  }
+  [[nodiscard]] AccessTracker* access_tracker() const noexcept {
+    return tracker_;
+  }
+
  private:
   struct TileState {
     int last_writer = -1;
@@ -155,6 +196,7 @@ class TaskGraph {
   std::vector<TaskNode> nodes_;
   std::vector<std::pair<TileKey, TileState>> tiles_;  // sorted by key
   std::int64_t edges_ = 0;
+  AccessTracker* tracker_ = nullptr;  // not owned
 };
 
 }  // namespace ftla::runtime

@@ -1,0 +1,26 @@
+// Fixture: raw access-mode plumbing that must fire
+// dag-footprint-helpers when scanned under a src/abft virtual path.
+namespace runtime {
+enum class Access { Read, Write, ReadWrite };
+struct TileKey {
+  int matrix = 0;
+  int row = 0;
+  int col = 0;
+};
+struct Footprint {
+  TileKey tile;
+  Access access;
+};
+}  // namespace runtime
+
+runtime::Footprint raw_read(runtime::TileKey t) {
+  return {t, runtime::Access::Read};  // line 17: raw Access value
+}
+
+runtime::Footprint aggregate(runtime::TileKey t, runtime::Access a) {
+  return runtime::Footprint{t, a};  // line 21: brace-built entry
+}
+
+runtime::Access pick_mode(bool writing) {
+  return writing ? runtime::Access::Write : runtime::Access::ReadWrite;
+}

@@ -1,0 +1,37 @@
+// Fixture: add_task call sites that never name an observability
+// phase — all three must fire dag-task-phase under src/abft.
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace runtime {
+struct TileKey {
+  int matrix = 0;
+};
+struct Footprint;
+Footprint read(TileKey t);
+Footprint write(TileKey t);
+struct TaskContext {};
+struct TaskOptions {
+  int phase = 0;
+  int iteration = 0;
+};
+struct TaskGraph {
+  int add_task(std::string name, std::vector<Footprint> footprint,
+               std::function<void(const TaskContext&)> body,
+               TaskOptions opts = {});
+};
+}  // namespace runtime
+
+void build(runtime::TaskGraph& g, runtime::TileKey t) {
+  g.add_task("lambda_last", {runtime::read(t)},  // line 27: no options
+             [t](const runtime::TaskContext&) { (void)t; });
+
+  runtime::TaskOptions opts;
+  opts.iteration = 3;
+  g.add_task("phaseless_options", {runtime::write(t)},  // line 32
+             [t](const runtime::TaskContext&) { (void)t; }, opts);
+
+  g.add_task("default_options", {runtime::read(t)},  // line 35
+             [t](const runtime::TaskContext&) { (void)t; }, {});
+}

@@ -1,0 +1,14 @@
+// Fixture: runtime.* metric names that break the dotted
+// subsystem.noun[_unit] convention — every call below must fire
+// metrics-naming.
+struct Registry {
+  long& counter(const char*);
+  void add_counter(const char*, long);
+};
+
+void tick(Registry& reg) {
+  reg.add_counter("runtime.Tasks", 1);      // line 10: uppercase segment
+  reg.counter("runtimex.tasks") += 1;       // line 11: unknown namespace
+  reg.add_counter("runtime", 1);            // line 12: no dot
+  reg.add_counter("runtime..sanitize", 1);  // line 13: empty segment
+}

@@ -1,0 +1,40 @@
+// Fixture: explicit captures (including named by-reference ones) and
+// array subscripts inside add_task bodies — must stay silent.
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace runtime {
+struct TileKey {
+  int matrix = 0;
+};
+struct Footprint;
+Footprint read(TileKey t);
+Footprint write(TileKey t);
+struct TaskContext {};
+struct TaskOptions {
+  int phase = 0;
+};
+struct TaskGraph {
+  int add_task(std::string name, std::vector<Footprint> footprint,
+               std::function<void(const TaskContext&)> body,
+               TaskOptions opts = {});
+};
+}  // namespace runtime
+
+void build(runtime::TaskGraph& g, runtime::TileKey t, int j,
+           const std::vector<int>& lengths) {
+  runtime::TaskOptions opts;
+  opts.phase = 1;
+  g.add_task("explicit_captures", {runtime::read(t)},
+             [t, j](const runtime::TaskContext&) {
+               (void)t;
+               (void)j;
+             },
+             opts);
+  g.add_task("named_reference_capture", {runtime::write(t)},
+             [&lengths, j](const runtime::TaskContext&) {
+               (void)lengths[j];
+             },
+             opts);
+}

@@ -1,0 +1,21 @@
+// Fixture: helper-built footprints — must stay silent under the same
+// src/abft virtual path (Access::Write in a comment must not fire).
+#include <vector>
+
+namespace runtime {
+struct TileKey {
+  int matrix = 0;
+  int row = 0;
+  int col = 0;
+};
+struct Footprint;
+Footprint read(TileKey t);
+Footprint write(TileKey t);
+Footprint rw(TileKey t);
+}  // namespace runtime
+
+void declare(std::vector<runtime::Footprint>* fp, runtime::TileKey t) {
+  fp->push_back(runtime::read(t));
+  fp->push_back(runtime::write(t));
+  fp->push_back(runtime::rw(t));
+}

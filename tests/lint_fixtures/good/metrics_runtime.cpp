@@ -1,0 +1,13 @@
+// Fixture: compliant runtime.* metric names (the task-graph runtime's
+// namespace, including the sanitizer counters) — must stay silent.
+struct Registry {
+  long& counter(const char*);
+  void add_counter(const char*, long);
+};
+
+void tick(Registry& reg) {
+  reg.add_counter("runtime.tasks", 1);
+  reg.add_counter("runtime.sanitize.accesses", 1);
+  reg.add_counter("runtime.sanitize.violations", 0);
+  reg.counter("runtime.schedule.random_draws") += 1;
+}

@@ -275,6 +275,63 @@ TEST(IncludeHygiene, SilentOnGoodFixture) {
           .empty());
 }
 
+TEST(MetricsNaming, FiresOnRuntimeNamespaceBadFixture) {
+  const auto findings =
+      lint_fixture("bad/metrics_runtime.cpp", "src/runtime/fixture.cpp");
+  const std::vector<int> lines = lines_of(findings, "metrics-naming");
+  EXPECT_EQ(lines, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(MetricsNaming, SilentOnRuntimeNamespaceGoodFixture) {
+  EXPECT_TRUE(
+      lint_fixture("good/metrics_runtime.cpp", "src/runtime/fixture.cpp")
+          .empty());
+}
+
+TEST(DagFootprintHelpers, FiresOnBadFixture) {
+  const auto findings =
+      lint_fixture("bad/dag_footprint.cpp", "src/abft/fixture.cpp");
+  const std::vector<int> lines = lines_of(findings, "dag-footprint-helpers");
+  EXPECT_EQ(lines, (std::vector<int>{17, 21, 25}));
+}
+
+TEST(DagFootprintHelpers, SilentOnGoodFixtureExemptAndOutOfScope) {
+  EXPECT_TRUE(
+      lint_fixture("good/dag_footprint.cpp", "src/abft/fixture.cpp").empty());
+  // The graph/sanitizer internals legitimately handle raw Access values.
+  EXPECT_TRUE(
+      lint_fixture("bad/dag_footprint.cpp", "src/runtime/graph.cpp").empty());
+  // Outside src/abft + src/runtime the DAG rules do not apply.
+  EXPECT_TRUE(
+      lint_fixture("bad/dag_footprint.cpp", "src/obs/fixture.cpp").empty());
+}
+
+TEST(DagTaskPhase, FiresOnBadFixture) {
+  const auto findings =
+      lint_fixture("bad/dag_task_phase.cpp", "src/abft/fixture.cpp");
+  const std::vector<int> lines = lines_of(findings, "dag-task-phase");
+  EXPECT_EQ(lines, (std::vector<int>{27, 32, 35}));
+}
+
+TEST(DagTaskPhase, SilentOnGoodFixtureAndOutOfScope) {
+  EXPECT_TRUE(
+      lint_fixture("good/dag_task_phase.cpp", "src/abft/fixture.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture("bad/dag_task_phase.cpp", "tests/fixture.cpp").empty());
+}
+
+TEST(DagCaptureHygiene, FiresOnBadFixture) {
+  const auto findings =
+      lint_fixture("bad/dag_capture.cpp", "src/abft/fixture.cpp");
+  const std::vector<int> lines = lines_of(findings, "dag-capture-hygiene");
+  EXPECT_EQ(lines, (std::vector<int>{29, 31, 33}));
+}
+
+TEST(DagCaptureHygiene, SilentOnGoodFixture) {
+  EXPECT_TRUE(
+      lint_fixture("good/dag_capture.cpp", "src/abft/fixture.cpp").empty());
+}
+
 // --------------------------- suppression ------------------------------
 
 TEST(Suppression, AllowCommentSilencesNamedRule) {

@@ -420,6 +420,194 @@ void rule_include_hygiene(const SourceFile& f, const RuleConfig& cfg,
   }
 }
 
+// ----- DAG rules: shared add_task call-site walker ---------------------
+
+std::string trim_copy(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// One `.add_task(...)` / `->add_task(...)` call site: the 0-based line
+/// of the token, the per-line argument text (inside the outer parens),
+/// and the arguments split at top-level commas. Out-of-line
+/// definitions (`TaskGraph::add_task`) are not calls and are skipped.
+struct AddTaskCall {
+  int line = 0;
+  std::vector<std::pair<int, std::string>> extent;
+  std::vector<std::string> args;
+};
+
+std::vector<AddTaskCall> add_task_calls(const SourceFile& f) {
+  static const std::string kToken = "add_task";
+  std::vector<AddTaskCall> calls;
+  for (int ln = 0; ln < static_cast<int>(f.code.size()); ++ln) {
+    const std::string& line = f.code[static_cast<std::size_t>(ln)];
+    std::size_t at = 0;
+    while ((at = line.find(kToken, at)) != std::string::npos) {
+      const std::size_t tok_end = at + kToken.size();
+      const bool member =
+          at > 0 && (line[at - 1] == '.' || line[at - 1] == '>');
+      std::size_t open = tok_end;
+      while (open < line.size() && line[open] == ' ') ++open;
+      if (!member || open >= line.size() || line[open] != '(') {
+        at = tok_end;
+        continue;
+      }
+
+      AddTaskCall call;
+      call.line = ln;
+      int pd = 0;  // parens, 1 inside the call's own list
+      int bd = 0;  // braces (footprint / designated initializers)
+      int kd = 0;  // brackets (lambda captures, subscripts)
+      std::string cur;
+      bool done = false;
+      int l = ln;
+      std::size_t p = open;
+      while (l < static_cast<int>(f.code.size()) && !done) {
+        const std::string& s = f.code[static_cast<std::size_t>(l)];
+        std::string seg;
+        for (; p < s.size(); ++p) {
+          const char c = s[p];
+          if (c == '(' && pd == 0) {
+            pd = 1;
+            continue;
+          }
+          if (c == '(') {
+            ++pd;
+          } else if (c == ')') {
+            --pd;
+            if (pd == 0) {
+              done = true;
+              break;
+            }
+          } else if (c == '{') {
+            ++bd;
+          } else if (c == '}') {
+            --bd;
+          } else if (c == '[') {
+            ++kd;
+          } else if (c == ']') {
+            --kd;
+          }
+          if (c == ',' && pd == 1 && bd == 0 && kd == 0) {
+            call.args.push_back(cur);
+            cur.clear();
+          } else {
+            cur += c;
+          }
+          seg += c;
+        }
+        if (!seg.empty()) call.extent.emplace_back(l, seg);
+        if (!done) {
+          ++l;
+          p = 0;
+          cur += ' ';
+        }
+      }
+      if (done) call.args.push_back(cur);
+      calls.push_back(std::move(call));
+      at = tok_end;
+    }
+  }
+  return calls;
+}
+
+// ----- rule: dag-footprint-helpers ------------------------------------
+
+void rule_dag_footprint_helpers(const SourceFile& f, const RuleConfig&,
+                                std::vector<Finding>* out) {
+  static const std::regex kRawAccess(R"(\bAccess\s*::)");
+  static const std::regex kBraceFootprint(R"(\bFootprint\s*\{)");
+  static const std::regex kTypeDecl(R"(\b(?:struct|class)\s+Footprint\b)");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (std::regex_search(line, kRawAccess)) {
+      out->push_back({f.path, static_cast<int>(i) + 1,
+                      "dag-footprint-helpers",
+                      "raw runtime::Access value in DAG code; declare "
+                      "footprints with the runtime::read/write/rw helpers "
+                      "so access modes stay auditable"});
+      continue;
+    }
+    if (std::regex_search(line, kBraceFootprint) &&
+        !std::regex_search(line, kTypeDecl)) {
+      out->push_back({f.path, static_cast<int>(i) + 1,
+                      "dag-footprint-helpers",
+                      "brace-built runtime::Footprint entry; use the "
+                      "runtime::read/write/rw helpers instead of aggregate "
+                      "construction"});
+    }
+  }
+}
+
+// ----- rule: dag-task-phase -------------------------------------------
+
+void rule_dag_task_phase(const SourceFile& f, const RuleConfig&,
+                         std::vector<Finding>* out) {
+  const std::vector<AddTaskCall> calls = add_task_calls(f);
+  if (calls.empty()) return;
+  const std::vector<Region> regions = function_regions(f);
+  static const std::regex kIdentifier(R"(^[A-Za-z_][A-Za-z0-9_]*$)");
+
+  for (const AddTaskCall& call : calls) {
+    const std::string last =
+        call.args.empty() ? std::string() : trim_copy(call.args.back());
+    if (std::regex_match(last, kIdentifier)) {
+      // Named TaskOptions: `<name>.phase` must be assigned somewhere in
+      // the enclosing function (the whole file when no region matches —
+      // e.g. options populated by a helper).
+      int begin = 0;
+      int end = static_cast<int>(f.code.size()) - 1;
+      for (const Region& r : regions) {
+        if (r.begin <= call.line && call.line <= r.end) {
+          begin = r.begin;
+          end = r.end;
+          break;
+        }
+      }
+      const std::string needle = last + ".phase";
+      bool sets_phase = false;
+      for (int ln = begin; ln <= end && !sets_phase; ++ln) {
+        sets_phase = contains_token(f.code[static_cast<std::size_t>(ln)],
+                                    needle);
+      }
+      if (!sets_phase) {
+        out->push_back({f.path, call.line + 1, "dag-task-phase",
+                        "TaskOptions '" + last +
+                            "' passed to add_task never sets .phase; every "
+                            "DAG task names its observability phase so "
+                            "telemetry and the profiler can attribute it"});
+      }
+    } else if (last.find(".phase") == std::string::npos) {
+      out->push_back({f.path, call.line + 1, "dag-task-phase",
+                      "add_task call site without a phase-bearing "
+                      "TaskOptions argument; pass options with .phase set "
+                      "so telemetry and the profiler can attribute the "
+                      "task"});
+    }
+  }
+}
+
+// ----- rule: dag-capture-hygiene --------------------------------------
+
+void rule_dag_capture_hygiene(const SourceFile& f, const RuleConfig&,
+                              std::vector<Finding>* out) {
+  static const std::regex kDefaultCapture(R"(\[\s*[&=]\s*[,\]])");
+  for (const AddTaskCall& call : add_task_calls(f)) {
+    for (const auto& [ln, seg] : call.extent) {
+      if (std::regex_search(seg, kDefaultCapture)) {
+        out->push_back({f.path, ln + 1, "dag-capture-hygiene",
+                        "default lambda capture ([&] / [=]) in an add_task "
+                        "argument; capture tiles and indices explicitly so "
+                        "the body provably touches only the declared "
+                        "footprint"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ----- catalog and defaults -------------------------------------------
@@ -438,6 +626,13 @@ const std::vector<RuleInfo>& rule_catalog() {
        "metric names follow the dotted subsystem.noun[_unit] convention"},
       {"include-hygiene",
        "headers under src/ avoid heavyweight standard includes"},
+      {"dag-footprint-helpers",
+       "DAG footprints come from the read/write/rw helpers, never raw "
+       "Access values"},
+      {"dag-task-phase",
+       "every add_task call site names its observability phase"},
+      {"dag-capture-hygiene",
+       "add_task lambdas capture explicitly — no [&] or [=] defaults"},
   };
   return kCatalog;
 }
@@ -466,6 +661,21 @@ Config default_config() {
   includes.paths = {"src"};
   cfg.rules["include-hygiene"] = includes;
 
+  RuleConfig dag_footprint;
+  dag_footprint.paths = {"src/abft", "src/runtime"};
+  dag_footprint.exempt = {"src/runtime/graph.hpp", "src/runtime/graph.cpp",
+                          "src/runtime/sanitizer.hpp",
+                          "src/runtime/sanitizer.cpp"};
+  cfg.rules["dag-footprint-helpers"] = dag_footprint;
+
+  RuleConfig dag_phase;
+  dag_phase.paths = {"src/abft", "src/runtime"};
+  cfg.rules["dag-task-phase"] = dag_phase;
+
+  RuleConfig dag_capture;
+  dag_capture.paths = {"src/abft", "src/runtime"};
+  cfg.rules["dag-capture-hygiene"] = dag_capture;
+
   return cfg;
 }
 
@@ -481,6 +691,9 @@ std::vector<Finding> lint_file(const SourceFile& file, const Config& config) {
       {"exit-code-contract", rule_exit_code_contract},
       {"metrics-naming", rule_metrics_naming},
       {"include-hygiene", rule_include_hygiene},
+      {"dag-footprint-helpers", rule_dag_footprint_helpers},
+      {"dag-task-phase", rule_dag_task_phase},
+      {"dag-capture-hygiene", rule_dag_capture_hygiene},
   };
 
   std::vector<Finding> findings;
