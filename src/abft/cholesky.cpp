@@ -124,6 +124,16 @@ class Run {
       }
       result_.resumed_iterations = resume_from_;
     }
+    // Causal tracing (docs/observability.md): the driver roots its
+    // "factorize" span at the fixed child slot of the caller's context,
+    // so the service's attempt span and the driver's spans agree on ids
+    // without further coordination.
+    trace_ = opt_.trace != nullptr && opt_.trace_ctx.valid() ? opt_.trace
+                                                             : nullptr;
+    if (trace_ != nullptr) {
+      trace_factorize_ =
+          obs::derive_span_id(opt_.trace_ctx.span_id, obs::kTraceDriverChild);
+    }
   }
 
   CholeskyResult execute();
@@ -291,6 +301,33 @@ class Run {
   StreamId s_xfer_ = 0;
   std::vector<StreamId> s_recalc_;
 
+  /// Records one span under the job's causal trace (no-op when tracing
+  /// is off). Device and tenant come from the caller's context.
+  void trace_span(obs::SpanId id, obs::SpanId parent, const char* name,
+                  const char* kind, double start, double end,
+                  const char* status, std::string detail = {}) {
+    if (trace_ == nullptr) return;
+    obs::TraceSpan s;
+    s.trace_id = opt_.trace_ctx.trace_id;
+    s.span_id = id;
+    s.parent_span = parent;
+    s.name = name;
+    s.kind = kind;
+    s.device = opt_.trace_ctx.device;
+    s.tenant = opt_.trace_ctx.tenant;
+    s.start = start;
+    s.end = end;
+    s.status = status;
+    s.detail = std::move(detail);
+    trace_->record(s);
+  }
+
+  obs::TraceStore* trace_ = nullptr;      // null = tracing off
+  obs::SpanId trace_factorize_ = 0;       // the driver's root span id
+  obs::SpanId trace_pass_ = 0;            // current pass span id
+  double trace_pass_start_ = 0.0;
+  int trace_pass_count_ = 0;
+
   CholeskyResult result_;
 };
 
@@ -301,36 +338,69 @@ CholeskyResult Run::execute() {
   m_.sync_all();
   const double t0 = m_.host_now();
 
+  if (trace_ != nullptr && resume_from_ > 0) {
+    trace_span(obs::derive_span_id(trace_factorize_, 1), trace_factorize_,
+               "resume", "marker", t0, t0, "ok",
+               "iterations=" + std::to_string(resume_from_));
+  }
+
   bool done = false;
-  while (!done) {
-    try {
-      run_once();
-      done = true;
-      result_.success = true;
-    } catch (const NotPositiveDefiniteError& e) {
-      result_.fail_stop_observed = true;
-      if (opt_.variant == Variant::NoFt ||
-          result_.reruns >= opt_.max_reruns) {
-        result_.note = std::string("fail-stop: ") + e.what();
+  try {
+    while (!done) {
+      ++trace_pass_count_;
+      trace_pass_ = obs::derive_span_id(
+          trace_factorize_,
+          obs::kTraceIterationChildBase +
+              static_cast<std::uint64_t>(trace_pass_count_));
+      trace_pass_start_ = m_.host_now();
+      try {
+        run_once();
         done = true;
-      } else {
-        ++result_.reruns;
-        tel_.rerun(result_.reruns, "not_positive_definite");
-        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
-        upload();
-      }
-    } catch (const UnrecoverableCorruptionError& e) {
-      if (opt_.variant == Variant::NoFt ||
-          result_.reruns >= opt_.max_reruns) {
-        result_.note = std::string("unrecoverable: ") + e.what();
-        done = true;
-      } else {
-        ++result_.reruns;
-        tel_.rerun(result_.reruns, "unrecoverable_corruption");
-        const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
-        upload();
+        result_.success = true;
+        trace_span(trace_pass_, trace_factorize_, "pass", "pass",
+                   trace_pass_start_, m_.host_now(), "ok");
+      } catch (const NotPositiveDefiniteError& e) {
+        trace_span(trace_pass_, trace_factorize_, "pass", "pass",
+                   trace_pass_start_, m_.host_now(), "error",
+                   "not_positive_definite");
+        result_.fail_stop_observed = true;
+        if (opt_.variant == Variant::NoFt ||
+            result_.reruns >= opt_.max_reruns) {
+          result_.note = std::string("fail-stop: ") + e.what();
+          done = true;
+        } else {
+          ++result_.reruns;
+          tel_.rerun(result_.reruns, "not_positive_definite");
+          const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
+          upload();
+        }
+      } catch (const UnrecoverableCorruptionError& e) {
+        trace_span(trace_pass_, trace_factorize_, "pass", "pass",
+                   trace_pass_start_, m_.host_now(), "error",
+                   "unrecoverable_corruption");
+        if (opt_.variant == Variant::NoFt ||
+            result_.reruns >= opt_.max_reruns) {
+          result_.note = std::string("unrecoverable: ") + e.what();
+          done = true;
+        } else {
+          ++result_.reruns;
+          tel_.rerun(result_.reruns, "unrecoverable_corruption");
+          const obs::PhaseScope recover(tel_.profile(), obs::Phase::Recover);
+          upload();
+        }
       }
     }
+  } catch (...) {
+    // A device loss (or any other failure the retry ladder does not
+    // handle) unwinds out of the driver: close the open pass and
+    // factorize spans first so the trace keeps its parentage intact —
+    // the service's attempt span records the loss itself.
+    const double at = m_.host_now();
+    trace_span(trace_pass_, trace_factorize_, "pass", "pass",
+               trace_pass_start_, at, "loss");
+    trace_span(trace_factorize_, opt_.trace_ctx.span_id, "factorize",
+               "driver", t0, at, "loss");
+    throw;
   }
 
   m_.sync_all();
@@ -339,6 +409,9 @@ CholeskyResult Run::execute() {
   result_.gflops =
       result_.seconds > 0.0 ? flops / result_.seconds / 1e9 : 0.0;
   result_.chosen_placement = placement_;
+
+  trace_span(trace_factorize_, opt_.trace_ctx.span_id, "factorize", "driver",
+             t0, t0 + result_.seconds, result_.success ? "ok" : "error");
 
   if (result_.success) final_download();
   return result_;
@@ -562,12 +635,23 @@ void Run::save_panels(int upto) {
     verify_blocks(shipped, fault::Op::Gemm);
   }
   const obs::PhaseScope phase(tel_.profile(), obs::Phase::Recover);
+  const double ck_t0 = m_.host_now();
   m_.sync_stream(s_compute_);
   m_.memcpy_d2h(ck_->columns.data() + static_cast<std::int64_t>(c0) * n_,
                 d_a_, static_cast<std::int64_t>(c0) * n_,
                 static_cast<std::int64_t>(cols) * n_, s_xfer_,
                 /*blocking=*/true);
   ck_->iterations = upto;
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(cols) * n_ * static_cast<int>(sizeof(double));
+  result_.checkpoint_bytes += bytes;
+  trace_span(obs::derive_span_id(trace_pass_,
+                                 obs::kTraceCheckpointChildBase +
+                                     static_cast<std::uint64_t>(upto)),
+             trace_pass_, "checkpoint", "checkpoint", ck_t0, m_.host_now(),
+             "ok",
+             "iterations=" + std::to_string(upto) +
+                 " bytes=" + std::to_string(bytes));
   tel_.checkpoint_taken(upto);
 }
 
@@ -1673,6 +1757,13 @@ void Run::run_once_dag() {
   ropts.profile = tel_.profile();
   ropts.metrics = opt_.metrics;
   ropts.schedule_seed = opt_.dag_schedule_seed;
+  if (trace_ != nullptr) {
+    // DAG task spans hang off the current pass span, ids derived from
+    // node ids — the same graph traces to the same ids at any schedule.
+    ropts.trace = trace_;
+    ropts.trace_ctx = opt_.trace_ctx;
+    ropts.trace_ctx.span_id = trace_pass_;
+  }
   runtime::run_on_streams(g, m_, ropts);
   if (opt_.variant == Variant::Offline) {
     // The offline sweep reuses the bulk batch machinery; align the host

@@ -7,6 +7,7 @@
 
 #include "abft/checksum.hpp"
 #include "common/matrix.hpp"
+#include "obs/trace.hpp"
 
 namespace ftla::obs {
 class EventSink;
@@ -168,6 +169,15 @@ struct CholeskyOptions {
   /// postmortems").
   obs::TimeSeriesStore* timeseries = nullptr;
 
+  /// Causal-trace store + context (optional, not owned). With both set,
+  /// the driver records a "factorize" span under trace_ctx.span_id,
+  /// one "pass" span per execution attempt (reruns included), resume
+  /// markers, per-checkpoint-save spans carrying the D2H byte count,
+  /// and — in RuntimeMode::Dag — one span per DAG task node
+  /// (docs/observability.md, "Causal tracing & SLOs").
+  obs::TraceStore* trace = nullptr;
+  obs::TraceContext trace_ctx;
+
   /// Panel-checkpoint store (optional, not owned; Numeric mode only).
   /// Every `checkpoint_interval` completed iterations the driver
   /// appends the newly retired panel columns to it; when the store
@@ -207,6 +217,8 @@ struct CholeskyResult {
   /// Outer iterations skipped by seeding from a panel checkpoint
   /// (options.panel_checkpoint); 0 for a cold start.
   int resumed_iterations = 0;
+  /// Bytes streamed into the panel checkpoint (D2H), all saves summed.
+  std::int64_t checkpoint_bytes = 0;
   /// True when an injected fault slipped past the scheme (possible for
   /// NoFt / Offline / Online under storage errors — the paper's point).
   bool fail_stop_observed = false;

@@ -37,6 +37,7 @@ enum class EventKind {
   Rerun,           ///< full-restart recovery triggered
   Checkpoint,      ///< device snapshot taken
   Note,            ///< free-form annotation
+  Alert,           ///< SLO burn-rate threshold crossing
 };
 
 [[nodiscard]] const char* to_string(EventKind k);

@@ -24,6 +24,7 @@ const char* to_string(EventKind k) {
     case EventKind::Rerun: return "rerun";
     case EventKind::Checkpoint: return "checkpoint";
     case EventKind::Note: return "note";
+    case EventKind::Alert: return "alert";
   }
   return "?";
 }

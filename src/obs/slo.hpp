@@ -1,0 +1,117 @@
+// Service-level objectives evaluated over virtual time.
+//
+// An SLO is a target fraction of "good" jobs over the run: availability
+// (job completed successfully), p99 latency (job finished under a
+// threshold), and zero-SDC (no silent data corruption escaped the
+// oracle). The engine consumes one record_job() call per finished job
+// — stamped with the fleet's virtual clock — and maintains, per SLO,
+// the bad-event count, the error-budget fraction consumed, and the
+// *burn rate*: the ratio of the observed bad fraction to the budget the
+// objective allows. burn_rate == 1 means the budget is being consumed
+// exactly as fast as the objective permits; above `alert_burn_rate` the
+// engine emits a threshold-crossing EventKind::Alert into the normal
+// event plumbing (and so into flight-recorder tails), stamped with the
+// virtual time of the job that crossed the threshold.
+//
+// A zero-width budget (objective == 1.0, the zero-SDC case) makes the
+// burn rate infinite on the first bad event; it is capped at
+// kMaxBurnRate so exports stay finite and byte-stable.
+//
+// Everything here is deterministic: no wall clock, no sampling — the
+// p99 is the exact nearest-rank percentile over all recorded
+// latencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace ftla::obs {
+
+class EventSink;
+class MetricsRegistry;
+
+/// Burn-rate cap substituting for infinity when the error budget is
+/// zero-width (objective == 1.0).
+inline constexpr double kMaxBurnRate = 1.0e6;
+
+enum class SloKind {
+  Availability,  ///< good = job completed successfully
+  LatencyP99,    ///< good = latency <= latency_threshold_s
+  ZeroSdc,       ///< good = no silent data corruption
+};
+
+[[nodiscard]] const char* to_string(SloKind k);
+
+struct SloSpec {
+  std::string name;  ///< metric-segment name, e.g. "availability"
+  SloKind kind = SloKind::Availability;
+  /// Target good fraction; the error budget is 1 - objective.
+  double objective = 0.999;
+  /// LatencyP99 only: the latency above which a job is "bad".
+  double latency_threshold_s = 0.0;
+  /// Alert when the burn rate first crosses this threshold.
+  double alert_burn_rate = 1.0;
+};
+
+/// Live evaluation state for one SLO.
+struct SloState {
+  SloSpec spec;
+  std::int64_t total = 0;
+  std::int64_t bad = 0;
+  bool alerting = false;   ///< burn rate has crossed alert_burn_rate
+  double alert_time = 0.0; ///< virtual time of the crossing job
+
+  [[nodiscard]] double bad_fraction() const {
+    return total > 0 ? static_cast<double>(bad) / static_cast<double>(total)
+                     : 0.0;
+  }
+  /// Observed bad fraction over the allowed bad fraction, capped at
+  /// kMaxBurnRate when the budget is zero-width.
+  [[nodiscard]] double burn_rate() const;
+  /// Fraction of the error budget consumed so far (also capped).
+  [[nodiscard]] double budget_consumed() const { return burn_rate(); }
+};
+
+/// Evaluates a set of SLOs over a stream of finished jobs. Thread-safe
+/// recording; accessors are for the export phase (single-threaded by
+/// the same contract as MetricsRegistry's reference accessors).
+class SloEngine {
+ public:
+  SloEngine() = default;
+
+  /// The fleet service's stock objectives: 99% availability, p99 job
+  /// latency under `latency_threshold_s`, and zero SDC.
+  [[nodiscard]] static std::vector<SloSpec> default_fleet_slos(
+      double latency_threshold_s);
+
+  void add(const SloSpec& spec);
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
+
+  /// Records one finished job at virtual time `time`. Emits an Alert
+  /// event for every SLO whose burn rate crosses its alert threshold
+  /// with this job.
+  void record_job(double time, bool success, bool sdc, double latency_s);
+
+  [[nodiscard]] std::vector<SloState> states() const;
+
+  /// Exact nearest-rank p99 over every recorded latency.
+  [[nodiscard]] double latency_p99() const;
+
+  /// Exports slo.<name>.{total,bad,burn_rate,objective,alerting} plus
+  /// slo.latency_p99_s and slo.alerts under the `slo.` namespace.
+  void export_metrics(MetricsRegistry* metrics) const;
+
+  [[nodiscard]] std::int64_t alerts_fired() const;
+
+ private:
+  mutable common::Mutex mu_;
+  std::vector<SloState> states_ FTLA_GUARDED_BY(mu_);
+  std::vector<double> latencies_ FTLA_GUARDED_BY(mu_);
+  std::int64_t alerts_ FTLA_GUARDED_BY(mu_) = 0;
+  EventSink* sink_ = nullptr;
+};
+
+}  // namespace ftla::obs

@@ -103,6 +103,8 @@ StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
   std::vector<sim::StreamId> on(static_cast<std::size_t>(graph.size()), -1);
   std::vector<double> ends(static_cast<std::size_t>(graph.size()), 0.0);
 
+  const bool tracing = opts.trace != nullptr && opts.trace_ctx.valid();
+
   for (const int id : order) {
     const TaskNode& node = graph.node(id);
     if (opts.profile != nullptr) opts.profile->set_iteration(node.opts.iteration);
@@ -113,10 +115,14 @@ StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
     TaskContext ctx;
     ctx.task = id;
     ctx.tiles = TileAccessor{tracker, id};
+    double span_begin = 0.0;
+    double span_end = 0.0;
     switch (node.opts.where) {
       case Where::Inline:
         ++stats.inline_tasks;
+        span_begin = machine.host_now();
         node.body(ctx);
+        span_end = span_begin;
         break;
       case Where::Host: {
         ++stats.host_tasks;
@@ -130,7 +136,9 @@ StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
           machine.sync_event(e);
           ++stats.host_syncs;
         }
+        span_begin = machine.host_now();
         node.body(ctx);
+        span_end = machine.host_now();
         break;
       }
       case Where::Device: {
@@ -151,7 +159,9 @@ StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
           ++stats.stream_waits;
         }
         ctx.stream = s;
+        span_begin = machine.stream_end(s);
         node.body(ctx);
+        span_end = machine.stream_end(s);
         if (!node.succs.empty()) {
           events[static_cast<std::size_t>(id)] = machine.record_event(s);
         }
@@ -159,6 +169,22 @@ StreamRunStats run_on_streams(const TaskGraph& graph, sim::Machine& machine,
         ends[static_cast<std::size_t>(id)] = machine.stream_end(s);
         break;
       }
+    }
+    if (tracing) {
+      obs::TraceSpan ts;
+      ts.trace_id = opts.trace_ctx.trace_id;
+      ts.span_id = obs::derive_span_id(
+          opts.trace_ctx.span_id,
+          obs::kTraceTaskChildBase + static_cast<std::uint64_t>(id));
+      ts.parent_span = opts.trace_ctx.span_id;
+      ts.name = node.name;
+      ts.kind = "task";
+      ts.device = opts.trace_ctx.device;
+      ts.tenant = opts.trace_ctx.tenant;
+      ts.start = span_begin;
+      ts.end = span_end;
+      ts.status = "ok";
+      opts.trace->record(ts);
     }
   }
   if (opts.profile != nullptr) opts.profile->set_iteration(-1);

@@ -39,6 +39,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "runtime/graph.hpp"
 #include "sim/machine.hpp"
 
@@ -68,6 +69,14 @@ struct StreamRunOptions {
   /// numerics stay bit-identical (eager-at-issue bodies), only the
   /// virtual-time shape and fence counts may change.
   std::uint64_t schedule_seed = 0;
+  /// Optional causal tracing (docs/observability.md): with a store and
+  /// a valid context, every executed task records one TraceSpan under
+  /// trace_ctx.span_id, its id derived from the node id (so the same
+  /// graph traces to the same ids at any schedule). Device spans cover
+  /// the task's stream-end window, Host spans the host-clock window,
+  /// Inline tasks record zero-duration markers.
+  obs::TraceStore* trace = nullptr;
+  obs::TraceContext trace_ctx;
 };
 
 struct StreamRunStats {

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "obs/slo.hpp"
 #include "sim/fleet.hpp"
 #include "sim/profile.hpp"
 
@@ -46,6 +47,10 @@ std::vector<JobSpec> draw_jobs(const FleetScenario& sc) {
     spec.n = sc.block * rng.uniform_int(sc.min_blocks, sc.max_blocks);
     spec.matrix_seed = rng.next_u64() | 1ULL;
     spec.fault_seed = rng.next_u64() | 1ULL;
+    // Accounting principal derived from an already-drawn seed: no extra
+    // RNG draw, so traces and tenancy leave every prior replay intact.
+    static const char* const kTenants[3] = {"alpha", "beta", "gamma"};
+    spec.tenant = kTenants[spec.matrix_seed % 3];
     // The guarded variant only: the campaign certifies recovery under
     // device faults, so every job must be SDC-free by construction.
     spec.variant = abft::Variant::EnhancedOnline;
@@ -70,16 +75,25 @@ std::vector<JobSpec> draw_jobs(const FleetScenario& sc) {
 double run_fleet_once(const FleetScenario& sc,
                       const std::vector<JobSpec>& jobs,
                       const std::vector<fault::DeviceFaultSpec>& plan,
-                      sim::ExecutionMode mode, FleetScenarioResult* out) {
+                      sim::ExecutionMode mode, FleetScenarioResult* out,
+                      bool collect_trace) {
   sim::FleetProfile fp;
   fp.device = sim::test_rig();
   fp.devices = sc.devices;
   fp.link_capacity = sc.link_capacity;
   sim::Fleet fleet(fp, mode);
 
+  // Per-scenario store: trace ids derive from the scenario seed and the
+  // admission sequence, so the spans are schedule-independent and the
+  // campaign can merge them in draw order.
+  obs::TraceStore trace;
   ServiceOptions so;
   so.max_retries = sc.max_retries;
   so.checkpoint_interval = 2;
+  if (collect_trace) {
+    so.trace = &trace;
+    so.trace_seed = sc.seed;
+  }
   FactorizationService svc(fleet, so);
   svc.apply(plan);
   for (const auto& spec : jobs) svc.submit(spec);
@@ -99,8 +113,17 @@ double run_fleet_once(const FleetScenario& sc,
       out->retries_spent += std::max(0, r.attempts - 1);
       out->faults_fired += r.faults_fired;
       out->faults_detected += r.faults_detected;
+      if (!r.tenant.empty()) {
+        TenantUsage& t = out->tenants[r.tenant];
+        t.jobs += 1;
+        t.retries += std::max(0, r.attempts - 1);
+        t.migrations += r.migrations;
+        t.device_seconds += r.device_seconds;
+        t.checkpoint_bytes += r.checkpoint_bytes;
+      }
     }
     out->jobs = std::move(results);
+    if (collect_trace) out->trace_spans = trace.snapshot();
   }
   return fleet.makespan();
 }
@@ -119,14 +142,15 @@ const char* to_string(FleetVerdict v) {
   return "?";
 }
 
-FleetScenarioResult run_fleet_scenario(const FleetScenario& sc) {
+FleetScenarioResult run_fleet_scenario(const FleetScenario& sc,
+                                       bool collect_trace) {
   FTLA_CHECK(sc.devices >= 1 && sc.jobs >= 1);
   const std::vector<JobSpec> jobs = draw_jobs(sc);
 
   // Dry run on a pristine twin fleet: its makespan is the horizon the
   // device-fault plan is sampled against, so losses land mid-workload.
-  const double horizon =
-      run_fleet_once(sc, jobs, {}, sim::ExecutionMode::TimingOnly, nullptr);
+  const double horizon = run_fleet_once(
+      sc, jobs, {}, sim::ExecutionMode::TimingOnly, nullptr, false);
 
   fault::DeviceFaultPlanConfig pc;
   pc.devices = sc.devices;
@@ -140,7 +164,8 @@ FleetScenarioResult run_fleet_scenario(const FleetScenario& sc) {
 
   FleetScenarioResult out;
   out.horizon_s = horizon;
-  run_fleet_once(sc, jobs, plan, sim::ExecutionMode::Numeric, &out);
+  run_fleet_once(sc, jobs, plan, sim::ExecutionMode::Numeric, &out,
+                 collect_trace);
   return out;
 }
 
@@ -175,7 +200,8 @@ namespace {
 /// parallel campaign this runs only in the serial merge phase, so the
 /// summary is independent of the worker schedule.
 void merge_one(FleetCampaignSummary& sum, const FleetScenario& sc,
-               const FleetScenarioResult& res) {
+               const FleetScenarioResult& res, obs::TraceStore* trace,
+               obs::SloEngine* slo) {
   ++sum.scenarios_run;
   sum.jobs_admitted += res.jobs_admitted;
   sum.sdc_jobs += res.sdc_jobs;
@@ -189,6 +215,22 @@ void merge_one(FleetCampaignSummary& sum, const FleetScenario& sc,
   sum.retries_spent += res.retries_spent;
   sum.faults_fired += res.faults_fired;
   sum.faults_detected += res.faults_detected;
+  for (const auto& [name, usage] : res.tenants) {
+    TenantUsage& t = sum.tenants[name];
+    t.jobs += usage.jobs;
+    t.retries += usage.retries;
+    t.migrations += usage.migrations;
+    t.device_seconds += usage.device_seconds;
+    t.checkpoint_bytes += usage.checkpoint_bytes;
+  }
+  // Traces and SLO records fold here — draw order — never on the
+  // workers, so both are byte-identical at any thread count.
+  if (trace != nullptr) trace->append(res.trace_spans);
+  if (slo != nullptr) {
+    for (const auto& r : res.jobs) {
+      slo->record_job(r.end_time, r.success, r.sdc, r.latency());
+    }
+  }
 
   if (res.sdc_jobs > 0 || res.dropped != 0) {
     FleetCampaignFailure f;
@@ -204,9 +246,12 @@ void merge_one(FleetCampaignSummary& sum, const FleetScenario& sc,
 FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
                                         obs::MetricsRegistry* metrics,
                                         std::ostream* progress,
-                                        int progress_every) {
+                                        int progress_every,
+                                        obs::TraceStore* trace,
+                                        obs::SloEngine* slo) {
   FleetCampaignSummary sum;
   Rng rng(opt.seed != 0 ? opt.seed : 1);
+  const bool collect_trace = trace != nullptr;
 
   const int limit = opt.abort_after > 0
                         ? std::min(opt.scenarios, opt.abort_after)
@@ -216,8 +261,8 @@ FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
   if (opt.threads == 1 || limit <= 1) {
     for (int i = 0; i < limit; ++i) {
       const FleetScenario sc = random_fleet_scenario(rng, opt);
-      const FleetScenarioResult res = run_fleet_scenario(sc);
-      merge_one(sum, sc, res);
+      const FleetScenarioResult res = run_fleet_scenario(sc, collect_trace);
+      merge_one(sum, sc, res, trace, slo);
       if (progress != nullptr && progress_every > 0 &&
           (i + 1) % progress_every == 0) {
         *progress << "[fleet] " << (i + 1) << "/" << limit << " scenarios, "
@@ -240,8 +285,8 @@ FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
     common::Mutex progress_mu;
     int completed = 0;
     pool.parallel_for(0, limit, [&](std::int64_t i) {
-      results[static_cast<std::size_t>(i)] =
-          run_fleet_scenario(scenarios[static_cast<std::size_t>(i)]);
+      results[static_cast<std::size_t>(i)] = run_fleet_scenario(
+          scenarios[static_cast<std::size_t>(i)], collect_trace);
       if (progress != nullptr && progress_every > 0) {
         common::MutexLock lk(progress_mu);
         ++completed;
@@ -253,7 +298,7 @@ FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
     });
     for (int i = 0; i < limit; ++i) {
       merge_one(sum, scenarios[static_cast<std::size_t>(i)],
-                results[static_cast<std::size_t>(i)]);
+                results[static_cast<std::size_t>(i)], trace, slo);
     }
   }
 
@@ -276,6 +321,15 @@ FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
                                to_string(static_cast<FleetVerdict>(v)),
                            c);
     }
+    for (const auto& [name, t] : sum.tenants) {
+      const std::string prefix = "tenant." + name + ".";
+      metrics->add_counter(prefix + "jobs", t.jobs);
+      metrics->add_counter(prefix + "retries", t.retries);
+      metrics->add_counter(prefix + "migrations", t.migrations);
+      metrics->add_counter(prefix + "checkpoint_bytes", t.checkpoint_bytes);
+      metrics->set_gauge(prefix + "device_seconds", t.device_seconds);
+    }
+    if (slo != nullptr) slo->export_metrics(metrics);
   }
   return sum;
 }

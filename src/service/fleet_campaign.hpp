@@ -31,15 +31,31 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/exit_codes.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 
+namespace ftla::obs {
+class SloEngine;
+}  // namespace ftla::obs
+
 namespace ftla::service {
+
+/// Per-tenant accounting rollup (jobs, device-seconds, checkpoint
+/// bytes, retries) — the campaign aggregates one per tenant name.
+struct TenantUsage {
+  long long jobs = 0;
+  long long retries = 0;
+  long long migrations = 0;
+  double device_seconds = 0.0;
+  long long checkpoint_bytes = 0;
+};
 
 /// Per-job verdict: the service outcome, overridden by the oracle.
 enum class FleetVerdict {
@@ -91,10 +107,20 @@ struct FleetScenarioResult {
   /// Makespan of the faulted numeric run.
   double makespan_s = 0.0;
   std::vector<JobResult> jobs;
+  /// Per-tenant rollup of the numeric run.
+  std::map<std::string, TenantUsage> tenants;
+  /// Causal-trace spans of the numeric run (collect_trace only) — the
+  /// campaign merges them into one store in draw order, so the merged
+  /// trace is byte-identical serial vs parallel.
+  std::vector<obs::TraceSpan> trace_spans;
 };
 
 /// Runs one fleet scenario end to end (dry horizon run + faulted run).
-FleetScenarioResult run_fleet_scenario(const FleetScenario& sc);
+/// With collect_trace, the numeric run records causal-trace spans
+/// (trace ids derived from the scenario seed + job sequence) into
+/// FleetScenarioResult::trace_spans.
+FleetScenarioResult run_fleet_scenario(const FleetScenario& sc,
+                                       bool collect_trace = false);
 
 struct FleetCampaignOptions {
   int scenarios = 500;
@@ -145,19 +171,27 @@ struct FleetCampaignSummary {
   long long retries_spent = 0;
   long long faults_fired = 0;
   long long faults_detected = 0;
+  std::map<std::string, TenantUsage> tenants;
   std::vector<FleetCampaignFailure> failures;
   bool aborted = false;
 
   [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
 };
 
-/// Runs the fleet campaign. When `metrics` is given, totals and verdict
-/// counters are exported under "fleet.*" (docs/fleet.md). `progress`,
-/// when non-null, receives one line every `progress_every` scenarios.
+/// Runs the fleet campaign. When `metrics` is given, totals, verdict
+/// counters and per-tenant rollups are exported under "fleet.*" /
+/// "tenant.*" (docs/fleet.md). `progress`, when non-null, receives one
+/// line every `progress_every` scenarios. When `trace` is given, every
+/// scenario's numeric run records causal-trace spans, merged in draw
+/// order — the merged trace is byte-identical at any thread count. When
+/// `slo` is given, every drained job feeds it in draw order (virtual
+/// end-time stamps), again thread-count independent.
 FleetCampaignSummary run_fleet_campaign(const FleetCampaignOptions& opt,
                                         obs::MetricsRegistry* metrics = nullptr,
                                         std::ostream* progress = nullptr,
-                                        int progress_every = 100);
+                                        int progress_every = 100,
+                                        obs::TraceStore* trace = nullptr,
+                                        obs::SloEngine* slo = nullptr);
 
 /// One-line key=value serialization; round-trips via
 /// parse_fleet_scenario, so a failing scenario replays byte-for-byte.

@@ -12,7 +12,9 @@
 #include "common/spd.hpp"
 #include "fault/process.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
 
@@ -22,6 +24,21 @@ namespace {
 /// Same oracle line as the fault campaign: injected corruption is
 /// macroscopic, so anything uncorrected lands far above this.
 constexpr double kResidualThreshold = 1.0e-6;
+
+// Child-index layout of a job's trace (docs/observability.md). Root
+// children: fixed slots for the markers, then attempts from
+// kAttemptChildBase and re-placement / migration markers in their own
+// ranges so ids never collide however recovery interleaves.
+constexpr std::uint64_t kSubmitChild = 1;
+constexpr std::uint64_t kQueueChild = 2;
+constexpr std::uint64_t kCompleteChild = 3;
+constexpr std::uint64_t kAttemptChildBase = 16;
+constexpr std::uint64_t kPlaceLossChildBase = 4096;
+constexpr std::uint64_t kMigrateChildBase = 8192;
+// Attempt children: the place marker, the loss marker; the driver roots
+// its factorize span at obs::kTraceDriverChild.
+constexpr std::uint64_t kPlaceChild = 1;
+constexpr std::uint64_t kLossChild = 3;
 
 /// Clears the per-attempt transfer hook even when the attempt unwinds
 /// via DeviceLostError — the machine outlives the job.
@@ -57,6 +74,20 @@ FactorizationService::FactorizationService(sim::Fleet& fleet,
 void FactorizationService::submit(JobSpec spec) {
   FTLA_CHECK(spec.n >= 1 && spec.block >= 1);
   const double now = fleet_.now();
+  if (opt_.trace != nullptr) {
+    if (spec.trace.trace_id == 0) {
+      // The root span's id is the trace id itself; the admission
+      // sequence (not wall clock, not thread order) picks it.
+      spec.trace.trace_id = obs::derive_trace_id(
+          opt_.trace_seed, static_cast<std::uint64_t>(admitted_));
+      spec.trace.span_id = spec.trace.trace_id;
+    }
+    spec.trace.tenant = spec.tenant;
+    span(spec.trace.trace_id,
+         obs::derive_span_id(spec.trace.span_id, kSubmitChild),
+         spec.trace.span_id, "submit", "marker", -1, spec.tenant, now, now,
+         "ok", "job=" + std::to_string(spec.id));
+  }
   QueuedJob q;
   q.spec = spec;
   q.submit_time = now;
@@ -102,6 +133,10 @@ std::vector<JobResult> FactorizationService::drain() {
       opt_.timeseries->sample_counter("service.jobs_finished", r.end_time,
                                       1.0);
     }
+    if (opt_.slo != nullptr) {
+      opt_.slo->record_job(r.end_time, r.success, r.sdc, r.latency());
+    }
+    account(r);
     note(r.end_time, "service:finish",
          "job=" + std::to_string(r.job_id) + " outcome=" +
              to_string(r.outcome) + " attempts=" +
@@ -113,6 +148,10 @@ std::vector<JobResult> FactorizationService::drain() {
                             static_cast<double>(fleet_.size()));
     opt_.metrics->set_gauge("fleet.devices_usable",
                             static_cast<double>(fleet_.usable_count()));
+    for (const auto& [tenant, seconds] : tenant_device_seconds_) {
+      opt_.metrics->set_gauge("tenant." + tenant + ".device_seconds",
+                              seconds);
+    }
   }
   return out;
 }
@@ -147,6 +186,10 @@ void FactorizationService::discover_loss(int device, double time, int job_id,
 
 void FactorizationService::note(double time, const std::string& name,
                                 const std::string& detail) {
+  // The breadcrumb mirror gives the flight recorder the same recovery
+  // chain (place → device_lost → migrate → resume) the event stream
+  // carries, so a postmortem bundle reconciles without the ring buffer.
+  if (opt_.recorder != nullptr) opt_.recorder->note(name + " " + detail);
   if (opt_.event_sink == nullptr) return;
   obs::Event e;
   e.kind = obs::EventKind::Note;
@@ -162,11 +205,50 @@ void FactorizationService::counter(const std::string& name,
   if (opt_.metrics != nullptr) opt_.metrics->add_counter(name, delta);
 }
 
+void FactorizationService::span(obs::TraceId trace_id, obs::SpanId id,
+                                obs::SpanId parent, const std::string& name,
+                                const char* kind, int device,
+                                const std::string& tenant, double start,
+                                double end, const char* status,
+                                const std::string& detail) {
+  if (opt_.trace == nullptr || trace_id == 0) return;
+  obs::TraceSpan s;
+  s.trace_id = trace_id;
+  s.span_id = id;
+  s.parent_span = parent;
+  s.name = name;
+  s.kind = kind;
+  s.device = device;
+  s.tenant = tenant;
+  s.start = start;
+  s.end = end;
+  s.status = status;
+  s.detail = detail;
+  opt_.trace->record(s);
+}
+
+void FactorizationService::account(const JobResult& r) {
+  if (r.tenant.empty()) return;
+  const std::string base = "tenant." + r.tenant;
+  counter(base + ".jobs", 1);
+  counter(base + ".retries", std::max(0, r.attempts - 1));
+  counter(base + ".migrations", r.migrations);
+  counter(base + ".checkpoint_bytes", r.checkpoint_bytes);
+  if (r.sdc) counter(base + ".sdc", 1);
+  tenant_device_seconds_[r.tenant] += r.device_seconds;
+}
+
 JobResult FactorizationService::run_job(const JobSpec& spec,
                                         double submit_time) {
   JobResult r;
   r.job_id = spec.id;
   r.submit_time = submit_time;
+  r.tenant = spec.tenant;
+  r.trace_id = spec.trace.trace_id;
+
+  const bool tracing = opt_.trace != nullptr && spec.trace.valid();
+  const obs::SpanId root = spec.trace.span_id;
+  int place_losses = 0;
 
   const bool numeric = fleet_.numeric();
   const int n = spec.n;
@@ -222,6 +304,15 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
       if (m.host_now() < earliest) m.host_advance(earliest - m.host_now());
     } catch (const sim::DeviceLostError& e) {
       discover_loss(dev, e.at(), spec.id, "placement");
+      if (tracing) {
+        ++place_losses;
+        span(r.trace_id,
+             obs::derive_span_id(
+                 root, kPlaceLossChildBase +
+                           static_cast<std::uint64_t>(place_losses)),
+             root, "loss", "marker", dev, spec.tenant, e.at(), e.at(),
+             "loss", "at=placement device=" + std::to_string(dev));
+      }
       continue;
     }
 
@@ -229,10 +320,27 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
     r.device = dev;
     const double t0 = m.host_now();
     if (r.attempts == 1) r.start_time = t0;
+    const obs::SpanId attempt_id = obs::derive_span_id(
+        root, kAttemptChildBase + static_cast<std::uint64_t>(r.attempts));
+    if (tracing) {
+      if (r.attempts == 1) {
+        span(r.trace_id, obs::derive_span_id(root, kQueueChild), root,
+             "queue", "queue", -1, spec.tenant, submit_time, t0, "ok", "");
+      }
+      span(r.trace_id, obs::derive_span_id(attempt_id, kPlaceChild),
+           attempt_id, "place", "marker", dev, spec.tenant, t0, t0, "ok",
+           "attempt=" + std::to_string(r.attempts));
+    }
     note(t0, "service:place",
          "job=" + std::to_string(spec.id) + " device=" +
              std::to_string(dev) + " attempt=" +
              std::to_string(r.attempts));
+    if (ck.usable(spec.n, spec.block)) {
+      note(t0, "service:resume",
+           "job=" + std::to_string(spec.id) + " iterations=" +
+               std::to_string(ck.iterations));
+    }
+    const int ck_iters_before = ck.iterations;
 
     Matrix<double> a;
     if (numeric) a = pristine;
@@ -299,6 +407,12 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
     o.transfer_guard = spec.transfer_guard;
     o.metrics = &scratch_metrics;
     if (numeric && opt_.checkpoint_resume) o.panel_checkpoint = &ck;
+    if (tracing) {
+      o.trace = opt_.trace;
+      o.trace_ctx = spec.trace;
+      o.trace_ctx.span_id = attempt_id;
+      o.trace_ctx.device = dev;
+    }
 
     abft::CholeskyResult res;
     try {
@@ -308,8 +422,22 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
       discover_loss(dev, e.at(), spec.id, "mid-run");
       r.faults_fired += inj.fired_count();
       r.faults_detected += inj.detected_count();
+      r.device_seconds += e.at() - t0;
+      // The lost attempt's driver result unwound with the exception;
+      // the checkpoint's growth is the bytes it shipped before dying.
+      r.checkpoint_bytes +=
+          static_cast<std::int64_t>(ck.iterations - ck_iters_before) *
+          spec.block * n * static_cast<int>(sizeof(double));
       ++r.migrations;
       counter("service.migrations", 1);
+      if (tracing) {
+        span(r.trace_id, obs::derive_span_id(attempt_id, kLossChild),
+             attempt_id, "loss", "marker", dev, spec.tenant, e.at(), e.at(),
+             "loss", "at=mid-run");
+        span(r.trace_id, attempt_id, root, "attempt", "attempt", dev,
+             spec.tenant, t0, e.at(), "loss",
+             "attempt=" + std::to_string(r.attempts));
+      }
       if (r.attempts >= 1 + opt_.max_retries) {
         r.outcome = JobOutcome::ExhaustedRetries;
         r.end_time = e.at();
@@ -320,6 +448,16 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
       // Deterministic exponential backoff on the virtual clock.
       earliest =
           e.at() + opt_.backoff_base_s * std::ldexp(1.0, r.attempts - 1);
+      if (tracing) {
+        span(r.trace_id,
+             obs::derive_span_id(
+                 root, kMigrateChildBase +
+                           static_cast<std::uint64_t>(r.migrations)),
+             root, "migrate", "migrate", -1, spec.tenant, e.at(), earliest,
+             "ok",
+             "from=" + std::to_string(dev) + " resume_iterations=" +
+                 std::to_string(ck.iterations));
+      }
       note(e.at(), "service:migrate",
            "job=" + std::to_string(spec.id) + " from=" +
                std::to_string(dev) + " resume_iters=" +
@@ -335,6 +473,13 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
     r.rollbacks += res.rollbacks;
     r.faults_fired += inj.fired_count();
     r.faults_detected += inj.detected_count();
+    r.device_seconds += r.end_time - t0;
+    r.checkpoint_bytes += res.checkpoint_bytes;
+    if (tracing) {
+      span(r.trace_id, attempt_id, root, "attempt", "attempt", dev,
+           spec.tenant, t0, r.end_time, res.success ? "ok" : "error",
+           "attempt=" + std::to_string(r.attempts));
+    }
     r.note = res.note;
     if (!res.success) {
       r.outcome = JobOutcome::FailStop;
@@ -350,6 +495,14 @@ JobResult FactorizationService::run_job(const JobSpec& spec,
                                         : JobOutcome::Completed;
     }
     break;
+  }
+  if (tracing) {
+    span(r.trace_id, obs::derive_span_id(root, kCompleteChild), root,
+         "complete", "marker", r.device, spec.tenant, r.end_time, r.end_time,
+         to_string(r.outcome), "");
+    span(r.trace_id, root, 0, "job", "job", r.device, spec.tenant,
+         submit_time, r.end_time, r.success ? "ok" : "error",
+         "job=" + std::to_string(spec.id));
   }
   return r;
 }

@@ -32,16 +32,20 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "abft/options.hpp"
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 #include "sim/fleet.hpp"
 
 namespace ftla::obs {
 class EventSink;
+class FlightRecorder;
 class MetricsRegistry;
+class SloEngine;
 class TimeSeriesStore;
 }  // namespace ftla::obs
 
@@ -54,6 +58,12 @@ struct JobSpec {
   int n = 64;
   int block = 16;
   std::uint64_t matrix_seed = 1;
+  /// Accounting principal. Empty = untenanted (no tenant.* metrics).
+  std::string tenant;
+  /// Causal-trace context (docs/observability.md). Zero trace_id +
+  /// tracing enabled on the service = derive one from
+  /// ServiceOptions::trace_seed and the admission sequence.
+  obs::TraceContext trace;
 
   abft::Variant variant = abft::Variant::EnhancedOnline;
   abft::Recovery recovery = abft::Recovery::Rerun;
@@ -116,6 +126,14 @@ struct JobResult {
   int reruns = 0;
   int rollbacks = 0;
   std::string note;
+
+  std::string tenant;          ///< copied from the spec (accounting key)
+  obs::TraceId trace_id = 0;   ///< 0 when tracing was off
+  /// Device-occupancy seconds across every attempt (virtual clock):
+  /// the per-tenant device-seconds accounting unit.
+  double device_seconds = 0.0;
+  /// Bytes streamed into the host panel checkpoint, all attempts.
+  std::int64_t checkpoint_bytes = 0;
 };
 
 struct ServiceOptions {
@@ -138,6 +156,20 @@ struct ServiceOptions {
   obs::EventSink* event_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::TimeSeriesStore* timeseries = nullptr;
+  /// Causal-trace store; with it set, every job records a span tree
+  /// (submit → queue → attempts → driver → complete) and propagates its
+  /// context into the ABFT driver (docs/observability.md).
+  obs::TraceStore* trace = nullptr;
+  /// Seed trace ids derive from (with the admission sequence) when a
+  /// submitted spec does not carry one.
+  std::uint64_t trace_seed = 1;
+  /// SLO engine fed one record per drained job (availability, latency,
+  /// zero-SDC), evaluated on the virtual clock.
+  obs::SloEngine* slo = nullptr;
+  /// Flight recorder for breadcrumbs along the recovery paths
+  /// (place → device_lost → migrate → resume), reconcilable with the
+  /// postmortem bundle.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 class FactorizationService {
@@ -175,11 +207,21 @@ class FactorizationService {
   void note(double time, const std::string& name,
             const std::string& detail);
   void counter(const std::string& name, long long delta);
+  /// Records one causal-trace span (no-op when tracing is off).
+  void span(obs::TraceId trace_id, obs::SpanId id, obs::SpanId parent,
+            const std::string& name, const char* kind, int device,
+            const std::string& tenant, double start, double end,
+            const char* status, const std::string& detail);
+  /// Per-tenant accounting folded after each drained job.
+  void account(const JobResult& r);
 
   sim::Fleet& fleet_;
   ServiceOptions opt_;
   std::deque<QueuedJob> queue_;
   int admitted_ = 0;
+  /// Running per-tenant device-seconds, exported as gauges at drain end
+  /// (counters are integral; occupancy is a double).
+  std::map<std::string, double> tenant_device_seconds_;
 };
 
 }  // namespace ftla::service

@@ -1,0 +1,16 @@
+// Fixture: trace.* / slo.* / tenant.* metric names that break the
+// dotted subsystem.noun[_unit] convention — every call below must fire
+// metrics-naming.
+struct Registry {
+  long& counter(const char*);
+  void add_counter(const char*, long);
+  void set_gauge(const char*, double);
+};
+
+void tick(Registry& reg) {
+  reg.add_counter("trace.Spans", 1);          // line 11: uppercase segment
+  reg.set_gauge("slos.burn_rate", 1.0);       // line 12: unknown namespace
+  reg.add_counter("tenant", 1);               // line 13: no dot
+  reg.counter("slo..burn_rate") += 1;         // line 14: empty segment
+  reg.add_counter("tenants.alpha.jobs", 1);   // line 15: unknown namespace
+}

@@ -1,0 +1,16 @@
+// Fixture: compliant trace.* / slo.* / tenant.* metric names (the
+// causal-tracing and SLO layer's namespaces) — must stay silent.
+struct Registry {
+  long& counter(const char*);
+  void add_counter(const char*, long);
+  void set_gauge(const char*, double);
+};
+
+void tick(Registry& reg) {
+  reg.add_counter("trace.spans", 1);
+  reg.add_counter("trace.spans_dropped", 0);
+  reg.set_gauge("slo.availability.burn_rate", 0.5);
+  reg.add_counter("slo.alerts", 1);
+  reg.add_counter("tenant.alpha.checkpoint_bytes", 4096);
+  reg.set_gauge("tenant.alpha.device_seconds", 1.5);
+}

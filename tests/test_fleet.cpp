@@ -4,7 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "service/fleet_campaign.hpp"
 #include "service/service.hpp"
 #include "sim/fleet.hpp"
@@ -392,6 +397,201 @@ TEST(FleetReplay, ScenarioFormatRoundTrips) {
   EXPECT_EQ(back.max_arrivals, sc.max_arrivals);
   EXPECT_EQ(back.max_retries, sc.max_retries);
   EXPECT_EQ(back.seed, sc.seed);
+}
+
+// ----- causal tracing along the recovery path -------------------------
+
+const obs::TraceNode* find_child(const obs::TraceNode& node,
+                                 const std::string& name, int nth = 0) {
+  int seen = 0;
+  for (const auto& child : node.children) {
+    if (child.span->name == name && seen++ == nth) return &child;
+  }
+  return nullptr;
+}
+
+TEST(ServiceTrace, MidRunLossTraceReconstructsTheRecoveryChain) {
+  // The tentpole acceptance path: a forced mid-run device loss must
+  // leave a trace from which submit → place → loss → migrate → resume →
+  // complete reconstructs with parentage intact across devices.
+  const JobSpec base = basic_job(512);  // 32 outer iterations
+  const double horizon = fault_free_makespan(base);
+
+  Fleet fleet(small_fleet(2), ExecutionMode::Numeric);
+  fleet.arm_loss(0, 0.6 * horizon);
+  obs::TraceStore trace;
+  ServiceOptions so;
+  so.trace = &trace;
+  so.trace_seed = 99;
+  FactorizationService svc(fleet, so);
+  JobSpec spec = base;
+  spec.tenant = "alpha";
+  svc.submit(spec);
+  const std::vector<JobResult> rs = svc.drain();
+
+  ASSERT_EQ(rs.size(), 1u);
+  const JobResult& r = rs[0];
+  EXPECT_EQ(r.outcome, JobOutcome::Migrated);
+  EXPECT_GT(r.resumed_iterations, 0);
+  EXPECT_EQ(r.trace_id, obs::derive_trace_id(99, 0));
+  EXPECT_EQ(r.tenant, "alpha");
+  EXPECT_GT(r.device_seconds, 0.0);
+  EXPECT_GT(r.checkpoint_bytes, 0);
+
+  const obs::TraceReport report = obs::TraceReport::build(trace);
+  const auto trees = obs::assemble_traces(report);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].trace_id, r.trace_id);
+  EXPECT_EQ(trees[0].missing_parents, 0);
+  ASSERT_EQ(trees[0].roots.size(), 1u);
+  const obs::TraceNode& job = trees[0].roots[0];
+  EXPECT_EQ(job.span->kind, "job");
+  EXPECT_EQ(job.span->tenant, "alpha");
+  EXPECT_EQ(job.span->parent_span, 0u);
+
+  ASSERT_NE(find_child(job, "submit"), nullptr);
+  ASSERT_NE(find_child(job, "queue"), nullptr);
+
+  // First attempt on device 0 ends in the loss; its driver span closes
+  // with "loss" too (the unwind must not orphan open spans).
+  const obs::TraceNode* first = find_child(job, "attempt", 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->span->device, 0);
+  EXPECT_EQ(first->span->status, "loss");
+  ASSERT_NE(find_child(*first, "place"), nullptr);
+  ASSERT_NE(find_child(*first, "loss"), nullptr);
+  const obs::TraceNode* lost_drv = find_child(*first, "factorize");
+  ASSERT_NE(lost_drv, nullptr);
+  EXPECT_EQ(lost_drv->span->status, "loss");
+
+  const obs::TraceNode* migrate = find_child(job, "migrate");
+  ASSERT_NE(migrate, nullptr);
+  EXPECT_NE(migrate->span->detail.find("from=0"), std::string::npos);
+
+  // Second attempt on the surviving device resumes from the panel
+  // checkpoint: the driver carries a resume marker and checkpoint
+  // spans, all parented under the device-1 attempt.
+  const obs::TraceNode* second = find_child(job, "attempt", 1);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->span->device, 1);
+  EXPECT_EQ(second->span->status, "ok");
+  const obs::TraceNode* drv = find_child(*second, "factorize");
+  ASSERT_NE(drv, nullptr);
+  EXPECT_EQ(drv->span->device, 1);
+  ASSERT_NE(find_child(*drv, "resume"), nullptr);
+  const obs::TraceNode* pass = find_child(*drv, "pass");
+  ASSERT_NE(pass, nullptr);
+  EXPECT_NE(find_child(*pass, "checkpoint"), nullptr);
+
+  const obs::TraceNode* complete = find_child(job, "complete");
+  ASSERT_NE(complete, nullptr);
+  EXPECT_EQ(complete->span->status, "migrated");
+
+  // The whole story is one job: every span shares the trace id and the
+  // tenant, wherever it was recorded.
+  for (const auto& s : report.spans) {
+    EXPECT_EQ(s.trace_id, r.trace_id);
+    EXPECT_EQ(s.tenant, "alpha");
+  }
+}
+
+TEST(ServiceTrace, CallerProvidedContextIsKept) {
+  Fleet fleet(small_fleet(1), ExecutionMode::Numeric);
+  obs::TraceStore trace;
+  ServiceOptions so;
+  so.trace = &trace;
+  FactorizationService svc(fleet, so);
+  JobSpec spec = basic_job(96);
+  spec.trace.trace_id = obs::derive_trace_id(555, 42);
+  spec.trace.span_id = spec.trace.trace_id;
+  svc.submit(spec);
+  const std::vector<JobResult> rs = svc.drain();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].trace_id, obs::derive_trace_id(555, 42));
+}
+
+TEST(ServiceTrace, TracingOffRecordsNothingAndChangesNothing) {
+  const JobSpec spec = basic_job(96);
+  Fleet traced_fleet(small_fleet(1), ExecutionMode::Numeric);
+  obs::TraceStore trace;
+  ServiceOptions so;
+  so.trace = &trace;
+  FactorizationService traced(traced_fleet, so);
+  traced.submit(spec);
+  const std::vector<JobResult> a = traced.drain();
+
+  Fleet plain_fleet(small_fleet(1), ExecutionMode::Numeric);
+  FactorizationService plain(plain_fleet, ServiceOptions{});
+  plain.submit(spec);
+  const std::vector<JobResult> b = plain.drain();
+
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(b[0].trace_id, 0u);
+  // Tracing is pure observation: virtual timings are identical.
+  EXPECT_EQ(a[0].end_time, b[0].end_time);
+  EXPECT_EQ(a[0].seconds, b[0].seconds);
+  EXPECT_EQ(traced_fleet.makespan(), plain_fleet.makespan());
+}
+
+// ----- flight-recorder breadcrumbs along recovery paths ---------------
+
+TEST(ServiceBreadcrumbs, RecoveryPathLeavesAReconcilableTrail) {
+  // Satellite (ISSUE 10): a forced mid-run device loss must leave the
+  // breadcrumb chain placement → loss discovered → re-placement →
+  // resume-from-panel in the flight recorder, and the postmortem bundle
+  // must reconcile with it.
+  const JobSpec spec = basic_job(512);
+  const double horizon = fault_free_makespan(spec);
+
+  Fleet fleet(small_fleet(2), ExecutionMode::Numeric);
+  fleet.arm_loss(0, 0.6 * horizon);
+  obs::FlightRecorder recorder;
+  ServiceOptions so;
+  so.recorder = &recorder;
+  FactorizationService svc(fleet, so);
+  svc.submit(spec);
+  const std::vector<JobResult> rs = svc.drain();
+  ASSERT_EQ(rs.size(), 1u);
+  ASSERT_EQ(rs[0].outcome, JobOutcome::Migrated);
+  ASSERT_GT(rs[0].resumed_iterations, 0);
+
+  std::ostringstream bundle_text;
+  recorder.write_bundle(bundle_text, /*exit_code=*/3, "forced loss");
+  std::istringstream in(bundle_text.str());
+  obs::FlightBundle bundle;
+  ASSERT_TRUE(obs::read_flight_bundle(in, &bundle));
+  EXPECT_EQ(bundle.exit_code, 3);
+
+  // The chain, in order, within the bundle's breadcrumb trail:
+  // placement → loss discovered → migration → re-placement →
+  // resume-from-panel → finish.
+  const std::vector<std::pair<std::string, std::string>> chain = {
+      {"service:admit", ""},
+      {"service:place", "device=0"},
+      {"service:device_lost", "device=0"},
+      {"service:migrate", "from=0"},
+      {"service:place", "device=1"},
+      {"service:resume", "iterations="},
+      {"service:finish", "outcome=migrated"},
+  };
+  std::size_t at = 0;
+  for (const auto& want : chain) {
+    bool found = false;
+    for (; at < bundle.breadcrumbs.size(); ++at) {
+      const std::string& crumb = bundle.breadcrumbs[at];
+      if (crumb.find(want.first) != std::string::npos &&
+          crumb.find(want.second) != std::string::npos) {
+        found = true;
+        ++at;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "breadcrumb chain broken at \"" << want.first
+                       << " ... " << want.second << "\"\nbundle:\n"
+                       << bundle_text.str();
+  }
 }
 
 }  // namespace

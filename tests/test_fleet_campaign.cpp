@@ -4,9 +4,12 @@
 // the serial-vs-parallel determinism twin.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "service/fleet_campaign.hpp"
 
 namespace ftla::service {
@@ -128,6 +131,115 @@ TEST(FleetCampaign, AbortAfterTruncatesDeterministically) {
   // see more of anything.
   EXPECT_LE(cut.jobs_admitted, full.jobs_admitted);
   EXPECT_LE(cut.device_losses, full.device_losses);
+}
+
+TEST(FleetCampaign, TenantAccountingReconcilesWithMetrics) {
+  // Tentpole (ISSUE 10): every campaign job is billed to a tenant, and
+  // the tenant.* metrics tell the same story as the summary.
+  FleetCampaignOptions opt;
+  opt.scenarios = 40;
+  opt.seed = 20260808;
+  obs::MetricsRegistry metrics;
+  const FleetCampaignSummary sum = run_fleet_campaign(opt, &metrics);
+
+  ASSERT_FALSE(sum.tenants.empty());
+  long long tenant_jobs = 0;
+  long long tenant_retries = 0;
+  double tenant_device_seconds = 0.0;
+  long long tenant_checkpoint_bytes = 0;
+  for (const auto& [name, usage] : sum.tenants) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_GT(usage.jobs, 0) << name;
+    EXPECT_GE(usage.retries, 0);
+    EXPECT_GE(usage.device_seconds, 0.0);
+    tenant_jobs += usage.jobs;
+    tenant_retries += usage.retries;
+    tenant_device_seconds += usage.device_seconds;
+    tenant_checkpoint_bytes += usage.checkpoint_bytes;
+
+    EXPECT_EQ(counter_or_zero(metrics, "tenant." + name + ".jobs"),
+              usage.jobs);
+    EXPECT_EQ(counter_or_zero(metrics, "tenant." + name + ".retries"),
+              usage.retries);
+    EXPECT_EQ(counter_or_zero(metrics, "tenant." + name + ".migrations"),
+              usage.migrations);
+    EXPECT_EQ(
+        counter_or_zero(metrics, "tenant." + name + ".checkpoint_bytes"),
+        usage.checkpoint_bytes);
+    EXPECT_DOUBLE_EQ(
+        metrics.gauges().at("tenant." + name + ".device_seconds"),
+        usage.device_seconds);
+  }
+  // Billing is total: every admitted job lands in exactly one tenant
+  // bucket, and nothing else leaks into the totals.
+  EXPECT_EQ(tenant_jobs, sum.jobs_admitted);
+  EXPECT_EQ(tenant_retries, sum.retries_spent);
+  EXPECT_GT(tenant_device_seconds, 0.0);
+  EXPECT_GT(tenant_checkpoint_bytes, 0);
+}
+
+TEST(FleetCampaign, TraceIsByteIdenticalAcrossThreadCounts) {
+  // Acceptance (ISSUE 10): the reassembled trace JSON of a campaign run
+  // is byte-identical between a serial and a --threads 4 run of the
+  // same seed.
+  FleetCampaignOptions opt;
+  opt.scenarios = 12;
+  opt.seed = 424242;
+
+  opt.threads = 1;
+  obs::TraceStore serial_trace;
+  const FleetCampaignSummary serial =
+      run_fleet_campaign(opt, nullptr, nullptr, 100, &serial_trace);
+  opt.threads = 4;
+  obs::TraceStore parallel_trace;
+  const FleetCampaignSummary parallel =
+      run_fleet_campaign(opt, nullptr, nullptr, 100, &parallel_trace);
+
+  expect_identical(serial, parallel);
+  ASSERT_GT(serial_trace.size(), 0u);
+  const std::string a = obs::TraceReport::build(serial_trace).to_string();
+  const std::string b = obs::TraceReport::build(parallel_trace).to_string();
+  EXPECT_EQ(a, b);
+  // And the structural diff agrees with the byte-level one.
+  const auto diff =
+      obs::diff_traces(obs::TraceReport::build(serial_trace),
+                       obs::TraceReport::build(parallel_trace));
+  EXPECT_TRUE(diff.identical());
+}
+
+TEST(FleetCampaign, SloFeedIsDeterministicAcrossThreadCounts) {
+  // The SLO engine sees every admitted job exactly once, in draw order,
+  // so its state is independent of the worker-thread count.
+  FleetCampaignOptions opt;
+  opt.scenarios = 12;
+  opt.seed = 424242;
+
+  opt.threads = 1;
+  obs::SloEngine serial_slo;
+  for (const auto& spec : obs::SloEngine::default_fleet_slos(0.05)) {
+    serial_slo.add(spec);
+  }
+  const FleetCampaignSummary serial =
+      run_fleet_campaign(opt, nullptr, nullptr, 100, nullptr, &serial_slo);
+
+  opt.threads = 4;
+  obs::SloEngine parallel_slo;
+  for (const auto& spec : obs::SloEngine::default_fleet_slos(0.05)) {
+    parallel_slo.add(spec);
+  }
+  const FleetCampaignSummary parallel = run_fleet_campaign(
+      opt, nullptr, nullptr, 100, nullptr, &parallel_slo);
+
+  expect_identical(serial, parallel);
+  const auto sa = serial_slo.states();
+  const auto sb = parallel_slo.states();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].total, sb[i].total);
+    EXPECT_EQ(sa[i].bad, sb[i].bad);
+    EXPECT_EQ(sa[i].total, serial.jobs_admitted);
+  }
+  EXPECT_EQ(serial_slo.latency_p99(), parallel_slo.latency_p99());
 }
 
 TEST(FleetCampaign, FailingScenarioDumpReplays) {

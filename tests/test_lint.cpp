@@ -288,6 +288,18 @@ TEST(MetricsNaming, SilentOnRuntimeNamespaceGoodFixture) {
           .empty());
 }
 
+TEST(MetricsNaming, FiresOnTraceNamespaceBadFixture) {
+  const auto findings =
+      lint_fixture("bad/metrics_trace.cpp", "src/obs/fixture.cpp");
+  const std::vector<int> lines = lines_of(findings, "metrics-naming");
+  EXPECT_EQ(lines, (std::vector<int>{11, 12, 13, 14, 15}));
+}
+
+TEST(MetricsNaming, SilentOnTraceNamespaceGoodFixture) {
+  EXPECT_TRUE(
+      lint_fixture("good/metrics_trace.cpp", "src/obs/fixture.cpp").empty());
+}
+
 TEST(DagFootprintHelpers, FiresOnBadFixture) {
   const auto findings =
       lint_fixture("bad/dag_footprint.cpp", "src/abft/fixture.cpp");

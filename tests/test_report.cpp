@@ -11,6 +11,7 @@
 #include "obs/profile_report.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "report/html_report.hpp"
 
 namespace ftla::report {
@@ -106,6 +107,95 @@ TEST(HtmlReport, EscapesUntrustedLabels) {
   EXPECT_EQ(html.find("<script>"), std::string::npos);
   EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
   EXPECT_NE(html.find("a&lt;b&amp;c"), std::string::npos);
+}
+
+TEST(HtmlReport, MissingInputsBannerIsVisibleAndByteStable) {
+  // Satellite (ISSUE 10): skipped optional inputs must be called out,
+  // not silently rendered as empty sections — and the banner must not
+  // cost byte-stability.
+  ReportInputs in;
+  in.title = "partial report";
+  obs::MetricsDoc doc;
+  doc.counters["run.reruns"] = 1;
+  in.metrics.emplace_back("metrics", doc);
+  in.missing_inputs = {"profile", "analytics", "timeseries", "trace"};
+
+  std::ostringstream a;
+  std::ostringstream b;
+  write_html_report(in, a);
+  write_html_report(in, b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string html = a.str();
+  EXPECT_NE(html.find("Inputs not provided:"), std::string::npos);
+  EXPECT_NE(html.find("profile, analytics, timeseries, trace"),
+            std::string::npos);
+  EXPECT_NE(html.find("absent, not empty"), std::string::npos);
+
+  // A complete report carries no banner.
+  std::ostringstream full;
+  write_html_report(sample_inputs(), full);
+  EXPECT_EQ(full.str().find("Inputs not provided:"), std::string::npos);
+}
+
+TEST(HtmlReport, TraceSectionRendersWaterfallDeterministically) {
+  ReportInputs in;
+  in.title = "traced run";
+  obs::TraceStore store;
+  const obs::TraceId t = obs::derive_trace_id(20260808, 0);
+  obs::TraceSpan job;
+  job.trace_id = t;
+  job.span_id = t;
+  job.name = "job";
+  job.kind = "job";
+  job.tenant = "alpha";
+  job.device = -1;
+  job.start = 0.0;
+  job.end = 10.0;
+  store.record(job);
+  obs::TraceSpan attempt = job;
+  attempt.span_id = obs::derive_span_id(t, 16);
+  attempt.parent_span = t;
+  attempt.name = "attempt";
+  attempt.kind = "attempt";
+  attempt.device = 0;
+  attempt.end = 4.0;
+  attempt.status = "loss";
+  store.record(attempt);
+  in.traces.emplace_back("trace", obs::TraceReport::build(store));
+
+  std::ostringstream a;
+  std::ostringstream b;
+  write_html_report(in, a);
+  write_html_report(in, b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string html = a.str();
+  EXPECT_NE(html.find(obs::format_trace_id(t)), std::string::npos);
+  EXPECT_NE(html.find("alpha"), std::string::npos);
+  EXPECT_NE(html.find("<pre>"), std::string::npos);  // the waterfall
+  EXPECT_NE(html.find("attempt"), std::string::npos);
+}
+
+TEST(HtmlReport, SloBurnPanelShowsAlertingState) {
+  ReportInputs in;
+  obs::MetricsDoc doc;
+  doc.gauges["slo.availability.burn_rate"] = 3.5;
+  doc.gauges["slo.availability.objective"] = 0.99;
+  doc.gauges["slo.availability.alerting"] = 1.0;
+  doc.gauges["slo.job_latency.burn_rate"] = 0.25;
+  doc.gauges["slo.job_latency.objective"] = 0.99;
+  doc.gauges["slo.job_latency.alerting"] = 0.0;
+  doc.gauges["slo.latency_p99_s"] = 0.125;
+  doc.counters["slo.alerts"] = 2;
+  in.metrics.emplace_back("campaign", doc);
+
+  std::ostringstream os;
+  write_html_report(in, os);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("SLO error-budget burn"), std::string::npos);
+  EXPECT_NE(html.find("ALERTING"), std::string::npos);
+  EXPECT_NE(html.find("#c74c4c"), std::string::npos);  // alerting bar
+  EXPECT_NE(html.find("#6faa6f"), std::string::npos);  // healthy bar
+  EXPECT_NE(html.find("2 alert(s) fired"), std::string::npos);
 }
 
 TEST(MetricsDocReader, RoundTripsReportJson) {

@@ -173,8 +173,8 @@ struct FuzzOutcome {
 };
 
 void expect_same_outcome(const FuzzOutcome& base, const FuzzOutcome& got,
-                         std::uint64_t seed) {
-  SCOPED_TRACE("schedule seed " + std::to_string(seed));
+                         std::uint64_t matrix_seed, std::uint64_t seed) {
+  FTLA_SEED_TRACE_DAG(matrix_seed, seed);
   expect_bit_identical(base.matrix, got.matrix);
   ASSERT_EQ(base.tau.size(), got.tau.size());
   for (std::size_t i = 0; i < base.tau.size(); ++i) {
@@ -223,7 +223,7 @@ TEST(ScheduleFuzz, CholeskyDagBitIdenticalAcrossRandomSchedules) {
   EXPECT_EQ(base.fired, 1);
   EXPECT_GE(base.res.errors_corrected, 1);
   for (std::uint64_t seed = 1; seed <= kFuzzSeeds; ++seed) {
-    expect_same_outcome(base, run(seed), seed);
+    expect_same_outcome(base, run(seed), 321, seed);
   }
 }
 
@@ -258,7 +258,7 @@ TEST(ScheduleFuzz, LuDagBitIdenticalAcrossRandomSchedules) {
   EXPECT_GE(base.fired, 1);
   EXPECT_GE(base.res.errors_corrected, 1);
   for (std::uint64_t seed = 1; seed <= kFuzzSeeds; ++seed) {
-    expect_same_outcome(base, run(seed), seed);
+    expect_same_outcome(base, run(seed), 2024, seed);
   }
 }
 
@@ -293,7 +293,7 @@ TEST(ScheduleFuzz, QrDagBitIdenticalAcrossRandomSchedules) {
   EXPECT_GE(base.fired, 1);
   EXPECT_GE(base.res.errors_corrected, 1);
   for (std::uint64_t seed = 1; seed <= kFuzzSeeds; ++seed) {
-    expect_same_outcome(base, run(seed), seed);
+    expect_same_outcome(base, run(seed), 808, seed);
   }
 }
 

@@ -1,0 +1,147 @@
+// Tests for the SLO engine (obs/slo.hpp): burn-rate math, the
+// zero-width-budget cap, the alert latch into the event plumbing, the
+// exact nearest-rank p99, and the slo.* metrics export
+// (docs/observability.md, "Causal tracing & SLOs").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace ftla {
+namespace {
+
+using obs::SloEngine;
+using obs::SloKind;
+using obs::SloSpec;
+using obs::SloState;
+
+SloSpec availability_slo(double objective, double alert_burn_rate = 1.0) {
+  SloSpec spec;
+  spec.name = "availability";
+  spec.kind = SloKind::Availability;
+  spec.objective = objective;
+  spec.alert_burn_rate = alert_burn_rate;
+  return spec;
+}
+
+TEST(SloEngine, BurnRateIsBadFractionOverBudget) {
+  SloEngine slo;
+  slo.add(availability_slo(0.99));
+  // 49 good + 1 bad: bad fraction 0.02 against a 0.01 budget.
+  for (int i = 0; i < 49; ++i) slo.record_job(i, true, false, 0.1);
+  slo.record_job(49.0, false, false, 0.1);
+  const std::vector<SloState> states = slo.states();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].total, 50);
+  EXPECT_EQ(states[0].bad, 1);
+  EXPECT_DOUBLE_EQ(states[0].bad_fraction(), 0.02);
+  EXPECT_NEAR(states[0].burn_rate(), 2.0, 1e-12);
+}
+
+TEST(SloEngine, ZeroWidthBudgetIsCappedNotInfinite) {
+  SloEngine slo;
+  slo.add(availability_slo(1.0));
+  slo.record_job(0.0, false, false, 0.1);
+  const std::vector<SloState> states = slo.states();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_DOUBLE_EQ(states[0].burn_rate(), obs::kMaxBurnRate);
+}
+
+TEST(SloEngine, LatencySloJudgesAgainstThreshold) {
+  SloSpec spec;
+  spec.name = "job_latency";
+  spec.kind = SloKind::LatencyP99;
+  spec.objective = 0.5;
+  spec.latency_threshold_s = 1.0;
+  SloEngine slo;
+  slo.add(spec);
+  slo.record_job(0.0, true, false, 0.5);   // good
+  slo.record_job(1.0, true, false, 2.0);   // bad: over threshold
+  const std::vector<SloState> states = slo.states();
+  EXPECT_EQ(states[0].total, 2);
+  EXPECT_EQ(states[0].bad, 1);
+}
+
+TEST(SloEngine, ZeroSdcSloCountsOnlySdc) {
+  SloEngine slo;
+  SloSpec spec;
+  spec.name = "zero_sdc";
+  spec.kind = SloKind::ZeroSdc;
+  spec.objective = 1.0;
+  slo.add(spec);
+  slo.record_job(0.0, false, false, 0.1);  // honest failure: not bad here
+  slo.record_job(1.0, true, true, 0.1);    // sdc: bad
+  const std::vector<SloState> states = slo.states();
+  EXPECT_EQ(states[0].bad, 1);
+}
+
+TEST(SloEngine, AlertLatchFiresExactlyOncePerCrossing) {
+  obs::RingBufferSink events;
+  SloEngine slo;
+  slo.set_event_sink(&events);
+  slo.add(availability_slo(0.5, /*alert_burn_rate=*/1.0));
+
+  // The very first bad job pushes the burn rate over threshold: one
+  // alert at that virtual instant, then the latch holds through the
+  // second bad job.
+  slo.record_job(0.0, false, false, 0.1);
+  slo.record_job(1.0, false, false, 0.1);
+  EXPECT_EQ(slo.alerts_fired(), 1);
+
+  // Flood with good jobs until the burn rate drops back under the
+  // threshold (latch releases), then cross again: second alert.
+  for (int i = 0; i < 10; ++i) slo.record_job(2.0 + i, true, false, 0.1);
+  ASSERT_LT(slo.states()[0].burn_rate(), 1.0);
+  for (int i = 0; i < 30; ++i) slo.record_job(20.0 + i, false, false, 0.1);
+  EXPECT_EQ(slo.alerts_fired(), 2);
+
+  const std::vector<obs::Event> posted = events.events();
+  ASSERT_EQ(posted.size(), 2u);
+  EXPECT_EQ(posted[0].kind, obs::EventKind::Alert);
+  EXPECT_EQ(posted[0].name, "slo:availability");
+  EXPECT_DOUBLE_EQ(posted[0].time, 0.0);  // virtual crossing instant
+  EXPECT_GT(posted[0].value, posted[0].value2);
+}
+
+TEST(SloEngine, LatencyP99IsExactNearestRank) {
+  SloEngine slo;
+  for (int i = 100; i >= 1; --i) {
+    slo.record_job(static_cast<double>(i), true, false,
+                   static_cast<double>(i));
+  }
+  // Nearest-rank over 1..100: ceil(0.99 * 100) = rank 99 → 99.0.
+  EXPECT_DOUBLE_EQ(slo.latency_p99(), 99.0);
+}
+
+TEST(SloEngine, DefaultFleetSlosAndMetricsExport) {
+  SloEngine slo;
+  for (const SloSpec& spec : SloEngine::default_fleet_slos(0.25)) {
+    slo.add(spec);
+  }
+  const std::vector<SloState> states = slo.states();
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].spec.name, "availability");
+  EXPECT_EQ(states[1].spec.name, "job_latency");
+  EXPECT_DOUBLE_EQ(states[1].spec.latency_threshold_s, 0.25);
+  EXPECT_EQ(states[2].spec.name, "zero_sdc");
+  EXPECT_DOUBLE_EQ(states[2].spec.objective, 1.0);
+
+  slo.record_job(0.0, true, false, 0.1);
+  slo.record_job(1.0, false, false, 0.5);
+  obs::MetricsRegistry metrics;
+  slo.export_metrics(&metrics);
+  EXPECT_EQ(metrics.counters().at("slo.availability.total"), 2);
+  EXPECT_EQ(metrics.counters().at("slo.availability.bad"), 1);
+  EXPECT_EQ(metrics.counters().at("slo.job_latency.bad"), 1);
+  EXPECT_EQ(metrics.counters().at("slo.zero_sdc.bad"), 0);
+  EXPECT_GT(metrics.gauges().at("slo.availability.burn_rate"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.gauges().at("slo.latency_p99_s"), 0.5);
+  EXPECT_TRUE(metrics.has_counter("slo.alerts"));
+}
+
+}  // namespace
+}  // namespace ftla

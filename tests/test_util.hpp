@@ -34,6 +34,20 @@ inline std::uint64_t root_seed(std::uint64_t def) {
                " FTLA_THREADS=" +                                        \
                std::to_string(ftla::common::global_threads()) + ")")
 
+/// FTLA_SEED_TRACE plus the DAG schedule seed, for tests that fuzz the
+/// task-graph issue order: a fuzzer-found schedule is then reproducible
+/// from the failure log alone — root seed, thread count, and the
+/// dag_schedule_seed that drew the failing permutation.
+#define FTLA_SEED_TRACE_DAG(seed, dag_seed)                              \
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " threads=" +            \
+               std::to_string(ftla::common::global_threads()) +          \
+               " dag_schedule_seed=" + std::to_string(dag_seed) +        \
+               " (replay with FTLA_TEST_SEED=" + std::to_string(seed) +  \
+               " FTLA_THREADS=" +                                        \
+               std::to_string(ftla::common::global_threads()) +          \
+               " and dag_schedule_seed=" + std::to_string(dag_seed) +    \
+               ")")
+
 inline Matrix<double> random_matrix(int rows, int cols, std::uint64_t seed) {
   Matrix<double> m(rows, cols);
   make_uniform(m, seed);

@@ -11,6 +11,11 @@
 // choice inside a scenario derives from its seed, so the replay is
 // byte-for-byte the campaign's run.
 //
+// Every campaign also evaluates the fleet SLOs (availability, p99 job
+// latency, zero SDC) over the virtual clock, accounts per-tenant usage,
+// and — with --trace-out — writes the merged causal-trace file, byte-
+// identical at any --threads (docs/observability.md).
+//
 // With FTLA_POSTMORTEM=FILE.json in the environment (or
 // --postmortem-out), the flight-recorder bundle is dumped on exit
 // (docs/observability.md, "Analytics & postmortems").
@@ -22,9 +27,12 @@
 #include <string>
 
 #include "common/exit_codes.hpp"
+#include "obs/event_sink.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "service/fleet_campaign.hpp"
 
 namespace {
@@ -63,6 +71,12 @@ int finish(int code, const std::string& reason) {
       "                       (0 = all cores; default 1). The summary is\n"
       "                       bit-identical to a serial campaign\n"
       "  --report FILE.json   write the campaign metrics report\n"
+      "  --trace-out FILE.json\n"
+      "                       write the merged causal-trace file (byte-\n"
+      "                       identical at any --threads; inspect with\n"
+      "                       ftla_trace_cli)\n"
+      "  --slo-latency S      p99 job-latency SLO threshold in virtual\n"
+      "                       seconds (default 0.05)\n"
       "  --abort-after N      stop after N scenarios (deterministic\n"
       "                       truncation; exits 3 to flag the abort)\n"
       "  --postmortem-out FILE write the flight-recorder bundle at exit\n"
@@ -110,6 +124,8 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string failures_path;
   std::string replay_path;
+  std::string trace_path;
+  double slo_latency_s = 0.05;
   bool quiet = false;
 
   auto need = [&](int& i) -> const char* {
@@ -135,6 +151,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--max-losses") opt.max_losses = std::atoi(need(i));
     else if (arg == "--report") report_path = need(i);
+    else if (arg == "--trace-out") trace_path = need(i);
+    else if (arg == "--slo-latency") slo_latency_s = std::atof(need(i));
     else if (arg == "--abort-after") opt.abort_after = std::atoi(need(i));
     else if (arg == "--postmortem-out") g_postmortem_path = need(i);
     else if (arg == "--failures-out") failures_path = need(i);
@@ -152,6 +170,7 @@ int main(int argc, char** argv) {
     usage("--jobs range is empty");
   }
   if (opt.max_losses < 0) usage("--max-losses must be >= 0");
+  if (slo_latency_s <= 0.0) usage("--slo-latency must be positive");
 
   g_recorder.set_meta("tool", "ftla_fleet_cli");
   g_recorder.set_meta("scenarios", std::to_string(opt.scenarios));
@@ -189,9 +208,20 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry metrics;
+  obs::RingBufferSink events;
   g_recorder.attach_metrics(&metrics);
+  g_recorder.attach_events(&events);
+  // SLO records and trace spans both fold in draw order inside the
+  // campaign, so everything below is byte-stable at any --threads.
+  obs::SloEngine slo;
+  slo.set_event_sink(&events);
+  for (const auto& spec : obs::SloEngine::default_fleet_slos(slo_latency_s)) {
+    slo.add(spec);
+  }
+  obs::TraceStore trace;
   const service::FleetCampaignSummary sum = service::run_fleet_campaign(
-      opt, &metrics, quiet ? nullptr : &std::cout, 100);
+      opt, &metrics, quiet ? nullptr : &std::cout, 100,
+      trace_path.empty() ? nullptr : &trace, &slo);
   g_recorder.note(sum.aborted ? "campaign aborted early"
                               : "campaign complete");
 
@@ -209,6 +239,26 @@ int main(int argc, char** argv) {
                 service::to_string(static_cast<service::FleetVerdict>(v)),
                 sum.verdicts[static_cast<std::size_t>(v)]);
   }
+  if (!sum.tenants.empty()) {
+    std::printf("%-10s %6s %8s %11s %17s %15s\n", "tenant", "jobs",
+                "retries", "migrations", "device_seconds",
+                "checkpoint_B");
+    for (const auto& [name, t] : sum.tenants) {
+      std::printf("%-10s %6lld %8lld %11lld %17.9e %15lld\n", name.c_str(),
+                  t.jobs, t.retries, t.migrations, t.device_seconds,
+                  t.checkpoint_bytes);
+    }
+  }
+  std::printf("%-14s %9s %6s %6s %12s %s\n", "slo", "objective", "total",
+              "bad", "burn_rate", "state");
+  for (const auto& st : slo.states()) {
+    std::printf("%-14s %9.4f %6lld %6lld %12.4e %s\n",
+                st.spec.name.c_str(), st.spec.objective, st.total, st.bad,
+                st.burn_rate(), st.alerting ? "ALERTING" : "ok");
+  }
+  std::printf("slo p99   : %.9e s (%lld alert(s))\n", slo.latency_p99(),
+              slo.alerts_fired());
+
   if (!sum.failures.empty()) {
     std::printf("\n%zu invariant violation(s):\n", sum.failures.size());
     for (const auto& f : sum.failures) {
@@ -228,6 +278,17 @@ int main(int argc, char** argv) {
       out << "# reason=" << f.reason << "\n"
           << service::format_fleet_scenario(f.scenario) << "\n";
     }
+  }
+
+  if (!trace_path.empty()) {
+    const obs::TraceReport tr = obs::TraceReport::build(trace);
+    if (!tr.write_file(trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return finish(common::kExitIoError, "failed to write trace file");
+    }
+    std::printf("trace     : %s (%zu spans)\n", trace_path.c_str(),
+                tr.spans.size());
+    g_recorder.note("trace written");
   }
 
   if (!report_path.empty()) {

@@ -12,6 +12,12 @@
 //   --metrics FILE.json      schema_version-1 metrics documents
 //                            (ftla_cli --metrics-out, fault_campaign_cli
 //                            --report, BENCH_*.json)
+//   --trace FILE.json        causal-trace files (ftla_fleet_cli
+//                            --trace-out)
+//
+// Optional input kinds that were not provided are listed in a visible
+// banner at the top of the page, so a thin report is never mistaken
+// for a complete one.
 //
 // Output:
 //   --out FILE.html          the dashboard (default: stdout)
@@ -48,10 +54,12 @@ using namespace ftla;
       "usage: ftla_report_cli [--title STR] [--out FILE.html]\n"
       "  [--profile FILE.json]... [--analytics FILE.json]...\n"
       "  [--timeseries FILE.json]... [--metrics FILE.json]...\n"
+      "  [--trace FILE.json]...\n"
       "\n"
-      "Fuses profile, campaign-analytics, time-series and metrics JSON\n"
-      "exports into one dependency-free, byte-stable HTML dashboard\n"
-      "(inline SVG, no external assets). At least one input required.\n"
+      "Fuses profile, campaign-analytics, time-series, metrics and\n"
+      "causal-trace JSON exports into one dependency-free, byte-stable\n"
+      "HTML dashboard (inline SVG, no external assets). At least one\n"
+      "input required; skipped input kinds are listed in a banner.\n"
       "\n"
       "exit codes:\n"
       "  0  success\n"
@@ -87,6 +95,7 @@ int main(int argc, char** argv) {
     else if (opt == "--analytics") inputs.emplace_back('a', need(i));
     else if (opt == "--timeseries") inputs.emplace_back('t', need(i));
     else if (opt == "--metrics") inputs.emplace_back('m', need(i));
+    else if (opt == "--trace") inputs.emplace_back('r', need(i));
     else if (opt == "--out") out_path = need(i);
     else if (opt == "--title") title = need(i);
     else if (opt == "--help" || opt == "-h") usage();
@@ -124,6 +133,12 @@ int main(int argc, char** argv) {
         if (ok) report.metrics.emplace_back(label, std::move(doc));
         break;
       }
+      case 'r': {
+        obs::TraceReport tr;
+        ok = obs::TraceReport::read_file(path, &tr);
+        if (ok) report.traces.emplace_back(label, std::move(tr));
+        break;
+      }
       default: break;
     }
     if (!ok) {
@@ -132,6 +147,14 @@ int main(int argc, char** argv) {
       return common::kExitIoError;
     }
   }
+
+  if (report.profiles.empty()) report.missing_inputs.push_back("profile");
+  if (report.analytics.empty()) report.missing_inputs.push_back("analytics");
+  if (report.timeseries.empty()) {
+    report.missing_inputs.push_back("timeseries");
+  }
+  if (report.metrics.empty()) report.missing_inputs.push_back("metrics");
+  if (report.traces.empty()) report.missing_inputs.push_back("trace");
 
   if (out_path.empty()) {
     report::write_html_report(report, std::cout);

@@ -1,0 +1,170 @@
+// ftla_trace_cli — inspect, filter, and diff causal-trace files
+// (docs/observability.md, "Causal tracing & SLOs").
+//
+// Default mode renders each reassembled trace as a text waterfall: one
+// line per span, indented by causal depth, with a bar on the shared
+// virtual-time axis. Filters narrow the view to one trace id, one
+// tenant, or one device before rendering.
+//
+// Diff mode (--diff / --check-against) compares two trace files
+// *structurally*: traces are matched by trace id and their span trees
+// compared recursively on name / kind / device / tenant / status and
+// child order, ignoring absolute time stamps. Two runs of the same seed
+// therefore compare clean whatever the thread count or clock origin; a
+// perturbed run (different placement, extra retry, missing checkpoint)
+// is rejected with the fail-stop exit code, which is what lets CI gate
+// on trace stability.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/exit_codes.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace ftla;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: ftla_trace_cli FILE.json [options]\n"
+      "  --trace HEX          only the trace with this 16-hex-digit id\n"
+      "  --tenant NAME        only spans of this tenant\n"
+      "  --device N           only spans on device N (-1 = host/service)\n"
+      "  --summary            per-trace span counts instead of waterfalls\n"
+      "  --width N            waterfall bar width (default 48)\n"
+      "  --diff OTHER.json    structural diff against OTHER; prints every\n"
+      "                       difference, exits 3 when the files diverge\n"
+      "  --check-against OTHER.json\n"
+      "                       like --diff but prints only the verdict —\n"
+      "                       the CI trace-stability gate\n"
+      "\n"
+      "exit codes:\n"
+      "  0  traces rendered, or diff found the files structurally equal\n"
+      "  1  I/O error (a trace file could not be read)\n"
+      "  2  usage error\n"
+      "  3  structural drift between the two trace files\n");
+  std::exit(common::kExitUsage);
+}
+
+bool load(const std::string& path, obs::TraceReport* out) {
+  std::string err;
+  if (!obs::TraceReport::read_file(path, out, &err)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string other_path;
+  bool check_only = false;
+  bool summary = false;
+  int width = 48;
+  obs::TraceFilter filter;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (!obs::parse_trace_id(need(i), &filter.trace_id)) {
+        usage("--trace expects a 16-hex-digit id");
+      }
+    } else if (arg == "--tenant") {
+      filter.tenant = need(i);
+    } else if (arg == "--device") {
+      filter.device = std::atoi(need(i));
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--width") {
+      width = std::atoi(need(i));
+    } else if (arg == "--diff") {
+      other_path = need(i);
+      check_only = false;
+    } else if (arg == "--check-against") {
+      other_path = need(i);
+      check_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(("unknown option " + arg).c_str());
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage("more than one trace file; use --diff for comparisons");
+    }
+  }
+  if (path.empty()) usage("no trace file given");
+  if (width < 8) usage("--width must be >= 8");
+
+  obs::TraceReport report;
+  if (!load(path, &report)) return common::kExitIoError;
+
+  if (!other_path.empty()) {
+    obs::TraceReport other;
+    if (!load(other_path, &other)) return common::kExitIoError;
+    const obs::TraceDiffResult diff = obs::diff_traces(report, other);
+    if (diff.identical()) {
+      std::printf("trace check: OK (%zu spans, structurally equal)\n",
+                  report.spans.size());
+      return common::kExitSuccess;
+    }
+    if (check_only) {
+      std::printf("trace check: DRIFT (%zu difference(s))\n",
+                  diff.differences.size());
+    } else {
+      for (const auto& d : diff.differences) {
+        std::printf("%s\n", d.c_str());
+      }
+    }
+    return common::kExitFailStop;
+  }
+
+  const obs::TraceReport view = obs::filter_trace(report, filter);
+  if (view.spans.empty()) {
+    std::printf("no spans match the filter (%zu in file)\n",
+                report.spans.size());
+    return common::kExitSuccess;
+  }
+  if (summary) {
+    for (const auto& tree : obs::assemble_traces(view)) {
+      std::size_t spans = 0;
+      double lo = 0.0;
+      double hi = 0.0;
+      bool first = true;
+      for (const auto& root : tree.roots) {
+        // Roots cover their subtrees' windows by construction; counting
+        // still needs the whole tree.
+        std::vector<const obs::TraceNode*> stack{&root};
+        while (!stack.empty()) {
+          const obs::TraceNode* node = stack.back();
+          stack.pop_back();
+          ++spans;
+          if (first || node->span->start < lo) lo = node->span->start;
+          if (first || node->span->end > hi) hi = node->span->end;
+          first = false;
+          for (const auto& child : node->children) stack.push_back(&child);
+        }
+      }
+      std::printf("trace %s: %zu span(s), %d root(s), window %.9e..%.9e%s\n",
+                  obs::format_trace_id(tree.trace_id).c_str(), spans,
+                  static_cast<int>(tree.roots.size()), lo, hi,
+                  tree.missing_parents > 0 ? " [missing parents]" : "");
+    }
+  } else {
+    std::fputs(obs::render_waterfall(view, width).c_str(), stdout);
+  }
+  if (view.dropped > 0) {
+    std::printf("(store dropped %lld span(s) at capacity)\n",
+                static_cast<long long>(view.dropped));
+  }
+  return common::kExitSuccess;
+}

@@ -353,7 +353,8 @@ bool valid_metric_name(const std::string& name) {
 const std::vector<std::string>& metric_namespaces(const RuleConfig& cfg) {
   static const std::vector<std::string> kDefault = {
       "abft", "bench", "campaign", "faults", "fleet", "obs", "profile",
-      "run", "runtime", "service", "sim", "test", "timeseries"};
+      "run", "runtime", "service", "sim", "slo", "tenant", "test",
+      "timeseries", "trace"};
   return cfg.extra.empty() ? kDefault : cfg.extra;
 }
 

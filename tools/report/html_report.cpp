@@ -312,11 +312,132 @@ void timeseries_section(const std::string& label,
   os << "</section>\n";
 }
 
+/// SLO burn panel: one bar per SLO found in the document's `slo.`
+/// gauges (ftla_fleet_cli --report), scaled to the hottest burn rate,
+/// red once the alert latch is set. Skipped when the document carries
+/// no SLO export.
+void slo_burn_panel(const obs::MetricsDoc& doc, std::ostream& os) {
+  struct Row {
+    std::string name;
+    double burn = 0.0;
+    double objective = 0.0;
+    bool alerting = false;
+  };
+  std::vector<Row> rows;
+  const std::string suffix = ".burn_rate";
+  for (const auto& [key, value] : doc.gauges) {
+    if (key.rfind("slo.", 0) != 0 || key.size() <= 4 + suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    Row row;
+    row.name = key.substr(4, key.size() - 4 - suffix.size());
+    row.burn = value;
+    const auto obj = doc.gauges.find("slo." + row.name + ".objective");
+    if (obj != doc.gauges.end()) row.objective = obj->second;
+    const auto alerting = doc.gauges.find("slo." + row.name + ".alerting");
+    row.alerting = alerting != doc.gauges.end() && alerting->second != 0.0;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return;
+
+  double peak = 1.0;  // burn rate 1.0 == budget consumed exactly on pace
+  for (const auto& row : rows) peak = std::max(peak, row.burn);
+  os << "<h3>SLO error-budget burn</h3>\n";
+  for (const auto& row : rows) {
+    const double frac = std::min(1.0, row.burn / peak);
+    os << "<div class=\"util\"><span class=\"util-name\">";
+    html_escape(row.name, os);
+    os << "</span><svg width=\"" << fmt(kChartWidth)
+       << "\" height=\"14\"><rect x=\"0\" y=\"1\" width=\""
+       << fmt(kChartWidth) << "\" height=\"12\" fill=\"#eee\"/>"
+       << "<rect x=\"0\" y=\"1\" width=\"" << fmt(frac * kChartWidth)
+       << "\" height=\"12\" fill=\""
+       << (row.alerting ? "#c74c4c" : "#6faa6f") << "\"/></svg><span>"
+       << fmt(row.burn) << "&times; (obj " << fmt(row.objective) << ")"
+       << (row.alerting ? " ALERTING" : "") << "</span></div>\n";
+  }
+  const auto p99 = doc.gauges.find("slo.latency_p99_s");
+  const auto alerts = doc.counters.find("slo.alerts");
+  os << "<p class=\"legend\">";
+  if (p99 != doc.gauges.end()) {
+    os << "p99 job latency " << fmt(p99->second) << " s";
+  }
+  if (alerts != doc.counters.end()) {
+    if (p99 != doc.gauges.end()) os << " &middot; ";
+    os << alerts->second << " alert(s) fired";
+  }
+  os << "</p>\n";
+}
+
+void trace_section(const std::string& label, const obs::TraceReport& report,
+                   std::ostream& os) {
+  os << "<section><h2>Causal traces: ";
+  html_escape(label, os);
+  os << "</h2>\n<p>" << report.spans.size() << " span(s)";
+  if (report.dropped > 0) {
+    os << ", <b>" << report.dropped << " dropped at store capacity</b>";
+  }
+  os << "</p>\n";
+
+  const std::vector<obs::TraceTree> trees = obs::assemble_traces(report);
+  os << "<table><tr><th>trace</th><th>spans</th><th>tenant</th>"
+        "<th>status</th><th>duration s</th></tr>";
+  for (const auto& tree : trees) {
+    std::size_t spans = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    std::vector<const obs::TraceNode*> stack;
+    for (const auto& root : tree.roots) stack.push_back(&root);
+    while (!stack.empty()) {
+      const obs::TraceNode* node = stack.back();
+      stack.pop_back();
+      ++spans;
+      if (first || node->span->start < lo) lo = node->span->start;
+      if (first || node->span->end > hi) hi = node->span->end;
+      first = false;
+      for (const auto& child : node->children) stack.push_back(&child);
+    }
+    const obs::TraceSpan* root =
+        tree.roots.empty() ? nullptr : tree.roots.front().span;
+    os << "<tr><td>" << obs::format_trace_id(tree.trace_id) << "</td><td>"
+       << spans << "</td><td>";
+    html_escape(root != nullptr ? root->tenant : std::string(), os);
+    os << "</td><td>";
+    html_escape(root != nullptr ? root->status : std::string(), os);
+    if (tree.missing_parents > 0) os << " (missing parents)";
+    os << "</td><td>" << fmt(hi - lo) << "</td></tr>";
+  }
+  os << "</table>\n";
+
+  // Waterfalls for the first few traces only — a campaign trace file
+  // holds hundreds; the cap is stated so the cut is never silent.
+  constexpr std::size_t kMaxWaterfalls = 4;
+  const std::size_t shown = std::min(trees.size(), kMaxWaterfalls);
+  if (shown < trees.size()) {
+    os << "<p class=\"legend\">waterfalls for the first " << shown
+       << " of " << trees.size()
+       << " traces (use ftla_trace_cli for the rest)</p>\n";
+  }
+  for (std::size_t i = 0; i < shown; ++i) {
+    obs::TraceFilter filter;
+    filter.trace_id = trees[i].trace_id;
+    os << "<pre>";
+    html_escape(obs::render_waterfall(obs::filter_trace(report, filter)),
+                os);
+    os << "</pre>\n";
+  }
+  os << "</section>\n";
+}
+
 void metrics_section(const std::string& label, const obs::MetricsDoc& doc,
                      std::ostream& os) {
   os << "<section><h2>Metrics: ";
   html_escape(label, os);
   os << "</h2>\n";
+  slo_burn_panel(doc, os);
   if (!doc.meta.empty()) {
     os << "<table class=\"meta\">";
     for (const auto& [k, v] : doc.meta) {
@@ -385,9 +506,24 @@ void write_html_report(const ReportInputs& inputs, std::ostream& os) {
         ".row-label{font-size:13px;margin-top:10px}\n"
         ".util{display:flex;gap:8px;align-items:center;margin:2px 0}\n"
         ".util-name{width:90px;font-size:13px}\n"
+        ".banner{background:#fff3cd;border:1px solid #d9a441;"
+        "padding:8px 12px;border-radius:4px;font-size:13px}\n"
+        "pre{font:11px/1.35 ui-monospace,monospace;overflow-x:auto;"
+        "background:#f8f8f8;padding:6px;border:1px solid #eee}\n"
         "</style>\n</head>\n<body>\n<h1>";
   html_escape(inputs.title, os);
   os << "</h1>\n";
+
+  if (!inputs.missing_inputs.empty()) {
+    os << "<p class=\"banner\"><b>Inputs not provided:</b> ";
+    bool first = true;
+    for (const auto& kind : inputs.missing_inputs) {
+      if (!first) os << ", ";
+      first = false;
+      html_escape(kind, os);
+    }
+    os << " &mdash; those sections are absent, not empty.</p>\n";
+  }
 
   for (const auto& [label, p] : inputs.profiles) {
     profile_section(label, p, os);
@@ -400,6 +536,9 @@ void write_html_report(const ReportInputs& inputs, std::ostream& os) {
   }
   for (const auto& [label, doc] : inputs.metrics) {
     metrics_section(label, doc, os);
+  }
+  for (const auto& [label, tr] : inputs.traces) {
+    trace_section(label, tr, os);
   }
 
   os << "</body>\n</html>\n";

@@ -23,6 +23,7 @@
 #include "obs/profile_report.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace ftla::report {
 
@@ -32,6 +33,12 @@ struct ReportInputs {
   std::vector<std::pair<std::string, fault::CampaignAnalytics>> analytics;
   std::vector<std::pair<std::string, obs::TimeSeriesReport>> timeseries;
   std::vector<std::pair<std::string, obs::MetricsDoc>> metrics;
+  /// Causal-trace files (ftla_fleet_cli --trace-out).
+  std::vector<std::pair<std::string, obs::TraceReport>> traces;
+  /// Optional input kinds the caller skipped ("profile", "trace", ...);
+  /// rendered as a visible banner so a thin report is never mistaken
+  /// for a complete one.
+  std::vector<std::string> missing_inputs;
 };
 
 /// Renders the dashboard. Deterministic: byte-identical output for
